@@ -1,0 +1,64 @@
+// C3 (§II-A): "Submatrix assignment (C(I,J)=A) can be 100x faster than in
+// MATLAB". The MATLAB stand-in is the dense mimic's assign (the same
+// full-shape dense pass MATLAB performs on its arrays); the sparse assign
+// should win by orders of magnitude as C grows while the region stays small.
+#include <cstdio>
+
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+#include "reference/dense_ref.hpp"
+
+int main() {
+  using gb::Index;
+  std::printf("C3: submatrix assign C(I,J)=A — sparse vs dense-baseline\n\n");
+  std::printf("%8s %8s %14s %14s %10s\n", "n", "|I|=|J|", "sparse ms",
+              "dense ms", "speedup");
+
+  for (Index n : {Index{256}, Index{512}, Index{1024}, Index{2048}}) {
+    const Index k = 32;  // region size
+    auto c0 = lagraph::erdos_renyi(n, n * 4, 3, false);
+    auto sub = lagraph::random_matrix(k, k, k * 4, 5);
+    std::vector<Index> isel(k), jsel(k);
+    for (Index i = 0; i < k; ++i) {
+      isel[i] = (i * 97) % n;
+      jsel[i] = (i * 193) % n;
+    }
+
+    const int reps = 5;
+    double sparse_ms;
+    {
+      gb::platform::Timer t;
+      for (int r = 0; r < reps; ++r) {
+        auto c = c0.dup();
+        gb::assign(c, gb::no_mask, gb::no_accum, sub, gb::IndexSel(isel),
+                   gb::IndexSel(jsel));
+      }
+      sparse_ms = t.millis() / reps;
+    }
+
+    double dense_ms;
+    {
+      auto dc0 = ref::from_gb(c0);
+      auto dsub = ref::from_gb(sub);
+      gb::platform::Timer t;
+      for (int r = 0; r < reps; ++r) {
+        auto dc = dc0;
+        ref::assign(dc, static_cast<const ref::DenseMat<bool>*>(nullptr),
+                    static_cast<const gb::Plus*>(nullptr), dsub, isel, jsel,
+                    gb::desc_default);
+      }
+      dense_ms = t.millis() / reps;
+    }
+
+    std::printf("%8llu %8llu %14.3f %14.3f %9.1fx\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(k), sparse_ms, dense_ms,
+                dense_ms / sparse_ms);
+  }
+
+  std::printf("\nexpected shape: speedup grows with n (the dense baseline "
+              "touches all\nn^2 positions; sparse assign touches O(nnz + "
+              "region)); crossing 100x\nby n ~ 2048, matching the paper's "
+              "'100x faster than MATLAB'.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// F2 (Fig. 2): the level-BFS algorithm, four ways. The paper shows the same
+// algorithm in pseudocode, PyGB, GBTL C++, and the C API; the measurable
+// counterpart is that the GraphBLAS formulation (in its push, pull, and
+// direction-optimising variants) stays within a small constant of a tuned
+// direct queue BFS.
+#include <cstdio>
+#include <functional>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+#include "reference/simple_graph.hpp"
+
+namespace {
+
+using gb::Index;
+
+struct Workload {
+  const char* name;
+  gb::Matrix<double> a;
+};
+
+double time_ms(int reps, const std::function<void()>& fn) {
+  gb::platform::Timer t;
+  for (int r = 0; r < reps; ++r) fn();
+  return t.millis() / reps;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Workload> graphs;
+  graphs.push_back({"rmat-12 (scale-free)", lagraph::rmat(12, 8, 21)});
+  graphs.push_back({"grid 64x64 (mesh)", lagraph::grid2d(64, 64)});
+  graphs.push_back({"er-4096 (uniform)", lagraph::erdos_renyi(4096, 16384, 5)});
+
+  std::printf("Fig. 2 analogue: level+parent BFS via GraphBLAS vs direct "
+              "queue BFS\n\n");
+  std::printf("%-22s %10s %10s %10s %10s %7s\n", "graph", "push ms", "pull ms",
+              "dir-opt ms", "queue ms", "depth");
+
+  for (auto& w : graphs) {
+    lagraph::Graph g(std::move(w.a), lagraph::Kind::undirected);
+    g.ensure_transpose();
+    auto sg = ref::SimpleGraph::from_matrix(g.adj());
+    const int reps = 3;
+
+    // Validate agreement once before timing.
+    auto want = ref::bfs_levels(sg, 0);
+    for (auto variant :
+         {lagraph::BfsVariant::push, lagraph::BfsVariant::pull,
+          lagraph::BfsVariant::direction_optimizing}) {
+      auto res = lagraph::bfs(g, 0, variant);
+      auto got = lagraph::to_dense_std(res.level, std::int64_t{-1});
+      for (Index v = 0; v < sg.n; ++v) {
+        if (got[v] != want[v]) {
+          std::printf("MISMATCH on %s variant %d vertex %llu\n", w.name,
+                      static_cast<int>(variant),
+                      static_cast<unsigned long long>(v));
+          return 1;
+        }
+      }
+    }
+
+    std::int64_t depth = 0;
+    double push = time_ms(reps, [&] {
+      depth = lagraph::bfs(g, 0, lagraph::BfsVariant::push).depth;
+    });
+    double pull = time_ms(reps, [&] {
+      lagraph::bfs(g, 0, lagraph::BfsVariant::pull);
+    });
+    double dopt = time_ms(reps, [&] {
+      lagraph::bfs(g, 0, lagraph::BfsVariant::direction_optimizing);
+    });
+    double queue = time_ms(reps, [&] { ref::bfs_levels(sg, 0); });
+
+    std::printf("%-22s %10.2f %10.2f %10.2f %10.2f %7lld\n", w.name, push,
+                pull, dopt, queue, static_cast<long long>(depth));
+  }
+
+  std::printf("\nexpected shape: dir-opt <= min(push, pull) on scale-free "
+              "graphs;\npush wins on meshes (frontiers never densify); all "
+              "within a small\nconstant of the direct queue BFS.\n");
+  return 0;
+}

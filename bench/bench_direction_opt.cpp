@@ -1,0 +1,144 @@
+// C7 (§II-E): direction-optimising BFS — per-level push vs pull times on a
+// scale-free graph, the crossover that makes the GraphBLAST rule pay, and
+// the whole-traversal comparison push / pull / direction-optimised.
+#include <cstdio>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+
+int main() {
+  using gb::Index;
+  auto adj = lagraph::rmat(13, 16, 99);
+  lagraph::Graph g(std::move(adj), lagraph::Kind::undirected);
+  g.ensure_transpose();
+  const Index n = g.nrows();
+
+  std::printf("C7: direction-optimising BFS on rmat-13 ef=16 (n=%llu, "
+              "nnz=%llu)\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(g.nvals()));
+
+  // Source = the max-degree vertex (vertex 0 may be isolated in an R-MAT
+  // draw; the hub guarantees a traversal that reaches the giant component).
+  Index source = 0;
+  {
+    auto deg = lagraph::to_dense_std(g.out_degree(), std::int64_t{0});
+    for (Index v = 1; v < n; ++v) {
+      if (deg[v] > deg[source]) source = v;
+    }
+  }
+
+  // --- per-level anatomy: time each level both ways ---------------------------
+  std::printf("per-level anatomy (source = hub vertex %llu):\n",
+              static_cast<unsigned long long>(source));
+  std::printf("%6s %12s %10s %12s %12s %8s\n", "level", "frontier", "dens%",
+              "push ms", "pull ms", "DO uses");
+
+  gb::Vector<std::int64_t> level(n);
+  gb::Vector<std::uint64_t> frontier(n);
+  frontier.set_element(source, source);
+  const double threshold = 1.0 / 32.0;
+  gb::MxvMethod prev_dir = gb::MxvMethod::push;
+  double prev_density = 0.0;
+  std::int64_t depth = 0;
+
+  while (frontier.nvals() > 0) {
+    gb::assign_scalar(level, frontier, gb::no_accum, depth,
+                      gb::IndexSel::all(n), gb::desc_s);
+    gb::apply_indexop(frontier, gb::no_mask, gb::no_accum, gb::RowIndex{},
+                      frontier, std::int64_t{0});
+    double density = frontier.density();
+
+    // Time both directions from identical state.
+    auto time_dir = [&](gb::MxvMethod m) {
+      gb::Descriptor d = gb::desc_rsc;
+      d.mxv = m;
+      auto f = frontier;  // copy
+      gb::platform::Timer t;
+      gb::vxm(f, level, gb::no_accum, gb::min_first<std::uint64_t>(), f,
+              g.adj(), d);
+      return std::pair<double, Index>(t.millis(), f.nvals());
+    };
+    auto [push_ms, push_next] = time_dir(gb::MxvMethod::push);
+    auto [pull_ms, pull_next] = time_dir(gb::MxvMethod::pull);
+    (void)pull_next;
+
+    // The hysteresis rule decides.
+    gb::MxvMethod dir = prev_dir;
+    if (density > threshold && prev_density <= threshold) {
+      dir = gb::MxvMethod::pull;
+    } else if (density < threshold && prev_density >= threshold) {
+      dir = gb::MxvMethod::push;
+    }
+    prev_density = density;
+    prev_dir = dir;
+
+    std::printf("%6lld %12llu %10.3f %12.3f %12.3f %8s\n",
+                static_cast<long long>(depth),
+                static_cast<unsigned long long>(frontier.nvals()),
+                100.0 * density, push_ms, pull_ms,
+                dir == gb::MxvMethod::push ? "push" : "pull");
+
+    // Advance with the DO choice.
+    gb::Descriptor d = gb::desc_rsc;
+    d.mxv = dir;
+    gb::vxm(frontier, level, gb::no_accum, gb::min_first<std::uint64_t>(),
+            frontier, g.adj(), d);
+    ++depth;
+  }
+
+  // --- whole-traversal comparison ---------------------------------------------
+  std::printf("\nwhole BFS traversal (averaged over 5 sources):\n");
+  const Index sources[] = {0, 7, 1000, 4095, 2222};
+  double totals[3] = {0, 0, 0};
+  const lagraph::BfsVariant variants[] = {
+      lagraph::BfsVariant::push, lagraph::BfsVariant::pull,
+      lagraph::BfsVariant::direction_optimizing};
+  for (int vi = 0; vi < 3; ++vi) {
+    gb::platform::Timer t;
+    for (Index s : sources) lagraph::bfs(g, s % n, variants[vi]);
+    totals[vi] = t.millis() / 5.0;
+  }
+  std::printf("  push-only: %8.2f ms\n", totals[0]);
+  std::printf("  pull-only: %8.2f ms\n", totals[1]);
+  std::printf("  dir-opt:   %8.2f ms\n", totals[2]);
+
+  // Ablation: the hysteresis rule ("switch only on threshold crossings,
+  // else keep the previous direction" — §II-E) vs a stateless
+  // pick-by-threshold every level. The stateless rule re-decides on every
+  // frontier and flaps when the density hovers near k.
+  {
+    auto stateless_bfs = [&](Index s) {
+      gb::Vector<std::int64_t> lvl(n);
+      gb::Vector<std::uint64_t> f(n);
+      f.set_element(s, s);
+      std::int64_t dep = 0;
+      while (f.nvals() > 0) {
+        gb::assign_scalar(lvl, f, gb::no_accum, dep, gb::IndexSel::all(n),
+                          gb::desc_s);
+        gb::apply_indexop(f, gb::no_mask, gb::no_accum, gb::RowIndex{}, f,
+                          std::int64_t{0});
+        gb::Descriptor d = gb::desc_rsc;
+        d.mxv = f.density() > threshold ? gb::MxvMethod::pull
+                                        : gb::MxvMethod::push;
+        gb::vxm(f, lvl, gb::no_accum, gb::min_first<std::uint64_t>(), f,
+                g.adj(), d);
+        ++dep;
+      }
+    };
+    gb::platform::Timer t;
+    for (Index s : sources) stateless_bfs(s % n);
+    std::printf("  stateless-threshold ablation: %8.2f ms\n",
+                t.millis() / 5.0);
+  }
+
+  std::printf("\nexpected shape: pull wins exactly on the 1-2 dense middle "
+              "levels\n(where the Beamer-style crossover sits), push "
+              "everywhere else;\ndir-opt tracks the per-level winner and "
+              "beats both pure strategies\nend-to-end — the §II-E claim that "
+              "this optimisation is what lets\nGraphBLAS BFS match "
+              "state-of-the-art frameworks.\n");
+  return 0;
+}

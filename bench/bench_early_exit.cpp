@@ -1,0 +1,106 @@
+// C4 (§II-A): terminal ("early exit") monoids — "a dot product can
+// terminate as soon as a terminal value is found". Clean ablation: the same
+// LOR monoid run with and without its terminal annotation (our Monoid
+// carries the terminal as a runtime optional), driving the pull (dot) side
+// of a BFS step on a dense frontier.
+#include <cstdio>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+
+int main() {
+  using gb::Index;
+
+  std::printf("C4: terminal-monoid early exit in pull (dot) traversals\n\n");
+  std::printf("%-22s %14s %18s %10s\n", "graph", "with-term ms",
+              "without-term ms", "speedup");
+
+  for (int scale : {10, 11, 12}) {
+    auto a = lagraph::rmat(scale, 16, scale);
+    const Index n = a.nrows();
+    // Boolean adjacency + dense boolean frontier: the BFS pull regime.
+    gb::Matrix<bool> ab(n, n);
+    gb::apply(ab, gb::no_mask, gb::no_accum, [](double) { return true; }, a);
+    auto frontier = gb::Vector<bool>::full(n, true);
+
+    // Same semiring twice: once with LOR's terminal, once with it stripped.
+    auto with_term = gb::lor_land();
+    auto without_term = gb::lor_land();
+    without_term.add.terminal.reset();
+
+    gb::Descriptor d;
+    d.mxv = gb::MxvMethod::pull;
+
+    const int reps = 5;
+    double t_with, t_without;
+    {
+      gb::platform::Timer t;
+      for (int r = 0; r < reps; ++r) {
+        gb::Vector<bool> w(n);
+        gb::mxv(w, gb::no_mask, gb::no_accum, with_term, ab, frontier, d);
+      }
+      t_with = t.millis() / reps;
+    }
+    {
+      gb::platform::Timer t;
+      for (int r = 0; r < reps; ++r) {
+        gb::Vector<bool> w(n);
+        gb::mxv(w, gb::no_mask, gb::no_accum, without_term, ab, frontier, d);
+      }
+      t_without = t.millis() / reps;
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "rmat-%d ef=16", scale);
+    std::printf("%-22s %14.2f %18.2f %9.1fx\n", name, t_with, t_without,
+                t_without / t_with);
+  }
+
+  // The ANY monoid: always terminal — the extreme of the same mechanism.
+  std::printf("\nANY monoid (always terminal) vs MIN on parent-BFS step:\n");
+  {
+    auto a = lagraph::rmat(12, 16, 5);
+    const Index n = a.nrows();
+    auto ids = gb::Vector<std::uint64_t>(n);
+    {
+      std::vector<Index> idx(n);
+      std::vector<std::uint64_t> val(n);
+      for (Index i = 0; i < n; ++i) {
+        idx[i] = i;
+        val[i] = i;
+      }
+      ids.build(idx, val, gb::Second{});
+    }
+    gb::Descriptor d;
+    d.mxv = gb::MxvMethod::pull;
+    const int reps = 5;
+    double t_any, t_min;
+    {
+      gb::platform::Timer t;
+      for (int r = 0; r < reps; ++r) {
+        gb::Vector<std::uint64_t> w(n);
+        gb::mxv(w, gb::no_mask, gb::no_accum, gb::any_second<std::uint64_t>(),
+                a, ids, d);
+      }
+      t_any = t.millis() / reps;
+    }
+    {
+      gb::platform::Timer t;
+      for (int r = 0; r < reps; ++r) {
+        gb::Vector<std::uint64_t> w(n);
+        gb::mxv(w, gb::no_mask, gb::no_accum, gb::min_second<std::uint64_t>(),
+                a, ids, d);
+      }
+      t_min = t.millis() / reps;
+    }
+    std::printf("  any_second: %.2f ms   min_second: %.2f ms   speedup "
+                "%.1fx\n",
+                t_any, t_min, t_min / t_any);
+  }
+
+  std::printf("\nexpected shape: with-terminal consistently faster on dense "
+              "frontiers\n(each dot stops at the first hit); the gap widens "
+              "with average degree.\nThis is the mechanism the paper says "
+              "'will enable a fast direction-\noptimizing BFS'.\n");
+  return 0;
+}

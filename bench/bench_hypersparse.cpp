@@ -1,0 +1,76 @@
+// C5 (§II-A): hypersparsity — standard CSR costs O(n + e) memory, the
+// hypersparse form O(e), "so that matrices with enormous dimensions can be
+// created as long as e << n". Fixed e = 100k entries, n swept to 2^40.
+#include <cstdio>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+
+int main() {
+  using gb::Index;
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  const Index e = 100000;
+
+  std::printf("C5: hypersparse storage, fixed e = %llu entries\n\n",
+              static_cast<unsigned long long>(e));
+  std::printf("%8s %16s %16s %12s %12s\n", "log2(n)", "hyper bytes",
+              "csr bytes", "build ms", "mxv ms");
+
+  for (int logn : {17, 20, 24, 28, 32, 36, 40}) {
+    const Index n = Index{1} << logn;
+    std::vector<Index> r(e), c(e);
+    std::vector<double> v(e, 1.0);
+    std::uint64_t state = 7;
+    auto next = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return state >> 1;
+    };
+    for (Index k = 0; k < e; ++k) {
+      r[k] = next() % n;
+      c[k] = next() % n;
+    }
+
+    gb::platform::Timer t;
+    gb::Matrix<double> hyper(n, n, gb::Layout::by_row,
+                             gb::HyperMode::always);
+    hyper.build(r, c, v, gb::Second{});
+    hyper.wait();
+    double build_ms = t.millis();
+    std::size_t hyper_bytes = hyper.memory_bytes();
+
+    // Standard CSR needs the O(n) pointer array — only feasible for small n.
+    std::size_t csr_bytes = 0;
+    if (logn <= 24) {
+      gb::Matrix<double> csr(n, n, gb::Layout::by_row, gb::HyperMode::never);
+      csr.build(r, c, v, gb::Second{});
+      csr.wait();
+      csr_bytes = csr.memory_bytes();
+    }
+
+    // The matrix stays fully operational at any dimension: one push mxv.
+    auto u = gb::Vector<double>(n);
+    for (Index k = 0; k < 64; ++k) u.set_element(c[k], 1.0);
+    gb::Descriptor d;
+    d.mxv = gb::MxvMethod::push;
+    t.reset();
+    gb::Vector<double> w(n);
+    gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), hyper, u,
+            d);
+    double mxv_ms = t.millis();
+
+    if (csr_bytes > 0) {
+      std::printf("%8d %16zu %16zu %12.1f %12.2f\n", logn, hyper_bytes,
+                  csr_bytes, build_ms, mxv_ms);
+    } else {
+      std::printf("%8d %16zu %16s %12.1f %12.2f\n", logn, hyper_bytes,
+                  "(infeasible)", build_ms, mxv_ms);
+    }
+  }
+
+  std::printf("\nexpected shape: hyper bytes flat in n (O(e)); csr bytes "
+              "grow ~8 bytes\nper row until the pointer array alone is "
+              "beyond reach (n > 2^24 here);\nbuild and mxv times flat in n "
+              "— 'enormous dimensions' are free.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// C6 (§IV): move-based import/export — "the export takes just O(1) time and
+// no new memory is allocated" — vs the Ω(e) extractTuples/build path the
+// paper says LAGraph must avoid.
+#include <cstdio>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+
+int main() {
+  using gb::Index;
+  std::printf("C6: O(1) import/export vs O(e) extractTuples + build\n\n");
+  std::printf("%12s %14s %14s %16s %14s\n", "e", "export us", "import us",
+              "extractTup us", "rebuild us");
+
+  for (Index e :
+       {Index{10000}, Index{100000}, Index{1000000}, Index{4000000}}) {
+    const Index n = e / 4;
+    auto a = lagraph::erdos_renyi(n, e / 2, 3, true);
+    a.wait();
+    const Index actual_e = a.nvals();
+
+    // Move export + import (round trip).
+    double export_us, import_us;
+    {
+      auto m = a.dup();
+      gb::platform::Timer t;
+      auto arrays = m.export_csr();
+      export_us = t.millis() * 1000.0;
+      t.reset();
+      auto back = gb::Matrix<double>::import_csr(
+          arrays.nrows, arrays.ncols, std::move(arrays.p),
+          std::move(arrays.i), std::move(arrays.x));
+      import_us = t.millis() * 1000.0;
+      if (back.nvals() != actual_e) {
+        std::printf("round-trip LOST ENTRIES\n");
+        return 1;
+      }
+    }
+
+    // Tuple path.
+    double extract_us, rebuild_us;
+    {
+      std::vector<Index> r, c;
+      std::vector<double> v;
+      gb::platform::Timer t;
+      a.extract_tuples(r, c, v);
+      extract_us = t.millis() * 1000.0;
+      t.reset();
+      gb::Matrix<double> b(a.nrows(), a.ncols());
+      b.build(r, c, v, gb::Second{});
+      b.wait();
+      rebuild_us = t.millis() * 1000.0;
+    }
+
+    std::printf("%12llu %14.1f %14.1f %16.1f %14.1f\n",
+                static_cast<unsigned long long>(actual_e), export_us,
+                import_us, extract_us, rebuild_us);
+  }
+
+  std::printf("\nexpected shape: export/import times flat (O(1) moves — a "
+              "few\nmicroseconds regardless of e); extractTuples and build "
+              "grow linearly\n(and worse: build sorts). The gap is the §IV "
+              "argument for adding\nimport/export to the GraphBLAS C API.\n");
+  return 0;
+}

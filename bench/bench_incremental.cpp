@@ -1,0 +1,118 @@
+// C2 (§II-A): "it is just as fast to use a sequence of e setElement
+// operations to build a matrix as it is to create an array of e tuples and
+// use build" — thanks to pending tuples. The ablation column shows what the
+// claim protects against: calling wait() after every insertion (the eager
+// O(n+e)-per-update regime). Deletions get the same treatment via zombies.
+#include <cstdio>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+
+int main() {
+  using gb::Index;
+  std::printf("C2: incremental construction — pending tuples & zombies\n\n");
+  std::printf("%10s %12s %12s %16s %12s\n", "e", "build ms", "setElem ms",
+              "eager-wait ms", "ratio s/b");
+
+  for (Index e : {Index{1000}, Index{10000}, Index{100000}, Index{400000}}) {
+    const Index n = e;  // square matrix with ~1 entry per row
+    std::vector<Index> r(e), c(e);
+    std::vector<double> v(e);
+    std::uint64_t state = 12345;
+    auto next = [&state] {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return state >> 16;
+    };
+    for (Index k = 0; k < e; ++k) {
+      r[k] = next() % n;
+      c[k] = next() % n;
+      v[k] = 1.0;
+    }
+
+    double build_ms, set_ms, eager_ms;
+    {
+      gb::platform::Timer t;
+      gb::Matrix<double> a(n, n);
+      a.build(r, c, v, gb::Second{});
+      a.wait();
+      build_ms = t.millis();
+    }
+    {
+      gb::platform::Timer t;
+      gb::Matrix<double> a(n, n);
+      for (Index k = 0; k < e; ++k) a.set_element(r[k], c[k], v[k]);
+      a.wait();
+      set_ms = t.millis();
+    }
+    {
+      // Ablation: materialise after every insertion (what §II-A says would
+      // be "exceedingly slow": O(n + e) per entry). Cap the work so the
+      // bench terminates; scale the measured prefix up linearly (a lower
+      // bound on the true cost, which is quadratic).
+      const Index cap = std::min<Index>(e, 2000);
+      gb::platform::Timer t;
+      gb::Matrix<double> a(n, n);
+      for (Index k = 0; k < cap; ++k) {
+        a.set_element(r[k], c[k], v[k]);
+        a.wait();
+      }
+      eager_ms = t.millis() * static_cast<double>(e) /
+                 static_cast<double>(cap);
+    }
+    std::printf("%10llu %12.2f %12.2f %16.1f %12.2f\n",
+                static_cast<unsigned long long>(e), build_ms, set_ms,
+                eager_ms, set_ms / build_ms);
+  }
+
+  // Deletions: zombies vs eager compaction.
+  std::printf("\ndeletion of e/2 entries from an e-entry matrix:\n");
+  std::printf("%10s %14s %18s\n", "e", "zombie ms", "eager-wait ms");
+  for (Index e : {Index{10000}, Index{100000}}) {
+    const Index n = e;
+    gb::Matrix<double> base(n, n);
+    {
+      std::vector<Index> r(e), c(e);
+      std::vector<double> v(e, 1.0);
+      for (Index k = 0; k < e; ++k) {
+        r[k] = (k * 2654435761ULL) % n;
+        c[k] = (k * 40503ULL) % n;
+      }
+      base.build(r, c, v, gb::Second{});
+      base.wait();
+    }
+    std::vector<Index> rr, cc;
+    std::vector<double> vv;
+    base.extract_tuples(rr, cc, vv);
+
+    double zombie_ms, eager_ms;
+    {
+      auto a = base.dup();
+      gb::platform::Timer t;
+      for (std::size_t k = 0; k < rr.size(); k += 2) {
+        a.remove_element(rr[k], cc[k]);
+      }
+      a.wait();
+      zombie_ms = t.millis();
+    }
+    {
+      auto a = base.dup();
+      const std::size_t cap = std::min<std::size_t>(rr.size() / 2, 1000);
+      gb::platform::Timer t;
+      std::size_t done = 0;
+      for (std::size_t k = 0; k < rr.size() && done < cap; k += 2, ++done) {
+        a.remove_element(rr[k], cc[k]);
+        a.wait();
+      }
+      eager_ms = t.millis() * static_cast<double>(rr.size() / 2) /
+                 static_cast<double>(cap);
+    }
+    std::printf("%10llu %14.2f %18.1f\n", static_cast<unsigned long long>(e),
+                zombie_ms, eager_ms);
+  }
+
+  std::printf("\nexpected shape: setElement-loop within ~2x of build (paper: "
+              "'just as\nfast'); the eager-wait ablation orders of magnitude "
+              "slower and growing\nwith e.\n");
+  return 0;
+}

@@ -1,0 +1,211 @@
+// T1 (Table I): every GraphBLAS operation of the specification, exercised on
+// a scale-free graph through google-benchmark — the "operation coverage"
+// table. Rows correspond one-to-one with Table I of the paper (plus the
+// auxiliary ops LAGraph leans on: select, kronecker, build, extractTuples).
+#include <benchmark/benchmark.h>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/util/generator.hpp"
+
+namespace {
+
+using gb::Index;
+
+constexpr int kScale = 11;
+constexpr int kEdgeFactor = 8;
+
+const gb::Matrix<double>& graph() {
+  static const gb::Matrix<double> a = lagraph::rmat(kScale, kEdgeFactor, 1);
+  return a;
+}
+
+const gb::Vector<double>& dense_vec() {
+  static const auto v = gb::Vector<double>::full(graph().nrows(), 1.0);
+  return v;
+}
+
+const gb::Vector<double>& sparse_vec() {
+  static const auto v = lagraph::random_vector(graph().nrows(),
+                                               graph().nrows() / 64, 7);
+  return v;
+}
+
+void BM_mxm(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Matrix<double> c(a.nrows(), a.ncols());
+    gb::mxm(c, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, a);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_mxm)->Unit(benchmark::kMillisecond);
+
+void BM_mxm_masked(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Matrix<double> c(a.nrows(), a.ncols());
+    gb::mxm(c, a, gb::no_accum, gb::plus_pair<std::int64_t>(), a, a,
+            gb::desc_s);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_mxm_masked)->Unit(benchmark::kMillisecond);
+
+void BM_mxv(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Vector<double> w(a.nrows());
+    gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a,
+            dense_vec());
+    benchmark::DoNotOptimize(w.nvals());
+  }
+}
+BENCHMARK(BM_mxv)->Unit(benchmark::kMillisecond);
+
+void BM_vxm(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Vector<double> w(a.ncols());
+    gb::vxm(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(),
+            sparse_vec(), a);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+}
+BENCHMARK(BM_vxm)->Unit(benchmark::kMillisecond);
+
+void BM_ewise_mult(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Matrix<double> c(a.nrows(), a.ncols());
+    gb::ewise_mult(c, gb::no_mask, gb::no_accum, gb::Times{}, a, a);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_ewise_mult)->Unit(benchmark::kMillisecond);
+
+void BM_ewise_add(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Matrix<double> c(a.nrows(), a.ncols());
+    gb::ewise_add(c, gb::no_mask, gb::no_accum, gb::Plus{}, a, a, gb::desc_t1);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_ewise_add)->Unit(benchmark::kMillisecond);
+
+void BM_reduce_rows(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Vector<double> w(a.nrows());
+    gb::reduce(w, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), a);
+    benchmark::DoNotOptimize(w.nvals());
+  }
+}
+BENCHMARK(BM_reduce_rows)->Unit(benchmark::kMillisecond);
+
+void BM_reduce_scalar(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gb::reduce_scalar(gb::plus_monoid<double>(), a));
+  }
+}
+BENCHMARK(BM_reduce_scalar)->Unit(benchmark::kMillisecond);
+
+void BM_apply(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Matrix<double> c(a.nrows(), a.ncols());
+    gb::apply(c, gb::no_mask, gb::no_accum, gb::Ainv{}, a);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_apply)->Unit(benchmark::kMillisecond);
+
+void BM_transpose(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Matrix<double> c(a.ncols(), a.nrows());
+    gb::transpose(c, gb::no_mask, gb::no_accum, a);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_transpose)->Unit(benchmark::kMillisecond);
+
+void BM_extract(benchmark::State& state) {
+  const auto& a = graph();
+  std::vector<Index> half;
+  for (Index i = 0; i < a.nrows(); i += 2) half.push_back(i);
+  for (auto _ : state) {
+    gb::Matrix<double> c(half.size(), half.size());
+    gb::extract(c, gb::no_mask, gb::no_accum, a, gb::IndexSel(half),
+                gb::IndexSel(half));
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_extract)->Unit(benchmark::kMillisecond);
+
+void BM_assign(benchmark::State& state) {
+  const auto& a = graph();
+  std::vector<Index> quarter;
+  for (Index i = 0; i < a.nrows(); i += 4) quarter.push_back(i);
+  auto sub = lagraph::random_matrix(quarter.size(), quarter.size(),
+                                    quarter.size() * 4, 3);
+  for (auto _ : state) {
+    auto c = a.dup();
+    gb::assign(c, gb::no_mask, gb::no_accum, sub, gb::IndexSel(quarter),
+               gb::IndexSel(quarter));
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_assign)->Unit(benchmark::kMillisecond);
+
+void BM_select(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    gb::Matrix<double> c(a.nrows(), a.ncols());
+    gb::select(c, gb::no_mask, gb::no_accum, gb::SelTril{}, a,
+               std::int64_t{-1});
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_select)->Unit(benchmark::kMillisecond);
+
+void BM_kronecker(benchmark::State& state) {
+  auto small = lagraph::rmat(5, 4, 2);
+  for (auto _ : state) {
+    gb::Matrix<double> c(small.nrows() * small.nrows(),
+                         small.ncols() * small.ncols());
+    gb::kronecker(c, gb::no_mask, gb::no_accum, gb::Times{}, small, small);
+    benchmark::DoNotOptimize(c.nvals());
+  }
+}
+BENCHMARK(BM_kronecker)->Unit(benchmark::kMillisecond);
+
+void BM_build(benchmark::State& state) {
+  const auto& a = graph();
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  a.extract_tuples(r, c, v);
+  for (auto _ : state) {
+    gb::Matrix<double> b(a.nrows(), a.ncols());
+    b.build(r, c, v, gb::Plus{});
+    benchmark::DoNotOptimize(b.nvals());
+  }
+}
+BENCHMARK(BM_build)->Unit(benchmark::kMillisecond);
+
+void BM_extract_tuples(benchmark::State& state) {
+  const auto& a = graph();
+  for (auto _ : state) {
+    std::vector<Index> r, c;
+    std::vector<double> v;
+    a.extract_tuples(r, c, v);
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+BENCHMARK(BM_extract_tuples)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,746 @@
+// The C API run-time: §II-B's architecture realised. "Objects internal to
+// the library are declared as C++ classes... the body of each GraphBLAS API
+// method is wrapped by a try/catch block, which then returns the GraphBLAS
+// execution error code corresponding to the caught exception."
+//
+// The front end dispatches the C API's runtime operator handles into small
+// switch-based functors (one template instantiation per operation rather
+// than one per operator combination — the layered back-end approach of the
+// IBM implementation; the fully-inlined fast path is the C++ API itself).
+#include "capi/graphblas_c.h"
+
+#include <new>
+
+#include "graphblas/graphblas.hpp"
+
+struct GrB_Matrix_opaque {
+  gb::Matrix<double> m;
+};
+struct GrB_Vector_opaque {
+  gb::Vector<double> v;
+};
+struct GrB_Descriptor_opaque {
+  gb::Descriptor d;
+};
+
+namespace {
+
+const GrB_Index grb_all_sentinel = ~GrB_Index{0};
+
+GrB_Info map_info(gb::Info info) {
+  switch (info) {
+    case gb::Info::success: return GrB_SUCCESS;
+    case gb::Info::no_value: return GrB_NO_VALUE;
+    case gb::Info::uninitialized_object: return GrB_UNINITIALIZED_OBJECT;
+    case gb::Info::null_pointer: return GrB_NULL_POINTER;
+    case gb::Info::invalid_value: return GrB_INVALID_VALUE;
+    case gb::Info::invalid_index: return GrB_INVALID_INDEX;
+    case gb::Info::domain_mismatch: return GrB_DOMAIN_MISMATCH;
+    case gb::Info::dimension_mismatch: return GrB_DIMENSION_MISMATCH;
+    case gb::Info::output_not_empty: return GrB_OUTPUT_NOT_EMPTY;
+    case gb::Info::not_implemented: return GrB_NOT_IMPLEMENTED;
+    case gb::Info::panic: return GrB_PANIC;
+    case gb::Info::index_out_of_bounds: return GrB_INDEX_OUT_OF_BOUNDS;
+    case gb::Info::out_of_memory: return GrB_OUT_OF_MEMORY;
+    case gb::Info::insufficient_space: return GrB_INSUFFICIENT_SPACE;
+  }
+  return GrB_PANIC;
+}
+
+/// Execution-error conversion: the try/catch wrapper of §II-B.
+template <class F>
+GrB_Info guarded(F&& f) {
+  try {
+    return f();
+  } catch (const gb::Error& e) {
+    return map_info(e.info());
+  } catch (const std::bad_alloc&) {
+    return GrB_OUT_OF_MEMORY;
+  } catch (...) {
+    return GrB_PANIC;
+  }
+}
+
+// --- runtime-dispatched operator functors ------------------------------------
+// One switch per element beats one template instantiation per operator
+// combination at this layer; the C++ API remains the fully-inlined path.
+
+struct CBinary {
+  GrB_BinaryOp op;
+  double operator()(double a, double b) const {
+    switch (op) {
+      case GrB_PLUS_FP64: return a + b;
+      case GrB_MINUS_FP64: return a - b;
+      case GrB_TIMES_FP64: return a * b;
+      case GrB_DIV_FP64: return a / b;
+      case GrB_MIN_FP64: return b < a ? b : a;
+      case GrB_MAX_FP64: return a < b ? b : a;
+      case GrB_FIRST_FP64: return a;
+      case GrB_SECOND_FP64: return b;
+      case GrB_LOR: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+      case GrB_LAND: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+      case GrB_EQ_FP64: return a == b ? 1.0 : 0.0;
+      case GrB_NE_FP64: return a != b ? 1.0 : 0.0;
+      default: throw gb::Error(gb::Info::invalid_value, "unknown binary op");
+    }
+  }
+};
+
+struct CUnary {
+  GrB_UnaryOp op;
+  double operator()(double a) const {
+    switch (op) {
+      case GrB_IDENTITY_FP64: return a;
+      case GrB_AINV_FP64: return -a;
+      case GrB_MINV_FP64: return 1.0 / a;
+      case GrB_ABS_FP64: return a < 0.0 ? -a : a;
+      case GrB_ONE_FP64: return 1.0;
+      case GrB_LNOT: return a == 0.0 ? 1.0 : 0.0;
+      default: throw gb::Error(gb::Info::invalid_value, "unknown unary op");
+    }
+  }
+};
+
+gb::Monoid<double, CBinary> c_monoid(GrB_Monoid m) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  switch (m) {
+    case GrB_PLUS_MONOID_FP64:
+      return {CBinary{GrB_PLUS_FP64}, 0.0, std::nullopt};
+    case GrB_MIN_MONOID_FP64:
+      return {CBinary{GrB_MIN_FP64}, inf, -inf};
+    case GrB_MAX_MONOID_FP64:
+      return {CBinary{GrB_MAX_FP64}, -inf, inf};
+    case GrB_TIMES_MONOID_FP64:
+      return {CBinary{GrB_TIMES_FP64}, 1.0, 0.0};
+    case GrB_LOR_MONOID:
+      return {CBinary{GrB_LOR}, 0.0, 1.0};
+    case GrB_LAND_MONOID:
+      return {CBinary{GrB_LAND}, 1.0, 0.0};
+  }
+  throw gb::Error(gb::Info::invalid_value, "unknown monoid");
+}
+
+struct CMul {
+  GrB_Semiring sr;
+  double operator()(double a, double b) const {
+    switch (sr) {
+      case GrB_PLUS_TIMES_SEMIRING_FP64: return a * b;
+      case GrB_MIN_PLUS_SEMIRING_FP64: return a + b;
+      case GrB_MAX_MIN_SEMIRING_FP64: return b < a ? b : a;
+      case GrB_MIN_FIRST_SEMIRING_FP64: return a;
+      case GrB_MIN_SECOND_SEMIRING_FP64: return b;
+      case GrB_MAX_SECOND_SEMIRING_FP64: return b;
+      case GrB_PLUS_PAIR_SEMIRING_FP64: return 1.0;
+      case GrB_LOR_LAND_SEMIRING:
+        return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+      case GxB_ANY_FIRST_SEMIRING_FP64: return a;
+    }
+    throw gb::Error(gb::Info::invalid_value, "unknown semiring");
+  }
+};
+
+gb::Semiring<gb::Monoid<double, CBinary>, CMul> c_semiring(GrB_Semiring sr) {
+  GrB_Monoid add;
+  switch (sr) {
+    case GrB_PLUS_TIMES_SEMIRING_FP64:
+    case GrB_PLUS_PAIR_SEMIRING_FP64:
+      add = GrB_PLUS_MONOID_FP64;
+      break;
+    case GrB_MIN_PLUS_SEMIRING_FP64:
+    case GrB_MIN_FIRST_SEMIRING_FP64:
+    case GrB_MIN_SECOND_SEMIRING_FP64:
+    case GxB_ANY_FIRST_SEMIRING_FP64:  // ANY approximated by MIN at this layer
+      add = GrB_MIN_MONOID_FP64;
+      break;
+    case GrB_MAX_MIN_SEMIRING_FP64:
+    case GrB_MAX_SECOND_SEMIRING_FP64:
+      add = GrB_MAX_MONOID_FP64;
+      break;
+    case GrB_LOR_LAND_SEMIRING:
+      add = GrB_LOR_MONOID;
+      break;
+    default:
+      throw gb::Error(gb::Info::invalid_value, "unknown semiring");
+  }
+  return {c_monoid(add), CMul{sr}};
+}
+
+/// Invoke f with the right accumulator tag (compile-time 2-way split).
+template <class F>
+GrB_Info with_accum(GrB_BinaryOp accum, F&& f) {
+  if (accum == GrB_NULL_ACCUM) return f(gb::no_accum);
+  return f(CBinary{accum});
+}
+
+template <class F>
+GrB_Info with_mask(GrB_Matrix mask, F&& f) {
+  if (mask == nullptr) return f(gb::no_mask);
+  return f(mask->m);
+}
+
+template <class F>
+GrB_Info with_mask(GrB_Vector mask, F&& f) {
+  if (mask == nullptr) return f(gb::no_mask);
+  return f(mask->v);
+}
+
+gb::Descriptor c_desc(GrB_Descriptor d) {
+  return d ? d->d : gb::desc_default;
+}
+
+gb::IndexSel c_sel(const GrB_Index* idx, GrB_Index n) {
+  if (idx == GrB_ALL) return gb::IndexSel::all(n);
+  return gb::IndexSel(std::span<const gb::Index>(idx, n));
+}
+
+}  // namespace
+
+extern "C" {
+
+const GrB_Index* GrB_ALL = &grb_all_sentinel;
+
+/* --- lifetime ----------------------------------------------------------- */
+
+GrB_Info GrB_Matrix_new(GrB_Matrix* a, GrB_Index nrows, GrB_Index ncols) {
+  if (!a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *a = new GrB_Matrix_opaque{gb::Matrix<double>(nrows, ncols)};
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_free(GrB_Matrix* a) {
+  if (!a) return GrB_NULL_POINTER;
+  delete *a;
+  *a = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_dup(GrB_Matrix* out, GrB_Matrix a) {
+  if (!out || !a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *out = new GrB_Matrix_opaque{a->m.dup()};
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_clear(GrB_Matrix a) {
+  if (!a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    a->m.clear();
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_nrows(GrB_Index* n, GrB_Matrix a) {
+  if (!n || !a) return GrB_NULL_POINTER;
+  *n = a->m.nrows();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_ncols(GrB_Index* n, GrB_Matrix a) {
+  if (!n || !a) return GrB_NULL_POINTER;
+  *n = a->m.ncols();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Matrix_nvals(GrB_Index* n, GrB_Matrix a) {
+  if (!n || !a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *n = a->m.nvals();
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Index n) {
+  if (!v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *v = new GrB_Vector_opaque{gb::Vector<double>(n)};
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_free(GrB_Vector* v) {
+  if (!v) return GrB_NULL_POINTER;
+  delete *v;
+  *v = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_dup(GrB_Vector* out, GrB_Vector v) {
+  if (!out || !v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *out = new GrB_Vector_opaque{v->v};
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_clear(GrB_Vector v) {
+  if (!v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    v->v.clear();
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_size(GrB_Index* n, GrB_Vector v) {
+  if (!n || !v) return GrB_NULL_POINTER;
+  *n = v->v.size();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_nvals(GrB_Index* n, GrB_Vector v) {
+  if (!n || !v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *n = v->v.nvals();
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Descriptor_new(GrB_Descriptor* d) {
+  if (!d) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *d = new GrB_Descriptor_opaque{};
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Descriptor_free(GrB_Descriptor* d) {
+  if (!d) return GrB_NULL_POINTER;
+  delete *d;
+  *d = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Descriptor_set(GrB_Descriptor d, GrB_Desc_Field f,
+                            GrB_Desc_Value v) {
+  if (!d) return GrB_NULL_POINTER;
+  switch (f) {
+    case GrB_OUTP:
+      if (v == GrB_REPLACE) {
+        d->d.replace = true;
+      } else if (v == GrB_DEFAULT) {
+        d->d.replace = false;
+      } else {
+        return GrB_INVALID_VALUE;
+      }
+      return GrB_SUCCESS;
+    case GrB_MASK:
+      switch (v) {
+        case GrB_DEFAULT:
+          d->d.mask_complement = false;
+          d->d.mask_structural = false;
+          return GrB_SUCCESS;
+        case GrB_COMP:
+          d->d.mask_complement = true;
+          return GrB_SUCCESS;
+        case GrB_STRUCTURE:
+          d->d.mask_structural = true;
+          return GrB_SUCCESS;
+        case GrB_COMP_STRUCTURE:
+          d->d.mask_complement = true;
+          d->d.mask_structural = true;
+          return GrB_SUCCESS;
+        default:
+          return GrB_INVALID_VALUE;
+      }
+    case GrB_INP0:
+      if (v == GrB_TRAN) {
+        d->d.transpose_a = true;
+      } else if (v == GrB_DEFAULT) {
+        d->d.transpose_a = false;
+      } else {
+        return GrB_INVALID_VALUE;
+      }
+      return GrB_SUCCESS;
+    case GrB_INP1:
+      if (v == GrB_TRAN) {
+        d->d.transpose_b = true;
+      } else if (v == GrB_DEFAULT) {
+        d->d.transpose_b = false;
+      } else {
+        return GrB_INVALID_VALUE;
+      }
+      return GrB_SUCCESS;
+  }
+  return GrB_INVALID_VALUE;
+}
+
+/* --- element access ------------------------------------------------------ */
+
+GrB_Info GrB_Matrix_setElement_FP64(GrB_Matrix a, double x, GrB_Index i,
+                                    GrB_Index j) {
+  if (!a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    a->m.set_element(i, j, x);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_extractElement_FP64(double* x, GrB_Matrix a, GrB_Index i,
+                                        GrB_Index j) {
+  if (!x || !a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    auto v = a->m.extract_element(i, j);
+    if (!v) return GrB_NO_VALUE;
+    *x = *v;
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_removeElement(GrB_Matrix a, GrB_Index i, GrB_Index j) {
+  if (!a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    a->m.remove_element(i, j);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i) {
+  if (!v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    v->v.set_element(i, x);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v, GrB_Index i) {
+  if (!x || !v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    auto e = v->v.extract_element(i);
+    if (!e) return GrB_NO_VALUE;
+    *x = *e;
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i) {
+  if (!v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    v->v.remove_element(i);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_build_FP64(GrB_Matrix a, const GrB_Index* rows,
+                               const GrB_Index* cols, const double* vals,
+                               GrB_Index n, GrB_BinaryOp dup) {
+  if (!a || (!rows && n) || (!cols && n) || (!vals && n)) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    a->m.build(std::span<const gb::Index>(rows, n),
+               std::span<const gb::Index>(cols, n),
+               std::span<const double>(vals, n), CBinary{dup});
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_extractTuples_FP64(GrB_Index* rows, GrB_Index* cols,
+                                       double* vals, GrB_Index* n,
+                                       GrB_Matrix a) {
+  if (!rows || !cols || !vals || !n || !a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    std::vector<gb::Index> r, c;
+    std::vector<double> v;
+    a->m.extract_tuples(r, c, v);
+    if (*n < r.size()) return GrB_INSUFFICIENT_SPACE;
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      rows[k] = r[k];
+      cols[k] = c[k];
+      vals[k] = v[k];
+    }
+    *n = r.size();
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_build_FP64(GrB_Vector v, const GrB_Index* idx,
+                               const double* vals, GrB_Index n,
+                               GrB_BinaryOp dup) {
+  if (!v || (!idx && n) || (!vals && n)) return GrB_NULL_POINTER;
+  return guarded([&] {
+    v->v.build(std::span<const gb::Index>(idx, n),
+               std::span<const double>(vals, n), CBinary{dup});
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_wait(GrB_Matrix a) {
+  if (!a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    a->m.wait();
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_wait(GrB_Vector v) {
+  if (!v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    v->v.wait();
+    return GrB_SUCCESS;
+  });
+}
+
+/* --- operations ----------------------------------------------------------- */
+
+GrB_Info GrB_mxm(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                 GrB_Semiring sr, GrB_Matrix a, GrB_Matrix b,
+                 GrB_Descriptor desc) {
+  if (!c || !a || !b) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::mxm(c->m, mk, acc, c_semiring(sr), a->m, b->m, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_mxv(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                 GrB_Semiring sr, GrB_Matrix a, GrB_Vector u,
+                 GrB_Descriptor desc) {
+  if (!w || !a || !u) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::mxv(w->v, mk, acc, c_semiring(sr), a->m, u->v, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                 GrB_Semiring sr, GrB_Vector u, GrB_Matrix a,
+                 GrB_Descriptor desc) {
+  if (!w || !a || !u) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::vxm(w->v, mk, acc, c_semiring(sr), u->v, a->m, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Matrix_eWiseAdd(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                             GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
+                             GrB_Descriptor desc) {
+  if (!c || !a || !b) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::ewise_add(c->m, mk, acc, CBinary{op}, a->m, b->m, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Matrix_eWiseMult(GrB_Matrix c, GrB_Matrix mask,
+                              GrB_BinaryOp accum, GrB_BinaryOp op,
+                              GrB_Matrix a, GrB_Matrix b, GrB_Descriptor desc) {
+  if (!c || !a || !b) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::ewise_mult(c->m, mk, acc, CBinary{op}, a->m, b->m, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Vector_eWiseAdd(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                             GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
+                             GrB_Descriptor desc) {
+  if (!w || !u || !v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::ewise_add(w->v, mk, acc, CBinary{op}, u->v, v->v, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Vector_eWiseMult(GrB_Vector w, GrB_Vector mask,
+                              GrB_BinaryOp accum, GrB_BinaryOp op,
+                              GrB_Vector u, GrB_Vector v, GrB_Descriptor desc) {
+  if (!w || !u || !v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::ewise_mult(w->v, mk, acc, CBinary{op}, u->v, v->v, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Matrix_reduce_Vector(GrB_Vector w, GrB_Vector mask,
+                                  GrB_BinaryOp accum, GrB_Monoid m,
+                                  GrB_Matrix a, GrB_Descriptor desc) {
+  if (!w || !a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::reduce(w->v, mk, acc, c_monoid(m), a->m, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Matrix_reduce_FP64(double* x, GrB_Monoid m, GrB_Matrix a) {
+  if (!x || !a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *x = gb::reduce_scalar(c_monoid(m), a->m);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Vector_reduce_FP64(double* x, GrB_Monoid m, GrB_Vector v) {
+  if (!x || !v) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *x = gb::reduce_scalar(c_monoid(m), v->v);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GrB_Matrix_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                          GrB_UnaryOp op, GrB_Matrix a, GrB_Descriptor desc) {
+  if (!c || !a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::apply(c->m, mk, acc, CUnary{op}, a->m, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                          GrB_UnaryOp op, GrB_Vector u, GrB_Descriptor desc) {
+  if (!w || !u) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::apply(w->v, mk, acc, CUnary{op}, u->v, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_transpose(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                       GrB_Matrix a, GrB_Descriptor desc) {
+  if (!c || !a) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::transpose(c->m, mk, acc, a->m, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Matrix_extract(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                            GrB_Matrix a, const GrB_Index* rows,
+                            GrB_Index nrows, const GrB_Index* cols,
+                            GrB_Index ncols, GrB_Descriptor desc) {
+  if (!c || !a || !rows || !cols) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::extract(c->m, mk, acc, a->m, c_sel(rows, nrows),
+                    c_sel(cols, ncols), c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Vector_extract(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                            GrB_Vector u, const GrB_Index* idx, GrB_Index n,
+                            GrB_Descriptor desc) {
+  if (!w || !u || !idx) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::extract(w->v, mk, acc, u->v, c_sel(idx, n), c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Matrix_assign(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                           GrB_Matrix a, const GrB_Index* rows,
+                           GrB_Index nrows, const GrB_Index* cols,
+                           GrB_Index ncols, GrB_Descriptor desc) {
+  if (!c || !a || !rows || !cols) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::assign(c->m, mk, acc, a->m, c_sel(rows, nrows), c_sel(cols, ncols),
+                   c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Vector_assign(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                           GrB_Vector u, const GrB_Index* idx, GrB_Index n,
+                           GrB_Descriptor desc) {
+  if (!w || !u || !idx) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::assign(w->v, mk, acc, u->v, c_sel(idx, n), c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Vector_assign_FP64(GrB_Vector w, GrB_Vector mask,
+                                GrB_BinaryOp accum, double x,
+                                const GrB_Index* idx, GrB_Index n,
+                                GrB_Descriptor desc) {
+  if (!w || !idx) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::assign_scalar(w->v, mk, acc, x, c_sel(idx, n), c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_Matrix_assign_FP64(GrB_Matrix c, GrB_Matrix mask,
+                                GrB_BinaryOp accum, double x,
+                                const GrB_Index* rows, GrB_Index nrows,
+                                const GrB_Index* cols, GrB_Index ncols,
+                                GrB_Descriptor desc) {
+  if (!c || !rows || !cols) return GrB_NULL_POINTER;
+  return guarded([&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::assign_scalar(c->m, mk, acc, x, c_sel(rows, nrows),
+                          c_sel(cols, ncols), c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+}  // extern "C"

@@ -1,0 +1,225 @@
+/* GraphBLAS C API front end — the §II-B (IBM GraphBLAS) architecture:
+ * a C-callable include file that "exposes nothing of the internals of the
+ * run-time", over a back end written in C++. API errors are detected by
+ * explicit checks in this layer; execution errors surface as C++ exceptions
+ * in the back end and are converted to GrB_Info codes by a try/catch wrapper
+ * around every method body.
+ *
+ * Scope: the FP64 domain (the paper's algorithms run on FP64/BOOL; masks
+ * accept any stored values), the predefined operator/monoid/semiring handles
+ * LAGraph uses, and the full Table-I operation set. This is the
+ * *nonpolymorphic* interface; the polymorphic macro layer of the C spec is
+ * a preprocessor exercise on top of these entry points.
+ */
+#ifndef LAGRAPH_REPRO_GRAPHBLAS_C_H
+#define LAGRAPH_REPRO_GRAPHBLAS_C_H
+
+#include <stdbool.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef uint64_t GrB_Index;
+
+typedef enum {
+  GrB_SUCCESS = 0,
+  GrB_NO_VALUE,
+  GrB_UNINITIALIZED_OBJECT,
+  GrB_NULL_POINTER,
+  GrB_INVALID_VALUE,
+  GrB_INVALID_INDEX,
+  GrB_DOMAIN_MISMATCH,
+  GrB_DIMENSION_MISMATCH,
+  GrB_OUTPUT_NOT_EMPTY,
+  GrB_NOT_IMPLEMENTED,
+  GrB_PANIC,
+  GrB_INDEX_OUT_OF_BOUNDS,
+  GrB_OUT_OF_MEMORY,
+  GrB_INSUFFICIENT_SPACE
+} GrB_Info;
+
+/* Opaque handles (the contract of §II: "the core data structures are
+ * opaque; implementations are free to choose their own"). */
+typedef struct GrB_Matrix_opaque* GrB_Matrix;
+typedef struct GrB_Vector_opaque* GrB_Vector;
+typedef struct GrB_Descriptor_opaque* GrB_Descriptor;
+
+/* Predefined operator handles (FP64 domain unless noted). */
+typedef enum {
+  GrB_IDENTITY_FP64,
+  GrB_AINV_FP64,
+  GrB_MINV_FP64,
+  GrB_ABS_FP64,
+  GrB_ONE_FP64,
+  GrB_LNOT
+} GrB_UnaryOp;
+
+typedef enum {
+  GrB_PLUS_FP64,
+  GrB_MINUS_FP64,
+  GrB_TIMES_FP64,
+  GrB_DIV_FP64,
+  GrB_MIN_FP64,
+  GrB_MAX_FP64,
+  GrB_FIRST_FP64,
+  GrB_SECOND_FP64,
+  GrB_LOR,
+  GrB_LAND,
+  GrB_EQ_FP64,
+  GrB_NE_FP64
+} GrB_BinaryOp;
+
+/* GrB_NULL for the accumulator argument. */
+#define GrB_NULL_ACCUM ((GrB_BinaryOp)-1)
+
+typedef enum {
+  GrB_PLUS_MONOID_FP64,
+  GrB_MIN_MONOID_FP64,
+  GrB_MAX_MONOID_FP64,
+  GrB_TIMES_MONOID_FP64,
+  GrB_LOR_MONOID,
+  GrB_LAND_MONOID
+} GrB_Monoid;
+
+typedef enum {
+  GrB_PLUS_TIMES_SEMIRING_FP64,
+  GrB_MIN_PLUS_SEMIRING_FP64,
+  GrB_MAX_MIN_SEMIRING_FP64,
+  GrB_MIN_FIRST_SEMIRING_FP64,
+  GrB_MIN_SECOND_SEMIRING_FP64,
+  GrB_MAX_SECOND_SEMIRING_FP64,
+  GrB_PLUS_PAIR_SEMIRING_FP64,
+  GrB_LOR_LAND_SEMIRING,
+  GxB_ANY_FIRST_SEMIRING_FP64
+} GrB_Semiring;
+
+/* Descriptor fields / values (GrB_Descriptor_set). */
+typedef enum {
+  GrB_OUTP,
+  GrB_MASK,
+  GrB_INP0,
+  GrB_INP1
+} GrB_Desc_Field;
+
+typedef enum {
+  GrB_DEFAULT,
+  GrB_REPLACE,
+  GrB_COMP,
+  GrB_STRUCTURE,
+  GrB_COMP_STRUCTURE,
+  GrB_TRAN
+} GrB_Desc_Value;
+
+/* GrB_ALL sentinel for index arrays. */
+extern const GrB_Index* GrB_ALL;
+
+/* --- object lifetime --------------------------------------------------- */
+GrB_Info GrB_Matrix_new(GrB_Matrix* a, GrB_Index nrows, GrB_Index ncols);
+GrB_Info GrB_Matrix_free(GrB_Matrix* a);
+GrB_Info GrB_Matrix_dup(GrB_Matrix* out, GrB_Matrix a);
+GrB_Info GrB_Matrix_clear(GrB_Matrix a);
+GrB_Info GrB_Matrix_nrows(GrB_Index* n, GrB_Matrix a);
+GrB_Info GrB_Matrix_ncols(GrB_Index* n, GrB_Matrix a);
+GrB_Info GrB_Matrix_nvals(GrB_Index* n, GrB_Matrix a);
+
+GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Index n);
+GrB_Info GrB_Vector_free(GrB_Vector* v);
+GrB_Info GrB_Vector_dup(GrB_Vector* out, GrB_Vector v);
+GrB_Info GrB_Vector_clear(GrB_Vector v);
+GrB_Info GrB_Vector_size(GrB_Index* n, GrB_Vector v);
+GrB_Info GrB_Vector_nvals(GrB_Index* n, GrB_Vector v);
+
+GrB_Info GrB_Descriptor_new(GrB_Descriptor* d);
+GrB_Info GrB_Descriptor_free(GrB_Descriptor* d);
+GrB_Info GrB_Descriptor_set(GrB_Descriptor d, GrB_Desc_Field f,
+                            GrB_Desc_Value v);
+
+/* --- element access ------------------------------------------------------ */
+GrB_Info GrB_Matrix_setElement_FP64(GrB_Matrix a, double x, GrB_Index i,
+                                    GrB_Index j);
+GrB_Info GrB_Matrix_extractElement_FP64(double* x, GrB_Matrix a, GrB_Index i,
+                                        GrB_Index j);
+GrB_Info GrB_Matrix_removeElement(GrB_Matrix a, GrB_Index i, GrB_Index j);
+GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i);
+GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v, GrB_Index i);
+GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i);
+
+GrB_Info GrB_Matrix_build_FP64(GrB_Matrix a, const GrB_Index* rows,
+                               const GrB_Index* cols, const double* vals,
+                               GrB_Index n, GrB_BinaryOp dup);
+GrB_Info GrB_Matrix_extractTuples_FP64(GrB_Index* rows, GrB_Index* cols,
+                                       double* vals, GrB_Index* n,
+                                       GrB_Matrix a);
+GrB_Info GrB_Vector_build_FP64(GrB_Vector v, const GrB_Index* idx,
+                               const double* vals, GrB_Index n,
+                               GrB_BinaryOp dup);
+
+GrB_Info GrB_Matrix_wait(GrB_Matrix a);
+GrB_Info GrB_Vector_wait(GrB_Vector v);
+
+/* --- Table-I operations --------------------------------------------------
+ * mask may be NULL (no mask); accum may be GrB_NULL_ACCUM; desc may be
+ * NULL (defaults). */
+GrB_Info GrB_mxm(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                 GrB_Semiring sr, GrB_Matrix a, GrB_Matrix b,
+                 GrB_Descriptor desc);
+GrB_Info GrB_mxv(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                 GrB_Semiring sr, GrB_Matrix a, GrB_Vector u,
+                 GrB_Descriptor desc);
+GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                 GrB_Semiring sr, GrB_Vector u, GrB_Matrix a,
+                 GrB_Descriptor desc);
+GrB_Info GrB_Matrix_eWiseAdd(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                             GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
+                             GrB_Descriptor desc);
+GrB_Info GrB_Matrix_eWiseMult(GrB_Matrix c, GrB_Matrix mask,
+                              GrB_BinaryOp accum, GrB_BinaryOp op,
+                              GrB_Matrix a, GrB_Matrix b, GrB_Descriptor desc);
+GrB_Info GrB_Vector_eWiseAdd(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                             GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
+                             GrB_Descriptor desc);
+GrB_Info GrB_Vector_eWiseMult(GrB_Vector w, GrB_Vector mask,
+                              GrB_BinaryOp accum, GrB_BinaryOp op,
+                              GrB_Vector u, GrB_Vector v, GrB_Descriptor desc);
+GrB_Info GrB_Matrix_reduce_Vector(GrB_Vector w, GrB_Vector mask,
+                                  GrB_BinaryOp accum, GrB_Monoid m,
+                                  GrB_Matrix a, GrB_Descriptor desc);
+GrB_Info GrB_Matrix_reduce_FP64(double* x, GrB_Monoid m, GrB_Matrix a);
+GrB_Info GrB_Vector_reduce_FP64(double* x, GrB_Monoid m, GrB_Vector v);
+GrB_Info GrB_Matrix_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                          GrB_UnaryOp op, GrB_Matrix a, GrB_Descriptor desc);
+GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                          GrB_UnaryOp op, GrB_Vector u, GrB_Descriptor desc);
+GrB_Info GrB_transpose(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                       GrB_Matrix a, GrB_Descriptor desc);
+GrB_Info GrB_Matrix_extract(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                            GrB_Matrix a, const GrB_Index* rows,
+                            GrB_Index nrows, const GrB_Index* cols,
+                            GrB_Index ncols, GrB_Descriptor desc);
+GrB_Info GrB_Vector_extract(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                            GrB_Vector u, const GrB_Index* idx, GrB_Index n,
+                            GrB_Descriptor desc);
+GrB_Info GrB_Matrix_assign(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                           GrB_Matrix a, const GrB_Index* rows,
+                           GrB_Index nrows, const GrB_Index* cols,
+                           GrB_Index ncols, GrB_Descriptor desc);
+GrB_Info GrB_Vector_assign(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
+                           GrB_Vector u, const GrB_Index* idx, GrB_Index n,
+                           GrB_Descriptor desc);
+GrB_Info GrB_Vector_assign_FP64(GrB_Vector w, GrB_Vector mask,
+                                GrB_BinaryOp accum, double x,
+                                const GrB_Index* idx, GrB_Index n,
+                                GrB_Descriptor desc);
+GrB_Info GrB_Matrix_assign_FP64(GrB_Matrix c, GrB_Matrix mask,
+                                GrB_BinaryOp accum, double x,
+                                const GrB_Index* rows, GrB_Index nrows,
+                                const GrB_Index* cols, GrB_Index ncols,
+                                GrB_Descriptor desc);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* LAGRAPH_REPRO_GRAPHBLAS_C_H */

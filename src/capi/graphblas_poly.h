@@ -1,0 +1,125 @@
+/* The polymorphic layer of the C API — §II-B: "One of the jobs of the
+ * GraphBLAS.h include file is to convert the polymorphic version of the API
+ * into the nonpolymorphic one... accomplished through standard C
+ * preprocessor features, primarily in supporting number-of-arguments
+ * polymorphism, in combination with the standard C11 language _Generic
+ * construct to support type polymorphism."
+ *
+ * In C, _Generic dispatches on the handle type; in C++, plain overloads do
+ * the same job, so one header serves both kinds of user program.
+ */
+#ifndef LAGRAPH_REPRO_GRAPHBLAS_POLY_H
+#define LAGRAPH_REPRO_GRAPHBLAS_POLY_H
+
+#include "capi/graphblas_c.h"
+
+#ifdef __cplusplus
+
+/* C++: overloads. */
+inline GrB_Info GrB_free(GrB_Matrix* a) { return GrB_Matrix_free(a); }
+inline GrB_Info GrB_free(GrB_Vector* v) { return GrB_Vector_free(v); }
+inline GrB_Info GrB_free(GrB_Descriptor* d) { return GrB_Descriptor_free(d); }
+
+inline GrB_Info GrB_setElement(GrB_Matrix a, double x, GrB_Index i,
+                               GrB_Index j) {
+  return GrB_Matrix_setElement_FP64(a, x, i, j);
+}
+inline GrB_Info GrB_setElement(GrB_Vector v, double x, GrB_Index i) {
+  return GrB_Vector_setElement_FP64(v, x, i);
+}
+
+inline GrB_Info GrB_extractElement(double* x, GrB_Matrix a, GrB_Index i,
+                                   GrB_Index j) {
+  return GrB_Matrix_extractElement_FP64(x, a, i, j);
+}
+inline GrB_Info GrB_extractElement(double* x, GrB_Vector v, GrB_Index i) {
+  return GrB_Vector_extractElement_FP64(x, v, i);
+}
+
+inline GrB_Info GrB_nvals(GrB_Index* n, GrB_Matrix a) {
+  return GrB_Matrix_nvals(n, a);
+}
+inline GrB_Info GrB_nvals(GrB_Index* n, GrB_Vector v) {
+  return GrB_Vector_nvals(n, v);
+}
+
+inline GrB_Info GrB_eWiseAdd(GrB_Matrix c, GrB_Matrix m, GrB_BinaryOp acc,
+                             GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
+                             GrB_Descriptor d) {
+  return GrB_Matrix_eWiseAdd(c, m, acc, op, a, b, d);
+}
+inline GrB_Info GrB_eWiseAdd(GrB_Vector w, GrB_Vector m, GrB_BinaryOp acc,
+                             GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
+                             GrB_Descriptor d) {
+  return GrB_Vector_eWiseAdd(w, m, acc, op, u, v, d);
+}
+
+inline GrB_Info GrB_eWiseMult(GrB_Matrix c, GrB_Matrix m, GrB_BinaryOp acc,
+                              GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
+                              GrB_Descriptor d) {
+  return GrB_Matrix_eWiseMult(c, m, acc, op, a, b, d);
+}
+inline GrB_Info GrB_eWiseMult(GrB_Vector w, GrB_Vector m, GrB_BinaryOp acc,
+                              GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
+                              GrB_Descriptor d) {
+  return GrB_Vector_eWiseMult(w, m, acc, op, u, v, d);
+}
+
+inline GrB_Info GrB_apply(GrB_Matrix c, GrB_Matrix m, GrB_BinaryOp acc,
+                          GrB_UnaryOp op, GrB_Matrix a, GrB_Descriptor d) {
+  return GrB_Matrix_apply(c, m, acc, op, a, d);
+}
+inline GrB_Info GrB_apply(GrB_Vector w, GrB_Vector m, GrB_BinaryOp acc,
+                          GrB_UnaryOp op, GrB_Vector u, GrB_Descriptor d) {
+  return GrB_Vector_apply(w, m, acc, op, u, d);
+}
+
+inline GrB_Info GrB_wait(GrB_Matrix a) { return GrB_Matrix_wait(a); }
+inline GrB_Info GrB_wait(GrB_Vector v) { return GrB_Vector_wait(v); }
+
+#else /* C11 _Generic dispatch */
+
+#define GrB_free(obj)                                  \
+  _Generic((obj),                                      \
+      GrB_Matrix*: GrB_Matrix_free,                    \
+      GrB_Vector*: GrB_Vector_free,                    \
+      GrB_Descriptor*: GrB_Descriptor_free)(obj)
+
+/* Number-of-arguments polymorphism: matrix setElement has 4 args, vector 3. */
+#define GRB_POLY_SELECT5(_1, _2, _3, _4, NAME, ...) NAME
+#define GrB_setElement(...)                                            \
+  GRB_POLY_SELECT5(__VA_ARGS__, GrB_Matrix_setElement_FP64,            \
+                   GrB_Vector_setElement_FP64, )(__VA_ARGS__)
+
+#define GrB_extractElement(...)                                        \
+  GRB_POLY_SELECT5(__VA_ARGS__, GrB_Matrix_extractElement_FP64,        \
+                   GrB_Vector_extractElement_FP64, )(__VA_ARGS__)
+
+#define GrB_nvals(n, obj)                              \
+  _Generic((obj),                                      \
+      GrB_Matrix: GrB_Matrix_nvals,                    \
+      GrB_Vector: GrB_Vector_nvals)((n), (obj))
+
+#define GrB_eWiseAdd(c, m, acc, op, a, b, d)           \
+  _Generic((c),                                        \
+      GrB_Matrix: GrB_Matrix_eWiseAdd,                 \
+      GrB_Vector: GrB_Vector_eWiseAdd)((c), (m), (acc), (op), (a), (b), (d))
+
+#define GrB_eWiseMult(c, m, acc, op, a, b, d)          \
+  _Generic((c),                                        \
+      GrB_Matrix: GrB_Matrix_eWiseMult,                \
+      GrB_Vector: GrB_Vector_eWiseMult)((c), (m), (acc), (op), (a), (b), (d))
+
+#define GrB_apply(c, m, acc, op, a, d)                 \
+  _Generic((c),                                        \
+      GrB_Matrix: GrB_Matrix_apply,                    \
+      GrB_Vector: GrB_Vector_apply)((c), (m), (acc), (op), (a), (d))
+
+#define GrB_wait(obj)                                  \
+  _Generic((obj),                                      \
+      GrB_Matrix: GrB_Matrix_wait,                     \
+      GrB_Vector: GrB_Vector_wait)(obj)
+
+#endif /* __cplusplus */
+
+#endif /* LAGRAPH_REPRO_GRAPHBLAS_POLY_H */

@@ -1,0 +1,86 @@
+// GrB_apply: C<M> accum= f(A), elementwise unary transform (Table I "apply"),
+// plus the index-unary variants (GrB_apply with GrB_IndexUnaryOp).
+#pragma once
+
+#include <vector>
+
+#include "graphblas/mask_accum.hpp"
+#include "graphblas/store_utils.hpp"
+
+namespace gb {
+
+/// w<m> accum= f(u).
+template <class CT, class MaskArg, class Accum, class UnaryOp, class UT>
+void apply(Vector<CT>& w, const MaskArg& mask, const Accum& accum, UnaryOp f,
+           const Vector<UT>& u, const Descriptor& desc = desc_default) {
+  check_dims(w.size() == u.size(), "apply: w/u size");
+  auto ui = u.indices();
+  auto uv = u.values();
+  using ZT = std::decay_t<decltype(f(uv[0]))>;
+  std::vector<Index> ti(ui.begin(), ui.end());
+  std::vector<ZT> tv(uv.size());
+  for (std::size_t k = 0; k < uv.size(); ++k) tv[k] = f(uv[k]);
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+}
+
+/// C<M> accum= f(op(A)).
+template <class CT, class MaskArg, class Accum, class UnaryOp, class AT>
+void apply(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, UnaryOp f,
+           const Matrix<AT>& a, const Descriptor& desc = desc_default) {
+  check_dims(c.nrows() == input_nrows(a, desc.transpose_a) &&
+                 c.ncols() == input_ncols(a, desc.transpose_a),
+             "apply: C/A shape");
+  const auto& s = input_rows(a, desc.transpose_a);
+  using ZT = std::decay_t<decltype(f(s.x[0]))>;
+  SparseStore<ZT> t(s.vdim);
+  t.hyper = s.hyper;
+  t.h = s.h;
+  t.p = s.p;
+  t.i = s.i;
+  t.x.resize(s.x.size());
+  for (std::size_t k = 0; k < s.x.size(); ++k) t.x[k] = f(s.x[k]);
+  write_back(c, mask, accum, std::move(t), desc);
+}
+
+/// w<m> accum= f(u, i, 0, thunk) — index-unary apply on a vector.
+template <class CT, class MaskArg, class Accum, class IdxOp, class UT, class S>
+void apply_indexop(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
+                   IdxOp f, const Vector<UT>& u, S thunk,
+                   const Descriptor& desc = desc_default) {
+  check_dims(w.size() == u.size(), "apply_indexop: w/u size");
+  auto ui = u.indices();
+  auto uv = u.values();
+  using ZT = std::decay_t<decltype(f(uv[0], Index{0}, Index{0}, thunk))>;
+  std::vector<Index> ti(ui.begin(), ui.end());
+  std::vector<ZT> tv(uv.size());
+  for (std::size_t k = 0; k < uv.size(); ++k)
+    tv[k] = f(uv[k], ui[k], Index{0}, thunk);
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+}
+
+/// C<M> accum= f(op(A), i, j, thunk) — index-unary apply on a matrix.
+template <class CT, class MaskArg, class Accum, class IdxOp, class AT, class S>
+void apply_indexop(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
+                   IdxOp f, const Matrix<AT>& a, S thunk,
+                   const Descriptor& desc = desc_default) {
+  check_dims(c.nrows() == input_nrows(a, desc.transpose_a) &&
+                 c.ncols() == input_ncols(a, desc.transpose_a),
+             "apply_indexop: C/A shape");
+  const auto& s = input_rows(a, desc.transpose_a);
+  using ZT = std::decay_t<decltype(f(s.x[0], Index{0}, Index{0}, thunk))>;
+  SparseStore<ZT> t(s.vdim);
+  t.hyper = s.hyper;
+  t.h = s.h;
+  t.p = s.p;
+  t.i = s.i;
+  t.x.resize(s.x.size());
+  for (Index k = 0; k < s.nvec(); ++k) {
+    Index row = s.vec_id(k);
+    for (Index pos = s.vec_begin(k); pos < s.vec_end(k); ++pos) {
+      t.x[pos] = f(s.x[pos], row, s.i[pos], thunk);
+    }
+  }
+  write_back(c, mask, accum, std::move(t), desc);
+}
+
+}  // namespace gb

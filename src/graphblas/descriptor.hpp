@@ -1,0 +1,70 @@
+// Descriptor: the per-call option block of the GraphBLAS C API (GrB_Descriptor)
+// plus the implementation-specific method selectors SuiteSparse exposes via
+// GxB options (mxm method, direction-optimisation control).
+#pragma once
+
+#include <cstdint>
+
+namespace gb {
+
+/// Which mxm kernel to run. `auto_select` applies the heuristic described in
+/// §II-A: dot when the output (or mask) is small and B is tall, Gustavson for
+/// general saxpy work, heap when A's rows are very sparse.
+enum class MxmMethod : std::uint8_t { auto_select, gustavson, dot, heap };
+
+/// Which mxv/vxm traversal to run. `auto_select` is the GraphBLAST
+/// direction-optimisation rule (§II-E): switch push→pull when the input
+/// vector's density crosses the threshold, pull→push when it drops back, and
+/// otherwise keep the previous iteration's direction.
+enum class MxvMethod : std::uint8_t { auto_select, push, pull };
+
+struct Descriptor {
+  // GrB_OUTP
+  bool replace = false;        // clear C before writing the masked result
+  // GrB_MASK
+  bool mask_complement = false;
+  bool mask_structural = false;  // use the mask's pattern, ignore values
+  // GrB_INP0 / GrB_INP1
+  bool transpose_a = false;
+  bool transpose_b = false;
+
+  // GxB method selectors.
+  MxmMethod mxm = MxmMethod::auto_select;
+  MxvMethod mxv = MxvMethod::auto_select;
+
+  /// Density threshold for the push→pull switch (fraction of nrows). The
+  /// GraphBLAST backend uses a constant k; 1/32 reproduces its behaviour on
+  /// scale-free graphs.
+  double push_pull_threshold = 1.0 / 32.0;
+};
+
+/// Convenience descriptors mirroring the C API's predefined GrB_DESC_* set.
+inline constexpr Descriptor desc_default{};
+inline constexpr Descriptor desc_r{.replace = true};
+inline constexpr Descriptor desc_c{.mask_complement = true};
+inline constexpr Descriptor desc_rc{.replace = true, .mask_complement = true};
+inline constexpr Descriptor desc_s{.mask_structural = true};
+inline constexpr Descriptor desc_rs{.replace = true, .mask_structural = true};
+inline constexpr Descriptor desc_rsc{.replace = true, .mask_complement = true,
+                                     .mask_structural = true};
+inline constexpr Descriptor desc_sc{.mask_complement = true,
+                                    .mask_structural = true};
+inline constexpr Descriptor desc_t0{.transpose_a = true};
+inline constexpr Descriptor desc_t1{.transpose_b = true};
+inline constexpr Descriptor desc_t0t1{.transpose_a = true, .transpose_b = true};
+
+/// Tag type meaning "no mask" (GrB_NULL in the C API's mask argument).
+struct NoMask {};
+inline constexpr NoMask no_mask{};
+
+/// Tag type meaning "no accumulator".
+struct NoAccum {};
+inline constexpr NoAccum no_accum{};
+
+template <class A>
+inline constexpr bool is_accum = !std::is_same_v<std::decay_t<A>, NoAccum>;
+
+template <class M>
+inline constexpr bool is_masked = !std::is_same_v<std::decay_t<M>, NoMask>;
+
+}  // namespace gb

@@ -1,0 +1,195 @@
+// GrB_eWiseAdd (pattern union) and GrB_eWiseMult (pattern intersection),
+// vector and matrix forms (Table I). "Add" and "multiply" refer to the
+// pattern semantics, not the operator — any binary op may be used for
+// either, per the spec.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/mask_accum.hpp"
+#include "graphblas/store_utils.hpp"
+
+namespace gb {
+
+namespace detail {
+
+/// Union-merge two sorted coordinate lists with `op` where both present.
+template <class Op, class AT, class BT,
+          class ZT = std::decay_t<decltype(std::declval<Op>()(
+              std::declval<AT>(), std::declval<BT>()))>>
+void union_merge(std::span<const Index> ai, std::span<const AT> av,
+                 std::span<const Index> bi, std::span<const BT> bv, Op op,
+                 std::vector<Index>& ti, std::vector<ZT>& tv) {
+  ti.reserve(ai.size() + bi.size());
+  tv.reserve(ai.size() + bi.size());
+  std::size_t a = 0, b = 0;
+  while (a < ai.size() || b < bi.size()) {
+    if (b >= bi.size() || (a < ai.size() && ai[a] < bi[b])) {
+      ti.push_back(ai[a]);
+      tv.push_back(static_cast<ZT>(av[a]));
+      ++a;
+    } else if (a >= ai.size() || bi[b] < ai[a]) {
+      ti.push_back(bi[b]);
+      tv.push_back(static_cast<ZT>(bv[b]));
+      ++b;
+    } else {
+      ti.push_back(ai[a]);
+      tv.push_back(static_cast<ZT>(op(av[a], bv[b])));
+      ++a;
+      ++b;
+    }
+  }
+}
+
+/// Intersection-merge two sorted coordinate lists.
+template <class Op, class AT, class BT,
+          class ZT = std::decay_t<decltype(std::declval<Op>()(
+              std::declval<AT>(), std::declval<BT>()))>>
+void intersect_merge(std::span<const Index> ai, std::span<const AT> av,
+                     std::span<const Index> bi, std::span<const BT> bv, Op op,
+                     std::vector<Index>& ti, std::vector<ZT>& tv) {
+  std::size_t a = 0, b = 0;
+  while (a < ai.size() && b < bi.size()) {
+    if (ai[a] < bi[b]) {
+      ++a;
+    } else if (bi[b] < ai[a]) {
+      ++b;
+    } else {
+      ti.push_back(ai[a]);
+      tv.push_back(static_cast<ZT>(op(av[a], bv[b])));
+      ++a;
+      ++b;
+    }
+  }
+}
+
+/// Row-wise merge of two row-major stores into a hypersparse result store.
+/// `kind` selects union or intersection.
+enum class MergeKind { union_, intersect };
+
+template <class Op, class AT, class BT,
+          class ZT = std::decay_t<decltype(std::declval<Op>()(
+              std::declval<AT>(), std::declval<BT>()))>>
+SparseStore<ZT> merge_stores(const SparseStore<AT>& a, const SparseStore<BT>& b,
+                             Op op, MergeKind kind) {
+  SparseStore<ZT> t(a.vdim);
+  t.hyper = true;
+  t.p.assign(1, 0);
+  Index ka = 0, kb = 0;
+  while (ka < a.nvec() || kb < b.nvec()) {
+    Index ra = ka < a.nvec() ? a.vec_id(ka) : all_indices;
+    Index rb = kb < b.nvec() ? b.vec_id(kb) : all_indices;
+    Index r = ra < rb ? ra : rb;
+    Index aa = 0, ae = 0, ba = 0, be = 0;
+    if (ra == r) {
+      aa = a.vec_begin(ka);
+      ae = a.vec_end(ka);
+      ++ka;
+    }
+    if (rb == r) {
+      ba = b.vec_begin(kb);
+      be = b.vec_end(kb);
+      ++kb;
+    }
+    if (kind == MergeKind::union_) {
+      while (aa < ae || ba < be) {
+        if (ba >= be || (aa < ae && a.i[aa] < b.i[ba])) {
+          t.i.push_back(a.i[aa]);
+          t.x.push_back(static_cast<ZT>(a.x[aa]));
+          ++aa;
+        } else if (aa >= ae || b.i[ba] < a.i[aa]) {
+          t.i.push_back(b.i[ba]);
+          t.x.push_back(static_cast<ZT>(b.x[ba]));
+          ++ba;
+        } else {
+          t.i.push_back(a.i[aa]);
+          t.x.push_back(static_cast<ZT>(op(a.x[aa], b.x[ba])));
+          ++aa;
+          ++ba;
+        }
+      }
+    } else {
+      while (aa < ae && ba < be) {
+        if (a.i[aa] < b.i[ba]) {
+          ++aa;
+        } else if (b.i[ba] < a.i[aa]) {
+          ++ba;
+        } else {
+          t.i.push_back(a.i[aa]);
+          t.x.push_back(static_cast<ZT>(op(a.x[aa], b.x[ba])));
+          ++aa;
+          ++ba;
+        }
+      }
+    }
+    if (static_cast<Index>(t.i.size()) > t.p.back()) {
+      t.h.push_back(r);
+      t.p.push_back(static_cast<Index>(t.i.size()));
+    }
+  }
+  return t;
+}
+
+}  // namespace detail
+
+/// w<m> accum= u ⊕ v (pattern union).
+template <class CT, class MaskArg, class Accum, class Op, class UT, class VT>
+void ewise_add(Vector<CT>& w, const MaskArg& mask, const Accum& accum, Op op,
+               const Vector<UT>& u, const Vector<VT>& v,
+               const Descriptor& desc = desc_default) {
+  check_dims(w.size() == u.size() && u.size() == v.size(), "ewise_add: sizes");
+  std::vector<Index> ti;
+  using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
+  std::vector<ZT> tv;
+  detail::union_merge(u.indices(), u.values(), v.indices(), v.values(), op, ti,
+                      tv);
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+}
+
+/// w<m> accum= u ⊗ v (pattern intersection).
+template <class CT, class MaskArg, class Accum, class Op, class UT, class VT>
+void ewise_mult(Vector<CT>& w, const MaskArg& mask, const Accum& accum, Op op,
+                const Vector<UT>& u, const Vector<VT>& v,
+                const Descriptor& desc = desc_default) {
+  check_dims(w.size() == u.size() && u.size() == v.size(), "ewise_mult: sizes");
+  std::vector<Index> ti;
+  using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
+  std::vector<ZT> tv;
+  detail::intersect_merge(u.indices(), u.values(), v.indices(), v.values(), op,
+                          ti, tv);
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+}
+
+/// C<M> accum= op(A) ⊕ op(B) (pattern union).
+template <class CT, class MaskArg, class Accum, class Op, class AT, class BT>
+void ewise_add(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, Op op,
+               const Matrix<AT>& a, const Matrix<BT>& b,
+               const Descriptor& desc = desc_default) {
+  check_dims(c.nrows() == input_nrows(a, desc.transpose_a) &&
+                 c.ncols() == input_ncols(a, desc.transpose_a) &&
+                 c.nrows() == input_nrows(b, desc.transpose_b) &&
+                 c.ncols() == input_ncols(b, desc.transpose_b),
+             "ewise_add: shapes");
+  auto t = detail::merge_stores(input_rows(a, desc.transpose_a),
+                                input_rows(b, desc.transpose_b), op,
+                                detail::MergeKind::union_);
+  write_back(c, mask, accum, std::move(t), desc);
+}
+
+/// C<M> accum= op(A) ⊗ op(B) (pattern intersection).
+template <class CT, class MaskArg, class Accum, class Op, class AT, class BT>
+void ewise_mult(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, Op op,
+                const Matrix<AT>& a, const Matrix<BT>& b,
+                const Descriptor& desc = desc_default) {
+  check_dims(c.nrows() == input_nrows(a, desc.transpose_a) &&
+                 c.ncols() == input_ncols(a, desc.transpose_a) &&
+                 c.nrows() == input_nrows(b, desc.transpose_b) &&
+                 c.ncols() == input_ncols(b, desc.transpose_b),
+             "ewise_mult: shapes");
+  auto t = detail::merge_stores(input_rows(a, desc.transpose_a),
+                                input_rows(b, desc.transpose_b), op,
+                                detail::MergeKind::intersect);
+  write_back(c, mask, accum, std::move(t), desc);
+}
+
+}  // namespace gb

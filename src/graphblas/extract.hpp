@@ -1,0 +1,129 @@
+// GrB_extract: w = u(i), C = A(i, j), w = A(i, j) (column extract) — Table I
+// "extract". Index lists may be arbitrary (unsorted, with duplicates) and
+// GrB_ALL is expressed with IndexSel::all.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graphblas/mask_accum.hpp"
+#include "graphblas/store_utils.hpp"
+
+namespace gb {
+
+/// w<m> accum= u(I). w(k) = u(I[k]).
+template <class CT, class MaskArg, class Accum, class UT>
+void extract(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
+             const Vector<UT>& u, const IndexSel& isel,
+             const Descriptor& desc = desc_default) {
+  check_dims(w.size() == isel.size(), "extract: w size vs index list");
+  std::vector<Index> ti;
+  std::vector<UT> tv;
+  if (isel.is_all()) {
+    auto ui = u.indices();
+    auto uv = u.values();
+    ti.assign(ui.begin(), ui.end());
+    tv.assign(uv.begin(), uv.end());
+  } else {
+    auto ui = u.indices();
+    auto uv = u.values();
+    for (Index k = 0; k < isel.size(); ++k) {
+      Index i = isel[k];
+      check_index(i < u.size(), "extract: index out of range");
+      auto it = std::lower_bound(ui.begin(), ui.end(), i);
+      if (it != ui.end() && *it == i) {
+        ti.push_back(k);
+        tv.push_back(uv[static_cast<std::size_t>(it - ui.begin())]);
+      }
+    }
+  }
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+}
+
+/// C<M> accum= op(A)(I, J).
+template <class CT, class MaskArg, class Accum, class AT>
+void extract(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
+             const Matrix<AT>& a, const IndexSel& isel, const IndexSel& jsel,
+             const Descriptor& desc = desc_default) {
+  const Index anrows = input_nrows(a, desc.transpose_a);
+  const Index ancols = input_ncols(a, desc.transpose_a);
+  check_dims(c.nrows() == isel.size() && c.ncols() == jsel.size(),
+             "extract: C shape vs index lists");
+  const auto& s = input_rows(a, desc.transpose_a);
+
+  // Column remap: source column -> list of output columns (J may repeat).
+  std::unordered_map<Index, std::vector<Index>> colmap;
+  if (!jsel.is_all()) {
+    for (Index l = 0; l < jsel.size(); ++l) {
+      check_index(jsel[l] < ancols, "extract: J out of range");
+      colmap[jsel[l]].push_back(l);
+    }
+  }
+
+  SparseStore<AT> t(isel.size());
+  t.hyper = true;
+  t.p.assign(1, 0);
+  std::vector<std::pair<Index, AT>> row;  // (out col, value), sorted per row
+  for (Index k = 0; k < isel.size(); ++k) {
+    Index r = isel[k];
+    check_index(r < anrows, "extract: I out of range");
+    auto vk = s.find_vec(r);
+    if (!vk) continue;
+    row.clear();
+    for (Index pos = s.vec_begin(*vk); pos < s.vec_end(*vk); ++pos) {
+      if (jsel.is_all()) {
+        row.emplace_back(s.i[pos], s.x[pos]);
+      } else if (auto it = colmap.find(s.i[pos]); it != colmap.end()) {
+        for (Index l : it->second) row.emplace_back(l, s.x[pos]);
+      }
+    }
+    if (row.empty()) continue;
+    std::sort(row.begin(), row.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [l, v] : row) {
+      t.i.push_back(l);
+      t.x.push_back(v);
+    }
+    t.h.push_back(k);
+    t.p.push_back(static_cast<Index>(t.i.size()));
+  }
+  write_back(c, mask, accum, std::move(t), desc);
+}
+
+/// w<m> accum= op(A)(I, j) — single-column extract (GrB_Col_extract).
+template <class CT, class MaskArg, class Accum, class AT>
+void extract_col(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
+                 const Matrix<AT>& a, const IndexSel& isel, Index j,
+                 const Descriptor& desc = desc_default) {
+  check_dims(w.size() == isel.size(), "extract_col: w size");
+  check_index(j < input_ncols(a, desc.transpose_a), "extract_col: j");
+  // Columns of op(A) are rows of the opposite orientation store.
+  const auto& s = desc.transpose_a ? a.by_row() : a.by_col();
+  std::vector<Index> ti;
+  std::vector<AT> tv;
+  auto vk = s.find_vec(j);
+  if (vk) {
+    Index begin = s.vec_begin(*vk), end = s.vec_end(*vk);
+    if (isel.is_all()) {
+      for (Index pos = begin; pos < end; ++pos) {
+        ti.push_back(s.i[pos]);
+        tv.push_back(s.x[pos]);
+      }
+    } else {
+      for (Index k = 0; k < isel.size(); ++k) {
+        Index i = isel[k];
+        auto b = s.i.begin() + static_cast<std::ptrdiff_t>(begin);
+        auto e = s.i.begin() + static_cast<std::ptrdiff_t>(end);
+        auto it = std::lower_bound(b, e, i);
+        if (it != e && *it == i) {
+          ti.push_back(k);
+          tv.push_back(s.x[static_cast<std::size_t>(it - s.i.begin())]);
+        }
+      }
+    }
+  }
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+}
+
+}  // namespace gb

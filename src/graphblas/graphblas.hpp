@@ -1,0 +1,22 @@
+// Umbrella header: the full GraphBLAS substrate (Table I operation set plus
+// SuiteSparse-style extensions used by LAGraph).
+#pragma once
+
+#include "graphblas/apply.hpp"        // IWYU pragma: export
+#include "graphblas/assign.hpp"       // IWYU pragma: export
+#include "graphblas/descriptor.hpp"   // IWYU pragma: export
+#include "graphblas/ewise.hpp"        // IWYU pragma: export
+#include "graphblas/extract.hpp"      // IWYU pragma: export
+#include "graphblas/mask_accum.hpp"   // IWYU pragma: export
+#include "graphblas/matrix.hpp"       // IWYU pragma: export
+#include "graphblas/monoid.hpp"       // IWYU pragma: export
+#include "graphblas/mxm.hpp"          // IWYU pragma: export
+#include "graphblas/mxv.hpp"          // IWYU pragma: export
+#include "graphblas/ops.hpp"          // IWYU pragma: export
+#include "graphblas/reduce.hpp"       // IWYU pragma: export
+#include "graphblas/registry.hpp"     // IWYU pragma: export
+#include "graphblas/select.hpp"       // IWYU pragma: export
+#include "graphblas/semiring.hpp"     // IWYU pragma: export
+#include "graphblas/transpose.hpp"    // IWYU pragma: export
+#include "graphblas/types.hpp"        // IWYU pragma: export
+#include "graphblas/vector.hpp"       // IWYU pragma: export

@@ -1,0 +1,353 @@
+// The GraphBLAS write-back rule, implemented once and shared by every
+// operation: C<M, replace> accum= T.
+//
+//   1. Z = T if no accumulator, else the elementwise union of C and T with
+//      accum applied where both have entries;
+//   2. for every position: if the (possibly complemented, possibly
+//      structural) mask allows, C gets Z's entry (or becomes empty there if
+//      Z has none); if the mask forbids, C keeps its old entry unless
+//      `replace` is set, in which case the entry is deleted.
+//
+// This is the subtlest part of the C API specification; concentrating it
+// here means each of the ~14 operations only has to produce its raw result
+// T. Kernels deliver T as sorted coordinate arrays (vectors) or a row-major
+// SparseStore (matrices).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graphblas/descriptor.hpp"
+#include "graphblas/matrix.hpp"
+#include "graphblas/vector.hpp"
+
+namespace gb {
+
+// ---------------------------------------------------------------------------
+// Mask probes
+// ---------------------------------------------------------------------------
+
+/// O(1)-testable view of a vector mask: a byte per position, 1 = writable.
+/// Building it costs O(n + nvals(mask)); ops at repro scale are fine with
+/// that, and it makes complemented masks free.
+template <class MaskArg>
+class VectorMaskProbe {
+ public:
+  VectorMaskProbe(const MaskArg& mask, Index n, const Descriptor& desc) {
+    if constexpr (is_masked<MaskArg>) {
+      allow_.assign(n, desc.mask_complement ? std::uint8_t{1} : std::uint8_t{0});
+      const std::uint8_t on = desc.mask_complement ? 0 : 1;
+      if (mask.is_dense_rep()) {
+        auto present = mask.present();
+        auto values = mask.dense_values();
+        using MV = std::decay_t<decltype(values[0])>;
+        for (Index i = 0; i < n; ++i) {
+          if (present[i] && (desc.mask_structural || values[i] != MV{})) {
+            allow_[i] = on;
+          }
+        }
+      } else {
+        auto idx = mask.indices();
+        auto val = mask.values();
+        using MV = std::decay_t<decltype(val[0])>;
+        for (std::size_t k = 0; k < idx.size(); ++k) {
+          if (desc.mask_structural || val[k] != MV{}) {
+            allow_[idx[k]] = on;
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool test(Index i) const noexcept {
+    if constexpr (is_masked<MaskArg>) {
+      return allow_[i] != 0;
+    } else {
+      (void)i;
+      return true;
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t> allow_;  // empty when unmasked
+};
+
+/// Row-cursor probe over a matrix mask stored by row. `begin_row(r)` then
+/// `test(j)` with non-decreasing j within the row.
+template <class MaskArg>
+class MatrixMaskProbe {
+ public:
+  MatrixMaskProbe(const MaskArg& mask, const Descriptor& desc)
+      : structural_(desc.mask_structural), complement_(desc.mask_complement) {
+    if constexpr (is_masked<MaskArg>) {
+      store_ = &mask.by_row();
+    }
+  }
+
+  void begin_row(Index r) noexcept {
+    if constexpr (is_masked<MaskArg>) {
+      auto k = store_->find_vec(r);
+      pos_ = k ? store_->vec_begin(*k) : 0;
+      end_ = k ? store_->vec_end(*k) : 0;
+    } else {
+      (void)r;
+    }
+  }
+
+  /// Mask verdict at (current row, column j). j must not decrease between
+  /// calls within a row.
+  [[nodiscard]] bool test(Index j) noexcept {
+    if constexpr (is_masked<MaskArg>) {
+      while (pos_ < end_ && store_->i[pos_] < j) ++pos_;
+      bool m = false;
+      if (pos_ < end_ && store_->i[pos_] == j) {
+        m = structural_ || store_->x[pos_] != mask_value_t{};
+      }
+      return complement_ ? !m : m;
+    } else {
+      (void)j;
+      return true;
+    }
+  }
+
+ private:
+  template <class M>
+  struct value_of {
+    using type = int;
+  };
+  template <class M>
+    requires requires { typename M::value_type; }
+  struct value_of<M> {
+    using type = typename M::value_type;
+  };
+  using mask_value_t = typename value_of<std::decay_t<MaskArg>>::type;
+  using store_t =
+      std::conditional_t<is_masked<MaskArg>, SparseStore<mask_value_t>, int>;
+
+  const store_t* store_ = nullptr;
+  Index pos_ = 0;
+  Index end_ = 0;
+  bool structural_ = false;
+  bool complement_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Vector write-back
+// ---------------------------------------------------------------------------
+
+/// C<M, replace> accum= T, where T arrives as sorted, duplicate-free
+/// coordinate arrays (ti, tv).
+template <class CT, class ZT, class MaskArg, class Accum>
+void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
+                std::vector<Index>&& ti, std::vector<ZT>&& tv,
+                const Descriptor& desc) {
+  const Index n = c.size();
+
+  // Fast path: unmasked, no accumulator — C simply becomes T.
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    (void)mask;
+    (void)accum;
+    (void)desc;
+    std::vector<storage_t<CT>> cast(tv.size());
+    for (std::size_t k = 0; k < tv.size(); ++k) cast[k] = static_cast<CT>(tv[k]);
+    c.load_sorted(std::move(ti), std::move(cast));
+    return;
+  } else {
+    auto ci = c.indices();
+    auto cv = c.values();
+
+    // Step 1: Z = accum ? union(C, T, accum) : T   (in C's domain).
+    std::vector<Index> zi;
+    std::vector<storage_t<CT>> zv;
+    if constexpr (is_accum<Accum>) {
+      zi.reserve(ci.size() + ti.size());
+      zv.reserve(ci.size() + ti.size());
+      std::size_t a = 0, b = 0;
+      while (a < ci.size() || b < ti.size()) {
+        if (b >= ti.size() || (a < ci.size() && ci[a] < ti[b])) {
+          zi.push_back(ci[a]);
+          zv.push_back(cv[a]);
+          ++a;
+        } else if (a >= ci.size() || ti[b] < ci[a]) {
+          zi.push_back(ti[b]);
+          zv.push_back(static_cast<CT>(tv[b]));
+          ++b;
+        } else {
+          zi.push_back(ci[a]);
+          zv.push_back(static_cast<CT>(accum(cv[a], tv[b])));
+          ++a;
+          ++b;
+        }
+      }
+    } else {
+      (void)accum;
+      zi.assign(ti.begin(), ti.end());
+      zv.resize(tv.size());
+      for (std::size_t k = 0; k < tv.size(); ++k)
+        zv[k] = static_cast<CT>(tv[k]);
+    }
+
+    // Step 2: mask filter over union(Z, C_old).
+    VectorMaskProbe<MaskArg> probe(mask, n, desc);
+    std::vector<Index> oi;
+    std::vector<storage_t<CT>> ov;
+    oi.reserve(zi.size());
+    ov.reserve(zi.size());
+    std::size_t a = 0, b = 0;  // a: C_old, b: Z
+    while (a < ci.size() || b < zi.size()) {
+      Index i;
+      bool in_c = false, in_z = false;
+      if (b >= zi.size() || (a < ci.size() && ci[a] < zi[b])) {
+        i = ci[a];
+        in_c = true;
+      } else if (a >= ci.size() || zi[b] < ci[a]) {
+        i = zi[b];
+        in_z = true;
+      } else {
+        i = ci[a];
+        in_c = in_z = true;
+      }
+      if (probe.test(i)) {
+        if (in_z) {
+          oi.push_back(i);
+          ov.push_back(zv[b]);
+        }
+        // mask allows but Z has no entry -> position ends up empty
+      } else if (in_c && !desc.replace) {
+        oi.push_back(i);
+        ov.push_back(cv[a]);
+      }
+      if (in_c) ++a;
+      if (in_z) ++b;
+    }
+    c.load_sorted(std::move(oi), std::move(ov));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix write-back
+// ---------------------------------------------------------------------------
+
+/// C<M, replace> accum= T, where T arrives as a row-major store (standard or
+/// hypersparse) with vdim == C.nrows(). The result is published row-major;
+/// layout is an implementation detail of the opaque object. The row loop
+/// walks the union of C's and T's *stored* vectors (not all of [0, nrows)),
+/// so hypersparse matrices with enormous dimensions stay O(e).
+template <class CT, class ZT, class MaskArg, class Accum>
+void write_back(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
+                SparseStore<ZT>&& t, const Descriptor& desc) {
+  const Index nrows = c.nrows();
+
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    (void)mask;
+    (void)accum;
+    (void)desc;
+    SparseStore<CT> out(nrows);
+    out.hyper = t.hyper;
+    out.h = std::move(t.h);
+    out.p = std::move(t.p);
+    out.i = std::move(t.i);
+    out.x.resize(t.x.size());
+    for (std::size_t k = 0; k < t.x.size(); ++k)
+      out.x[k] = static_cast<CT>(t.x[k]);
+    c.adopt(std::move(out), Layout::by_row);
+    return;
+  } else {
+    const auto& cs = c.by_row();
+    MatrixMaskProbe<MaskArg> probe(mask, desc);
+
+    // Output is built hypersparse (rows appear as they produce entries);
+    // adopt()'s policy inflates it back to standard when dense enough.
+    SparseStore<CT> out(nrows);
+    out.hyper = true;
+    out.p.assign(1, 0);
+    out.i.reserve(cs.nnz() + t.nnz());
+    out.x.reserve(cs.nnz() + t.nnz());
+
+    // Scratch row for Z = accum(Crow, Trow).
+    std::vector<Index> zi;
+    std::vector<storage_t<CT>> zv;
+
+    Index kc = 0, kt = 0;  // stored-vector cursors in cs and t
+    while (kc < cs.nvec() || kt < t.nvec()) {
+      Index rc = kc < cs.nvec() ? cs.vec_id(kc) : all_indices;
+      Index rt = kt < t.nvec() ? t.vec_id(kt) : all_indices;
+      Index r = rc < rt ? rc : rt;
+      Index ca = 0, ce = 0, ta = 0, te = 0;
+      if (rc == r) {
+        ca = cs.vec_begin(kc);
+        ce = cs.vec_end(kc);
+        ++kc;
+      }
+      if (rt == r) {
+        ta = t.vec_begin(kt);
+        te = t.vec_end(kt);
+        ++kt;
+      }
+
+      zi.clear();
+      zv.clear();
+      if constexpr (is_accum<Accum>) {
+        Index a = ca, b = ta;
+        while (a < ce || b < te) {
+          if (b >= te || (a < ce && cs.i[a] < t.i[b])) {
+            zi.push_back(cs.i[a]);
+            zv.push_back(cs.x[a]);
+            ++a;
+          } else if (a >= ce || t.i[b] < cs.i[a]) {
+            zi.push_back(t.i[b]);
+            zv.push_back(static_cast<CT>(t.x[b]));
+            ++b;
+          } else {
+            zi.push_back(cs.i[a]);
+            zv.push_back(static_cast<CT>(accum(cs.x[a], t.x[b])));
+            ++a;
+            ++b;
+          }
+        }
+      } else {
+        (void)accum;
+        for (Index b = ta; b < te; ++b) {
+          zi.push_back(t.i[b]);
+          zv.push_back(static_cast<CT>(t.x[b]));
+        }
+      }
+
+      probe.begin_row(r);
+      Index a = ca;
+      std::size_t b = 0;
+      while (a < ce || b < zi.size()) {
+        Index j;
+        bool in_c = false, in_z = false;
+        if (b >= zi.size() || (a < ce && cs.i[a] < zi[b])) {
+          j = cs.i[a];
+          in_c = true;
+        } else if (a >= ce || zi[b] < cs.i[a]) {
+          j = zi[b];
+          in_z = true;
+        } else {
+          j = cs.i[a];
+          in_c = in_z = true;
+        }
+        if (probe.test(j)) {
+          if (in_z) {
+            out.i.push_back(j);
+            out.x.push_back(zv[b]);
+          }
+        } else if (in_c && !desc.replace) {
+          out.i.push_back(j);
+          out.x.push_back(cs.x[a]);
+        }
+        if (in_c) ++a;
+        if (in_z) ++b;
+      }
+      if (static_cast<Index>(out.i.size()) > out.p.back()) {
+        out.h.push_back(r);
+        out.p.push_back(static_cast<Index>(out.i.size()));
+      }
+    }
+    c.adopt(std::move(out), Layout::by_row);
+  }
+}
+
+}  // namespace gb

@@ -1,0 +1,594 @@
+// GrB_Matrix: the opaque sparse matrix object.
+//
+// Features reproduced from SuiteSparse:GraphBLAS as described in §II-A / §IV
+// of the paper:
+//   * four storage formats — CSR, CSC, hypersparse-CSR, hypersparse-CSC —
+//     with automatic hypersparsity (all methods accept any format);
+//   * non-blocking incremental updates: removeElement tags *zombies*,
+//     setElement appends *pending tuples*; wait() folds both in a single
+//     O(n + e + p log p) step, which is why a loop of e setElement calls is
+//     as fast as one build of e tuples (bench C2);
+//   * O(1) import/export of the raw arrays by move construction (bench C6);
+//   * a cached opposite-orientation copy (the CSR+CSC doubling GraphBLAST
+//     uses for push/pull), built on demand and invalidated on mutation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "graphblas/ops.hpp"
+#include "graphblas/sparse_store.hpp"
+#include "graphblas/types.hpp"
+
+namespace gb {
+
+/// Storage orientation of the primary representation.
+enum class Layout : std::uint8_t { by_row, by_col };
+
+/// Hypersparsity policy. `auto_mode` switches to hypersparse when fewer than
+/// vdim / kHyperRatio major vectors are non-empty (SuiteSparse's default
+/// heuristic shape).
+enum class HyperMode : std::uint8_t { auto_mode, always, never };
+
+template <class T>
+class Matrix {
+ public:
+  using value_type = T;
+  static constexpr Index kHyperRatio = 8;
+
+  Matrix() = default;
+
+  Matrix(Index nrows, Index ncols, Layout layout = Layout::by_row,
+         HyperMode hyper = HyperMode::auto_mode)
+      : nrows_(nrows),
+        ncols_(ncols),
+        layout_(layout),
+        hyper_mode_(hyper),
+        main_(major_dim()) {}
+
+  /// n-by-n identity with the given diagonal value.
+  static Matrix identity(Index n, const T& v = T{1}) {
+    Matrix m(n, n);
+    m.main_.hyper = false;
+    m.main_.h.clear();
+    m.main_.p.resize(n + 1);
+    m.main_.i.resize(n);
+    m.main_.x.resize(n);
+    for (Index k = 0; k < n; ++k) {
+      m.main_.p[k] = k;
+      m.main_.i[k] = k;
+      m.main_.x[k] = v;
+    }
+    m.main_.p[n] = n;
+    return m;
+  }
+
+  /// Square diagonal matrix from a vector's entries.
+  template <class VecT>
+  static Matrix diag(const VecT& v) {
+    Matrix m(v.size(), v.size());
+    auto idx = v.indices();
+    auto val = v.values();
+    std::vector<std::tuple<Index, Index, T>> t;
+    t.reserve(idx.size());
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      t.emplace_back(idx[k], idx[k], static_cast<T>(val[k]));
+    m.build_tuples(t, Second{});
+    return m;
+  }
+
+  // --- shape and counts -------------------------------------------------------
+
+  [[nodiscard]] Index nrows() const noexcept { return nrows_; }
+  [[nodiscard]] Index ncols() const noexcept { return ncols_; }
+  [[nodiscard]] Layout layout() const noexcept { return layout_; }
+  [[nodiscard]] HyperMode hyper_mode() const noexcept { return hyper_mode_; }
+
+  [[nodiscard]] Index nvals() const {
+    wait();
+    return main_.nnz();
+  }
+
+  [[nodiscard]] bool is_hyper() const {
+    wait();
+    return main_.hyper;
+  }
+
+  // --- element access ---------------------------------------------------------
+
+  /// GrB_Matrix_setElement: O(1) amortised — appends a pending tuple.
+  void set_element(Index r, Index c, const T& v) {
+    check_index(r < nrows_ && c < ncols_, "Matrix::set_element");
+    invalidate_other();
+    pending_.emplace_back(r, c, v);
+  }
+
+  /// GrB_Matrix_removeElement: O(log) — tags a zombie or drops a pending
+  /// tuple; no array shuffling.
+  void remove_element(Index r, Index c) {
+    check_index(r < nrows_ && c < ncols_, "Matrix::remove_element");
+    invalidate_other();
+    std::erase_if(pending_, [&](const auto& t) {
+      return std::get<0>(t) == r && std::get<1>(t) == c;
+    });
+    auto [major, minor] = to_major_minor(r, c);
+    auto k = main_.find_vec(major);
+    if (!k) return;
+    for (Index pos = main_.p[*k]; pos < main_.p[*k + 1]; ++pos) {
+      Index stored = main_.i[pos];
+      if (!is_zombie(stored) && stored == minor) {
+        main_.i[pos] |= kZombieBit;
+        ++nzombies_;
+        return;
+      }
+    }
+  }
+
+  /// GrB_Matrix_extractElement; nullopt encodes GrB_NO_VALUE.
+  [[nodiscard]] std::optional<T> extract_element(Index r, Index c) const {
+    check_index(r < nrows_ && c < ncols_, "Matrix::extract_element");
+    wait();
+    auto [major, minor] = to_major_minor(r, c);
+    auto k = main_.find_vec(major);
+    if (!k) return std::nullopt;
+    auto b = main_.i.begin() + static_cast<std::ptrdiff_t>(main_.p[*k]);
+    auto e = main_.i.begin() + static_cast<std::ptrdiff_t>(main_.p[*k + 1]);
+    auto it = std::lower_bound(b, e, minor);
+    if (it == e || *it != minor) return std::nullopt;
+    return main_.x[static_cast<std::size_t>(it - main_.i.begin())];
+  }
+
+  // --- bulk construction -------------------------------------------------------
+
+  /// GrB_Matrix_build: duplicates combined with `dup`.
+  template <class Dup>
+  void build(std::span<const Index> rows, std::span<const Index> cols,
+             std::span<const T> vals, Dup dup) {
+    check_value(rows.size() == cols.size() && rows.size() == vals.size(),
+                "Matrix::build sizes");
+    check_value(nvals() == 0 && pending_.empty(),
+                "Matrix::build on non-empty matrix");
+    std::vector<std::tuple<Index, Index, T>> t;
+    t.reserve(rows.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      check_index(rows[k] < nrows_ && cols[k] < ncols_, "Matrix::build index");
+      t.emplace_back(rows[k], cols[k], vals[k]);
+    }
+    build_tuples(t, dup);
+  }
+
+  /// GrB_Matrix_extractTuples (always row, col, value regardless of layout).
+  void extract_tuples(std::vector<Index>& rows, std::vector<Index>& cols,
+                      std::vector<T>& vals) const {
+    // Row-major sorted output regardless of storage orientation (spec:
+    // order is implementation-defined; we fix it for determinism).
+    const auto& s = by_row();
+    rows.clear();
+    cols.clear();
+    vals.clear();
+    rows.reserve(s.nnz());
+    cols.reserve(s.nnz());
+    vals.reserve(s.nnz());
+    for (Index k = 0; k < s.nvec(); ++k) {
+      Index r = s.vec_id(k);
+      for (Index pos = s.p[k]; pos < s.p[k + 1]; ++pos) {
+        rows.push_back(r);
+        cols.push_back(s.i[pos]);
+        vals.push_back(s.x[pos]);
+      }
+    }
+  }
+
+  /// GrB_Matrix_clear.
+  void clear() {
+    main_ = SparseStore<T>(major_dim());
+    pending_.clear();
+    nzombies_ = 0;
+    invalidate_other();
+  }
+
+  /// GrB_Matrix_resize (entries outside the new shape are dropped).
+  void resize(Index nrows, Index ncols) {
+    wait();
+    std::vector<Index> r, c;
+    std::vector<T> v;
+    extract_tuples(r, c, v);
+    nrows_ = nrows;
+    ncols_ = ncols;
+    main_ = SparseStore<T>(major_dim());
+    invalidate_other();
+    std::vector<std::tuple<Index, Index, T>> keep;
+    keep.reserve(r.size());
+    for (std::size_t k = 0; k < r.size(); ++k)
+      if (r[k] < nrows && c[k] < ncols) keep.emplace_back(r[k], c[k], v[k]);
+    build_tuples(keep, Second{});
+  }
+
+  /// GrB_Matrix_dup is just the copy constructor; provided for API parity.
+  [[nodiscard]] Matrix dup() const {
+    wait();
+    return *this;
+  }
+
+  // --- orientation views (push/pull duality) ------------------------------------
+
+  /// The matrix in row-major form: store.vec_id(k) is a row id, store.i holds
+  /// column ids. Built on demand and cached if the primary layout is by_col.
+  [[nodiscard]] const SparseStore<T>& by_row() const {
+    wait();
+    if (layout_ == Layout::by_row) return main_;
+    return other_store();
+  }
+
+  /// The matrix in column-major form.
+  [[nodiscard]] const SparseStore<T>& by_col() const {
+    wait();
+    if (layout_ == Layout::by_col) return main_;
+    return other_store();
+  }
+
+  /// True if asking for this orientation costs O(1) right now (already the
+  /// primary layout, or the dual cache is valid).
+  [[nodiscard]] bool orientation_ready(Layout want) const noexcept {
+    return layout_ == want || other_valid_;
+  }
+
+  /// Precompute and keep both orientations (GraphBLAST's dual-format mode;
+  /// doubles memory, enables free push/pull switching).
+  void ensure_dual_format() const { (void)other_store(); }
+
+  /// Drop the cached dual orientation (memory-lean single-format mode).
+  void drop_dual_format() const {
+    other_.reset();
+    other_valid_ = false;
+  }
+
+  // --- import / export (§IV, bench C6) ------------------------------------------
+
+  /// O(1) import of CSR arrays: the vectors are *moved* in, no copy. `p` has
+  /// size nrows+1, `i[p[r]..p[r+1])` are the (sorted) column ids of row r.
+  static Matrix import_csr(Index nrows, Index ncols, std::vector<Index>&& p,
+                           std::vector<Index>&& i, std::vector<T>&& x) {
+    return import_any(nrows, ncols, Layout::by_row, std::move(p), std::move(i),
+                      std::move(x));
+  }
+
+  /// O(1) import of CSC arrays (`p` has size ncols+1, `i` holds row ids).
+  static Matrix import_csc(Index nrows, Index ncols, std::vector<Index>&& p,
+                           std::vector<Index>&& i, std::vector<T>&& x) {
+    return import_any(nrows, ncols, Layout::by_col, std::move(p), std::move(i),
+                      std::move(x));
+  }
+
+  /// O(1) export: moves the arrays out; the matrix is left empty, exactly as
+  /// the "move constructor" strategy in §IV describes. If the matrix is
+  /// hypersparse it is first inflated to the standard pointer array (O(n));
+  /// if stored by column it is transposed first (O(e)) — "only the
+  /// performance differs" (§IV).
+  struct CsArrays {
+    Index nrows = 0, ncols = 0;
+    std::vector<Index> p, i;
+    std::vector<T> x;
+  };
+
+  [[nodiscard]] CsArrays export_csr() {
+    wait();
+    if (layout_ != Layout::by_row) {
+      main_ = main_.transposed(major_dim() == nrows_ ? ncols_ : nrows_);
+      layout_ = Layout::by_row;
+      invalidate_other();
+    }
+    main_.unhyperize();
+    CsArrays out{nrows_, ncols_, std::move(main_.p), std::move(main_.i),
+                 std::move(main_.x)};
+    clear();
+    return out;
+  }
+
+  [[nodiscard]] CsArrays export_csc() {
+    wait();
+    if (layout_ != Layout::by_col) {
+      main_ = main_.transposed(ncols_);
+      layout_ = Layout::by_col;
+      invalidate_other();
+    }
+    main_.unhyperize();
+    CsArrays out{nrows_, ncols_, std::move(main_.p), std::move(main_.i),
+                 std::move(main_.x)};
+    clear();
+    return out;
+  }
+
+  // --- kernel publication API -----------------------------------------------
+
+  /// Replace contents with a ready-made store of the given orientation.
+  /// Kernels build results as stores and publish them here; hypersparsity is
+  /// applied per the policy.
+  void adopt(SparseStore<T>&& s, Layout layout) {
+    nzombies_ = 0;
+    pending_.clear();
+    layout_ = layout;
+    main_ = std::move(s);
+    apply_hyper_policy();
+    invalidate_other();
+  }
+
+  // --- non-blocking materialisation ----------------------------------------
+
+  /// GrB_Matrix_wait: kill zombies + assemble pending tuples in one pass.
+  void wait() const {
+    if (pending_.empty() && nzombies_ == 0) return;
+    // Zombie sweep: compact in place, rebuilding the pointer array.
+    if (nzombies_ > 0) {
+      std::vector<Index> np;
+      np.reserve(main_.p.size());
+      np.push_back(0);
+      std::size_t out = 0;
+      for (Index k = 0; k < main_.nvec(); ++k) {
+        for (Index pos = main_.p[k]; pos < main_.p[k + 1]; ++pos) {
+          if (!is_zombie(main_.i[pos])) {
+            main_.i[out] = main_.i[pos];
+            main_.x[out] = main_.x[pos];
+            ++out;
+          }
+        }
+        np.push_back(static_cast<Index>(out));
+      }
+      main_.i.resize(out);
+      main_.x.resize(out);
+      main_.p = std::move(np);
+      if (main_.hyper) {
+        // Drop now-empty hyper vectors.
+        std::vector<Index> nh;
+        std::vector<Index> np2(1, 0);
+        for (std::size_t k = 0; k < main_.h.size(); ++k) {
+          if (main_.p[k + 1] > main_.p[k]) {
+            nh.push_back(main_.h[k]);
+            np2.push_back(main_.p[k + 1]);
+          }
+        }
+        main_.h = std::move(nh);
+        main_.p = std::move(np2);
+      }
+      nzombies_ = 0;
+    }
+    // Pending assembly: sort tuples once, merge vector-by-vector.
+    if (!pending_.empty()) {
+      auto tuples = std::move(pending_);
+      pending_.clear();
+      const bool by_row = layout_ == Layout::by_row;
+      std::stable_sort(tuples.begin(), tuples.end(),
+                       [by_row](const auto& a, const auto& b) {
+                         Index am = by_row ? std::get<0>(a) : std::get<1>(a);
+                         Index bm = by_row ? std::get<0>(b) : std::get<1>(b);
+                         Index an = by_row ? std::get<1>(a) : std::get<0>(a);
+                         Index bn = by_row ? std::get<1>(b) : std::get<0>(b);
+                         return std::tie(am, an) < std::tie(bm, bn);
+                       });
+      merge_sorted_tuples(tuples);
+    }
+    apply_hyper_policy();
+  }
+
+  [[nodiscard]] bool has_pending_work() const noexcept {
+    return !pending_.empty() || nzombies_ > 0;
+  }
+
+  [[nodiscard]] Index pending_count() const noexcept {
+    return static_cast<Index>(pending_.size());
+  }
+  [[nodiscard]] Index zombie_count() const noexcept { return nzombies_; }
+
+  /// Bytes held by the opaque object (primary + cached dual + pending).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    std::size_t b = main_.memory_bytes() +
+                    pending_.capacity() * sizeof(std::tuple<Index, Index, T>);
+    if (other_) b += other_->memory_bytes();
+    return b;
+  }
+
+ private:
+  static constexpr Index kZombieBit = Index{1} << 63;
+  [[nodiscard]] static constexpr bool is_zombie(Index i) noexcept {
+    return (i & kZombieBit) != 0;
+  }
+
+  [[nodiscard]] Index major_dim() const noexcept {
+    return layout_ == Layout::by_row ? nrows_ : ncols_;
+  }
+  [[nodiscard]] Index minor_dim() const noexcept {
+    return layout_ == Layout::by_row ? ncols_ : nrows_;
+  }
+
+  [[nodiscard]] std::pair<Index, Index> to_major_minor(Index r,
+                                                       Index c) const noexcept {
+    return layout_ == Layout::by_row ? std::pair{r, c} : std::pair{c, r};
+  }
+  [[nodiscard]] std::pair<Index, Index> from_major_minor(
+      Index major, Index minor) const noexcept {
+    return layout_ == Layout::by_row ? std::pair{major, minor}
+                                     : std::pair{minor, major};
+  }
+
+  static Matrix import_any(Index nrows, Index ncols, Layout layout,
+                           std::vector<Index>&& p, std::vector<Index>&& i,
+                           std::vector<T>&& x) {
+    check_value(p.size() == (layout == Layout::by_row ? nrows : ncols) + 1,
+                "Matrix::import pointer array size");
+    check_value(i.size() == x.size(), "Matrix::import index/value size");
+    Matrix m(nrows, ncols, layout, HyperMode::never);
+    m.main_.hyper = false;
+    m.main_.h.clear();
+    m.main_.p = std::move(p);
+    m.main_.i = std::move(i);
+    m.main_.x = std::move(x);
+    m.hyper_mode_ = HyperMode::auto_mode;
+    return m;
+  }
+
+  /// Sort-and-dedup tuple list into the main store. Tuples are (r, c, v).
+  template <class Dup>
+  void build_tuples(std::vector<std::tuple<Index, Index, T>>& t, Dup dup) {
+    const bool by_row = layout_ == Layout::by_row;
+    std::stable_sort(t.begin(), t.end(), [by_row](const auto& a, const auto& b) {
+      Index am = by_row ? std::get<0>(a) : std::get<1>(a);
+      Index bm = by_row ? std::get<0>(b) : std::get<1>(b);
+      Index an = by_row ? std::get<1>(a) : std::get<0>(a);
+      Index bn = by_row ? std::get<1>(b) : std::get<0>(b);
+      return std::tie(am, an) < std::tie(bm, bn);
+    });
+    // Build hypersparse (O(nnz) regardless of the dimension); the policy
+    // inflates to standard afterwards when dense enough.
+    main_ = SparseStore<T>(major_dim());
+    main_.i.reserve(t.size());
+    main_.x.reserve(t.size());
+    Index prev_major = all_indices, prev_minor = all_indices;
+    for (const auto& [r, c, v] : t) {
+      auto [major, minor] = to_major_minor(r, c);
+      if (major == prev_major && minor == prev_minor) {
+        main_.x.back() = dup(main_.x.back(), v);
+        continue;
+      }
+      if (major != prev_major) {
+        if (prev_major != all_indices) {
+          main_.p.push_back(static_cast<Index>(main_.i.size()));
+        }
+        main_.h.push_back(major);
+      }
+      main_.i.push_back(minor);
+      main_.x.push_back(v);
+      prev_major = major;
+      prev_minor = minor;
+    }
+    if (prev_major != all_indices) {
+      main_.p.push_back(static_cast<Index>(main_.i.size()));
+    }
+    apply_hyper_policy();
+    invalidate_other();
+  }
+
+  /// Merge tuples (sorted by major, minor; later duplicates overwrite) into
+  /// the existing store. setElement semantics: new value replaces old.
+  void merge_sorted_tuples(
+      const std::vector<std::tuple<Index, Index, T>>& t) const {
+    const bool by_row = layout_ == Layout::by_row;
+    SparseStore<T> out(major_dim());  // empty hypersparse
+    out.i.reserve(main_.nnz() + t.size());
+    out.x.reserve(main_.nnz() + t.size());
+
+    Index ks = 0;       // cursor over stored vectors
+    std::size_t b = 0;  // cursor into tuples
+    while (ks < main_.nvec() || b < t.size()) {
+      Index ms = ks < main_.nvec() ? main_.vec_id(ks) : all_indices;
+      Index mt = b < t.size() ? tuple_major(t[b], by_row) : all_indices;
+      Index major = ms < mt ? ms : mt;
+      Index pos = 0, end = 0;
+      if (ms == major) {
+        pos = main_.vec_begin(ks);
+        end = main_.vec_end(ks);
+        ++ks;
+      }
+      while (pos < end || (b < t.size() && tuple_major(t[b], by_row) == major)) {
+        bool take_tuple;
+        Index tminor = 0;
+        if (b < t.size() && tuple_major(t[b], by_row) == major) {
+          tminor = tuple_minor(t[b], by_row);
+          take_tuple = (pos >= end) || tminor <= main_.i[pos];
+        } else {
+          take_tuple = false;
+        }
+        if (take_tuple) {
+          // Collapse duplicate pending writes at one slot: last wins.
+          T v = std::get<2>(t[b]);
+          ++b;
+          while (b < t.size() && tuple_major(t[b], by_row) == major &&
+                 tuple_minor(t[b], by_row) == tminor) {
+            v = std::get<2>(t[b]);
+            ++b;
+          }
+          if (pos < end && main_.i[pos] == tminor) ++pos;  // overwrite stored
+          out.i.push_back(tminor);
+          out.x.push_back(v);
+        } else {
+          out.i.push_back(main_.i[pos]);
+          out.x.push_back(main_.x[pos]);
+          ++pos;
+        }
+      }
+      if (static_cast<Index>(out.i.size()) > out.p.back()) {
+        out.h.push_back(major);
+        out.p.push_back(static_cast<Index>(out.i.size()));
+      }
+    }
+    main_ = std::move(out);
+  }
+
+  [[nodiscard]] static Index tuple_major(
+      const std::tuple<Index, Index, T>& t, bool by_row) noexcept {
+    return by_row ? std::get<0>(t) : std::get<1>(t);
+  }
+  [[nodiscard]] static Index tuple_minor(
+      const std::tuple<Index, Index, T>& t, bool by_row) noexcept {
+    return by_row ? std::get<1>(t) : std::get<0>(t);
+  }
+
+  void apply_hyper_policy() const {
+    switch (hyper_mode_) {
+      case HyperMode::always:
+        main_.hyperize();
+        break;
+      case HyperMode::never:
+        main_.unhyperize();
+        break;
+      case HyperMode::auto_mode: {
+        Index nonempty = main_.nvec_nonempty();
+        if (!main_.hyper && major_dim() >= kHyperRatio &&
+            nonempty < major_dim() / kHyperRatio) {
+          main_.hyperize();
+        } else if (main_.hyper && nonempty >= major_dim() / kHyperRatio) {
+          main_.unhyperize();
+        }
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] const SparseStore<T>& other_store() const {
+    wait();
+    if (!other_valid_) {
+      other_ = main_.transposed(minor_dim());
+      if (hyper_mode_ == HyperMode::always ||
+          (hyper_mode_ == HyperMode::auto_mode && minor_dim() >= kHyperRatio &&
+           other_->nvec_nonempty() < minor_dim() / kHyperRatio)) {
+        other_->hyperize();
+      }
+      other_valid_ = true;
+    }
+    return *other_;
+  }
+
+  void invalidate_other() const {
+    other_.reset();
+    other_valid_ = false;
+  }
+
+  Index nrows_ = 0;
+  Index ncols_ = 0;
+  Layout layout_ = Layout::by_row;
+  HyperMode hyper_mode_ = HyperMode::auto_mode;
+
+  // Mutable: wait(), format changes, and the dual-orientation cache are all
+  // logically-const materialisations of the same opaque value.
+  mutable SparseStore<T> main_{};
+  mutable std::optional<SparseStore<T>> other_{};
+  mutable bool other_valid_ = false;
+  mutable std::vector<std::tuple<Index, Index, T>> pending_;
+  mutable Index nzombies_ = 0;
+};
+
+}  // namespace gb

@@ -1,0 +1,101 @@
+// Monoids: an associative binary operator, its identity, and (optionally) a
+// *terminal* ("annihilator") value. The terminal enables the early-exit dot
+// products described in §II-A of the paper — a reduction may stop the moment
+// the running value hits the terminal (e.g. `true` for LOR, the first entry
+// for ANY), which is what makes the "pull" side of direction-optimising BFS
+// competitive.
+#pragma once
+
+#include <limits>
+#include <optional>
+
+#include "graphblas/ops.hpp"
+
+namespace gb {
+
+template <class T, class Op>
+struct Monoid {
+  using value_type = T;
+  using op_type = Op;
+
+  Op op{};
+  T identity{};
+  std::optional<T> terminal{};  // absorbing value, if the monoid has one
+
+  constexpr T operator()(const T& a, const T& b) const noexcept {
+    return op(a, b);
+  }
+
+  /// True iff `v` is the absorbing value: further reduction cannot change it.
+  [[nodiscard]] constexpr bool is_terminal(const T& v) const noexcept {
+    return terminal.has_value() && v == *terminal;
+  }
+};
+
+// --- factories for the built-in monoids ------------------------------------
+
+template <class T>
+[[nodiscard]] constexpr Monoid<T, Plus> plus_monoid() noexcept {
+  return {Plus{}, T{0}, std::nullopt};
+}
+
+template <class T>
+[[nodiscard]] constexpr Monoid<T, Times> times_monoid() noexcept {
+  // 0 is absorbing for * over the usual domains.
+  return {Times{}, T{1}, T{0}};
+}
+
+template <class T>
+[[nodiscard]] constexpr Monoid<T, Min> min_monoid() noexcept {
+  if constexpr (std::numeric_limits<T>::has_infinity) {
+    return {Min{}, std::numeric_limits<T>::infinity(),
+            -std::numeric_limits<T>::infinity()};
+  } else {
+    return {Min{}, std::numeric_limits<T>::max(),
+            std::numeric_limits<T>::lowest()};
+  }
+}
+
+template <class T>
+[[nodiscard]] constexpr Monoid<T, Max> max_monoid() noexcept {
+  if constexpr (std::numeric_limits<T>::has_infinity) {
+    return {Max{}, -std::numeric_limits<T>::infinity(),
+            std::numeric_limits<T>::infinity()};
+  } else {
+    return {Max{}, std::numeric_limits<T>::lowest(),
+            std::numeric_limits<T>::max()};
+  }
+}
+
+[[nodiscard]] constexpr Monoid<bool, Lor> lor_monoid() noexcept {
+  return {Lor{}, false, true};
+}
+
+[[nodiscard]] constexpr Monoid<bool, Land> land_monoid() noexcept {
+  return {Land{}, true, false};
+}
+
+[[nodiscard]] constexpr Monoid<bool, Lxor> lxor_monoid() noexcept {
+  return {Lxor{}, false, std::nullopt};
+}
+
+[[nodiscard]] constexpr Monoid<bool, Lxnor> lxnor_monoid() noexcept {
+  return {Lxnor{}, true, std::nullopt};
+}
+
+/// GxB_ANY monoid: every value is terminal — a reduction may stop after the
+/// first entry. The workhorse of parent-BFS.
+template <class T>
+[[nodiscard]] constexpr Monoid<T, Any> any_monoid() noexcept {
+  // There is no single terminal *value*; kernels special-case ANY via
+  // `always_terminal` below. Identity is immaterial (never observed when at
+  // least one entry exists); use T{}.
+  return {Any{}, T{}, std::nullopt};
+}
+
+/// Trait: true for the ANY monoid, whose reductions stop after one entry.
+template <class M>
+inline constexpr bool always_terminal =
+    std::is_same_v<typename M::op_type, Any>;
+
+}  // namespace gb

@@ -1,0 +1,375 @@
+// GrB_mxm: C<M> accum= op(A) ⊕.⊗ op(B), with the three kernel families of
+// SuiteSparse:GraphBLAS (§II-A):
+//
+//   * Gustavson — row-wise saxpy with a dense accumulator [Gustavson 1978];
+//     the general workhorse;
+//   * dot       — C(i,j) = A(i,:)·B(:,j); with a (non-complemented) mask it
+//     only computes the masked positions, and terminal monoids exit each
+//     dot early — this pairing is the "masked dot" the paper highlights;
+//   * heap      — k-way merge of the selected B rows through a min-heap
+//     [Azad et al. 2016]; wins when A's rows are very sparse.
+//
+// Each method has unmasked / masked / complemented-masked behaviour, giving
+// the "6 functions" (2 Gustavson + 3 dot + 1 heap) that the paper says
+// expand into all built-in semirings; here the expansion is done by the C++
+// template instantiation instead of a code generator.
+#pragma once
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "graphblas/mask_accum.hpp"
+#include "platform/parallel.hpp"
+#include "graphblas/semiring.hpp"
+#include "graphblas/store_utils.hpp"
+
+namespace gb {
+
+namespace detail {
+
+/// Append a finished row (sorted) to a hyper store under construction.
+template <class ZT>
+void finish_row(SparseStore<ZT>& t, Index r,
+                const std::vector<std::pair<Index, ZT>>& row) {
+  if (row.empty()) return;
+  for (const auto& [j, v] : row) {
+    t.i.push_back(j);
+    t.x.push_back(v);
+  }
+  t.h.push_back(r);
+  t.p.push_back(static_cast<Index>(t.i.size()));
+}
+
+/// Gustavson saxpy: one pass over A's stored rows; dense accumulator over
+/// B's column space. The mask is applied at row-emit time (row is gathered
+/// sorted, so the row-cursor probe applies).
+template <class SR, class AT, class BT, class MaskArg>
+SparseStore<typename SR::value_type> mxm_gustavson(
+    const SparseStore<AT>& ra, const SparseStore<BT>& rb, Index n,
+    const SR& sr, const MaskArg& mask, const Descriptor& desc) {
+  using ZT = typename SR::value_type;
+
+  // One chunk of A's stored rows; each worker owns its accumulator and
+  // output store, so rows stay independent (the OpenMP parallelisation
+  // §II-A describes as in progress for SuiteSparse). Chunk outputs are
+  // concatenated in order — bit-identical to the serial pass.
+  auto run_range = [&](Index klo, Index khi, SparseStore<ZT>& t) {
+    std::vector<ZT> acc(n);
+    std::vector<std::uint8_t> present(n, 0);
+    std::vector<Index> touched;
+    std::vector<std::pair<Index, ZT>> row;
+    MatrixMaskProbe<MaskArg> probe(mask, desc);
+
+    for (Index ka = klo; ka < khi; ++ka) {
+      Index r = ra.vec_id(ka);
+      touched.clear();
+      for (Index pa = ra.vec_begin(ka); pa < ra.vec_end(ka); ++pa) {
+        auto kb = rb.find_vec(ra.i[pa]);
+        if (!kb) continue;
+        const AT aval = ra.x[pa];
+        for (Index pb = rb.vec_begin(*kb); pb < rb.vec_end(*kb); ++pb) {
+          Index j = rb.i[pb];
+          ZT prod = static_cast<ZT>(sr.mul(aval, rb.x[pb]));
+          if (!present[j]) {
+            present[j] = 1;
+            acc[j] = prod;
+            touched.push_back(j);
+          } else if constexpr (!always_terminal<typename SR::add_type>) {
+            if (!sr.add.is_terminal(acc[j])) acc[j] = sr.add(acc[j], prod);
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      row.clear();
+      probe.begin_row(r);
+      for (Index j : touched) {
+        if (probe.test(j)) row.emplace_back(j, acc[j]);
+        present[j] = 0;
+      }
+      finish_row(t, r, row);
+    }
+  };
+
+  SparseStore<ZT> t(ra.vdim);
+  t.hyper = true;
+  t.p.assign(1, 0);
+  const int nthreads = platform::num_threads();
+  const Index nv = ra.nvec();
+  if (nthreads <= 1 || nv < 256) {
+    run_range(0, nv, t);
+    return t;
+  }
+  const auto nchunks = static_cast<std::size_t>(nthreads);
+  std::vector<SparseStore<ZT>> parts(nchunks, SparseStore<ZT>(ra.vdim));
+  for (auto& part : parts) {
+    part.hyper = true;
+    part.p.assign(1, 0);
+  }
+  platform::parallel_for_chunks(
+      nv, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        run_range(static_cast<Index>(lo), static_cast<Index>(hi), parts[c]);
+      });
+  // Ordered concatenation with pointer-offset fixup.
+  for (const auto& part : parts) {
+    const Index base = static_cast<Index>(t.i.size());
+    t.h.insert(t.h.end(), part.h.begin(), part.h.end());
+    for (std::size_t k = 1; k < part.p.size(); ++k) {
+      t.p.push_back(part.p[k] + base);
+    }
+    t.i.insert(t.i.end(), part.i.begin(), part.i.end());
+    t.x.insert(t.x.end(), part.x.begin(), part.x.end());
+  }
+  return t;
+}
+
+/// One dot product A(i,:)·B(:,j) over two sorted index lists, with terminal
+/// early exit. Returns true if any term existed.
+template <class SR, class AT, class BT>
+bool dot_pair(const SparseStore<AT>& ra, Index ka, const SparseStore<BT>& cb,
+              Index kb, const SR& sr, typename SR::value_type& out) {
+  using ZT = typename SR::value_type;
+  Index pa = ra.vec_begin(ka), ea = ra.vec_end(ka);
+  Index pb = cb.vec_begin(kb), eb = cb.vec_end(kb);
+  bool any = false;
+  ZT acc{};
+  while (pa < ea && pb < eb) {
+    if (ra.i[pa] < cb.i[pb]) {
+      ++pa;
+    } else if (cb.i[pb] < ra.i[pa]) {
+      ++pb;
+    } else {
+      ZT prod = static_cast<ZT>(sr.mul(ra.x[pa], cb.x[pb]));
+      acc = any ? sr.add(acc, prod) : prod;
+      any = true;
+      if constexpr (always_terminal<typename SR::add_type>) break;
+      if (sr.add.is_terminal(acc)) break;
+      ++pa;
+      ++pb;
+    }
+  }
+  if (any) out = acc;
+  return any;
+}
+
+/// Dot-product method. With a plain mask it visits only the mask's stored
+/// entries; with a complemented (or absent) mask it sweeps all (i, j) pairs
+/// with stored rows/columns.
+template <class SR, class AT, class BT, class MaskArg>
+SparseStore<typename SR::value_type> mxm_dot(const SparseStore<AT>& ra,
+                                             const SparseStore<BT>& cb,
+                                             const SR& sr, const MaskArg& mask,
+                                             const Descriptor& desc) {
+  using ZT = typename SR::value_type;
+  SparseStore<ZT> t(ra.vdim);
+  t.hyper = true;
+  t.p.assign(1, 0);
+  std::vector<std::pair<Index, ZT>> row;
+
+  if constexpr (is_masked<MaskArg>) {
+    if (!desc.mask_complement) {
+      // Visit exactly the mask's allowed entries.
+      const auto& ms = mask.by_row();
+      using MV = std::decay_t<decltype(ms.x[0])>;
+      for (Index km = 0; km < ms.nvec(); ++km) {
+        Index r = ms.vec_id(km);
+        auto ka = ra.find_vec(r);
+        if (!ka) continue;
+        row.clear();
+        for (Index pm = ms.vec_begin(km); pm < ms.vec_end(km); ++pm) {
+          if (!desc.mask_structural && ms.x[pm] == MV{}) continue;
+          auto kb = cb.find_vec(ms.i[pm]);
+          if (!kb) continue;
+          ZT val;
+          if (dot_pair(ra, *ka, cb, *kb, sr, val))
+            row.emplace_back(ms.i[pm], val);
+        }
+        finish_row(t, r, row);
+      }
+      return t;
+    }
+  }
+  // Unmasked or complemented mask: all stored-row × stored-column pairs;
+  // the write-back filters complemented positions.
+  MatrixMaskProbe<MaskArg> probe(mask, desc);
+  for (Index ka = 0; ka < ra.nvec(); ++ka) {
+    Index r = ra.vec_id(ka);
+    row.clear();
+    probe.begin_row(r);
+    for (Index kb = 0; kb < cb.nvec(); ++kb) {
+      Index j = cb.vec_id(kb);
+      if (!probe.test(j)) continue;
+      ZT val;
+      if (dot_pair(ra, ka, cb, kb, sr, val)) row.emplace_back(j, val);
+    }
+    finish_row(t, r, row);
+  }
+  return t;
+}
+
+/// Heap method: per output row, a k-way merge over the B rows selected by
+/// A's row pattern. Produces each row already sorted; memory O(row nnz of A).
+template <class SR, class AT, class BT, class MaskArg>
+SparseStore<typename SR::value_type> mxm_heap(const SparseStore<AT>& ra,
+                                              const SparseStore<BT>& rb,
+                                              const SR& sr, const MaskArg& mask,
+                                              const Descriptor& desc) {
+  using ZT = typename SR::value_type;
+  SparseStore<ZT> t(ra.vdim);
+  t.hyper = true;
+  t.p.assign(1, 0);
+  MatrixMaskProbe<MaskArg> probe(mask, desc);
+
+  // Heap node: (current column, B cursor, B end, A value, stream order).
+  // `ord` is the stream's position in A's row; tie-breaking on it makes the
+  // per-column combination order identical to Gustavson's k-ascending order,
+  // so all three methods produce bit-identical floating-point results (the
+  // paper's "identical floating-point roundoff error" test discipline).
+  struct Node {
+    Index col;
+    Index pos;
+    Index end;
+    AT aval;
+    Index ord;
+  };
+  auto cmp = [](const Node& x, const Node& y) {
+    return x.col > y.col || (x.col == y.col && x.ord > y.ord);
+  };
+  std::vector<std::pair<Index, ZT>> row;
+
+  for (Index ka = 0; ka < ra.nvec(); ++ka) {
+    Index r = ra.vec_id(ka);
+    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+    Index ord = 0;
+    for (Index pa = ra.vec_begin(ka); pa < ra.vec_end(ka); ++pa, ++ord) {
+      auto kb = rb.find_vec(ra.i[pa]);
+      if (!kb) continue;
+      Index begin = rb.vec_begin(*kb), end = rb.vec_end(*kb);
+      if (begin < end)
+        heap.push(Node{rb.i[begin], begin, end, ra.x[pa], ord});
+    }
+    row.clear();
+    probe.begin_row(r);
+    while (!heap.empty()) {
+      Node top = heap.top();
+      heap.pop();
+      Index j = top.col;
+      ZT acc = static_cast<ZT>(sr.mul(top.aval, rb.x[top.pos]));
+      // Advance this stream.
+      if (top.pos + 1 < top.end) {
+        heap.push(Node{rb.i[top.pos + 1], top.pos + 1, top.end, top.aval,
+                       top.ord});
+      }
+      // Combine all other streams currently at column j.
+      while (!heap.empty() && heap.top().col == j) {
+        Node nxt = heap.top();
+        heap.pop();
+        if constexpr (!always_terminal<typename SR::add_type>) {
+          if (!sr.add.is_terminal(acc)) {
+            acc = sr.add(acc,
+                         static_cast<ZT>(sr.mul(nxt.aval, rb.x[nxt.pos])));
+          }
+        }
+        if (nxt.pos + 1 < nxt.end) {
+          heap.push(Node{rb.i[nxt.pos + 1], nxt.pos + 1, nxt.end, nxt.aval,
+                         nxt.ord});
+        }
+      }
+      if (probe.test(j)) row.emplace_back(j, acc);
+    }
+    finish_row(t, r, row);
+  }
+  return t;
+}
+
+}  // namespace detail
+
+/// C<M> accum= op(A) ⊕.⊗ op(B). Returns the method actually used.
+template <class CT, class MaskArg, class Accum, class SR, class AT, class BT>
+MxmMethod mxm(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
+              const SR& sr, const Matrix<AT>& a, const Matrix<BT>& b,
+              const Descriptor& desc = desc_default) {
+  const Index m = input_nrows(a, desc.transpose_a);
+  const Index ka = input_ncols(a, desc.transpose_a);
+  const Index kb = input_nrows(b, desc.transpose_b);
+  const Index n = input_ncols(b, desc.transpose_b);
+  check_dims(c.nrows() == m && c.ncols() == n && ka == kb, "mxm: shapes");
+
+  MxmMethod method = desc.mxm;
+  if (method == MxmMethod::auto_select) {
+    // Masked outputs with a plain mask are cheapest as masked dots when the
+    // mask is sparse relative to the full output; otherwise saxpy.
+    if constexpr (is_masked<MaskArg>) {
+      if (!desc.mask_complement &&
+          mask.nvals() * 4 < m * std::max<Index>(n, 1)) {
+        method = MxmMethod::dot;
+      } else {
+        method = MxmMethod::gustavson;
+      }
+    } else {
+      method = MxmMethod::gustavson;
+    }
+  }
+
+  using ZT = typename SR::value_type;
+  SparseStore<ZT> t(m);
+  switch (method) {
+    case MxmMethod::gustavson:
+      t = detail::mxm_gustavson(input_rows(a, desc.transpose_a),
+                                input_rows(b, desc.transpose_b), n, sr, mask,
+                                desc);
+      break;
+    case MxmMethod::dot:
+      t = detail::mxm_dot(input_rows(a, desc.transpose_a),
+                          input_rows(b, !desc.transpose_b), sr, mask, desc);
+      break;
+    case MxmMethod::heap:
+      t = detail::mxm_heap(input_rows(a, desc.transpose_a),
+                           input_rows(b, desc.transpose_b), sr, mask, desc);
+      break;
+    case MxmMethod::auto_select:
+      throw Error(Info::panic, "mxm: unresolved auto method");
+  }
+  write_back(c, mask, accum, std::move(t), desc);
+  return method;
+}
+
+/// Kronecker product: C<M> accum= op(A) ⊗kron op(B) (GrB_kronecker).
+template <class CT, class MaskArg, class Accum, class Op, class AT, class BT>
+void kronecker(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, Op op,
+               const Matrix<AT>& a, const Matrix<BT>& b,
+               const Descriptor& desc = desc_default) {
+  const Index am = input_nrows(a, desc.transpose_a);
+  const Index an = input_ncols(a, desc.transpose_a);
+  const Index bm = input_nrows(b, desc.transpose_b);
+  const Index bn = input_ncols(b, desc.transpose_b);
+  check_dims(c.nrows() == am * bm && c.ncols() == an * bn, "kronecker: shapes");
+  const auto& ra = input_rows(a, desc.transpose_a);
+  const auto& rb = input_rows(b, desc.transpose_b);
+
+  using ZT = std::decay_t<decltype(op(std::declval<AT>(), std::declval<BT>()))>;
+  SparseStore<ZT> t(am * bm);
+  t.hyper = true;
+  t.p.assign(1, 0);
+  for (Index kaa = 0; kaa < ra.nvec(); ++kaa) {
+    Index ia = ra.vec_id(kaa);
+    for (Index kbb = 0; kbb < rb.nvec(); ++kbb) {
+      Index ib = rb.vec_id(kbb);
+      Index r = ia * bm + ib;
+      Index before = static_cast<Index>(t.i.size());
+      for (Index pa = ra.vec_begin(kaa); pa < ra.vec_end(kaa); ++pa) {
+        for (Index pb = rb.vec_begin(kbb); pb < rb.vec_end(kbb); ++pb) {
+          t.i.push_back(ra.i[pa] * bn + rb.i[pb]);
+          t.x.push_back(static_cast<ZT>(op(ra.x[pa], rb.x[pb])));
+        }
+      }
+      if (static_cast<Index>(t.i.size()) > before) {
+        t.h.push_back(r);
+        t.p.push_back(static_cast<Index>(t.i.size()));
+      }
+    }
+  }
+  write_back(c, mask, accum, std::move(t), desc);
+}
+
+}  // namespace gb

@@ -1,0 +1,217 @@
+// GrB_mxv / GrB_vxm: matrix-vector product over a semiring, with the
+// direction-optimisation machinery of §II-E:
+//
+//   * pull — dot products of matrix rows with a DENSE input vector (SpMV);
+//     wins when the input is dense; terminal monoids short-circuit each dot
+//     (§II-A's early-exit, bench C4);
+//   * push — saxpy over the columns selected by a SPARSE input vector
+//     (SpMSpV, Gustavson); wins when the input is sparse;
+//   * auto — the GraphBLAST rule: push when the input vector's density is
+//     below the descriptor threshold, pull when above. The two physical
+//     vector representations (Fig. 3) are exactly what the two methods need.
+//
+// This is the paper's flagship example of "abstract enough to let the
+// library choose, specific enough that it can" (§II-E).
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graphblas/mask_accum.hpp"
+#include "platform/parallel.hpp"
+#include "graphblas/semiring.hpp"
+#include "graphblas/store_utils.hpp"
+
+namespace gb {
+
+namespace detail {
+
+/// Pull kernel: t(r) = ⊕_j mul(R(r,:), u) for stored rows r. The mask probe
+/// lets masked pulls skip whole dot products — the "masked dot" of §II-A.
+///
+/// Rows are independent, so the kernel parallelises over contiguous chunks
+/// of stored rows (the OpenMP direction §II-A says is "in progress" for
+/// SuiteSparse); per-chunk outputs are concatenated in order, keeping the
+/// result bit-identical to the serial pass.
+template <class SR, class AT, class UT, class MaskArg>
+void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
+              const SR& sr, const VectorMaskProbe<MaskArg>& probe,
+              std::vector<Index>& ti,
+              std::vector<typename SR::value_type>& tv) {
+  using ZT = typename SR::value_type;
+  auto dv = u.dense_values();
+  auto pres = u.present();
+  const Index nv = rows.nvec();
+
+  auto run_range = [&](Index klo, Index khi, std::vector<Index>& oi,
+                       std::vector<ZT>& ov) {
+    for (Index k = klo; k < khi; ++k) {
+      Index r = rows.vec_id(k);
+      if (!probe.test(r)) continue;
+      ZT acc{};
+      bool any = false;
+      for (Index pos = rows.vec_begin(k); pos < rows.vec_end(k); ++pos) {
+        Index j = rows.i[pos];
+        if (!pres[j]) continue;
+        ZT prod = static_cast<ZT>(sr.mul(rows.x[pos], dv[j]));
+        acc = any ? sr.add(acc, prod) : prod;
+        any = true;
+        if constexpr (always_terminal<typename SR::add_type>) break;
+        if (sr.add.is_terminal(acc)) break;
+      }
+      if (any) {
+        oi.push_back(r);
+        ov.push_back(acc);
+      }
+    }
+  };
+
+  const int nthreads = platform::num_threads();
+  if (nthreads <= 1 || nv < 2048) {
+    run_range(0, nv, ti, tv);
+    return;
+  }
+  const Index nchunks = static_cast<Index>(nthreads);
+  std::vector<std::vector<Index>> cti(nchunks);
+  std::vector<std::vector<ZT>> ctv(nchunks);
+  platform::parallel_for_chunks(nv, nchunks, [&](std::size_t c, std::size_t lo,
+                                                 std::size_t hi) {
+    run_range(static_cast<Index>(lo), static_cast<Index>(hi), cti[c], ctv[c]);
+  });
+  for (Index c = 0; c < nchunks; ++c) {
+    ti.insert(ti.end(), cti[c].begin(), cti[c].end());
+    tv.insert(tv.end(), ctv[c].begin(), ctv[c].end());
+  }
+}
+
+/// Push kernel: t ⊕= mul(C(:,j), u(j)) for entries u(j). Uses a dense
+/// accumulator when the output dimension is addressable, a hash accumulator
+/// for hypersparse-scale dimensions.
+template <class SR, class AT, class UT, class MaskArg>
+void mxv_push(const SparseStore<AT>& cols, Index out_dim, const Vector<UT>& u,
+              const SR& sr, const VectorMaskProbe<MaskArg>& probe,
+              std::vector<Index>& ti,
+              std::vector<typename SR::value_type>& tv) {
+  using ZT = typename SR::value_type;
+  auto ui = u.indices();
+  auto uv = u.values();
+  // Beyond this dimension a dense accumulator (8n bytes + bitmap) stops
+  // being reasonable; fall back to hashing (the hypersparse regime).
+  constexpr Index kDenseLimit = Index{1} << 23;
+  if (out_dim <= kDenseLimit) {
+    std::vector<ZT> acc(out_dim);
+    std::vector<std::uint8_t> present(out_dim, 0);
+    std::vector<Index> touched;
+    for (std::size_t k = 0; k < ui.size(); ++k) {
+      auto ck = cols.find_vec(ui[k]);
+      if (!ck) continue;
+      const UT uval = uv[k];
+      for (Index pos = cols.vec_begin(*ck); pos < cols.vec_end(*ck); ++pos) {
+        Index r = cols.i[pos];
+        if (!probe.test(r)) continue;
+        ZT prod = static_cast<ZT>(sr.mul(cols.x[pos], uval));
+        if (!present[r]) {
+          present[r] = 1;
+          acc[r] = prod;
+          touched.push_back(r);
+        } else if (!sr.add.is_terminal(acc[r])) {
+          if constexpr (!always_terminal<typename SR::add_type>) {
+            acc[r] = sr.add(acc[r], prod);
+          }
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    ti.reserve(touched.size());
+    tv.reserve(touched.size());
+    for (Index r : touched) {
+      ti.push_back(r);
+      tv.push_back(acc[r]);
+    }
+  } else {
+    std::unordered_map<Index, ZT> acc;
+    for (std::size_t k = 0; k < ui.size(); ++k) {
+      auto ck = cols.find_vec(ui[k]);
+      if (!ck) continue;
+      const UT uval = uv[k];
+      for (Index pos = cols.vec_begin(*ck); pos < cols.vec_end(*ck); ++pos) {
+        Index r = cols.i[pos];
+        if (!probe.test(r)) continue;
+        ZT prod = static_cast<ZT>(sr.mul(cols.x[pos], uval));
+        auto [it, inserted] = acc.try_emplace(r, prod);
+        if (!inserted && !sr.add.is_terminal(it->second)) {
+          if constexpr (!always_terminal<typename SR::add_type>) {
+            it->second = sr.add(it->second, prod);
+          }
+        }
+      }
+    }
+    ti.reserve(acc.size());
+    for (const auto& [r, _] : acc) ti.push_back(r);
+    std::sort(ti.begin(), ti.end());
+    tv.reserve(acc.size());
+    for (Index r : ti) tv.push_back(acc.at(r));
+  }
+}
+
+/// Multiply-op wrapper that swaps operand order (vxm sees mul(u, A) where
+/// the mxv kernels compute mul(A, u)).
+template <class Mul>
+struct FlippedMul {
+  Mul inner{};
+  template <class X, class Y>
+  constexpr auto operator()(const X& x, const Y& y) const {
+    return inner(y, x);
+  }
+};
+
+}  // namespace detail
+
+/// w<m> accum= op(A) ⊕.⊗ u. Returns the traversal direction actually used
+/// (so tests and the BFS bench can observe the optimiser's choice).
+template <class CT, class MaskArg, class Accum, class SR, class AT, class UT>
+MxvMethod mxv(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
+              const SR& sr, const Matrix<AT>& a, const Vector<UT>& u,
+              const Descriptor& desc = desc_default) {
+  const Index out_dim = input_nrows(a, desc.transpose_a);
+  const Index in_dim = input_ncols(a, desc.transpose_a);
+  check_dims(w.size() == out_dim && u.size() == in_dim, "mxv: shapes");
+
+  MxvMethod method = desc.mxv;
+  if (method == MxvMethod::auto_select) {
+    method = u.density() < desc.push_pull_threshold ? MxvMethod::push
+                                                    : MxvMethod::pull;
+  }
+
+  using ZT = typename SR::value_type;
+  std::vector<Index> ti;
+  std::vector<ZT> tv;
+  VectorMaskProbe<MaskArg> probe(mask, out_dim, desc);
+  if (method == MxvMethod::pull) {
+    detail::mxv_pull(input_rows(a, desc.transpose_a), u, sr, probe, ti, tv);
+  } else {
+    // Columns of op(A) = rows of the opposite orientation.
+    detail::mxv_push(input_rows(a, !desc.transpose_a), out_dim, u, sr, probe,
+                     ti, tv);
+  }
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+  return method;
+}
+
+/// w'<m'> accum= u' ⊕.⊗ op(A) — identical to mxv with op(A) transposed.
+template <class CT, class MaskArg, class Accum, class SR, class AT, class UT>
+MxvMethod vxm(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
+              const SR& sr, const Vector<UT>& u, const Matrix<AT>& a,
+              const Descriptor& desc = desc_default) {
+  Descriptor d = desc;
+  d.transpose_a = !desc.transpose_a;
+  // vxm's multiplier order is mul(u(k), A(k, j)); mxv computes
+  // mul(A(j, k), u(k)). Flip the operand order to preserve semantics for
+  // non-commutative multipliers (First/Second, Minus, Div, ...).
+  using Flip = detail::FlippedMul<typename SR::mul_type>;
+  Semiring<typename SR::add_type, Flip> flipped{sr.add, Flip{sr.mul}};
+  return mxv(w, mask, accum, flipped, a, u, d);
+}
+
+}  // namespace gb

@@ -1,0 +1,406 @@
+// Built-in unary, binary, and index-unary operators (GrB_UnaryOp,
+// GrB_BinaryOp, GxB select ops). Each is a stateless polymorphic functor; a
+// kernel templated on the functor type gets a fully inlined inner loop, which
+// is the C++ analogue of SuiteSparse's per-semiring code generation (§II-A).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "graphblas/types.hpp"
+
+namespace gb {
+
+// ---------------------------------------------------------------------------
+// Binary operators. z = f(x, y). The "Is*" family returns 0/1 in the value
+// domain; the comparison family (Eq..Le) returns bool.
+// ---------------------------------------------------------------------------
+
+struct First {
+  static constexpr const char* name = "first";
+  template <class A, class B>
+  constexpr A operator()(const A& a, const B&) const noexcept { return a; }
+};
+
+struct Second {
+  static constexpr const char* name = "second";
+  template <class A, class B>
+  constexpr B operator()(const A&, const B& b) const noexcept { return b; }
+};
+
+/// GxB_PAIR: 1 whatever the operands; the structural multiply used by
+/// triangle counting (plus_pair semiring).
+struct Pair {
+  static constexpr const char* name = "pair";
+  template <class A, class B>
+  constexpr int operator()(const A&, const B&) const noexcept { return 1; }
+};
+
+struct Plus {
+  static constexpr const char* name = "plus";
+  template <class A, class B>
+  constexpr auto operator()(const A& a, const B& b) const noexcept {
+    using R = std::common_type_t<A, B>;
+    return static_cast<R>(a + b);
+  }
+};
+
+struct Minus {
+  static constexpr const char* name = "minus";
+  template <class A, class B>
+  constexpr auto operator()(const A& a, const B& b) const noexcept {
+    using R = std::common_type_t<A, B>;
+    return static_cast<R>(a - b);
+  }
+};
+
+struct Rminus {
+  static constexpr const char* name = "rminus";
+  template <class A, class B>
+  constexpr auto operator()(const A& a, const B& b) const noexcept {
+    using R = std::common_type_t<A, B>;
+    return static_cast<R>(b - a);
+  }
+};
+
+struct Times {
+  static constexpr const char* name = "times";
+  template <class A, class B>
+  constexpr auto operator()(const A& a, const B& b) const noexcept {
+    using R = std::common_type_t<A, B>;
+    return static_cast<R>(a * b);
+  }
+};
+
+struct Div {
+  static constexpr const char* name = "div";
+  template <class A, class B>
+  constexpr auto operator()(const A& a, const B& b) const noexcept {
+    using R = std::common_type_t<A, B>;
+    return static_cast<R>(a / b);
+  }
+};
+
+struct Rdiv {
+  static constexpr const char* name = "rdiv";
+  template <class A, class B>
+  constexpr auto operator()(const A& a, const B& b) const noexcept {
+    using R = std::common_type_t<A, B>;
+    return static_cast<R>(b / a);
+  }
+};
+
+struct Min {
+  static constexpr const char* name = "min";
+  template <class A, class B>
+  constexpr auto operator()(const A& a, const B& b) const noexcept {
+    using R = std::common_type_t<A, B>;
+    auto x = static_cast<R>(a);
+    auto y = static_cast<R>(b);
+    return y < x ? y : x;
+  }
+};
+
+struct Max {
+  static constexpr const char* name = "max";
+  template <class A, class B>
+  constexpr auto operator()(const A& a, const B& b) const noexcept {
+    using R = std::common_type_t<A, B>;
+    auto x = static_cast<R>(a);
+    auto y = static_cast<R>(b);
+    return x < y ? y : x;
+  }
+};
+
+// Boolean-in-value-domain operators (operands coerced through != 0).
+
+struct Lor {
+  static constexpr const char* name = "lor";
+  template <class A, class B>
+  constexpr bool operator()(const A& a, const B& b) const noexcept {
+    return (a != A{}) || (b != B{});
+  }
+};
+
+struct Land {
+  static constexpr const char* name = "land";
+  template <class A, class B>
+  constexpr bool operator()(const A& a, const B& b) const noexcept {
+    return (a != A{}) && (b != B{});
+  }
+};
+
+struct Lxor {
+  static constexpr const char* name = "lxor";
+  template <class A, class B>
+  constexpr bool operator()(const A& a, const B& b) const noexcept {
+    return (a != A{}) != (b != B{});
+  }
+};
+
+struct Lxnor {
+  static constexpr const char* name = "lxnor";
+  template <class A, class B>
+  constexpr bool operator()(const A& a, const B& b) const noexcept {
+    return (a != A{}) == (b != B{});
+  }
+};
+
+// Comparisons returning bool (GrB_EQ_T .. GrB_LE_T).
+
+struct Eq {
+  static constexpr const char* name = "eq";
+  template <class T>
+  constexpr bool operator()(const T& a, const T& b) const noexcept { return a == b; }
+};
+struct Ne {
+  static constexpr const char* name = "ne";
+  template <class T>
+  constexpr bool operator()(const T& a, const T& b) const noexcept { return a != b; }
+};
+struct Gt {
+  static constexpr const char* name = "gt";
+  template <class T>
+  constexpr bool operator()(const T& a, const T& b) const noexcept { return a > b; }
+};
+struct Lt {
+  static constexpr const char* name = "lt";
+  template <class T>
+  constexpr bool operator()(const T& a, const T& b) const noexcept { return a < b; }
+};
+struct Ge {
+  static constexpr const char* name = "ge";
+  template <class T>
+  constexpr bool operator()(const T& a, const T& b) const noexcept { return a >= b; }
+};
+struct Le {
+  static constexpr const char* name = "le";
+  template <class T>
+  constexpr bool operator()(const T& a, const T& b) const noexcept { return a <= b; }
+};
+
+// "Is" comparisons returning 0/1 in the value domain (GrB_ISEQ_T ...).
+
+struct Iseq {
+  static constexpr const char* name = "iseq";
+  template <class T>
+  constexpr T operator()(const T& a, const T& b) const noexcept {
+    return static_cast<T>(a == b);
+  }
+};
+struct Isne {
+  static constexpr const char* name = "isne";
+  template <class T>
+  constexpr T operator()(const T& a, const T& b) const noexcept {
+    return static_cast<T>(a != b);
+  }
+};
+struct Isgt {
+  static constexpr const char* name = "isgt";
+  template <class T>
+  constexpr T operator()(const T& a, const T& b) const noexcept {
+    return static_cast<T>(a > b);
+  }
+};
+struct Islt {
+  static constexpr const char* name = "islt";
+  template <class T>
+  constexpr T operator()(const T& a, const T& b) const noexcept {
+    return static_cast<T>(a < b);
+  }
+};
+struct Isge {
+  static constexpr const char* name = "isge";
+  template <class T>
+  constexpr T operator()(const T& a, const T& b) const noexcept {
+    return static_cast<T>(a >= b);
+  }
+};
+struct Isle {
+  static constexpr const char* name = "isle";
+  template <class T>
+  constexpr T operator()(const T& a, const T& b) const noexcept {
+    return static_cast<T>(a <= b);
+  }
+};
+
+/// GxB_ANY: pick either operand (associative, idempotent; terminal monoid).
+struct Any {
+  static constexpr const char* name = "any";
+  template <class T>
+  constexpr T operator()(const T& a, const T&) const noexcept { return a; }
+};
+
+// ---------------------------------------------------------------------------
+// Unary operators. z = f(x).
+// ---------------------------------------------------------------------------
+
+struct Identity {
+  static constexpr const char* name = "identity";
+  template <class T>
+  constexpr T operator()(const T& a) const noexcept { return a; }
+};
+
+struct Ainv {  // additive inverse
+  static constexpr const char* name = "ainv";
+  template <class T>
+  constexpr T operator()(const T& a) const noexcept { return static_cast<T>(-a); }
+};
+
+struct Minv {  // multiplicative inverse
+  static constexpr const char* name = "minv";
+  template <class T>
+  constexpr T operator()(const T& a) const noexcept {
+    return static_cast<T>(T{1} / a);
+  }
+};
+
+struct Lnot {
+  static constexpr const char* name = "lnot";
+  template <class T>
+  constexpr bool operator()(const T& a) const noexcept { return a == T{}; }
+};
+
+struct Abs {
+  static constexpr const char* name = "abs";
+  template <class T>
+  constexpr T operator()(const T& a) const noexcept {
+    if constexpr (std::is_unsigned_v<T>) return a;
+    else return a < T{} ? static_cast<T>(-a) : a;
+  }
+};
+
+struct One {
+  static constexpr const char* name = "one";
+  template <class T>
+  constexpr T operator()(const T&) const noexcept { return T{1}; }
+};
+
+/// Bind a scalar to a binary op's second operand: apply(f, x) = f(x, s).
+template <class BinOp, class S>
+struct BindSecond {
+  static constexpr const char* name = "bind2nd";
+  BinOp op{};
+  S s{};
+  template <class T>
+  constexpr auto operator()(const T& a) const noexcept { return op(a, s); }
+};
+
+/// Bind a scalar to a binary op's first operand: apply(f, x) = f(s, x).
+template <class BinOp, class S>
+struct BindFirst {
+  static constexpr const char* name = "bind1st";
+  BinOp op{};
+  S s{};
+  template <class T>
+  constexpr auto operator()(const T& a) const noexcept { return op(s, a); }
+};
+
+// ---------------------------------------------------------------------------
+// Index-unary operators for select/apply: f(value, i, j, thunk) -> keep?
+// (GrB_IndexUnaryOp). j is 0 for vectors.
+// ---------------------------------------------------------------------------
+
+struct SelTril {  // keep entries on or below the thunk-th diagonal
+  static constexpr const char* name = "tril";
+  template <class T, class S>
+  constexpr bool operator()(const T&, Index i, Index j, S thunk) const noexcept {
+    return static_cast<std::int64_t>(j) <=
+           static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct SelTriu {  // keep entries on or above the thunk-th diagonal
+  static constexpr const char* name = "triu";
+  template <class T, class S>
+  constexpr bool operator()(const T&, Index i, Index j, S thunk) const noexcept {
+    return static_cast<std::int64_t>(j) >=
+           static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct SelDiag {
+  static constexpr const char* name = "diag";
+  template <class T, class S>
+  constexpr bool operator()(const T&, Index i, Index j, S thunk) const noexcept {
+    return static_cast<std::int64_t>(j) ==
+           static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct SelOffdiag {
+  static constexpr const char* name = "offdiag";
+  template <class T, class S>
+  constexpr bool operator()(const T&, Index i, Index j, S thunk) const noexcept {
+    return static_cast<std::int64_t>(j) !=
+           static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct SelValueNe {
+  static constexpr const char* name = "valuene";
+  template <class T, class S>
+  constexpr bool operator()(const T& v, Index, Index, S thunk) const noexcept {
+    return v != static_cast<T>(thunk);
+  }
+};
+
+struct SelValueEq {
+  static constexpr const char* name = "valueeq";
+  template <class T, class S>
+  constexpr bool operator()(const T& v, Index, Index, S thunk) const noexcept {
+    return v == static_cast<T>(thunk);
+  }
+};
+
+struct SelValueGt {
+  static constexpr const char* name = "valuegt";
+  template <class T, class S>
+  constexpr bool operator()(const T& v, Index, Index, S thunk) const noexcept {
+    return v > static_cast<T>(thunk);
+  }
+};
+
+struct SelValueGe {
+  static constexpr const char* name = "valuege";
+  template <class T, class S>
+  constexpr bool operator()(const T& v, Index, Index, S thunk) const noexcept {
+    return v >= static_cast<T>(thunk);
+  }
+};
+
+struct SelValueLt {
+  static constexpr const char* name = "valuelt";
+  template <class T, class S>
+  constexpr bool operator()(const T& v, Index, Index, S thunk) const noexcept {
+    return v < static_cast<T>(thunk);
+  }
+};
+
+struct SelValueLe {
+  static constexpr const char* name = "valuele";
+  template <class T, class S>
+  constexpr bool operator()(const T& v, Index, Index, S thunk) const noexcept {
+    return v <= static_cast<T>(thunk);
+  }
+};
+
+/// Row/column index extractors used with apply variants (GrB_ROWINDEX etc.).
+struct RowIndex {
+  static constexpr const char* name = "rowindex";
+  template <class T, class S>
+  constexpr std::int64_t operator()(const T&, Index i, Index, S thunk) const noexcept {
+    return static_cast<std::int64_t>(i) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+struct ColIndex {
+  static constexpr const char* name = "colindex";
+  template <class T, class S>
+  constexpr std::int64_t operator()(const T&, Index, Index j, S thunk) const noexcept {
+    return static_cast<std::int64_t>(j) + static_cast<std::int64_t>(thunk);
+  }
+};
+
+}  // namespace gb

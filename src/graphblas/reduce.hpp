@@ -1,0 +1,77 @@
+// GrB_reduce: row-reduce a matrix to a vector, or reduce a matrix/vector to
+// a scalar, under a monoid (Table I "reduce"). Terminal monoids short-circuit
+// (§II-A's early-exit mechanism).
+#pragma once
+
+#include <vector>
+
+#include "graphblas/mask_accum.hpp"
+#include "graphblas/store_utils.hpp"
+
+namespace gb {
+
+/// w<m> accum= reduce-rows(op(A)): w(i) = ⊕_j op(A)(i, j).
+template <class CT, class MaskArg, class Accum, class M, class AT>
+void reduce(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
+            const M& monoid, const Matrix<AT>& a,
+            const Descriptor& desc = desc_default) {
+  check_dims(w.size() == input_nrows(a, desc.transpose_a), "reduce: w/A shape");
+  const auto& s = input_rows(a, desc.transpose_a);
+  using ZT = typename M::value_type;
+  std::vector<Index> ti;
+  std::vector<ZT> tv;
+  for (Index k = 0; k < s.nvec(); ++k) {
+    Index begin = s.vec_begin(k), end = s.vec_end(k);
+    if (begin == end) continue;
+    ZT acc = static_cast<ZT>(s.x[begin]);
+    for (Index pos = begin + 1; pos < end; ++pos) {
+      if constexpr (always_terminal<M>) break;
+      if (monoid.is_terminal(acc)) break;
+      acc = monoid(acc, static_cast<ZT>(s.x[pos]));
+    }
+    ti.push_back(s.vec_id(k));
+    tv.push_back(acc);
+  }
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+}
+
+/// Scalar reduce of a matrix: ⊕ over all entries. Returns the monoid
+/// identity for an empty matrix (GrB semantics with an init value).
+template <class M, class AT>
+[[nodiscard]] typename M::value_type reduce_scalar(const M& monoid,
+                                                   const Matrix<AT>& a) {
+  using ZT = typename M::value_type;
+  const auto& s = a.by_row();
+  ZT acc = monoid.identity;
+  for (std::size_t k = 0; k < s.x.size(); ++k) {
+    acc = monoid(acc, static_cast<ZT>(s.x[k]));
+    if (monoid.is_terminal(acc)) break;
+  }
+  return acc;
+}
+
+/// Scalar reduce of a vector.
+template <class M, class UT>
+[[nodiscard]] typename M::value_type reduce_scalar(const M& monoid,
+                                                   const Vector<UT>& u) {
+  using ZT = typename M::value_type;
+  ZT acc = monoid.identity;
+  if (u.is_dense_rep()) {
+    auto present = u.present();
+    auto values = u.dense_values();
+    for (Index i = 0; i < u.size(); ++i) {
+      if (!present[i]) continue;
+      acc = monoid(acc, static_cast<ZT>(values[i]));
+      if (monoid.is_terminal(acc)) break;
+    }
+  } else {
+    auto val = u.values();
+    for (std::size_t k = 0; k < val.size(); ++k) {
+      acc = monoid(acc, static_cast<ZT>(val[k]));
+      if (monoid.is_terminal(acc)) break;
+    }
+  }
+  return acc;
+}
+
+}  // namespace gb

@@ -1,0 +1,152 @@
+#include "graphblas/registry.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace gb {
+
+namespace {
+
+const std::vector<std::string> kTypes = {
+    "bool",  "int8",  "uint8",  "int16", "uint16", "int32",
+    "uint32", "int64", "uint64", "fp32",  "fp64"};
+
+// Add monoids of the built-in set: MIN, MAX, PLUS, TIMES over every type,
+// plus the Boolean monoids LOR, LAND, LXOR, EQ (xnor).
+const std::vector<std::string> kNumericMonoids = {"min", "max", "plus",
+                                                  "times"};
+const std::vector<std::string> kBoolMonoids = {"lor", "land", "lxor", "eq"};
+
+// Multiply ops of the extended (GxB) set whose output is the input type T:
+// T x T -> T.
+const std::vector<std::string> kTtoTOps = {
+    "first", "second", "min",  "max",  "plus", "minus", "times", "div",
+    "iseq",  "isne",   "isgt", "islt", "isge", "isle",  "lor",   "land",
+    "lxor"};
+
+// Comparison ops: T x T -> bool.
+const std::vector<std::string> kCompareOps = {"eq", "ne", "gt",
+                                              "lt", "ge", "le"};
+
+// Standard C API binary operators (GrB_*): the IS* family and the
+// logical ops over non-bool types are SuiteSparse extensions (GxB_*).
+bool op_is_standard(const std::string& op, const std::string& type) {
+  static const std::set<std::string> grb = {
+      "first", "second", "min", "max", "plus",  "minus", "times", "div",
+      "eq",    "ne",     "gt",  "lt",  "ge",    "le",    "lor",   "land",
+      "lxor"};
+  if (grb.count(op) == 0) return false;
+  // GrB logical ops are bool-only; over numeric types they are GxB.
+  if ((op == "lor" || op == "land" || op == "lxor") && type != "bool") {
+    return false;
+  }
+  return true;
+}
+
+// Over bool, many operators coincide; canonicalise to the lexicographically
+// natural representative, exactly mirroring the SuiteSparse user-guide
+// dedup table.
+std::string canonical_bool_op(const std::string& op) {
+  if (op == "min" || op == "times" || op == "land") return "land";
+  if (op == "max" || op == "plus" || op == "lor") return "lor";
+  if (op == "minus" || op == "rminus" || op == "ne" || op == "isne" ||
+      op == "lxor") {
+    return "lxor";
+  }
+  if (op == "div") return "first";
+  if (op == "rdiv") return "second";
+  if (op == "iseq" || op == "eq") return "eq";
+  if (op == "isgt" || op == "gt") return "gt";
+  if (op == "islt" || op == "lt") return "lt";
+  if (op == "isge" || op == "ge") return "ge";
+  if (op == "isle" || op == "le") return "le";
+  return op;  // first, second
+}
+
+std::string canonical_bool_monoid(const std::string& m) {
+  if (m == "min" || m == "times") return "land";
+  if (m == "max" || m == "plus") return "lor";
+  return m;  // lor, land, lxor, eq
+}
+
+std::vector<SemiringRecord> build_registry() {
+  // key -> is_standard (a semiring is "standard" if ANY standard operator
+  // combination produces it).
+  std::map<std::tuple<std::string, std::string, std::string>, bool> uniq;
+
+  auto add = [&uniq](std::string monoid, std::string op, std::string type,
+                     bool standard) {
+    if (type == "bool") {
+      monoid = canonical_bool_monoid(monoid);
+      op = canonical_bool_op(op);
+    }
+    auto key = std::make_tuple(monoid, op, type);
+    auto [it, inserted] = uniq.try_emplace(key, standard);
+    if (!inserted) it->second = it->second || standard;
+  };
+
+  for (const auto& type : kTypes) {
+    // (a) T-domain monoids with T x T -> T multiply ops.
+    for (const auto& m : kNumericMonoids) {
+      for (const auto& op : kTtoTOps) {
+        add(m, op, type, op_is_standard(op, type));
+      }
+    }
+    if (type == "bool") {
+      // Over bool the Boolean monoids also combine with the T->T ops, and
+      // the comparison ops are in the same domain (bool x bool -> bool).
+      for (const auto& m : kBoolMonoids) {
+        for (const auto& op : kTtoTOps) {
+          add(m, op, type, op_is_standard(op, type));
+        }
+      }
+      for (const auto& m : kNumericMonoids) {
+        for (const auto& op : kCompareOps) {
+          add(m, op, type, op_is_standard(op, type));
+        }
+      }
+      for (const auto& m : kBoolMonoids) {
+        for (const auto& op : kCompareOps) {
+          add(m, op, type, op_is_standard(op, type));
+        }
+      }
+    } else {
+      // (b) bool-domain monoids with comparison multiply ops over T.
+      for (const auto& m : kBoolMonoids) {
+        for (const auto& op : kCompareOps) {
+          add(m, op, type, op_is_standard(op, type));
+        }
+      }
+    }
+  }
+
+  std::vector<SemiringRecord> recs;
+  recs.reserve(uniq.size());
+  for (const auto& [key, standard] : uniq) {
+    recs.push_back(SemiringRecord{std::get<0>(key), std::get<1>(key),
+                                  std::get<2>(key), standard});
+  }
+  return recs;
+}
+
+}  // namespace
+
+const std::vector<SemiringRecord>& semiring_registry() {
+  static const std::vector<SemiringRecord> recs = build_registry();
+  return recs;
+}
+
+std::size_t semiring_count_extended() { return semiring_registry().size(); }
+
+std::size_t semiring_count_standard() {
+  const auto& recs = semiring_registry();
+  return static_cast<std::size_t>(
+      std::count_if(recs.begin(), recs.end(),
+                    [](const SemiringRecord& r) { return r.standard_c_api; }));
+}
+
+const std::vector<std::string>& builtin_types() { return kTypes; }
+
+}  // namespace gb

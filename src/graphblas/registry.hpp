@@ -1,0 +1,40 @@
+// Semiring registry: enumerates the built-in semiring space the way the
+// SuiteSparse:GraphBLAS user guide counts it, reproducing the paper's §II-A
+// claims — 960 unique semirings from the extended (GxB) operator set, 600
+// from the operators of the GraphBLAS C API alone.
+//
+// The registry is *metadata*: each record names an (add monoid, multiply op,
+// type) triple after canonicalising Boolean aliases (over bool, MIN==LAND,
+// MAX==PLUS==LOR, TIMES==LAND, DIV==FIRST, MINUS==LXOR, the IS* ops
+// collapse into their comparison twins, ...). Kernels are instantiated from
+// C++ templates on demand, so the registry does not force 960 template
+// instantiations — it documents and verifies the space, and the benches
+// instantiate representative members.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gb {
+
+struct SemiringRecord {
+  std::string add_monoid;  ///< canonical add-monoid name, e.g. "plus"
+  std::string multiply;    ///< canonical multiply-op name, e.g. "times"
+  std::string type;        ///< domain name, e.g. "fp64"
+  bool standard_c_api;     ///< constructible from GrB (non-GxB) operators
+};
+
+/// All unique built-in semirings after canonicalisation.
+[[nodiscard]] const std::vector<SemiringRecord>& semiring_registry();
+
+/// Count of unique semirings from the extended operator set (paper: 960).
+[[nodiscard]] std::size_t semiring_count_extended();
+
+/// Count of unique semirings from the standard C API operator set
+/// (paper: 600).
+[[nodiscard]] std::size_t semiring_count_standard();
+
+/// The 11 built-in scalar type names (bool + 10 numeric).
+[[nodiscard]] const std::vector<std::string>& builtin_types();
+
+}  // namespace gb

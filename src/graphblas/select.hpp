@@ -1,0 +1,76 @@
+// GrB_select: keep the entries satisfying an index-unary predicate
+// (tril/triu/diag/value tests). LAGraph's triangle counting and k-truss are
+// built on this.
+#pragma once
+
+#include <vector>
+
+#include "graphblas/mask_accum.hpp"
+#include "graphblas/store_utils.hpp"
+
+namespace gb {
+
+/// w<m> accum= select(f, u, thunk): keep u(i) where f(u(i), i, 0, thunk).
+template <class CT, class MaskArg, class Accum, class SelOp, class UT, class S>
+void select(Vector<CT>& w, const MaskArg& mask, const Accum& accum, SelOp f,
+            const Vector<UT>& u, S thunk,
+            const Descriptor& desc = desc_default) {
+  check_dims(w.size() == u.size(), "select: w/u size");
+  auto ui = u.indices();
+  auto uv = u.values();
+  std::vector<Index> ti;
+  std::vector<UT> tv;
+  for (std::size_t k = 0; k < ui.size(); ++k) {
+    if (f(uv[k], ui[k], Index{0}, thunk)) {
+      ti.push_back(ui[k]);
+      tv.push_back(uv[k]);
+    }
+  }
+  write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+}
+
+/// C<M> accum= select(f, op(A), thunk).
+template <class CT, class MaskArg, class Accum, class SelOp, class AT, class S>
+void select(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, SelOp f,
+            const Matrix<AT>& a, S thunk,
+            const Descriptor& desc = desc_default) {
+  check_dims(c.nrows() == input_nrows(a, desc.transpose_a) &&
+                 c.ncols() == input_ncols(a, desc.transpose_a),
+             "select: C/A shape");
+  const auto& s = input_rows(a, desc.transpose_a);
+  SparseStore<AT> t(s.vdim);
+  t.hyper = true;  // rows appear only as they keep entries
+  t.p.assign(1, 0);
+  for (Index k = 0; k < s.nvec(); ++k) {
+    Index row = s.vec_id(k);
+    for (Index pos = s.vec_begin(k); pos < s.vec_end(k); ++pos) {
+      if (f(s.x[pos], row, s.i[pos], thunk)) {
+        t.i.push_back(s.i[pos]);
+        t.x.push_back(s.x[pos]);
+      }
+    }
+    if (static_cast<Index>(t.i.size()) > t.p.back()) {
+      t.h.push_back(row);
+      t.p.push_back(static_cast<Index>(t.i.size()));
+    }
+  }
+  write_back(c, mask, accum, std::move(t), desc);
+}
+
+/// Convenience: strictly-lower-triangular part of A (LAGraph's tril(A, -1)).
+template <class T>
+[[nodiscard]] Matrix<T> tril(const Matrix<T>& a, std::int64_t k = 0) {
+  Matrix<T> c(a.nrows(), a.ncols());
+  select(c, no_mask, no_accum, SelTril{}, a, k);
+  return c;
+}
+
+/// Convenience: strictly-upper-triangular part of A.
+template <class T>
+[[nodiscard]] Matrix<T> triu(const Matrix<T>& a, std::int64_t k = 0) {
+  Matrix<T> c(a.nrows(), a.ncols());
+  select(c, no_mask, no_accum, SelTriu{}, a, k);
+  return c;
+}
+
+}  // namespace gb

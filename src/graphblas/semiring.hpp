@@ -1,0 +1,129 @@
+// Semirings: (add monoid, multiply op) pairs. Kernels are templated on the
+// semiring type, so every factory below compiles to a dedicated fully-inlined
+// kernel — the C++ counterpart of SuiteSparse:GraphBLAS's code-generated
+// per-semiring functions (§II-A).
+#pragma once
+
+#include "graphblas/monoid.hpp"
+
+namespace gb {
+
+template <class AddMonoid, class MulOp>
+struct Semiring {
+  using add_type = AddMonoid;
+  using mul_type = MulOp;
+  /// The output (and reduction) domain Z.
+  using value_type = typename AddMonoid::value_type;
+
+  AddMonoid add{};
+  MulOp mul{};
+};
+
+// --- the semirings LAGraph actually leans on --------------------------------
+
+/// plus_times: ordinary linear algebra; PageRank, DNN inference.
+template <class T>
+[[nodiscard]] constexpr auto plus_times() noexcept {
+  return Semiring<Monoid<T, Plus>, Times>{plus_monoid<T>(), Times{}};
+}
+
+/// min_plus (tropical): shortest paths.
+template <class T>
+[[nodiscard]] constexpr auto min_plus() noexcept {
+  return Semiring<Monoid<T, Min>, Plus>{min_monoid<T>(), Plus{}};
+}
+
+/// max_plus: critical paths / widest-cost variants.
+template <class T>
+[[nodiscard]] constexpr auto max_plus() noexcept {
+  return Semiring<Monoid<T, Max>, Plus>{max_monoid<T>(), Plus{}};
+}
+
+/// min_times and max_times round out the tropical family.
+template <class T>
+[[nodiscard]] constexpr auto min_times() noexcept {
+  return Semiring<Monoid<T, Min>, Times>{min_monoid<T>(), Times{}};
+}
+template <class T>
+[[nodiscard]] constexpr auto max_times() noexcept {
+  return Semiring<Monoid<T, Max>, Times>{max_monoid<T>(), Times{}};
+}
+
+/// max_min: bottleneck / widest path.
+template <class T>
+[[nodiscard]] constexpr auto max_min() noexcept {
+  return Semiring<Monoid<T, Max>, Min>{max_monoid<T>(), Min{}};
+}
+template <class T>
+[[nodiscard]] constexpr auto min_max() noexcept {
+  return Semiring<Monoid<T, Min>, Max>{min_monoid<T>(), Max{}};
+}
+
+/// lor_land over bool: reachability; the "LogicalSemiring" of Fig. 2.
+[[nodiscard]] constexpr auto lor_land() noexcept {
+  return Semiring<Monoid<bool, Lor>, Land>{lor_monoid(), Land{}};
+}
+
+/// land_lor: the dual, used by some MIS formulations.
+[[nodiscard]] constexpr auto land_lor() noexcept {
+  return Semiring<Monoid<bool, Land>, Lor>{land_monoid(), Lor{}};
+}
+
+/// plus_pair: structural count — C(i,j) = |pattern intersection|; the
+/// triangle-counting semiring.
+template <class T>
+[[nodiscard]] constexpr auto plus_pair() noexcept {
+  return Semiring<Monoid<T, Plus>, Pair>{plus_monoid<T>(), Pair{}};
+}
+
+/// min_first / min_second: select the smallest source id — parent BFS,
+/// FastSV hooks.
+template <class T>
+[[nodiscard]] constexpr auto min_first() noexcept {
+  return Semiring<Monoid<T, Min>, First>{min_monoid<T>(), First{}};
+}
+template <class T>
+[[nodiscard]] constexpr auto min_second() noexcept {
+  return Semiring<Monoid<T, Min>, Second>{min_monoid<T>(), Second{}};
+}
+template <class T>
+[[nodiscard]] constexpr auto max_second() noexcept {
+  return Semiring<Monoid<T, Max>, Second>{max_monoid<T>(), Second{}};
+}
+template <class T>
+[[nodiscard]] constexpr auto max_first() noexcept {
+  return Semiring<Monoid<T, Max>, First>{max_monoid<T>(), First{}};
+}
+
+/// plus_first / plus_second: row/column scaling by pattern.
+template <class T>
+[[nodiscard]] constexpr auto plus_first() noexcept {
+  return Semiring<Monoid<T, Plus>, First>{plus_monoid<T>(), First{}};
+}
+template <class T>
+[[nodiscard]] constexpr auto plus_second() noexcept {
+  return Semiring<Monoid<T, Plus>, Second>{plus_monoid<T>(), Second{}};
+}
+
+/// any_first / any_second / any_pair: "pick one" semirings (SuiteSparse
+/// extension); the fastest BFS semirings because ANY is always terminal.
+template <class T>
+[[nodiscard]] constexpr auto any_first() noexcept {
+  return Semiring<Monoid<T, Any>, First>{any_monoid<T>(), First{}};
+}
+template <class T>
+[[nodiscard]] constexpr auto any_second() noexcept {
+  return Semiring<Monoid<T, Any>, Second>{any_monoid<T>(), Second{}};
+}
+template <class T>
+[[nodiscard]] constexpr auto any_pair() noexcept {
+  return Semiring<Monoid<T, Any>, Pair>{any_monoid<T>(), Pair{}};
+}
+
+/// plus_min: used by some flow-style updates.
+template <class T>
+[[nodiscard]] constexpr auto plus_min() noexcept {
+  return Semiring<Monoid<T, Plus>, Min>{plus_monoid<T>(), Min{}};
+}
+
+}  // namespace gb

@@ -1,0 +1,175 @@
+// The physical sparse storage of a GrB_Matrix: a compressed-sparse-vector
+// structure in the four SuiteSparse:GraphBLAS forms (§II-A):
+//
+//   standard     — pointer array `p` of size vdim+1; memory O(vdim + e);
+//   hypersparse  — `h` lists only the non-empty major vectors, `p` has size
+//                  nvec+1; memory O(e), so matrices with enormous dimensions
+//                  are cheap as long as e << vdim.
+//
+// Orientation (rows-major vs columns-major) is a property of the *owner*;
+// the store itself only knows "major" and "minor".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "graphblas/types.hpp"
+
+namespace gb {
+
+template <class T>
+struct SparseStore {
+  bool hyper = false;
+  Index vdim = 0;          ///< major dimension (number of possible vectors)
+  std::vector<Index> h;    ///< hyper only: sorted ids of non-empty vectors
+  std::vector<Index> p;    ///< vector start offsets; size nvec()+1
+  std::vector<Index> i;    ///< minor indices, size nnz
+  std::vector<T> x;        ///< values, size nnz
+
+  SparseStore() = default;
+
+  /// An empty store. Starts hypersparse so construction is O(1) whatever the
+  /// dimension (a fresh standard store would need an O(vdim) pointer array —
+  /// fatal for the enormous-dimension matrices hypersparsity exists for).
+  explicit SparseStore(Index dim) : hyper(true), vdim(dim), p(1, 0) {}
+
+  [[nodiscard]] Index nnz() const noexcept { return static_cast<Index>(i.size()); }
+
+  /// Number of stored (possibly empty, if standard) major vectors.
+  [[nodiscard]] Index nvec() const noexcept {
+    return hyper ? static_cast<Index>(h.size()) : vdim;
+  }
+
+  /// Major id of the k-th stored vector.
+  [[nodiscard]] Index vec_id(Index k) const noexcept {
+    return hyper ? h[k] : k;
+  }
+
+  /// Locate the stored slot of major vector `j`; nullopt if absent/empty.
+  [[nodiscard]] std::optional<Index> find_vec(Index j) const noexcept {
+    if (!hyper) {
+      if (j >= vdim) return std::nullopt;
+      return j;
+    }
+    auto it = std::lower_bound(h.begin(), h.end(), j);
+    if (it == h.end() || *it != j) return std::nullopt;
+    return static_cast<Index>(it - h.begin());
+  }
+
+  [[nodiscard]] Index vec_begin(Index k) const noexcept { return p[k]; }
+  [[nodiscard]] Index vec_end(Index k) const noexcept { return p[k + 1]; }
+
+  /// Count of major vectors that actually hold entries.
+  [[nodiscard]] Index nvec_nonempty() const noexcept {
+    if (hyper) return static_cast<Index>(h.size());
+    Index cnt = 0;
+    for (Index k = 0; k < vdim; ++k)
+      if (p[k + 1] > p[k]) ++cnt;
+    return cnt;
+  }
+
+  /// Convert standard -> hypersparse (drops empty vectors from `p`).
+  void hyperize() {
+    if (hyper) return;
+    std::vector<Index> nh;
+    std::vector<Index> np;
+    np.push_back(0);
+    for (Index k = 0; k < vdim; ++k) {
+      if (p[k + 1] > p[k]) {
+        nh.push_back(k);
+        np.push_back(p[k + 1]);
+      }
+    }
+    h = std::move(nh);
+    p = std::move(np);
+    hyper = true;
+  }
+
+  /// Convert hypersparse -> standard.
+  void unhyperize() {
+    if (!hyper) return;
+    std::vector<Index> np(vdim + 1, 0);
+    for (std::size_t k = 0; k < h.size(); ++k) np[h[k] + 1] = p[k + 1] - p[k];
+    for (Index k = 0; k < vdim; ++k) np[k + 1] += np[k];
+    h.clear();
+    p = std::move(np);
+    hyper = false;
+  }
+
+  /// Bytes held by the index/pointer/value arrays — the quantity behind the
+  /// paper's O(n+e) vs O(e) claim.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return h.capacity() * sizeof(Index) + p.capacity() * sizeof(Index) +
+           i.capacity() * sizeof(Index) + x.capacity() * sizeof(T);
+  }
+
+  /// Build the opposite-orientation store. `minor_dim` is this store's
+  /// minor dimension, which becomes the result's major dimension. Two
+  /// strategies:
+  ///   * bucket transpose, O(e + dims) — the classic, used when an O(dims)
+  ///     pointer array is affordable;
+  ///   * sort transpose, O(e log e) with hypersparse output — used when the
+  ///     dimension dwarfs the entry count (a hypersparse matrix must stay
+  ///     O(e) through *every* operation, including reorientation).
+  [[nodiscard]] SparseStore transposed(Index minor_dim) const {
+    if (minor_dim / 4 > nnz() + 1) return transposed_sorting(minor_dim);
+    SparseStore out(minor_dim);
+    out.hyper = false;
+    out.p.assign(minor_dim + 1, 0);
+    for (Index e : i) out.p[e + 1]++;
+    for (Index k = 0; k < minor_dim; ++k) out.p[k + 1] += out.p[k];
+    out.i.resize(i.size());
+    out.x.resize(x.size());
+    std::vector<Index> cursor(out.p.begin(), out.p.end() - 1);
+    for (Index k = 0; k < nvec(); ++k) {
+      Index major = vec_id(k);
+      for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
+        Index slot = cursor[i[pos]]++;
+        out.i[slot] = major;
+        out.x[slot] = x[pos];
+      }
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] SparseStore transposed_sorting(Index minor_dim) const {
+    std::vector<std::tuple<Index, Index, T>> t;
+    t.reserve(nnz());
+    for (Index k = 0; k < nvec(); ++k) {
+      Index major = vec_id(k);
+      for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
+        t.emplace_back(i[pos], major, x[pos]);
+      }
+    }
+    std::sort(t.begin(), t.end(), [](const auto& a, const auto& b) {
+      return std::get<0>(a) < std::get<0>(b) ||
+             (std::get<0>(a) == std::get<0>(b) &&
+              std::get<1>(a) < std::get<1>(b));
+    });
+    SparseStore out(minor_dim);  // empty hypersparse
+    out.i.reserve(t.size());
+    out.x.reserve(t.size());
+    Index prev = all_indices;
+    for (const auto& [major, minor, val] : t) {
+      if (major != prev) {
+        if (prev != all_indices) {
+          out.p.push_back(static_cast<Index>(out.i.size()));
+        }
+        out.h.push_back(major);
+        prev = major;
+      }
+      out.i.push_back(minor);
+      out.x.push_back(val);
+    }
+    if (prev != all_indices) {
+      out.p.push_back(static_cast<Index>(out.i.size()));
+    }
+    return out;
+  }
+};
+
+}  // namespace gb

@@ -1,0 +1,56 @@
+// Small shared helpers for operation kernels: input-orientation selection
+// (the descriptor's transpose flags) and index-list arguments (GrB_ALL).
+#pragma once
+
+#include <span>
+
+#include "graphblas/matrix.hpp"
+
+namespace gb {
+
+/// Rows-view of op(A): A.by_row() normally, or A.by_col() when the
+/// descriptor asks for A-transpose (the by-column store of A *is* the
+/// row-major store of A^T — same arrays, reinterpreted).
+template <class T>
+[[nodiscard]] const SparseStore<T>& input_rows(const Matrix<T>& a,
+                                               bool transpose) {
+  return transpose ? a.by_col() : a.by_row();
+}
+
+/// Logical row count of op(A).
+template <class T>
+[[nodiscard]] Index input_nrows(const Matrix<T>& a, bool transpose) noexcept {
+  return transpose ? a.ncols() : a.nrows();
+}
+
+/// Logical column count of op(A).
+template <class T>
+[[nodiscard]] Index input_ncols(const Matrix<T>& a, bool transpose) noexcept {
+  return transpose ? a.nrows() : a.ncols();
+}
+
+/// An index-list argument: either an explicit list or GrB_ALL over a
+/// dimension.
+class IndexSel {
+ public:
+  /// GrB_ALL over [0, dim).
+  static IndexSel all(Index dim) noexcept { return IndexSel(dim); }
+
+  /// Explicit list (may be unsorted, may repeat).
+  IndexSel(std::span<const Index> list) noexcept : list_(list) {}  // NOLINT
+
+  [[nodiscard]] bool is_all() const noexcept { return all_dim_ != all_indices; }
+  [[nodiscard]] Index size() const noexcept {
+    return is_all() ? all_dim_ : static_cast<Index>(list_.size());
+  }
+  [[nodiscard]] Index operator[](Index k) const noexcept {
+    return is_all() ? k : list_[k];
+  }
+
+ private:
+  explicit IndexSel(Index dim) noexcept : all_dim_(dim) {}
+  Index all_dim_ = all_indices;
+  std::span<const Index> list_{};
+};
+
+}  // namespace gb

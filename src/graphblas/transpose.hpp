@@ -1,0 +1,33 @@
+// GrB_transpose: C<M> accum= A^T (Table I "transpose"). With the descriptor's
+// INP0 transpose set this degenerates to a masked copy/typecast of A, as the
+// C API specifies.
+#pragma once
+
+#include "graphblas/mask_accum.hpp"
+#include "graphblas/store_utils.hpp"
+
+namespace gb {
+
+template <class CT, class MaskArg, class Accum, class AT>
+void transpose(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
+               const Matrix<AT>& a, const Descriptor& desc = desc_default) {
+  // transpose(A^T) == A: the effective input is op(A) = A^T unless INP0 says
+  // transpose, which cancels out.
+  const bool eff_transpose = !desc.transpose_a;
+  check_dims(c.nrows() == input_nrows(a, eff_transpose) &&
+                 c.ncols() == input_ncols(a, eff_transpose),
+             "transpose: C/A shape");
+  const auto& s = input_rows(a, eff_transpose);
+  SparseStore<AT> t = s;  // copy; write_back consumes it
+  write_back(c, mask, accum, std::move(t), desc);
+}
+
+/// Value-returning convenience: B = A^T.
+template <class T>
+[[nodiscard]] Matrix<T> transposed(const Matrix<T>& a) {
+  Matrix<T> c(a.ncols(), a.nrows());
+  transpose(c, no_mask, no_accum, a);
+  return c;
+}
+
+}  // namespace gb

@@ -1,0 +1,97 @@
+// Core scalar types, status codes, and the exception model of the GraphBLAS
+// C API (Buluç et al., GABB 2017), transliterated to idiomatic C++20.
+//
+// The C API reports errors through GrB_Info return codes; following the IBM
+// GraphBLAS design described in the paper (§II-B), the C++ back end signals
+// errors with exceptions, and any C-compatible front end would map them back
+// to codes in a try/catch wrapper.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace gb {
+
+/// GrB_Index. 64-bit as required by the spec; the top bit is reserved by the
+/// Matrix implementation to mark zombies (entries pending deletion).
+using Index = std::uint64_t;
+
+/// Physical element type used inside containers: identical to T except for
+/// bool, which is stored as uint8_t to dodge the std::vector<bool> proxy
+/// (whose packed representation cannot hand out spans or references).
+template <class T>
+using storage_t = std::conditional_t<std::is_same_v<T, bool>, std::uint8_t, T>;
+
+/// Sentinel meaning "all indices" (GrB_ALL).
+inline constexpr Index all_indices = ~Index{0};
+
+/// GrB_Info equivalents. `success` and `no_value` are the non-error codes.
+enum class Info : int {
+  success = 0,
+  no_value,               // extractElement on an implicit zero
+  uninitialized_object,   // API error
+  null_pointer,           // API error
+  invalid_value,          // API error
+  invalid_index,          // API error
+  domain_mismatch,        // API error
+  dimension_mismatch,     // API error
+  output_not_empty,       // API error
+  not_implemented,        // execution error
+  panic,                  // execution error
+  index_out_of_bounds,    // execution error
+  out_of_memory,          // execution error
+  insufficient_space,     // execution error
+};
+
+/// Human-readable name for an Info code (for messages and logs).
+[[nodiscard]] constexpr const char* to_string(Info info) noexcept {
+  switch (info) {
+    case Info::success: return "success";
+    case Info::no_value: return "no_value";
+    case Info::uninitialized_object: return "uninitialized_object";
+    case Info::null_pointer: return "null_pointer";
+    case Info::invalid_value: return "invalid_value";
+    case Info::invalid_index: return "invalid_index";
+    case Info::domain_mismatch: return "domain_mismatch";
+    case Info::dimension_mismatch: return "dimension_mismatch";
+    case Info::output_not_empty: return "output_not_empty";
+    case Info::not_implemented: return "not_implemented";
+    case Info::panic: return "panic";
+    case Info::index_out_of_bounds: return "index_out_of_bounds";
+    case Info::out_of_memory: return "out_of_memory";
+    case Info::insufficient_space: return "insufficient_space";
+  }
+  return "unknown";
+}
+
+/// Exception carrying a GraphBLAS status code.
+class Error : public std::runtime_error {
+ public:
+  Error(Info info, const std::string& what)
+      : std::runtime_error(std::string(to_string(info)) + ": " + what),
+        info_(info) {}
+
+  [[nodiscard]] Info info() const noexcept { return info_; }
+
+ private:
+  Info info_;
+};
+
+/// Throw a dimension_mismatch unless `cond` holds.
+inline void check_dims(bool cond, const char* what) {
+  if (!cond) throw Error(Info::dimension_mismatch, what);
+}
+
+/// Throw an invalid_index unless `cond` holds.
+inline void check_index(bool cond, const char* what) {
+  if (!cond) throw Error(Info::invalid_index, what);
+}
+
+/// Throw an invalid_value unless `cond` holds.
+inline void check_value(bool cond, const char* what) {
+  if (!cond) throw Error(Info::invalid_value, what);
+}
+
+}  // namespace gb

@@ -1,0 +1,391 @@
+// GrB_Vector: an opaque sparse vector of dimension n.
+//
+// Following the GraphBLAST design the paper highlights (Fig. 3), a Vector
+// keeps one of two physical representations and converts between them:
+//   * sparse  — sorted index array + value array (SpMSpV "push" side);
+//   * dense   — value array of length n + presence bitmap (SpMV "pull" side).
+// Conversion is driven either explicitly (kernels force the layout they
+// need) or automatically by a density threshold.
+//
+// Non-blocking mode: setElement appends to an unordered pending-tuple list
+// and removeElement tags zombies, exactly as §II-A describes for matrices;
+// `wait()` folds both into the main representation in one sort-and-merge
+// step. All read accessors call wait() first, so callers always observe
+// materialised state (the C API's as-if rule). Storage is `mutable` because
+// materialisation is a logically-const cache fold, the same trick
+// SuiteSparse plays behind its opaque handles.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graphblas/types.hpp"
+#include "platform/memory.hpp"
+
+namespace gb {
+
+template <class T>
+class Vector {
+ public:
+  using value_type = T;
+
+  Vector() = default;
+
+  /// An empty (no entries) vector of dimension n.
+  explicit Vector(Index n) : n_(n) {}
+
+  /// A dense vector of dimension n with every entry = fill.
+  static Vector full(Index n, const T& fill) {
+    Vector v(n);
+    v.dense_ = true;
+    v.dval_.assign(n, static_cast<storage_t<T>>(fill));
+    v.dpresent_.assign(n, 1);
+    v.dnvals_ = n;
+    return v;
+  }
+
+  // --- shape and counts ------------------------------------------------------
+
+  [[nodiscard]] Index size() const noexcept { return n_; }
+
+  [[nodiscard]] Index nvals() const {
+    wait();
+    return dense_ ? dnvals_ : static_cast<Index>(ind_.size());
+  }
+
+  [[nodiscard]] bool empty() const { return nvals() == 0; }
+
+  /// Fraction of positions holding an entry.
+  [[nodiscard]] double density() const {
+    return n_ == 0 ? 0.0 : static_cast<double>(nvals()) / static_cast<double>(n_);
+  }
+
+  // --- element access --------------------------------------------------------
+
+  /// GrB_Vector_setElement. O(1) amortised via the pending list.
+  void set_element(Index i, const T& v) {
+    check_index(i < n_, "Vector::set_element");
+    if (dense_) {
+      if (!dpresent_[i]) ++dnvals_;
+      dpresent_[i] = 1;
+      dval_[i] = v;
+      return;
+    }
+    pending_.emplace_back(i, v);
+  }
+
+  /// GrB_Vector_removeElement. O(1) via zombie tagging (sparse) or the
+  /// bitmap (dense).
+  void remove_element(Index i) {
+    check_index(i < n_, "Vector::remove_element");
+    if (dense_) {
+      if (dpresent_[i]) --dnvals_;
+      dpresent_[i] = 0;
+      return;
+    }
+    // Cheap path: drop pending inserts at i, then zombie-tag a stored entry.
+    std::erase_if(pending_, [i](const auto& t) { return t.first == i; });
+    auto it = std::lower_bound(ind_.begin(), ind_.end(), i,
+                               [](Index stored, Index key) {
+                                 return unzombie(stored) < key;
+                               });
+    if (it != ind_.end() && unzombie(*it) == i && !is_zombie(*it)) {
+      *it |= kZombieBit;
+      ++nzombies_;
+    }
+  }
+
+  /// GrB_Vector_extractElement: nullopt encodes GrB_NO_VALUE.
+  [[nodiscard]] std::optional<T> extract_element(Index i) const {
+    check_index(i < n_, "Vector::extract_element");
+    wait();
+    if (dense_) {
+      if (!dpresent_[i]) return std::nullopt;
+      return static_cast<T>(dval_[i]);
+    }
+    auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+    if (it == ind_.end() || *it != i) return std::nullopt;
+    return static_cast<T>(val_[static_cast<std::size_t>(it - ind_.begin())]);
+  }
+
+  // --- bulk construction ------------------------------------------------------
+
+  /// GrB_Vector_build: indices may be unsorted and may repeat; duplicates are
+  /// combined with `dup`.
+  template <class Dup, class ValueContainer>
+  void build(std::span<const Index> indices, const ValueContainer& values,
+             Dup dup) {
+    check_value(indices.size() == values.size(), "Vector::build sizes");
+    check_value(nvals() == 0, "Vector::build on non-empty vector");
+    std::vector<std::pair<Index, storage_t<T>>> tuples;
+    tuples.reserve(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      check_index(indices[k] < n_, "Vector::build index");
+      tuples.emplace_back(indices[k], static_cast<storage_t<T>>(values[k]));
+    }
+    std::stable_sort(tuples.begin(), tuples.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    ind_.clear();
+    val_.clear();
+    ind_.reserve(tuples.size());
+    val_.reserve(tuples.size());
+    for (const auto& [i, v] : tuples) {
+      if (!ind_.empty() && ind_.back() == i) {
+        val_.back() = dup(val_.back(), v);
+      } else {
+        ind_.push_back(i);
+        val_.push_back(v);
+      }
+    }
+    dense_ = false;
+  }
+
+  /// GrB_Vector_extractTuples.
+  void extract_tuples(std::vector<Index>& indices, std::vector<T>& values) const {
+    wait();
+    indices.clear();
+    values.clear();
+    if (dense_) {
+      for (Index i = 0; i < n_; ++i) {
+        if (dpresent_[i]) {
+          indices.push_back(i);
+          values.push_back(static_cast<T>(dval_[i]));
+        }
+      }
+    } else {
+      indices.assign(ind_.begin(), ind_.end());
+      values.reserve(val_.size());
+      for (const auto& v : val_) values.push_back(static_cast<T>(v));
+    }
+  }
+
+  /// GrB_Vector_clear: remove all entries, keep the dimension.
+  void clear() {
+    ind_.clear();
+    val_.clear();
+    dval_.clear();
+    dpresent_.clear();
+    pending_.clear();
+    nzombies_ = 0;
+    dnvals_ = 0;
+    dense_ = false;
+  }
+
+  /// GrB_Vector_resize. Entries beyond the new dimension are dropped.
+  void resize(Index n) {
+    wait();
+    if (dense_) {
+      if (n < n_) {
+        for (Index i = n; i < n_; ++i)
+          if (dpresent_[i]) --dnvals_;
+      }
+      dval_.resize(n);
+      dpresent_.resize(n, 0);
+    } else if (n < n_) {
+      auto it = std::lower_bound(ind_.begin(), ind_.end(), n);
+      auto keep = static_cast<std::size_t>(it - ind_.begin());
+      ind_.resize(keep);
+      val_.resize(keep);
+    }
+    n_ = n;
+  }
+
+  // --- representation control (Fig. 3) ----------------------------------------
+
+  [[nodiscard]] bool is_dense_rep() const {
+    wait();
+    return dense_;
+  }
+
+  /// Force the sparse (index list) representation.
+  void to_sparse() const {
+    wait();
+    if (!dense_) return;
+    ind_.clear();
+    val_.clear();
+    ind_.reserve(dnvals_);
+    val_.reserve(dnvals_);
+    for (Index i = 0; i < n_; ++i) {
+      if (dpresent_[i]) {
+        ind_.push_back(i);
+        val_.push_back(dval_[i]);
+      }
+    }
+    dval_.clear();
+    dval_.shrink_to_fit();
+    dpresent_.clear();
+    dpresent_.shrink_to_fit();
+    dnvals_ = 0;
+    dense_ = false;
+  }
+
+  /// Force the dense (value array + bitmap) representation.
+  void to_dense() const {
+    wait();
+    if (dense_) return;
+    dval_.assign(n_, T{});
+    dpresent_.assign(n_, 0);
+    dnvals_ = static_cast<Index>(ind_.size());
+    for (std::size_t k = 0; k < ind_.size(); ++k) {
+      dval_[ind_[k]] = val_[k];
+      dpresent_[ind_[k]] = 1;
+    }
+    ind_.clear();
+    ind_.shrink_to_fit();
+    val_.clear();
+    val_.shrink_to_fit();
+    dense_ = true;
+  }
+
+  /// Pick the representation by density (the GraphBLAST auto rule).
+  void auto_rep(double threshold = 0.10) const {
+    if (density() >= threshold) {
+      to_dense();
+    } else {
+      to_sparse();
+    }
+  }
+
+  // --- raw views for kernels ---------------------------------------------------
+  // Sparse views are valid only when !is_dense_rep(); dense views only when
+  // is_dense_rep(). Kernels force the layout first.
+
+  [[nodiscard]] std::span<const Index> indices() const {
+    to_sparse();
+    return ind_;
+  }
+  [[nodiscard]] std::span<const storage_t<T>> values() const {
+    to_sparse();
+    return val_;
+  }
+  [[nodiscard]] std::span<const storage_t<T>> dense_values() const {
+    to_dense();
+    return dval_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> present() const {
+    to_dense();
+    return dpresent_;
+  }
+
+  /// Replace all contents with sorted (indices, values). Used by kernels to
+  /// publish results without per-element churn. Indices must be sorted and
+  /// duplicate-free.
+  void load_sorted(std::vector<Index>&& indices,
+                   std::vector<storage_t<T>>&& values) {
+    clear();
+    ind_ = std::move(indices);
+    val_ = std::move(values);
+    dense_ = false;
+  }
+
+  /// Replace all contents with a dense value array + presence bitmap.
+  void load_dense(std::vector<storage_t<T>>&& values,
+                  std::vector<std::uint8_t>&& present) {
+    check_value(values.size() == n_ && present.size() == n_,
+                "Vector::load_dense size");
+    clear();
+    dval_ = std::move(values);
+    dpresent_ = std::move(present);
+    dnvals_ = 0;
+    for (Index i = 0; i < n_; ++i)
+      if (dpresent_[i]) ++dnvals_;
+    dense_ = true;
+  }
+
+  // --- non-blocking materialisation --------------------------------------------
+
+  /// GrB_Vector_wait: kill zombies, assemble pending tuples. One
+  /// O(e + p log p) pass.
+  void wait() const {
+    if (pending_.empty() && nzombies_ == 0) return;
+    // 1. Kill zombies in the stored arrays.
+    if (nzombies_ > 0) {
+      std::size_t out = 0;
+      for (std::size_t k = 0; k < ind_.size(); ++k) {
+        if (!is_zombie(ind_[k])) {
+          ind_[out] = ind_[k];
+          val_[out] = val_[k];
+          ++out;
+        }
+      }
+      ind_.resize(out);
+      val_.resize(out);
+      nzombies_ = 0;
+    }
+    // 2. Sort pending tuples (stable: later set wins) and merge.
+    if (!pending_.empty()) {
+      std::stable_sort(
+          pending_.begin(), pending_.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      std::vector<Index> mi;
+      std::vector<storage_t<T>> mv;
+      mi.reserve(ind_.size() + pending_.size());
+      mv.reserve(ind_.size() + pending_.size());
+      std::size_t a = 0, b = 0;
+      while (a < ind_.size() || b < pending_.size()) {
+        // Collapse a run of pending tuples at one index: last write wins
+        // (setElement semantics: overwrite).
+        if (b < pending_.size() &&
+            (a >= ind_.size() || pending_[b].first <= ind_[a])) {
+          Index i = pending_[b].first;
+          auto v = static_cast<storage_t<T>>(pending_[b].second);
+          ++b;
+          while (b < pending_.size() && pending_[b].first == i) {
+            v = static_cast<storage_t<T>>(pending_[b].second);
+            ++b;
+          }
+          if (a < ind_.size() && ind_[a] == i) ++a;  // pending overwrites stored
+          mi.push_back(i);
+          mv.push_back(v);
+        } else {
+          mi.push_back(ind_[a]);
+          mv.push_back(val_[a]);
+          ++a;
+        }
+      }
+      ind_ = std::move(mi);
+      val_ = std::move(mv);
+      pending_.clear();
+    }
+  }
+
+  /// True if a wait() would do work (used by tests of non-blocking mode).
+  [[nodiscard]] bool has_pending_work() const noexcept {
+    return !pending_.empty() || nzombies_ > 0;
+  }
+
+  /// Approximate bytes held (for the memory meter and tests).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return ind_.capacity() * sizeof(Index) + val_.capacity() * sizeof(T) +
+           dval_.capacity() * sizeof(T) + dpresent_.capacity() +
+           pending_.capacity() * sizeof(std::pair<Index, T>);
+  }
+
+ private:
+  static constexpr Index kZombieBit = Index{1} << 63;
+  [[nodiscard]] static constexpr bool is_zombie(Index i) noexcept {
+    return (i & kZombieBit) != 0;
+  }
+  [[nodiscard]] static constexpr Index unzombie(Index i) noexcept {
+    return i & ~kZombieBit;
+  }
+
+  Index n_ = 0;
+
+  // Mutable: materialisation (wait, representation changes) is logically
+  // const — observable value semantics never change, only the physical form.
+  mutable bool dense_ = false;
+  mutable std::vector<Index> ind_;  // sparse: sorted entry indices
+  mutable std::vector<storage_t<T>> val_;   // sparse: entry values
+  mutable std::vector<storage_t<T>> dval_;  // dense: values
+  mutable std::vector<std::uint8_t> dpresent_;  // dense: presence bitmap
+  mutable Index dnvals_ = 0;
+  mutable std::vector<std::pair<Index, T>> pending_;  // unordered inserts
+  mutable Index nzombies_ = 0;
+};
+
+}  // namespace gb

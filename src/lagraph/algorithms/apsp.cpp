@@ -1,0 +1,33 @@
+// All-pairs shortest paths by min-plus repeated squaring (§V cites
+// Solomonik, Buluç & Demmel's communication-optimal APSP; the algebraic core
+// is D_{2k} = min(D_k, D_k min.+ D_k)). Intended for small/medium graphs —
+// the output is dense.
+#include <cmath>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+gb::Matrix<double> apsp(const Graph& g) {
+  const auto& a = g.adj();
+  const Index n = a.nrows();
+
+  // D starts as A with an explicit zero diagonal.
+  gb::Matrix<double> d = a.dup();
+  gb::Matrix<double> zero_diag = gb::Matrix<double>::identity(n, 0.0);
+  gb::ewise_add(d, gb::no_mask, gb::no_accum, gb::Second{}, d, zero_diag);
+
+  // ceil(log2(n)) squarings reach every path length.
+  int rounds = 1;
+  while ((Index{1} << rounds) < n) ++rounds;
+  for (int r = 0; r < rounds; ++r) {
+    gb::Matrix<double> next = d.dup();
+    gb::mxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), d, d);
+    if (isequal(next, d)) break;
+    d = std::move(next);
+  }
+  return d;
+}
+
+}  // namespace lagraph

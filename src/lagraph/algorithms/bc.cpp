@@ -1,0 +1,107 @@
+// Batched Brandes betweenness centrality (§V cites the Combinatorial BLAS
+// formulation). A batch of sources advances level-synchronously as rows of a
+// frontier matrix (forward sweep accumulating shortest-path counts), then
+// dependencies flow backwards through the stored per-level patterns.
+#include "lagraph/lagraph.hpp"
+
+namespace lagraph {
+
+gb::Vector<double> betweenness(const Graph& g,
+                               const std::vector<Index>& sources) {
+  const auto& a = g.adj();
+  const Index n = a.nrows();
+  const Index ns = sources.size();
+
+  // Pattern-only adjacency (path counting ignores weights).
+  gb::Matrix<double> a1(n, n);
+  gb::apply(a1, gb::no_mask, gb::no_accum, gb::One{}, a);
+
+  // paths(k, v) = number of shortest s_k->v paths discovered so far;
+  // frontier holds the newest level's counts.
+  gb::Matrix<double> paths(ns, n);
+  {
+    std::vector<Index> r(ns), c(ns);
+    std::vector<double> v(ns, 1.0);
+    for (Index k = 0; k < ns; ++k) {
+      gb::check_index(sources[k] < n, "betweenness: source out of range");
+      r[k] = k;
+      c[k] = sources[k];
+    }
+    paths.build(r, c, v, gb::Plus{});
+  }
+  gb::Matrix<double> frontier = paths.dup();
+
+  // Forward sweep: store each level's frontier pattern.
+  std::vector<gb::Matrix<bool>> levels;
+  for (;;) {
+    gb::Matrix<bool> pat(ns, n);
+    gb::apply(pat, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Second, bool>{{}, true}, frontier);
+    levels.push_back(std::move(pat));
+
+    // frontier<!paths, replace, s> = frontier +.x A1
+    gb::mxm(frontier, paths, gb::no_accum, gb::plus_times<double>(), frontier,
+            a1, gb::desc_rsc);
+    if (frontier.nvals() == 0) break;
+    // paths += frontier (patterns disjoint thanks to the mask).
+    gb::ewise_add(paths, gb::no_mask, gb::no_accum, gb::Plus{}, paths,
+                  frontier);
+  }
+
+  // Backward sweep: bcu(k, v) starts at 1; dependencies accumulate.
+  gb::Matrix<double> bcu(ns, n);
+  {
+    std::vector<Index> r, c;
+    std::vector<double> v;
+    r.reserve(ns * n);
+    c.reserve(ns * n);
+    for (Index k = 0; k < ns; ++k) {
+      for (Index j = 0; j < n; ++j) {
+        r.push_back(k);
+        c.push_back(j);
+      }
+    }
+    v.assign(r.size(), 1.0);
+    bcu.build(r, c, v, gb::Plus{});
+  }
+
+  for (std::size_t d = levels.size(); d-- > 1;) {
+    // w<S[d], replace, s> = bcu ./ paths   (the (1+delta)/sigma factor;
+    // bcu already contains the +1).
+    gb::Matrix<double> w(ns, n);
+    gb::ewise_mult(w, levels[d], gb::no_accum, gb::Div{}, bcu, paths,
+                   gb::desc_rs);
+    // w<S[d-1], replace, s> = w +.x A1'   (pull the factor up one level).
+    gb::Matrix<double> t(ns, n);
+    gb::Descriptor dt = gb::desc_rs;
+    dt.transpose_b = true;
+    gb::mxm(t, levels[d - 1], gb::no_accum, gb::plus_times<double>(), w, a1,
+            dt);
+    // bcu<S[d-1]> += t .* paths.
+    gb::Matrix<double> upd(ns, n);
+    gb::ewise_mult(upd, levels[d - 1], gb::no_accum, gb::Times{}, t, paths,
+                   gb::desc_s);
+    gb::ewise_add(bcu, gb::no_mask, gb::no_accum, gb::Plus{}, bcu, upd);
+  }
+
+  // centrality(v) = sum_k bcu(k, v) - ns  (strip the +1 baseline).
+  gb::Vector<double> bc(n);
+  gb::reduce(bc, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), bcu,
+             gb::desc_t0);
+  gb::apply(bc, gb::no_mask, gb::no_accum,
+            gb::BindSecond<gb::Minus, double>{{}, static_cast<double>(ns)}, bc);
+
+  // Brandes excludes the source's dependency on itself (delta(s) is not part
+  // of bc(s)); strip the self-dependency each batch row accumulated at its
+  // own source.
+  for (Index k = 0; k < ns; ++k) {
+    double self = bcu.extract_element(k, sources[k]).value_or(1.0) - 1.0;
+    if (self != 0.0) {
+      auto cur = bc.extract_element(sources[k]).value_or(0.0);
+      bc.set_element(sources[k], cur - self);
+    }
+  }
+  return bc;
+}
+
+}  // namespace lagraph

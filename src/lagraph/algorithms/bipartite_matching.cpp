@@ -1,0 +1,92 @@
+// Maximum cardinality matching on bipartite graphs — §V cites Azad &
+// Buluç's distributed-memory MCM. This implementation is the algebraic
+// augmenting-path scheme in its simplest correct form: repeated alternating
+// BFS from the free left vertices (one vxm per layer, carrying discoverer
+// ids through the min_first semiring), followed by an augmenting-path flip
+// along the recorded parent pointers. By König/Berge, when no augmenting
+// path exists the matching is maximum.
+#include "lagraph/lagraph_bipartite.hpp"
+
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+BipartiteMatching maximum_bipartite_matching(const gb::Matrix<double>& a) {
+  const Index nl = a.nrows();
+  const Index nr = a.ncols();
+
+  BipartiteMatching res;
+  res.mate_left = gb::Vector<std::uint64_t>(nl);
+  res.mate_right = gb::Vector<std::uint64_t>(nr);
+
+  for (;;) {
+    // --- alternating BFS from all free left vertices ------------------------
+    // frontier(i) = i for every unmatched left vertex.
+    gb::Vector<std::uint64_t> frontier(nl);
+    {
+      gb::Vector<std::uint64_t> ids(nl);
+      gb::apply_indexop(ids, gb::no_mask, gb::no_accum, gb::RowIndex{},
+                        gb::Vector<double>::full(nl, 1.0), std::int64_t{0});
+      gb::apply(frontier, res.mate_left, gb::no_accum, gb::Identity{}, ids,
+                gb::desc_rsc);
+    }
+    if (frontier.nvals() == 0) break;  // every left vertex matched
+
+    // parent_r(j) = left vertex that discovered right vertex j this round.
+    gb::Vector<std::uint64_t> parent_r(nr);
+    gb::Vector<bool> visited_r(nr);
+    std::uint64_t found_free_right = nr;  // sentinel: none
+
+    while (frontier.nvals() > 0 && found_free_right == nr) {
+      // Discover unvisited right neighbours; min_first carries the
+      // discoverer's id deterministically.
+      gb::Vector<std::uint64_t> reach(nr);
+      gb::vxm(reach, visited_r, gb::no_accum, gb::min_first<std::uint64_t>(),
+              frontier, a, gb::desc_rsc);
+      if (reach.nvals() == 0) break;
+
+      gb::assign_scalar(visited_r, reach, gb::no_accum, true,
+                        gb::IndexSel::all(nr), gb::desc_s);
+      gb::apply(parent_r, reach, gb::no_accum, gb::Identity{}, reach,
+                gb::desc_s);
+
+      // Any free right vertex reached => augmenting path found.
+      gb::Vector<std::uint64_t> free_hits(nr);
+      gb::apply(free_hits, res.mate_right, gb::no_accum, gb::Identity{},
+                reach, gb::desc_rsc);
+      if (free_hits.nvals() > 0) {
+        found_free_right = free_hits.indices()[0];
+        break;
+      }
+
+      // Continue through matched edges: next left frontier = mates of the
+      // newly reached (all matched) right vertices, carrying their own ids.
+      std::vector<Index> ri;
+      std::vector<std::uint64_t> rv;
+      reach.extract_tuples(ri, rv);
+      gb::Vector<std::uint64_t> next(nl);
+      for (std::size_t k = 0; k < ri.size(); ++k) {
+        auto mate = res.mate_right.extract_element(ri[k]);
+        if (mate) next.set_element(*mate, *mate);
+      }
+      frontier = std::move(next);
+    }
+
+    if (found_free_right == nr) break;  // no augmenting path: maximum
+
+    // --- flip the augmenting path along parent pointers ----------------------
+    Index cur_r = found_free_right;
+    for (;;) {
+      Index i = parent_r.extract_element(cur_r).value();
+      auto prev = res.mate_left.extract_element(i);
+      res.mate_left.set_element(i, cur_r);
+      res.mate_right.set_element(cur_r, i);
+      if (!prev) break;  // reached the free left root
+      cur_r = *prev;
+    }
+    ++res.size;
+  }
+  return res;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,86 @@
+// Connected components: FastSV (Zhang, Azad, Hu; LACC lineage — §V cites
+// Azad & Buluç's LACC). The parent vector f converges to the minimum vertex
+// id of each component through three algebraic steps per round: stochastic
+// hooking (min-neighbour-grandparent via mxv), aggressive hooking (scatter
+// with a min duplicate-combiner — GrB build with dup), and pointer jumping
+// (gather f = f[f]).
+#include <numeric>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+gb::Vector<std::uint64_t> connected_components(const Graph& g) {
+  const auto& a = g.undirected_view();
+  const Index n = a.nrows();
+
+  // f = 0..n-1 (every vertex its own parent).
+  gb::Vector<std::uint64_t> f(n);
+  {
+    std::vector<Index> idx(n);
+    std::iota(idx.begin(), idx.end(), Index{0});
+    std::vector<std::uint64_t> val(idx.begin(), idx.end());
+    f.build(idx, val, gb::Second{});
+  }
+
+  auto gather = [n](const gb::Vector<std::uint64_t>& v,
+                    const gb::Vector<std::uint64_t>& pos) {
+    // out(i) = v(pos(i)) — GrB extract with an index list.
+    auto list = to_dense_std(pos, std::uint64_t{0});
+    gb::Vector<std::uint64_t> out(n);
+    gb::extract(out, gb::no_mask, gb::no_accum, v, gb::IndexSel(list));
+    return out;
+  };
+
+  for (;;) {
+    // Grandparents: gp = f[f].
+    auto gp = gather(f, f);
+
+    // Stochastic hooking: mngp(i) = min_{j in adj(i)} gp(j).
+    gb::Vector<std::uint64_t> mngp(n);
+    gb::mxv(mngp, gb::no_mask, gb::no_accum, gb::min_second<std::uint64_t>(),
+            a, gp);
+
+    // Aggressive hooking: f[f[i]] <- min(f[f[i]], mngp(i)). The scatter with
+    // duplicate indices is a GrB build with dup = MIN.
+    gb::Vector<std::uint64_t> hook(n);
+    {
+      std::vector<Index> fi;
+      std::vector<std::uint64_t> fv;
+      f.extract_tuples(fi, fv);
+      std::vector<Index> mi;
+      std::vector<std::uint64_t> mv;
+      mngp.extract_tuples(mi, mv);
+      // targets f(i) for the i that have a mngp entry
+      std::vector<Index> tgt;
+      std::vector<std::uint64_t> val;
+      auto fdense = to_dense_std(f, std::uint64_t{0});
+      tgt.reserve(mi.size());
+      val.reserve(mi.size());
+      for (std::size_t k2 = 0; k2 < mi.size(); ++k2) {
+        tgt.push_back(fdense[mi[k2]]);
+        val.push_back(mv[k2]);
+      }
+      hook.build(tgt, val, gb::Min{});
+    }
+    gb::Vector<std::uint64_t> fnext(n);
+    gb::ewise_add(fnext, gb::no_mask, gb::no_accum, gb::Min{}, f, hook);
+    // ... and hook to the minimum of parent / grandparent / mngp.
+    gb::ewise_add(fnext, gb::no_mask, gb::no_accum, gb::Min{}, fnext, gp);
+    gb::ewise_add(fnext, gb::no_mask, gb::no_accum, gb::Min{}, fnext, mngp);
+
+    // Pointer jumping until stable: f = f[f].
+    for (;;) {
+      auto jumped = gather(fnext, fnext);
+      if (isequal(jumped, fnext)) break;
+      fnext = std::move(jumped);
+    }
+
+    if (isequal(fnext, f)) break;
+    f = std::move(fnext);
+  }
+  return f;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,111 @@
+// Collaborative filtering by matrix factorisation (§V machine-learning
+// list; the GraphMat paper the paper cites evaluates SGD collaborative
+// filtering as a flagship workload). Full-batch gradient descent:
+//
+//   E<R> = R − P Q              (masked mxm: evaluate only on the ratings)
+//   P   += lr (E Q' − reg P)
+//   Q   += lr (P' E − reg Q)
+//
+// Every step is a Table-I operation; the mask on the error term is what
+// makes the computation scale with nnz(R) rather than users x items.
+#include <cmath>
+#include <random>
+
+#include "lagraph/lagraph_bipartite.hpp"
+
+namespace lagraph {
+
+namespace {
+
+gb::Matrix<double> dense_random(Index nrows, Index ncols, double scale,
+                                std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-scale, scale);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  r.reserve(nrows * ncols);
+  for (Index i = 0; i < nrows; ++i) {
+    for (Index j = 0; j < ncols; ++j) {
+      r.push_back(i);
+      c.push_back(j);
+      v.push_back(dist(rng));
+    }
+  }
+  gb::Matrix<double> m(nrows, ncols);
+  m.build(r, c, v, gb::Second{});
+  return m;
+}
+
+}  // namespace
+
+FactorizationResult collaborative_filtering(const gb::Matrix<double>& ratings,
+                                            Index rank, double learning_rate,
+                                            double regularization, int epochs,
+                                            std::uint64_t seed) {
+  const Index nu = ratings.nrows();
+  const Index ni = ratings.ncols();
+  gb::check_value(rank > 0, "collaborative_filtering: rank");
+  const auto nnz = static_cast<double>(ratings.nvals());
+  gb::check_value(nnz > 0, "collaborative_filtering: empty ratings");
+
+  FactorizationResult res;
+  res.p = dense_random(nu, rank, 0.3, seed);
+  res.q = dense_random(rank, ni, 0.3, seed ^ 0x9E3779B97F4A7C15ULL);
+
+  for (res.epochs = 0; res.epochs < epochs; ++res.epochs) {
+    // E<R,structural> = R − P Q: predictions only where ratings exist.
+    gb::Matrix<double> e(nu, ni);
+    gb::mxm(e, ratings, gb::no_accum, gb::plus_times<double>(), res.p, res.q,
+            gb::desc_s);
+    gb::ewise_add(e, gb::no_mask, gb::no_accum, gb::Minus{}, ratings, e);
+
+    // RMSE over the rating pattern.
+    gb::Matrix<double> sq(nu, ni);
+    gb::ewise_mult(sq, gb::no_mask, gb::no_accum, gb::Times{}, e, e);
+    res.rmse =
+        std::sqrt(gb::reduce_scalar(gb::plus_monoid<double>(), sq) / nnz);
+
+    // Gradient steps. grad_P = E Q' − reg P; grad_Q = P' E − reg Q.
+    gb::Matrix<double> gp(nu, rank);
+    {
+      gb::Descriptor d;
+      d.transpose_b = true;
+      gb::mxm(gp, gb::no_mask, gb::no_accum, gb::plus_times<double>(), e,
+              res.q, d);
+    }
+    gb::Matrix<double> reg_p(nu, rank);
+    gb::apply(reg_p, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Times, double>{{}, -regularization}, res.p);
+    gb::ewise_add(gp, gb::no_mask, gb::no_accum, gb::Plus{}, gp, reg_p);
+    gb::apply(gp, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Times, double>{{}, learning_rate}, gp);
+    gb::ewise_add(res.p, gb::no_mask, gb::no_accum, gb::Plus{}, res.p, gp);
+
+    gb::Matrix<double> gq(rank, ni);
+    {
+      gb::Descriptor d;
+      d.transpose_a = true;
+      gb::mxm(gq, gb::no_mask, gb::no_accum, gb::plus_times<double>(), res.p,
+              e, d);
+    }
+    gb::Matrix<double> reg_q(rank, ni);
+    gb::apply(reg_q, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Times, double>{{}, -regularization}, res.q);
+    gb::ewise_add(gq, gb::no_mask, gb::no_accum, gb::Plus{}, gq, reg_q);
+    gb::apply(gq, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Times, double>{{}, learning_rate}, gq);
+    gb::ewise_add(res.q, gb::no_mask, gb::no_accum, gb::Plus{}, res.q, gq);
+  }
+
+  // Final RMSE after the last update.
+  gb::Matrix<double> e(nu, ni);
+  gb::mxm(e, ratings, gb::no_accum, gb::plus_times<double>(), res.p, res.q,
+          gb::desc_s);
+  gb::ewise_add(e, gb::no_mask, gb::no_accum, gb::Minus{}, ratings, e);
+  gb::Matrix<double> sq(nu, ni);
+  gb::ewise_mult(sq, gb::no_mask, gb::no_accum, gb::Times{}, e, e);
+  res.rmse = std::sqrt(gb::reduce_scalar(gb::plus_monoid<double>(), sq) / nnz);
+  return res;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,74 @@
+// Greedy independent-set vertex coloring (§V cites Osama et al.'s GPU graph
+// coloring, which is the same Jones-Plassmann shape): each round an
+// independent set of the still-uncolored vertices — those whose random
+// priority beats all uncolored neighbours — receives the round number as its
+// color. Proper by construction; terminates because the max-priority
+// candidate always wins its round.
+#include "lagraph/lagraph.hpp"
+
+namespace lagraph {
+
+namespace {
+
+constexpr std::uint64_t splitmix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+struct PriorityOp {
+  std::uint64_t seed;
+  template <class T, class S>
+  std::uint64_t operator()(const T&, Index i, Index, S) const noexcept {
+    return (splitmix(seed ^ i) & ~(Index{0xFFFFF})) | i;
+  }
+};
+
+}  // namespace
+
+gb::Vector<std::uint64_t> coloring(const Graph& g, std::uint64_t seed) {
+  const Index n = g.nrows();
+  gb::Matrix<double> a(n, n);
+  gb::select(a, gb::no_mask, gb::no_accum, gb::SelOffdiag{},
+             g.undirected_view(), std::int64_t{0});
+
+  gb::Vector<std::uint64_t> color(n);
+  auto uncolored = gb::Vector<bool>::full(n, true);
+
+  std::uint64_t round = 0;
+  while (uncolored.nvals() > 0) {
+    ++round;
+    gb::Vector<std::uint64_t> prio(n);
+    gb::apply_indexop(prio, gb::no_mask, gb::no_accum,
+                      PriorityOp{splitmix(seed) ^ round}, uncolored,
+                      std::int64_t{0});
+
+    gb::Vector<std::uint64_t> nmax(n);
+    gb::mxv(nmax, uncolored, gb::no_accum, gb::max_second<std::uint64_t>(), a,
+            prio, gb::desc_s);
+
+    gb::Vector<bool> winners(n);
+    gb::Vector<std::uint64_t> beat(n);
+    gb::ewise_mult(beat, gb::no_mask, gb::no_accum, gb::Isgt{}, prio, nmax);
+    gb::select(winners, gb::no_mask, gb::no_accum, gb::SelValueNe{}, beat,
+               std::uint64_t{0});
+    gb::Vector<bool> lonely(n);
+    gb::apply(lonely, nmax, gb::no_accum, gb::One{}, uncolored, gb::desc_sc);
+    gb::ewise_add(winners, gb::no_mask, gb::no_accum, gb::Lor{}, winners,
+                  lonely);
+
+    // color<winners,s> = round
+    gb::assign_scalar(color, winners, gb::no_accum, round, gb::IndexSel::all(n),
+                      gb::desc_s);
+
+    // uncolored -= winners.
+    gb::Vector<bool> next(n);
+    gb::apply(next, winners, gb::no_accum, gb::Identity{}, uncolored,
+              gb::desc_rsc);
+    uncolored = std::move(next);
+  }
+  return color;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,37 @@
+// Sparse deep neural network inference (§V's machine-learning list cites
+// Kepner et al., "Enabling massive deep neural networks with the
+// GraphBLAS"). The GraphChallenge formulation: per layer,
+//   Y <- clip(ReLU(Y * W + bias), ymax),
+// where the bias is added only at positions the product produced, and
+// non-positive entries are pruned from the pattern to keep Y sparse.
+#include "lagraph/lagraph.hpp"
+
+namespace lagraph {
+
+gb::Matrix<double> dnn_inference(const gb::Matrix<double>& y0,
+                                 const std::vector<gb::Matrix<double>>& weights,
+                                 const std::vector<double>& biases,
+                                 double ymax) {
+  gb::check_value(weights.size() == biases.size(),
+                  "dnn_inference: one bias per layer");
+  gb::Matrix<double> y = y0.dup();
+  for (std::size_t layer = 0; layer < weights.size(); ++layer) {
+    const auto& w = weights[layer];
+    gb::check_dims(y.ncols() == w.nrows(), "dnn_inference: layer shape");
+
+    gb::Matrix<double> z(y.nrows(), w.ncols());
+    gb::mxm(z, gb::no_mask, gb::no_accum, gb::plus_times<double>(), y, w);
+
+    // Bias, ReLU prune, and clip.
+    gb::apply(z, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Plus, double>{{}, biases[layer]}, z);
+    gb::Matrix<double> pos(z.nrows(), z.ncols());
+    gb::select(pos, gb::no_mask, gb::no_accum, gb::SelValueGt{}, z, 0.0);
+    gb::apply(pos, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Min, double>{{}, ymax}, pos);
+    y = std::move(pos);
+  }
+  return y;
+}
+
+}  // namespace lagraph

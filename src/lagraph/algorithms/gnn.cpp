@@ -1,0 +1,70 @@
+// Graph convolutional network inference — "graph neural network training
+// and inference" from the paper's §V future-work list (the inference half).
+//
+// The Kipf-Welling GCN layer is pure GraphBLAS:
+//   Â = D^-1/2 (A + I) D^-1/2        (two diagonal-scaling mxm's)
+//   H_{l+1} = ReLU(Â H_l W_l)        (two plus_times mxm's + select)
+// with the final layer left linear (logits).
+#include <cmath>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+namespace {
+
+/// Â = D^-1/2 (A + I) D^-1/2 for the undirected view of g.
+gb::Matrix<double> normalized_adjacency(const Graph& g) {
+  const Index n = g.nrows();
+  gb::Matrix<double> ai(n, n);
+  gb::ewise_add(ai, gb::no_mask, gb::no_accum, gb::First{}, g.undirected_view(),
+                gb::Matrix<double>::identity(n, 1.0));
+
+  // Row sums of A + I are the augmented degrees.
+  gb::Vector<double> d(n);
+  gb::reduce(d, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), ai);
+  gb::Vector<double> dinv_sqrt(n);
+  gb::apply(dinv_sqrt, gb::no_mask, gb::no_accum,
+            [](double x) { return 1.0 / std::sqrt(x); }, d);
+  auto dm = gb::Matrix<double>::diag(dinv_sqrt);
+
+  gb::Matrix<double> t(n, n), norm(n, n);
+  gb::mxm(t, gb::no_mask, gb::no_accum, gb::plus_times<double>(), dm, ai);
+  gb::mxm(norm, gb::no_mask, gb::no_accum, gb::plus_times<double>(), t, dm);
+  return norm;
+}
+
+}  // namespace
+
+gb::Matrix<double> gcn_inference(
+    const Graph& g, const gb::Matrix<double>& features,
+    const std::vector<gb::Matrix<double>>& weights) {
+  gb::check_dims(features.nrows() == g.nrows(), "gcn: features per vertex");
+  gb::check_value(!weights.empty(), "gcn: at least one layer");
+
+  auto norm = normalized_adjacency(g);
+  gb::Matrix<double> h = features.dup();
+  for (std::size_t layer = 0; layer < weights.size(); ++layer) {
+    const auto& w = weights[layer];
+    gb::check_dims(h.ncols() == w.nrows(), "gcn: layer shape");
+
+    // Aggregate: Z = Â H (message passing), then transform: Z W.
+    gb::Matrix<double> agg(g.nrows(), h.ncols());
+    gb::mxm(agg, gb::no_mask, gb::no_accum, gb::plus_times<double>(), norm, h);
+    gb::Matrix<double> z(g.nrows(), w.ncols());
+    gb::mxm(z, gb::no_mask, gb::no_accum, gb::plus_times<double>(), agg, w);
+
+    if (layer + 1 < weights.size()) {
+      // ReLU keeps activations sparse between layers.
+      gb::Matrix<double> relu(z.nrows(), z.ncols());
+      gb::select(relu, gb::no_mask, gb::no_accum, gb::SelValueGt{}, z, 0.0);
+      h = std::move(relu);
+    } else {
+      h = std::move(z);  // final layer: linear logits
+    }
+  }
+  return h;
+}
+
+}  // namespace lagraph

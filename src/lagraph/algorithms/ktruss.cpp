@@ -1,0 +1,44 @@
+// k-truss (§V cites Davis's SuiteSparse k-truss and Low et al.'s
+// linear-algebraic formulation): iterate support counting C<C> = C*C with the
+// plus_pair semiring, then peel edges whose support < k-2, until fixpoint.
+#include "lagraph/lagraph.hpp"
+
+namespace lagraph {
+
+KtrussResult ktruss(const Graph& g, std::uint64_t k) {
+  gb::check_value(k >= 3, "ktruss: k must be >= 3");
+  const auto& a0 = g.undirected_view();
+  const Index n = a0.nrows();
+
+  // C starts as the off-diagonal pattern of A.
+  gb::Matrix<std::int64_t> c(n, n);
+  {
+    gb::Matrix<std::int64_t> ones(n, n);
+    gb::apply(ones, gb::no_mask, gb::no_accum, gb::One{}, a0);
+    gb::select(c, gb::no_mask, gb::no_accum, gb::SelOffdiag{}, ones,
+               std::int64_t{0});
+  }
+
+  KtrussResult res;
+  const auto support_needed = static_cast<std::int64_t>(k) - 2;
+  gb::Index last_nvals = c.nvals();
+  for (;;) {
+    ++res.rounds;
+    // Support of every surviving edge: S<C> = C*C (plus_pair, structural
+    // mask).
+    gb::Matrix<std::int64_t> s(n, n);
+    gb::mxm(s, c, gb::no_accum, gb::plus_pair<std::int64_t>(), c, c,
+            gb::desc_s);
+    // Keep edges with support >= k-2.
+    gb::select(c, gb::no_mask, gb::no_accum, gb::SelValueGe{}, s,
+               support_needed);
+    gb::Index now = c.nvals();
+    if (now == last_nvals) break;
+    last_nvals = now;
+  }
+  res.nedges = c.nvals() / 2;
+  res.c = std::move(c);
+  return res;
+}
+
+}  // namespace lagraph

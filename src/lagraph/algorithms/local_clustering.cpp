@@ -1,0 +1,102 @@
+// Local graph clustering: seeded personalised-PageRank diffusion followed by
+// a sweep cut — the third workload of Table II (45 LoC in GraphBLAST vs 84
+// in Ligra). The diffusion is pure GraphBLAS (one vxm per iteration); the
+// sweep orders vertices by p(v)/deg(v) and returns the prefix with minimum
+// conductance.
+#include <algorithm>
+#include <cmath>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+LocalClusterResult local_clustering(const Graph& g, Index seed, double alpha,
+                                    double eps, int max_iters) {
+  const Index n = g.nrows();
+  gb::check_index(seed < n, "local_clustering: seed out of range");
+  const auto& a = g.undirected_view();
+
+  // Row-stochastic walk matrix contribution is folded into the iteration:
+  // p <- alpha * chi_seed + (1 - alpha) * (p ./ deg)' A.
+  gb::Vector<double> deg(n);
+  gb::apply(deg, gb::no_mask, gb::no_accum, gb::Identity{}, g.out_degree());
+
+  gb::Vector<double> p(n);
+  p.set_element(seed, 1.0);
+
+  for (int it = 0; it < max_iters; ++it) {
+    gb::Vector<double> w(n);
+    gb::ewise_mult(w, gb::no_mask, gb::no_accum, gb::Div{}, p, deg);
+    gb::apply(w, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Times, double>{{}, 1.0 - alpha}, w);
+
+    gb::Vector<double> next(n);
+    next.set_element(seed, alpha);
+    gb::vxm(next, gb::no_mask, gb::Plus{}, gb::plus_times<double>(), w, a);
+
+    gb::Vector<double> diff(n);
+    gb::ewise_add(diff, gb::no_mask, gb::no_accum, gb::Minus{}, next, p);
+    gb::apply(diff, gb::no_mask, gb::no_accum, gb::Abs{}, diff);
+    double delta = gb::reduce_scalar(gb::plus_monoid<double>(), diff);
+    p = std::move(next);
+    if (delta < eps) break;
+  }
+
+  // Sweep cut: sort vertices by p(v)/deg(v) descending, track the
+  // conductance of each prefix incrementally.
+  std::vector<gb::Index> pi;
+  std::vector<double> pv;
+  p.extract_tuples(pi, pv);
+  auto degd = to_dense_std(deg, 0.0);
+
+  std::vector<std::pair<double, Index>> order;
+  order.reserve(pi.size());
+  for (std::size_t k = 0; k < pi.size(); ++k) {
+    if (degd[pi[k]] > 0.0) order.emplace_back(pv[k] / degd[pi[k]], pi[k]);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& x, const auto& y) {
+    return x.first > y.first || (x.first == y.first && x.second < y.second);
+  });
+
+  // Incremental cut/volume over the adjacency pattern.
+  std::vector<gb::Index> ar, ac;
+  std::vector<double> av;
+  a.extract_tuples(ar, ac, av);
+  std::vector<std::vector<Index>> nbr(n);
+  double total_vol = 0.0;
+  for (std::size_t k = 0; k < ar.size(); ++k) {
+    if (ar[k] == ac[k]) continue;
+    nbr[ar[k]].push_back(ac[k]);
+    total_vol += 1.0;
+  }
+
+  std::vector<std::uint8_t> in_s(n, 0);
+  double vol = 0.0, cut = 0.0;
+  double best_phi = 1.0;
+  std::size_t best_prefix = 0;
+  LocalClusterResult res;
+
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    Index v = order[k].second;
+    in_s[v] = 1;
+    vol += static_cast<double>(nbr[v].size());
+    for (Index u : nbr[v]) cut += in_s[u] ? -1.0 : 1.0;
+    double denom = std::min(vol, total_vol - vol);
+    double phi = denom > 0.0 ? cut / denom : 1.0;
+    if (phi < best_phi && k + 1 < order.size()) {
+      best_phi = phi;
+      best_prefix = k + 1;
+    }
+  }
+
+  res.members = gb::Vector<bool>(n);
+  for (std::size_t k = 0; k < best_prefix; ++k) {
+    res.members.set_element(order[k].second, true);
+  }
+  res.conductance = best_phi;
+  res.sweep_size = static_cast<int>(best_prefix);
+  return res;
+}
+
+}  // namespace lagraph

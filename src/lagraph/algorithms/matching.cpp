@@ -1,0 +1,75 @@
+// Maximal matching via mutual-proposal rounds (§V cites Azad & Buluç's
+// matrix-algebraic maximal matching). Every unmatched vertex proposes to its
+// minimum-id unmatched neighbour (one min_second mxv); mutual proposals
+// match. The minimum-id vertex with any live neighbour always pairs, so the
+// rounds terminate with a maximal matching.
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+gb::Vector<std::uint64_t> maximal_matching(const Graph& g,
+                                           std::uint64_t /*seed*/) {
+  const Index n = g.nrows();
+  gb::Matrix<double> a(n, n);
+  gb::select(a, gb::no_mask, gb::no_accum, gb::SelOffdiag{},
+             g.undirected_view(), std::int64_t{0});
+
+  // mate(i) = i means unmatched.
+  gb::Vector<std::uint64_t> mate(n);
+  {
+    std::vector<Index> idx(n);
+    std::vector<std::uint64_t> val(n);
+    for (Index i = 0; i < n; ++i) {
+      idx[i] = i;
+      val[i] = i;
+    }
+    mate.build(idx, val, gb::Second{});
+  }
+
+  auto candidates = gb::Vector<bool>::full(n, true);
+
+  while (candidates.nvals() > 0) {
+    // ids(i) = i on the candidates.
+    gb::Vector<std::uint64_t> ids(n);
+    gb::apply_indexop(ids, gb::no_mask, gb::no_accum, gb::RowIndex{},
+                      candidates, std::int64_t{0});
+
+    // pick(i) = min candidate neighbour id.
+    gb::Vector<std::uint64_t> pick(n);
+    gb::mxv(pick, candidates, gb::no_accum, gb::min_second<std::uint64_t>(), a,
+            ids, gb::desc_s);
+
+    if (pick.nvals() == 0) break;  // no candidate has a candidate neighbour
+
+    // Mutuality: pick2(i) = pick(pick(i)); matched iff pick2(i) == i.
+    std::vector<Index> pi;
+    std::vector<std::uint64_t> pv;
+    pick.extract_tuples(pi, pv);
+    std::vector<Index> list(pv.begin(), pv.end());
+    gb::Vector<std::uint64_t> pick_at(list.size());
+    gb::extract(pick_at, gb::no_mask, gb::no_accum, pick, gb::IndexSel(list));
+
+    gb::Vector<bool> matched(n);
+    for (std::size_t k = 0; k < pi.size(); ++k) {
+      auto back = pick_at.extract_element(k);
+      if (back && *back == pi[k]) {
+        mate.set_element(pi[k], pv[k]);
+        matched.set_element(pi[k], true);
+      }
+    }
+
+    // Drop matched vertices and candidates with no live neighbour.
+    gb::Vector<bool> dead(n);
+    gb::apply(dead, pick, gb::no_accum, gb::One{}, candidates, gb::desc_sc);
+    gb::Vector<bool> removed(n);
+    gb::ewise_add(removed, gb::no_mask, gb::no_accum, gb::Lor{}, matched, dead);
+    gb::Vector<bool> next(n);
+    gb::apply(next, removed, gb::no_accum, gb::Identity{}, candidates,
+              gb::desc_rsc);
+    candidates = std::move(next);
+  }
+  return mate;
+}
+
+}  // namespace lagraph

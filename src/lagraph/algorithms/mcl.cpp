@@ -1,0 +1,87 @@
+// Markov clustering (MCL) — §V cites HipMCL, the distributed GraphBLAS-style
+// MCL. Expansion is mxm over plus_times; inflation is an elementwise power
+// followed by column re-normalisation (an mxm with a diagonal scaling
+// matrix); pruning is a select. Cluster labels come from each column's
+// attractor row.
+#include <cmath>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+namespace {
+
+/// Column-normalise M in place: M = M * diag(1 / colsum).
+void normalize_columns(gb::Matrix<double>& m) {
+  const Index n = m.ncols();
+  gb::Vector<double> colsum(n);
+  gb::reduce(colsum, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), m,
+             gb::desc_t0);
+  gb::Vector<double> inv(n);
+  gb::apply(inv, gb::no_mask, gb::no_accum, gb::Minv{}, colsum);
+  auto d = gb::Matrix<double>::diag(inv);
+  gb::Matrix<double> out(m.nrows(), n);
+  gb::mxm(out, gb::no_mask, gb::no_accum, gb::plus_times<double>(), m, d);
+  m = std::move(out);
+}
+
+struct PowOp {
+  double r;
+  double operator()(double x) const { return std::pow(x, r); }
+};
+
+}  // namespace
+
+gb::Vector<std::uint64_t> mcl(const Graph& g, double inflation, int max_iters,
+                              double prune) {
+  const Index n = g.nrows();
+
+  // M = A + I (self-loops are standard MCL practice), column-stochastic.
+  gb::Matrix<double> m(n, n);
+  gb::ewise_add(m, gb::no_mask, gb::no_accum, gb::Plus{}, g.undirected_view(),
+                gb::Matrix<double>::identity(n, 1.0));
+  normalize_columns(m);
+
+  for (int it = 0; it < max_iters; ++it) {
+    gb::Matrix<double> prev = m.dup();
+
+    // Expansion: M = M * M.
+    gb::Matrix<double> sq(n, n);
+    gb::mxm(sq, gb::no_mask, gb::no_accum, gb::plus_times<double>(), m, m);
+    m = std::move(sq);
+
+    // Inflation: M = M .^ r, column-renormalised.
+    gb::apply(m, gb::no_mask, gb::no_accum, PowOp{inflation}, m);
+    normalize_columns(m);
+
+    // Prune tiny entries to keep the iterate sparse, then renormalise.
+    gb::Matrix<double> kept(n, n);
+    gb::select(kept, gb::no_mask, gb::no_accum, gb::SelValueGt{}, m, prune);
+    m = std::move(kept);
+    normalize_columns(m);
+
+    if (isclose(prev, m, 1e-9)) break;
+  }
+
+  // Attractors: label of column j = row index of its maximum entry.
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  m.extract_tuples(r, c, v);
+  gb::Vector<std::uint64_t> labels(n);
+  std::vector<double> best(n, -1.0);
+  std::vector<std::uint64_t> owner(n, 0);
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    if (v[k] > best[c[k]] ||
+        (v[k] == best[c[k]] && r[k] < owner[c[k]])) {
+      best[c[k]] = v[k];
+      owner[c[k]] = r[k];
+    }
+  }
+  for (Index j = 0; j < n; ++j) {
+    labels.set_element(j, best[j] >= 0 ? owner[j] : j);
+  }
+  return labels;
+}
+
+}  // namespace lagraph

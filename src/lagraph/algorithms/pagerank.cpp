@@ -1,0 +1,60 @@
+// PageRank with dangling-vertex handling, in the style of LAGraph's
+// PageRank (§V cites Satish et al.'s GraphMat formulation). One vxm per
+// iteration; everything else is elementwise.
+#include <cmath>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+PageRankResult pagerank(const Graph& g, double damping, double tol,
+                        int max_iters) {
+  const auto& a = g.adj();
+  const Index n = a.nrows();
+  const double teleport = (1.0 - damping) / static_cast<double>(n);
+
+  // Out-degrees as doubles; vertices with no out-edges are absent.
+  gb::Vector<double> outdeg(n);
+  gb::apply(outdeg, gb::no_mask, gb::no_accum, gb::Identity{}, g.out_degree());
+
+  PageRankResult res;
+  res.rank = gb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+
+  for (res.iterations = 0; res.iterations < max_iters; ++res.iterations) {
+    // Dangling mass: rank held by vertices with no out-edges.
+    gb::Vector<double> dangling(n);
+    gb::apply(dangling, outdeg, gb::no_accum, gb::Identity{}, res.rank,
+              gb::desc_rsc);
+    double dmass = gb::reduce_scalar(gb::plus_monoid<double>(), dangling);
+
+    // w = damping * rank ./ outdeg  (contribution per out-edge).
+    gb::Vector<double> w(n);
+    gb::ewise_mult(w, gb::no_mask, gb::no_accum, gb::Div{}, res.rank, outdeg);
+    gb::apply(w, gb::no_mask, gb::no_accum,
+              gb::BindSecond<gb::Times, double>{{}, damping}, w);
+
+    // next = teleport + damping * dangling/n everywhere, then += w' * A.
+    // plus_FIRST, not plus_times: PageRank splits rank by out-degree, so
+    // each out-edge carries w(i) regardless of the edge's stored weight
+    // (weighted adjacencies would otherwise diverge).
+    auto next = gb::Vector<double>::full(
+        n, teleport + damping * dmass / static_cast<double>(n));
+    gb::vxm(next, gb::no_mask, gb::Plus{}, gb::plus_first<double>(), w, a);
+
+    // L1 change.
+    gb::Vector<double> diff(n);
+    gb::ewise_add(diff, gb::no_mask, gb::no_accum, gb::Minus{}, next, res.rank);
+    gb::apply(diff, gb::no_mask, gb::no_accum, gb::Abs{}, diff);
+    double delta = gb::reduce_scalar(gb::plus_monoid<double>(), diff);
+
+    res.rank = std::move(next);
+    if (delta < tol) {
+      ++res.iterations;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace lagraph

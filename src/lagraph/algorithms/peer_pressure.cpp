@@ -1,0 +1,61 @@
+// Peer-pressure clustering (§V cites Gilbert, Reinhardt & Shah). Every
+// vertex adopts the label carrying the most weight among its neighbours:
+// one plus_times mxm of the cluster-indicator matrix against the adjacency
+// per round, then an argmax per column.
+#include "lagraph/lagraph.hpp"
+
+namespace lagraph {
+
+gb::Vector<std::uint64_t> peer_pressure(const Graph& g, int max_iters) {
+  const Index n = g.nrows();
+  // Each vertex also votes for its own current label (A + I): without the
+  // self-vote, bipartite structures oscillate forever (two vertices joined
+  // by an edge would swap labels every round).
+  gb::Matrix<double> a(n, n);
+  gb::ewise_add(a, gb::no_mask, gb::no_accum, gb::First{}, g.undirected_view(),
+                gb::Matrix<double>::identity(n, 1.0));
+
+  std::vector<std::uint64_t> label(n);
+  for (Index i = 0; i < n; ++i) label[i] = i;
+
+  for (int it = 0; it < max_iters; ++it) {
+    // Indicator: C(label(i), i) = 1.
+    gb::Matrix<double> c(n, n);
+    {
+      std::vector<Index> ri(n), ci(n);
+      std::vector<double> xv(n, 1.0);
+      for (Index i = 0; i < n; ++i) {
+        ri[i] = label[i];
+        ci[i] = i;
+      }
+      c.build(ri, ci, xv, gb::Plus{});
+    }
+
+    // Votes: T(l, j) = sum of weights from label-l neighbours of j.
+    gb::Matrix<double> votes(n, n);
+    gb::mxm(votes, gb::no_mask, gb::no_accum, gb::plus_times<double>(), c, a);
+
+    // New label of j = argmax_l votes(l, j); ties to the smaller label;
+    // vertices with no neighbours keep their label.
+    std::vector<Index> r, cc;
+    std::vector<double> v;
+    votes.extract_tuples(r, cc, v);
+    std::vector<double> best(n, -1.0);
+    std::vector<std::uint64_t> next(label);
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      Index j = cc[k];
+      if (v[k] > best[j] || (v[k] == best[j] && r[k] < next[j])) {
+        best[j] = v[k];
+        next[j] = r[k];
+      }
+    }
+    if (next == label) break;
+    label = std::move(next);
+  }
+
+  gb::Vector<std::uint64_t> out(n);
+  for (Index i = 0; i < n; ++i) out.set_element(i, label[i]);
+  return out;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,110 @@
+// Single-source shortest paths: the classic min-plus Bellman-Ford iteration,
+// and a delta-stepping variant after Sridhar et al. (IPDPSW 2019), which the
+// paper cites in §V. Both are pure GraphBLAS formulations: relaxation is a
+// min_plus vxm, bucket bookkeeping is masks and selects.
+#include <algorithm>
+#include <cmath>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+gb::Vector<double> sssp_bellman_ford(const Graph& g, Index source) {
+  const auto& a = g.adj();
+  const Index n = a.nrows();
+  gb::check_index(source < n, "sssp: source out of range");
+
+  gb::Vector<double> dist(n);
+  dist.set_element(source, 0.0);
+
+  bool changed = true;
+  Index round = 0;
+  for (; round < n && changed; ++round) {
+    gb::Vector<double> next = dist;
+    // next = min(next, dist min.+ A): relax every edge once.
+    gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), dist, a);
+    changed = !isequal(next, dist);
+    dist = std::move(next);
+  }
+  if (changed) {
+    // n relaxation rounds still improving => negative cycle.
+    gb::Vector<double> next = dist;
+    gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), dist, a);
+    if (!isequal(next, dist)) {
+      throw gb::Error(gb::Info::invalid_value,
+                      "sssp_bellman_ford: negative cycle reachable");
+    }
+  }
+  return dist;
+}
+
+gb::Vector<double> sssp_delta_stepping(const Graph& g, Index source,
+                                       double delta) {
+  const auto& a = g.adj();
+  const Index n = a.nrows();
+  gb::check_index(source < n, "sssp: source out of range");
+  gb::check_value(delta > 0.0, "sssp: delta must be positive");
+
+  // Split edges into light (w <= delta) and heavy (w > delta).
+  gb::Matrix<double> light(n, n), heavy(n, n);
+  gb::select(light, gb::no_mask, gb::no_accum, gb::SelValueLe{}, a, delta);
+  gb::select(heavy, gb::no_mask, gb::no_accum, gb::SelValueGt{}, a, delta);
+
+  gb::Vector<double> dist(n);
+  dist.set_element(source, 0.0);
+
+  // settled(v) present once v's bucket has been fully processed.
+  gb::Vector<bool> settled(n);
+
+  auto min_unsettled = [&]() -> double {
+    // Minimum tentative distance among unsettled vertices; +inf if none.
+    gb::Vector<double> unsettled(n);
+    gb::Descriptor d = gb::desc_rsc;  // complement(settled), structural
+    gb::apply(unsettled, settled, gb::no_accum, gb::Identity{}, dist, d);
+    return gb::reduce_scalar(gb::min_monoid<double>(), unsettled);
+  };
+
+  double frontier_lo = 0.0;
+  while (true) {
+    frontier_lo = min_unsettled();
+    if (!std::isfinite(frontier_lo)) break;
+    const Index b = static_cast<Index>(frontier_lo / delta);
+    const double lo = static_cast<double>(b) * delta;
+    const double hi = lo + delta;
+
+    // Light-edge relaxation loop within the bucket.
+    for (;;) {
+      // active = unsettled vertices with dist in [lo, hi)
+      gb::Vector<double> active(n);
+      gb::apply(active, settled, gb::no_accum, gb::Identity{}, dist,
+                gb::desc_rsc);
+      gb::select(active, gb::no_mask, gb::no_accum, gb::SelValueGe{}, active,
+                 lo);
+      gb::select(active, gb::no_mask, gb::no_accum, gb::SelValueLt{}, active,
+                 hi);
+      if (active.nvals() == 0) break;
+
+      gb::Vector<double> before = dist;
+      gb::vxm(dist, gb::no_mask, gb::Min{}, gb::min_plus<double>(), active,
+              light);
+      if (isequal(before, dist)) break;
+    }
+
+    // The bucket is now settled; relax heavy edges out of it once.
+    gb::Vector<double> bucket(n);
+    gb::apply(bucket, settled, gb::no_accum, gb::Identity{}, dist,
+              gb::desc_rsc);
+    gb::select(bucket, gb::no_mask, gb::no_accum, gb::SelValueGe{}, bucket, lo);
+    gb::select(bucket, gb::no_mask, gb::no_accum, gb::SelValueLt{}, bucket, hi);
+    gb::assign_scalar(settled, bucket, gb::no_accum, true, gb::IndexSel::all(n),
+                      gb::desc_s);
+    if (bucket.nvals() > 0) {
+      gb::vxm(dist, gb::no_mask, gb::Min{}, gb::min_plus<double>(), bucket,
+              heavy);
+    }
+  }
+  return dist;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,85 @@
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+
+Graph::Graph(gb::Matrix<double>&& a, Kind kind) : a_(std::move(a)), kind_(kind) {
+  gb::check_dims(a_.nrows() == a_.ncols(), "Graph: adjacency must be square");
+}
+
+const gb::Vector<std::int64_t>& Graph::out_degree() const {
+  if (!out_degree_) {
+    gb::Vector<std::int64_t> d(a_.nrows());
+    // degree = row-reduce of the pattern: plus over ONE(aij).
+    gb::Matrix<std::int64_t> ones(a_.nrows(), a_.ncols());
+    gb::apply(ones, gb::no_mask, gb::no_accum, gb::One{}, a_);
+    gb::reduce(d, gb::no_mask, gb::no_accum, gb::plus_monoid<std::int64_t>(),
+               ones);
+    out_degree_ = std::move(d);
+  }
+  return *out_degree_;
+}
+
+const gb::Vector<std::int64_t>& Graph::in_degree() const {
+  if (!in_degree_) {
+    gb::Vector<std::int64_t> d(a_.ncols());
+    gb::Matrix<std::int64_t> ones(a_.nrows(), a_.ncols());
+    gb::apply(ones, gb::no_mask, gb::no_accum, gb::One{}, a_);
+    gb::reduce(d, gb::no_mask, gb::no_accum, gb::plus_monoid<std::int64_t>(),
+               ones, gb::desc_t0);
+    in_degree_ = std::move(d);
+  }
+  return *in_degree_;
+}
+
+bool Graph::is_symmetric() const {
+  if (!symmetric_) {
+    if (a_.nrows() != a_.ncols()) {
+      symmetric_ = false;
+    } else {
+      // C = (A == A^T) over the union pattern; symmetric iff every position
+      // compares equal AND the patterns match (union size == A size).
+      gb::Matrix<bool> eq(a_.nrows(), a_.ncols());
+      gb::ewise_mult(eq, gb::no_mask, gb::no_accum, gb::Eq{}, a_, a_,
+                     gb::desc_t1);
+      bool all_eq =
+          gb::reduce_scalar(gb::land_monoid(), eq);
+      symmetric_ = all_eq && eq.nvals() == a_.nvals();
+    }
+  }
+  return *symmetric_;
+}
+
+std::uint64_t Graph::nself_edges() const {
+  if (!nself_) {
+    gb::Matrix<double> d(a_.nrows(), a_.ncols());
+    gb::select(d, gb::no_mask, gb::no_accum, gb::SelDiag{}, a_,
+               std::int64_t{0});
+    nself_ = d.nvals();
+  }
+  return *nself_;
+}
+
+void Graph::invalidate_cache() const {
+  out_degree_.reset();
+  in_degree_.reset();
+  symmetric_.reset();
+  nself_.reset();
+  sym_view_.reset();
+}
+
+const gb::Matrix<double>& Graph::undirected_view() const {
+  // Trust the actual pattern, not the declared kind: a Graph labelled
+  // undirected but built from an asymmetric matrix would otherwise feed
+  // half-edges into every undirected algorithm.
+  if (is_symmetric()) return a_;
+  if (!sym_view_) {
+    gb::Matrix<double> s(a_.nrows(), a_.ncols());
+    // A | A^T, keeping A's value where both exist.
+    gb::ewise_add(s, gb::no_mask, gb::no_accum, gb::First{}, a_, a_,
+                  gb::desc_t1);
+    sym_view_ = std::move(s);
+  }
+  return *sym_view_;
+}
+
+}  // namespace lagraph

@@ -1,0 +1,73 @@
+// lagraph::Graph — the LAGraph-style graph object: an adjacency matrix plus
+// lazily-computed cached properties (transpose orientation, degrees,
+// symmetry, self-edge count). §IV of the paper discusses why the algorithm
+// layer needs to hold an opaque GraphBLAS object and reuse it across calls
+// without copy overhead; the cached properties are how the real LAGraph
+// library answers that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graphblas/graphblas.hpp"
+
+namespace lagraph {
+
+using gb::Index;
+
+/// How the adjacency matrix should be interpreted.
+enum class Kind {
+  directed,    ///< A(i,j) is the edge i -> j
+  undirected,  ///< A is (expected to be) symmetric
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of the adjacency matrix (move — no copy, per §IV).
+  Graph(gb::Matrix<double>&& a, Kind kind);
+
+  [[nodiscard]] const gb::Matrix<double>& adj() const noexcept { return a_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] Index nrows() const { return a_.nrows(); }
+  [[nodiscard]] Index nvals() const { return a_.nvals(); }
+
+  // --- cached properties (computed on first use) -----------------------------
+
+  /// Make both storage orientations of A resident, so push and pull
+  /// traversals are both O(1) to start (the AT cached property of LAGraph /
+  /// the CSR+CSC doubling of GraphBLAST, §II-E).
+  void ensure_transpose() const { a_.ensure_dual_format(); }
+
+  /// out_degree(i) = number of entries in row i.
+  [[nodiscard]] const gb::Vector<std::int64_t>& out_degree() const;
+
+  /// in_degree(i) = number of entries in column i.
+  [[nodiscard]] const gb::Vector<std::int64_t>& in_degree() const;
+
+  /// Is the pattern-and-value matrix symmetric?
+  [[nodiscard]] bool is_symmetric() const;
+
+  /// Number of self-edges (diagonal entries).
+  [[nodiscard]] std::uint64_t nself_edges() const;
+
+  /// Drop all cached properties (call after externally mutating adj()).
+  void invalidate_cache() const;
+
+  /// The undirected view: A | A^T structurally (returns adj() directly when
+  /// the graph is already undirected/symmetric).
+  [[nodiscard]] const gb::Matrix<double>& undirected_view() const;
+
+ private:
+  gb::Matrix<double> a_;
+  Kind kind_ = Kind::directed;
+
+  mutable std::optional<gb::Vector<std::int64_t>> out_degree_;
+  mutable std::optional<gb::Vector<std::int64_t>> in_degree_;
+  mutable std::optional<bool> symmetric_;
+  mutable std::optional<std::uint64_t> nself_;
+  mutable std::optional<gb::Matrix<double>> sym_view_;
+};
+
+}  // namespace lagraph

@@ -1,0 +1,197 @@
+// LAGraph public API — the algorithm collection of §V of the paper, written
+// entirely on top of the GraphBLAS substrate. Every function here validates
+// against a textbook reference implementation in tests/.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+
+// ===========================================================================
+// Breadth-first search (Fig. 2; direction optimisation per §II-E)
+// ===========================================================================
+
+enum class BfsVariant {
+  push,                  ///< SpMSpV saxpy every level
+  pull,                  ///< SpMV dot every level
+  direction_optimizing,  ///< GraphBLAST threshold rule with hysteresis
+};
+
+struct BfsResult {
+  gb::Vector<std::int64_t> level;   ///< hop count from source; absent = unreached
+  gb::Vector<std::int64_t> parent;  ///< BFS tree parent; parent[src] = src
+  std::int64_t depth = 0;           ///< number of levels traversed
+  std::vector<gb::MxvMethod> directions;  ///< per-level traversal used
+};
+
+/// Level + parent BFS from `source`.
+BfsResult bfs(const Graph& g, Index source,
+              BfsVariant variant = BfsVariant::direction_optimizing);
+
+// ===========================================================================
+// Shortest paths
+// ===========================================================================
+
+/// Bellman-Ford SSSP via min-plus vxm iteration. Absent = unreachable.
+/// Throws Error(invalid_value) on a negative cycle reachable from source.
+gb::Vector<double> sssp_bellman_ford(const Graph& g, Index source);
+
+/// Delta-stepping SSSP [Sridhar et al., IPDPSW 2019 — cited in §V]:
+/// light/heavy edge split with bucketed relaxation. Non-negative weights.
+gb::Vector<double> sssp_delta_stepping(const Graph& g, Index source,
+                                       double delta);
+
+/// All-pairs shortest paths by min-plus repeated squaring (small graphs).
+gb::Matrix<double> apsp(const Graph& g);
+
+// ===========================================================================
+// Centrality
+// ===========================================================================
+
+struct PageRankResult {
+  gb::Vector<double> rank;
+  int iterations = 0;
+};
+
+/// PageRank with dangling-node handling (teleport redistribution).
+PageRankResult pagerank(const Graph& g, double damping = 0.85,
+                        double tol = 1e-9, int max_iters = 100);
+
+/// Batched Brandes betweenness centrality from the given source set.
+gb::Vector<double> betweenness(const Graph& g,
+                               const std::vector<Index>& sources);
+
+// ===========================================================================
+// Triangles and trusses
+// ===========================================================================
+
+enum class TriangleMethod {
+  burkhardt,  ///< sum((A*A) .* A) / 6
+  cohen,      ///< sum((L*U) .* A) / 2
+  sandia_ll,  ///< sum(<L> L*L) — masked saxpy
+  sandia_uu,  ///< sum(<U> U*U)
+  dot,        ///< sum(<L> L*U') — masked dot product
+};
+
+/// Exact triangle count of the undirected view of g.
+std::uint64_t triangle_count(const Graph& g,
+                             TriangleMethod method = TriangleMethod::sandia_ll);
+
+struct KtrussResult {
+  gb::Matrix<std::int64_t> c;  ///< adjacency of the k-truss; values = support
+  std::uint64_t nedges = 0;    ///< undirected edges surviving
+  int rounds = 0;
+};
+
+/// k-truss of the undirected view of g (k >= 3).
+KtrussResult ktruss(const Graph& g, std::uint64_t k);
+
+// ===========================================================================
+// Components and clustering
+// ===========================================================================
+
+/// Connected components (FastSV); label = minimum vertex id in component.
+gb::Vector<std::uint64_t> connected_components(const Graph& g);
+
+/// Strongly connected components of the directed graph via forward-backward
+/// reachability splitting (FW-BW). label(v) = pivot vertex of v's SCC.
+gb::Vector<std::uint64_t> strongly_connected_components(const Graph& g);
+
+/// k-core decomposition of the undirected view: coreness(v) = largest k
+/// such that v survives in the k-core. Dense output.
+gb::Vector<std::uint64_t> kcore(const Graph& g);
+
+/// Luby's maximal independent set. Entries present (true) are in the set.
+gb::Vector<bool> mis(const Graph& g, std::uint64_t seed = 42);
+
+/// Greedy independent-set graph coloring; colors are 1-based.
+gb::Vector<std::uint64_t> coloring(const Graph& g, std::uint64_t seed = 42);
+
+/// Maximal matching: mate(i) = matched partner, mate(i) = i if unmatched.
+gb::Vector<std::uint64_t> maximal_matching(const Graph& g,
+                                           std::uint64_t seed = 42);
+
+/// Markov clustering (MCL). Returns a cluster label per vertex.
+gb::Vector<std::uint64_t> mcl(const Graph& g, double inflation = 2.0,
+                              int max_iters = 100, double prune = 1e-6);
+
+/// Peer-pressure clustering. Returns a cluster label per vertex.
+gb::Vector<std::uint64_t> peer_pressure(const Graph& g, int max_iters = 50);
+
+struct LocalClusterResult {
+  gb::Vector<bool> members;  ///< the cluster found around the seed
+  double conductance = 1.0;  ///< cut(S) / min(vol(S), vol(V-S))
+  int sweep_size = 0;
+};
+
+/// Local graph clustering: seeded personalised-PageRank diffusion + sweep
+/// cut (the Table II "local graph clustering" workload).
+LocalClusterResult local_clustering(const Graph& g, Index seed,
+                                    double alpha = 0.15, double eps = 1e-7,
+                                    int max_iters = 50);
+
+// ===========================================================================
+// Sparse deep neural network inference (§V machine-learning list)
+// ===========================================================================
+
+/// GraphChallenge-style sparse DNN inference:
+/// Y_{l+1} = ReLU(Y_l * W_l + bias_l), entries <= 0 pruned, values clipped
+/// at `ymax`.
+gb::Matrix<double> dnn_inference(const gb::Matrix<double>& y0,
+                                 const std::vector<gb::Matrix<double>>& weights,
+                                 const std::vector<double>& biases,
+                                 double ymax = 32.0);
+
+// ===========================================================================
+// §V "not yet implemented using a GraphBLAS-like library" — the paper's
+// future-work list, implemented here.
+// ===========================================================================
+
+struct AStarResult {
+  double distance = std::numeric_limits<double>::infinity();
+  std::vector<Index> path;  ///< source..target; empty if unreachable
+  Index expanded = 0;       ///< vertices settled before reaching the target
+};
+
+/// A* search from source to target with a per-vertex heuristic h (must be
+/// admissible for optimality; h absent => 0). Non-negative edge weights.
+AStarResult astar(const Graph& g, Index source, Index target,
+                  const gb::Vector<double>& heuristic);
+
+/// Dijkstra via A* with a zero heuristic (convenience / baseline).
+AStarResult astar(const Graph& g, Index source, Index target);
+
+/// Small-subgraph census of the undirected view (the §V subgraph-counting
+/// workload): exact counts via algebraic identities over A, A², A³.
+struct SubgraphCensus {
+  std::uint64_t edges = 0;
+  std::uint64_t wedges = 0;        ///< paths of length 2 (K1,2)
+  std::uint64_t claws = 0;         ///< stars K1,3
+  std::uint64_t triangles = 0;
+  std::uint64_t four_cycles = 0;   ///< simple cycles C4
+  std::uint64_t tailed_triangles = 0;  ///< triangle + pendant edge
+};
+SubgraphCensus subgraph_count(const Graph& g);
+
+/// Weisfeiler-Lehman subtree kernel between two graphs ("graph kernels for
+/// supervised learning", §V): `iters` rounds of label refinement driven by
+/// the cluster-indicator x adjacency product; returns the kernel value
+/// (sum over rounds of label-histogram dot products).
+double wl_kernel(const Graph& g1, const Graph& g2, int iters = 3);
+
+/// Per-vertex WL labels after `iters` refinement rounds (canonicalised to
+/// dense ids; useful for vertex classification features).
+gb::Vector<std::uint64_t> wl_labels(const Graph& g, int iters);
+
+/// Graph convolutional network inference ("graph neural network
+/// inference", §V): H_{l+1} = ReLU(Â H_l W_l) with the symmetric
+/// normalisation Â = D^-1/2 (A + I) D^-1/2; the last layer is linear.
+gb::Matrix<double> gcn_inference(const Graph& g,
+                                 const gb::Matrix<double>& features,
+                                 const std::vector<gb::Matrix<double>>& weights);
+
+}  // namespace lagraph

@@ -1,0 +1,42 @@
+// Bipartite matching and collaborative filtering — the §V entries that work
+// on rectangular (left x right / user x item) matrices rather than square
+// adjacencies, hence a separate header from lagraph.hpp's Graph-based API.
+#pragma once
+
+#include <cstdint>
+
+#include "graphblas/graphblas.hpp"
+
+namespace lagraph {
+
+using gb::Index;
+
+struct BipartiteMatching {
+  gb::Vector<std::uint64_t> mate_left;   ///< mate_left(i) = matched right j
+  gb::Vector<std::uint64_t> mate_right;  ///< mate_right(j) = matched left i
+  std::uint64_t size = 0;                ///< cardinality of the matching
+};
+
+/// Maximum cardinality matching of the bipartite graph whose biadjacency is
+/// `a` (left vertices = rows, right vertices = columns). Unmatched vertices
+/// have no entry in the mate vectors.
+BipartiteMatching maximum_bipartite_matching(const gb::Matrix<double>& a);
+
+struct FactorizationResult {
+  gb::Matrix<double> p;    ///< nusers x rank
+  gb::Matrix<double> q;    ///< rank x nitems
+  double rmse = 0.0;       ///< final training RMSE on the rating pattern
+  int epochs = 0;
+};
+
+/// Collaborative filtering by gradient-descent matrix factorisation (§V
+/// cites GraphMat's SGD collaborative filtering): minimise
+///   Σ_{(u,i) in R} (R_ui − P(u,:) Q(:,i))² + reg (‖P‖² + ‖Q‖²)
+/// with full-batch gradient steps; the error term is a *masked* mxm — the
+/// pattern of R is the only place the model is ever evaluated.
+FactorizationResult collaborative_filtering(const gb::Matrix<double>& ratings,
+                                            Index rank, double learning_rate,
+                                            double regularization, int epochs,
+                                            std::uint64_t seed = 1);
+
+}  // namespace lagraph

@@ -1,0 +1,48 @@
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+bool isclose(const gb::Vector<double>& a, const gb::Vector<double>& b,
+             double tol) {
+  if (a.size() != b.size() || a.nvals() != b.nvals()) return false;
+  std::vector<gb::Index> ai, bi;
+  std::vector<double> av, bv;
+  a.extract_tuples(ai, av);
+  b.extract_tuples(bi, bv);
+  if (ai != bi) return false;
+  for (std::size_t k = 0; k < av.size(); ++k) {
+    if (std::abs(av[k] - bv[k]) > tol) return false;
+  }
+  return true;
+}
+
+bool isclose(const gb::Matrix<double>& a, const gb::Matrix<double>& b,
+             double tol) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols() ||
+      a.nvals() != b.nvals()) {
+    return false;
+  }
+  std::vector<gb::Index> ar, ac, br, bc;
+  std::vector<double> av, bv;
+  a.extract_tuples(ar, ac, av);
+  b.extract_tuples(br, bc, bv);
+  if (ar != br || ac != bc) return false;
+  for (std::size_t k = 0; k < av.size(); ++k) {
+    if (std::abs(av[k] - bv[k]) > tol) return false;
+  }
+  return true;
+}
+
+gb::Index argmax(const gb::Vector<double>& v) {
+  std::vector<gb::Index> idx;
+  std::vector<double> val;
+  v.extract_tuples(idx, val);
+  if (idx.empty()) return v.size();
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < val.size(); ++k) {
+    if (val[k] > val[best]) best = k;
+  }
+  return idx[best];
+}
+
+}  // namespace lagraph

@@ -1,0 +1,57 @@
+// Result-evaluation utilities (§III: "evaluating results" is a basic element
+// of the repository). Equality and tolerance comparisons over opaque
+// GraphBLAS objects, plus small conveniences used by algorithms and tests.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "graphblas/graphblas.hpp"
+
+namespace lagraph {
+
+/// Exact equality: same size, same pattern, same values.
+template <class T>
+bool isequal(const gb::Vector<T>& a, const gb::Vector<T>& b) {
+  if (a.size() != b.size() || a.nvals() != b.nvals()) return false;
+  std::vector<gb::Index> ai, bi;
+  std::vector<T> av, bv;
+  a.extract_tuples(ai, av);
+  b.extract_tuples(bi, bv);
+  return ai == bi && av == bv;
+}
+
+template <class T>
+bool isequal(const gb::Matrix<T>& a, const gb::Matrix<T>& b) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols() ||
+      a.nvals() != b.nvals()) {
+    return false;
+  }
+  std::vector<gb::Index> ar, ac, br, bc;
+  std::vector<T> av, bv;
+  a.extract_tuples(ar, ac, av);
+  b.extract_tuples(br, bc, bv);
+  return ar == br && ac == bc && av == bv;
+}
+
+/// Same pattern, values within an absolute tolerance.
+bool isclose(const gb::Vector<double>& a, const gb::Vector<double>& b,
+             double tol);
+bool isclose(const gb::Matrix<double>& a, const gb::Matrix<double>& b,
+             double tol);
+
+/// Dense view of a vector with a fill value for absent entries.
+template <class T>
+std::vector<T> to_dense_std(const gb::Vector<T>& v, T fill) {
+  std::vector<T> out(v.size(), fill);
+  std::vector<gb::Index> idx;
+  std::vector<T> val;
+  v.extract_tuples(idx, val);
+  for (std::size_t k = 0; k < idx.size(); ++k) out[idx[k]] = val[k];
+  return out;
+}
+
+/// argmax over present entries; returns size() if the vector is empty.
+gb::Index argmax(const gb::Vector<double>& v);
+
+}  // namespace lagraph

@@ -1,0 +1,83 @@
+#include "lagraph/util/edgelist.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lagraph {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw gb::Error(gb::Info::invalid_value, "edge list: " + what);
+}
+
+}  // namespace
+
+gb::Matrix<double> read_edge_list(std::istream& in,
+                                  const EdgeListOptions& opt) {
+  std::vector<gb::Index> r, c;
+  std::vector<double> v;
+  gb::Index max_id = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    char ch = line[first];
+    if (ch == '#' || ch == '%') continue;
+    std::istringstream fields(line);
+    gb::Index u = 0, w = 0;
+    double weight = opt.default_weight;
+    if (!(fields >> u >> w)) {
+      fail("malformed line " + std::to_string(lineno));
+    }
+    fields >> weight;  // optional third column
+    r.push_back(u);
+    c.push_back(w);
+    v.push_back(weight);
+    if (opt.symmetric && u != w) {
+      r.push_back(w);
+      c.push_back(u);
+      v.push_back(weight);
+    }
+    max_id = std::max({max_id, u, w});
+  }
+  gb::Index n = opt.nvertices;
+  if (n == 0) {
+    n = r.empty() ? 0 : max_id + 1;
+  } else if (max_id >= n) {
+    fail("vertex id " + std::to_string(max_id) + " exceeds declared count");
+  }
+  gb::Matrix<double> a(n, n);
+  a.build(r, c, v, gb::First{});
+  return a;
+}
+
+gb::Matrix<double> read_edge_list(const std::string& path,
+                                  const EdgeListOptions& opt) {
+  std::ifstream f(path);
+  if (!f) fail("cannot open " + path);
+  return read_edge_list(f, opt);
+}
+
+void write_edge_list(const gb::Matrix<double>& a, std::ostream& out) {
+  std::vector<gb::Index> r, c;
+  std::vector<double> v;
+  a.extract_tuples(r, c, v);
+  out << "# " << a.nrows() << " vertices, " << v.size() << " edges\n";
+  out.precision(17);
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    out << r[k] << '\t' << c[k] << '\t' << v[k] << '\n';
+  }
+}
+
+void write_edge_list(const gb::Matrix<double>& a, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) fail("cannot open " + path + " for writing");
+  write_edge_list(a, f);
+}
+
+}  // namespace lagraph

@@ -1,0 +1,26 @@
+// Plain-text edge-list I/O ("u v [weight]" per line, '#' or '%' comments) —
+// the other interchange format real graph datasets ship in (SNAP et al.).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graphblas/matrix.hpp"
+
+namespace lagraph {
+
+struct EdgeListOptions {
+  bool symmetric = false;      ///< mirror each edge
+  double default_weight = 1.0; ///< for two-column lines
+  gb::Index nvertices = 0;     ///< 0 = infer as max id + 1
+};
+
+gb::Matrix<double> read_edge_list(std::istream& in,
+                                  const EdgeListOptions& opt = {});
+gb::Matrix<double> read_edge_list(const std::string& path,
+                                  const EdgeListOptions& opt = {});
+
+void write_edge_list(const gb::Matrix<double>& a, std::ostream& out);
+void write_edge_list(const gb::Matrix<double>& a, const std::string& path);
+
+}  // namespace lagraph

@@ -1,0 +1,201 @@
+#include "lagraph/util/generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace lagraph {
+
+namespace {
+
+using gb::Index;
+
+gb::Matrix<double> from_edges(Index n, std::vector<Index>& ri,
+                              std::vector<Index>& ci, bool symmetric) {
+  if (symmetric) {
+    std::size_t m = ri.size();
+    ri.reserve(2 * m);
+    ci.reserve(2 * m);
+    for (std::size_t k = 0; k < m; ++k) {
+      ri.push_back(ci[k]);
+      ci.push_back(ri[k]);
+    }
+  }
+  std::vector<double> xv(ri.size(), 1.0);
+  gb::Matrix<double> a(n, n);
+  a.build(ri, ci, xv, gb::First{});  // combine duplicates structurally
+  return a;
+}
+
+}  // namespace
+
+gb::Matrix<double> rmat(int scale, int edge_factor, std::uint64_t seed,
+                        bool symmetric, RmatParams params) {
+  const Index n = Index{1} << scale;
+  const Index m = n * static_cast<Index>(edge_factor);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+
+  std::vector<Index> perm(n);
+  std::iota(perm.begin(), perm.end(), Index{0});
+  if (params.scramble) std::shuffle(perm.begin(), perm.end(), rng);
+
+  std::vector<Index> ri, ci;
+  ri.reserve(m);
+  ci.reserve(m);
+  for (Index e = 0; e < m; ++e) {
+    Index r = 0, c = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double p = uni(rng);
+      int quadrant = p < params.a ? 0 : (p < ab ? 1 : (p < abc ? 2 : 3));
+      r = (r << 1) | static_cast<Index>(quadrant >> 1);
+      c = (c << 1) | static_cast<Index>(quadrant & 1);
+    }
+    r = perm[r];
+    c = perm[c];
+    if (r == c) continue;  // drop self-loops
+    ri.push_back(r);
+    ci.push_back(c);
+  }
+  return from_edges(n, ri, ci, symmetric);
+}
+
+gb::Matrix<double> erdos_renyi(Index n, Index m, std::uint64_t seed,
+                               bool symmetric) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  std::vector<Index> ri, ci;
+  ri.reserve(m);
+  ci.reserve(m);
+  for (Index e = 0; e < m; ++e) {
+    Index r = pick(rng), c = pick(rng);
+    if (r == c) continue;
+    ri.push_back(r);
+    ci.push_back(c);
+  }
+  return from_edges(n, ri, ci, symmetric);
+}
+
+gb::Matrix<double> grid2d(Index rows, Index cols, std::uint64_t seed,
+                          double max_weight) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> w(1.0, std::max(1.0, max_weight));
+  const Index n = rows * cols;
+  std::vector<Index> ri, ci;
+  std::vector<double> xv;
+  auto id = [cols](Index r, Index c) { return r * cols + c; };
+  auto add = [&](Index u, Index v) {
+    double weight = max_weight > 1.0 ? w(rng) : 1.0;
+    ri.push_back(u);
+    ci.push_back(v);
+    xv.push_back(weight);
+    ri.push_back(v);
+    ci.push_back(u);
+    xv.push_back(weight);
+  };
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      if (c + 1 < cols) add(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) add(id(r, c), id(r + 1, c));
+    }
+  }
+  gb::Matrix<double> a(n, n);
+  a.build(ri, ci, xv, gb::First{});
+  return a;
+}
+
+gb::Matrix<double> path_graph(Index n, bool symmetric) {
+  std::vector<Index> ri, ci;
+  for (Index i = 0; i + 1 < n; ++i) {
+    ri.push_back(i);
+    ci.push_back(i + 1);
+  }
+  return from_edges(n, ri, ci, symmetric);
+}
+
+gb::Matrix<double> cycle_graph(Index n, bool symmetric) {
+  std::vector<Index> ri, ci;
+  for (Index i = 0; i < n; ++i) {
+    ri.push_back(i);
+    ci.push_back((i + 1) % n);
+  }
+  return from_edges(n, ri, ci, symmetric);
+}
+
+gb::Matrix<double> star_graph(Index n, bool symmetric) {
+  std::vector<Index> ri, ci;
+  for (Index i = 1; i < n; ++i) {
+    ri.push_back(0);
+    ci.push_back(i);
+  }
+  return from_edges(n, ri, ci, symmetric);
+}
+
+gb::Matrix<double> complete_graph(Index n) {
+  std::vector<Index> ri, ci;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (i == j) continue;
+      ri.push_back(i);
+      ci.push_back(j);
+    }
+  }
+  return from_edges(n, ri, ci, false);
+}
+
+gb::Matrix<double> randomize_weights(const gb::Matrix<double>& a, double lo,
+                                     double hi, std::uint64_t seed) {
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  a.extract_tuples(r, c, v);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> w(lo, hi);
+  // Keep the weight symmetric for symmetric patterns: derive it from the
+  // unordered pair, not the draw order.
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    Index lo_id = std::min(r[k], c[k]), hi_id = std::max(r[k], c[k]);
+    std::mt19937_64 pair_rng(seed ^ (lo_id * 0x9E3779B97F4A7C15ULL) ^
+                             (hi_id * 0xC2B2AE3D27D4EB4FULL));
+    std::uniform_real_distribution<double> pw(lo, hi);
+    v[k] = pw(pair_rng);
+  }
+  gb::Matrix<double> out(a.nrows(), a.ncols());
+  out.build(r, c, v, gb::First{});
+  return out;
+}
+
+gb::Matrix<double> random_matrix(Index nrows, Index ncols, Index m,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> pr(0, nrows - 1);
+  std::uniform_int_distribution<Index> pc(0, ncols - 1);
+  std::uniform_real_distribution<double> w(-1.0, 1.0);
+  std::vector<Index> ri, ci;
+  std::vector<double> xv;
+  ri.reserve(m);
+  ci.reserve(m);
+  xv.reserve(m);
+  for (Index e = 0; e < m; ++e) {
+    ri.push_back(pr(rng));
+    ci.push_back(pc(rng));
+    xv.push_back(w(rng));
+  }
+  gb::Matrix<double> a(nrows, ncols);
+  a.build(ri, ci, xv, gb::Second{});
+  return a;
+}
+
+gb::Vector<double> random_vector(Index n, Index k, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Index> pick(0, n - 1);
+  std::uniform_real_distribution<double> w(0.0, 1.0);
+  gb::Vector<double> v(n);
+  for (Index e = 0; e < k; ++e) v.set_element(pick(rng), w(rng));
+  return v;
+}
+
+}  // namespace lagraph

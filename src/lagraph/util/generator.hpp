@@ -1,0 +1,52 @@
+// Random and structured graph generators — §VI lists "generation of
+// scale-free graphs" among the support libraries LAGraph needs. The R-MAT
+// generator uses the Graph500 parameters by default, producing the skewed
+// degree distributions that make direction-optimisation and hypersparsity
+// matter (§II-E, §II-A).
+#pragma once
+
+#include <cstdint>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/vector.hpp"
+
+namespace lagraph {
+
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool scramble = true;  ///< permute vertex ids to break locality artefacts
+};
+
+/// R-MAT power-law graph: n = 2^scale vertices, ~edge_factor * n edges
+/// (duplicates combine, self-loops dropped). Values are 1.0. When
+/// `symmetric`, edges are mirrored.
+gb::Matrix<double> rmat(int scale, int edge_factor, std::uint64_t seed,
+                        bool symmetric = true, RmatParams params = {});
+
+/// Erdős–Rényi G(n, m): exactly ~m distinct random edges, values 1.0.
+gb::Matrix<double> erdos_renyi(gb::Index n, gb::Index m, std::uint64_t seed,
+                               bool symmetric = true);
+
+/// 2-D grid (rows x cols vertices, 4-neighbour, symmetric). Weighted edges
+/// in [1, max_weight] if max_weight > 1, else all 1.
+gb::Matrix<double> grid2d(gb::Index rows, gb::Index cols,
+                          std::uint64_t seed = 0, double max_weight = 1.0);
+
+/// Simple deterministic shapes for unit tests.
+gb::Matrix<double> path_graph(gb::Index n, bool symmetric = true);
+gb::Matrix<double> cycle_graph(gb::Index n, bool symmetric = true);
+gb::Matrix<double> star_graph(gb::Index n, bool symmetric = true);
+gb::Matrix<double> complete_graph(gb::Index n);
+
+/// Replace every entry's value with a uniform random weight in [lo, hi].
+gb::Matrix<double> randomize_weights(const gb::Matrix<double>& a, double lo,
+                                     double hi, std::uint64_t seed);
+
+/// Random sparse matrix (not necessarily square / symmetric): ~m entries.
+gb::Matrix<double> random_matrix(gb::Index nrows, gb::Index ncols, gb::Index m,
+                                 std::uint64_t seed);
+
+/// Random sparse vector with ~k entries, values in [0, 1).
+gb::Vector<double> random_vector(gb::Index n, gb::Index k, std::uint64_t seed);
+
+}  // namespace lagraph

@@ -1,0 +1,138 @@
+#include "lagraph/util/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace lagraph {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw gb::Error(gb::Info::invalid_value, "Matrix Market: " + what);
+}
+
+}  // namespace
+
+gb::Matrix<double> mm_read(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty file");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail("missing %%MatrixMarket banner");
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix") fail("object must be 'matrix'");
+  if (format != "coordinate" && format != "array") {
+    fail("format must be coordinate or array");
+  }
+  const bool pattern = field == "pattern";
+  if (field != "real" && field != "integer" && field != "pattern" &&
+      field != "double") {
+    fail("unsupported field '" + field + "'");
+  }
+  const bool symmetric = symmetry == "symmetric";
+  const bool skew = symmetry == "skew-symmetric";
+  if (!symmetric && !skew && symmetry != "general") {
+    fail("unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+
+  std::istringstream sizes(line);
+  std::uint64_t nrows = 0, ncols = 0, nnz = 0;
+  if (format == "coordinate") {
+    if (!(sizes >> nrows >> ncols >> nnz)) fail("bad size line");
+  } else {
+    if (!(sizes >> nrows >> ncols)) fail("bad size line");
+    nnz = nrows * ncols;
+  }
+
+  std::vector<gb::Index> ri, ci;
+  std::vector<double> xv;
+  ri.reserve(nnz);
+  ci.reserve(nnz);
+  xv.reserve(nnz);
+
+  if (format == "coordinate") {
+    for (std::uint64_t k = 0; k < nnz; ++k) {
+      std::uint64_t r = 0, c = 0;
+      double v = 1.0;
+      if (!(in >> r >> c)) fail("truncated entry list");
+      if (!pattern && !(in >> v)) fail("missing value");
+      if (r == 0 || c == 0 || r > nrows || c > ncols) fail("index out of range");
+      ri.push_back(r - 1);
+      ci.push_back(c - 1);
+      xv.push_back(v);
+      if ((symmetric || skew) && r != c) {
+        ri.push_back(c - 1);
+        ci.push_back(r - 1);
+        xv.push_back(skew ? -v : v);
+      }
+    }
+  } else {
+    // Array format is column-major dense.
+    for (std::uint64_t j = 0; j < ncols; ++j) {
+      for (std::uint64_t i = 0; i < nrows; ++i) {
+        double v = 0.0;
+        if (!(in >> v)) fail("truncated array data");
+        if (v != 0.0) {
+          ri.push_back(i);
+          ci.push_back(j);
+          xv.push_back(v);
+        }
+      }
+    }
+  }
+
+  gb::Matrix<double> a(nrows, ncols);
+  a.build(ri, ci, xv, gb::Plus{});
+  return a;
+}
+
+gb::Matrix<double> mm_read(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw gb::Error(gb::Info::invalid_value,
+                    "Matrix Market: cannot open " + path);
+  }
+  return mm_read(f);
+}
+
+void mm_write(const gb::Matrix<double>& a, std::ostream& out) {
+  std::vector<gb::Index> r, c;
+  std::vector<double> v;
+  a.extract_tuples(r, c, v);
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by lagraph-repro\n";
+  out << a.nrows() << ' ' << a.ncols() << ' ' << v.size() << '\n';
+  out.precision(17);
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    out << (r[k] + 1) << ' ' << (c[k] + 1) << ' ' << v[k] << '\n';
+  }
+}
+
+void mm_write(const gb::Matrix<double>& a, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    throw gb::Error(gb::Info::invalid_value,
+                    "Matrix Market: cannot open " + path + " for writing");
+  }
+  mm_write(a, f);
+}
+
+}  // namespace lagraph

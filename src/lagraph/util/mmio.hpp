@@ -1,0 +1,27 @@
+// Matrix Market I/O (§III: "loading matrices from disk in Matrix Market
+// format" is one of the repository's basic elements). Supports coordinate
+// real / integer / pattern, general / symmetric / skew-symmetric, and the
+// array (dense) format for completeness.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graphblas/matrix.hpp"
+
+namespace lagraph {
+
+/// Read a Matrix Market file. Pattern matrices get value 1.0; symmetric
+/// storage is expanded to the full matrix. Throws gb::Error on malformed
+/// input.
+gb::Matrix<double> mm_read(const std::string& path);
+
+/// Stream variant (testable without touching the filesystem).
+gb::Matrix<double> mm_read(std::istream& in);
+
+/// Write in coordinate real general format.
+void mm_write(const gb::Matrix<double>& a, const std::string& path);
+
+void mm_write(const gb::Matrix<double>& a, std::ostream& out);
+
+}  // namespace lagraph

@@ -1,0 +1,69 @@
+#include "lagraph/util/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+gb::Matrix<double> permutation_matrix(const std::vector<Index>& perm) {
+  const Index n = perm.size();
+  // Validate bijectivity.
+  std::vector<std::uint8_t> seen(n, 0);
+  for (Index v : perm) {
+    gb::check_index(v < n, "permutation_matrix: value out of range");
+    gb::check_value(!seen[v], "permutation_matrix: not a bijection");
+    seen[v] = 1;
+  }
+  std::vector<Index> rows(n), cols(n);
+  std::vector<double> vals(n, 1.0);
+  for (Index old_id = 0; old_id < n; ++old_id) {
+    rows[old_id] = perm[old_id];
+    cols[old_id] = old_id;
+  }
+  gb::Matrix<double> p(n, n);
+  p.build(rows, cols, vals, gb::Second{});
+  return p;
+}
+
+gb::Matrix<double> permute(const gb::Matrix<double>& a,
+                           const std::vector<Index>& perm) {
+  gb::check_dims(a.nrows() == a.ncols() && perm.size() == a.nrows(),
+                 "permute: square matrix and matching permutation");
+  auto p = permutation_matrix(perm);
+  const Index n = a.nrows();
+  // B = P A P'  (two plus_first products: values pass through unchanged).
+  gb::Matrix<double> pa(n, n);
+  gb::mxm(pa, gb::no_mask, gb::no_accum, gb::plus_second<double>(), p, a);
+  gb::Matrix<double> b(n, n);
+  gb::Descriptor d;
+  d.transpose_b = true;
+  gb::mxm(b, gb::no_mask, gb::no_accum, gb::plus_first<double>(), pa, p, d);
+  return b;
+}
+
+std::vector<Index> degree_order(const Graph& g, bool ascending) {
+  auto deg = to_dense_std(g.out_degree(), std::int64_t{0});
+  const Index n = g.nrows();
+  std::vector<Index> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), Index{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](Index x, Index y) {
+                     return ascending ? deg[x] < deg[y] : deg[x] > deg[y];
+                   });
+  // by_degree[k] = old id at new position k; invert to perm[old] = new.
+  std::vector<Index> perm(n);
+  for (Index k = 0; k < n; ++k) perm[by_degree[k]] = k;
+  return perm;
+}
+
+std::vector<Index> invert_permutation(const std::vector<Index>& perm) {
+  std::vector<Index> inv(perm.size());
+  for (Index old_id = 0; old_id < perm.size(); ++old_id) {
+    inv[perm[old_id]] = old_id;
+  }
+  return inv;
+}
+
+}  // namespace lagraph

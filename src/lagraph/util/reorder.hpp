@@ -1,0 +1,30 @@
+// Graph relabeling — §VI lists "changing representation of graphs" among
+// the support libraries LAGraph needs. Relabeling IS linear algebra: for a
+// permutation matrix P, the relabeled adjacency is P A P'. Degree ordering
+// is the classic preprocessing step that makes the tril/triu-based triangle
+// algorithms cheap (short rows multiply first).
+#pragma once
+
+#include <vector>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+
+/// Permutation matrix P with P(new_id, old_id) = 1: relabeled = P A P'.
+/// `perm[old_id] = new_id`, a bijection on [0, n).
+gb::Matrix<double> permutation_matrix(const std::vector<Index>& perm);
+
+/// Relabel a graph's adjacency: B(perm[i], perm[j]) = A(i, j), computed as
+/// the two-sided product P A P'.
+gb::Matrix<double> permute(const gb::Matrix<double>& a,
+                           const std::vector<Index>& perm);
+
+/// Permutation sorting vertices by degree (ascending by default — the
+/// triangle-counting preprocessing order), ties by vertex id.
+std::vector<Index> degree_order(const Graph& g, bool ascending = true);
+
+/// Inverse of a permutation.
+std::vector<Index> invert_permutation(const std::vector<Index>& perm);
+
+}  // namespace lagraph

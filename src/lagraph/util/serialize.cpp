@@ -1,0 +1,101 @@
+#include "lagraph/util/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace lagraph {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'A', 'G', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw gb::Error(gb::Info::invalid_value, "serialize: " + what);
+}
+
+template <class T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+void write_array(std::ostream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) fail("truncated header");
+  return v;
+}
+
+template <class T>
+std::vector<T> read_array(std::istream& in, std::size_t n) {
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) fail("truncated array");
+  return v;
+}
+
+}  // namespace
+
+void save_matrix(const gb::Matrix<double>& a, std::ostream& out) {
+  // Export CSR arrays from a private copy (export is destructive by design).
+  auto copy = a.dup();
+  auto arrays = copy.export_csr();
+
+  out.write(kMagic, 4);
+  write_pod(out, kVersion);
+  write_pod(out, arrays.nrows);
+  write_pod(out, arrays.ncols);
+  write_pod(out, static_cast<std::uint64_t>(arrays.i.size()));
+  write_array(out, arrays.p);
+  write_array(out, arrays.i);
+  write_array(out, arrays.x);
+  if (!out) fail("write failure");
+}
+
+void save_matrix(const gb::Matrix<double>& a, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path + " for writing");
+  save_matrix(a, f);
+}
+
+gb::Matrix<double> load_matrix(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) fail("bad magic");
+  auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) fail("unsupported version");
+  auto nrows = read_pod<gb::Index>(in);
+  auto ncols = read_pod<gb::Index>(in);
+  auto nnz = read_pod<std::uint64_t>(in);
+
+  auto p = read_array<gb::Index>(in, nrows + 1);
+  auto i = read_array<gb::Index>(in, nnz);
+  auto x = read_array<double>(in, nnz);
+  if (p.back() != nnz) fail("inconsistent pointer array");
+  for (gb::Index k = 0; k < nrows; ++k) {
+    if (p[k] > p[k + 1]) fail("non-monotone pointer array");
+  }
+  for (auto col : i) {
+    if (col >= ncols) fail("column index out of range");
+  }
+  // One O(1) move-import: the arrays become the matrix.
+  return gb::Matrix<double>::import_csr(nrows, ncols, std::move(p),
+                                        std::move(i), std::move(x));
+}
+
+gb::Matrix<double> load_matrix(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  return load_matrix(f);
+}
+
+}  // namespace lagraph

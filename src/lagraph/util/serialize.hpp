@@ -1,0 +1,21 @@
+// Binary matrix serialisation. The on-disk layout IS the CSR import/export
+// array triple of §IV (pointer / index / value arrays plus a header), so a
+// load is one bulk read followed by an O(1) move-import.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graphblas/matrix.hpp"
+
+namespace lagraph {
+
+/// Write a matrix in the LAGR binary format (CSR arrays + header).
+void save_matrix(const gb::Matrix<double>& a, const std::string& path);
+void save_matrix(const gb::Matrix<double>& a, std::ostream& out);
+
+/// Read a LAGR binary matrix. Throws gb::Error on malformed input.
+gb::Matrix<double> load_matrix(const std::string& path);
+gb::Matrix<double> load_matrix(std::istream& in);
+
+}  // namespace lagraph

@@ -1,0 +1,58 @@
+#include "lagraph/util/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lagraph/util/check.hpp"
+
+namespace lagraph {
+
+GraphStats graph_stats(const Graph& g) {
+  GraphStats s;
+  s.n = g.nrows();
+  s.nedges = g.nvals();
+  s.nself = g.nself_edges();
+  s.symmetric = g.is_symmetric();
+  auto deg = to_dense_std(g.out_degree(), std::int64_t{0});
+  if (!deg.empty()) {
+    s.min_degree = *std::min_element(deg.begin(), deg.end());
+    s.max_degree = *std::max_element(deg.begin(), deg.end());
+    std::int64_t total = 0;
+    for (auto d : deg) {
+      total += d;
+      if (d == 0) ++s.isolated;
+    }
+    s.mean_degree = s.n ? static_cast<double>(total) / static_cast<double>(s.n)
+                        : 0.0;
+  }
+  return s;
+}
+
+std::vector<std::uint64_t> degree_histogram(const Graph& g) {
+  auto deg = to_dense_std(g.out_degree(), std::int64_t{0});
+  std::vector<std::uint64_t> hist;
+  for (auto d : deg) {
+    if (d <= 0) continue;
+    std::size_t bucket = 0;
+    auto x = static_cast<std::uint64_t>(d);
+    while (x > 1) {
+      x >>= 1;
+      ++bucket;
+    }
+    if (hist.size() <= bucket) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+std::string describe(const Graph& g) {
+  auto s = graph_stats(g);
+  std::ostringstream out;
+  out << "graph: n=" << s.n << " entries=" << s.nedges
+      << (s.symmetric ? " symmetric" : " directed") << " self=" << s.nself
+      << " deg[min/mean/max]=" << s.min_degree << '/' << s.mean_degree << '/'
+      << s.max_degree << " isolated=" << s.isolated;
+  return out.str();
+}
+
+}  // namespace lagraph

@@ -1,0 +1,33 @@
+// Basic measurements on graphs (§VI lists these among the support
+// libraries): degree distribution, density, symmetry summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lagraph/graph.hpp"
+
+namespace lagraph {
+
+struct GraphStats {
+  gb::Index n = 0;
+  std::uint64_t nedges = 0;      ///< stored entries
+  std::uint64_t nself = 0;
+  bool symmetric = false;
+  std::int64_t min_degree = 0;
+  std::int64_t max_degree = 0;
+  double mean_degree = 0.0;
+  std::uint64_t isolated = 0;    ///< vertices with no out-edges
+};
+
+GraphStats graph_stats(const Graph& g);
+
+/// Out-degree histogram in log2 buckets: bucket[k] counts vertices with
+/// degree in [2^k, 2^(k+1)). bucket[0] also includes degree-1.
+std::vector<std::uint64_t> degree_histogram(const Graph& g);
+
+/// One-line human-readable summary.
+std::string describe(const Graph& g);
+
+}  // namespace lagraph

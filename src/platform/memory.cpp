@@ -1,0 +1,35 @@
+#include "platform/memory.hpp"
+
+#include <algorithm>
+
+namespace gb::platform {
+
+std::atomic<std::ptrdiff_t> MemoryMeter::bytes_{0};
+std::atomic<std::ptrdiff_t> MemoryMeter::peak_{0};
+
+void MemoryMeter::account(std::ptrdiff_t delta) noexcept {
+  auto now = bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  // Racy max update is fine: the meter is diagnostic, not load-bearing.
+  auto old_peak = peak_.load(std::memory_order_relaxed);
+  while (now > old_peak &&
+         !peak_.compare_exchange_weak(old_peak, now,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t MemoryMeter::current_bytes() noexcept {
+  auto b = bytes_.load(std::memory_order_relaxed);
+  return b > 0 ? static_cast<std::size_t>(b) : 0;
+}
+
+std::size_t MemoryMeter::peak_bytes() noexcept {
+  auto b = peak_.load(std::memory_order_relaxed);
+  return b > 0 ? static_cast<std::size_t>(b) : 0;
+}
+
+void MemoryMeter::reset_peak() noexcept {
+  peak_.store(bytes_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+}  // namespace gb::platform

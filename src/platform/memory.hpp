@@ -1,0 +1,25 @@
+// Byte-accounting hooks used by the hypersparse experiment (bench C5): the
+// paper's claim is about *memory footprint* (O(n+e) vs O(e)), so the library
+// reports the bytes each opaque object holds.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace gb::platform {
+
+/// Process-wide counter of bytes currently held by GraphBLAS opaque objects.
+/// Objects report deltas via `account`; benches snapshot via `current_bytes`.
+class MemoryMeter {
+ public:
+  static void account(std::ptrdiff_t delta) noexcept;
+  [[nodiscard]] static std::size_t current_bytes() noexcept;
+  [[nodiscard]] static std::size_t peak_bytes() noexcept;
+  static void reset_peak() noexcept;
+
+ private:
+  static std::atomic<std::ptrdiff_t> bytes_;
+  static std::atomic<std::ptrdiff_t> peak_;
+};
+
+}  // namespace gb::platform

@@ -1,0 +1,90 @@
+// Thin OpenMP wrappers so kernels read as algorithms, not pragma soup.
+//
+// All loops here are safe to run with any thread count, including one; the
+// kernels that use them never rely on iteration order within a chunk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace gb::platform {
+
+/// Number of threads the parallel helpers will use.
+inline int num_threads() noexcept {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Below this trip count a parallel loop costs more than it saves.
+inline constexpr std::size_t kParallelGrain = 4096;
+
+/// parallel_for(n, body) — body(i) for i in [0, n), dynamically scheduled.
+/// body must not throw across iterations (Core Guidelines: exceptions do not
+/// propagate out of OpenMP regions); kernels report errors by writing into
+/// per-iteration slots instead.
+template <class Body>
+void parallel_for(std::size_t n, Body&& body) {
+  if (n < kParallelGrain || num_threads() == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, 256)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) body(i);
+#endif
+}
+
+/// parallel_for_chunks(n, nchunks, body) — partition [0, n) into nchunks
+/// contiguous ranges and run body(chunk, lo, hi) for each, in parallel.
+/// Kernels with per-chunk output buffers use this to stay deterministic:
+/// each chunk writes only its own buffer, and the caller concatenates the
+/// buffers in chunk order.
+template <class Body>
+void parallel_for_chunks(std::size_t n, std::size_t nchunks, Body&& body) {
+  if (nchunks == 0) return;
+  const std::size_t per = (n + nchunks - 1) / nchunks;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static, 1)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(nchunks); ++c) {
+    auto uc = static_cast<std::size_t>(c);
+    std::size_t lo = uc * per;
+    std::size_t hi = lo + per < n ? lo + per : n;
+    if (lo < hi) body(uc, lo, hi);
+  }
+#else
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    std::size_t lo = c * per;
+    std::size_t hi = lo + per < n ? lo + per : n;
+    if (lo < hi) body(c, lo, hi);
+  }
+#endif
+}
+
+/// Exclusive prefix sum in place: v[i] becomes sum of the original
+/// v[0..i). Returns the total. This is the classic CSR pointer-array
+/// construction step.
+template <class T>
+T exclusive_scan(std::vector<T>& v) {
+  T running{};
+  for (auto& e : v) {
+    T next = running + e;
+    e = running;
+    running = next;
+  }
+  return running;
+}
+
+}  // namespace gb::platform

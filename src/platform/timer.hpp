@@ -1,0 +1,30 @@
+// High-resolution wall-clock timing utilities shared by benches and tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace gb::platform {
+
+/// Monotonic wall-clock timer. Construction starts the clock.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  /// Restart the clock.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gb::platform

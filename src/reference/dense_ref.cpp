@@ -1,0 +1,22 @@
+// Translation-unit anchor for the header-only dense mimics; also hosts a
+// self-check used by the test harness to confirm the mimic layer itself is
+// wired correctly (a mimic that cannot reproduce a hand-computed 2x2 product
+// would invalidate every conformance test built on it).
+#include "reference/dense_ref.hpp"
+
+namespace ref {
+
+bool self_check() {
+  DenseMat<double> a(2, 2);
+  a.set(0, 0, 1.0);
+  a.set(0, 1, 2.0);
+  a.set(1, 0, 3.0);
+  DenseMat<double> c(2, 2);
+  mxm(c, static_cast<const DenseMat<bool>*>(nullptr),
+      static_cast<const gb::Plus*>(nullptr), gb::plus_times<double>(), a, a);
+  // [1 2; 3 0]^2 = [7 2; 3 6]
+  return c.p(0, 0) && c.v(0, 0) == 7.0 && c.p(0, 1) && c.v(0, 1) == 2.0 &&
+         c.p(1, 0) && c.v(1, 0) == 3.0 && c.p(1, 1) && c.v(1, 1) == 6.0;
+}
+
+}  // namespace ref

@@ -1,0 +1,549 @@
+// Dense "mimic" implementations of every GraphBLAS operation — the role the
+// MATLAB scripts play for SuiteSparse:GraphBLAS (§II-A): each operation is
+// written a second time, in the simplest possible form (triply-nested loops,
+// dense value array + separate Boolean pattern array), so it can be visually
+// inspected for conformance to the spec. The test suite executes every
+// operation both ways and requires identical values AND identical patterns.
+//
+// Nothing here is intended to be fast.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graphblas/graphblas.hpp"
+
+namespace ref {
+
+using gb::Index;
+
+/// Dense vector mimic: value array plus separate pattern array.
+template <class T>
+struct DenseVec {
+  Index n = 0;
+  std::vector<gb::storage_t<T>> val;
+  std::vector<std::uint8_t> pat;
+
+  DenseVec() = default;
+  explicit DenseVec(Index size) : n(size), val(size, gb::storage_t<T>{}), pat(size, 0) {}
+
+  void set(Index i, const T& v) {
+    val[i] = static_cast<gb::storage_t<T>>(v);
+    pat[i] = 1;
+  }
+};
+
+/// Dense matrix mimic.
+template <class T>
+struct DenseMat {
+  Index nrows = 0, ncols = 0;
+  std::vector<gb::storage_t<T>> val;
+  std::vector<std::uint8_t> pat;
+
+  DenseMat() = default;
+  DenseMat(Index r, Index c)
+      : nrows(r), ncols(c), val(r * c, gb::storage_t<T>{}), pat(r * c, 0) {}
+
+  [[nodiscard]] gb::storage_t<T>& v(Index i, Index j) {
+    return val[i * ncols + j];
+  }
+  [[nodiscard]] const gb::storage_t<T>& v(Index i, Index j) const {
+    return val[i * ncols + j];
+  }
+  [[nodiscard]] std::uint8_t& p(Index i, Index j) { return pat[i * ncols + j]; }
+  [[nodiscard]] std::uint8_t p(Index i, Index j) const {
+    return pat[i * ncols + j];
+  }
+
+  void set(Index i, Index j, const T& x) {
+    v(i, j) = static_cast<gb::storage_t<T>>(x);
+    p(i, j) = 1;
+  }
+};
+
+// --- conversions -------------------------------------------------------------
+
+template <class T>
+DenseVec<T> from_gb(const gb::Vector<T>& u) {
+  DenseVec<T> d(u.size());
+  std::vector<Index> idx;
+  std::vector<T> val;
+  u.extract_tuples(idx, val);
+  for (std::size_t k = 0; k < idx.size(); ++k) d.set(idx[k], val[k]);
+  return d;
+}
+
+template <class T>
+DenseMat<T> from_gb(const gb::Matrix<T>& a) {
+  DenseMat<T> d(a.nrows(), a.ncols());
+  std::vector<Index> r, c;
+  std::vector<T> v;
+  a.extract_tuples(r, c, v);
+  for (std::size_t k = 0; k < r.size(); ++k) d.set(r[k], c[k], v[k]);
+  return d;
+}
+
+template <class T>
+gb::Vector<T> to_gb(const DenseVec<T>& d) {
+  gb::Vector<T> u(d.n);
+  for (Index i = 0; i < d.n; ++i)
+    if (d.pat[i]) u.set_element(i, static_cast<T>(d.val[i]));
+  return u;
+}
+
+template <class T>
+gb::Matrix<T> to_gb(const DenseMat<T>& d) {
+  gb::Matrix<T> a(d.nrows, d.ncols);
+  for (Index i = 0; i < d.nrows; ++i)
+    for (Index j = 0; j < d.ncols; ++j)
+      if (d.p(i, j)) a.set_element(i, j, static_cast<T>(d.v(i, j)));
+  return a;
+}
+
+// --- comparisons (value AND pattern, §II-A) -----------------------------------
+
+template <class T>
+bool equal(const DenseVec<T>& a, const gb::Vector<T>& b) {
+  if (a.n != b.size()) return false;
+  auto d = from_gb(b);
+  for (Index i = 0; i < a.n; ++i) {
+    if (a.pat[i] != d.pat[i]) return false;
+    if (a.pat[i] && !(a.val[i] == d.val[i])) return false;
+  }
+  return true;
+}
+
+template <class T>
+bool equal(const DenseMat<T>& a, const gb::Matrix<T>& b) {
+  if (a.nrows != b.nrows() || a.ncols != b.ncols()) return false;
+  auto d = from_gb(b);
+  for (std::size_t k = 0; k < a.pat.size(); ++k) {
+    if (a.pat[k] != d.pat[k]) return false;
+    if (a.pat[k] && !(a.val[k] == d.val[k])) return false;
+  }
+  return true;
+}
+
+// --- descriptor helpers -------------------------------------------------------
+
+template <class T>
+DenseMat<T> op_input(const DenseMat<T>& a, bool transpose) {
+  if (!transpose) return a;
+  DenseMat<T> t(a.ncols, a.nrows);
+  for (Index i = 0; i < a.nrows; ++i)
+    for (Index j = 0; j < a.ncols; ++j)
+      if (a.p(i, j)) t.set(j, i, a.v(i, j));
+  return t;
+}
+
+/// Mask verdict at one position, straight from the spec's words.
+template <class MT>
+bool mask_allows(const DenseVec<MT>* mask, Index i, const gb::Descriptor& d) {
+  if (!mask) return true;
+  bool m = mask->pat[i] && (d.mask_structural || mask->val[i] != MT{});
+  return d.mask_complement ? !m : m;
+}
+
+template <class MT>
+bool mask_allows(const DenseMat<MT>* mask, Index i, Index j,
+                 const gb::Descriptor& d) {
+  if (!mask) return true;
+  bool m = mask->p(i, j) && (d.mask_structural || mask->v(i, j) != MT{});
+  return d.mask_complement ? !m : m;
+}
+
+// --- the write-back rule, restated densely ------------------------------------
+// Accum is a pointer-like: nullptr means no accumulator. An independent
+// restatement of graphblas/mask_accum.hpp for cross-checking.
+
+template <class CT, class ZT, class MT, class Accum>
+void dense_write_back(DenseVec<CT>& c, const DenseVec<MT>* mask,
+                      const Accum* accum, const DenseVec<ZT>& t,
+                      const gb::Descriptor& d) {
+  for (Index i = 0; i < c.n; ++i) {
+    // Z at position i:
+    bool zp;
+    CT zv{};
+    if (accum) {
+      if (c.pat[i] && t.pat[i]) {
+        zp = true;
+        zv = static_cast<CT>((*accum)(c.val[i], t.val[i]));
+      } else if (c.pat[i]) {
+        zp = true;
+        zv = c.val[i];
+      } else if (t.pat[i]) {
+        zp = true;
+        zv = static_cast<CT>(t.val[i]);
+      } else {
+        zp = false;
+      }
+    } else {
+      zp = t.pat[i] != 0;
+      if (zp) zv = static_cast<CT>(t.val[i]);
+    }
+    if (mask_allows(mask, i, d)) {
+      c.pat[i] = zp ? 1 : 0;
+      c.val[i] = zp ? zv : CT{};
+    } else if (d.replace) {
+      c.pat[i] = 0;
+      c.val[i] = CT{};
+    }  // else: keep old entry
+  }
+}
+
+template <class CT, class ZT, class MT, class Accum>
+void dense_write_back(DenseMat<CT>& c, const DenseMat<MT>* mask,
+                      const Accum* accum, const DenseMat<ZT>& t,
+                      const gb::Descriptor& d) {
+  for (Index i = 0; i < c.nrows; ++i) {
+    for (Index j = 0; j < c.ncols; ++j) {
+      bool zp;
+      CT zv{};
+      if (accum) {
+        if (c.p(i, j) && t.p(i, j)) {
+          zp = true;
+          zv = static_cast<CT>((*accum)(c.v(i, j), t.v(i, j)));
+        } else if (c.p(i, j)) {
+          zp = true;
+          zv = c.v(i, j);
+        } else if (t.p(i, j)) {
+          zp = true;
+          zv = static_cast<CT>(t.v(i, j));
+        } else {
+          zp = false;
+        }
+      } else {
+        zp = t.p(i, j) != 0;
+        if (zp) zv = static_cast<CT>(t.v(i, j));
+      }
+      if (mask_allows(mask, i, j, d)) {
+        c.p(i, j) = zp ? 1 : 0;
+        c.v(i, j) = zp ? zv : CT{};
+      } else if (d.replace) {
+        c.p(i, j) = 0;
+        c.v(i, j) = CT{};
+      }
+    }
+  }
+}
+
+// --- operation mimics -----------------------------------------------------
+
+/// mxm mimic: brute-force triply-nested loop, per the paper's description of
+/// the MATLAB matrix multiply mimic.
+template <class CT, class MT, class Accum, class SR, class AT, class BT>
+void mxm(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum,
+         const SR& sr, const DenseMat<AT>& a0, const DenseMat<BT>& b0,
+         const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  auto b = op_input(b0, d.transpose_b);
+  using ZT = typename SR::value_type;
+  DenseMat<ZT> t(a.nrows, b.ncols);
+  for (Index i = 0; i < a.nrows; ++i) {
+    for (Index j = 0; j < b.ncols; ++j) {
+      bool any = false;
+      ZT acc{};
+      for (Index k = 0; k < a.ncols; ++k) {
+        if (!a.p(i, k) || !b.p(k, j)) continue;
+        ZT prod = static_cast<ZT>(sr.mul(a.v(i, k), b.v(k, j)));
+        acc = any ? sr.add(acc, prod) : prod;
+        any = true;
+      }
+      if (any) t.set(i, j, acc);
+    }
+  }
+  dense_write_back(c, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class SR, class AT, class UT>
+void mxv(DenseVec<CT>& w, const DenseVec<MT>* mask, const Accum* accum,
+         const SR& sr, const DenseMat<AT>& a0, const DenseVec<UT>& u,
+         const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  using ZT = typename SR::value_type;
+  DenseVec<ZT> t(a.nrows);
+  for (Index i = 0; i < a.nrows; ++i) {
+    bool any = false;
+    ZT acc{};
+    for (Index k = 0; k < a.ncols; ++k) {
+      if (!a.p(i, k) || !u.pat[k]) continue;
+      ZT prod = static_cast<ZT>(sr.mul(a.v(i, k), u.val[k]));
+      acc = any ? sr.add(acc, prod) : prod;
+      any = true;
+    }
+    if (any) t.set(i, acc);
+  }
+  dense_write_back(w, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class SR, class AT, class UT>
+void vxm(DenseVec<CT>& w, const DenseVec<MT>* mask, const Accum* accum,
+         const SR& sr, const DenseVec<UT>& u, const DenseMat<AT>& a0,
+         const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  using ZT = typename SR::value_type;
+  DenseVec<ZT> t(a.ncols);
+  for (Index j = 0; j < a.ncols; ++j) {
+    bool any = false;
+    ZT acc{};
+    for (Index k = 0; k < a.nrows; ++k) {
+      if (!u.pat[k] || !a.p(k, j)) continue;
+      ZT prod = static_cast<ZT>(sr.mul(u.val[k], a.v(k, j)));
+      acc = any ? sr.add(acc, prod) : prod;
+      any = true;
+    }
+    if (any) t.set(j, acc);
+  }
+  dense_write_back(w, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class Op, class UT, class VT>
+void ewise_add(DenseVec<CT>& w, const DenseVec<MT>* mask, const Accum* accum,
+               Op op, const DenseVec<UT>& u, const DenseVec<VT>& v,
+               const gb::Descriptor& d = gb::desc_default) {
+  using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
+  DenseVec<ZT> t(u.n);
+  for (Index i = 0; i < u.n; ++i) {
+    if (u.pat[i] && v.pat[i]) {
+      t.set(i, static_cast<ZT>(op(u.val[i], v.val[i])));
+    } else if (u.pat[i]) {
+      t.set(i, static_cast<ZT>(u.val[i]));
+    } else if (v.pat[i]) {
+      t.set(i, static_cast<ZT>(v.val[i]));
+    }
+  }
+  dense_write_back(w, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class Op, class UT, class VT>
+void ewise_mult(DenseVec<CT>& w, const DenseVec<MT>* mask, const Accum* accum,
+                Op op, const DenseVec<UT>& u, const DenseVec<VT>& v,
+                const gb::Descriptor& d = gb::desc_default) {
+  using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
+  DenseVec<ZT> t(u.n);
+  for (Index i = 0; i < u.n; ++i) {
+    if (u.pat[i] && v.pat[i]) t.set(i, static_cast<ZT>(op(u.val[i], v.val[i])));
+  }
+  dense_write_back(w, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class Op, class AT, class BT>
+void ewise_add(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum,
+               Op op, const DenseMat<AT>& a0, const DenseMat<BT>& b0,
+               const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  auto b = op_input(b0, d.transpose_b);
+  using ZT = std::decay_t<decltype(op(std::declval<AT>(), std::declval<BT>()))>;
+  DenseMat<ZT> t(a.nrows, a.ncols);
+  for (Index i = 0; i < a.nrows; ++i) {
+    for (Index j = 0; j < a.ncols; ++j) {
+      if (a.p(i, j) && b.p(i, j)) {
+        t.set(i, j, static_cast<ZT>(op(a.v(i, j), b.v(i, j))));
+      } else if (a.p(i, j)) {
+        t.set(i, j, static_cast<ZT>(a.v(i, j)));
+      } else if (b.p(i, j)) {
+        t.set(i, j, static_cast<ZT>(b.v(i, j)));
+      }
+    }
+  }
+  dense_write_back(c, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class Op, class AT, class BT>
+void ewise_mult(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum,
+                Op op, const DenseMat<AT>& a0, const DenseMat<BT>& b0,
+                const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  auto b = op_input(b0, d.transpose_b);
+  using ZT = std::decay_t<decltype(op(std::declval<AT>(), std::declval<BT>()))>;
+  DenseMat<ZT> t(a.nrows, a.ncols);
+  for (Index i = 0; i < a.nrows; ++i)
+    for (Index j = 0; j < a.ncols; ++j)
+      if (a.p(i, j) && b.p(i, j))
+        t.set(i, j, static_cast<ZT>(op(a.v(i, j), b.v(i, j))));
+  dense_write_back(c, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class F, class UT>
+void apply(DenseVec<CT>& w, const DenseVec<MT>* mask, const Accum* accum, F f,
+           const DenseVec<UT>& u, const gb::Descriptor& d = gb::desc_default) {
+  using ZT = std::decay_t<decltype(f(std::declval<UT>()))>;
+  DenseVec<ZT> t(u.n);
+  for (Index i = 0; i < u.n; ++i)
+    if (u.pat[i]) t.set(i, static_cast<ZT>(f(u.val[i])));
+  dense_write_back(w, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class F, class AT>
+void apply(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum, F f,
+           const DenseMat<AT>& a0, const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  using ZT = std::decay_t<decltype(f(std::declval<AT>()))>;
+  DenseMat<ZT> t(a.nrows, a.ncols);
+  for (Index i = 0; i < a.nrows; ++i)
+    for (Index j = 0; j < a.ncols; ++j)
+      if (a.p(i, j)) t.set(i, j, static_cast<ZT>(f(a.v(i, j))));
+  dense_write_back(c, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class F, class AT, class S>
+void select(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum, F f,
+            const DenseMat<AT>& a0, S thunk,
+            const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  DenseMat<AT> t(a.nrows, a.ncols);
+  for (Index i = 0; i < a.nrows; ++i)
+    for (Index j = 0; j < a.ncols; ++j)
+      if (a.p(i, j) && f(a.v(i, j), i, j, thunk)) t.set(i, j, a.v(i, j));
+  dense_write_back(c, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class M, class AT>
+void reduce(DenseVec<CT>& w, const DenseVec<MT>* mask, const Accum* accum,
+            const M& monoid, const DenseMat<AT>& a0,
+            const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  using ZT = typename M::value_type;
+  DenseVec<ZT> t(a.nrows);
+  for (Index i = 0; i < a.nrows; ++i) {
+    bool any = false;
+    ZT acc{};
+    for (Index j = 0; j < a.ncols; ++j) {
+      if (!a.p(i, j)) continue;
+      ZT x = static_cast<ZT>(a.v(i, j));
+      acc = any ? monoid(acc, x) : x;
+      any = true;
+    }
+    if (any) t.set(i, acc);
+  }
+  dense_write_back(w, mask, accum, t, d);
+}
+
+template <class M, class AT>
+typename M::value_type reduce_scalar(const M& monoid, const DenseMat<AT>& a) {
+  using ZT = typename M::value_type;
+  ZT acc = monoid.identity;
+  for (Index i = 0; i < a.nrows; ++i)
+    for (Index j = 0; j < a.ncols; ++j)
+      if (a.p(i, j)) acc = monoid(acc, static_cast<ZT>(a.v(i, j)));
+  return acc;
+}
+
+template <class CT, class MT, class Accum, class AT>
+void transpose(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum,
+               const DenseMat<AT>& a0,
+               const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, !d.transpose_a);
+  DenseMat<AT> t = a;
+  dense_write_back(c, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class UT>
+void extract(DenseVec<CT>& w, const DenseVec<MT>* mask, const Accum* accum,
+             const DenseVec<UT>& u, const std::vector<Index>& isel,
+             const gb::Descriptor& d = gb::desc_default) {
+  DenseVec<UT> t(isel.size());
+  for (Index k = 0; k < static_cast<Index>(isel.size()); ++k)
+    if (u.pat[isel[k]]) t.set(k, u.val[isel[k]]);
+  dense_write_back(w, mask, accum, t, d);
+}
+
+template <class CT, class MT, class Accum, class AT>
+void extract(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum,
+             const DenseMat<AT>& a0, const std::vector<Index>& isel,
+             const std::vector<Index>& jsel,
+             const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  DenseMat<AT> t(isel.size(), jsel.size());
+  for (Index k = 0; k < static_cast<Index>(isel.size()); ++k)
+    for (Index l = 0; l < static_cast<Index>(jsel.size()); ++l)
+      if (a.p(isel[k], jsel[l])) t.set(k, l, a.v(isel[k], jsel[l]));
+  dense_write_back(c, mask, accum, t, d);
+}
+
+/// assign mimic: accumulate inside the region, then mask over the whole of C
+/// with no accumulator — the exact wording of the spec.
+template <class CT, class MT, class Accum, class UT>
+void assign(DenseVec<CT>& w, const DenseVec<MT>* mask, const Accum* accum,
+            const DenseVec<UT>& u, const std::vector<Index>& isel,
+            const gb::Descriptor& d = gb::desc_default) {
+  DenseVec<CT> t(w.n);
+  t = w;
+  for (Index k = 0; k < static_cast<Index>(isel.size()); ++k) {
+    Index i = isel[k];
+    if (u.pat[k]) {
+      if (accum && w.pat[i]) {
+        t.set(i, static_cast<CT>((*accum)(w.val[i], u.val[k])));
+      } else {
+        t.set(i, static_cast<CT>(u.val[k]));
+      }
+    } else if (!accum) {
+      t.pat[i] = 0;
+      t.val[i] = CT{};
+    }
+  }
+  const int* no_acc = nullptr;
+  (void)no_acc;
+  dense_write_back(w, mask, static_cast<const gb::Plus*>(nullptr), t, d);
+}
+
+template <class CT, class MT, class Accum, class S>
+void assign_scalar(DenseVec<CT>& w, const DenseVec<MT>* mask,
+                   const Accum* accum, const S& s,
+                   const std::vector<Index>& isel,
+                   const gb::Descriptor& d = gb::desc_default) {
+  DenseVec<CT> t = w;
+  for (Index i : isel) {
+    if (accum && w.pat[i]) {
+      t.set(i, static_cast<CT>((*accum)(w.val[i], s)));
+    } else {
+      t.set(i, static_cast<CT>(s));
+    }
+  }
+  dense_write_back(w, mask, static_cast<const gb::Plus*>(nullptr), t, d);
+}
+
+template <class CT, class MT, class Accum, class AT>
+void assign(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum,
+            const DenseMat<AT>& a, const std::vector<Index>& isel,
+            const std::vector<Index>& jsel,
+            const gb::Descriptor& d = gb::desc_default) {
+  DenseMat<CT> t = c;
+  for (Index k = 0; k < static_cast<Index>(isel.size()); ++k) {
+    for (Index l = 0; l < static_cast<Index>(jsel.size()); ++l) {
+      Index i = isel[k], j = jsel[l];
+      if (a.p(k, l)) {
+        if (accum && c.p(i, j)) {
+          t.set(i, j, static_cast<CT>((*accum)(c.v(i, j), a.v(k, l))));
+        } else {
+          t.set(i, j, static_cast<CT>(a.v(k, l)));
+        }
+      } else if (!accum) {
+        t.p(i, j) = 0;
+        t.v(i, j) = CT{};
+      }
+    }
+  }
+  dense_write_back(c, mask, static_cast<const gb::Plus*>(nullptr), t, d);
+}
+
+template <class CT, class MT, class Accum, class Op, class AT, class BT>
+void kronecker(DenseMat<CT>& c, const DenseMat<MT>* mask, const Accum* accum,
+               Op op, const DenseMat<AT>& a0, const DenseMat<BT>& b0,
+               const gb::Descriptor& d = gb::desc_default) {
+  auto a = op_input(a0, d.transpose_a);
+  auto b = op_input(b0, d.transpose_b);
+  using ZT = std::decay_t<decltype(op(std::declval<AT>(), std::declval<BT>()))>;
+  DenseMat<ZT> t(a.nrows * b.nrows, a.ncols * b.ncols);
+  for (Index ia = 0; ia < a.nrows; ++ia)
+    for (Index ja = 0; ja < a.ncols; ++ja)
+      if (a.p(ia, ja))
+        for (Index ib = 0; ib < b.nrows; ++ib)
+          for (Index jb = 0; jb < b.ncols; ++jb)
+            if (b.p(ib, jb))
+              t.set(ia * b.nrows + ib, ja * b.ncols + jb,
+                    static_cast<ZT>(op(a.v(ia, ja), b.v(ib, jb))));
+  dense_write_back(c, mask, accum, t, d);
+}
+
+}  // namespace ref

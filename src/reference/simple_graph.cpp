@@ -1,0 +1,473 @@
+#include "reference/simple_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <queue>
+#include <set>
+
+namespace ref {
+
+namespace {
+
+/// Undirected neighbour sets (deduplicated, self-loops dropped).
+std::vector<std::set<Index>> undirected_neighbors(const SimpleGraph& g) {
+  std::vector<std::set<Index>> nb(g.n);
+  for (Index u = 0; u < g.n; ++u) {
+    for (const auto& [v, w] : g.adj[u]) {
+      if (u == v) continue;
+      nb[u].insert(v);
+      nb[v].insert(u);
+    }
+  }
+  return nb;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> bfs_levels(const SimpleGraph& g, Index source) {
+  std::vector<std::int64_t> level(g.n, kUnreached);
+  std::deque<Index> q;
+  level[source] = 0;
+  q.push_back(source);
+  while (!q.empty()) {
+    Index u = q.front();
+    q.pop_front();
+    for (const auto& [v, w] : g.adj[u]) {
+      if (level[v] == kUnreached) {
+        level[v] = level[u] + 1;
+        q.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+bool valid_bfs_parents(const SimpleGraph& g, Index source,
+                       const std::vector<std::int64_t>& parent,
+                       const std::vector<std::int64_t>& level) {
+  if (parent.size() != g.n) return false;
+  // Edge lookup for parent validation.
+  std::vector<std::set<Index>> out(g.n);
+  for (Index u = 0; u < g.n; ++u)
+    for (const auto& [v, w] : g.adj[u]) out[u].insert(v);
+
+  for (Index v = 0; v < g.n; ++v) {
+    if (level[v] == kUnreached) {
+      if (parent[v] != kUnreached) return false;
+      continue;
+    }
+    if (v == source) {
+      if (parent[v] != static_cast<std::int64_t>(source)) return false;
+      continue;
+    }
+    auto p = parent[v];
+    if (p < 0 || p >= static_cast<std::int64_t>(g.n)) return false;
+    // The parent must be one BFS level above v and adjacent to v.
+    if (level[static_cast<Index>(p)] != level[v] - 1) return false;
+    if (out[static_cast<Index>(p)].count(v) == 0) return false;
+  }
+  return true;
+}
+
+std::vector<double> dijkstra(const SimpleGraph& g, Index source) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.n, inf);
+  using Item = std::pair<double, Index>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : g.adj[u]) {
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> bellman_ford(const SimpleGraph& g, Index source) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.n, inf);
+  dist[source] = 0.0;
+  for (Index round = 0; round + 1 < g.n; ++round) {
+    bool changed = false;
+    for (Index u = 0; u < g.n; ++u) {
+      if (dist[u] == inf) continue;
+      for (const auto& [v, w] : g.adj[u]) {
+        if (dist[u] + w < dist[v]) {
+          dist[v] = dist[u] + w;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  // Negative-cycle detection pass.
+  for (Index u = 0; u < g.n; ++u) {
+    if (dist[u] == inf) continue;
+    for (const auto& [v, w] : g.adj[u]) {
+      if (dist[u] + w < dist[v]) return {};
+    }
+  }
+  return dist;
+}
+
+std::vector<Index> connected_components(const SimpleGraph& g) {
+  std::vector<Index> parent(g.n);
+  std::iota(parent.begin(), parent.end(), Index{0});
+  auto find = [&parent](Index x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (Index u = 0; u < g.n; ++u) {
+    for (const auto& [v, w] : g.adj[u]) {
+      Index ru = find(u), rv = find(v);
+      if (ru != rv) parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+  }
+  std::vector<Index> rep(g.n);
+  for (Index u = 0; u < g.n; ++u) rep[u] = find(u);
+  // Normalise: representative = min id in component.
+  std::vector<Index> minid(g.n, ~Index{0});
+  for (Index u = 0; u < g.n; ++u) minid[rep[u]] = std::min(minid[rep[u]], u);
+  for (Index u = 0; u < g.n; ++u) rep[u] = minid[rep[u]];
+  return rep;
+}
+
+std::vector<Index> strongly_connected_components(const SimpleGraph& g) {
+  // Tarjan with an explicit stack (recursion depth can hit n).
+  const Index n = g.n;
+  constexpr Index undef = ~Index{0};
+  std::vector<Index> index(n, undef), low(n, 0), comp(n, undef);
+  std::vector<Index> scc_stack;
+  std::vector<std::uint8_t> on_stack(n, 0);
+  Index counter = 0;
+
+  struct Frame {
+    Index v;
+    std::size_t edge;
+  };
+  for (Index root = 0; root < n; ++root) {
+    if (index[root] != undef) continue;
+    std::vector<Frame> call{{root, 0}};
+    index[root] = low[root] = counter++;
+    scc_stack.push_back(root);
+    on_stack[root] = 1;
+    while (!call.empty()) {
+      auto& fr = call.back();
+      if (fr.edge < g.adj[fr.v].size()) {
+        Index w = g.adj[fr.v][fr.edge].first;
+        ++fr.edge;
+        if (index[w] == undef) {
+          index[w] = low[w] = counter++;
+          scc_stack.push_back(w);
+          on_stack[w] = 1;
+          call.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[fr.v] = std::min(low[fr.v], index[w]);
+        }
+      } else {
+        Index v = fr.v;
+        call.pop_back();
+        if (!call.empty()) {
+          low[call.back().v] = std::min(low[call.back().v], low[v]);
+        }
+        if (low[v] == index[v]) {
+          // Pop the SCC rooted at v.
+          for (;;) {
+            Index w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = 0;
+            comp[w] = v;
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+  // Normalise labels to the minimum member id.
+  std::vector<Index> minid(n, undef);
+  for (Index v = 0; v < n; ++v) {
+    minid[comp[v]] = std::min(minid[comp[v]] == undef ? v : minid[comp[v]], v);
+  }
+  std::vector<Index> out(n);
+  for (Index v = 0; v < n; ++v) out[v] = minid[comp[v]];
+  return out;
+}
+
+std::vector<std::uint64_t> kcore(const SimpleGraph& g) {
+  auto nb = undirected_neighbors(g);
+  const Index n = g.n;
+  std::vector<std::uint64_t> core(n, 0);
+  std::vector<std::uint8_t> alive(n, 1);
+  std::vector<std::size_t> deg(n);
+  for (Index v = 0; v < n; ++v) deg[v] = nb[v].size();
+
+  std::uint64_t k = 1;
+  Index remaining = n;
+  while (remaining > 0) {
+    bool peeled = true;
+    while (peeled) {
+      peeled = false;
+      for (Index v = 0; v < n; ++v) {
+        if (!alive[v] || deg[v] >= k) continue;
+        alive[v] = 0;
+        --remaining;
+        peeled = true;
+        for (Index u : nb[v]) {
+          if (alive[u] && deg[u] > 0) --deg[u];
+        }
+      }
+    }
+    for (Index v = 0; v < n; ++v) {
+      if (alive[v]) core[v] = k;
+    }
+    ++k;
+  }
+  return core;
+}
+
+std::uint64_t count_triangles(const SimpleGraph& g) {
+  auto nb = undirected_neighbors(g);
+  std::uint64_t count = 0;
+  for (Index u = 0; u < g.n; ++u) {
+    for (Index v : nb[u]) {
+      if (v <= u) continue;
+      for (Index w : nb[v]) {
+        if (w <= v) continue;
+        if (nb[u].count(w)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t ktruss_edge_count(const SimpleGraph& g, std::uint64_t k) {
+  // Peel edges with support < k-2 until fixpoint; return surviving edge
+  // count (undirected edges counted once).
+  auto nb = undirected_neighbors(g);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (Index u = 0; u < g.n; ++u) {
+      std::vector<Index> drop;
+      for (Index v : nb[u]) {
+        if (v < u) continue;  // handle each edge once per sweep
+        std::uint64_t support = 0;
+        for (Index w : nb[u])
+          if (w != v && nb[v].count(w)) ++support;
+        if (support + 2 < k) drop.push_back(v);
+      }
+      for (Index v : drop) {
+        nb[u].erase(v);
+        nb[v].erase(u);
+        changed = true;
+      }
+    }
+  }
+  std::uint64_t edges = 0;
+  for (Index u = 0; u < g.n; ++u) edges += nb[u].size();
+  return edges / 2;
+}
+
+std::uint64_t count_wedges(const SimpleGraph& g) {
+  auto nb = undirected_neighbors(g);
+  std::uint64_t w = 0;
+  // Enumerate centre + unordered neighbour pair directly.
+  for (Index v = 0; v < g.n; ++v) {
+    std::vector<Index> ns(nb[v].begin(), nb[v].end());
+    for (std::size_t a = 0; a < ns.size(); ++a)
+      for (std::size_t b = a + 1; b < ns.size(); ++b) ++w;
+  }
+  return w;
+}
+
+std::uint64_t count_claws(const SimpleGraph& g) {
+  auto nb = undirected_neighbors(g);
+  std::uint64_t c = 0;
+  for (Index v = 0; v < g.n; ++v) {
+    std::uint64_t d = nb[v].size();
+    if (d >= 3) c += d * (d - 1) * (d - 2) / 6;
+  }
+  return c;
+}
+
+std::uint64_t count_4cycles(const SimpleGraph& g) {
+  // Each C4 has two diagonals; summing C(codegree, 2) over unordered vertex
+  // pairs counts every cycle exactly twice.
+  auto nb = undirected_neighbors(g);
+  std::uint64_t twice = 0;
+  for (Index u = 0; u < g.n; ++u) {
+    for (Index v = u + 1; v < g.n; ++v) {
+      std::uint64_t codeg = 0;
+      for (Index w : nb[u])
+        if (w != u && w != v && nb[v].count(w)) ++codeg;
+      twice += codeg * (codeg - 1) / 2;
+    }
+  }
+  return twice / 2;
+}
+
+std::uint64_t count_tailed_triangles(const SimpleGraph& g) {
+  auto nb = undirected_neighbors(g);
+  std::uint64_t count = 0;
+  for (Index u = 0; u < g.n; ++u) {
+    for (Index v : nb[u]) {
+      if (v <= u) continue;
+      for (Index w : nb[v]) {
+        if (w <= v || !nb[u].count(w)) continue;
+        // (u, v, w) is a triangle; attach every outside pendant edge.
+        for (Index t : {u, v, w}) {
+          for (Index x : nb[t]) {
+            if (x != u && x != v && x != w) ++count;
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<double> pagerank(const SimpleGraph& g, double damping, int iters,
+                             double tol) {
+  const double n = static_cast<double>(g.n);
+  std::vector<double> r(g.n, 1.0 / n), next(g.n);
+  std::vector<double> outdeg(g.n, 0.0);
+  for (Index u = 0; u < g.n; ++u)
+    outdeg[u] = static_cast<double>(g.adj[u].size());
+  for (int it = 0; it < iters; ++it) {
+    double dangling = 0.0;
+    for (Index u = 0; u < g.n; ++u)
+      if (outdeg[u] == 0.0) dangling += r[u];
+    std::fill(next.begin(), next.end(),
+              (1.0 - damping) / n + damping * dangling / n);
+    for (Index u = 0; u < g.n; ++u) {
+      if (outdeg[u] == 0.0) continue;
+      double share = damping * r[u] / outdeg[u];
+      for (const auto& [v, w] : g.adj[u]) next[v] += share;
+    }
+    double delta = 0.0;
+    for (Index u = 0; u < g.n; ++u) delta += std::abs(next[u] - r[u]);
+    r.swap(next);
+    if (delta < tol) break;
+  }
+  return r;
+}
+
+std::vector<double> betweenness(const SimpleGraph& g) {
+  std::vector<double> bc(g.n, 0.0);
+  for (Index s = 0; s < g.n; ++s) {
+    // Brandes: BFS from s accumulating path counts, then dependency sweep.
+    std::vector<std::vector<Index>> pred(g.n);
+    std::vector<double> sigma(g.n, 0.0);
+    std::vector<std::int64_t> dist(g.n, kUnreached);
+    std::vector<Index> order;
+    sigma[s] = 1.0;
+    dist[s] = 0;
+    std::deque<Index> q{s};
+    while (!q.empty()) {
+      Index u = q.front();
+      q.pop_front();
+      order.push_back(u);
+      for (const auto& [v, w] : g.adj[u]) {
+        if (dist[v] == kUnreached) {
+          dist[v] = dist[u] + 1;
+          q.push_back(v);
+        }
+        if (dist[v] == dist[u] + 1) {
+          sigma[v] += sigma[u];
+          pred[v].push_back(u);
+        }
+      }
+    }
+    std::vector<double> delta(g.n, 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      Index v = *it;
+      for (Index u : pred[v]) {
+        delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+      }
+      if (v != s) bc[v] += delta[v];
+    }
+  }
+  return bc;
+}
+
+bool valid_mis(const SimpleGraph& g, const std::vector<std::uint8_t>& in_set) {
+  auto nb = undirected_neighbors(g);
+  // Independence: no two set members adjacent.
+  for (Index u = 0; u < g.n; ++u) {
+    if (!in_set[u]) continue;
+    for (Index v : nb[u])
+      if (in_set[v]) return false;
+  }
+  // Maximality: every non-member has a member neighbour.
+  for (Index u = 0; u < g.n; ++u) {
+    if (in_set[u]) continue;
+    bool covered = false;
+    for (Index v : nb[u]) {
+      if (in_set[v]) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool valid_coloring(const SimpleGraph& g, const std::vector<Index>& color) {
+  auto nb = undirected_neighbors(g);
+  for (Index u = 0; u < g.n; ++u) {
+    if (color[u] == 0) return false;  // colors are 1-based; 0 = uncolored
+    for (Index v : nb[u])
+      if (v != u && color[u] == color[v]) return false;
+  }
+  return true;
+}
+
+bool valid_maximal_matching(const SimpleGraph& g,
+                            const std::vector<Index>& mate) {
+  auto nb = undirected_neighbors(g);
+  // Consistency: mates are mutual and adjacent.
+  for (Index u = 0; u < g.n; ++u) {
+    Index m = mate[u];
+    if (m == u) continue;
+    if (m >= g.n || mate[m] != u) return false;
+    if (nb[u].count(m) == 0) return false;
+  }
+  // Maximality: no edge with both endpoints unmatched.
+  for (Index u = 0; u < g.n; ++u) {
+    if (mate[u] != u) continue;
+    for (Index v : nb[u])
+      if (mate[v] == v) return false;
+  }
+  return true;
+}
+
+double conductance(const SimpleGraph& g,
+                   const std::vector<std::uint8_t>& in_s) {
+  auto nb = undirected_neighbors(g);
+  double cut = 0.0, vol_s = 0.0, vol_rest = 0.0;
+  for (Index u = 0; u < g.n; ++u) {
+    double deg = static_cast<double>(nb[u].size());
+    (in_s[u] ? vol_s : vol_rest) += deg;
+    if (!in_s[u]) continue;
+    for (Index v : nb[u])
+      if (!in_s[v]) cut += 1.0;
+  }
+  double denom = std::min(vol_s, vol_rest);
+  if (denom == 0.0) return 1.0;
+  return cut / denom;
+}
+
+}  // namespace ref

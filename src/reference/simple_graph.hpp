@@ -1,0 +1,113 @@
+// Textbook (non-GraphBLAS) graph algorithms used as ground truth when
+// validating the LAGraph layer — the algorithm-level counterpart of the
+// dense operation mimics. Queue BFS, Dijkstra, Bellman-Ford, union-find
+// components, brute-force triangle counting, Brandes betweenness, power
+// iteration PageRank, and validity checkers for set-style outputs (MIS,
+// coloring, matching).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graphblas/matrix.hpp"
+
+namespace ref {
+
+using gb::Index;
+
+/// Adjacency-list graph, the representation every textbook uses.
+struct SimpleGraph {
+  Index n = 0;
+  std::vector<std::vector<std::pair<Index, double>>> adj;  // (dst, weight)
+
+  explicit SimpleGraph(Index nodes = 0) : n(nodes), adj(nodes) {}
+
+  void add_edge(Index u, Index v, double w = 1.0) {
+    adj[u].emplace_back(v, w);
+  }
+
+  /// Build from an adjacency matrix (directed interpretation: A(i,j) is the
+  /// edge i -> j).
+  template <class T>
+  static SimpleGraph from_matrix(const gb::Matrix<T>& a) {
+    SimpleGraph g(a.nrows());
+    std::vector<Index> r, c;
+    std::vector<T> v;
+    a.extract_tuples(r, c, v);
+    for (std::size_t k = 0; k < r.size(); ++k)
+      g.add_edge(r[k], c[k], static_cast<double>(v[k]));
+    return g;
+  }
+
+  [[nodiscard]] std::size_t nedges() const {
+    std::size_t e = 0;
+    for (const auto& l : adj) e += l.size();
+    return e;
+  }
+};
+
+inline constexpr std::int64_t kUnreached = -1;
+
+/// Queue BFS: levels[v] = hop distance from source, -1 if unreachable.
+std::vector<std::int64_t> bfs_levels(const SimpleGraph& g, Index source);
+
+/// BFS parent validity: parents must form a tree consistent with levels.
+bool valid_bfs_parents(const SimpleGraph& g, Index source,
+                       const std::vector<std::int64_t>& parent,
+                       const std::vector<std::int64_t>& level);
+
+/// Dijkstra single-source shortest paths (non-negative weights).
+/// Unreachable = +inf.
+std::vector<double> dijkstra(const SimpleGraph& g, Index source);
+
+/// Bellman-Ford (handles negative edges; returns empty on negative cycle).
+std::vector<double> bellman_ford(const SimpleGraph& g, Index source);
+
+/// Union-find connected components on the undirected view of g.
+/// Returns a representative id per vertex (minimum vertex id in component).
+std::vector<Index> connected_components(const SimpleGraph& g);
+
+/// Tarjan strongly connected components (directed). Returns a label per
+/// vertex, normalised to the minimum vertex id in each SCC.
+std::vector<Index> strongly_connected_components(const SimpleGraph& g);
+
+/// Textbook k-core peeling; coreness per vertex (undirected simple view).
+std::vector<std::uint64_t> kcore(const SimpleGraph& g);
+
+/// Brute-force triangle count (g treated as undirected, simple).
+std::uint64_t count_triangles(const SimpleGraph& g);
+
+/// Per-edge support counts for k-truss checking: for each undirected edge
+/// (u, v), the number of common neighbours.
+std::uint64_t ktruss_edge_count(const SimpleGraph& g, std::uint64_t k);
+
+/// Brute-force small-subgraph counts (undirected simple view).
+std::uint64_t count_wedges(const SimpleGraph& g);
+std::uint64_t count_claws(const SimpleGraph& g);
+std::uint64_t count_4cycles(const SimpleGraph& g);
+std::uint64_t count_tailed_triangles(const SimpleGraph& g);
+
+/// Power-iteration PageRank on the full dense representation.
+std::vector<double> pagerank(const SimpleGraph& g, double damping = 0.85,
+                             int iters = 100, double tol = 1e-9);
+
+/// Exact Brandes betweenness centrality (unweighted).
+std::vector<double> betweenness(const SimpleGraph& g);
+
+/// Checks that `in_set` is a maximal independent set of the undirected view.
+bool valid_mis(const SimpleGraph& g, const std::vector<std::uint8_t>& in_set);
+
+/// Checks a proper vertex coloring (adjacent vertices differ, all colored).
+bool valid_coloring(const SimpleGraph& g, const std::vector<Index>& color);
+
+/// Checks a maximal matching given as mate[] (mate[v] == v means unmatched).
+bool valid_maximal_matching(const SimpleGraph& g,
+                            const std::vector<Index>& mate);
+
+/// Conductance of a vertex set S (undirected view): cut(S) / min(vol(S),
+/// vol(V-S)). Used to validate local clustering output quality.
+double conductance(const SimpleGraph& g, const std::vector<std::uint8_t>& in_s);
+
+}  // namespace ref

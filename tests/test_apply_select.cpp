@@ -1,0 +1,134 @@
+// apply (unary and index-unary) and select vs the dense mimics.
+#include <gtest/gtest.h>
+
+#include "test_common.hpp"
+
+using namespace testutil;
+using gb::Index;
+
+class ApplySelectSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApplySelectSweep, ApplyMatchesMimic) {
+  std::uint64_t seed = 300 + GetParam() * 41;
+  auto u = random_vector(25, 0.5, seed);
+  auto du = ref::from_gb(u);
+  auto a = random_matrix(8, 8, 0.4, seed + 1);
+  auto da = ref::from_gb(a);
+
+  for (auto d : mask_descriptor_sweep()) {
+    auto vm = random_vector(25, 0.5, seed + 2);
+    auto dvm = ref::from_gb(vm);
+    gb::Vector<double> w = random_vector(25, 0.3, seed + 3);
+    auto dw = ref::from_gb(w);
+    gb::apply(w, vm, gb::no_accum, gb::Ainv{}, u, d);
+    ref::apply(dw, &dvm, static_cast<const gb::Plus*>(nullptr), gb::Ainv{}, du,
+               d);
+    EXPECT_TRUE(ref::equal(dw, w)) << desc_name(d);
+
+    for (bool ta : {false, true}) {
+      d.transpose_a = ta;
+      auto mm = random_matrix(8, 8, 0.4, seed + 4);
+      auto dmm = ref::from_gb(mm);
+      gb::Matrix<double> c = random_matrix(8, 8, 0.2, seed + 5);
+      auto dc = ref::from_gb(c);
+      gb::Plus acc;
+      gb::apply(c, mm, acc, gb::Abs{}, a, d);
+      ref::apply(dc, &dmm, &acc, gb::Abs{}, da, d);
+      EXPECT_TRUE(ref::equal(dc, c)) << desc_name(d);
+    }
+  }
+}
+
+TEST_P(ApplySelectSweep, SelectMatchesMimic) {
+  std::uint64_t seed = 700 + GetParam() * 43;
+  auto a = random_matrix(9, 9, 0.5, seed);
+  auto da = ref::from_gb(a);
+
+  struct Case {
+    const char* name;
+    std::function<void(gb::Matrix<double>&, const gb::Descriptor&)> run_gb;
+    std::function<void(ref::DenseMat<double>&, const gb::Descriptor&)> run_ref;
+  };
+
+  for (auto d : mask_descriptor_sweep()) {
+    for (bool ta : {false, true}) {
+      d.transpose_a = ta;
+      // tril / triu / value tests, thunks varied.
+      for (std::int64_t k : {-2, 0, 1}) {
+        gb::Matrix<double> c(9, 9);
+        ref::DenseMat<double> dc(9, 9);
+        gb::select(c, gb::no_mask, gb::no_accum, gb::SelTril{}, a, k, d);
+        ref::select(dc, static_cast<const ref::DenseMat<bool>*>(nullptr),
+                    static_cast<const gb::Plus*>(nullptr), gb::SelTril{}, da, k,
+                    d);
+        EXPECT_TRUE(ref::equal(dc, c)) << "tril k=" << k << " " << desc_name(d);
+      }
+      {
+        gb::Matrix<double> c(9, 9);
+        ref::DenseMat<double> dc(9, 9);
+        gb::select(c, gb::no_mask, gb::no_accum, gb::SelValueGt{}, a, 0.5, d);
+        ref::select(dc, static_cast<const ref::DenseMat<bool>*>(nullptr),
+                    static_cast<const gb::Plus*>(nullptr), gb::SelValueGt{}, da,
+                    0.5, d);
+        EXPECT_TRUE(ref::equal(dc, c)) << "valuegt " << desc_name(d);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApplySelectSweep, ::testing::Range(0, 4));
+
+TEST(Apply, BindScalarOps) {
+  gb::Vector<double> u(3);
+  u.set_element(0, 2.0);
+  u.set_element(2, 5.0);
+  gb::Vector<double> w(3);
+  gb::apply(w, gb::no_mask, gb::no_accum,
+            gb::BindSecond<gb::Times, double>{{}, 10.0}, u);
+  EXPECT_EQ(w.extract_element(0).value(), 20.0);
+  EXPECT_EQ(w.extract_element(2).value(), 50.0);
+}
+
+TEST(Apply, IndexOpRowIndex) {
+  gb::Vector<double> u(5);
+  u.set_element(1, 9.0);
+  u.set_element(4, 9.0);
+  gb::Vector<std::int64_t> w(5);
+  gb::apply_indexop(w, gb::no_mask, gb::no_accum, gb::RowIndex{}, u,
+                    std::int64_t{100});
+  EXPECT_EQ(w.extract_element(1).value(), 101);
+  EXPECT_EQ(w.extract_element(4).value(), 104);
+}
+
+TEST(Apply, MatrixIndexOpSeesCoordinates) {
+  gb::Matrix<double> a(3, 4);
+  a.set_element(1, 2, 7.0);
+  a.set_element(2, 0, 8.0);
+  gb::Matrix<std::int64_t> c(3, 4);
+  gb::apply_indexop(c, gb::no_mask, gb::no_accum, gb::ColIndex{}, a,
+                    std::int64_t{0});
+  EXPECT_EQ(c.extract_element(1, 2).value(), 2);
+  EXPECT_EQ(c.extract_element(2, 0).value(), 0);
+}
+
+TEST(Select, TrilTriuConveniences) {
+  auto a = random_matrix(6, 6, 0.8, 99);
+  auto l = gb::tril(a, -1);
+  auto u = gb::triu(a, 1);
+  auto dg = gb::Matrix<double>(6, 6);
+  gb::select(dg, gb::no_mask, gb::no_accum, gb::SelDiag{}, a, std::int64_t{0});
+  EXPECT_EQ(l.nvals() + u.nvals() + dg.nvals(), a.nvals());
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  l.extract_tuples(r, c, v);
+  for (std::size_t k = 0; k < r.size(); ++k) EXPECT_LT(c[k], r[k]);
+}
+
+TEST(Select, VectorSelect) {
+  gb::Vector<double> u(6);
+  for (Index i = 0; i < 6; ++i) u.set_element(i, static_cast<double>(i) - 2.5);
+  gb::Vector<double> w(6);
+  gb::select(w, gb::no_mask, gb::no_accum, gb::SelValueGt{}, u, 0.0);
+  EXPECT_EQ(w.nvals(), 3u);  // 0.5, 1.5, 2.5
+  EXPECT_EQ(w.extract_element(3).value(), 0.5);
+}

@@ -1,0 +1,113 @@
+// Batched betweenness centrality vs exact Brandes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+void expect_bc_matches(const Graph& g, double tol = 1e-9) {
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  std::vector<Index> all(sg.n);
+  std::iota(all.begin(), all.end(), Index{0});
+  auto got = to_dense_std(betweenness(g, all), 0.0);
+  auto want = ref::betweenness(sg);
+  ASSERT_EQ(got.size(), want.size());
+  for (Index v = 0; v < sg.n; ++v) {
+    EXPECT_NEAR(got[v], want[v], tol) << "vertex " << v;
+  }
+}
+
+}  // namespace
+
+TEST(Betweenness, PathGraph) {
+  // On a path 0-1-2-3-4 the middle vertex carries the most load.
+  Graph g(path_graph(5), Kind::undirected);
+  expect_bc_matches(g);
+  std::vector<Index> all = {0, 1, 2, 3, 4};
+  auto bc = to_dense_std(betweenness(g, all), 0.0);
+  EXPECT_GT(bc[2], bc[1]);
+  EXPECT_GT(bc[1], bc[0]);
+  EXPECT_NEAR(bc[0], 0.0, 1e-12);
+}
+
+TEST(Betweenness, StarGraph) {
+  Graph g(star_graph(8), Kind::undirected);
+  expect_bc_matches(g);
+  std::vector<Index> all(8);
+  std::iota(all.begin(), all.end(), Index{0});
+  auto bc = to_dense_std(betweenness(g, all), 0.0);
+  // Hub mediates all 7*6 ordered leaf pairs.
+  EXPECT_NEAR(bc[0], 42.0, 1e-9);
+  EXPECT_NEAR(bc[3], 0.0, 1e-12);
+}
+
+TEST(Betweenness, CompleteGraphIsZero) {
+  Graph g(complete_graph(6), Kind::undirected);
+  std::vector<Index> all(6);
+  std::iota(all.begin(), all.end(), Index{0});
+  auto bc = to_dense_std(betweenness(g, all), 0.0);
+  for (double v : bc) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Betweenness, RandomGraphs) {
+  expect_bc_matches(Graph(erdos_renyi(40, 150, 31), Kind::undirected), 1e-8);
+  expect_bc_matches(Graph(grid2d(5, 5), Kind::undirected), 1e-8);
+  expect_bc_matches(Graph(rmat(6, 4, 32), Kind::undirected), 1e-8);
+}
+
+TEST(Betweenness, DirectedGraph) {
+  gb::Matrix<double> a(5, 5);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 2, 1.0);
+  a.set_element(2, 3, 1.0);
+  a.set_element(0, 4, 1.0);
+  a.set_element(4, 3, 1.0);
+  Graph g(std::move(a), Kind::directed);
+  expect_bc_matches(g);
+}
+
+TEST(Betweenness, PartialSourceBatch) {
+  // Betweenness from a subset of sources must equal the reference restricted
+  // to those sources.
+  Graph g(path_graph(6), Kind::undirected);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  std::vector<Index> batch = {0, 3};
+  auto got = to_dense_std(betweenness(g, batch), 0.0);
+
+  // Reference: run Brandes but only accumulate over the chosen sources. Use
+  // the per-source decomposition: bc = sum_s delta_s.
+  // For a path this is easy to hand-verify instead:
+  // From 0: dependencies delta(v) for interior vertices of 0->k paths.
+  // Just cross-check with a full ref run of a graph whose other sources
+  // contribute nothing: compare against all-sources run minus the batch
+  // complement runs.
+  std::vector<Index> rest = {1, 2, 4, 5};
+  auto got_rest = to_dense_std(betweenness(g, rest), 0.0);
+  std::vector<Index> all = {0, 1, 2, 3, 4, 5};
+  auto got_all = to_dense_std(betweenness(g, all), 0.0);
+  for (Index v = 0; v < 6; ++v) {
+    EXPECT_NEAR(got[v] + got_rest[v], got_all[v], 1e-9);
+  }
+}
+
+TEST(Betweenness, DisconnectedGraph) {
+  gb::Matrix<double> a(6, 6);
+  auto add = [&a](Index u, Index v) {
+    a.set_element(u, v, 1.0);
+    a.set_element(v, u, 1.0);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(3, 4);
+  add(4, 5);
+  Graph g(std::move(a), Kind::undirected);
+  expect_bc_matches(g);
+}

@@ -1,0 +1,132 @@
+// BFS (Fig. 2): all three variants must produce textbook levels and a valid
+// parent tree, and the direction optimiser must actually switch on
+// scale-free inputs.
+#include <gtest/gtest.h>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+void expect_bfs_correct(const Graph& g, Index src, BfsVariant variant) {
+  auto res = bfs(g, src, variant);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  auto want = ref::bfs_levels(sg, src);
+
+  auto levels = to_dense_std(res.level, std::int64_t{-1});
+  ASSERT_EQ(levels.size(), want.size());
+  for (Index v = 0; v < sg.n; ++v) {
+    EXPECT_EQ(levels[v], want[v]) << "vertex " << v;
+  }
+  auto parents = to_dense_std(res.parent, std::int64_t{-1});
+  EXPECT_TRUE(ref::valid_bfs_parents(sg, src, parents, want));
+}
+
+}  // namespace
+
+class BfsVariants : public ::testing::TestWithParam<BfsVariant> {};
+
+TEST_P(BfsVariants, PathGraph) {
+  Graph g(path_graph(10), Kind::undirected);
+  expect_bfs_correct(g, 0, GetParam());
+  expect_bfs_correct(g, 5, GetParam());
+}
+
+TEST_P(BfsVariants, StarGraph) {
+  Graph g(star_graph(50), Kind::undirected);
+  expect_bfs_correct(g, 0, GetParam());
+  expect_bfs_correct(g, 17, GetParam());
+}
+
+TEST_P(BfsVariants, DisconnectedGraph) {
+  gb::Matrix<double> a(6, 6);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 0, 1.0);
+  a.set_element(3, 4, 1.0);
+  a.set_element(4, 3, 1.0);
+  Graph g(std::move(a), Kind::undirected);
+  auto res = bfs(g, 0, GetParam());
+  EXPECT_EQ(res.level.nvals(), 2u);  // only {0, 1} reached
+  EXPECT_FALSE(res.level.extract_element(3).has_value());
+  expect_bfs_correct(g, 0, GetParam());
+}
+
+TEST_P(BfsVariants, DirectedGraph) {
+  gb::Matrix<double> a(4, 4);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 2, 1.0);
+  a.set_element(2, 3, 1.0);
+  a.set_element(3, 0, 1.0);  // cycle
+  Graph g(std::move(a), Kind::directed);
+  expect_bfs_correct(g, 2, GetParam());
+}
+
+TEST_P(BfsVariants, RmatGraph) {
+  Graph g(rmat(9, 8, 3), Kind::undirected);
+  expect_bfs_correct(g, 0, GetParam());
+  expect_bfs_correct(g, 100, GetParam());
+}
+
+TEST_P(BfsVariants, GridGraph) {
+  Graph g(grid2d(12, 12), Kind::undirected);
+  expect_bfs_correct(g, 0, GetParam());
+  expect_bfs_correct(g, 77, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, BfsVariants,
+                         ::testing::Values(BfsVariant::push, BfsVariant::pull,
+                                           BfsVariant::direction_optimizing));
+
+TEST(Bfs, SingleVertexSourceOnly) {
+  gb::Matrix<double> a(1, 1);
+  Graph g(std::move(a), Kind::undirected);
+  auto res = bfs(g, 0);
+  EXPECT_EQ(res.level.extract_element(0).value(), 0);
+  EXPECT_EQ(res.parent.extract_element(0).value(), 0);
+  EXPECT_EQ(res.depth, 1);
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  Graph g(path_graph(4), Kind::undirected);
+  EXPECT_THROW(bfs(g, 4), gb::Error);
+}
+
+TEST(Bfs, DirectionOptimizerSwitchesOnScaleFree) {
+  // On a dense-frontier graph (star from the hub), DO must pull at least
+  // once; on a path it should stay push the whole way.
+  Graph star(star_graph(2000), Kind::undirected);
+  auto res = bfs(star, 0, BfsVariant::direction_optimizing);
+  bool pulled = false;
+  for (auto d : res.directions) pulled |= (d == gb::MxvMethod::pull);
+  EXPECT_TRUE(pulled);
+
+  Graph path(path_graph(200), Kind::undirected);
+  auto res2 = bfs(path, 0, BfsVariant::direction_optimizing);
+  for (auto d : res2.directions) EXPECT_EQ(d, gb::MxvMethod::push);
+}
+
+TEST(Bfs, DepthMatchesEccentricity) {
+  Graph g(path_graph(16), Kind::undirected);
+  auto res = bfs(g, 0);
+  EXPECT_EQ(res.depth, 16);  // levels 0..15
+  auto res2 = bfs(g, 8);
+  EXPECT_EQ(res2.depth, 9);  // max level 8 (vertex 0 or 15)
+}
+
+TEST(Bfs, ParentCarriesMinimumIdWithMinFirst) {
+  // Vertex 3 reachable from both 0 and 1 at the same level: min_first must
+  // record parent 0 deterministically... (0 and 1 are both sources' children)
+  gb::Matrix<double> a(4, 4);
+  a.set_element(0, 1, 1.0);
+  a.set_element(0, 2, 1.0);
+  a.set_element(1, 3, 1.0);
+  a.set_element(2, 3, 1.0);
+  Graph g(std::move(a), Kind::directed);
+  auto res = bfs(g, 0);
+  EXPECT_EQ(res.parent.extract_element(3).value(), 1);  // min(1, 2)
+}

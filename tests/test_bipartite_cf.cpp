@@ -1,0 +1,207 @@
+// Maximum bipartite matching vs Kuhn's algorithm, and collaborative
+// filtering on synthetic low-rank ratings.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lagraph/lagraph_bipartite.hpp"
+#include "lagraph/util/generator.hpp"
+
+using gb::Index;
+
+namespace {
+
+/// Kuhn's augmenting-path maximum matching (textbook DFS) as the oracle.
+class Kuhn {
+ public:
+  explicit Kuhn(const gb::Matrix<double>& a)
+      : nl_(a.nrows()), nr_(a.ncols()), adj_(nl_) {
+    std::vector<Index> r, c;
+    std::vector<double> v;
+    a.extract_tuples(r, c, v);
+    for (std::size_t k = 0; k < r.size(); ++k) adj_[r[k]].push_back(c[k]);
+  }
+
+  std::uint64_t solve() {
+    mate_r_.assign(nr_, nl_);  // nl_ = unmatched sentinel
+    std::uint64_t size = 0;
+    for (Index u = 0; u < nl_; ++u) {
+      seen_.assign(nr_, false);
+      if (try_augment(u)) ++size;
+    }
+    return size;
+  }
+
+ private:
+  bool try_augment(Index u) {
+    for (Index v : adj_[u]) {
+      if (seen_[v]) continue;
+      seen_[v] = true;
+      if (mate_r_[v] == nl_ || try_augment(mate_r_[v])) {
+        mate_r_[v] = u;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Index nl_, nr_;
+  std::vector<std::vector<Index>> adj_;
+  std::vector<Index> mate_r_;
+  std::vector<bool> seen_;
+};
+
+/// Structural validity: mates are mutual and lie on actual edges.
+void expect_valid_matching(const gb::Matrix<double>& a,
+                           const lagraph::BipartiteMatching& m) {
+  std::vector<Index> li;
+  std::vector<std::uint64_t> lv;
+  m.mate_left.extract_tuples(li, lv);
+  EXPECT_EQ(li.size(), m.size);
+  for (std::size_t k = 0; k < li.size(); ++k) {
+    EXPECT_TRUE(a.extract_element(li[k], lv[k]).has_value())
+        << li[k] << "-" << lv[k] << " is not an edge";
+    auto back = m.mate_right.extract_element(lv[k]);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, li[k]);
+  }
+  EXPECT_EQ(m.mate_right.nvals(), m.size);
+}
+
+gb::Matrix<double> random_bipartite(Index nl, Index nr, Index m,
+                                    std::uint64_t seed) {
+  return lagraph::random_matrix(nl, nr, m, seed);
+}
+
+}  // namespace
+
+TEST(BipartiteMatching, PerfectOnCompleteBipartite) {
+  const Index n = 6;
+  gb::Matrix<double> a(n, n);
+  for (Index i = 0; i < n; ++i)
+    for (Index j = 0; j < n; ++j) a.set_element(i, j, 1.0);
+  auto m = lagraph::maximum_bipartite_matching(a);
+  EXPECT_EQ(m.size, n);
+  expect_valid_matching(a, m);
+}
+
+TEST(BipartiteMatching, KnownHallViolator) {
+  // Three left vertices all pointing only at right vertex 0: max matching 1.
+  gb::Matrix<double> a(3, 3);
+  for (Index i = 0; i < 3; ++i) a.set_element(i, 0, 1.0);
+  auto m = lagraph::maximum_bipartite_matching(a);
+  EXPECT_EQ(m.size, 1u);
+  expect_valid_matching(a, m);
+}
+
+TEST(BipartiteMatching, AugmentingPathRequired) {
+  // The classic case greedy fails: 0-{0,1}, 1-{0}. Greedy may match 0-0
+  // and strand 1; the augmenting path fixes it to size 2.
+  gb::Matrix<double> a(2, 2);
+  a.set_element(0, 0, 1.0);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 0, 1.0);
+  auto m = lagraph::maximum_bipartite_matching(a);
+  EXPECT_EQ(m.size, 2u);
+  expect_valid_matching(a, m);
+}
+
+TEST(BipartiteMatching, EmptyAndRectangular) {
+  gb::Matrix<double> empty(4, 7);
+  auto m0 = lagraph::maximum_bipartite_matching(empty);
+  EXPECT_EQ(m0.size, 0u);
+
+  auto wide = random_bipartite(3, 20, 25, 5);
+  auto m1 = lagraph::maximum_bipartite_matching(wide);
+  EXPECT_LE(m1.size, 3u);
+  expect_valid_matching(wide, m1);
+}
+
+TEST(BipartiteMatching, MatchesKuhnOnRandomGraphs) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    auto a = random_bipartite(25, 25, 80 + seed * 13, seed);
+    auto m = lagraph::maximum_bipartite_matching(a);
+    EXPECT_EQ(m.size, Kuhn(a).solve()) << "seed " << seed;
+    expect_valid_matching(a, m);
+  }
+  // Sparse regime with unmatched vertices on both sides.
+  for (std::uint64_t seed : {7u, 8u}) {
+    auto a = random_bipartite(40, 30, 35, seed);
+    auto m = lagraph::maximum_bipartite_matching(a);
+    EXPECT_EQ(m.size, Kuhn(a).solve()) << "seed " << seed;
+    expect_valid_matching(a, m);
+  }
+}
+
+// --- collaborative filtering ---------------------------------------------
+
+namespace {
+
+/// Synthetic low-rank ratings: R = P* Q* sampled on a random pattern.
+gb::Matrix<double> synthetic_ratings(Index nu, Index ni, Index rank,
+                                     Index nnz, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> f(0.2, 1.0);
+  std::vector<std::vector<double>> p(nu, std::vector<double>(rank));
+  std::vector<std::vector<double>> q(rank, std::vector<double>(ni));
+  for (auto& row : p)
+    for (auto& x : row) x = f(rng);
+  for (auto& row : q)
+    for (auto& x : row) x = f(rng);
+
+  std::uniform_int_distribution<Index> pu(0, nu - 1), pi(0, ni - 1);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  for (Index k = 0; k < nnz; ++k) {
+    Index u = pu(rng), i = pi(rng);
+    double val = 0.0;
+    for (Index d = 0; d < rank; ++d) val += p[u][d] * q[d][i];
+    r.push_back(u);
+    c.push_back(i);
+    v.push_back(val);
+  }
+  gb::Matrix<double> m(nu, ni);
+  m.build(r, c, v, gb::Second{});
+  return m;
+}
+
+}  // namespace
+
+TEST(CollaborativeFiltering, RecoversLowRankStructure) {
+  auto ratings = synthetic_ratings(30, 25, 3, 300, 11);
+  auto before =
+      lagraph::collaborative_filtering(ratings, 3, 0.0, 0.0, 0, 13);
+  auto after =
+      lagraph::collaborative_filtering(ratings, 3, 0.02, 0.001, 200, 13);
+  EXPECT_LT(after.rmse, before.rmse * 0.2);  // at least 5x RMSE reduction
+  EXPECT_LT(after.rmse, 0.25);
+  EXPECT_EQ(after.epochs, 200);
+}
+
+TEST(CollaborativeFiltering, PredictionsApproachRatings) {
+  auto ratings = synthetic_ratings(20, 20, 2, 160, 21);
+  auto model = lagraph::collaborative_filtering(ratings, 2, 0.03, 0.0005, 300,
+                                                22);
+  // Reconstruct on the pattern and compare a few entries.
+  gb::Matrix<double> pred(20, 20);
+  gb::mxm(pred, ratings, gb::no_accum, gb::plus_times<double>(), model.p,
+          model.q, gb::desc_s);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  ratings.extract_tuples(r, c, v);
+  double worst = 0.0;
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    double e = std::abs(pred.extract_element(r[k], c[k]).value() - v[k]);
+    worst = std::max(worst, e);
+  }
+  EXPECT_LT(worst, 0.6);
+}
+
+TEST(CollaborativeFiltering, Validation) {
+  gb::Matrix<double> empty(5, 5);
+  EXPECT_THROW(lagraph::collaborative_filtering(empty, 2, 0.01, 0.001, 5),
+               gb::Error);
+  auto ratings = synthetic_ratings(5, 5, 2, 10, 1);
+  EXPECT_THROW(lagraph::collaborative_filtering(ratings, 0, 0.01, 0.001, 5),
+               gb::Error);
+}

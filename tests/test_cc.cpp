@@ -1,0 +1,81 @@
+// Connected components (FastSV) vs union-find.
+#include <gtest/gtest.h>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+void expect_cc_matches(const Graph& g) {
+  auto got = connected_components(g);
+  auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+  auto want = ref::connected_components(sg);
+  auto dense = to_dense_std(got, std::uint64_t{0});
+  ASSERT_EQ(dense.size(), want.size());
+  for (Index v = 0; v < sg.n; ++v) {
+    EXPECT_EQ(dense[v], want[v]) << "vertex " << v;
+  }
+}
+
+}  // namespace
+
+TEST(ConnectedComponents, SingleComponent) {
+  expect_cc_matches(Graph(path_graph(20), Kind::undirected));
+  expect_cc_matches(Graph(cycle_graph(9), Kind::undirected));
+  expect_cc_matches(Graph(complete_graph(6), Kind::undirected));
+}
+
+TEST(ConnectedComponents, ManyComponents) {
+  // Three disjoint pieces + isolated vertices.
+  gb::Matrix<double> a(12, 12);
+  auto add = [&a](Index u, Index v) {
+    a.set_element(u, v, 1.0);
+    a.set_element(v, u, 1.0);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(4, 5);
+  add(7, 8);
+  add(8, 9);
+  add(9, 7);
+  Graph g(std::move(a), Kind::undirected);
+  expect_cc_matches(g);
+  auto labels = to_dense_std(connected_components(g), std::uint64_t{0});
+  EXPECT_EQ(labels[2], 0u);
+  EXPECT_EQ(labels[5], 4u);
+  EXPECT_EQ(labels[9], 7u);
+  EXPECT_EQ(labels[3], 3u);   // isolated: own label
+  EXPECT_EQ(labels[11], 11u);
+}
+
+TEST(ConnectedComponents, RandomGraphs) {
+  for (std::uint64_t seed : {10u, 11u, 12u}) {
+    // Sparse enough to have several components.
+    expect_cc_matches(Graph(erdos_renyi(300, 150, seed), Kind::undirected));
+  }
+  expect_cc_matches(Graph(rmat(9, 2, 13), Kind::undirected));
+}
+
+TEST(ConnectedComponents, DirectedInputTreatedUndirected) {
+  gb::Matrix<double> a(4, 4);
+  a.set_element(0, 1, 1.0);  // one-way edge still connects the component
+  a.set_element(2, 3, 1.0);
+  Graph g(std::move(a), Kind::directed);
+  auto labels = to_dense_std(connected_components(g), std::uint64_t{0});
+  EXPECT_EQ(labels[1], 0u);
+  EXPECT_EQ(labels[3], 2u);
+}
+
+TEST(ConnectedComponents, LabelsAreComponentMinima) {
+  Graph g(erdos_renyi(100, 80, 14), Kind::undirected);
+  auto labels = to_dense_std(connected_components(g), std::uint64_t{0});
+  for (Index v = 0; v < 100; ++v) {
+    EXPECT_LE(labels[v], v);               // min label property
+    EXPECT_EQ(labels[labels[v]], labels[v]);  // representative is a root
+  }
+}

@@ -1,0 +1,130 @@
+// Clustering algorithms: MCL, peer pressure, and local (PPR) clustering.
+// Cluster outputs are not unique, so tests use planted-structure graphs:
+// two dense cliques joined by a single bridge edge must come back as two
+// clusters under any sane clustering.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+/// Two k-cliques {0..k-1} and {k..2k-1} bridged by edge (k-1, k).
+gb::Matrix<double> two_cliques(Index k) {
+  gb::Matrix<double> a(2 * k, 2 * k);
+  auto add = [&a](Index u, Index v) {
+    a.set_element(u, v, 1.0);
+    a.set_element(v, u, 1.0);
+  };
+  for (Index base : {Index{0}, k}) {
+    for (Index i = 0; i < k; ++i) {
+      for (Index j = i + 1; j < k; ++j) add(base + i, base + j);
+    }
+  }
+  add(k - 1, k);
+  return a;
+}
+
+/// All members of [lo, hi) share a label, distinct from [hi, end)'s label.
+void expect_split(const std::vector<std::uint64_t>& labels, Index k) {
+  for (Index v = 1; v < k; ++v) EXPECT_EQ(labels[v], labels[0]) << v;
+  for (Index v = k + 1; v < 2 * k; ++v) EXPECT_EQ(labels[v], labels[k]) << v;
+  EXPECT_NE(labels[0], labels[k]);
+}
+
+}  // namespace
+
+TEST(Mcl, SplitsTwoCliques) {
+  Graph g(two_cliques(6), Kind::undirected);
+  auto labels = to_dense_std(mcl(g), std::uint64_t{0});
+  expect_split(labels, 6);
+}
+
+TEST(Mcl, SingleCliqueIsOneCluster) {
+  Graph g(complete_graph(8), Kind::undirected);
+  auto labels = to_dense_std(mcl(g), std::uint64_t{0});
+  std::set<std::uint64_t> uniq(labels.begin(), labels.end());
+  EXPECT_EQ(uniq.size(), 1u);
+}
+
+TEST(Mcl, DisconnectedComponentsGetDistinctLabels) {
+  gb::Matrix<double> a(6, 6);
+  auto add = [&a](Index u, Index v) {
+    a.set_element(u, v, 1.0);
+    a.set_element(v, u, 1.0);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(0, 2);
+  add(3, 4);
+  add(4, 5);
+  add(3, 5);
+  Graph g(std::move(a), Kind::undirected);
+  auto labels = to_dense_std(mcl(g), std::uint64_t{99});
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(PeerPressure, SplitsTwoCliques) {
+  Graph g(two_cliques(8), Kind::undirected);
+  auto labels = to_dense_std(peer_pressure(g), std::uint64_t{0});
+  expect_split(labels, 8);
+}
+
+TEST(PeerPressure, IsolatedVerticesKeepOwnLabel) {
+  gb::Matrix<double> a(5, 5);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 0, 1.0);
+  Graph g(std::move(a), Kind::undirected);
+  auto labels = to_dense_std(peer_pressure(g), std::uint64_t{0});
+  EXPECT_EQ(labels[3], 3u);
+  EXPECT_EQ(labels[4], 4u);
+  EXPECT_EQ(labels[0], labels[1]);
+}
+
+TEST(LocalClustering, FindsSeedClique) {
+  Graph g(two_cliques(8), Kind::undirected);
+  auto res = local_clustering(g, /*seed=*/2);
+  auto members = to_dense_std(res.members, false);
+  // The seed's clique should be (mostly) inside, the other clique outside.
+  int inside = 0, outside = 0;
+  for (Index v = 0; v < 8; ++v) inside += members[v] ? 1 : 0;
+  for (Index v = 8; v < 16; ++v) outside += members[v] ? 1 : 0;
+  EXPECT_GE(inside, 6);
+  EXPECT_LE(outside, 1);
+  // One bridge edge, clique volume ~ 8*7+1: conductance must be small.
+  EXPECT_LT(res.conductance, 0.1);
+  EXPECT_GT(res.sweep_size, 0);
+}
+
+TEST(LocalClustering, ConductanceMatchesChecker) {
+  Graph g(two_cliques(6), Kind::undirected);
+  auto res = local_clustering(g, 0);
+  auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+  std::vector<std::uint8_t> in_s(g.nrows(), 0);
+  auto members = to_dense_std(res.members, false);
+  for (Index v = 0; v < g.nrows(); ++v) in_s[v] = members[v] ? 1 : 0;
+  EXPECT_NEAR(res.conductance, ref::conductance(sg, in_s), 1e-9);
+}
+
+TEST(LocalClustering, SeedValidation) {
+  Graph g(two_cliques(4), Kind::undirected);
+  EXPECT_THROW(local_clustering(g, 99), gb::Error);
+}
+
+TEST(LocalClustering, WholeGraphWhenNoStructure) {
+  // On a clique the best sweep is almost everything or almost nothing —
+  // either way the call must return cleanly with a valid conductance.
+  Graph g(complete_graph(10), Kind::undirected);
+  auto res = local_clustering(g, 3);
+  EXPECT_GE(res.conductance, 0.0);
+  EXPECT_LE(res.conductance, 1.0);
+}

@@ -1,0 +1,84 @@
+// Shared helpers for the conformance tests: seeded random GraphBLAS objects
+// and the descriptor sweep used to exercise every mask/accum/replace
+// combination against the dense mimics.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "reference/dense_ref.hpp"
+
+namespace testutil {
+
+using gb::Index;
+
+inline gb::Matrix<double> random_matrix(Index nrows, Index ncols,
+                                        double density, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(-4.0, 4.0);
+  std::bernoulli_distribution keep(density);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  for (Index i = 0; i < nrows; ++i) {
+    for (Index j = 0; j < ncols; ++j) {
+      if (keep(rng)) {
+        r.push_back(i);
+        c.push_back(j);
+        // A few exact zeros so valued masks differ from structural ones.
+        double x = val(rng);
+        v.push_back(std::abs(x) < 0.4 ? 0.0 : x);
+      }
+    }
+  }
+  gb::Matrix<double> a(nrows, ncols);
+  a.build(r, c, v, gb::Plus{});
+  return a;
+}
+
+inline gb::Vector<double> random_vector(Index n, double density,
+                                        std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> val(-4.0, 4.0);
+  std::bernoulli_distribution keep(density);
+  gb::Vector<double> v(n);
+  for (Index i = 0; i < n; ++i) {
+    if (keep(rng)) {
+      double x = val(rng);
+      v.set_element(i, std::abs(x) < 0.4 ? 0.0 : x);
+    }
+  }
+  return v;
+}
+
+/// The descriptor sweep: every combination of replace / complement /
+/// structural (transposes are swept separately per operation).
+inline std::vector<gb::Descriptor> mask_descriptor_sweep() {
+  std::vector<gb::Descriptor> out;
+  for (bool replace : {false, true}) {
+    for (bool comp : {false, true}) {
+      for (bool structural : {false, true}) {
+        gb::Descriptor d;
+        d.replace = replace;
+        d.mask_complement = comp;
+        d.mask_structural = structural;
+        out.push_back(d);
+      }
+    }
+  }
+  return out;
+}
+
+inline std::string desc_name(const gb::Descriptor& d) {
+  std::string s;
+  s += d.replace ? "R" : "-";
+  s += d.mask_complement ? "C" : "-";
+  s += d.mask_structural ? "S" : "-";
+  s += d.transpose_a ? "Ta" : "--";
+  s += d.transpose_b ? "Tb" : "--";
+  return s;
+}
+
+}  // namespace testutil

@@ -1,0 +1,357 @@
+// The SuiteSparse-style conformance harness (§II-A): run randomized
+// workloads through the optimised library and the dense mimics in lockstep,
+// requiring identical values AND patterns at every step. One failing seed is
+// a spec violation somewhere in the op stack.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "test_common.hpp"
+
+using namespace testutil;
+using gb::Index;
+
+namespace ref {
+bool self_check();  // defined in dense_ref.cpp
+}
+
+TEST(Conformance, MimicSelfCheck) { EXPECT_TRUE(ref::self_check()); }
+
+namespace {
+
+/// A lockstep pair of states: the opaque objects and their dense shadows.
+struct Lockstep {
+  gb::Matrix<double> a, b, c;
+  ref::DenseMat<double> da, db, dc;
+  gb::Vector<double> u, w;
+  ref::DenseVec<double> du, dw;
+
+  explicit Lockstep(std::uint64_t seed)
+      : a(random_matrix(11, 11, 0.35, seed)),
+        b(random_matrix(11, 11, 0.35, seed + 1)),
+        c(random_matrix(11, 11, 0.25, seed + 2)),
+        da(ref::from_gb(a)),
+        db(ref::from_gb(b)),
+        dc(ref::from_gb(c)),
+        u(random_vector(11, 0.5, seed + 3)),
+        w(random_vector(11, 0.3, seed + 4)),
+        du(ref::from_gb(u)),
+        dw(ref::from_gb(w)) {}
+
+  void expect_synced(const char* where) {
+    EXPECT_TRUE(ref::equal(dc, c)) << where;
+    EXPECT_TRUE(ref::equal(dw, w)) << where;
+  }
+};
+
+}  // namespace
+
+class ConformanceChain : public ::testing::TestWithParam<int> {};
+
+// A chain of operations where each output feeds the next — catches state
+// corruption that single-op tests cannot.
+TEST_P(ConformanceChain, OperationPipelineStaysInLockstep) {
+  std::uint64_t seed = 4000 + GetParam() * 107;
+  Lockstep s(seed);
+  const gb::Plus* no_acc = nullptr;
+  const ref::DenseMat<bool>* no_mmask = nullptr;
+  const ref::DenseVec<bool>* no_vmask = nullptr;
+
+  // 1. C = A +.* B
+  gb::mxm(s.c, gb::no_mask, gb::no_accum, gb::plus_times<double>(), s.a, s.b);
+  ref::mxm(s.dc, no_mmask, no_acc, gb::plus_times<double>(), s.da, s.db,
+           gb::desc_default);
+  s.expect_synced("mxm");
+
+  // 2. C += C' (accumulated transpose)
+  gb::Plus acc;
+  gb::transpose(s.c, gb::no_mask, acc, s.c.dup());
+  {
+    auto dcc = s.dc;
+    ref::transpose(s.dc, no_mmask, &acc, dcc, gb::desc_default);
+  }
+  s.expect_synced("transpose-accum");
+
+  // 3. w = C min.+ u, masked by u complemented
+  {
+    gb::Descriptor d = gb::desc_c;
+    gb::mxv(s.w, s.u, gb::no_accum, gb::min_plus<double>(), s.c, s.u, d);
+    ref::mxv(s.dw, &s.du, no_acc, gb::min_plus<double>(), s.dc, s.du, d);
+  }
+  s.expect_synced("masked mxv");
+
+  // 4. C = select(C > 0), then C = C .* A under mask B (structural)
+  {
+    gb::Matrix<double> t(11, 11);
+    gb::select(t, gb::no_mask, gb::no_accum, gb::SelValueGt{}, s.c, 0.0);
+    ref::DenseMat<double> dt(11, 11);
+    ref::select(dt, no_mmask, no_acc, gb::SelValueGt{}, s.dc, 0.0,
+                gb::desc_default);
+    gb::ewise_mult(s.c, s.b, gb::no_accum, gb::Times{}, t, s.a, gb::desc_s);
+    ref::ewise_mult(s.dc, &s.db, no_acc, gb::Times{}, dt, s.da, gb::desc_s);
+  }
+  s.expect_synced("select + masked ewise");
+
+  // 5. row reduce with accumulation
+  gb::reduce(s.w, gb::no_mask, acc, gb::plus_monoid<double>(), s.c);
+  ref::reduce(s.dw, no_vmask, &acc, gb::plus_monoid<double>(), s.dc,
+              gb::desc_default);
+  s.expect_synced("reduce-accum");
+
+  // 6. assign a scalar through the w-derived mask with replace
+  {
+    gb::Descriptor d = gb::desc_r;
+    gb::assign_scalar(s.w, s.u, gb::no_accum, 3.25,
+                      gb::IndexSel::all(s.w.size()), d);
+    std::vector<Index> all(s.w.size());
+    for (Index i = 0; i < s.w.size(); ++i) all[i] = i;
+    ref::assign_scalar(s.dw, &s.du, no_acc, 3.25, all, d);
+  }
+  s.expect_synced("masked scalar assign");
+
+  // 7. scalar reductions agree
+  EXPECT_DOUBLE_EQ(gb::reduce_scalar(gb::plus_monoid<double>(), s.c),
+                   ref::reduce_scalar(gb::plus_monoid<double>(), s.dc));
+}
+
+// Randomized single ops with randomized descriptors — a fuzz layer over the
+// directed sweeps in the per-op test files.
+TEST_P(ConformanceChain, RandomizedOpFuzz) {
+  std::mt19937_64 rng(9000 + GetParam());
+  const gb::Plus* no_acc = nullptr;
+  gb::Plus acc;
+
+  for (int round = 0; round < 30; ++round) {
+    std::uint64_t seed = rng();
+    gb::Descriptor d;
+    d.replace = rng() & 1;
+    d.mask_complement = rng() & 1;
+    d.mask_structural = rng() & 1;
+    d.transpose_a = rng() & 1;
+    d.transpose_b = rng() & 1;
+    bool use_accum = rng() & 1;
+    int op = static_cast<int>(rng() % 8);
+
+    auto a = random_matrix(8, 8, 0.4, seed);
+    auto b = random_matrix(8, 8, 0.4, seed + 1);
+    auto m = random_matrix(8, 8, 0.5, seed + 2);
+    auto c = random_matrix(8, 8, 0.3, seed + 3);
+    auto da = ref::from_gb(a);
+    auto db = ref::from_gb(b);
+    auto dm = ref::from_gb(m);
+    auto dc = ref::from_gb(c);
+
+    // Distinct indices: assign with duplicate indices is undefined by the
+    // spec, so conformance cannot be asserted there.
+    std::vector<Index> pool = {0, 1, 2, 3, 4, 5, 6, 7};
+    std::shuffle(pool.begin(), pool.end(), rng);
+    std::vector<Index> isel(pool.begin(), pool.begin() + 3);
+    std::shuffle(pool.begin(), pool.end(), rng);
+    std::vector<Index> jsel(pool.begin(), pool.begin() + 3);
+
+    switch (op) {
+      case 0:
+        if (use_accum) {
+          gb::mxm(c, m, acc, gb::plus_times<double>(), a, b, d);
+          ref::mxm(dc, &dm, &acc, gb::plus_times<double>(), da, db, d);
+        } else {
+          gb::mxm(c, m, gb::no_accum, gb::plus_times<double>(), a, b, d);
+          ref::mxm(dc, &dm, no_acc, gb::plus_times<double>(), da, db, d);
+        }
+        break;
+      case 1:
+        if (use_accum) {
+          gb::ewise_add(c, m, acc, gb::Max{}, a, b, d);
+          ref::ewise_add(dc, &dm, &acc, gb::Max{}, da, db, d);
+        } else {
+          gb::ewise_add(c, m, gb::no_accum, gb::Max{}, a, b, d);
+          ref::ewise_add(dc, &dm, no_acc, gb::Max{}, da, db, d);
+        }
+        break;
+      case 2:
+        if (use_accum) {
+          gb::apply(c, m, acc, gb::Ainv{}, a, d);
+          ref::apply(dc, &dm, &acc, gb::Ainv{}, da, d);
+        } else {
+          gb::apply(c, m, gb::no_accum, gb::Ainv{}, a, d);
+          ref::apply(dc, &dm, no_acc, gb::Ainv{}, da, d);
+        }
+        break;
+      case 3:
+        if (use_accum) {
+          gb::transpose(c, m, acc, a, d);
+          ref::transpose(dc, &dm, &acc, da, d);
+        } else {
+          gb::transpose(c, m, gb::no_accum, a, d);
+          ref::transpose(dc, &dm, no_acc, da, d);
+        }
+        break;
+      case 4:  // select with a random tril/value predicate
+        if (rng() & 1) {
+          auto thunk = static_cast<std::int64_t>(rng() % 5) - 2;
+          gb::select(c, m, gb::no_accum, gb::SelTril{}, a, thunk, d);
+          ref::select(dc, &dm, no_acc, gb::SelTril{}, da, thunk, d);
+        } else {
+          gb::select(c, m, gb::no_accum, gb::SelValueGt{}, a, 0.0, d);
+          ref::select(dc, &dm, no_acc, gb::SelValueGt{}, da, 0.0, d);
+        }
+        break;
+      case 5: {  // extract into a small output
+        auto c2 = random_matrix(3, 3, 0.3, seed + 4);
+        auto dc2 = ref::from_gb(c2);
+        auto m2 = random_matrix(3, 3, 0.5, seed + 5);
+        auto dm2 = ref::from_gb(m2);
+        if (use_accum) {
+          gb::extract(c2, m2, acc, a, gb::IndexSel(isel), gb::IndexSel(jsel),
+                      d);
+          ref::extract(dc2, &dm2, &acc, da, isel, jsel, d);
+        } else {
+          gb::extract(c2, m2, gb::no_accum, a, gb::IndexSel(isel),
+                      gb::IndexSel(jsel), d);
+          ref::extract(dc2, &dm2, no_acc, da, isel, jsel, d);
+        }
+        EXPECT_TRUE(ref::equal(dc2, c2))
+            << "round=" << round << " extract desc=" << desc_name(d);
+        continue;
+      }
+      case 6: {  // assign a small block
+        auto sub = random_matrix(3, 3, 0.6, seed + 6);
+        auto dsub = ref::from_gb(sub);
+        gb::Descriptor d2 = d;  // assign ignores input transposes here
+        d2.transpose_a = false;
+        d2.transpose_b = false;
+        if (use_accum) {
+          gb::assign(c, m, acc, sub, gb::IndexSel(isel), gb::IndexSel(jsel),
+                     d2);
+          ref::assign(dc, &dm, &acc, dsub, isel, jsel, d2);
+        } else {
+          gb::assign(c, m, gb::no_accum, sub, gb::IndexSel(isel),
+                     gb::IndexSel(jsel), d2);
+          ref::assign(dc, &dm, no_acc, dsub, isel, jsel, d2);
+        }
+        break;
+      }
+      default:
+        if (use_accum) {
+          gb::ewise_mult(c, m, acc, gb::Min{}, a, b, d);
+          ref::ewise_mult(dc, &dm, &acc, gb::Min{}, da, db, d);
+        } else {
+          gb::ewise_mult(c, m, gb::no_accum, gb::Min{}, a, b, d);
+          ref::ewise_mult(dc, &dm, no_acc, gb::Min{}, da, db, d);
+        }
+        break;
+    }
+    EXPECT_TRUE(ref::equal(dc, c))
+        << "round=" << round << " op=" << op << " desc=" << desc_name(d)
+        << " accum=" << use_accum;
+  }
+}
+
+// Vector-op fuzz: the vector surface gets the same randomized treatment.
+TEST_P(ConformanceChain, RandomizedVectorOpFuzz) {
+  std::mt19937_64 rng(11000 + GetParam());
+  const gb::Plus* no_acc = nullptr;
+  gb::Plus acc;
+
+  for (int round = 0; round < 40; ++round) {
+    std::uint64_t seed = rng();
+    gb::Descriptor d;
+    d.replace = rng() & 1;
+    d.mask_complement = rng() & 1;
+    d.mask_structural = rng() & 1;
+    d.transpose_a = rng() & 1;
+    bool use_accum = rng() & 1;
+    int op = static_cast<int>(rng() % 6);
+
+    auto u = random_vector(12, 0.5, seed);
+    auto v = random_vector(12, 0.5, seed + 1);
+    auto m = random_vector(12, 0.5, seed + 2);
+    auto w = random_vector(12, 0.3, seed + 3);
+    auto a = random_matrix(12, 12, 0.3, seed + 4);
+    auto du = ref::from_gb(u);
+    auto dv = ref::from_gb(v);
+    auto dm = ref::from_gb(m);
+    auto dw = ref::from_gb(w);
+    auto da = ref::from_gb(a);
+
+    std::vector<Index> pool(12);
+    for (Index i = 0; i < 12; ++i) pool[i] = i;
+    std::shuffle(pool.begin(), pool.end(), rng);
+    std::vector<Index> isel(pool.begin(), pool.begin() + 5);
+
+    switch (op) {
+      case 0:
+        if (use_accum) {
+          gb::ewise_add(w, m, acc, gb::Max{}, u, v, d);
+          ref::ewise_add(dw, &dm, &acc, gb::Max{}, du, dv, d);
+        } else {
+          gb::ewise_add(w, m, gb::no_accum, gb::Max{}, u, v, d);
+          ref::ewise_add(dw, &dm, no_acc, gb::Max{}, du, dv, d);
+        }
+        break;
+      case 1:
+        if (use_accum) {
+          gb::ewise_mult(w, m, acc, gb::Times{}, u, v, d);
+          ref::ewise_mult(dw, &dm, &acc, gb::Times{}, du, dv, d);
+        } else {
+          gb::ewise_mult(w, m, gb::no_accum, gb::Times{}, u, v, d);
+          ref::ewise_mult(dw, &dm, no_acc, gb::Times{}, du, dv, d);
+        }
+        break;
+      case 2:
+        if (use_accum) {
+          gb::apply(w, m, acc, gb::Ainv{}, u, d);
+          ref::apply(dw, &dm, &acc, gb::Ainv{}, du, d);
+        } else {
+          gb::apply(w, m, gb::no_accum, gb::Ainv{}, u, d);
+          ref::apply(dw, &dm, no_acc, gb::Ainv{}, du, d);
+        }
+        break;
+      case 3: {
+        // mxv with random push/pull choice.
+        d.mxv = (rng() & 1) ? gb::MxvMethod::push : gb::MxvMethod::pull;
+        if (use_accum) {
+          gb::mxv(w, m, acc, gb::plus_times<double>(), a, u, d);
+          ref::mxv(dw, &dm, &acc, gb::plus_times<double>(), da, du, d);
+        } else {
+          gb::mxv(w, m, gb::no_accum, gb::plus_times<double>(), a, u, d);
+          ref::mxv(dw, &dm, no_acc, gb::plus_times<double>(), da, du, d);
+        }
+        break;
+      }
+      case 4: {
+        auto w5 = random_vector(5, 0.4, seed + 5);
+        auto dw5 = ref::from_gb(w5);
+        auto m5 = random_vector(5, 0.5, seed + 6);
+        auto dm5 = ref::from_gb(m5);
+        if (use_accum) {
+          gb::extract(w5, m5, acc, u, gb::IndexSel(isel), d);
+          ref::extract(dw5, &dm5, &acc, du, isel, d);
+        } else {
+          gb::extract(w5, m5, gb::no_accum, u, gb::IndexSel(isel), d);
+          ref::extract(dw5, &dm5, no_acc, du, isel, d);
+        }
+        EXPECT_TRUE(ref::equal(dw5, w5))
+            << "round=" << round << " v-extract " << desc_name(d);
+        continue;
+      }
+      default: {
+        auto sub = random_vector(5, 0.6, seed + 7);
+        auto dsub = ref::from_gb(sub);
+        if (use_accum) {
+          gb::assign(w, m, acc, sub, gb::IndexSel(isel), d);
+          ref::assign(dw, &dm, &acc, dsub, isel, d);
+        } else {
+          gb::assign(w, m, gb::no_accum, sub, gb::IndexSel(isel), d);
+          ref::assign(dw, &dm, no_acc, dsub, isel, d);
+        }
+        break;
+      }
+    }
+    EXPECT_TRUE(ref::equal(dw, w))
+        << "round=" << round << " op=" << op << " desc=" << desc_name(d)
+        << " accum=" << use_accum;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConformanceChain, ::testing::Range(0, 6));

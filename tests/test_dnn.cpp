@@ -1,0 +1,134 @@
+// Sparse DNN inference vs a dense hand computation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+/// Dense reference: Y <- clip(ReLU(Y W + b)).
+std::vector<std::vector<double>> dense_dnn(
+    std::vector<std::vector<double>> y,
+    const std::vector<std::vector<std::vector<double>>>& ws,
+    const std::vector<double>& bias, double ymax) {
+  for (std::size_t l = 0; l < ws.size(); ++l) {
+    const auto& w = ws[l];
+    std::vector<std::vector<double>> z(y.size(),
+                                       std::vector<double>(w[0].size(), 0.0));
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      for (std::size_t k = 0; k < w.size(); ++k) {
+        if (y[i][k] == 0.0) continue;
+        for (std::size_t j = 0; j < w[0].size(); ++j) {
+          z[i][j] += y[i][k] * w[k][j];
+        }
+      }
+    }
+    for (auto& row : z) {
+      for (auto& v : row) {
+        // Bias applies only where the product produced a value; zero
+        // accumulations and zero entries are indistinguishable densely, so
+        // treat exact zero as "no entry" (inputs are generated nonzero).
+        if (v != 0.0) v = std::min(std::max(v + bias[l], 0.0), ymax);
+        if (v < 0.0) v = 0.0;
+      }
+    }
+    y = std::move(z);
+  }
+  return y;
+}
+
+gb::Matrix<double> from_dense(const std::vector<std::vector<double>>& d) {
+  gb::Matrix<double> a(d.size(), d[0].size());
+  for (Index i = 0; i < d.size(); ++i)
+    for (Index j = 0; j < d[0].size(); ++j)
+      if (d[i][j] != 0.0) a.set_element(i, j, d[i][j]);
+  return a;
+}
+
+}  // namespace
+
+TEST(Dnn, MatchesDenseReference) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> wv(0.1, 1.0);
+  std::bernoulli_distribution keep(0.3);
+
+  const Index batch = 12, neurons = 16, layers = 3;
+  std::vector<std::vector<double>> y0(batch,
+                                      std::vector<double>(neurons, 0.0));
+  for (auto& row : y0)
+    for (auto& v : row)
+      if (keep(rng)) v = wv(rng);
+
+  std::vector<std::vector<std::vector<double>>> ws;
+  std::vector<gb::Matrix<double>> gws;
+  std::vector<double> biases;
+  for (Index l = 0; l < layers; ++l) {
+    std::vector<std::vector<double>> w(neurons,
+                                       std::vector<double>(neurons, 0.0));
+    for (auto& row : w)
+      for (auto& v : row)
+        if (keep(rng)) v = wv(rng);
+    ws.push_back(w);
+    gws.push_back(from_dense(w));
+    biases.push_back(-0.3);
+  }
+
+  auto got = dnn_inference(from_dense(y0), gws, biases, 32.0);
+  auto want = dense_dnn(y0, ws, biases, 32.0);
+
+  for (Index i = 0; i < batch; ++i) {
+    for (Index j = 0; j < neurons; ++j) {
+      auto e = got.extract_element(i, j);
+      if (want[i][j] > 0.0) {
+        ASSERT_TRUE(e.has_value()) << i << "," << j;
+        EXPECT_NEAR(*e, want[i][j], 1e-9);
+      } else {
+        EXPECT_FALSE(e.has_value()) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Dnn, ReluPrunesAndSparsifies) {
+  // A strongly negative bias must empty the activations.
+  gb::Matrix<double> y0(2, 2);
+  y0.set_element(0, 0, 1.0);
+  gb::Matrix<double> w = gb::Matrix<double>::identity(2, 1.0);
+  auto out = dnn_inference(y0, {w}, {-10.0});
+  EXPECT_EQ(out.nvals(), 0u);
+}
+
+TEST(Dnn, ClipCapsValues) {
+  gb::Matrix<double> y0(1, 1);
+  y0.set_element(0, 0, 100.0);
+  gb::Matrix<double> w = gb::Matrix<double>::identity(1, 100.0);
+  auto out = dnn_inference(y0, {w}, {0.0}, 32.0);
+  EXPECT_EQ(out.extract_element(0, 0).value(), 32.0);
+}
+
+TEST(Dnn, ValidatesShapes) {
+  gb::Matrix<double> y0(2, 3);
+  gb::Matrix<double> w(4, 4);
+  EXPECT_THROW(dnn_inference(y0, {w}, {0.0}), gb::Error);
+  EXPECT_THROW(dnn_inference(y0, {w}, {}), gb::Error);
+}
+
+TEST(Dnn, MultiLayerChainShrinksOrGrows) {
+  // Rectangular layers: 4 -> 8 -> 2.
+  auto y0 = random_matrix(5, 4, 10, 1);
+  gb::apply(y0, gb::no_mask, gb::no_accum, gb::Abs{}, y0);
+  auto w1 = random_matrix(4, 8, 16, 2);
+  gb::apply(w1, gb::no_mask, gb::no_accum, gb::Abs{}, w1);
+  auto w2 = random_matrix(8, 2, 8, 3);
+  gb::apply(w2, gb::no_mask, gb::no_accum, gb::Abs{}, w2);
+  auto out = dnn_inference(y0, {w1, w2}, {0.0, 0.0});
+  EXPECT_EQ(out.nrows(), 5u);
+  EXPECT_EQ(out.ncols(), 2u);
+}

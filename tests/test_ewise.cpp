@@ -1,0 +1,109 @@
+// eWiseAdd (union) and eWiseMult (intersection) vs the dense mimics.
+#include <gtest/gtest.h>
+
+#include "test_common.hpp"
+
+using namespace testutil;
+using gb::Index;
+
+class EwiseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EwiseSweep, VectorAddAndMultMatchMimic) {
+  std::uint64_t seed = 100 + GetParam() * 31;
+  auto u = random_vector(30, 0.5, seed);
+  auto v = random_vector(30, 0.5, seed + 1);
+  auto du = ref::from_gb(u);
+  auto dv = ref::from_gb(v);
+
+  for (const auto& d : mask_descriptor_sweep()) {
+    auto mask = random_vector(30, 0.5, seed + 2);
+    auto dmask = ref::from_gb(mask);
+
+    gb::Vector<double> w = random_vector(30, 0.3, seed + 3);
+    auto dw = ref::from_gb(w);
+    gb::ewise_add(w, mask, gb::no_accum, gb::Plus{}, u, v, d);
+    ref::ewise_add(dw, &dmask, static_cast<const gb::Plus*>(nullptr),
+                   gb::Plus{}, du, dv, d);
+    EXPECT_TRUE(ref::equal(dw, w)) << "add " << desc_name(d);
+
+    gb::Vector<double> w2 = random_vector(30, 0.3, seed + 4);
+    auto dw2 = ref::from_gb(w2);
+    gb::Plus acc;
+    gb::ewise_mult(w2, mask, acc, gb::Times{}, u, v, d);
+    ref::ewise_mult(dw2, &dmask, &acc, gb::Times{}, du, dv, d);
+    EXPECT_TRUE(ref::equal(dw2, w2)) << "mult " << desc_name(d);
+  }
+}
+
+TEST_P(EwiseSweep, MatrixAddAndMultMatchMimic) {
+  std::uint64_t seed = 500 + GetParam() * 37;
+  // Square so the transpose sweep keeps shapes compatible.
+  auto a = random_matrix(10, 10, 0.4, seed);
+  auto b = random_matrix(10, 10, 0.4, seed + 1);
+  auto da = ref::from_gb(a);
+  auto db = ref::from_gb(b);
+
+  for (auto d : mask_descriptor_sweep()) {
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        d.transpose_a = ta;
+        d.transpose_b = tb;
+        auto mask = random_matrix(10, 10, 0.4, seed + 2);
+        auto dmask = ref::from_gb(mask);
+
+        gb::Matrix<double> c = random_matrix(10, 10, 0.2, seed + 3);
+        auto dc = ref::from_gb(c);
+        gb::ewise_add(c, mask, gb::no_accum, gb::Min{}, a, b, d);
+        ref::ewise_add(dc, &dmask, static_cast<const gb::Plus*>(nullptr),
+                       gb::Min{}, da, db, d);
+        EXPECT_TRUE(ref::equal(dc, c)) << "add " << desc_name(d);
+
+        gb::Matrix<double> c2 = random_matrix(10, 10, 0.2, seed + 4);
+        auto dc2 = ref::from_gb(c2);
+        gb::ewise_mult(c2, mask, gb::no_accum, gb::Times{}, a, b, d);
+        ref::ewise_mult(dc2, &dmask, static_cast<const gb::Plus*>(nullptr),
+                        gb::Times{}, da, db, d);
+        EXPECT_TRUE(ref::equal(dc2, c2)) << "mult " << desc_name(d);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EwiseSweep, ::testing::Range(0, 4));
+
+TEST(Ewise, UnionAndIntersectionPatterns) {
+  gb::Vector<double> u(5), v(5);
+  u.set_element(0, 1.0);
+  u.set_element(2, 2.0);
+  v.set_element(2, 10.0);
+  v.set_element(4, 20.0);
+
+  gb::Vector<double> add(5);
+  gb::ewise_add(add, gb::no_mask, gb::no_accum, gb::Plus{}, u, v);
+  EXPECT_EQ(add.nvals(), 3u);
+  EXPECT_EQ(add.extract_element(0).value(), 1.0);
+  EXPECT_EQ(add.extract_element(2).value(), 12.0);
+  EXPECT_EQ(add.extract_element(4).value(), 20.0);
+
+  gb::Vector<double> mult(5);
+  gb::ewise_mult(mult, gb::no_mask, gb::no_accum, gb::Times{}, u, v);
+  EXPECT_EQ(mult.nvals(), 1u);
+  EXPECT_EQ(mult.extract_element(2).value(), 20.0);
+}
+
+TEST(Ewise, MixedTypesTypecast) {
+  gb::Vector<std::int64_t> u(3);
+  u.set_element(0, 3);
+  gb::Vector<double> v(3);
+  v.set_element(0, 0.5);
+  gb::Vector<double> w(3);
+  gb::ewise_mult(w, gb::no_mask, gb::no_accum,
+                 [](std::int64_t a, double b) { return a * b; }, u, v);
+  EXPECT_EQ(w.extract_element(0).value(), 1.5);
+}
+
+TEST(Ewise, DimensionMismatchThrows) {
+  gb::Vector<double> u(3), v(4), w(3);
+  EXPECT_THROW(gb::ewise_add(w, gb::no_mask, gb::no_accum, gb::Plus{}, u, v),
+               gb::Error);
+}

@@ -1,0 +1,145 @@
+// The four storage formats of §II-A: CSR, CSC, and their hypersparse
+// variants; automatic hypersparsity; the cached dual orientation.
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+
+using gb::HyperMode;
+using gb::Index;
+using gb::Layout;
+using gb::Matrix;
+
+namespace {
+
+Matrix<double> sample(Layout layout, HyperMode hyper) {
+  Matrix<double> a(6, 6, layout, hyper);
+  std::vector<Index> r = {0, 0, 2, 4, 5};
+  std::vector<Index> c = {1, 3, 2, 0, 5};
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  a.build(r, c, v, gb::Plus{});
+  return a;
+}
+
+}  // namespace
+
+class FormatTest
+    : public ::testing::TestWithParam<std::tuple<Layout, HyperMode>> {};
+
+TEST_P(FormatTest, AllFormatsAgreeOnContent) {
+  auto [layout, hyper] = GetParam();
+  auto a = sample(layout, hyper);
+  EXPECT_EQ(a.nvals(), 5u);
+  EXPECT_EQ(a.extract_element(0, 3).value(), 2.0);
+  EXPECT_EQ(a.extract_element(5, 5).value(), 5.0);
+  EXPECT_FALSE(a.extract_element(3, 3).has_value());
+
+  // extract_tuples is format-independent (always row-major sorted).
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  a.extract_tuples(r, c, v);
+  EXPECT_EQ(r, (std::vector<Index>{0, 0, 2, 4, 5}));
+  EXPECT_EQ(c, (std::vector<Index>{1, 3, 2, 0, 5}));
+}
+
+TEST_P(FormatTest, OperationsWorkOnEveryFormat) {
+  // "all methods can operate on all four matrix formats in any combination"
+  // (§II-A).
+  auto [layout, hyper] = GetParam();
+  auto a = sample(layout, hyper);
+  gb::Vector<double> u(6);
+  for (Index i = 0; i < 6; ++i) u.set_element(i, 1.0);
+  gb::Vector<double> w(6);
+  gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u);
+  EXPECT_EQ(w.extract_element(0).value(), 3.0);  // 1+2
+  EXPECT_EQ(w.extract_element(4).value(), 4.0);
+
+  Matrix<double> c(6, 6);
+  gb::mxm(c, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, a);
+  // (0,1)*(1,*) none; (0,3)*(3,*) none; (4,0)*(0,1)=4, (4,0)*(0,3)=8;
+  // (5,5)*(5,5)=25; (2,2)*(2,2)=9.
+  EXPECT_EQ(c.extract_element(4, 1).value(), 4.0);
+  EXPECT_EQ(c.extract_element(4, 3).value(), 8.0);
+  EXPECT_EQ(c.extract_element(5, 5).value(), 25.0);
+  EXPECT_EQ(c.extract_element(2, 2).value(), 9.0);
+  EXPECT_EQ(c.nvals(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatTest,
+    ::testing::Combine(::testing::Values(Layout::by_row, Layout::by_col),
+                       ::testing::Values(HyperMode::auto_mode,
+                                         HyperMode::always, HyperMode::never)));
+
+TEST(Hypersparse, AutoSwitchesOnSparsity) {
+  // 1000x1000 with 3 populated rows: auto must go hypersparse.
+  Matrix<double> a(1000, 1000);
+  std::vector<Index> r = {10, 500, 999};
+  std::vector<Index> c = {5, 6, 7};
+  std::vector<double> v = {1, 2, 3};
+  a.build(r, c, v, gb::Plus{});
+  EXPECT_TRUE(a.is_hyper());
+
+  // Dense-ish row occupancy: auto must stay standard.
+  Matrix<double> b(16, 16);
+  std::vector<Index> rr, cc;
+  std::vector<double> vv;
+  for (Index i = 0; i < 16; ++i) {
+    rr.push_back(i);
+    cc.push_back(i);
+    vv.push_back(1.0);
+  }
+  b.build(rr, cc, vv, gb::Plus{});
+  EXPECT_FALSE(b.is_hyper());
+}
+
+TEST(Hypersparse, MemoryIsOofE) {
+  // §II-A: hypersparse takes O(e), so enormous dimensions are fine as long
+  // as e << n. 2^40 x 2^40 with 100 entries must be buildable and tiny.
+  const Index huge = Index{1} << 40;
+  Matrix<double> a(huge, huge, Layout::by_row, HyperMode::always);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  for (Index k = 0; k < 100; ++k) {
+    r.push_back(k * (huge / 101));
+    c.push_back(k * (huge / 103));
+    v.push_back(1.0);
+  }
+  a.build(r, c, v, gb::Plus{});
+  EXPECT_EQ(a.nvals(), 100u);
+  EXPECT_TRUE(a.is_hyper());
+  EXPECT_LT(a.memory_bytes(), std::size_t{100} * 1024);  // far below O(n)
+  EXPECT_EQ(a.extract_element(r[3], c[3]).value(), 1.0);
+
+  // Incremental updates on the huge matrix also stay O(e).
+  a.set_element((Index{1} << 39) + 12345, 42, 7.0);
+  EXPECT_EQ(a.extract_element((Index{1} << 39) + 12345, 42).value(), 7.0);
+  a.remove_element((Index{1} << 39) + 12345, 42);
+  EXPECT_EQ(a.nvals(), 100u);
+}
+
+TEST(DualFormat, CachedTransposeOrientation) {
+  auto a = sample(Layout::by_row, HyperMode::auto_mode);
+  EXPECT_TRUE(a.orientation_ready(Layout::by_row));
+  EXPECT_FALSE(a.orientation_ready(Layout::by_col));
+  a.ensure_dual_format();
+  EXPECT_TRUE(a.orientation_ready(Layout::by_col));
+  auto bytes_dual = a.memory_bytes();
+  a.drop_dual_format();
+  EXPECT_FALSE(a.orientation_ready(Layout::by_col));
+  EXPECT_LT(a.memory_bytes(), bytes_dual);
+}
+
+TEST(DualFormat, MutationInvalidatesCache) {
+  auto a = sample(Layout::by_row, HyperMode::auto_mode);
+  a.ensure_dual_format();
+  a.set_element(3, 3, 9.0);
+  // by_col must reflect the new entry.
+  const auto& cols = a.by_col();
+  auto k = cols.find_vec(3);
+  ASSERT_TRUE(k.has_value());
+  bool found = false;
+  for (Index pos = cols.vec_begin(*k); pos < cols.vec_end(*k); ++pos) {
+    if (cols.i[pos] == 3) found = true;
+  }
+  EXPECT_TRUE(found);
+}

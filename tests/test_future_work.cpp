@@ -1,0 +1,298 @@
+// The §V future-work algorithms: A* search, subgraph census, the
+// Weisfeiler-Lehman kernel, and GCN inference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+// --- A* ---------------------------------------------------------------------
+
+TEST(AStar, ZeroHeuristicIsDijkstra) {
+  Graph g(grid2d(8, 8, 3, 9.0), Kind::undirected);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  auto want = ref::dijkstra(sg, 0);
+  for (Index target : {Index{63}, Index{7}, Index{36}}) {
+    auto res = astar(g, 0, target);
+    EXPECT_NEAR(res.distance, want[target], 1e-9) << "target " << target;
+  }
+}
+
+TEST(AStar, PathIsValidAndOptimal) {
+  Graph g(grid2d(6, 6, 5, 5.0), Kind::undirected);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  auto res = astar(g, 0, 35);
+  ASSERT_FALSE(res.path.empty());
+  EXPECT_EQ(res.path.front(), 0u);
+  EXPECT_EQ(res.path.back(), 35u);
+  // Edge-by-edge cost along the reported path must equal the distance.
+  double total = 0.0;
+  for (std::size_t k = 0; k + 1 < res.path.size(); ++k) {
+    auto w = g.adj().extract_element(res.path[k], res.path[k + 1]);
+    ASSERT_TRUE(w.has_value());
+    total += *w;
+  }
+  EXPECT_NEAR(total, res.distance, 1e-9);
+  EXPECT_NEAR(res.distance, ref::dijkstra(sg, 0)[35], 1e-9);
+}
+
+TEST(AStar, AdmissibleHeuristicPrunesExpansion) {
+  // Weighted grid (weights >= 1) with the Manhattan-distance heuristic —
+  // admissible because every step costs at least 1. On a *unit* grid every
+  // vertex ties at f = d(target) and no pruning is possible; weights break
+  // the tie and the heuristic must strictly reduce expansions.
+  const Index rows = 12, cols = 12;
+  Graph g(grid2d(rows, cols, /*seed=*/9, /*max_weight=*/6.0),
+          Kind::undirected);
+  const Index target = rows * cols - 1;
+
+  gb::Vector<double> h(rows * cols);
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      double manhattan = static_cast<double>((rows - 1 - r) + (cols - 1 - c));
+      h.set_element(r * cols + c, manhattan);
+    }
+  }
+  auto guided = astar(g, 0, target, h);
+  auto blind = astar(g, 0, target);
+  EXPECT_NEAR(guided.distance, blind.distance, 1e-9);
+  EXPECT_LT(guided.expanded, blind.expanded);
+
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  EXPECT_NEAR(guided.distance, ref::dijkstra(sg, 0)[target], 1e-9);
+}
+
+TEST(AStar, UnreachableTarget) {
+  gb::Matrix<double> a(4, 4);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 0, 1.0);
+  Graph g(std::move(a), Kind::undirected);
+  auto res = astar(g, 0, 3);
+  EXPECT_TRUE(std::isinf(res.distance));
+  EXPECT_TRUE(res.path.empty());
+}
+
+TEST(AStar, RandomGraphsMatchDijkstra) {
+  for (std::uint64_t seed : {1u, 2u}) {
+    Graph g(randomize_weights(erdos_renyi(60, 240, seed), 0.5, 4.0, seed),
+            Kind::undirected);
+    auto sg = ref::SimpleGraph::from_matrix(g.adj());
+    auto want = ref::dijkstra(sg, 5);
+    for (Index t : {Index{0}, Index{30}, Index{59}}) {
+      auto res = astar(g, 5, t);
+      if (std::isinf(want[t])) {
+        EXPECT_TRUE(std::isinf(res.distance));
+      } else {
+        EXPECT_NEAR(res.distance, want[t], 1e-9) << "t=" << t;
+      }
+    }
+  }
+}
+
+// --- subgraph census ---------------------------------------------------------
+
+namespace {
+
+void expect_census_matches(Graph&& g) {
+  auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+  auto c = subgraph_count(g);
+  EXPECT_EQ(c.wedges, ref::count_wedges(sg));
+  EXPECT_EQ(c.claws, ref::count_claws(sg));
+  EXPECT_EQ(c.triangles, ref::count_triangles(sg));
+  EXPECT_EQ(c.four_cycles, ref::count_4cycles(sg));
+  EXPECT_EQ(c.tailed_triangles, ref::count_tailed_triangles(sg));
+}
+
+}  // namespace
+
+TEST(SubgraphCensus, KnownShapes) {
+  // C4: exactly one 4-cycle, 4 wedges, nothing else.
+  auto c4 = subgraph_count(Graph(cycle_graph(4), Kind::undirected));
+  EXPECT_EQ(c4.four_cycles, 1u);
+  EXPECT_EQ(c4.wedges, 4u);
+  EXPECT_EQ(c4.triangles, 0u);
+  EXPECT_EQ(c4.claws, 0u);
+
+  // K4: 4 triangles, 3 four-cycles, 12 wedges, 4 claws.
+  auto k4 = subgraph_count(Graph(complete_graph(4), Kind::undirected));
+  EXPECT_EQ(k4.triangles, 4u);
+  EXPECT_EQ(k4.four_cycles, 3u);
+  EXPECT_EQ(k4.wedges, 12u);
+  EXPECT_EQ(k4.claws, 4u);
+
+  // Star K1,4: C(4,2)=6 wedges, C(4,3)=4 claws.
+  auto s = subgraph_count(Graph(star_graph(5), Kind::undirected));
+  EXPECT_EQ(s.wedges, 6u);
+  EXPECT_EQ(s.claws, 4u);
+  EXPECT_EQ(s.four_cycles, 0u);
+}
+
+TEST(SubgraphCensus, RandomGraphsMatchBruteForce) {
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    expect_census_matches(Graph(erdos_renyi(30, 120, seed), Kind::undirected));
+  }
+  expect_census_matches(Graph(rmat(5, 6, 6), Kind::undirected));
+  expect_census_matches(Graph(grid2d(5, 5), Kind::undirected));
+}
+
+// --- Weisfeiler-Lehman kernel ------------------------------------------------
+
+namespace {
+
+/// Vertex-permuted copy of a graph.
+gb::Matrix<double> permuted(const gb::Matrix<double>& a, std::uint64_t seed) {
+  const Index n = a.nrows();
+  std::vector<Index> perm(n);
+  for (Index i = 0; i < n; ++i) perm[i] = i;
+  std::mt19937_64 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  a.extract_tuples(r, c, v);
+  for (auto& x : r) x = perm[x];
+  for (auto& x : c) x = perm[x];
+  gb::Matrix<double> out(n, n);
+  out.build(r, c, v, gb::First{});
+  return out;
+}
+
+}  // namespace
+
+TEST(WlKernel, IsomorphismInvariant) {
+  auto a = rmat(5, 4, 9);
+  Graph g1(a.dup(), Kind::undirected);
+  Graph g2(permuted(a, 17), Kind::undirected);
+  // k(G, pi(G)) == k(G, G): WL features are permutation-invariant.
+  EXPECT_DOUBLE_EQ(wl_kernel(g1, g2, 3), wl_kernel(g1, g1, 3));
+}
+
+TEST(WlKernel, DistinguishesDifferentStructures) {
+  Graph path(path_graph(6), Kind::undirected);
+  Graph star(star_graph(6), Kind::undirected);
+  double kpp = wl_kernel(path, path, 3);
+  double kss = wl_kernel(star, star, 3);
+  double kps = wl_kernel(path, star, 3);
+  // Cauchy-Schwarz with strict inequality for structurally distinct graphs.
+  EXPECT_LT(kps * kps, kpp * kss);
+}
+
+TEST(WlKernel, KnownBlindSpot) {
+  // C6 vs 2xC3: both 2-regular — 1-WL provably cannot distinguish them.
+  // Documenting the limitation is part of implementing the kernel.
+  Graph c6(cycle_graph(6), Kind::undirected);
+  gb::Matrix<double> two_tri(6, 6);
+  auto add = [&two_tri](Index u, Index v) {
+    two_tri.set_element(u, v, 1.0);
+    two_tri.set_element(v, u, 1.0);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(2, 0);
+  add(3, 4);
+  add(4, 5);
+  add(5, 3);
+  Graph tt(std::move(two_tri), Kind::undirected);
+  EXPECT_DOUBLE_EQ(wl_kernel(c6, tt, 3), wl_kernel(c6, c6, 3));
+}
+
+TEST(WlKernel, LabelsRefineByStructure) {
+  // On a path, endpoints / next-to-endpoints / middles split by round.
+  Graph g(path_graph(7), Kind::undirected);
+  auto l0 = to_dense_std(wl_labels(g, 0), std::uint64_t{0});
+  auto l2 = to_dense_std(wl_labels(g, 2), std::uint64_t{0});
+  EXPECT_EQ(l0[1], l0[3]);  // degree-2 vertices share the initial label
+  EXPECT_NE(l2[1], l2[3]);  // 2 rounds separate them by distance to the end
+  EXPECT_EQ(l2[1], l2[5]);  // symmetry preserved
+}
+
+// --- GCN inference -------------------------------------------------------------
+
+TEST(Gcn, MatchesDenseComputation) {
+  auto adj = erdos_renyi(10, 30, 7);
+  Graph g(adj.dup(), Kind::undirected);
+
+  auto x = random_matrix(10, 4, 30, 8);
+  auto w1 = random_matrix(4, 5, 15, 9);
+  auto w2 = random_matrix(5, 2, 8, 10);
+  auto out = gcn_inference(g, x, {w1, w2});
+  EXPECT_EQ(out.nrows(), 10u);
+  EXPECT_EQ(out.ncols(), 2u);
+
+  // Dense recomputation.
+  const Index n = 10;
+  std::vector<std::vector<double>> ad(n, std::vector<double>(n, 0.0));
+  {
+    std::vector<Index> r, c;
+    std::vector<double> v;
+    adj.extract_tuples(r, c, v);
+    for (std::size_t k = 0; k < r.size(); ++k) ad[r[k]][c[k]] = v[k];
+    for (Index i = 0; i < n; ++i) ad[i][i] += 1.0;
+    std::vector<double> dsq(n);
+    for (Index i = 0; i < n; ++i) {
+      double s = 0;
+      for (Index j = 0; j < n; ++j) s += ad[i][j];
+      dsq[i] = 1.0 / std::sqrt(s);
+    }
+    for (Index i = 0; i < n; ++i)
+      for (Index j = 0; j < n; ++j) ad[i][j] *= dsq[i] * dsq[j];
+  }
+  auto dense_of = [](const gb::Matrix<double>& m) {
+    std::vector<std::vector<double>> d(m.nrows(),
+                                       std::vector<double>(m.ncols(), 0.0));
+    std::vector<Index> r, c;
+    std::vector<double> v;
+    m.extract_tuples(r, c, v);
+    for (std::size_t k = 0; k < r.size(); ++k) d[r[k]][c[k]] = v[k];
+    return d;
+  };
+  auto matmul = [](const auto& a, const auto& b) {
+    std::vector<std::vector<double>> c(a.size(),
+                                       std::vector<double>(b[0].size(), 0.0));
+    for (std::size_t i = 0; i < a.size(); ++i)
+      for (std::size_t k = 0; k < b.size(); ++k)
+        for (std::size_t j = 0; j < b[0].size(); ++j)
+          c[i][j] += a[i][k] * b[k][j];
+    return c;
+  };
+  auto h = matmul(matmul(ad, dense_of(x)), dense_of(w1));
+  for (auto& row : h)
+    for (auto& e : row) e = std::max(e, 0.0);
+  auto logits = matmul(matmul(ad, h), dense_of(w2));
+
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < 2; ++j) {
+      double got = out.extract_element(i, j).value_or(0.0);
+      EXPECT_NEAR(got, logits[i][j], 1e-9) << i << "," << j;
+    }
+  }
+}
+
+TEST(Gcn, ValidatesShapes) {
+  Graph g(cycle_graph(5), Kind::undirected);
+  auto x = random_matrix(5, 3, 8, 1);
+  auto bad_w = random_matrix(7, 2, 5, 2);
+  EXPECT_THROW(gcn_inference(g, x, {bad_w}), gb::Error);
+  EXPECT_THROW(gcn_inference(g, x, {}), gb::Error);
+  auto wrong_x = random_matrix(4, 3, 8, 3);
+  auto w = random_matrix(3, 2, 5, 4);
+  EXPECT_THROW(gcn_inference(g, wrong_x, {w}), gb::Error);
+}
+
+TEST(Gcn, SingleLayerIsLinear) {
+  // One layer: logits may be negative (no ReLU on the last layer).
+  Graph g(path_graph(4), Kind::undirected);
+  gb::Matrix<double> x(4, 1);
+  for (Index i = 0; i < 4; ++i) x.set_element(i, 0, 1.0);
+  gb::Matrix<double> w(1, 1);
+  w.set_element(0, 0, -2.0);
+  auto out = gcn_inference(g, x, {w});
+  EXPECT_EQ(out.nvals(), 4u);
+  EXPECT_LT(out.extract_element(0, 0).value(), 0.0);
+}

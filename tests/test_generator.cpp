@@ -1,0 +1,97 @@
+// Graph generators: structural invariants and the scale-free degree skew
+// that the direction-optimisation experiments rely on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "lagraph/util/stats.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+TEST(Generator, PathCycleStarComplete) {
+  auto p = path_graph(5);
+  EXPECT_EQ(p.nvals(), 8u);  // 4 edges x2
+  auto c = cycle_graph(5);
+  EXPECT_EQ(c.nvals(), 10u);
+  auto s = star_graph(5);
+  EXPECT_EQ(s.nvals(), 8u);
+  auto k = complete_graph(4);
+  EXPECT_EQ(k.nvals(), 12u);
+
+  Graph gp(path_graph(5), Kind::undirected);
+  EXPECT_TRUE(gp.is_symmetric());
+  EXPECT_EQ(gp.nself_edges(), 0u);
+}
+
+TEST(Generator, Grid2dStructure) {
+  auto g = grid2d(3, 4);
+  EXPECT_EQ(g.nrows(), 12u);
+  // 3*3 horizontal + 2*4 vertical = 17 edges, stored twice.
+  EXPECT_EQ(g.nvals(), 34u);
+  Graph gg(std::move(g), Kind::undirected);
+  EXPECT_TRUE(gg.is_symmetric());
+  auto deg = to_dense_std(gg.out_degree(), std::int64_t{0});
+  EXPECT_EQ(*std::max_element(deg.begin(), deg.end()), 4);
+  EXPECT_EQ(*std::min_element(deg.begin(), deg.end()), 2);
+}
+
+TEST(Generator, Grid2dWeighted) {
+  auto g = grid2d(4, 4, 7, 10.0);
+  Graph gg(std::move(g), Kind::undirected);
+  EXPECT_TRUE(gg.is_symmetric());  // weights mirrored exactly
+  double mx = gb::reduce_scalar(gb::max_monoid<double>(), gg.adj());
+  double mn = gb::reduce_scalar(gb::min_monoid<double>(), gg.adj());
+  EXPECT_GE(mn, 1.0);
+  EXPECT_LE(mx, 10.0);
+  EXPECT_GT(mx, mn);
+}
+
+TEST(Generator, ErdosRenyiBasics) {
+  auto g = erdos_renyi(200, 600, 42);
+  EXPECT_EQ(g.nrows(), 200u);
+  EXPECT_GT(g.nvals(), 800u);  // ~1200 minus collisions/self-loops
+  Graph gg(std::move(g), Kind::undirected);
+  EXPECT_TRUE(gg.is_symmetric());
+  EXPECT_EQ(gg.nself_edges(), 0u);
+}
+
+TEST(Generator, RmatIsSkewed) {
+  auto g = rmat(10, 8, 1);  // 1024 vertices, ~8192 edges
+  Graph gg(std::move(g), Kind::undirected);
+  auto s = graph_stats(gg);
+  EXPECT_EQ(s.n, 1024u);
+  EXPECT_TRUE(s.symmetric);
+  // Power-law-ish: the max degree dwarfs the mean (uniform graphs have
+  // max/mean close to 1).
+  EXPECT_GT(static_cast<double>(s.max_degree), 6.0 * s.mean_degree);
+}
+
+TEST(Generator, RmatDeterministicPerSeed) {
+  auto a = rmat(8, 4, 7);
+  auto b = rmat(8, 4, 7);
+  auto c = rmat(8, 4, 8);
+  EXPECT_TRUE(isequal(a, b));
+  EXPECT_FALSE(isequal(a, c));
+}
+
+TEST(Generator, RandomizeWeightsKeepsPatternSymmetric) {
+  auto a = erdos_renyi(50, 120, 3);
+  auto w = randomize_weights(a, 1.0, 9.0, 11);
+  EXPECT_EQ(a.nvals(), w.nvals());
+  Graph gw(std::move(w), Kind::undirected);
+  EXPECT_TRUE(gw.is_symmetric());  // pairwise weights derived symmetrically
+}
+
+TEST(Generator, RandomMatrixAndVector) {
+  auto m = random_matrix(20, 30, 100, 5);
+  EXPECT_EQ(m.nrows(), 20u);
+  EXPECT_EQ(m.ncols(), 30u);
+  EXPECT_GT(m.nvals(), 80u);
+  auto v = random_vector(100, 30, 6);
+  EXPECT_GT(v.nvals(), 20u);
+  EXPECT_LE(v.nvals(), 30u);
+}

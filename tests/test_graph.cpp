@@ -1,0 +1,122 @@
+// lagraph::Graph cached properties and the stats utilities.
+#include <gtest/gtest.h>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "lagraph/util/stats.hpp"
+
+using gb::Index;
+using lagraph::Graph;
+using lagraph::Kind;
+
+namespace {
+
+Graph triangle_plus_tail() {
+  // 0-1-2 triangle, 2-3 tail, one self-loop at 3 (undirected).
+  gb::Matrix<double> a(4, 4);
+  auto add = [&a](Index u, Index v) {
+    a.set_element(u, v, 1.0);
+    a.set_element(v, u, 1.0);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(0, 2);
+  add(2, 3);
+  a.set_element(3, 3, 1.0);
+  return Graph(std::move(a), Kind::undirected);
+}
+
+}  // namespace
+
+TEST(Graph, RequiresSquare) {
+  gb::Matrix<double> a(2, 3);
+  EXPECT_THROW(Graph(std::move(a), Kind::directed), gb::Error);
+}
+
+TEST(Graph, Degrees) {
+  auto g = triangle_plus_tail();
+  auto deg = lagraph::to_dense_std(g.out_degree(), std::int64_t{0});
+  EXPECT_EQ(deg, (std::vector<std::int64_t>{2, 2, 3, 2}));  // 3 has loop + 2
+  auto indeg = lagraph::to_dense_std(g.in_degree(), std::int64_t{0});
+  EXPECT_EQ(indeg, deg);  // symmetric
+}
+
+TEST(Graph, SymmetryDetection) {
+  auto g = triangle_plus_tail();
+  EXPECT_TRUE(g.is_symmetric());
+
+  gb::Matrix<double> d(3, 3);
+  d.set_element(0, 1, 1.0);
+  Graph dg(std::move(d), Kind::directed);
+  EXPECT_FALSE(dg.is_symmetric());
+
+  // Same pattern, different values: not symmetric.
+  gb::Matrix<double> vneq(2, 2);
+  vneq.set_element(0, 1, 1.0);
+  vneq.set_element(1, 0, 2.0);
+  Graph vg(std::move(vneq), Kind::directed);
+  EXPECT_FALSE(vg.is_symmetric());
+}
+
+TEST(Graph, SelfEdges) {
+  auto g = triangle_plus_tail();
+  EXPECT_EQ(g.nself_edges(), 1u);
+}
+
+TEST(Graph, UndirectedViewSymmetrizes) {
+  gb::Matrix<double> d(3, 3);
+  d.set_element(0, 1, 5.0);
+  d.set_element(2, 0, 7.0);
+  Graph g(std::move(d), Kind::directed);
+  const auto& s = g.undirected_view();
+  EXPECT_EQ(s.extract_element(1, 0).value(), 5.0);
+  EXPECT_EQ(s.extract_element(0, 2).value(), 7.0);
+  EXPECT_EQ(s.nvals(), 4u);
+}
+
+TEST(Graph, UndirectedViewIgnoresFalseDeclaredKind) {
+  // Regression: a Graph declared undirected but built from an asymmetric
+  // matrix used to hand half-edges to every undirected algorithm. The view
+  // must trust the actual pattern.
+  gb::Matrix<double> a(4, 4);
+  a.set_element(1, 2, 3.5);  // one directed edge only
+  Graph g(std::move(a), Kind::undirected);
+  const auto& s = g.undirected_view();
+  EXPECT_EQ(s.nvals(), 2u);
+  EXPECT_EQ(s.extract_element(2, 1).value(), 3.5);
+
+  auto cc = lagraph::connected_components(g);
+  EXPECT_EQ(cc.extract_element(2).value(), 1u);  // 1 and 2 connected
+}
+
+TEST(Graph, StatsAndDescribe) {
+  auto g = triangle_plus_tail();
+  auto s = lagraph::graph_stats(g);
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_EQ(s.nedges, 9u);  // 4 undirected edges x2 + loop
+  EXPECT_EQ(s.nself, 1u);
+  EXPECT_TRUE(s.symmetric);
+  EXPECT_EQ(s.max_degree, 3);
+  EXPECT_EQ(s.isolated, 0u);
+  auto text = lagraph::describe(g);
+  EXPECT_NE(text.find("n=4"), std::string::npos);
+  EXPECT_NE(text.find("symmetric"), std::string::npos);
+}
+
+TEST(Graph, DegreeHistogram) {
+  auto a = lagraph::star_graph(9);  // hub degree 8, leaves degree 1
+  Graph g(std::move(a), Kind::undirected);
+  auto hist = lagraph::degree_histogram(g);
+  ASSERT_EQ(hist.size(), 4u);  // buckets up to [8,16)
+  EXPECT_EQ(hist[0], 8u);      // eight leaves
+  EXPECT_EQ(hist[3], 1u);      // one hub
+}
+
+TEST(Graph, InvalidateCacheRecomputes) {
+  auto g = triangle_plus_tail();
+  (void)g.out_degree();
+  g.invalidate_cache();
+  auto deg = lagraph::to_dense_std(g.out_degree(), std::int64_t{0});
+  EXPECT_EQ(deg[2], 3);
+}

@@ -1,0 +1,131 @@
+// §IV: O(1) import/export by move. The arrays change hands; the exported
+// matrix is left empty; an export-then-import reconstructs the matrix
+// perfectly.
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+
+using gb::Index;
+using gb::Matrix;
+
+namespace {
+
+Matrix<double> sample() {
+  Matrix<double> a(4, 5);
+  std::vector<Index> r = {0, 0, 1, 3, 3};
+  std::vector<Index> c = {1, 4, 2, 0, 3};
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  a.build(r, c, v, gb::Plus{});
+  return a;
+}
+
+}  // namespace
+
+TEST(ImportExport, CsrRoundTrip) {
+  auto a = sample();
+  std::vector<Index> r0, c0;
+  std::vector<double> v0;
+  a.extract_tuples(r0, c0, v0);
+
+  auto arrays = a.export_csr();
+  EXPECT_EQ(a.nvals(), 0u);  // contents moved out (§IV: "destroyed")
+  EXPECT_EQ(arrays.p.size(), 5u);
+  EXPECT_EQ(arrays.i.size(), 5u);
+  EXPECT_EQ(arrays.p.back(), 5u);
+
+  auto b = Matrix<double>::import_csr(arrays.nrows, arrays.ncols,
+                                      std::move(arrays.p),
+                                      std::move(arrays.i),
+                                      std::move(arrays.x));
+  std::vector<Index> r1, c1;
+  std::vector<double> v1;
+  b.extract_tuples(r1, c1, v1);
+  EXPECT_EQ(r0, r1);
+  EXPECT_EQ(c0, c1);
+  EXPECT_EQ(v0, v1);
+}
+
+TEST(ImportExport, CscRoundTrip) {
+  auto a = sample();
+  std::vector<Index> r0, c0;
+  std::vector<double> v0;
+  a.extract_tuples(r0, c0, v0);
+
+  auto arrays = a.export_csc();
+  EXPECT_EQ(arrays.p.size(), 6u);  // ncols + 1
+  auto b = Matrix<double>::import_csc(arrays.nrows, arrays.ncols,
+                                      std::move(arrays.p),
+                                      std::move(arrays.i),
+                                      std::move(arrays.x));
+  std::vector<Index> r1, c1;
+  std::vector<double> v1;
+  b.extract_tuples(r1, c1, v1);
+  EXPECT_EQ(r0, r1);
+  EXPECT_EQ(c0, c1);
+  EXPECT_EQ(v0, v1);
+}
+
+TEST(ImportExport, ImportValidates) {
+  std::vector<Index> p = {0, 1};  // wrong size for 3 rows
+  std::vector<Index> i = {0};
+  std::vector<double> x = {1.0};
+  EXPECT_THROW(Matrix<double>::import_csr(3, 3, std::move(p), std::move(i),
+                                          std::move(x)),
+               gb::Error);
+}
+
+TEST(ImportExport, ImportedMatrixIsFullyOperational) {
+  // Build CSR arrays by hand: 3x3, row 0 -> {1:2.0}, row 2 -> {0:5.0, 2:7.0}.
+  std::vector<Index> p = {0, 1, 1, 3};
+  std::vector<Index> i = {1, 0, 2};
+  std::vector<double> x = {2.0, 5.0, 7.0};
+  auto a = Matrix<double>::import_csr(3, 3, std::move(p), std::move(i),
+                                      std::move(x));
+  EXPECT_EQ(a.nvals(), 3u);
+  EXPECT_EQ(a.extract_element(2, 0).value(), 5.0);
+
+  // The imported object supports incremental updates and operations.
+  a.set_element(1, 1, 9.0);
+  EXPECT_EQ(a.nvals(), 4u);
+  gb::Vector<double> u(3);
+  u.set_element(2, 1.0);
+  gb::Vector<double> w(3);
+  gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u);
+  EXPECT_EQ(w.extract_element(2).value(), 7.0);
+}
+
+TEST(ImportExport, ExportAfterImportIsPerfectReconstruction) {
+  // "After an export of A, and then an import of the same arrays, the
+  // GraphBLAS matrix A is perfectly reconstructed" (§IV).
+  auto a = sample();
+  auto arrays = a.export_csr();
+  auto b = Matrix<double>::import_csr(arrays.nrows, arrays.ncols,
+                                      std::move(arrays.p),
+                                      std::move(arrays.i),
+                                      std::move(arrays.x));
+  auto arrays2 = b.export_csr();
+  auto c = Matrix<double>::import_csr(arrays2.nrows, arrays2.ncols,
+                                      std::move(arrays2.p),
+                                      std::move(arrays2.i),
+                                      std::move(arrays2.x));
+  auto d = sample();
+  std::vector<Index> r1, c1, r2, c2;
+  std::vector<double> v1, v2;
+  c.extract_tuples(r1, c1, v1);
+  d.extract_tuples(r2, c2, v2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(ImportExport, ExportOfByColMatrixStillYieldsCsr) {
+  // "If the GraphBLAS implementation does not support the format ... the
+  // effect is the same; only the performance differs" (§IV).
+  Matrix<double> a(3, 3, gb::Layout::by_col);
+  a.set_element(0, 2, 1.0);
+  a.set_element(2, 1, 2.0);
+  auto arrays = a.export_csr();
+  EXPECT_EQ(arrays.p.size(), 4u);
+  EXPECT_EQ(arrays.p.back(), 2u);
+  EXPECT_EQ(arrays.i[0], 2u);  // row 0 holds column 2
+}

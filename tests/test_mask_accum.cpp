@@ -1,0 +1,153 @@
+// The accum-then-mask write-back rule, validated against the independent
+// dense restatement in reference/dense_ref.hpp across the full descriptor
+// sweep. This is the single most important conformance surface: every
+// operation funnels through it.
+#include <gtest/gtest.h>
+
+#include "test_common.hpp"
+
+using namespace testutil;
+using gb::Index;
+
+namespace {
+
+// Drive write-back through gb::apply with Identity (the thinnest wrapper
+// around it) and mirror with the dense mimic.
+void check_vector_case(double cdens, double mdens, double tdens, bool accum,
+                       const gb::Descriptor& d, std::uint64_t seed) {
+  const Index n = 40;
+  auto c = random_vector(n, cdens, seed);
+  auto m = random_vector(n, mdens, seed + 1);
+  auto t = random_vector(n, tdens, seed + 2);
+
+  auto dc = ref::from_gb(c);
+  auto dm = ref::from_gb(m);
+  auto dt = ref::from_gb(t);
+
+  gb::Plus plus;
+  if (accum) {
+    gb::apply(c, m, plus, gb::Identity{}, t, d);
+    ref::apply(dc, &dm, &plus, gb::Identity{}, dt, d);
+  } else {
+    gb::apply(c, m, gb::no_accum, gb::Identity{}, t, d);
+    ref::apply(dc, &dm, static_cast<const gb::Plus*>(nullptr), gb::Identity{},
+               dt, d);
+  }
+  EXPECT_TRUE(ref::equal(dc, c)) << "desc=" << desc_name(d)
+                                 << " accum=" << accum << " seed=" << seed;
+}
+
+void check_matrix_case(double cdens, double mdens, double tdens, bool accum,
+                       const gb::Descriptor& d, std::uint64_t seed) {
+  const Index n = 12, m = 9;
+  auto c = random_matrix(n, m, cdens, seed);
+  auto mask = random_matrix(n, m, mdens, seed + 1);
+  auto t = random_matrix(n, m, tdens, seed + 2);
+
+  auto dc = ref::from_gb(c);
+  auto dmask = ref::from_gb(mask);
+  auto dt = ref::from_gb(t);
+
+  gb::Plus plus;
+  if (accum) {
+    gb::apply(c, mask, plus, gb::Identity{}, t, d);
+    ref::apply(dc, &dmask, &plus, gb::Identity{}, dt, d);
+  } else {
+    gb::apply(c, mask, gb::no_accum, gb::Identity{}, t, d);
+    ref::apply(dc, &dmask, static_cast<const gb::Plus*>(nullptr),
+               gb::Identity{}, dt, d);
+  }
+  EXPECT_TRUE(ref::equal(dc, c)) << "desc=" << desc_name(d)
+                                 << " accum=" << accum << " seed=" << seed;
+}
+
+}  // namespace
+
+class WriteBackSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WriteBackSweep, VectorMatchesDenseMimic) {
+  std::uint64_t seed = 1000 + GetParam() * 17;
+  for (const auto& d : mask_descriptor_sweep()) {
+    for (bool accum : {false, true}) {
+      check_vector_case(0.4, 0.5, 0.4, accum, d, seed);
+      check_vector_case(0.0, 0.5, 0.4, accum, d, seed + 3);  // empty C
+      check_vector_case(0.4, 0.5, 0.0, accum, d, seed + 6);  // empty T
+      check_vector_case(1.0, 0.3, 1.0, accum, d, seed + 9);  // dense C, T
+    }
+  }
+}
+
+TEST_P(WriteBackSweep, MatrixMatchesDenseMimic) {
+  std::uint64_t seed = 2000 + GetParam() * 23;
+  for (const auto& d : mask_descriptor_sweep()) {
+    for (bool accum : {false, true}) {
+      check_matrix_case(0.3, 0.4, 0.3, accum, d, seed);
+      check_matrix_case(0.0, 0.4, 0.3, accum, d, seed + 3);
+      check_matrix_case(0.3, 0.4, 0.0, accum, d, seed + 6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteBackSweep, ::testing::Range(0, 5));
+
+TEST(WriteBack, UnmaskedNoAccumReplacesContents) {
+  auto c = random_vector(20, 0.5, 7);
+  gb::Vector<double> t(20);
+  t.set_element(3, 42.0);
+  gb::apply(c, gb::no_mask, gb::no_accum, gb::Identity{}, t);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_EQ(c.extract_element(3).value(), 42.0);
+}
+
+TEST(WriteBack, ValuedMaskIgnoresZeroEntries) {
+  gb::Vector<double> c(4);
+  gb::Vector<double> mask(4);
+  mask.set_element(0, 0.0);  // present but false-valued
+  mask.set_element(1, 2.0);
+  auto t = gb::Vector<double>::full(4, 5.0);
+  gb::apply(c, mask, gb::no_accum, gb::Identity{}, t);
+  EXPECT_EQ(c.nvals(), 1u);  // only position 1 writable
+  EXPECT_EQ(c.extract_element(1).value(), 5.0);
+
+  // Structural: position 0 becomes writable too.
+  gb::Vector<double> c2(4);
+  gb::apply(c2, mask, gb::no_accum, gb::Identity{}, t, gb::desc_s);
+  EXPECT_EQ(c2.nvals(), 2u);
+}
+
+TEST(WriteBack, ReplaceDeletesOutsideMask) {
+  auto c = gb::Vector<double>::full(4, 1.0);
+  gb::Vector<bool> mask(4);
+  mask.set_element(2, true);
+  gb::Vector<double> t(4);
+  t.set_element(2, 9.0);
+  // With replace: everything outside the mask is deleted.
+  gb::apply(c, mask, gb::no_accum, gb::Identity{}, t, gb::desc_rs);
+  EXPECT_EQ(c.nvals(), 1u);
+  EXPECT_EQ(c.extract_element(2).value(), 9.0);
+}
+
+TEST(WriteBack, NoReplaceKeepsOutsideMask) {
+  auto c = gb::Vector<double>::full(4, 1.0);
+  gb::Vector<bool> mask(4);
+  mask.set_element(2, true);
+  gb::Vector<double> t(4);
+  t.set_element(2, 9.0);
+  gb::apply(c, mask, gb::no_accum, gb::Identity{}, t, gb::desc_s);
+  EXPECT_EQ(c.nvals(), 4u);
+  EXPECT_EQ(c.extract_element(2).value(), 9.0);
+  EXPECT_EQ(c.extract_element(0).value(), 1.0);
+}
+
+TEST(WriteBack, AccumulatorUnionSemantics) {
+  gb::Vector<double> c(4);
+  c.set_element(0, 1.0);
+  c.set_element(1, 2.0);
+  gb::Vector<double> t(4);
+  t.set_element(1, 10.0);
+  t.set_element(2, 20.0);
+  gb::apply(c, gb::no_mask, gb::Plus{}, gb::Identity{}, t);
+  EXPECT_EQ(c.extract_element(0).value(), 1.0);   // C only: kept
+  EXPECT_EQ(c.extract_element(1).value(), 12.0);  // both: accumulated
+  EXPECT_EQ(c.extract_element(2).value(), 20.0);  // T only: inserted
+}

@@ -1,0 +1,139 @@
+// GrB_Matrix object semantics.
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+
+using gb::Index;
+using gb::Matrix;
+using gb::Vector;
+
+TEST(Matrix, EmptyAndShape) {
+  Matrix<double> a(3, 5);
+  EXPECT_EQ(a.nrows(), 3u);
+  EXPECT_EQ(a.ncols(), 5u);
+  EXPECT_EQ(a.nvals(), 0u);
+}
+
+TEST(Matrix, SetExtractRemove) {
+  Matrix<double> a(4, 4);
+  a.set_element(1, 2, 1.5);
+  a.set_element(3, 0, 3.5);
+  EXPECT_EQ(a.nvals(), 2u);
+  EXPECT_EQ(a.extract_element(1, 2).value(), 1.5);
+  EXPECT_FALSE(a.extract_element(0, 0).has_value());
+  a.remove_element(1, 2);
+  EXPECT_EQ(a.nvals(), 1u);
+  EXPECT_FALSE(a.extract_element(1, 2).has_value());
+  EXPECT_THROW(a.set_element(4, 0, 1.0), gb::Error);
+  EXPECT_THROW((void)a.extract_element(0, 9), gb::Error);
+}
+
+TEST(Matrix, SetOverwritesAndRemoveAfterWait) {
+  Matrix<int> a(3, 3);
+  a.set_element(0, 0, 1);
+  a.set_element(0, 0, 2);
+  EXPECT_EQ(a.nvals(), 1u);  // forces the wait
+  EXPECT_EQ(a.extract_element(0, 0).value(), 2);
+  // Now the entry is in the materialised store; removal uses a zombie.
+  a.remove_element(0, 0);
+  EXPECT_EQ(a.nvals(), 0u);
+}
+
+TEST(Matrix, BuildWithDuplicates) {
+  Matrix<double> a(3, 3);
+  std::vector<Index> r = {0, 1, 0, 2, 0};
+  std::vector<Index> c = {1, 2, 1, 0, 2};
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  a.build(r, c, v, gb::Plus{});
+  EXPECT_EQ(a.nvals(), 4u);
+  EXPECT_EQ(a.extract_element(0, 1).value(), 4.0);  // 1+3
+  EXPECT_EQ(a.extract_element(2, 0).value(), 4.0);
+}
+
+TEST(Matrix, BuildRejectsNonEmpty) {
+  Matrix<double> a(2, 2);
+  a.set_element(0, 0, 1.0);
+  std::vector<Index> r = {1}, c = {1};
+  std::vector<double> v = {1.0};
+  EXPECT_THROW(a.build(r, c, v, gb::Plus{}), gb::Error);
+}
+
+TEST(Matrix, ExtractTuplesRowMajorSorted) {
+  Matrix<int> a(3, 3);
+  a.set_element(2, 0, 1);
+  a.set_element(0, 2, 2);
+  a.set_element(0, 1, 3);
+  std::vector<Index> r, c;
+  std::vector<int> v;
+  a.extract_tuples(r, c, v);
+  EXPECT_EQ(r, (std::vector<Index>{0, 0, 2}));
+  EXPECT_EQ(c, (std::vector<Index>{1, 2, 0}));
+  EXPECT_EQ(v, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(Matrix, IdentityAndDiag) {
+  auto i3 = Matrix<double>::identity(3, 2.0);
+  EXPECT_EQ(i3.nvals(), 3u);
+  EXPECT_EQ(i3.extract_element(1, 1).value(), 2.0);
+  EXPECT_FALSE(i3.extract_element(0, 1).has_value());
+
+  Vector<double> v(4);
+  v.set_element(1, 5.0);
+  v.set_element(3, 7.0);
+  auto d = Matrix<double>::diag(v);
+  EXPECT_EQ(d.nvals(), 2u);
+  EXPECT_EQ(d.extract_element(3, 3).value(), 7.0);
+}
+
+TEST(Matrix, ResizeDropsOutOfRange) {
+  Matrix<double> a(4, 4);
+  a.set_element(0, 0, 1.0);
+  a.set_element(3, 3, 2.0);
+  a.set_element(1, 3, 3.0);
+  a.resize(2, 2);
+  EXPECT_EQ(a.nrows(), 2u);
+  EXPECT_EQ(a.nvals(), 1u);
+  a.resize(8, 8);
+  EXPECT_EQ(a.nvals(), 1u);
+  EXPECT_EQ(a.extract_element(0, 0).value(), 1.0);
+}
+
+TEST(Matrix, DupIsDeepCopy) {
+  Matrix<double> a(2, 2);
+  a.set_element(0, 1, 1.0);
+  auto b = a.dup();
+  b.set_element(1, 0, 2.0);
+  EXPECT_EQ(a.nvals(), 1u);
+  EXPECT_EQ(b.nvals(), 2u);
+}
+
+TEST(Matrix, ClearKeepsShape) {
+  Matrix<double> a(5, 7);
+  a.set_element(4, 6, 1.0);
+  a.clear();
+  EXPECT_EQ(a.nvals(), 0u);
+  EXPECT_EQ(a.nrows(), 5u);
+  EXPECT_EQ(a.ncols(), 7u);
+}
+
+TEST(Matrix, MemoryBytesGrowsWithEntries) {
+  Matrix<double> a(100, 100);
+  auto empty_bytes = a.memory_bytes();
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  for (Index i = 0; i < 100; ++i) {
+    r.push_back(i);
+    c.push_back((i * 7) % 100);
+    v.push_back(1.0);
+  }
+  a.build(r, c, v, gb::Plus{});
+  EXPECT_GT(a.memory_bytes(), empty_bytes);
+}
+
+TEST(Matrix, BoolMatrixWorks) {
+  Matrix<bool> a(3, 3);
+  a.set_element(0, 1, true);
+  a.set_element(1, 2, true);
+  EXPECT_EQ(a.nvals(), 2u);
+  EXPECT_EQ(a.extract_element(0, 1).value(), true);
+}

@@ -1,0 +1,102 @@
+// Matrix Market I/O (§III).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/mmio.hpp"
+
+using gb::Index;
+
+TEST(Mmio, ReadCoordinateReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "3 4 2\n"
+      "1 2 1.5\n"
+      "3 4 -2.5\n");
+  auto a = lagraph::mm_read(in);
+  EXPECT_EQ(a.nrows(), 3u);
+  EXPECT_EQ(a.ncols(), 4u);
+  EXPECT_EQ(a.nvals(), 2u);
+  EXPECT_EQ(a.extract_element(0, 1).value(), 1.5);
+  EXPECT_EQ(a.extract_element(2, 3).value(), -2.5);
+}
+
+TEST(Mmio, ReadPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  auto a = lagraph::mm_read(in);
+  EXPECT_EQ(a.extract_element(0, 0).value(), 1.0);
+  EXPECT_EQ(a.extract_element(1, 1).value(), 1.0);
+}
+
+TEST(Mmio, SymmetricExpands) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  auto a = lagraph::mm_read(in);
+  EXPECT_EQ(a.nvals(), 3u);  // (1,0), (0,1), (2,2)
+  EXPECT_EQ(a.extract_element(0, 1).value(), 5.0);
+  EXPECT_EQ(a.extract_element(1, 0).value(), 5.0);
+}
+
+TEST(Mmio, SkewSymmetricNegates) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  auto a = lagraph::mm_read(in);
+  EXPECT_EQ(a.extract_element(1, 0).value(), 3.0);
+  EXPECT_EQ(a.extract_element(0, 1).value(), -3.0);
+}
+
+TEST(Mmio, ArrayFormat) {
+  std::istringstream in(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1.0\n0.0\n0.0\n4.0\n");  // column-major
+  auto a = lagraph::mm_read(in);
+  EXPECT_EQ(a.nvals(), 2u);
+  EXPECT_EQ(a.extract_element(0, 0).value(), 1.0);
+  EXPECT_EQ(a.extract_element(1, 1).value(), 4.0);
+}
+
+TEST(Mmio, RejectsMalformed) {
+  auto reject = [](const char* text) {
+    std::istringstream in(text);
+    EXPECT_THROW(lagraph::mm_read(in), gb::Error) << text;
+  };
+  reject("not a banner\n1 1 0\n");
+  reject("%%MatrixMarket tensor coordinate real general\n1 1 0\n");
+  reject("%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+  reject("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  reject("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW(lagraph::mm_read("/nonexistent/path.mtx"), gb::Error);
+}
+
+TEST(Mmio, WriteReadRoundTrip) {
+  gb::Matrix<double> a(5, 3);
+  a.set_element(0, 2, 1.25);
+  a.set_element(4, 0, -9.5);
+  a.set_element(2, 1, 1e-17);
+  std::ostringstream out;
+  lagraph::mm_write(a, out);
+  std::istringstream in(out.str());
+  auto b = lagraph::mm_read(in);
+  EXPECT_TRUE(lagraph::isequal(a, b));
+}
+
+TEST(Mmio, FileRoundTrip) {
+  gb::Matrix<double> a(4, 4);
+  a.set_element(1, 2, 3.5);
+  const std::string path = "/tmp/lagraph_test_roundtrip.mtx";
+  lagraph::mm_write(a, path);
+  auto b = lagraph::mm_read(path);
+  EXPECT_TRUE(lagraph::isequal(a, b));
+}

@@ -1,0 +1,162 @@
+// mxv / vxm: push and pull must agree with each other and with the dense
+// mimic across semirings, masks, and transposes; the direction optimiser
+// must pick by density.
+#include <gtest/gtest.h>
+
+#include "lagraph/util/check.hpp"
+#include "test_common.hpp"
+
+using namespace testutil;
+using gb::Index;
+using gb::MxvMethod;
+
+class MxvSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MxvSweep, PushPullMimicAgreeUnmasked) {
+  std::uint64_t seed = 2500 + GetParam() * 79;
+  auto a = random_matrix(20, 20, 0.3, seed);
+  auto u = random_vector(20, 0.4, seed + 1);
+  auto da = ref::from_gb(a);
+  auto du = ref::from_gb(u);
+
+  for (bool ta : {false, true}) {
+    gb::Descriptor d;
+    d.transpose_a = ta;
+    ref::DenseVec<double> expect(20);
+    ref::mxv(expect, static_cast<const ref::DenseVec<bool>*>(nullptr),
+             static_cast<const gb::Plus*>(nullptr), gb::plus_times<double>(),
+             da, du, d);
+
+    for (auto method : {MxvMethod::push, MxvMethod::pull}) {
+      d.mxv = method;
+      gb::Vector<double> w(20);
+      auto used = gb::mxv(w, gb::no_mask, gb::no_accum,
+                          gb::plus_times<double>(), a, u, d);
+      EXPECT_EQ(used, method);
+      EXPECT_TRUE(ref::equal(expect, w))
+          << "method=" << static_cast<int>(method) << " ta=" << ta;
+    }
+  }
+}
+
+TEST_P(MxvSweep, MaskedVariantsMatchMimic) {
+  std::uint64_t seed = 2700 + GetParam() * 83;
+  auto a = random_matrix(16, 16, 0.35, seed);
+  auto u = random_vector(16, 0.5, seed + 1);
+  auto da = ref::from_gb(a);
+  auto du = ref::from_gb(u);
+
+  for (auto d : mask_descriptor_sweep()) {
+    auto m = random_vector(16, 0.5, seed + 2);
+    auto dm = ref::from_gb(m);
+    for (auto method : {MxvMethod::push, MxvMethod::pull}) {
+      d.mxv = method;
+      gb::Vector<double> w = random_vector(16, 0.3, seed + 3);
+      auto dw = ref::from_gb(w);
+      gb::Plus acc;
+      gb::mxv(w, m, acc, gb::min_plus<double>(), a, u, d);
+      ref::mxv(dw, &dm, &acc, gb::min_plus<double>(), da, du, d);
+      EXPECT_TRUE(ref::equal(dw, w))
+          << desc_name(d) << " method=" << static_cast<int>(method);
+    }
+  }
+}
+
+TEST_P(MxvSweep, VxmMatchesMimicWithNoncommutativeMul) {
+  // first/second are order-sensitive; vxm must flip operands correctly.
+  std::uint64_t seed = 2900 + GetParam() * 89;
+  auto a = random_matrix(14, 14, 0.35, seed);
+  auto u = random_vector(14, 0.5, seed + 1);
+  auto da = ref::from_gb(a);
+  auto du = ref::from_gb(u);
+
+  for (auto method : {MxvMethod::push, MxvMethod::pull}) {
+    gb::Descriptor d;
+    d.mxv = method;
+    gb::Vector<double> w(14);
+    gb::vxm(w, gb::no_mask, gb::no_accum, gb::min_first<double>(), u, a, d);
+    ref::DenseVec<double> dw(14);
+    ref::vxm(dw, static_cast<const ref::DenseVec<bool>*>(nullptr),
+             static_cast<const gb::Plus*>(nullptr), gb::min_first<double>(),
+             du, da);
+    EXPECT_TRUE(ref::equal(dw, w)) << "method=" << static_cast<int>(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MxvSweep, ::testing::Range(0, 5));
+
+TEST(Mxv, AutoSelectsByDensity) {
+  auto a = random_matrix(100, 100, 0.1, 11);
+  gb::Descriptor d;  // auto, threshold 1/32
+
+  gb::Vector<double> sparse_u(100);
+  sparse_u.set_element(0, 1.0);
+  gb::Vector<double> w(100);
+  EXPECT_EQ(gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a,
+                    sparse_u, d),
+            MxvMethod::push);
+
+  auto dense_u = gb::Vector<double>::full(100, 1.0);
+  EXPECT_EQ(gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a,
+                    dense_u, d),
+            MxvMethod::pull);
+}
+
+TEST(Mxv, TerminalEarlyExitSameResult) {
+  // lor_land over a row where the first hit already decides the output.
+  auto a = random_matrix(50, 50, 0.3, 13);
+  auto u = random_vector(50, 0.8, 14);
+  gb::Matrix<bool> ab(50, 50);
+  gb::apply(ab, gb::no_mask, gb::no_accum,
+            [](double x) { return x != 0.0; }, a);
+  gb::Vector<bool> ub(50);
+  gb::apply(ub, gb::no_mask, gb::no_accum,
+            [](double x) { return x != 0.0; }, u);
+
+  gb::Descriptor push_d, pull_d;
+  push_d.mxv = MxvMethod::push;
+  pull_d.mxv = MxvMethod::pull;
+  gb::Vector<bool> w1(50), w2(50);
+  gb::mxv(w1, gb::no_mask, gb::no_accum, gb::lor_land(), ab, ub, push_d);
+  gb::mxv(w2, gb::no_mask, gb::no_accum, gb::lor_land(), ab, ub, pull_d);
+  EXPECT_TRUE(lagraph::isequal(w1, w2));
+}
+
+TEST(Mxv, AnySemiringPicksSomeValue) {
+  gb::Matrix<double> a(3, 3);
+  a.set_element(0, 1, 5.0);
+  a.set_element(0, 2, 7.0);
+  gb::Vector<double> u(3);
+  u.set_element(1, 1.0);
+  u.set_element(2, 1.0);
+  gb::Vector<double> w(3);
+  gb::mxv(w, gb::no_mask, gb::no_accum, gb::any_first<double>(), a, u);
+  ASSERT_EQ(w.nvals(), 1u);
+  double v = w.extract_element(0).value();
+  EXPECT_TRUE(v == 5.0 || v == 7.0);
+}
+
+TEST(Mxv, HypersparseHugeDimensionPush) {
+  // The push path must work on enormous dimensions via the hash accumulator.
+  const Index huge = Index{1} << 40;
+  gb::Matrix<double> a(huge, huge, gb::Layout::by_col, gb::HyperMode::always);
+  a.set_element(3, 1000000000000ULL, 2.0);
+  a.set_element(huge - 1, 1000000000000ULL, 3.0);
+  gb::Vector<double> u(huge);
+  u.set_element(1000000000000ULL, 10.0);
+  gb::Vector<double> w(huge);
+  gb::Descriptor d;
+  d.mxv = MxvMethod::push;
+  gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u, d);
+  EXPECT_EQ(w.nvals(), 2u);
+  EXPECT_EQ(w.extract_element(3).value(), 20.0);
+  EXPECT_EQ(w.extract_element(huge - 1).value(), 30.0);
+}
+
+TEST(Mxv, DimensionChecks) {
+  gb::Matrix<double> a(3, 4);
+  gb::Vector<double> u(3), w(3);
+  EXPECT_THROW(
+      gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u),
+      gb::Error);
+}

@@ -1,0 +1,119 @@
+// Non-blocking mode (§II-A): zombies, pending tuples, and the single
+// sort-and-merge materialisation step.
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+
+using gb::Index;
+using gb::Matrix;
+using gb::Vector;
+
+TEST(NonBlocking, SetElementDefersWork) {
+  Matrix<double> a(100, 100);
+  for (Index i = 0; i < 50; ++i) a.set_element(i, i, 1.0);
+  // Before any read the tuples are pending.
+  EXPECT_TRUE(a.has_pending_work());
+  EXPECT_EQ(a.pending_count(), 50u);
+  // Any read materialises (the as-if rule).
+  EXPECT_EQ(a.nvals(), 50u);
+  EXPECT_FALSE(a.has_pending_work());
+  EXPECT_EQ(a.pending_count(), 0u);
+}
+
+TEST(NonBlocking, RemoveElementCreatesZombie) {
+  Matrix<double> a(10, 10);
+  a.set_element(1, 1, 1.0);
+  a.set_element(2, 2, 2.0);
+  a.wait();
+  a.remove_element(1, 1);
+  EXPECT_EQ(a.zombie_count(), 1u);
+  EXPECT_TRUE(a.has_pending_work());
+  EXPECT_EQ(a.nvals(), 1u);  // read kills the zombie
+  EXPECT_EQ(a.zombie_count(), 0u);
+}
+
+TEST(NonBlocking, PendingOverwritesStored) {
+  Matrix<double> a(4, 4);
+  a.set_element(0, 0, 1.0);
+  a.wait();
+  a.set_element(0, 0, 9.0);  // pending overwrite of a stored entry
+  a.set_element(0, 0, 11.0);  // last write wins among pending too
+  EXPECT_EQ(a.extract_element(0, 0).value(), 11.0);
+  EXPECT_EQ(a.nvals(), 1u);
+}
+
+TEST(NonBlocking, RemoveCancelsPendingInsert) {
+  Matrix<double> a(4, 4);
+  a.set_element(1, 2, 5.0);  // pending
+  a.remove_element(1, 2);    // must cancel it
+  EXPECT_EQ(a.nvals(), 0u);
+}
+
+TEST(NonBlocking, InterleavedSetRemoveSequence) {
+  Matrix<int> a(8, 8);
+  for (Index i = 0; i < 8; ++i) a.set_element(i, i, static_cast<int>(i));
+  a.wait();
+  a.remove_element(3, 3);
+  a.set_element(3, 3, 99);  // resurrect after zombie
+  a.remove_element(5, 5);
+  a.set_element(7, 0, 70);
+  EXPECT_EQ(a.nvals(), 8u);  // 8 - 1 (5,5) + 1 (7,0)
+  EXPECT_EQ(a.extract_element(3, 3).value(), 99);
+  EXPECT_FALSE(a.extract_element(5, 5).has_value());
+  EXPECT_EQ(a.extract_element(7, 0).value(), 70);
+}
+
+TEST(NonBlocking, SetElementLoopEqualsBuild) {
+  // §II-A's claim, checked for *equality of result* here (bench C2 checks
+  // the speed claim).
+  const Index n = 200;
+  Matrix<double> via_set(n, n);
+  Matrix<double> via_build(n, n);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  for (Index k = 0; k < 1000; ++k) {
+    Index i = (k * 37) % n, j = (k * 61) % n;
+    double x = static_cast<double>(k);
+    via_set.set_element(i, j, x);
+    r.push_back(i);
+    c.push_back(j);
+    v.push_back(x);
+  }
+  via_build.build(r, c, v, gb::Second{});  // last wins, like setElement
+  std::vector<Index> r1, c1, r2, c2;
+  std::vector<double> v1, v2;
+  via_set.extract_tuples(r1, c1, v1);
+  via_build.extract_tuples(r2, c2, v2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(NonBlocking, VectorPendingAndZombies) {
+  Vector<double> v(50);
+  for (Index i = 0; i < 25; ++i) v.set_element(i, 1.0);
+  EXPECT_TRUE(v.has_pending_work());
+  EXPECT_EQ(v.nvals(), 25u);
+  v.remove_element(10);
+  EXPECT_TRUE(v.has_pending_work());
+  EXPECT_EQ(v.nvals(), 24u);
+  v.set_element(10, 3.0);
+  EXPECT_EQ(v.extract_element(10).value(), 3.0);
+}
+
+TEST(NonBlocking, OperationsSeeMaterialisedState) {
+  // An operation must observe pending work as if already applied.
+  Matrix<double> a(5, 5);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 2, 1.0);
+  Vector<double> u(5);
+  u.set_element(0, 1.0);
+  Vector<double> w(5);
+  gb::vxm(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), u, a);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.extract_element(1).value(), 1.0);
+
+  a.remove_element(0, 1);
+  gb::vxm(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), u, a);
+  EXPECT_EQ(w.nvals(), 0u);
+}

@@ -1,0 +1,145 @@
+// Operator, monoid, and semiring semantics.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "graphblas/graphblas.hpp"
+
+using namespace gb;
+
+TEST(Ops, BinaryBasics) {
+  EXPECT_EQ(First{}(3, 7), 3);
+  EXPECT_EQ(Second{}(3, 7), 7);
+  EXPECT_EQ(Pair{}(3.5, 7.5), 1);
+  EXPECT_EQ(Plus{}(3, 7), 10);
+  EXPECT_EQ(Minus{}(3, 7), -4);
+  EXPECT_EQ(Rminus{}(3, 7), 4);
+  EXPECT_EQ(Times{}(3, 7), 21);
+  EXPECT_EQ(Div{}(8.0, 2.0), 4.0);
+  EXPECT_EQ(Rdiv{}(2.0, 8.0), 4.0);
+  EXPECT_EQ(Min{}(3, 7), 3);
+  EXPECT_EQ(Max{}(3, 7), 7);
+}
+
+TEST(Ops, LogicalCoercion) {
+  EXPECT_TRUE(Lor{}(0.0, 2.5));
+  EXPECT_FALSE(Lor{}(0.0, 0.0));
+  EXPECT_TRUE(Land{}(1, -1));
+  EXPECT_FALSE(Land{}(1, 0));
+  EXPECT_TRUE(Lxor{}(1, 0));
+  EXPECT_FALSE(Lxor{}(2, 3));  // both truthy
+  EXPECT_TRUE(Lxnor{}(2, 3));
+}
+
+TEST(Ops, Comparisons) {
+  EXPECT_TRUE(Eq{}(4, 4));
+  EXPECT_TRUE(Ne{}(4, 5));
+  EXPECT_TRUE(Gt{}(5, 4));
+  EXPECT_TRUE(Lt{}(4, 5));
+  EXPECT_TRUE(Ge{}(4, 4));
+  EXPECT_TRUE(Le{}(4, 4));
+  EXPECT_EQ(Iseq{}(4, 4), 1);
+  EXPECT_EQ(Isgt{}(3, 4), 0);
+}
+
+TEST(Ops, Unary) {
+  EXPECT_EQ(Identity{}(42), 42);
+  EXPECT_EQ(Ainv{}(42), -42);
+  EXPECT_EQ(Minv{}(4.0), 0.25);
+  EXPECT_TRUE(Lnot{}(0));
+  EXPECT_FALSE(Lnot{}(3));
+  EXPECT_EQ(Abs{}(-3), 3);
+  EXPECT_EQ(Abs{}(3u), 3u);
+  EXPECT_EQ(One{}(-99), 1);
+  EXPECT_EQ((BindSecond<Plus, int>{{}, 10}(5)), 15);
+  EXPECT_EQ((BindFirst<Minus, int>{{}, 10}(4)), 6);
+}
+
+TEST(Ops, SelectPredicates) {
+  // (value, row, col, thunk)
+  EXPECT_TRUE(SelTril{}(1.0, Index{3}, Index{2}, std::int64_t{0}));
+  EXPECT_FALSE(SelTril{}(1.0, Index{2}, Index{3}, std::int64_t{0}));
+  EXPECT_TRUE(SelTril{}(1.0, Index{2}, Index{3}, std::int64_t{1}));
+  EXPECT_TRUE(SelTriu{}(1.0, Index{2}, Index{3}, std::int64_t{0}));
+  EXPECT_TRUE(SelDiag{}(1.0, Index{2}, Index{2}, std::int64_t{0}));
+  EXPECT_TRUE(SelOffdiag{}(1.0, Index{2}, Index{3}, std::int64_t{0}));
+  EXPECT_TRUE(SelValueGt{}(5, Index{0}, Index{0}, 4));
+  EXPECT_FALSE(SelValueLt{}(5, Index{0}, Index{0}, 4));
+  EXPECT_TRUE(SelValueNe{}(5, Index{0}, Index{0}, 4));
+  EXPECT_TRUE(SelValueEq{}(5, Index{0}, Index{0}, 5));
+  EXPECT_EQ(RowIndex{}(9.0, Index{7}, Index{2}, std::int64_t{1}), 8);
+  EXPECT_EQ(ColIndex{}(9.0, Index{7}, Index{2}, std::int64_t{0}), 2);
+}
+
+TEST(Monoids, IdentitiesAndTerminals) {
+  auto p = plus_monoid<int>();
+  EXPECT_EQ(p.identity, 0);
+  EXPECT_FALSE(p.terminal.has_value());
+
+  auto t = times_monoid<int>();
+  EXPECT_EQ(t.identity, 1);
+  EXPECT_TRUE(t.is_terminal(0));
+
+  auto mn = min_monoid<double>();
+  EXPECT_EQ(mn.identity, std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(mn.is_terminal(-std::numeric_limits<double>::infinity()));
+
+  auto mni = min_monoid<std::uint32_t>();
+  EXPECT_EQ(mni.identity, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_TRUE(mni.is_terminal(0));
+
+  auto mx = max_monoid<std::int16_t>();
+  EXPECT_EQ(mx.identity, std::numeric_limits<std::int16_t>::lowest());
+  EXPECT_TRUE(mx.is_terminal(std::numeric_limits<std::int16_t>::max()));
+
+  EXPECT_TRUE(lor_monoid().is_terminal(true));
+  EXPECT_FALSE(lor_monoid().is_terminal(false));
+  EXPECT_TRUE(land_monoid().is_terminal(false));
+  EXPECT_FALSE(lxor_monoid().terminal.has_value());
+}
+
+TEST(Monoids, AnyIsAlwaysTerminal) {
+  static_assert(always_terminal<Monoid<int, Any>>);
+  static_assert(!always_terminal<Monoid<int, Plus>>);
+  auto any = any_monoid<int>();
+  EXPECT_EQ(any(7, 9), 7);  // picks an operand (the first here)
+}
+
+TEST(Semirings, FactoriesCompose) {
+  auto pt = plus_times<double>();
+  EXPECT_EQ(pt.add(3.0, 4.0), 7.0);
+  EXPECT_EQ(pt.mul(3.0, 4.0), 12.0);
+
+  auto mp = min_plus<double>();
+  EXPECT_EQ(mp.add(3.0, 4.0), 3.0);
+  EXPECT_EQ(mp.mul(3.0, 4.0), 7.0);
+  EXPECT_EQ(mp.add.identity, std::numeric_limits<double>::infinity());
+
+  auto ll = lor_land();
+  EXPECT_TRUE(ll.add(false, true));
+  EXPECT_FALSE(ll.mul(true, false));
+
+  auto pp = plus_pair<std::int64_t>();
+  EXPECT_EQ(pp.mul(123.0, 456.0), 1);
+
+  auto mf = min_first<std::uint64_t>();
+  EXPECT_EQ(mf.mul(std::uint64_t{5}, 3.0), std::uint64_t{5});
+
+  auto mxs = max_second<std::uint64_t>();
+  EXPECT_EQ(mxs.mul(1.0, std::uint64_t{9}), std::uint64_t{9});
+}
+
+TEST(Types, InfoStrings) {
+  EXPECT_STREQ(to_string(Info::success), "success");
+  EXPECT_STREQ(to_string(Info::dimension_mismatch), "dimension_mismatch");
+  Error e(Info::invalid_index, "probe");
+  EXPECT_EQ(e.info(), Info::invalid_index);
+  EXPECT_NE(std::string(e.what()).find("probe"), std::string::npos);
+}
+
+TEST(Types, CheckHelpersThrow) {
+  EXPECT_NO_THROW(check_dims(true, "ok"));
+  EXPECT_THROW(check_dims(false, "bad"), Error);
+  EXPECT_THROW(check_index(false, "bad"), Error);
+  EXPECT_THROW(check_value(false, "bad"), Error);
+}

@@ -1,0 +1,90 @@
+// PageRank vs the textbook power iteration, including dangling vertices.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+void expect_pr_matches(const Graph& g, double tol = 1e-6) {
+  auto res = pagerank(g, 0.85, 1e-12, 200);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  auto want = ref::pagerank(sg, 0.85, 200, 1e-12);
+  auto got = to_dense_std(res.rank, 0.0);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    EXPECT_NEAR(got[v], want[v], tol) << "vertex " << v;
+  }
+}
+
+}  // namespace
+
+TEST(PageRank, SymmetricStar) {
+  Graph g(star_graph(10), Kind::undirected);
+  expect_pr_matches(g);
+  // The hub must dominate.
+  auto res = pagerank(g);
+  auto r = to_dense_std(res.rank, 0.0);
+  for (Index v = 1; v < 10; ++v) EXPECT_GT(r[0], r[v]);
+}
+
+TEST(PageRank, DirectedWithDanglingVertex) {
+  gb::Matrix<double> a(4, 4);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 2, 1.0);
+  a.set_element(3, 2, 1.0);
+  // vertex 2 is dangling (no out-edges).
+  Graph g(std::move(a), Kind::directed);
+  expect_pr_matches(g);
+}
+
+TEST(PageRank, RmatGraph) {
+  Graph g(rmat(8, 8, 21), Kind::undirected);
+  expect_pr_matches(g, 1e-5);
+}
+
+TEST(PageRank, ErdosRenyiDirected) {
+  Graph g(erdos_renyi(100, 400, 22, /*symmetric=*/false), Kind::directed);
+  expect_pr_matches(g, 1e-5);
+}
+
+TEST(PageRank, SumsToOne) {
+  Graph g(rmat(7, 6, 23), Kind::undirected);
+  auto res = pagerank(g);
+  double total = gb::reduce_scalar(gb::plus_monoid<double>(), res.rank);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRank, ConvergesAndReportsIterations) {
+  Graph g(cycle_graph(10), Kind::undirected);
+  auto res = pagerank(g, 0.85, 1e-10, 100);
+  EXPECT_GT(res.iterations, 0);
+  EXPECT_LT(res.iterations, 100);  // regular graph converges immediately
+  // On a k-regular graph PageRank is uniform.
+  auto r = to_dense_std(res.rank, 0.0);
+  for (double v : r) EXPECT_NEAR(v, 0.1, 1e-9);
+}
+
+TEST(PageRank, WeightedGraphUsesDegreesNotWeights) {
+  // PageRank is defined on the out-degree split; stored edge weights must
+  // not leak into the iteration (a weighted graph would diverge otherwise).
+  Graph g(randomize_weights(erdos_renyi(80, 300, 31), 1.0, 9.0, 32),
+          Kind::undirected);
+  expect_pr_matches(g, 1e-5);
+  auto res = pagerank(g);
+  double total = gb::reduce_scalar(gb::plus_monoid<double>(), res.rank);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRank, RespectsIterationCap) {
+  Graph g(rmat(7, 6, 29), Kind::undirected);
+  auto res = pagerank(g, 0.85, 0.0, 5);  // impossible tolerance
+  EXPECT_EQ(res.iterations, 5);
+}

@@ -1,0 +1,141 @@
+// The OpenMP parallel kernel paths (§II-A: "an OpenMP implementation is in
+// progress" for SuiteSparse; here it exists). Determinism contract: the
+// chunked parallel kernels must produce BIT-IDENTICAL results to the serial
+// pass — per-chunk buffers concatenated in order, no shared accumulators.
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+
+using gb::Index;
+
+namespace {
+
+/// RAII thread-count override so a failing assertion can't leak the
+/// setting into other tests.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) {
+#ifdef _OPENMP
+    before_ = omp_get_max_threads();
+    omp_set_num_threads(n);
+#else
+    (void)n;
+#endif
+  }
+  ~ThreadGuard() {
+#ifdef _OPENMP
+    omp_set_num_threads(before_);
+#endif
+  }
+
+ private:
+  int before_ = 1;
+};
+
+}  // namespace
+
+TEST(Parallel, PullMxvBitIdenticalAcrossThreadCounts) {
+  // Large enough to clear the parallel kernel's row threshold.
+  auto a = lagraph::rmat(12, 8, 3);
+  auto u = gb::Vector<double>::full(a.nrows(), 1.25);
+  gb::Descriptor d;
+  d.mxv = gb::MxvMethod::pull;
+
+  gb::Vector<double> serial(a.nrows());
+  {
+    ThreadGuard guard(1);
+    gb::mxv(serial, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u,
+            d);
+  }
+  for (int threads : {2, 4, 7}) {
+    ThreadGuard guard(threads);
+    gb::Vector<double> par(a.nrows());
+    gb::mxv(par, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u, d);
+    EXPECT_TRUE(lagraph::isequal(serial, par)) << threads << " threads";
+  }
+}
+
+TEST(Parallel, GustavsonMxmBitIdenticalAcrossThreadCounts) {
+  auto a = lagraph::rmat(9, 8, 5);
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::gustavson;
+
+  gb::Matrix<double> serial(a.nrows(), a.ncols());
+  {
+    ThreadGuard guard(1);
+    gb::mxm(serial, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, a,
+            d);
+  }
+  for (int threads : {2, 4, 7}) {
+    ThreadGuard guard(threads);
+    gb::Matrix<double> par(a.nrows(), a.ncols());
+    gb::mxm(par, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, a, d);
+    EXPECT_TRUE(lagraph::isequal(serial, par)) << threads << " threads";
+  }
+}
+
+TEST(Parallel, MaskedGustavsonParallelIsCorrect) {
+  auto a = lagraph::rmat(9, 8, 6);
+  gb::Matrix<bool> mask(a.nrows(), a.ncols());
+  gb::apply(mask, gb::no_mask, gb::no_accum, [](double) { return true; },
+            lagraph::rmat(9, 2, 7));
+  gb::Descriptor d = gb::desc_s;
+  d.mxm = gb::MxmMethod::gustavson;
+
+  gb::Matrix<std::int64_t> serial(a.nrows(), a.ncols());
+  {
+    ThreadGuard guard(1);
+    gb::mxm(serial, mask, gb::no_accum, gb::plus_pair<std::int64_t>(), a, a,
+            d);
+  }
+  ThreadGuard guard(4);
+  gb::Matrix<std::int64_t> par(a.nrows(), a.ncols());
+  gb::mxm(par, mask, gb::no_accum, gb::plus_pair<std::int64_t>(), a, a, d);
+  EXPECT_TRUE(lagraph::isequal(serial, par));
+}
+
+TEST(Parallel, AlgorithmsUnchangedUnderParallelKernels) {
+  auto adj = lagraph::rmat(10, 8, 8);
+  lagraph::Graph g(adj.dup(), lagraph::Kind::undirected);
+  lagraph::Graph g2(adj.dup(), lagraph::Kind::undirected);
+
+  std::uint64_t tri_serial, tri_par;
+  gb::Vector<std::uint64_t> cc_serial, cc_par;
+  {
+    ThreadGuard guard(1);
+    tri_serial = lagraph::triangle_count(g);
+    cc_serial = lagraph::connected_components(g);
+  }
+  {
+    ThreadGuard guard(4);
+    tri_par = lagraph::triangle_count(g2);
+    cc_par = lagraph::connected_components(g2);
+  }
+  EXPECT_EQ(tri_serial, tri_par);
+  EXPECT_TRUE(lagraph::isequal(cc_serial, cc_par));
+}
+
+TEST(Parallel, ChunkHelperCoversRangeExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  gb::platform::parallel_for_chunks(
+      1000, 7, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      });
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  // Degenerate shapes.
+  gb::platform::parallel_for_chunks(0, 4, [&](std::size_t, std::size_t,
+                                              std::size_t) { FAIL(); });
+  int calls = 0;
+  gb::platform::parallel_for_chunks(
+      3, 10, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        calls += static_cast<int>(hi - lo);
+      });
+  EXPECT_EQ(calls, 3);
+}

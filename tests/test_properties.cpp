@@ -1,0 +1,259 @@
+// Property-based tests: algebraic laws the library must satisfy regardless
+// of input — semiring axioms over exact integer domains, operation
+// identities ((A')' = A, (AB)' = B'A', distributivity), mask partition
+// laws, and invariants of the algorithm layer (handshake lemma, permutation
+// invariance of triangle counts).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "test_common.hpp"
+
+using gb::Index;
+using namespace testutil;
+
+namespace {
+
+/// Exact random int64 matrix (values small enough that products stay exact).
+gb::Matrix<std::int64_t> random_int_matrix(Index n, double density,
+                                           std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> val(-3, 3);
+  std::bernoulli_distribution keep(density);
+  std::vector<Index> r, c;
+  std::vector<std::int64_t> v;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (keep(rng)) {
+        r.push_back(i);
+        c.push_back(j);
+        v.push_back(val(rng));
+      }
+    }
+  }
+  gb::Matrix<std::int64_t> a(n, n);
+  a.build(r, c, v, gb::Plus{});
+  return a;
+}
+
+gb::Matrix<std::int64_t> mult(const gb::Matrix<std::int64_t>& a,
+                              const gb::Matrix<std::int64_t>& b) {
+  gb::Matrix<std::int64_t> c(a.nrows(), b.ncols());
+  gb::mxm(c, gb::no_mask, gb::no_accum, gb::plus_times<std::int64_t>(), a, b);
+  return c;
+}
+
+}  // namespace
+
+class AlgebraLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgebraLaws, MxmIsAssociative) {
+  std::uint64_t seed = 5000 + GetParam();
+  auto a = random_int_matrix(10, 0.4, seed);
+  auto b = random_int_matrix(10, 0.4, seed + 1);
+  auto c = random_int_matrix(10, 0.4, seed + 2);
+  EXPECT_TRUE(lagraph::isequal(mult(mult(a, b), c), mult(a, mult(b, c))));
+}
+
+TEST_P(AlgebraLaws, MxmDistributesOverEwiseAdd) {
+  std::uint64_t seed = 5100 + GetParam();
+  auto a = random_int_matrix(9, 0.4, seed);
+  auto b = random_int_matrix(9, 0.4, seed + 1);
+  auto c = random_int_matrix(9, 0.4, seed + 2);
+  // A(B + C) == AB + AC over the exact plus_times ring.
+  gb::Matrix<std::int64_t> bc(9, 9);
+  gb::ewise_add(bc, gb::no_mask, gb::no_accum, gb::Plus{}, b, c);
+  auto lhs = mult(a, bc);
+  gb::Matrix<std::int64_t> rhs(9, 9);
+  gb::ewise_add(rhs, gb::no_mask, gb::no_accum, gb::Plus{}, mult(a, b),
+                mult(a, c));
+  // Pattern caveat: AB + AC may carry explicit zeros where A(B+C) has
+  // cancellation-free holes — compare as dense values.
+  for (Index i = 0; i < 9; ++i) {
+    for (Index j = 0; j < 9; ++j) {
+      EXPECT_EQ(lhs.extract_element(i, j).value_or(0),
+                rhs.extract_element(i, j).value_or(0))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST_P(AlgebraLaws, TransposeInvolutionAndProductRule) {
+  std::uint64_t seed = 5200 + GetParam();
+  auto a = random_int_matrix(8, 0.4, seed);
+  auto b = random_int_matrix(8, 0.4, seed + 1);
+  EXPECT_TRUE(lagraph::isequal(gb::transposed(gb::transposed(a)), a));
+  // (AB)' == B'A'.
+  EXPECT_TRUE(lagraph::isequal(gb::transposed(mult(a, b)),
+                               mult(gb::transposed(b), gb::transposed(a))));
+}
+
+TEST_P(AlgebraLaws, IdentityMatrixIsNeutral) {
+  std::uint64_t seed = 5300 + GetParam();
+  auto a = random_int_matrix(11, 0.4, seed);
+  auto i = gb::Matrix<std::int64_t>::identity(11, 1);
+  EXPECT_TRUE(lagraph::isequal(mult(a, i), a));
+  EXPECT_TRUE(lagraph::isequal(mult(i, a), a));
+}
+
+TEST_P(AlgebraLaws, MinPlusIsIdempotentSemiring) {
+  std::uint64_t seed = 5400 + GetParam();
+  auto a = random_matrix(10, 10, 0.4, seed);
+  // min is idempotent: A min+ A-zero-diagonal style closure is monotone:
+  // D_{k+1} = min(D_k, D_k min.+ D_k) never increases any entry.
+  gb::Matrix<double> d = a.dup();
+  for (int round = 0; round < 3; ++round) {
+    gb::Matrix<double> next = d.dup();
+    gb::mxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), d, d);
+    std::vector<Index> r, c;
+    std::vector<double> v;
+    d.extract_tuples(r, c, v);
+    for (std::size_t k = 0; k < v.size(); ++k) {
+      auto e = next.extract_element(r[k], c[k]);
+      ASSERT_TRUE(e.has_value());
+      EXPECT_LE(*e, v[k] + 1e-12);
+    }
+    d = std::move(next);
+  }
+}
+
+TEST_P(AlgebraLaws, MaskPartitionLaw) {
+  // With replace: C<M> = T and C<!M> = T partition the unmasked result —
+  // their union (disjoint) equals T exactly.
+  std::uint64_t seed = 5500 + GetParam();
+  auto t = random_matrix(10, 10, 0.5, seed);
+  auto m = random_matrix(10, 10, 0.5, seed + 1);
+
+  gb::Matrix<double> pos(10, 10), neg(10, 10), whole(10, 10);
+  gb::Descriptor d_pos = gb::desc_rs;
+  gb::Descriptor d_neg = gb::desc_rsc;
+  gb::apply(pos, m, gb::no_accum, gb::Identity{}, t, d_pos);
+  gb::apply(neg, m, gb::no_accum, gb::Identity{}, t, d_neg);
+  gb::apply(whole, gb::no_mask, gb::no_accum, gb::Identity{}, t);
+
+  EXPECT_EQ(pos.nvals() + neg.nvals(), whole.nvals());
+  gb::Matrix<double> joined(10, 10);
+  gb::ewise_add(joined, gb::no_mask, gb::no_accum, gb::Plus{}, pos, neg);
+  EXPECT_TRUE(lagraph::isequal(joined, whole));
+}
+
+TEST_P(AlgebraLaws, ReduceCommutesWithTranspose) {
+  std::uint64_t seed = 5600 + GetParam();
+  auto a = random_int_matrix(9, 0.5, seed);
+  // Row-reduce of A' == column-reduce of A.
+  gb::Vector<std::int64_t> r1(9), r2(9);
+  gb::reduce(r1, gb::no_mask, gb::no_accum, gb::plus_monoid<std::int64_t>(),
+             gb::transposed(a));
+  gb::reduce(r2, gb::no_mask, gb::no_accum, gb::plus_monoid<std::int64_t>(), a,
+             gb::desc_t0);
+  EXPECT_TRUE(lagraph::isequal(r1, r2));
+}
+
+TEST_P(AlgebraLaws, ScalarReduceEqualsTotalOfRowReduce) {
+  std::uint64_t seed = 5700 + GetParam();
+  auto a = random_int_matrix(12, 0.4, seed);
+  gb::Vector<std::int64_t> rows(12);
+  gb::reduce(rows, gb::no_mask, gb::no_accum, gb::plus_monoid<std::int64_t>(),
+             a);
+  EXPECT_EQ(gb::reduce_scalar(gb::plus_monoid<std::int64_t>(), a),
+            gb::reduce_scalar(gb::plus_monoid<std::int64_t>(), rows));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraLaws, ::testing::Range(0, 6));
+
+// --- algorithm-level invariants ---------------------------------------------
+
+class GraphInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphInvariants, HandshakeLemma) {
+  lagraph::Graph g(lagraph::erdos_renyi(100, 300, GetParam()),
+                   lagraph::Kind::undirected);
+  auto deg = lagraph::to_dense_std(g.out_degree(), std::int64_t{0});
+  std::int64_t total = 0;
+  for (auto d : deg) total += d;
+  EXPECT_EQ(static_cast<std::uint64_t>(total), g.nvals());
+}
+
+TEST_P(GraphInvariants, TriangleCountIsPermutationInvariant) {
+  auto a = lagraph::rmat(6, 6, GetParam());
+  lagraph::Graph g1(a.dup(), lagraph::Kind::undirected);
+
+  // Permute and recount.
+  std::vector<Index> perm(a.nrows());
+  for (Index i = 0; i < a.nrows(); ++i) perm[i] = i;
+  std::mt19937_64 rng(GetParam() * 7 + 1);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  a.extract_tuples(r, c, v);
+  for (auto& x : r) x = perm[x];
+  for (auto& x : c) x = perm[x];
+  gb::Matrix<double> pa(a.nrows(), a.ncols());
+  pa.build(r, c, v, gb::First{});
+  lagraph::Graph g2(std::move(pa), lagraph::Kind::undirected);
+
+  EXPECT_EQ(lagraph::triangle_count(g1), lagraph::triangle_count(g2));
+  auto c1 = lagraph::subgraph_count(g1);
+  auto c2 = lagraph::subgraph_count(g2);
+  EXPECT_EQ(c1.four_cycles, c2.four_cycles);
+  EXPECT_EQ(c1.wedges, c2.wedges);
+}
+
+TEST_P(GraphInvariants, BfsLevelsAreLipschitz) {
+  // |level(u) - level(v)| <= 1 across every edge of the undirected graph.
+  lagraph::Graph g(lagraph::erdos_renyi(80, 200, GetParam() + 3),
+                   lagraph::Kind::undirected);
+  auto res = lagraph::bfs(g, 0);
+  auto lvl = lagraph::to_dense_std(res.level, std::int64_t{-1});
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  g.adj().extract_tuples(r, c, v);
+  for (std::size_t k = 0; k < r.size(); ++k) {
+    if (lvl[r[k]] < 0 || lvl[c[k]] < 0) {
+      // Reachability is edge-closed: both sides or neither.
+      EXPECT_EQ(lvl[r[k]] < 0, lvl[c[k]] < 0);
+    } else {
+      EXPECT_LE(std::abs(lvl[r[k]] - lvl[c[k]]), 1);
+    }
+  }
+}
+
+TEST_P(GraphInvariants, SsspDominatesBfsHops) {
+  // With weights >= 1, shortest distance >= hop count.
+  lagraph::Graph g(
+      lagraph::randomize_weights(lagraph::erdos_renyi(60, 180, GetParam()),
+                                 1.0, 5.0, GetParam() + 1),
+      lagraph::Kind::undirected);
+  auto hops = lagraph::bfs(g, 0).level;
+  auto dist = lagraph::sssp_bellman_ford(g, 0);
+  auto h = lagraph::to_dense_std(hops, std::int64_t{-1});
+  auto d = lagraph::to_dense_std(dist,
+                                 std::numeric_limits<double>::infinity());
+  for (Index v = 0; v < g.nrows(); ++v) {
+    if (h[v] >= 0) {
+      EXPECT_GE(d[v] + 1e-12, static_cast<double>(h[v])) << v;
+    } else {
+      EXPECT_TRUE(std::isinf(d[v]));
+    }
+  }
+}
+
+TEST_P(GraphInvariants, ComponentsRefineReachability) {
+  // Vertices in the same BFS tree share a component label.
+  lagraph::Graph g(lagraph::erdos_renyi(100, 120, GetParam() + 9),
+                   lagraph::Kind::undirected);
+  auto cc = lagraph::to_dense_std(lagraph::connected_components(g),
+                                  std::uint64_t{0});
+  auto lvl = lagraph::to_dense_std(lagraph::bfs(g, 0).level, std::int64_t{-1});
+  for (Index v = 0; v < g.nrows(); ++v) {
+    if (lvl[v] >= 0) {
+      EXPECT_EQ(cc[v], cc[0]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphInvariants,
+                         ::testing::Values(11, 22, 33, 44));

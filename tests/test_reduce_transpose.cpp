@@ -1,0 +1,127 @@
+// reduce (row/scalar) and transpose vs the dense mimics; terminal early exit
+// must not change results.
+#include <gtest/gtest.h>
+
+#include "test_common.hpp"
+
+using namespace testutil;
+using gb::Index;
+
+class ReduceTransposeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceTransposeSweep, RowReduceMatchesMimic) {
+  std::uint64_t seed = 900 + GetParam() * 47;
+  auto a = random_matrix(10, 10, 0.45, seed);
+  auto da = ref::from_gb(a);
+
+  for (auto d : mask_descriptor_sweep()) {
+    for (bool ta : {false, true}) {
+      d.transpose_a = ta;
+      auto m = random_vector(10, 0.5, seed + 1);
+      auto dm = ref::from_gb(m);
+      gb::Vector<double> w = random_vector(10, 0.3, seed + 2);
+      auto dw = ref::from_gb(w);
+      gb::reduce(w, m, gb::no_accum, gb::plus_monoid<double>(), a, d);
+      ref::reduce(dw, &dm, static_cast<const gb::Plus*>(nullptr),
+                  gb::plus_monoid<double>(), da, d);
+      EXPECT_TRUE(ref::equal(dw, w)) << "plus " << desc_name(d);
+
+      gb::Vector<double> w2 = random_vector(10, 0.3, seed + 3);
+      auto dw2 = ref::from_gb(w2);
+      gb::reduce(w2, m, gb::no_accum, gb::min_monoid<double>(), a, d);
+      ref::reduce(dw2, &dm, static_cast<const gb::Plus*>(nullptr),
+                  gb::min_monoid<double>(), da, d);
+      EXPECT_TRUE(ref::equal(dw2, w2)) << "min " << desc_name(d);
+    }
+  }
+}
+
+TEST_P(ReduceTransposeSweep, ScalarReduceMatchesMimic) {
+  std::uint64_t seed = 1100 + GetParam() * 53;
+  auto a = random_matrix(12, 7, 0.4, seed);
+  auto da = ref::from_gb(a);
+  EXPECT_DOUBLE_EQ(gb::reduce_scalar(gb::plus_monoid<double>(), a),
+                   ref::reduce_scalar(gb::plus_monoid<double>(), da));
+  EXPECT_DOUBLE_EQ(gb::reduce_scalar(gb::max_monoid<double>(), a),
+                   ref::reduce_scalar(gb::max_monoid<double>(), da));
+}
+
+TEST_P(ReduceTransposeSweep, TransposeMatchesMimic) {
+  std::uint64_t seed = 1300 + GetParam() * 59;
+  auto a = random_matrix(9, 9, 0.4, seed);
+  auto da = ref::from_gb(a);
+  for (auto d : mask_descriptor_sweep()) {
+    for (bool ta : {false, true}) {
+      d.transpose_a = ta;
+      auto m = random_matrix(9, 9, 0.4, seed + 1);
+      auto dm = ref::from_gb(m);
+      gb::Matrix<double> c = random_matrix(9, 9, 0.2, seed + 2);
+      auto dc = ref::from_gb(c);
+      gb::transpose(c, m, gb::no_accum, a, d);
+      ref::transpose(dc, &dm, static_cast<const gb::Plus*>(nullptr), da, d);
+      EXPECT_TRUE(ref::equal(dc, c)) << desc_name(d);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReduceTransposeSweep, ::testing::Range(0, 4));
+
+TEST(Reduce, EmptyRowsProduceNoEntry) {
+  gb::Matrix<double> a(4, 4);
+  a.set_element(1, 2, 5.0);
+  gb::Vector<double> w(4);
+  gb::reduce(w, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), a);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.extract_element(1).value(), 5.0);
+}
+
+TEST(Reduce, ScalarOfEmptyIsIdentity) {
+  gb::Matrix<double> a(3, 3);
+  EXPECT_EQ(gb::reduce_scalar(gb::plus_monoid<double>(), a), 0.0);
+  gb::Vector<double> v(3);
+  EXPECT_EQ(gb::reduce_scalar(gb::times_monoid<double>(), v), 1.0);
+}
+
+TEST(Reduce, VectorScalarBothReps) {
+  gb::Vector<double> v(10);
+  v.set_element(2, 3.0);
+  v.set_element(7, 4.0);
+  v.to_sparse();
+  EXPECT_EQ(gb::reduce_scalar(gb::plus_monoid<double>(), v), 7.0);
+  v.to_dense();
+  EXPECT_EQ(gb::reduce_scalar(gb::plus_monoid<double>(), v), 7.0);
+}
+
+TEST(Reduce, TerminalEarlyExitIsCorrect) {
+  // LOR reduce over a row with `true` early in it must equal the full fold.
+  gb::Matrix<bool> a(2, 100);
+  a.set_element(0, 0, true);
+  for (Index j = 1; j < 100; ++j) a.set_element(0, j, false);
+  gb::Vector<bool> w(2);
+  gb::reduce(w, gb::no_mask, gb::no_accum, gb::lor_monoid(), a);
+  EXPECT_EQ(w.extract_element(0).value(), true);
+}
+
+TEST(Transpose, BasicShapeAndContent) {
+  gb::Matrix<double> a(2, 3);
+  a.set_element(0, 2, 7.0);
+  a.set_element(1, 0, 8.0);
+  auto t = gb::transposed(a);
+  EXPECT_EQ(t.nrows(), 3u);
+  EXPECT_EQ(t.ncols(), 2u);
+  EXPECT_EQ(t.extract_element(2, 0).value(), 7.0);
+  EXPECT_EQ(t.extract_element(0, 1).value(), 8.0);
+}
+
+TEST(Transpose, WithInputTransposeIsCopy) {
+  auto a = random_matrix(5, 5, 0.5, 77);
+  gb::Matrix<double> c(5, 5);
+  gb::transpose(c, gb::no_mask, gb::no_accum, a, gb::desc_t0);
+  std::vector<Index> r1, c1, r2, c2;
+  std::vector<double> v1, v2;
+  a.extract_tuples(r1, c1, v1);
+  c.extract_tuples(r2, c2, v2);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(v1, v2);
+}

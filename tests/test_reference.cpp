@@ -1,0 +1,159 @@
+// Sanity tests of the ORACLE layer itself: a conformance harness is only as
+// good as its reference, so the textbook implementations get hand-computed
+// fixtures of their own (the same discipline the paper applies by keeping
+// the MATLAB mimics "visually inspectable").
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using ref::SimpleGraph;
+
+namespace {
+
+/// The "bull" graph: triangle 0-1-2 with horns 1-3 and 2-4.
+SimpleGraph bull() {
+  SimpleGraph g(5);
+  auto both = [&g](Index u, Index v) {
+    g.add_edge(u, v);
+    g.add_edge(v, u);
+  };
+  both(0, 1);
+  both(1, 2);
+  both(0, 2);
+  both(1, 3);
+  both(2, 4);
+  return g;
+}
+
+}  // namespace
+
+TEST(Reference, BfsLevelsOnBull) {
+  auto g = bull();
+  auto lvl = ref::bfs_levels(g, 3);
+  EXPECT_EQ(lvl, (std::vector<std::int64_t>{2, 1, 2, 0, 3}));
+}
+
+TEST(Reference, DijkstraHandComputed) {
+  // 0 ->(1) 1 ->(1) 2, and 0 ->(5) 2 directly: best to 2 is 2.
+  SimpleGraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 5.0);
+  auto d = ref::dijkstra(g, 0);
+  EXPECT_EQ(d[0], 0.0);
+  EXPECT_EQ(d[1], 1.0);
+  EXPECT_EQ(d[2], 2.0);
+}
+
+TEST(Reference, BellmanFordNegativeCycle) {
+  SimpleGraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, -2.0);
+  EXPECT_TRUE(ref::bellman_ford(g, 0).empty());
+}
+
+TEST(Reference, ComponentsOnBullPlusIsolated) {
+  SimpleGraph g = bull();
+  g.n = 7;
+  g.adj.resize(7);
+  auto cc = ref::connected_components(g);
+  EXPECT_EQ(cc, (std::vector<Index>{0, 0, 0, 0, 0, 5, 6}));
+}
+
+TEST(Reference, CountsOnBull) {
+  auto g = bull();
+  EXPECT_EQ(ref::count_triangles(g), 1u);
+  // wedges: d = {2,3,3,1,1} -> 1 + 3 + 3 = 7.
+  EXPECT_EQ(ref::count_wedges(g), 7u);
+  // claws: only the two degree-3 vertices contribute C(3,3)=1 each.
+  EXPECT_EQ(ref::count_claws(g), 2u);
+  EXPECT_EQ(ref::count_4cycles(g), 0u);
+  // tailed triangles: the one triangle has two pendant edges.
+  EXPECT_EQ(ref::count_tailed_triangles(g), 2u);
+}
+
+TEST(Reference, FourCyclesOnPrism) {
+  // Triangular prism = two triangles joined by a 3-edge matching: three C4s.
+  SimpleGraph g(6);
+  auto both = [&g](Index u, Index v) {
+    g.add_edge(u, v);
+    g.add_edge(v, u);
+  };
+  both(0, 1);
+  both(1, 2);
+  both(2, 0);
+  both(3, 4);
+  both(4, 5);
+  both(5, 3);
+  both(0, 3);
+  both(1, 4);
+  both(2, 5);
+  EXPECT_EQ(ref::count_4cycles(g), 3u);
+  EXPECT_EQ(ref::count_triangles(g), 2u);
+}
+
+TEST(Reference, KtrussPeeling) {
+  auto g = bull();
+  EXPECT_EQ(ref::ktruss_edge_count(g, 3), 3u);  // the triangle
+  EXPECT_EQ(ref::ktruss_edge_count(g, 4), 0u);
+}
+
+TEST(Reference, PagerankUniformOnRegular) {
+  SimpleGraph g(4);
+  for (Index i = 0; i < 4; ++i) {
+    g.add_edge(i, (i + 1) % 4);
+    g.add_edge((i + 1) % 4, i);
+  }
+  auto pr = ref::pagerank(g);
+  for (double p : pr) EXPECT_NEAR(p, 0.25, 1e-9);
+}
+
+TEST(Reference, BetweennessOnPath) {
+  // Path 0-1-2: vertex 1 mediates 2 ordered pairs.
+  SimpleGraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  auto bc = ref::betweenness(g);
+  EXPECT_NEAR(bc[0], 0.0, 1e-12);
+  EXPECT_NEAR(bc[1], 2.0, 1e-12);
+  EXPECT_NEAR(bc[2], 0.0, 1e-12);
+}
+
+TEST(Reference, CheckersAcceptAndReject) {
+  auto g = bull();
+  // MIS {3, 4, 0} is independent and maximal.
+  EXPECT_TRUE(ref::valid_mis(g, {1, 0, 0, 1, 1}));
+  // {0, 1} adjacent: not independent.
+  EXPECT_FALSE(ref::valid_mis(g, {1, 1, 0, 1, 1}));
+  // {3, 4} alone: not maximal (0 uncovered).
+  EXPECT_FALSE(ref::valid_mis(g, {0, 0, 0, 1, 1}));
+
+  EXPECT_TRUE(ref::valid_coloring(g, {1, 2, 3, 1, 1}));
+  EXPECT_FALSE(ref::valid_coloring(g, {1, 1, 3, 1, 1}));  // 0-1 clash
+  EXPECT_FALSE(ref::valid_coloring(g, {0, 2, 3, 1, 1}));  // uncolored
+
+  // Matching {1-3, 2-4} leaves 0 with no unmatched neighbour: maximal.
+  EXPECT_TRUE(ref::valid_maximal_matching(g, {0, 3, 4, 1, 2}));
+  // Empty matching is not maximal.
+  EXPECT_FALSE(ref::valid_maximal_matching(g, {0, 1, 2, 3, 4}));
+
+  // Conductance of the triangle side of the bull: cut 2, vol min(8, 2).
+  double phi = ref::conductance(g, {1, 1, 1, 0, 0});
+  EXPECT_NEAR(phi, 1.0, 1e-12);  // cut=2 / min(vol=8, vol=2) = 1
+}
+
+TEST(Reference, ParentValidatorCatchesBadTrees) {
+  auto g = bull();
+  auto lvl = ref::bfs_levels(g, 0);
+  // A valid tree.
+  EXPECT_TRUE(ref::valid_bfs_parents(g, 0, {0, 0, 0, 1, 2}, lvl));
+  // Parent not one level above.
+  EXPECT_FALSE(ref::valid_bfs_parents(g, 0, {0, 0, 0, 0, 2}, lvl));
+  // Parent not adjacent.
+  EXPECT_FALSE(ref::valid_bfs_parents(g, 0, {0, 0, 0, 2, 2}, lvl));
+}

@@ -1,0 +1,76 @@
+// The semiring-count claims of §II-A: 960 unique built-in semirings with
+// the extended operator set, 600 with the standard C API operators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graphblas/registry.hpp"
+
+TEST(Registry, PaperCounts) {
+  EXPECT_EQ(gb::semiring_count_extended(), 960u);
+  EXPECT_EQ(gb::semiring_count_standard(), 600u);
+}
+
+TEST(Registry, ElevenBuiltinTypes) {
+  EXPECT_EQ(gb::builtin_types().size(), 11u);
+  EXPECT_EQ(gb::builtin_types().front(), "bool");
+}
+
+TEST(Registry, RecordsAreUnique) {
+  std::set<std::tuple<std::string, std::string, std::string>> seen;
+  for (const auto& r : gb::semiring_registry()) {
+    auto key = std::make_tuple(r.add_monoid, r.multiply, r.type);
+    EXPECT_TRUE(seen.insert(key).second)
+        << r.add_monoid << "." << r.multiply << "." << r.type;
+  }
+}
+
+TEST(Registry, DecompositionMatchesUserGuide) {
+  // 680 = 4 numeric monoids x 17 T->T ops x 10 non-bool types;
+  // 240 = 4 bool monoids x 6 comparisons x 10 non-bool types;
+  //  40 = 4 canonical bool monoids x 10 canonical bool ops.
+  std::size_t nonbool_t2t = 0, nonbool_cmp = 0, bool_domain = 0;
+  const std::set<std::string> cmp = {"eq", "ne", "gt", "lt", "ge", "le"};
+  for (const auto& r : gb::semiring_registry()) {
+    if (r.type == "bool") {
+      ++bool_domain;
+    } else if (cmp.count(r.multiply) &&
+               (r.add_monoid == "lor" || r.add_monoid == "land" ||
+                r.add_monoid == "lxor" || r.add_monoid == "eq")) {
+      ++nonbool_cmp;
+    } else {
+      ++nonbool_t2t;
+    }
+  }
+  EXPECT_EQ(nonbool_t2t, 680u);
+  EXPECT_EQ(nonbool_cmp, 240u);
+  EXPECT_EQ(bool_domain, 40u);
+}
+
+TEST(Registry, BoolAliasesCollapse) {
+  // Over bool, MIN==LAND and MAX==PLUS==LOR etc.; no raw "min"/"plus"
+  // monoid names may survive in bool-domain records.
+  for (const auto& r : gb::semiring_registry()) {
+    if (r.type != "bool") continue;
+    EXPECT_TRUE(r.add_monoid == "lor" || r.add_monoid == "land" ||
+                r.add_monoid == "lxor" || r.add_monoid == "eq")
+        << r.add_monoid;
+    EXPECT_NE(r.multiply, "min");
+    EXPECT_NE(r.multiply, "times");
+    EXPECT_NE(r.multiply, "div");
+    EXPECT_NE(r.multiply, "iseq");
+  }
+}
+
+TEST(Registry, StandardSubsetExcludesExtensions) {
+  // IS* ops and logical ops over numeric types are GxB extensions.
+  for (const auto& r : gb::semiring_registry()) {
+    if (r.type == "bool") continue;
+    if (r.multiply.rfind("is", 0) == 0) {
+      EXPECT_FALSE(r.standard_c_api) << r.multiply << "." << r.type;
+    }
+    if (r.multiply == "lor" || r.multiply == "land" || r.multiply == "lxor") {
+      EXPECT_FALSE(r.standard_c_api) << r.multiply << "." << r.type;
+    }
+  }
+}

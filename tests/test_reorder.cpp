@@ -1,0 +1,103 @@
+// Graph relabeling (§VI "changing representation of graphs"): P A P'
+// correctness, degree ordering, and invariance of algorithm results under
+// relabeling.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "lagraph/util/reorder.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+TEST(Reorder, PermutationMatrixShape) {
+  std::vector<Index> perm = {2, 0, 1};
+  auto p = permutation_matrix(perm);
+  EXPECT_EQ(p.nvals(), 3u);
+  EXPECT_TRUE(p.extract_element(2, 0).has_value());  // old 0 -> new 2
+  EXPECT_TRUE(p.extract_element(0, 1).has_value());
+  EXPECT_TRUE(p.extract_element(1, 2).has_value());
+
+  // P P' = I.
+  gb::Matrix<double> ppt(3, 3);
+  gb::Descriptor d;
+  d.transpose_b = true;
+  gb::mxm(ppt, gb::no_mask, gb::no_accum, gb::plus_times<double>(), p, p, d);
+  EXPECT_TRUE(isequal(ppt, gb::Matrix<double>::identity(3, 1.0)));
+}
+
+TEST(Reorder, RejectsNonBijections) {
+  EXPECT_THROW(permutation_matrix({0, 0, 1}), gb::Error);
+  EXPECT_THROW(permutation_matrix({0, 5, 1}), gb::Error);
+}
+
+TEST(Reorder, PermuteMatchesManualRelabel) {
+  auto a = lagraph::randomize_weights(lagraph::erdos_renyi(20, 60, 3), 1.0,
+                                      5.0, 4);
+  std::vector<Index> perm(20);
+  std::iota(perm.begin(), perm.end(), Index{0});
+  std::mt19937_64 rng(9);
+  std::shuffle(perm.begin(), perm.end(), rng);
+
+  auto b = permute(a, perm);
+
+  // Manual relabel of the tuples.
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  a.extract_tuples(r, c, v);
+  for (auto& x : r) x = perm[x];
+  for (auto& x : c) x = perm[x];
+  gb::Matrix<double> want(20, 20);
+  want.build(r, c, v, gb::Second{});
+  EXPECT_TRUE(isequal(want, b));
+}
+
+TEST(Reorder, InvertPermutationRoundTrips) {
+  std::vector<Index> perm = {3, 1, 4, 0, 2};
+  auto inv = invert_permutation(perm);
+  auto a = lagraph::erdos_renyi(5, 8, 7);
+  auto round = permute(permute(a, perm), inv);
+  EXPECT_TRUE(isequal(a, round));
+}
+
+TEST(Reorder, DegreeOrderSortsDegrees) {
+  Graph g(star_graph(10), Kind::undirected);  // hub degree 9, leaves 1
+  auto perm = degree_order(g, /*ascending=*/true);
+  EXPECT_EQ(perm[0], 9u);  // the hub (old id 0) goes last
+  auto desc = degree_order(g, /*ascending=*/false);
+  EXPECT_EQ(desc[0], 0u);  // descending: hub first
+
+  // Relabeled degrees are monotone.
+  Graph sorted(permute(g.adj(), perm), Kind::undirected);
+  auto deg = to_dense_std(sorted.out_degree(), std::int64_t{0});
+  for (std::size_t k = 1; k < deg.size(); ++k) {
+    EXPECT_LE(deg[k - 1], deg[k]);
+  }
+}
+
+TEST(Reorder, AlgorithmResultsInvariantUnderRelabeling) {
+  auto a = lagraph::rmat(7, 8, 11);
+  Graph g1(a.dup(), Kind::undirected);
+  auto perm = degree_order(g1);
+  Graph g2(permute(a, perm), Kind::undirected);
+
+  EXPECT_EQ(triangle_count(g1), triangle_count(g2));
+  auto c1 = subgraph_count(g1);
+  auto c2 = subgraph_count(g2);
+  EXPECT_EQ(c1.four_cycles, c2.four_cycles);
+  EXPECT_EQ(c1.tailed_triangles, c2.tailed_triangles);
+  EXPECT_EQ(ktruss(g1, 4).nedges, ktruss(g2, 4).nedges);
+
+  // Component structure maps through the permutation.
+  auto cc1 = to_dense_std(connected_components(g1), std::uint64_t{0});
+  auto cc2 = to_dense_std(connected_components(g2), std::uint64_t{0});
+  for (Index v = 0; v < g1.nrows(); ++v) {
+    for (Index w = v + 1; w < g1.nrows(); ++w) {
+      EXPECT_EQ(cc1[v] == cc1[w], cc2[perm[v]] == cc2[perm[w]]);
+    }
+  }
+}

@@ -1,0 +1,157 @@
+// Strongly connected components (FW-BW) vs Tarjan, and k-core decomposition
+// vs textbook peeling.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+/// Canonicalise a component labelling to "label = min member id" so two
+/// labellings of the same partition compare equal.
+std::vector<Index> canonical(const std::vector<std::uint64_t>& label) {
+  std::map<std::uint64_t, Index> minid;
+  for (Index v = 0; v < label.size(); ++v) {
+    auto it = minid.find(label[v]);
+    if (it == minid.end() || v < it->second) minid[label[v]] = v;
+  }
+  std::vector<Index> out(label.size());
+  for (Index v = 0; v < label.size(); ++v) out[v] = minid[label[v]];
+  return out;
+}
+
+void expect_scc_matches(Graph&& g) {
+  auto got =
+      canonical(to_dense_std(strongly_connected_components(g), std::uint64_t{0}));
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  auto want = ref::strongly_connected_components(sg);
+  ASSERT_EQ(got.size(), want.size());
+  for (Index v = 0; v < want.size(); ++v) {
+    EXPECT_EQ(got[v], want[v]) << "vertex " << v;
+  }
+}
+
+void expect_kcore_matches(Graph&& g) {
+  auto got = to_dense_std(kcore(g), std::uint64_t{0});
+  auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+  auto want = ref::kcore(sg);
+  ASSERT_EQ(got.size(), want.size());
+  for (Index v = 0; v < want.size(); ++v) {
+    EXPECT_EQ(got[v], want[v]) << "vertex " << v;
+  }
+}
+
+}  // namespace
+
+TEST(Scc, DirectedCycleIsOneComponent) {
+  gb::Matrix<double> a(5, 5);
+  for (Index i = 0; i < 5; ++i) a.set_element(i, (i + 1) % 5, 1.0);
+  Graph g(std::move(a), Kind::directed);
+  auto labels = to_dense_std(strongly_connected_components(g),
+                             std::uint64_t{0});
+  for (Index v = 1; v < 5; ++v) EXPECT_EQ(labels[v], labels[0]);
+}
+
+TEST(Scc, DagIsAllSingletons) {
+  gb::Matrix<double> a(5, 5);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 2, 1.0);
+  a.set_element(0, 3, 1.0);
+  a.set_element(3, 4, 1.0);
+  Graph g(std::move(a), Kind::directed);
+  auto labels = canonical(
+      to_dense_std(strongly_connected_components(g), std::uint64_t{0}));
+  for (Index v = 0; v < 5; ++v) EXPECT_EQ(labels[v], v);
+}
+
+TEST(Scc, TwoCyclesJoinedByBridge) {
+  // 0->1->2->0 (cycle), 2->3 (bridge), 3->4->5->3 (cycle).
+  gb::Matrix<double> a(6, 6);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 2, 1.0);
+  a.set_element(2, 0, 1.0);
+  a.set_element(2, 3, 1.0);
+  a.set_element(3, 4, 1.0);
+  a.set_element(4, 5, 1.0);
+  a.set_element(5, 3, 1.0);
+  Graph g(std::move(a), Kind::directed);
+  expect_scc_matches(std::move(g));
+}
+
+TEST(Scc, RandomDirectedGraphsMatchTarjan) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    expect_scc_matches(Graph(erdos_renyi(60, 150, seed, /*symmetric=*/false),
+                             Kind::directed));
+  }
+  // Denser: larger SCCs.
+  expect_scc_matches(Graph(erdos_renyi(40, 300, 9, false), Kind::directed));
+  // Sparse with many singletons + isolated vertices.
+  expect_scc_matches(Graph(erdos_renyi(80, 60, 10, false), Kind::directed));
+}
+
+TEST(Scc, UndirectedGraphReducesToComponents) {
+  Graph g(erdos_renyi(50, 60, 5), Kind::undirected);
+  auto scc = canonical(
+      to_dense_std(strongly_connected_components(g), std::uint64_t{0}));
+  auto cc = to_dense_std(connected_components(g), std::uint64_t{0});
+  for (Index v = 0; v < 50; ++v) {
+    EXPECT_EQ(scc[v], static_cast<Index>(cc[v]));
+  }
+}
+
+TEST(Kcore, KnownShapes) {
+  // Clique K5: coreness 4 everywhere.
+  {
+    Graph g(complete_graph(5), Kind::undirected);
+    auto c = to_dense_std(kcore(g), std::uint64_t{0});
+    for (auto x : c) EXPECT_EQ(x, 4u);
+  }
+  // Tree (star): coreness 1 everywhere.
+  {
+    Graph g(star_graph(8), Kind::undirected);
+    auto c = to_dense_std(kcore(g), std::uint64_t{0});
+    for (auto x : c) EXPECT_EQ(x, 1u);
+  }
+  // Triangle with a tail: triangle vertices 2, tail 1, isolated 0.
+  {
+    gb::Matrix<double> a(5, 5);
+    auto add = [&a](Index u, Index v) {
+      a.set_element(u, v, 1.0);
+      a.set_element(v, u, 1.0);
+    };
+    add(0, 1);
+    add(1, 2);
+    add(0, 2);
+    add(2, 3);
+    Graph g(std::move(a), Kind::undirected);
+    auto c = to_dense_std(kcore(g), std::uint64_t{9});
+    EXPECT_EQ(c[0], 2u);
+    EXPECT_EQ(c[1], 2u);
+    EXPECT_EQ(c[2], 2u);
+    EXPECT_EQ(c[3], 1u);
+    EXPECT_EQ(c[4], 0u);  // isolated
+  }
+}
+
+TEST(Kcore, RandomGraphsMatchPeeling) {
+  for (std::uint64_t seed : {6u, 7u, 8u}) {
+    expect_kcore_matches(Graph(erdos_renyi(80, 240, seed), Kind::undirected));
+  }
+  expect_kcore_matches(Graph(rmat(7, 6, 9), Kind::undirected));
+  expect_kcore_matches(Graph(grid2d(6, 6), Kind::undirected));
+}
+
+TEST(Kcore, SelfLoopsIgnored) {
+  auto a = complete_graph(4);
+  a.set_element(1, 1, 1.0);
+  Graph g(std::move(a), Kind::undirected);
+  auto c = to_dense_std(kcore(g), std::uint64_t{0});
+  for (auto x : c) EXPECT_EQ(x, 3u);
+}

@@ -1,0 +1,124 @@
+// Set-style algorithms: MIS, coloring, maximal matching — validated by
+// checkers (outputs are not unique, properties are).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+std::vector<std::uint8_t> mis_flags(const Graph& g, std::uint64_t seed) {
+  auto set = mis(g, seed);
+  std::vector<std::uint8_t> flags(g.nrows(), 0);
+  std::vector<Index> idx;
+  std::vector<bool> val;
+  set.extract_tuples(idx, val);
+  for (std::size_t k = 0; k < idx.size(); ++k)
+    if (val[k]) flags[idx[k]] = 1;
+  return flags;
+}
+
+}  // namespace
+
+class SetAlgorithms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SetAlgorithms, MisIsValidOnVariedGraphs) {
+  std::uint64_t seed = GetParam();
+  for (auto make : {+[] { return path_graph(30); },
+                    +[] { return cycle_graph(17); },
+                    +[] { return star_graph(40); },
+                    +[] { return complete_graph(9); },
+                    +[] { return erdos_renyi(150, 500, 77); },
+                    +[] { return rmat(8, 4, 78); }}) {
+    Graph g(make(), Kind::undirected);
+    auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+    EXPECT_TRUE(ref::valid_mis(sg, mis_flags(g, seed)));
+  }
+}
+
+TEST_P(SetAlgorithms, ColoringIsProper) {
+  std::uint64_t seed = GetParam();
+  for (auto make : {+[] { return path_graph(25); },
+                    +[] { return complete_graph(8); },
+                    +[] { return erdos_renyi(120, 500, 79); },
+                    +[] { return rmat(8, 6, 80); }}) {
+    Graph g(make(), Kind::undirected);
+    auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+    auto colors = to_dense_std(coloring(g, seed), std::uint64_t{0});
+    EXPECT_TRUE(ref::valid_coloring(sg, colors));
+  }
+}
+
+TEST_P(SetAlgorithms, MatchingIsMaximal) {
+  std::uint64_t seed = GetParam();
+  for (auto make : {+[] { return path_graph(21); },
+                    +[] { return star_graph(12); },
+                    +[] { return erdos_renyi(100, 350, 81); },
+                    +[] { return rmat(7, 4, 82); }}) {
+    Graph g(make(), Kind::undirected);
+    auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+    // mate is dense (every vertex present; unmatched = own id).
+    auto mate = to_dense_std(maximal_matching(g, seed), std::uint64_t{0});
+    EXPECT_TRUE(ref::valid_maximal_matching(sg, mate));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetAlgorithms, ::testing::Values(1, 42, 777));
+
+TEST(Mis, CompleteGraphPicksExactlyOne) {
+  Graph g(complete_graph(10), Kind::undirected);
+  auto flags = mis_flags(g, 5);
+  EXPECT_EQ(std::count(flags.begin(), flags.end(), 1), 1);
+}
+
+TEST(Mis, EmptyGraphPicksAll) {
+  gb::Matrix<double> a(7, 7);
+  Graph g(std::move(a), Kind::undirected);
+  auto flags = mis_flags(g, 5);
+  EXPECT_EQ(std::count(flags.begin(), flags.end(), 1), 7);
+}
+
+TEST(Mis, SelfLoopsDoNotDeadlock) {
+  auto a = path_graph(6);
+  a.set_element(2, 2, 1.0);
+  Graph g(std::move(a), Kind::undirected);
+  auto flags = mis_flags(g, 9);
+  auto sg0 = ref::SimpleGraph::from_matrix(g.undirected_view());
+  EXPECT_TRUE(ref::valid_mis(sg0, flags));
+}
+
+TEST(Coloring, BipartiteGetsFewColors) {
+  // Paths are 2-colorable; the independent-set rounds should stay small.
+  Graph g(path_graph(50), Kind::undirected);
+  auto colors = to_dense_std(coloring(g, 3), std::uint64_t{0});
+  auto cmax = *std::max_element(colors.begin(), colors.end());
+  EXPECT_LE(cmax, 8u);  // loose bound; proper 2-coloring not guaranteed
+}
+
+TEST(Coloring, CompleteGraphNeedsNColors) {
+  Graph g(complete_graph(6), Kind::undirected);
+  auto colors = to_dense_std(coloring(g, 3), std::uint64_t{0});
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  EXPECT_EQ(colors.size(), 6u);
+}
+
+TEST(Matching, PathGraphMatchesFloorHalf) {
+  // A maximal matching on an even path matches every vertex when greedy
+  // pairs align; at minimum it covers 1/2 of the maximum.
+  Graph g(path_graph(10), Kind::undirected);
+  auto mate = to_dense_std(maximal_matching(g, 1), std::uint64_t{0});
+  int matched = 0;
+  for (Index v = 0; v < 10; ++v) {
+    if (mate[v] != v) ++matched;
+  }
+  EXPECT_GE(matched, 6);  // >= 3 edges (maximum is 5)
+  EXPECT_EQ(matched % 2, 0);
+}

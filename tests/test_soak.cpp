@@ -1,0 +1,162 @@
+// Model-based soak tests: long randomized interleavings of mutations and
+// reads against simple std::map models. Non-blocking mode (pending tuples +
+// zombies + implicit materialisation) is the most stateful machine in the
+// library; these runs hammer the interleavings the directed unit tests
+// cannot enumerate.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "graphblas/graphblas.hpp"
+
+using gb::Index;
+
+class SoakSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoakSweep, MatrixMutationInterleavings) {
+  std::mt19937_64 rng(42000 + GetParam());
+  const Index n = 24;
+  gb::Matrix<double> m(n, n);
+  std::map<std::pair<Index, Index>, double> model;
+
+  for (int step = 0; step < 4000; ++step) {
+    int action = static_cast<int>(rng() % 100);
+    Index i = rng() % n, j = rng() % n;
+    if (action < 45) {  // set
+      auto v = static_cast<double>(rng() % 1000) / 8.0;
+      m.set_element(i, j, v);
+      model[{i, j}] = v;
+    } else if (action < 70) {  // remove
+      m.remove_element(i, j);
+      model.erase({i, j});
+    } else if (action < 80) {  // explicit wait
+      m.wait();
+    } else if (action < 90) {  // point read (forces materialisation)
+      auto got = m.extract_element(i, j);
+      auto it = model.find({i, j});
+      if (it == model.end()) {
+        EXPECT_FALSE(got.has_value()) << "step " << step;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "step " << step;
+        EXPECT_EQ(*got, it->second) << "step " << step;
+      }
+    } else if (action < 95) {  // nvals
+      EXPECT_EQ(m.nvals(), model.size()) << "step " << step;
+    } else {  // full-state comparison
+      std::vector<Index> r, c;
+      std::vector<double> v;
+      m.extract_tuples(r, c, v);
+      ASSERT_EQ(v.size(), model.size()) << "step " << step;
+      std::size_t k = 0;
+      for (const auto& [key, val] : model) {
+        // extract_tuples is row-major sorted; std::map on (row, col) pairs
+        // iterates in the same order.
+        EXPECT_EQ(r[k], key.first) << "step " << step;
+        EXPECT_EQ(c[k], key.second) << "step " << step;
+        EXPECT_EQ(v[k], val) << "step " << step;
+        ++k;
+      }
+    }
+  }
+}
+
+TEST_P(SoakSweep, VectorMutationInterleavingsWithRepChanges) {
+  std::mt19937_64 rng(43000 + GetParam());
+  const Index n = 64;
+  gb::Vector<double> vec(n);
+  std::map<Index, double> model;
+
+  for (int step = 0; step < 4000; ++step) {
+    int action = static_cast<int>(rng() % 100);
+    Index i = rng() % n;
+    if (action < 40) {
+      auto v = static_cast<double>(rng() % 1000) / 4.0;
+      vec.set_element(i, v);
+      model[i] = v;
+    } else if (action < 65) {
+      vec.remove_element(i);
+      model.erase(i);
+    } else if (action < 72) {  // representation flips must be value-neutral
+      vec.to_dense();
+    } else if (action < 79) {
+      vec.to_sparse();
+    } else if (action < 85) {
+      vec.auto_rep();
+    } else if (action < 95) {
+      auto got = vec.extract_element(i);
+      auto it = model.find(i);
+      if (it == model.end()) {
+        EXPECT_FALSE(got.has_value()) << "step " << step;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "step " << step;
+        EXPECT_EQ(*got, it->second) << "step " << step;
+      }
+    } else {
+      EXPECT_EQ(vec.nvals(), model.size()) << "step " << step;
+    }
+  }
+
+  // Final full comparison.
+  std::vector<Index> idx;
+  std::vector<double> val;
+  vec.extract_tuples(idx, val);
+  ASSERT_EQ(idx.size(), model.size());
+  std::size_t k = 0;
+  for (const auto& [i, v] : model) {
+    EXPECT_EQ(idx[k], i);
+    EXPECT_EQ(val[k], v);
+    ++k;
+  }
+}
+
+TEST_P(SoakSweep, MutationsInterleavedWithOperations) {
+  // Operations must observe materialised state mid-stream, and mutations
+  // must keep working after operations rebuilt the internals.
+  std::mt19937_64 rng(44000 + GetParam());
+  const Index n = 16;
+  gb::Matrix<double> m(n, n);
+  std::map<std::pair<Index, Index>, double> model;
+
+  for (int step = 0; step < 300; ++step) {
+    // A burst of mutations...
+    for (int b = 0; b < 5; ++b) {
+      Index i = rng() % n, j = rng() % n;
+      if (rng() % 3 == 0) {
+        m.remove_element(i, j);
+        model.erase({i, j});
+      } else {
+        auto v = static_cast<double>(1 + rng() % 9);
+        m.set_element(i, j, v);
+        model[{i, j}] = v;
+      }
+    }
+    // ...then an operation that must see all of them.
+    double got_sum = 0.0;
+    switch (rng() % 3) {
+      case 0: {
+        gb::Vector<double> w(n);
+        gb::reduce(w, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), m);
+        got_sum = gb::reduce_scalar(gb::plus_monoid<double>(), w);
+        break;
+      }
+      case 1: {
+        gb::Matrix<double> t(n, n);
+        gb::transpose(t, gb::no_mask, gb::no_accum, m);
+        got_sum = gb::reduce_scalar(gb::plus_monoid<double>(), t);
+        break;
+      }
+      default: {
+        gb::Matrix<double> c(n, n);
+        gb::apply(c, gb::no_mask, gb::no_accum, gb::Identity{}, m);
+        got_sum = gb::reduce_scalar(gb::plus_monoid<double>(), c);
+        break;
+      }
+    }
+    double want_sum = 0.0;
+    for (const auto& [key, v] : model) want_sum += v;
+    EXPECT_DOUBLE_EQ(got_sum, want_sum) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakSweep, ::testing::Range(0, 4));

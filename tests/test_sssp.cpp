@@ -1,0 +1,149 @@
+// SSSP: Bellman-Ford and delta-stepping vs Dijkstra (and vs the textbook
+// Bellman-Ford when negative edges are present).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+void expect_dists_match(const Graph& g, const gb::Vector<double>& got,
+                        const std::vector<double>& want, double tol = 1e-9) {
+  auto dense = to_dense_std(got, std::numeric_limits<double>::infinity());
+  ASSERT_EQ(dense.size(), want.size());
+  for (std::size_t v = 0; v < want.size(); ++v) {
+    if (std::isinf(want[v])) {
+      EXPECT_TRUE(std::isinf(dense[v])) << "vertex " << v;
+    } else {
+      EXPECT_NEAR(dense[v], want[v], tol) << "vertex " << v;
+    }
+  }
+  (void)g;
+}
+
+}  // namespace
+
+struct SsspCase {
+  const char* name;
+  gb::Matrix<double> (*make)();
+  Index source;
+};
+
+gb::Matrix<double> weighted_grid() { return grid2d(8, 8, 5, 9.0); }
+gb::Matrix<double> weighted_er() {
+  return randomize_weights(erdos_renyi(120, 400, 9), 0.5, 5.0, 10);
+}
+gb::Matrix<double> weighted_rmat() {
+  return randomize_weights(rmat(8, 6, 11), 1.0, 4.0, 12);
+}
+
+class SsspGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SsspGraphs, BellmanFordMatchesDijkstra) {
+  gb::Matrix<double> (*makers[])() = {weighted_grid, weighted_er,
+                                      weighted_rmat};
+  Graph g(makers[GetParam()](), Kind::undirected);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  for (Index src : {Index{0}, Index{7}}) {
+    auto want = ref::dijkstra(sg, src);
+    auto got = sssp_bellman_ford(g, src);
+    expect_dists_match(g, got, want);
+  }
+}
+
+TEST_P(SsspGraphs, DeltaSteppingMatchesDijkstra) {
+  gb::Matrix<double> (*makers[])() = {weighted_grid, weighted_er,
+                                      weighted_rmat};
+  Graph g(makers[GetParam()](), Kind::undirected);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  for (double delta : {0.75, 2.0, 100.0}) {
+    auto want = ref::dijkstra(sg, 0);
+    auto got = sssp_delta_stepping(g, 0, delta);
+    expect_dists_match(g, got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, SsspGraphs, ::testing::Range(0, 3));
+
+TEST(Sssp, UnreachableVerticesAbsent) {
+  gb::Matrix<double> a(4, 4);
+  a.set_element(0, 1, 2.0);
+  Graph g(std::move(a), Kind::directed);
+  auto d = sssp_bellman_ford(g, 0);
+  EXPECT_EQ(d.nvals(), 2u);
+  EXPECT_EQ(d.extract_element(0).value(), 0.0);
+  EXPECT_EQ(d.extract_element(1).value(), 2.0);
+  EXPECT_FALSE(d.extract_element(3).has_value());
+}
+
+TEST(Sssp, NegativeEdgesHandledByBellmanFord) {
+  // 0 ->(4) 1 ->(-2) 2; direct 0 ->(3) 2. Best to 2 is 2 via the chain.
+  gb::Matrix<double> a(3, 3);
+  a.set_element(0, 1, 4.0);
+  a.set_element(1, 2, -2.0);
+  a.set_element(0, 2, 3.0);
+  Graph g(std::move(a), Kind::directed);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  auto want = ref::bellman_ford(sg, 0);
+  auto got = sssp_bellman_ford(g, 0);
+  expect_dists_match(g, got, want);
+  EXPECT_EQ(got.extract_element(2).value(), 2.0);
+}
+
+TEST(Sssp, NegativeCycleThrows) {
+  gb::Matrix<double> a(3, 3);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 2, -3.0);
+  a.set_element(2, 0, 1.0);
+  Graph g(std::move(a), Kind::directed);
+  EXPECT_THROW(sssp_bellman_ford(g, 0), gb::Error);
+}
+
+TEST(Sssp, DeltaSteppingValidatesArgs) {
+  Graph g(path_graph(4), Kind::undirected);
+  EXPECT_THROW(sssp_delta_stepping(g, 0, 0.0), gb::Error);
+  EXPECT_THROW(sssp_delta_stepping(g, 9, 1.0), gb::Error);
+}
+
+TEST(Sssp, DirectedWeightedChain) {
+  gb::Matrix<double> a(5, 5);
+  for (Index i = 0; i + 1 < 5; ++i)
+    a.set_element(i, i + 1, static_cast<double>(i + 1));
+  Graph g(std::move(a), Kind::directed);
+  auto d = sssp_delta_stepping(g, 0, 1.5);
+  EXPECT_EQ(d.extract_element(4).value(), 10.0);  // 1+2+3+4
+}
+
+TEST(Apsp, MatchesRepeatedDijkstra) {
+  Graph g(weighted_grid(), Kind::undirected);
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  auto d = apsp(g);
+  for (Index src : {Index{0}, Index{13}, Index{63}}) {
+    auto want = ref::dijkstra(sg, src);
+    for (Index v = 0; v < sg.n; ++v) {
+      auto got = d.extract_element(src, v);
+      if (std::isinf(want[v])) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value()) << src << "->" << v;
+        EXPECT_NEAR(*got, want[v], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Apsp, DiagonalIsZero) {
+  Graph g(cycle_graph(6), Kind::undirected);
+  auto d = apsp(g);
+  for (Index v = 0; v < 6; ++v) {
+    EXPECT_EQ(d.extract_element(v, v).value(), 0.0);
+  }
+  EXPECT_EQ(d.extract_element(0, 3).value(), 3.0);  // halfway round
+}

@@ -1,0 +1,114 @@
+// Triangle counting (all five methods) and k-truss vs brute force.
+#include <gtest/gtest.h>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/generator.hpp"
+#include "reference/simple_graph.hpp"
+
+using gb::Index;
+using namespace lagraph;
+
+namespace {
+
+const TriangleMethod kMethods[] = {
+    TriangleMethod::burkhardt, TriangleMethod::cohen, TriangleMethod::sandia_ll,
+    TriangleMethod::sandia_uu, TriangleMethod::dot};
+
+void expect_triangles(Graph&& g) {
+  auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+  auto want = ref::count_triangles(sg);
+  for (auto m : kMethods) {
+    EXPECT_EQ(triangle_count(g, m), want)
+        << "method " << static_cast<int>(m);
+  }
+}
+
+}  // namespace
+
+TEST(Triangle, KnownCounts) {
+  // K4 has 4 triangles.
+  expect_triangles(Graph(complete_graph(4), Kind::undirected));
+  // A path has none.
+  expect_triangles(Graph(path_graph(10), Kind::undirected));
+  // C5 has none; C3 has one.
+  expect_triangles(Graph(cycle_graph(5), Kind::undirected));
+  expect_triangles(Graph(cycle_graph(3), Kind::undirected));
+  // K7: C(7,3) = 35.
+  Graph k7(complete_graph(7), Kind::undirected);
+  EXPECT_EQ(triangle_count(k7), 35u);
+}
+
+TEST(Triangle, RandomGraphsAllMethodsAgree) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    expect_triangles(Graph(erdos_renyi(60, 300, seed), Kind::undirected));
+  }
+  expect_triangles(Graph(rmat(7, 8, 4), Kind::undirected));
+}
+
+TEST(Triangle, SelfLoopsIgnored) {
+  auto a = complete_graph(4);
+  a.set_element(0, 0, 1.0);
+  a.set_element(2, 2, 1.0);
+  Graph g(std::move(a), Kind::undirected);
+  EXPECT_EQ(triangle_count(g), 4u);
+}
+
+TEST(Triangle, DirectedInputUsesUndirectedView) {
+  // One directed triangle: 0->1->2->0 still counts as one undirected.
+  gb::Matrix<double> a(3, 3);
+  a.set_element(0, 1, 1.0);
+  a.set_element(1, 2, 1.0);
+  a.set_element(2, 0, 1.0);
+  Graph g(std::move(a), Kind::directed);
+  EXPECT_EQ(triangle_count(g), 1u);
+}
+
+TEST(Ktruss, KnownShapes) {
+  // K4: every edge has support 2, so the 4-truss is K4 itself and the
+  // 5-truss is empty.
+  Graph k4(complete_graph(4), Kind::undirected);
+  auto t4 = ktruss(k4, 4);
+  EXPECT_EQ(t4.nedges, 6u);
+  auto t5 = ktruss(k4, 5);
+  EXPECT_EQ(t5.nedges, 0u);
+
+  // Triangle with a tail: the 3-truss drops the tail.
+  gb::Matrix<double> a(5, 5);
+  auto add = [&a](Index u, Index v) {
+    a.set_element(u, v, 1.0);
+    a.set_element(v, u, 1.0);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(0, 2);
+  add(2, 3);
+  add(3, 4);
+  Graph g(std::move(a), Kind::undirected);
+  auto t3 = ktruss(g, 3);
+  EXPECT_EQ(t3.nedges, 3u);  // only the triangle survives
+  EXPECT_FALSE(t3.c.extract_element(2, 3).has_value());
+  EXPECT_TRUE(t3.c.extract_element(0, 1).has_value());
+}
+
+TEST(Ktruss, MatchesReferencePeeling) {
+  for (std::uint64_t seed : {5u, 6u}) {
+    Graph g(erdos_renyi(50, 250, seed), Kind::undirected);
+    auto sg = ref::SimpleGraph::from_matrix(g.undirected_view());
+    for (std::uint64_t k : {3u, 4u, 5u}) {
+      EXPECT_EQ(ktruss(g, k).nedges, ref::ktruss_edge_count(sg, k))
+          << "k=" << k << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Ktruss, SupportValuesAreCorrect) {
+  Graph k5(complete_graph(5), Kind::undirected);
+  auto t = ktruss(k5, 3);
+  // In K5 every edge closes 3 triangles.
+  EXPECT_EQ(t.c.extract_element(0, 1).value(), 3);
+}
+
+TEST(Ktruss, RejectsSmallK) {
+  Graph g(complete_graph(3), Kind::undirected);
+  EXPECT_THROW(ktruss(g, 2), gb::Error);
+}

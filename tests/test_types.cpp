@@ -1,0 +1,155 @@
+// Type sweep: the opaque objects and core operations across the built-in
+// scalar domains (the C API's 11 types minus the float/double duplicates we
+// spot-check elsewhere). Catches storage/casting regressions — especially
+// around bool, whose physical storage differs (std::vector<bool> dodge).
+#include <gtest/gtest.h>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/util/check.hpp"
+
+using gb::Index;
+
+template <class T>
+class TypedObjects : public ::testing::Test {};
+
+using Domains = ::testing::Types<std::int8_t, std::uint8_t, std::int16_t,
+                                 std::uint16_t, std::int32_t, std::uint32_t,
+                                 std::int64_t, std::uint64_t, float, double>;
+TYPED_TEST_SUITE(TypedObjects, Domains);
+
+TYPED_TEST(TypedObjects, VectorRoundTrip) {
+  using T = TypeParam;
+  gb::Vector<T> v(10);
+  v.set_element(2, T{3});
+  v.set_element(7, T{5});
+  EXPECT_EQ(v.nvals(), 2u);
+  EXPECT_EQ(v.extract_element(2).value(), T{3});
+  v.remove_element(2);
+  EXPECT_FALSE(v.extract_element(2).has_value());
+
+  std::vector<Index> idx;
+  std::vector<T> val;
+  v.extract_tuples(idx, val);
+  EXPECT_EQ(idx, (std::vector<Index>{7}));
+  EXPECT_EQ(val[0], T{5});
+}
+
+TYPED_TEST(TypedObjects, MatrixRoundTripAndFormats) {
+  using T = TypeParam;
+  gb::Matrix<T> a(6, 6);
+  std::vector<Index> r = {0, 3, 5};
+  std::vector<Index> c = {1, 2, 0};
+  std::vector<T> v = {T{1}, T{2}, T{3}};
+  a.build(r, c, v, gb::Plus{});
+  EXPECT_EQ(a.nvals(), 3u);
+  EXPECT_EQ(a.extract_element(3, 2).value(), T{2});
+
+  // The dual orientation works for every domain.
+  a.ensure_dual_format();
+  const auto& cols = a.by_col();
+  auto k = cols.find_vec(2);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(cols.i[cols.vec_begin(*k)], 3u);
+}
+
+TYPED_TEST(TypedObjects, MxvPushPullAgree) {
+  using T = TypeParam;
+  gb::Matrix<T> a(8, 8);
+  for (Index i = 0; i < 8; ++i) {
+    a.set_element(i, (i + 1) % 8, T{1});
+    a.set_element(i, (i + 3) % 8, T{2});
+  }
+  gb::Vector<T> u(8);
+  for (Index i = 0; i < 8; i += 2) u.set_element(i, T{1});
+
+  gb::Descriptor push, pull;
+  push.mxv = gb::MxvMethod::push;
+  pull.mxv = gb::MxvMethod::pull;
+  gb::Vector<T> w1(8), w2(8);
+  gb::mxv(w1, gb::no_mask, gb::no_accum, gb::plus_times<T>(), a, u, push);
+  gb::mxv(w2, gb::no_mask, gb::no_accum, gb::plus_times<T>(), a, u, pull);
+  EXPECT_TRUE(lagraph::isequal(w1, w2));
+  EXPECT_GT(w1.nvals(), 0u);
+}
+
+TYPED_TEST(TypedObjects, MinPlusAndReduce) {
+  using T = TypeParam;
+  gb::Matrix<T> a(4, 4);
+  a.set_element(0, 1, T{2});
+  a.set_element(1, 2, T{3});
+  gb::Vector<T> d(4);
+  d.set_element(0, T{0});
+  gb::vxm(d, gb::no_mask, gb::Min{}, gb::min_plus<T>(), d, a);
+  EXPECT_EQ(d.extract_element(1).value(), T{2});
+  EXPECT_EQ(gb::reduce_scalar(gb::max_monoid<T>(), d), T{2});
+}
+
+TYPED_TEST(TypedObjects, CrossTypeCasting) {
+  // int64 matrix times TypeParam vector into a double output: the write-back
+  // typecast chain must hold for every domain.
+  using T = TypeParam;
+  gb::Matrix<std::int64_t> a(3, 3);
+  a.set_element(0, 1, 2);
+  gb::Vector<T> u(3);
+  u.set_element(1, T{3});
+  gb::Vector<double> w(3);
+  gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u);
+  EXPECT_EQ(w.extract_element(0).value(), 6.0);
+}
+
+// Bool has its own semiring family (plus_times over bool is not a ring).
+TEST(TypedBool, LogicalOps) {
+  gb::Matrix<bool> a(5, 5);
+  a.set_element(0, 1, true);
+  a.set_element(1, 2, true);
+  a.set_element(2, 3, true);
+  gb::Vector<bool> u(5);
+  u.set_element(0, true);
+
+  // Two reachability steps over lor_land.
+  gb::Vector<bool> w(5);
+  gb::vxm(w, gb::no_mask, gb::no_accum, gb::lor_land(), u, a);
+  EXPECT_EQ(w.nvals(), 1u);
+  EXPECT_EQ(w.extract_element(1).value(), true);
+  gb::vxm(w, gb::no_mask, gb::no_accum, gb::lor_land(), w, a);
+  EXPECT_EQ(w.extract_element(2).value(), true);
+
+  EXPECT_TRUE(gb::reduce_scalar(gb::lor_monoid(), w));
+  EXPECT_TRUE(gb::reduce_scalar(gb::land_monoid(), w));
+
+  gb::Matrix<bool> t = gb::transposed(a);
+  EXPECT_EQ(t.extract_element(1, 0).value(), true);
+}
+
+TEST(TypedBool, EwiseAndSelect) {
+  gb::Vector<bool> u(4), v(4);
+  u.set_element(0, true);
+  u.set_element(1, false);
+  v.set_element(1, true);
+  v.set_element(2, true);
+  gb::Vector<bool> w(4);
+  gb::ewise_add(w, gb::no_mask, gb::no_accum, gb::Lor{}, u, v);
+  EXPECT_EQ(w.nvals(), 3u);
+  EXPECT_EQ(w.extract_element(1).value(), true);  // false | true
+
+  gb::Vector<bool> only_true(4);
+  gb::select(only_true, gb::no_mask, gb::no_accum, gb::SelValueNe{}, w, false);
+  EXPECT_EQ(only_true.nvals(), 3u);  // all three entries are true
+}
+
+TEST(TypedBool, BoolMatrixAsValuedMask) {
+  // A bool mask with explicit false entries: valued masking must skip them,
+  // structural masking must honour them.
+  gb::Vector<double> t = gb::Vector<double>::full(3, 7.0);
+  gb::Vector<bool> mask(3);
+  mask.set_element(0, true);
+  mask.set_element(1, false);
+
+  gb::Vector<double> c1(3);
+  gb::apply(c1, mask, gb::no_accum, gb::Identity{}, t);
+  EXPECT_EQ(c1.nvals(), 1u);
+
+  gb::Vector<double> c2(3);
+  gb::apply(c2, mask, gb::no_accum, gb::Identity{}, t, gb::desc_s);
+  EXPECT_EQ(c2.nvals(), 2u);
+}

@@ -1,0 +1,211 @@
+// lagraph_check — the §III/Fig. 1 "test harness" as a standalone tool: load
+// a graph from disk (Matrix Market, edge list, or LAGR binary — or generate
+// one), run the algorithm suite on it, validate every result against the
+// textbook reference layer, and report PASS/FAIL per algorithm.
+//
+//   lagraph_check <file.mtx|file.el|file.bin> [--directed]
+//   lagraph_check --rmat <scale> [--directed]
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
+#include "lagraph/util/edgelist.hpp"
+#include "lagraph/util/generator.hpp"
+#include "lagraph/util/mmio.hpp"
+#include "lagraph/util/serialize.hpp"
+#include "lagraph/util/stats.hpp"
+#include "platform/timer.hpp"
+#include "reference/simple_graph.hpp"
+
+namespace {
+
+using gb::Index;
+
+int checks_run = 0;
+int checks_failed = 0;
+
+void report(const char* name, bool ok, double ms) {
+  ++checks_run;
+  if (!ok) ++checks_failed;
+  std::printf("  %-28s %s  (%.1f ms)\n", name, ok ? "PASS" : "FAIL", ms);
+}
+
+gb::Matrix<double> load(const std::string& path) {
+  auto ends_with = [&path](const char* suffix) {
+    auto n = std::strlen(suffix);
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  if (ends_with(".mtx")) return lagraph::mm_read(path);
+  if (ends_with(".bin")) return lagraph::load_matrix(path);
+  if (ends_with(".el") || ends_with(".txt") || ends_with(".tsv")) {
+    return lagraph::read_edge_list(path);
+  }
+  throw gb::Error(gb::Info::invalid_value,
+                  "unknown file extension (want .mtx, .bin, .el/.txt/.tsv)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gb::Matrix<double> adj;
+  lagraph::Kind kind = lagraph::Kind::undirected;
+  bool loaded = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--directed") {
+      kind = lagraph::Kind::directed;
+    } else if (arg == "--rmat" && i + 1 < argc) {
+      adj = lagraph::rmat(std::atoi(argv[++i]), 8, 4242);
+      loaded = true;
+    } else if (arg[0] != '-') {
+      try {
+        adj = load(arg);
+        loaded = true;
+      } catch (const gb::Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s <file.mtx|file.el|file.bin> [--directed]\n"
+                   "       %s --rmat <scale> [--directed]\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+  }
+  if (!loaded) {
+    adj = lagraph::rmat(8, 8, 4242);
+    std::printf("no input given; using rmat-8 ef=8\n");
+  }
+  if (adj.nrows() != adj.ncols()) {
+    std::fprintf(stderr, "error: adjacency must be square (got %llux%llu)\n",
+                 static_cast<unsigned long long>(adj.nrows()),
+                 static_cast<unsigned long long>(adj.ncols()));
+    return 2;
+  }
+
+  lagraph::Graph g(std::move(adj), kind);
+  std::printf("%s\n\n", lagraph::describe(g).c_str());
+  auto sg = ref::SimpleGraph::from_matrix(g.adj());
+  auto su = ref::SimpleGraph::from_matrix(g.undirected_view());
+  const Index n = g.nrows();
+
+  // Source: the max-degree vertex.
+  Index hub = 0;
+  {
+    auto deg = lagraph::to_dense_std(g.out_degree(), std::int64_t{0});
+    for (Index v = 1; v < n; ++v) {
+      if (deg[v] > deg[hub]) hub = v;
+    }
+  }
+  gb::platform::Timer t;
+
+  std::printf("validating against the textbook reference layer:\n");
+
+  {
+    t.reset();
+    auto res = lagraph::bfs(g, hub);
+    auto want = ref::bfs_levels(sg, hub);
+    auto got = lagraph::to_dense_std(res.level, std::int64_t{-1});
+    bool ok = true;
+    for (Index v = 0; v < n; ++v) ok &= got[v] == want[v];
+    auto parents = lagraph::to_dense_std(res.parent, std::int64_t{-1});
+    ok &= ref::valid_bfs_parents(sg, hub, parents, want);
+    report("bfs (level + parent)", ok, t.millis());
+  }
+  {
+    t.reset();
+    auto got = lagraph::sssp_bellman_ford(g, hub);
+    auto want = ref::dijkstra(sg, hub);
+    auto dense = lagraph::to_dense_std(
+        got, std::numeric_limits<double>::infinity());
+    bool ok = true;
+    for (Index v = 0; v < n; ++v) {
+      ok &= std::isinf(want[v]) ? std::isinf(dense[v])
+                                : std::abs(dense[v] - want[v]) < 1e-9;
+    }
+    report("sssp (bellman-ford)", ok, t.millis());
+  }
+  {
+    t.reset();
+    auto got = lagraph::to_dense_std(lagraph::connected_components(g),
+                                     std::uint64_t{0});
+    auto want = ref::connected_components(su);
+    bool ok = true;
+    for (Index v = 0; v < n; ++v) ok &= got[v] == want[v];
+    report("connected components", ok, t.millis());
+  }
+  {
+    t.reset();
+    bool ok = lagraph::triangle_count(g) == ref::count_triangles(su);
+    report("triangle count", ok, t.millis());
+  }
+  {
+    t.reset();
+    bool ok = lagraph::ktruss(g, 4).nedges == ref::ktruss_edge_count(su, 4);
+    report("k-truss (k=4)", ok, t.millis());
+  }
+  {
+    t.reset();
+    auto got = lagraph::to_dense_std(lagraph::kcore(g), std::uint64_t{0});
+    auto want = ref::kcore(su);
+    bool ok = true;
+    for (Index v = 0; v < n; ++v) ok &= got[v] == want[v];
+    report("k-core decomposition", ok, t.millis());
+  }
+  {
+    t.reset();
+    auto res = lagraph::pagerank(g, 0.85, 1e-12, 200);
+    auto want = ref::pagerank(sg, 0.85, 200, 1e-12);
+    auto got = lagraph::to_dense_std(res.rank, 0.0);
+    bool ok = true;
+    for (Index v = 0; v < n; ++v) ok &= std::abs(got[v] - want[v]) < 1e-5;
+    report("pagerank", ok, t.millis());
+  }
+  {
+    t.reset();
+    auto flags_v = lagraph::mis(g, 7);
+    std::vector<std::uint8_t> flags(n, 0);
+    std::vector<Index> idx;
+    std::vector<bool> val;
+    flags_v.extract_tuples(idx, val);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      if (val[k]) flags[idx[k]] = 1;
+    }
+    report("maximal independent set", ref::valid_mis(su, flags), t.millis());
+  }
+  {
+    t.reset();
+    auto colors = lagraph::to_dense_std(lagraph::coloring(g, 7),
+                                        std::uint64_t{0});
+    report("greedy coloring", ref::valid_coloring(su, colors), t.millis());
+  }
+  {
+    t.reset();
+    auto mate = lagraph::to_dense_std(lagraph::maximal_matching(g, 7),
+                                      std::uint64_t{0});
+    report("maximal matching", ref::valid_maximal_matching(su, mate),
+           t.millis());
+  }
+  if (n <= 4096) {
+    t.reset();
+    std::vector<Index> sources(std::min<Index>(n, 16));
+    std::iota(sources.begin(), sources.end(), Index{0});
+    auto got = lagraph::to_dense_std(lagraph::betweenness(g, sources), 0.0);
+    // Validate the batch against per-source Brandes only when the batch is
+    // the full vertex set (small graphs).
+    bool ok = true;
+    if (sources.size() == n) {
+      auto want = ref::betweenness(sg);
+      for (Index v = 0; v < n; ++v) ok &= std::abs(got[v] - want[v]) < 1e-6;
+    }
+    report("betweenness (batch)", ok, t.millis());
+  }
+
+  std::printf("\n%d checks, %d failed\n", checks_run, checks_failed);
+  return checks_failed == 0 ? 0 : 1;
+}
