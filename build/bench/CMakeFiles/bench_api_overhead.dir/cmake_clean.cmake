@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_api_overhead.dir/bench_api_overhead.cpp.o"
+  "CMakeFiles/bench_api_overhead.dir/bench_api_overhead.cpp.o.d"
+  "bench_api_overhead"
+  "bench_api_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_api_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_assign.dir/bench_assign.cpp.o"
+  "CMakeFiles/bench_assign.dir/bench_assign.cpp.o.d"
+  "bench_assign"
+  "bench_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

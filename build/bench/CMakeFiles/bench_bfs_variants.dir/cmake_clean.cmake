@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bfs_variants.dir/bench_bfs_variants.cpp.o"
+  "CMakeFiles/bench_bfs_variants.dir/bench_bfs_variants.cpp.o.d"
+  "bench_bfs_variants"
+  "bench_bfs_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bfs_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypersparse.dir/bench_hypersparse.cpp.o"
+  "CMakeFiles/bench_hypersparse.dir/bench_hypersparse.cpp.o.d"
+  "bench_hypersparse"
+  "bench_hypersparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypersparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

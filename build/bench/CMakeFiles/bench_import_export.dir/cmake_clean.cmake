@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_import_export.dir/bench_import_export.cpp.o"
+  "CMakeFiles/bench_import_export.dir/bench_import_export.cpp.o.d"
+  "bench_import_export"
+  "bench_import_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_import_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operations.dir/bench_operations.cpp.o"
+  "CMakeFiles/bench_operations.dir/bench_operations.cpp.o.d"
+  "bench_operations"
+  "bench_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dnn_inference.dir/dnn_inference.cpp.o"
+  "CMakeFiles/example_dnn_inference.dir/dnn_inference.cpp.o.d"
+  "example_dnn_inference"
+  "example_dnn_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dnn_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

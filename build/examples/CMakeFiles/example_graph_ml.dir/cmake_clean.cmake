@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_ml.dir/graph_ml.cpp.o"
+  "CMakeFiles/example_graph_ml.dir/graph_ml.cpp.o.d"
+  "example_graph_ml"
+  "example_graph_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

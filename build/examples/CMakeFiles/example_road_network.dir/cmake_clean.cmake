@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_road_network.dir/road_network.cpp.o"
+  "CMakeFiles/example_road_network.dir/road_network.cpp.o.d"
+  "example_road_network"
+  "example_road_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_road_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

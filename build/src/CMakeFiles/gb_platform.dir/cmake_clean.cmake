@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_platform.dir/platform/memory.cpp.o"
+  "CMakeFiles/gb_platform.dir/platform/memory.cpp.o.d"
+  "libgb_platform.a"
+  "libgb_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

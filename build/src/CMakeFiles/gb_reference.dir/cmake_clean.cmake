@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gb_reference.dir/reference/dense_ref.cpp.o"
+  "CMakeFiles/gb_reference.dir/reference/dense_ref.cpp.o.d"
+  "CMakeFiles/gb_reference.dir/reference/simple_graph.cpp.o"
+  "CMakeFiles/gb_reference.dir/reference/simple_graph.cpp.o.d"
+  "libgb_reference.a"
+  "libgb_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gb_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

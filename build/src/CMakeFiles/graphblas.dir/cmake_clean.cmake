@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphblas.dir/graphblas/registry.cpp.o"
+  "CMakeFiles/graphblas.dir/graphblas/registry.cpp.o.d"
+  "libgraphblas.a"
+  "libgraphblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

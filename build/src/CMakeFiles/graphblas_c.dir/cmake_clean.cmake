@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphblas_c.dir/capi/graphblas_c.cpp.o"
+  "CMakeFiles/graphblas_c.dir/capi/graphblas_c.cpp.o.d"
+  "libgraphblas_c.a"
+  "libgraphblas_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphblas_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lagraph/algorithms/apsp.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/apsp.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/apsp.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/astar.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/astar.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/astar.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/bc.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/bc.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/bc.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/bfs.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/bfs.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/bfs.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/bipartite_matching.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/bipartite_matching.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/bipartite_matching.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/cc.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/cc.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/cc.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/collaborative_filtering.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/collaborative_filtering.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/collaborative_filtering.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/coloring.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/coloring.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/coloring.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/dnn.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/dnn.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/dnn.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/gnn.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/gnn.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/gnn.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/kcore.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/kcore.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/kcore.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/ktruss.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/ktruss.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/ktruss.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/local_clustering.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/local_clustering.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/local_clustering.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/matching.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/matching.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/matching.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/mcl.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/mcl.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/mcl.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/mis.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/mis.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/mis.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/pagerank.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/pagerank.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/pagerank.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/peer_pressure.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/peer_pressure.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/peer_pressure.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/scc.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/scc.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/scc.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/sssp.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/sssp.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/sssp.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/subgraph_count.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/subgraph_count.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/subgraph_count.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/triangle.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/triangle.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/triangle.cpp.o.d"
+  "/root/repo/src/lagraph/algorithms/wl_kernel.cpp" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/wl_kernel.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/algorithms/wl_kernel.cpp.o.d"
+  "/root/repo/src/lagraph/graph.cpp" "src/CMakeFiles/lagraph.dir/lagraph/graph.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/graph.cpp.o.d"
+  "/root/repo/src/lagraph/util/check.cpp" "src/CMakeFiles/lagraph.dir/lagraph/util/check.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/util/check.cpp.o.d"
+  "/root/repo/src/lagraph/util/edgelist.cpp" "src/CMakeFiles/lagraph.dir/lagraph/util/edgelist.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/util/edgelist.cpp.o.d"
+  "/root/repo/src/lagraph/util/generator.cpp" "src/CMakeFiles/lagraph.dir/lagraph/util/generator.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/util/generator.cpp.o.d"
+  "/root/repo/src/lagraph/util/mmio.cpp" "src/CMakeFiles/lagraph.dir/lagraph/util/mmio.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/util/mmio.cpp.o.d"
+  "/root/repo/src/lagraph/util/reorder.cpp" "src/CMakeFiles/lagraph.dir/lagraph/util/reorder.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/util/reorder.cpp.o.d"
+  "/root/repo/src/lagraph/util/serialize.cpp" "src/CMakeFiles/lagraph.dir/lagraph/util/serialize.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/util/serialize.cpp.o.d"
+  "/root/repo/src/lagraph/util/stats.cpp" "src/CMakeFiles/lagraph.dir/lagraph/util/stats.cpp.o" "gcc" "src/CMakeFiles/lagraph.dir/lagraph/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/graphblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gb_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bipartite_cf.dir/test_bipartite_cf.cpp.o"
+  "CMakeFiles/test_bipartite_cf.dir/test_bipartite_cf.cpp.o.d"
+  "test_bipartite_cf"
+  "test_bipartite_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bipartite_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

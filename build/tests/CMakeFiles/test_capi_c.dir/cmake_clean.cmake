@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capi_c.dir/test_capi_c.c.o"
+  "CMakeFiles/test_capi_c.dir/test_capi_c.c.o.d"
+  "test_capi_c"
+  "test_capi_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang C)
+  include(CMakeFiles/test_capi_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

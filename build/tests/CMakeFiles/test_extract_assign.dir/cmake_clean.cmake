@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extract_assign.dir/test_extract_assign.cpp.o"
+  "CMakeFiles/test_extract_assign.dir/test_extract_assign.cpp.o.d"
+  "test_extract_assign"
+  "test_extract_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extract_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_future_work.dir/test_future_work.cpp.o"
+  "CMakeFiles/test_future_work.dir/test_future_work.cpp.o.d"
+  "test_future_work"
+  "test_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_import_export.dir/test_import_export.cpp.o"
+  "CMakeFiles/test_import_export.dir/test_import_export.cpp.o.d"
+  "test_import_export"
+  "test_import_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_import_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

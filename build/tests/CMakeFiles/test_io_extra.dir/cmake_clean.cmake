@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_extra.dir/test_io_extra.cpp.o"
+  "CMakeFiles/test_io_extra.dir/test_io_extra.cpp.o.d"
+  "test_io_extra"
+  "test_io_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mask_accum.dir/test_mask_accum.cpp.o"
+  "CMakeFiles/test_mask_accum.dir/test_mask_accum.cpp.o.d"
+  "test_mask_accum"
+  "test_mask_accum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mask_accum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mxm.dir/test_mxm.cpp.o"
+  "CMakeFiles/test_mxm.dir/test_mxm.cpp.o.d"
+  "test_mxm"
+  "test_mxm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mxm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

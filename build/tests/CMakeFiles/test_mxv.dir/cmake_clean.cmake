@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mxv.dir/test_mxv.cpp.o"
+  "CMakeFiles/test_mxv.dir/test_mxv.cpp.o.d"
+  "test_mxv"
+  "test_mxv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mxv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduce_transpose.dir/test_reduce_transpose.cpp.o"
+  "CMakeFiles/test_reduce_transpose.dir/test_reduce_transpose.cpp.o.d"
+  "test_reduce_transpose"
+  "test_reduce_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduce_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

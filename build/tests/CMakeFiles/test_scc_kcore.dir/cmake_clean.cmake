@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scc_kcore.dir/test_scc_kcore.cpp.o"
+  "CMakeFiles/test_scc_kcore.dir/test_scc_kcore.cpp.o.d"
+  "test_scc_kcore"
+  "test_scc_kcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scc_kcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

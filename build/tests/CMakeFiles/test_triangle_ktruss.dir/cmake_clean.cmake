@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangle_ktruss.dir/test_triangle_ktruss.cpp.o"
+  "CMakeFiles/test_triangle_ktruss.dir/test_triangle_ktruss.cpp.o.d"
+  "test_triangle_ktruss"
+  "test_triangle_ktruss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangle_ktruss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

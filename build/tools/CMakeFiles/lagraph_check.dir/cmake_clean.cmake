@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lagraph_check.dir/lagraph_check.cpp.o"
+  "CMakeFiles/lagraph_check.dir/lagraph_check.cpp.o.d"
+  "lagraph_check"
+  "lagraph_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lagraph_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
