@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/alloc.cpp" "src/CMakeFiles/gb_platform.dir/platform/alloc.cpp.o" "gcc" "src/CMakeFiles/gb_platform.dir/platform/alloc.cpp.o.d"
   "/root/repo/src/platform/memory.cpp" "src/CMakeFiles/gb_platform.dir/platform/memory.cpp.o" "gcc" "src/CMakeFiles/gb_platform.dir/platform/memory.cpp.o.d"
   )
 

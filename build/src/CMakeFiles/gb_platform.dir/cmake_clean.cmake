@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/gb_platform.dir/platform/alloc.cpp.o"
+  "CMakeFiles/gb_platform.dir/platform/alloc.cpp.o.d"
   "CMakeFiles/gb_platform.dir/platform/memory.cpp.o"
   "CMakeFiles/gb_platform.dir/platform/memory.cpp.o.d"
   "libgb_platform.a"

@@ -178,8 +178,8 @@ src/CMakeFiles/lagraph.dir/lagraph/algorithms/collaborative_filtering.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/graphblas/ops.hpp \
  /root/repo/src/graphblas/types.hpp /usr/include/c++/12/stdexcept \
  /root/repo/src/graphblas/sparse_store.hpp \
- /root/repo/src/graphblas/vector.hpp /root/repo/src/platform/memory.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
+ /root/repo/src/platform/alloc.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
@@ -217,6 +217,7 @@ src/CMakeFiles/lagraph.dir/lagraph/algorithms/collaborative_filtering.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
  /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
+ /root/repo/src/platform/memory.hpp /root/repo/src/graphblas/vector.hpp \
  /root/repo/src/graphblas/store_utils.hpp \
  /root/repo/src/graphblas/assign.hpp /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -235,4 +236,5 @@ src/CMakeFiles/lagraph.dir/lagraph/algorithms/collaborative_filtering.cpp.o: \
  /root/repo/src/graphblas/reduce.hpp \
  /root/repo/src/graphblas/registry.hpp \
  /root/repo/src/graphblas/select.hpp \
- /root/repo/src/graphblas/transpose.hpp
+ /root/repo/src/graphblas/transpose.hpp \
+ /root/repo/src/graphblas/validate.hpp

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/test_fault_injection.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_fault_injection.dir/test_fault_injection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lagraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gb_reference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphblas_c.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/graphblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gb_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

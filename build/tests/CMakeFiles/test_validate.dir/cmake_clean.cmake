@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validate.dir/test_validate.cpp.o"
+  "CMakeFiles/test_validate.dir/test_validate.cpp.o.d"
+  "test_validate"
+  "test_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,14 +10,22 @@
 #include "capi/graphblas_c.h"
 
 #include <new>
+#include <string>
 
 #include "graphblas/graphblas.hpp"
 
+// The opaque structs carry a per-object last-error string (C API §4.5:
+// GrB_error retrieves the message behind the most recent failing call on
+// that object). std::string uses the global allocator, NOT the metered
+// gb::platform::Alloc — error recording must never itself trip the fault
+// injector.
 struct GrB_Matrix_opaque {
   gb::Matrix<double> m;
+  std::string err;
 };
 struct GrB_Vector_opaque {
   gb::Vector<double> v;
+  std::string err;
 };
 struct GrB_Descriptor_opaque {
   gb::Descriptor d;
@@ -38,6 +46,7 @@ GrB_Info map_info(gb::Info info) {
     case gb::Info::domain_mismatch: return GrB_DOMAIN_MISMATCH;
     case gb::Info::dimension_mismatch: return GrB_DIMENSION_MISMATCH;
     case gb::Info::output_not_empty: return GrB_OUTPUT_NOT_EMPTY;
+    case gb::Info::invalid_object: return GrB_INVALID_OBJECT;
     case gb::Info::not_implemented: return GrB_NOT_IMPLEMENTED;
     case gb::Info::panic: return GrB_PANIC;
     case gb::Info::index_out_of_bounds: return GrB_INDEX_OUT_OF_BOUNDS;
@@ -47,18 +56,53 @@ GrB_Info map_info(gb::Info info) {
   return GrB_PANIC;
 }
 
-/// Execution-error conversion: the try/catch wrapper of §II-B.
+/// Execution-error conversion: the try/catch wrapper of §II-B, with the
+/// failure message recorded on `obj` for later GrB_error retrieval. `obj`
+/// may be null (object under construction); recording is best-effort and
+/// swallows its own allocation failures so the Info code always survives.
+template <class Obj, class F>
+GrB_Info guarded_at(Obj* obj, F&& f) {
+  GrB_Info info;
+  const char* msg = nullptr;
+  std::string text;
+  try {
+    info = f();
+    if (obj) {
+      if (info == GrB_SUCCESS || info == GrB_NO_VALUE) {
+        obj->err.clear();
+      } else {
+        try {
+          obj->err = "call failed with GrB_Info code ";
+          obj->err += std::to_string(static_cast<int>(info));
+        } catch (...) {
+        }
+      }
+    }
+    return info;
+  } catch (const gb::Error& e) {
+    info = map_info(e.info());
+    msg = e.what();
+  } catch (const std::bad_alloc&) {
+    info = GrB_OUT_OF_MEMORY;
+    msg = "out of memory";
+  } catch (...) {
+    info = GrB_PANIC;
+    msg = "unexpected exception";
+  }
+  if (obj && msg) {
+    try {
+      obj->err = msg;
+    } catch (...) {
+    }
+  }
+  return info;
+}
+
+/// Sink-less wrapper for calls with no object to pin the message on.
 template <class F>
 GrB_Info guarded(F&& f) {
-  try {
-    return f();
-  } catch (const gb::Error& e) {
-    return map_info(e.info());
-  } catch (const std::bad_alloc&) {
-    return GrB_OUT_OF_MEMORY;
-  } catch (...) {
-    return GrB_PANIC;
-  }
+  return guarded_at(static_cast<GrB_Matrix_opaque*>(nullptr),
+                    std::forward<F>(f));
 }
 
 // --- runtime-dispatched operator functors ------------------------------------
@@ -204,7 +248,7 @@ const GrB_Index* GrB_ALL = &grb_all_sentinel;
 GrB_Info GrB_Matrix_new(GrB_Matrix* a, GrB_Index nrows, GrB_Index ncols) {
   if (!a) return GrB_NULL_POINTER;
   return guarded([&] {
-    *a = new GrB_Matrix_opaque{gb::Matrix<double>(nrows, ncols)};
+    *a = new GrB_Matrix_opaque{gb::Matrix<double>(nrows, ncols), {}};
     return GrB_SUCCESS;
   });
 }
@@ -218,15 +262,15 @@ GrB_Info GrB_Matrix_free(GrB_Matrix* a) {
 
 GrB_Info GrB_Matrix_dup(GrB_Matrix* out, GrB_Matrix a) {
   if (!out || !a) return GrB_NULL_POINTER;
-  return guarded([&] {
-    *out = new GrB_Matrix_opaque{a->m.dup()};
+  return guarded_at(a, [&] {
+    *out = new GrB_Matrix_opaque{a->m.dup(), {}};
     return GrB_SUCCESS;
   });
 }
 
 GrB_Info GrB_Matrix_clear(GrB_Matrix a) {
   if (!a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(a, [&] {
     a->m.clear();
     return GrB_SUCCESS;
   });
@@ -246,7 +290,7 @@ GrB_Info GrB_Matrix_ncols(GrB_Index* n, GrB_Matrix a) {
 
 GrB_Info GrB_Matrix_nvals(GrB_Index* n, GrB_Matrix a) {
   if (!n || !a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(a, [&] {
     *n = a->m.nvals();
     return GrB_SUCCESS;
   });
@@ -255,7 +299,7 @@ GrB_Info GrB_Matrix_nvals(GrB_Index* n, GrB_Matrix a) {
 GrB_Info GrB_Vector_new(GrB_Vector* v, GrB_Index n) {
   if (!v) return GrB_NULL_POINTER;
   return guarded([&] {
-    *v = new GrB_Vector_opaque{gb::Vector<double>(n)};
+    *v = new GrB_Vector_opaque{gb::Vector<double>(n), {}};
     return GrB_SUCCESS;
   });
 }
@@ -269,15 +313,15 @@ GrB_Info GrB_Vector_free(GrB_Vector* v) {
 
 GrB_Info GrB_Vector_dup(GrB_Vector* out, GrB_Vector v) {
   if (!out || !v) return GrB_NULL_POINTER;
-  return guarded([&] {
-    *out = new GrB_Vector_opaque{v->v};
+  return guarded_at(v, [&] {
+    *out = new GrB_Vector_opaque{v->v, {}};
     return GrB_SUCCESS;
   });
 }
 
 GrB_Info GrB_Vector_clear(GrB_Vector v) {
   if (!v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(v, [&] {
     v->v.clear();
     return GrB_SUCCESS;
   });
@@ -291,7 +335,7 @@ GrB_Info GrB_Vector_size(GrB_Index* n, GrB_Vector v) {
 
 GrB_Info GrB_Vector_nvals(GrB_Index* n, GrB_Vector v) {
   if (!n || !v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(v, [&] {
     *n = v->v.nvals();
     return GrB_SUCCESS;
   });
@@ -371,7 +415,7 @@ GrB_Info GrB_Descriptor_set(GrB_Descriptor d, GrB_Desc_Field f,
 GrB_Info GrB_Matrix_setElement_FP64(GrB_Matrix a, double x, GrB_Index i,
                                     GrB_Index j) {
   if (!a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(a, [&] {
     a->m.set_element(i, j, x);
     return GrB_SUCCESS;
   });
@@ -380,7 +424,7 @@ GrB_Info GrB_Matrix_setElement_FP64(GrB_Matrix a, double x, GrB_Index i,
 GrB_Info GrB_Matrix_extractElement_FP64(double* x, GrB_Matrix a, GrB_Index i,
                                         GrB_Index j) {
   if (!x || !a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(a, [&] {
     auto v = a->m.extract_element(i, j);
     if (!v) return GrB_NO_VALUE;
     *x = *v;
@@ -390,7 +434,7 @@ GrB_Info GrB_Matrix_extractElement_FP64(double* x, GrB_Matrix a, GrB_Index i,
 
 GrB_Info GrB_Matrix_removeElement(GrB_Matrix a, GrB_Index i, GrB_Index j) {
   if (!a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(a, [&] {
     a->m.remove_element(i, j);
     return GrB_SUCCESS;
   });
@@ -398,7 +442,7 @@ GrB_Info GrB_Matrix_removeElement(GrB_Matrix a, GrB_Index i, GrB_Index j) {
 
 GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i) {
   if (!v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(v, [&] {
     v->v.set_element(i, x);
     return GrB_SUCCESS;
   });
@@ -406,7 +450,7 @@ GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i) {
 
 GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v, GrB_Index i) {
   if (!x || !v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(v, [&] {
     auto e = v->v.extract_element(i);
     if (!e) return GrB_NO_VALUE;
     *x = *e;
@@ -416,7 +460,7 @@ GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v, GrB_Index i) {
 
 GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i) {
   if (!v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(v, [&] {
     v->v.remove_element(i);
     return GrB_SUCCESS;
   });
@@ -428,7 +472,7 @@ GrB_Info GrB_Matrix_build_FP64(GrB_Matrix a, const GrB_Index* rows,
   if (!a || (!rows && n) || (!cols && n) || (!vals && n)) {
     return GrB_NULL_POINTER;
   }
-  return guarded([&] {
+  return guarded_at(a, [&] {
     a->m.build(std::span<const gb::Index>(rows, n),
                std::span<const gb::Index>(cols, n),
                std::span<const double>(vals, n), CBinary{dup});
@@ -440,7 +484,7 @@ GrB_Info GrB_Matrix_extractTuples_FP64(GrB_Index* rows, GrB_Index* cols,
                                        double* vals, GrB_Index* n,
                                        GrB_Matrix a) {
   if (!rows || !cols || !vals || !n || !a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(a, [&] {
     std::vector<gb::Index> r, c;
     std::vector<double> v;
     a->m.extract_tuples(r, c, v);
@@ -459,16 +503,33 @@ GrB_Info GrB_Vector_build_FP64(GrB_Vector v, const GrB_Index* idx,
                                const double* vals, GrB_Index n,
                                GrB_BinaryOp dup) {
   if (!v || (!idx && n) || (!vals && n)) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(v, [&] {
     v->v.build(std::span<const gb::Index>(idx, n),
                std::span<const double>(vals, n), CBinary{dup});
     return GrB_SUCCESS;
   });
 }
 
+GrB_Info GrB_Vector_extractTuples_FP64(GrB_Index* idx, double* vals,
+                                       GrB_Index* n, GrB_Vector v) {
+  if (!idx || !vals || !n || !v) return GrB_NULL_POINTER;
+  return guarded_at(v, [&] {
+    std::vector<gb::Index> i;
+    std::vector<double> x;
+    v->v.extract_tuples(i, x);
+    if (*n < i.size()) return GrB_INSUFFICIENT_SPACE;
+    for (std::size_t k = 0; k < i.size(); ++k) {
+      idx[k] = i[k];
+      vals[k] = x[k];
+    }
+    *n = i.size();
+    return GrB_SUCCESS;
+  });
+}
+
 GrB_Info GrB_Matrix_wait(GrB_Matrix a) {
   if (!a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(a, [&] {
     a->m.wait();
     return GrB_SUCCESS;
   });
@@ -476,7 +537,7 @@ GrB_Info GrB_Matrix_wait(GrB_Matrix a) {
 
 GrB_Info GrB_Vector_wait(GrB_Vector v) {
   if (!v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(v, [&] {
     v->v.wait();
     return GrB_SUCCESS;
   });
@@ -488,7 +549,7 @@ GrB_Info GrB_mxm(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                  GrB_Semiring sr, GrB_Matrix a, GrB_Matrix b,
                  GrB_Descriptor desc) {
   if (!c || !a || !b) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::mxm(c->m, mk, acc, c_semiring(sr), a->m, b->m, c_desc(desc));
@@ -502,7 +563,7 @@ GrB_Info GrB_mxv(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                  GrB_Semiring sr, GrB_Matrix a, GrB_Vector u,
                  GrB_Descriptor desc) {
   if (!w || !a || !u) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::mxv(w->v, mk, acc, c_semiring(sr), a->m, u->v, c_desc(desc));
@@ -516,7 +577,7 @@ GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                  GrB_Semiring sr, GrB_Vector u, GrB_Matrix a,
                  GrB_Descriptor desc) {
   if (!w || !a || !u) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::vxm(w->v, mk, acc, c_semiring(sr), u->v, a->m, c_desc(desc));
@@ -530,7 +591,7 @@ GrB_Info GrB_Matrix_eWiseAdd(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                              GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
                              GrB_Descriptor desc) {
   if (!c || !a || !b) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::ewise_add(c->m, mk, acc, CBinary{op}, a->m, b->m, c_desc(desc));
@@ -544,7 +605,7 @@ GrB_Info GrB_Matrix_eWiseMult(GrB_Matrix c, GrB_Matrix mask,
                               GrB_BinaryOp accum, GrB_BinaryOp op,
                               GrB_Matrix a, GrB_Matrix b, GrB_Descriptor desc) {
   if (!c || !a || !b) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::ewise_mult(c->m, mk, acc, CBinary{op}, a->m, b->m, c_desc(desc));
@@ -558,7 +619,7 @@ GrB_Info GrB_Vector_eWiseAdd(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                              GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
                              GrB_Descriptor desc) {
   if (!w || !u || !v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::ewise_add(w->v, mk, acc, CBinary{op}, u->v, v->v, c_desc(desc));
@@ -572,7 +633,7 @@ GrB_Info GrB_Vector_eWiseMult(GrB_Vector w, GrB_Vector mask,
                               GrB_BinaryOp accum, GrB_BinaryOp op,
                               GrB_Vector u, GrB_Vector v, GrB_Descriptor desc) {
   if (!w || !u || !v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::ewise_mult(w->v, mk, acc, CBinary{op}, u->v, v->v, c_desc(desc));
@@ -586,7 +647,7 @@ GrB_Info GrB_Matrix_reduce_Vector(GrB_Vector w, GrB_Vector mask,
                                   GrB_BinaryOp accum, GrB_Monoid m,
                                   GrB_Matrix a, GrB_Descriptor desc) {
   if (!w || !a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::reduce(w->v, mk, acc, c_monoid(m), a->m, c_desc(desc));
@@ -598,7 +659,7 @@ GrB_Info GrB_Matrix_reduce_Vector(GrB_Vector w, GrB_Vector mask,
 
 GrB_Info GrB_Matrix_reduce_FP64(double* x, GrB_Monoid m, GrB_Matrix a) {
   if (!x || !a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(a, [&] {
     *x = gb::reduce_scalar(c_monoid(m), a->m);
     return GrB_SUCCESS;
   });
@@ -606,7 +667,7 @@ GrB_Info GrB_Matrix_reduce_FP64(double* x, GrB_Monoid m, GrB_Matrix a) {
 
 GrB_Info GrB_Vector_reduce_FP64(double* x, GrB_Monoid m, GrB_Vector v) {
   if (!x || !v) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(v, [&] {
     *x = gb::reduce_scalar(c_monoid(m), v->v);
     return GrB_SUCCESS;
   });
@@ -615,7 +676,7 @@ GrB_Info GrB_Vector_reduce_FP64(double* x, GrB_Monoid m, GrB_Vector v) {
 GrB_Info GrB_Matrix_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_UnaryOp op, GrB_Matrix a, GrB_Descriptor desc) {
   if (!c || !a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::apply(c->m, mk, acc, CUnary{op}, a->m, c_desc(desc));
@@ -628,7 +689,7 @@ GrB_Info GrB_Matrix_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
 GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_UnaryOp op, GrB_Vector u, GrB_Descriptor desc) {
   if (!w || !u) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::apply(w->v, mk, acc, CUnary{op}, u->v, c_desc(desc));
@@ -641,7 +702,7 @@ GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
 GrB_Info GrB_transpose(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                        GrB_Matrix a, GrB_Descriptor desc) {
   if (!c || !a) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::transpose(c->m, mk, acc, a->m, c_desc(desc));
@@ -656,7 +717,7 @@ GrB_Info GrB_Matrix_extract(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                             GrB_Index nrows, const GrB_Index* cols,
                             GrB_Index ncols, GrB_Descriptor desc) {
   if (!c || !a || !rows || !cols) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::extract(c->m, mk, acc, a->m, c_sel(rows, nrows),
@@ -671,7 +732,7 @@ GrB_Info GrB_Vector_extract(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                             GrB_Vector u, const GrB_Index* idx, GrB_Index n,
                             GrB_Descriptor desc) {
   if (!w || !u || !idx) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::extract(w->v, mk, acc, u->v, c_sel(idx, n), c_desc(desc));
@@ -686,7 +747,7 @@ GrB_Info GrB_Matrix_assign(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                            GrB_Index nrows, const GrB_Index* cols,
                            GrB_Index ncols, GrB_Descriptor desc) {
   if (!c || !a || !rows || !cols) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::assign(c->m, mk, acc, a->m, c_sel(rows, nrows), c_sel(cols, ncols),
@@ -701,7 +762,7 @@ GrB_Info GrB_Vector_assign(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                            GrB_Vector u, const GrB_Index* idx, GrB_Index n,
                            GrB_Descriptor desc) {
   if (!w || !u || !idx) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::assign(w->v, mk, acc, u->v, c_sel(idx, n), c_desc(desc));
@@ -716,7 +777,7 @@ GrB_Info GrB_Vector_assign_FP64(GrB_Vector w, GrB_Vector mask,
                                 const GrB_Index* idx, GrB_Index n,
                                 GrB_Descriptor desc) {
   if (!w || !idx) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::assign_scalar(w->v, mk, acc, x, c_sel(idx, n), c_desc(desc));
@@ -732,7 +793,7 @@ GrB_Info GrB_Matrix_assign_FP64(GrB_Matrix c, GrB_Matrix mask,
                                 const GrB_Index* cols, GrB_Index ncols,
                                 GrB_Descriptor desc) {
   if (!c || !rows || !cols) return GrB_NULL_POINTER;
-  return guarded([&] {
+  return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::assign_scalar(c->m, mk, acc, x, c_sel(rows, nrows),
@@ -741,6 +802,56 @@ GrB_Info GrB_Matrix_assign_FP64(GrB_Matrix c, GrB_Matrix mask,
       });
     });
   });
+}
+
+//------------------------------------------------------------------------------
+// Error retrieval and deep structural checks
+//------------------------------------------------------------------------------
+
+GrB_Info GrB_Matrix_error(const char** msg, GrB_Matrix a) {
+  if (!msg || !a) return GrB_NULL_POINTER;
+  *msg = a->err.c_str();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GrB_Vector_error(const char** msg, GrB_Vector v) {
+  if (!msg || !v) return GrB_NULL_POINTER;
+  *msg = v->err.c_str();
+  return GrB_SUCCESS;
+}
+
+}  // extern "C"
+
+namespace {
+
+constexpr gb::CheckLevel cxx_level(GxB_CheckLevel level) {
+  return level == GxB_CHECK_QUICK ? gb::CheckLevel::quick
+                                  : gb::CheckLevel::full;
+}
+
+// Runs gb::check on the wrapped object and records the verdict in its error
+// slot, so GrB_error explains *what* is corrupt, not just that something is.
+template <class Obj, class Wrapped>
+GrB_Info run_check(Obj* obj, const Wrapped& wrapped, GxB_CheckLevel level) {
+  return guarded_at(obj, [&] {
+    gb::CheckResult r = gb::check(wrapped, cxx_level(level));
+    if (!r.ok()) throw gb::Error(r.info, r.message);
+    return GrB_SUCCESS;
+  });
+}
+
+}  // namespace
+
+extern "C" {
+
+GrB_Info GxB_Matrix_check(GrB_Matrix a, GxB_CheckLevel level) {
+  if (!a) return GrB_NULL_POINTER;
+  return run_check(a, a->m, level);
+}
+
+GrB_Info GxB_Vector_check(GrB_Vector v, GxB_CheckLevel level) {
+  if (!v) return GrB_NULL_POINTER;
+  return run_check(v, v->v, level);
 }
 
 }  // extern "C"

@@ -33,6 +33,7 @@ typedef enum {
   GrB_DOMAIN_MISMATCH,
   GrB_DIMENSION_MISMATCH,
   GrB_OUTPUT_NOT_EMPTY,
+  GrB_INVALID_OBJECT,
   GrB_NOT_IMPLEMENTED,
   GrB_PANIC,
   GrB_INDEX_OUT_OF_BOUNDS,
@@ -155,9 +156,32 @@ GrB_Info GrB_Matrix_extractTuples_FP64(GrB_Index* rows, GrB_Index* cols,
 GrB_Info GrB_Vector_build_FP64(GrB_Vector v, const GrB_Index* idx,
                                const double* vals, GrB_Index n,
                                GrB_BinaryOp dup);
+GrB_Info GrB_Vector_extractTuples_FP64(GrB_Index* idx, double* vals,
+                                       GrB_Index* n, GrB_Vector v);
 
 GrB_Info GrB_Matrix_wait(GrB_Matrix a);
 GrB_Info GrB_Vector_wait(GrB_Vector v);
+
+/* --- error introspection -------------------------------------------------
+ * After a call on `obj` returns a non-success GrB_Info, GrB_error retrieves
+ * a message describing that error. The string lives inside the object and
+ * stays valid until the next call involving it (C API §4.5 semantics). */
+GrB_Info GrB_Matrix_error(const char** msg, GrB_Matrix a);
+GrB_Info GrB_Vector_error(const char** msg, GrB_Vector v);
+
+/* --- structural validation (SuiteSparse GxB extension) -------------------
+ * Deep invariant check of the opaque object: pointer-array monotonicity,
+ * index ordering/range, hyperlist consistency, zombie and pending-tuple
+ * accounting. Returns GrB_SUCCESS, or GrB_INVALID_OBJECT /
+ * GrB_INVALID_INDEX naming the first violated invariant (message via
+ * GrB_error). Never mutates the object. */
+typedef enum {
+  GxB_CHECK_QUICK = 0, /* O(nvec): header + shape consistency */
+  GxB_CHECK_FULL = 1   /* O(e): every stored index walked */
+} GxB_CheckLevel;
+
+GrB_Info GxB_Matrix_check(GrB_Matrix a, GxB_CheckLevel level);
+GrB_Info GxB_Vector_check(GrB_Vector v, GxB_CheckLevel level);
 
 /* --- Table-I operations --------------------------------------------------
  * mask may be NULL (no mask); accum may be GrB_NULL_ACCUM; desc may be

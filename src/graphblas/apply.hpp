@@ -17,8 +17,8 @@ void apply(Vector<CT>& w, const MaskArg& mask, const Accum& accum, UnaryOp f,
   auto ui = u.indices();
   auto uv = u.values();
   using ZT = std::decay_t<decltype(f(uv[0]))>;
-  std::vector<Index> ti(ui.begin(), ui.end());
-  std::vector<ZT> tv(uv.size());
+  Buf<Index> ti(ui.begin(), ui.end());
+  Buf<ZT> tv(uv.size());
   for (std::size_t k = 0; k < uv.size(); ++k) tv[k] = f(uv[k]);
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
 }
@@ -51,8 +51,8 @@ void apply_indexop(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   auto ui = u.indices();
   auto uv = u.values();
   using ZT = std::decay_t<decltype(f(uv[0], Index{0}, Index{0}, thunk))>;
-  std::vector<Index> ti(ui.begin(), ui.end());
-  std::vector<ZT> tv(uv.size());
+  Buf<Index> ti(ui.begin(), ui.end());
+  Buf<ZT> tv(uv.size());
   for (std::size_t k = 0; k < uv.size(); ++k)
     tv[k] = f(uv[k], ui[k], Index{0}, thunk);
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);

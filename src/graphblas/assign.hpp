@@ -62,8 +62,8 @@ void assign(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
 
   auto wi = w.indices();
   auto wv = w.values();
-  std::vector<Index> ti;
-  std::vector<CT> tv;
+  Buf<Index> ti;
+  Buf<CT> tv;
   ti.reserve(wi.size() + region.pos.size());
   tv.reserve(wi.size() + region.pos.size());
   std::size_t a = 0, b = 0;
@@ -129,8 +129,8 @@ void assign_scalar(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
     std::sort(rpos.begin(), rpos.end());
     rpos.erase(std::unique(rpos.begin(), rpos.end()), rpos.end());
   }
-  std::vector<Index> ti;
-  std::vector<CT> tv;
+  Buf<Index> ti;
+  Buf<CT> tv;
   ti.reserve(wi.size() + rpos.size());
   tv.reserve(wi.size() + rpos.size());
   std::size_t a = 0, b = 0;

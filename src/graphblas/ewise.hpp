@@ -19,7 +19,7 @@ template <class Op, class AT, class BT,
               std::declval<AT>(), std::declval<BT>()))>>
 void union_merge(std::span<const Index> ai, std::span<const AT> av,
                  std::span<const Index> bi, std::span<const BT> bv, Op op,
-                 std::vector<Index>& ti, std::vector<ZT>& tv) {
+                 Buf<Index>& ti, Buf<ZT>& tv) {
   ti.reserve(ai.size() + bi.size());
   tv.reserve(ai.size() + bi.size());
   std::size_t a = 0, b = 0;
@@ -47,7 +47,7 @@ template <class Op, class AT, class BT,
               std::declval<AT>(), std::declval<BT>()))>>
 void intersect_merge(std::span<const Index> ai, std::span<const AT> av,
                      std::span<const Index> bi, std::span<const BT> bv, Op op,
-                     std::vector<Index>& ti, std::vector<ZT>& tv) {
+                     Buf<Index>& ti, Buf<ZT>& tv) {
   std::size_t a = 0, b = 0;
   while (a < ai.size() && b < bi.size()) {
     if (ai[a] < bi[b]) {
@@ -138,9 +138,9 @@ void ewise_add(Vector<CT>& w, const MaskArg& mask, const Accum& accum, Op op,
                const Vector<UT>& u, const Vector<VT>& v,
                const Descriptor& desc = desc_default) {
   check_dims(w.size() == u.size() && u.size() == v.size(), "ewise_add: sizes");
-  std::vector<Index> ti;
+  Buf<Index> ti;
   using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
-  std::vector<ZT> tv;
+  Buf<ZT> tv;
   detail::union_merge(u.indices(), u.values(), v.indices(), v.values(), op, ti,
                       tv);
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
@@ -152,9 +152,9 @@ void ewise_mult(Vector<CT>& w, const MaskArg& mask, const Accum& accum, Op op,
                 const Vector<UT>& u, const Vector<VT>& v,
                 const Descriptor& desc = desc_default) {
   check_dims(w.size() == u.size() && u.size() == v.size(), "ewise_mult: sizes");
-  std::vector<Index> ti;
+  Buf<Index> ti;
   using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
-  std::vector<ZT> tv;
+  Buf<ZT> tv;
   detail::intersect_merge(u.indices(), u.values(), v.indices(), v.values(), op,
                           ti, tv);
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);

@@ -18,8 +18,8 @@ void extract(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
              const Vector<UT>& u, const IndexSel& isel,
              const Descriptor& desc = desc_default) {
   check_dims(w.size() == isel.size(), "extract: w size vs index list");
-  std::vector<Index> ti;
-  std::vector<UT> tv;
+  Buf<Index> ti;
+  Buf<UT> tv;
   if (isel.is_all()) {
     auto ui = u.indices();
     auto uv = u.values();
@@ -100,8 +100,8 @@ void extract_col(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   check_index(j < input_ncols(a, desc.transpose_a), "extract_col: j");
   // Columns of op(A) are rows of the opposite orientation store.
   const auto& s = desc.transpose_a ? a.by_row() : a.by_col();
-  std::vector<Index> ti;
-  std::vector<AT> tv;
+  Buf<Index> ti;
+  Buf<AT> tv;
   auto vk = s.find_vec(j);
   if (vk) {
     Index begin = s.vec_begin(*vk), end = s.vec_end(*vk);

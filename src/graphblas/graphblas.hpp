@@ -19,4 +19,5 @@
 #include "graphblas/semiring.hpp"     // IWYU pragma: export
 #include "graphblas/transpose.hpp"    // IWYU pragma: export
 #include "graphblas/types.hpp"        // IWYU pragma: export
+#include "graphblas/validate.hpp"     // IWYU pragma: export
 #include "graphblas/vector.hpp"       // IWYU pragma: export

@@ -136,11 +136,12 @@ class MatrixMaskProbe {
 // ---------------------------------------------------------------------------
 
 /// C<M, replace> accum= T, where T arrives as sorted, duplicate-free
-/// coordinate arrays (ti, tv).
+/// coordinate arrays (ti, tv) in metered storage. All scratch that will be
+/// committed into C is assembled first; the final load_sorted is noexcept,
+/// so an allocation failure anywhere in here leaves C untouched.
 template <class CT, class ZT, class MaskArg, class Accum>
 void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
-                std::vector<Index>&& ti, std::vector<ZT>&& tv,
-                const Descriptor& desc) {
+                Buf<Index>&& ti, Buf<ZT>&& tv, const Descriptor& desc) {
   const Index n = c.size();
 
   // Fast path: unmasked, no accumulator — C simply becomes T.
@@ -148,7 +149,7 @@ void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
     (void)mask;
     (void)accum;
     (void)desc;
-    std::vector<storage_t<CT>> cast(tv.size());
+    Buf<storage_t<CT>> cast(tv.size());
     for (std::size_t k = 0; k < tv.size(); ++k) cast[k] = static_cast<CT>(tv[k]);
     c.load_sorted(std::move(ti), std::move(cast));
     return;
@@ -157,8 +158,8 @@ void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
     auto cv = c.values();
 
     // Step 1: Z = accum ? union(C, T, accum) : T   (in C's domain).
-    std::vector<Index> zi;
-    std::vector<storage_t<CT>> zv;
+    Buf<Index> zi;
+    Buf<storage_t<CT>> zv;
     if constexpr (is_accum<Accum>) {
       zi.reserve(ci.size() + ti.size());
       zv.reserve(ci.size() + ti.size());
@@ -189,8 +190,8 @@ void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
 
     // Step 2: mask filter over union(Z, C_old).
     VectorMaskProbe<MaskArg> probe(mask, n, desc);
-    std::vector<Index> oi;
-    std::vector<storage_t<CT>> ov;
+    Buf<Index> oi;
+    Buf<storage_t<CT>> ov;
     oi.reserve(zi.size());
     ov.reserve(zi.size());
     std::size_t a = 0, b = 0;  // a: C_old, b: Z

@@ -11,6 +11,12 @@
 //   * O(1) import/export of the raw arrays by move construction (bench C6);
 //   * a cached opposite-orientation copy (the CSR+CSC doubling GraphBLAST
 //     uses for push/pull), built on demand and invalidated on mutation.
+//
+// Exception safety: every mutation that can allocate assembles its result in
+// scratch storage (or pre-reserves exactly) and commits with noexcept moves.
+// A bad_alloc — real or injected through gb::platform::Alloc — leaves the
+// observable value of the matrix exactly as it was before the call. All
+// storage lives in gb::Buf so it is metered and fault-injectable.
 #pragma once
 
 #include <algorithm>
@@ -24,8 +30,12 @@
 #include "graphblas/ops.hpp"
 #include "graphblas/sparse_store.hpp"
 #include "graphblas/types.hpp"
+#include "platform/alloc.hpp"
 
 namespace gb {
+
+template <class U>
+struct DebugAccess;  // validator / test backdoor, defined in validate.hpp
 
 /// Storage orientation of the primary representation.
 enum class Layout : std::uint8_t { by_row, by_col };
@@ -184,29 +194,31 @@ class Matrix {
     }
   }
 
-  /// GrB_Matrix_clear.
+  /// GrB_Matrix_clear. Strong guarantee: the fresh (one-allocation) empty
+  /// store is built before anything is released.
   void clear() {
-    main_ = SparseStore<T>(major_dim());
+    SparseStore<T> fresh(major_dim());
+    main_ = std::move(fresh);
     pending_.clear();
     nzombies_ = 0;
     invalidate_other();
   }
 
   /// GrB_Matrix_resize (entries outside the new shape are dropped).
+  /// Strong guarantee: the resized matrix is assembled separately and
+  /// committed by a noexcept move.
   void resize(Index nrows, Index ncols) {
     wait();
     std::vector<Index> r, c;
     std::vector<T> v;
     extract_tuples(r, c, v);
-    nrows_ = nrows;
-    ncols_ = ncols;
-    main_ = SparseStore<T>(major_dim());
-    invalidate_other();
+    Matrix m(nrows, ncols, layout_, hyper_mode_);
     std::vector<std::tuple<Index, Index, T>> keep;
     keep.reserve(r.size());
     for (std::size_t k = 0; k < r.size(); ++k)
       if (r[k] < nrows && c[k] < ncols) keep.emplace_back(r[k], c[k], v[k]);
-    build_tuples(keep, Second{});
+    m.build_tuples(keep, Second{});
+    *this = std::move(m);
   }
 
   /// GrB_Matrix_dup is just the copy constructor; provided for API parity.
@@ -250,17 +262,17 @@ class Matrix {
 
   // --- import / export (§IV, bench C6) ------------------------------------------
 
-  /// O(1) import of CSR arrays: the vectors are *moved* in, no copy. `p` has
+  /// O(1) import of CSR arrays: the buffers are *moved* in, no copy. `p` has
   /// size nrows+1, `i[p[r]..p[r+1])` are the (sorted) column ids of row r.
-  static Matrix import_csr(Index nrows, Index ncols, std::vector<Index>&& p,
-                           std::vector<Index>&& i, std::vector<T>&& x) {
+  static Matrix import_csr(Index nrows, Index ncols, Buf<Index>&& p,
+                           Buf<Index>&& i, Buf<T>&& x) {
     return import_any(nrows, ncols, Layout::by_row, std::move(p), std::move(i),
                       std::move(x));
   }
 
   /// O(1) import of CSC arrays (`p` has size ncols+1, `i` holds row ids).
-  static Matrix import_csc(Index nrows, Index ncols, std::vector<Index>&& p,
-                           std::vector<Index>&& i, std::vector<T>&& x) {
+  static Matrix import_csc(Index nrows, Index ncols, Buf<Index>&& p,
+                           Buf<Index>&& i, Buf<T>&& x) {
     return import_any(nrows, ncols, Layout::by_col, std::move(p), std::move(i),
                       std::move(x));
   }
@@ -272,8 +284,8 @@ class Matrix {
   /// performance differs" (§IV).
   struct CsArrays {
     Index nrows = 0, ncols = 0;
-    std::vector<Index> p, i;
-    std::vector<T> x;
+    Buf<Index> p, i;
+    Buf<T> x;
   };
 
   [[nodiscard]] CsArrays export_csr() {
@@ -284,10 +296,7 @@ class Matrix {
       invalidate_other();
     }
     main_.unhyperize();
-    CsArrays out{nrows_, ncols_, std::move(main_.p), std::move(main_.i),
-                 std::move(main_.x)};
-    clear();
-    return out;
+    return export_current();
   }
 
   [[nodiscard]] CsArrays export_csc() {
@@ -298,34 +307,38 @@ class Matrix {
       invalidate_other();
     }
     main_.unhyperize();
-    CsArrays out{nrows_, ncols_, std::move(main_.p), std::move(main_.i),
-                 std::move(main_.x)};
-    clear();
-    return out;
+    return export_current();
   }
 
   // --- kernel publication API -----------------------------------------------
 
   /// Replace contents with a ready-made store of the given orientation.
   /// Kernels build results as stores and publish them here; hypersparsity is
-  /// applied per the policy.
+  /// applied per the policy. Strong guarantee: the policy (which may
+  /// allocate) runs on the incoming store *before* the noexcept commit.
   void adopt(SparseStore<T>&& s, Layout layout) {
-    nzombies_ = 0;
-    pending_.clear();
+    apply_hyper_policy_to(s, layout == Layout::by_row ? nrows_ : ncols_);
+    // Commit: nothing below can throw.
     layout_ = layout;
     main_ = std::move(s);
-    apply_hyper_policy();
+    nzombies_ = 0;
+    pending_.clear();
     invalidate_other();
   }
 
   // --- non-blocking materialisation ----------------------------------------
 
   /// GrB_Matrix_wait: kill zombies + assemble pending tuples in one pass.
+  /// Strong guarantee: each step either pre-reserves exactly before touching
+  /// the store in place, or builds scratch and commits by move; `pending_`
+  /// survives until its merge has committed.
   void wait() const {
     if (pending_.empty() && nzombies_ == 0) return;
-    // Zombie sweep: compact in place, rebuilding the pointer array.
+    // Zombie sweep: compact in place, rebuilding the pointer array. The
+    // exact reserve up front is the only allocation; after it, the loop
+    // cannot throw.
     if (nzombies_ > 0) {
-      std::vector<Index> np;
+      Buf<Index> np;
       np.reserve(main_.p.size());
       np.push_back(0);
       std::size_t out = 0;
@@ -343,9 +356,12 @@ class Matrix {
       main_.x.resize(out);
       main_.p = std::move(np);
       if (main_.hyper) {
-        // Drop now-empty hyper vectors.
-        std::vector<Index> nh;
-        std::vector<Index> np2(1, 0);
+        // Drop now-empty hyper vectors (exact reserve, then nofail pushes).
+        Buf<Index> nh;
+        Buf<Index> np2;
+        nh.reserve(main_.h.size());
+        np2.reserve(main_.p.size());
+        np2.push_back(0);
         for (std::size_t k = 0; k < main_.h.size(); ++k) {
           if (main_.p[k + 1] > main_.p[k]) {
             nh.push_back(main_.h[k]);
@@ -357,12 +373,12 @@ class Matrix {
       }
       nzombies_ = 0;
     }
-    // Pending assembly: sort tuples once, merge vector-by-vector.
+    // Pending assembly: sort the pending list in place (reordering does not
+    // change the observable value), merge into a scratch store, and only
+    // clear `pending_` once the merge has committed.
     if (!pending_.empty()) {
-      auto tuples = std::move(pending_);
-      pending_.clear();
       const bool by_row = layout_ == Layout::by_row;
-      std::stable_sort(tuples.begin(), tuples.end(),
+      std::stable_sort(pending_.begin(), pending_.end(),
                        [by_row](const auto& a, const auto& b) {
                          Index am = by_row ? std::get<0>(a) : std::get<1>(a);
                          Index bm = by_row ? std::get<0>(b) : std::get<1>(b);
@@ -370,7 +386,8 @@ class Matrix {
                          Index bn = by_row ? std::get<1>(b) : std::get<0>(b);
                          return std::tie(am, an) < std::tie(bm, bn);
                        });
-      merge_sorted_tuples(tuples);
+      merge_sorted_tuples(pending_);
+      pending_.clear();
     }
     apply_hyper_policy();
   }
@@ -393,6 +410,9 @@ class Matrix {
   }
 
  private:
+  template <class U>
+  friend struct DebugAccess;
+
   static constexpr Index kZombieBit = Index{1} << 63;
   [[nodiscard]] static constexpr bool is_zombie(Index i) noexcept {
     return (i & kZombieBit) != 0;
@@ -416,8 +436,7 @@ class Matrix {
   }
 
   static Matrix import_any(Index nrows, Index ncols, Layout layout,
-                           std::vector<Index>&& p, std::vector<Index>&& i,
-                           std::vector<T>&& x) {
+                           Buf<Index>&& p, Buf<Index>&& i, Buf<T>&& x) {
     check_value(p.size() == (layout == Layout::by_row ? nrows : ncols) + 1,
                 "Matrix::import pointer array size");
     check_value(i.size() == x.size(), "Matrix::import index/value size");
@@ -431,7 +450,26 @@ class Matrix {
     return m;
   }
 
+  /// Move the standard-format arrays out and leave the matrix empty. The
+  /// replacement empty store is constructed *before* the moves so nothing
+  /// can throw once extraction starts.
+  [[nodiscard]] CsArrays export_current() {
+    SparseStore<T> fresh(major_dim());
+    CsArrays out;
+    out.nrows = nrows_;
+    out.ncols = ncols_;
+    out.p = std::move(main_.p);
+    out.i = std::move(main_.i);
+    out.x = std::move(main_.x);
+    main_ = std::move(fresh);
+    pending_.clear();
+    nzombies_ = 0;
+    invalidate_other();
+    return out;
+  }
+
   /// Sort-and-dedup tuple list into the main store. Tuples are (r, c, v).
+  /// Strong guarantee: assembles a scratch store, commits by move.
   template <class Dup>
   void build_tuples(std::vector<std::tuple<Index, Index, T>>& t, Dup dup) {
     const bool by_row = layout_ == Layout::by_row;
@@ -444,38 +482,44 @@ class Matrix {
     });
     // Build hypersparse (O(nnz) regardless of the dimension); the policy
     // inflates to standard afterwards when dense enough.
-    main_ = SparseStore<T>(major_dim());
-    main_.i.reserve(t.size());
-    main_.x.reserve(t.size());
+    SparseStore<T> s(major_dim());
+    s.i.reserve(t.size());
+    s.x.reserve(t.size());
     Index prev_major = all_indices, prev_minor = all_indices;
     for (const auto& [r, c, v] : t) {
       auto [major, minor] = to_major_minor(r, c);
       if (major == prev_major && minor == prev_minor) {
-        main_.x.back() = dup(main_.x.back(), v);
+        s.x.back() = dup(s.x.back(), v);
         continue;
       }
       if (major != prev_major) {
         if (prev_major != all_indices) {
-          main_.p.push_back(static_cast<Index>(main_.i.size()));
+          s.p.push_back(static_cast<Index>(s.i.size()));
         }
-        main_.h.push_back(major);
+        s.h.push_back(major);
       }
-      main_.i.push_back(minor);
-      main_.x.push_back(v);
+      s.i.push_back(minor);
+      s.x.push_back(v);
       prev_major = major;
       prev_minor = minor;
     }
     if (prev_major != all_indices) {
-      main_.p.push_back(static_cast<Index>(main_.i.size()));
+      s.p.push_back(static_cast<Index>(s.i.size()));
     }
-    apply_hyper_policy();
+    apply_hyper_policy_to(s, major_dim());
+    // Commit: nothing below can throw.
+    main_ = std::move(s);
+    pending_.clear();
+    nzombies_ = 0;
     invalidate_other();
   }
 
   /// Merge tuples (sorted by major, minor; later duplicates overwrite) into
   /// the existing store. setElement semantics: new value replaces old.
+  /// Builds a scratch store and commits by move; the caller clears the
+  /// pending list afterwards.
   void merge_sorted_tuples(
-      const std::vector<std::tuple<Index, Index, T>>& t) const {
+      std::span<const std::tuple<Index, Index, T>> t) const {
     const bool by_row = layout_ == Layout::by_row;
     SparseStore<T> out(major_dim());  // empty hypersparse
     out.i.reserve(main_.nnz() + t.size());
@@ -537,26 +581,31 @@ class Matrix {
     return by_row ? std::get<1>(t) : std::get<0>(t);
   }
 
-  void apply_hyper_policy() const {
+  /// The hypersparsity policy applied to an arbitrary store with the given
+  /// major dimension's policy target. Used to prepare scratch stores before
+  /// they are committed.
+  void apply_hyper_policy_to(SparseStore<T>& s, Index mdim) const {
     switch (hyper_mode_) {
       case HyperMode::always:
-        main_.hyperize();
+        s.hyperize();
         break;
       case HyperMode::never:
-        main_.unhyperize();
+        s.unhyperize();
         break;
       case HyperMode::auto_mode: {
-        Index nonempty = main_.nvec_nonempty();
-        if (!main_.hyper && major_dim() >= kHyperRatio &&
-            nonempty < major_dim() / kHyperRatio) {
-          main_.hyperize();
-        } else if (main_.hyper && nonempty >= major_dim() / kHyperRatio) {
-          main_.unhyperize();
+        Index nonempty = s.nvec_nonempty();
+        if (!s.hyper && mdim >= kHyperRatio &&
+            nonempty < mdim / kHyperRatio) {
+          s.hyperize();
+        } else if (s.hyper && nonempty >= mdim / kHyperRatio) {
+          s.unhyperize();
         }
         break;
       }
     }
   }
+
+  void apply_hyper_policy() const { apply_hyper_policy_to(main_, major_dim()); }
 
   [[nodiscard]] const SparseStore<T>& other_store() const {
     wait();
@@ -587,7 +636,7 @@ class Matrix {
   mutable SparseStore<T> main_{};
   mutable std::optional<SparseStore<T>> other_{};
   mutable bool other_valid_ = false;
-  mutable std::vector<std::tuple<Index, Index, T>> pending_;
+  mutable Buf<std::tuple<Index, Index, T>> pending_;
   mutable Index nzombies_ = 0;
 };
 

@@ -37,15 +37,13 @@ namespace detail {
 template <class SR, class AT, class UT, class MaskArg>
 void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
               const SR& sr, const VectorMaskProbe<MaskArg>& probe,
-              std::vector<Index>& ti,
-              std::vector<typename SR::value_type>& tv) {
+              Buf<Index>& ti, Buf<typename SR::value_type>& tv) {
   using ZT = typename SR::value_type;
   auto dv = u.dense_values();
   auto pres = u.present();
   const Index nv = rows.nvec();
 
-  auto run_range = [&](Index klo, Index khi, std::vector<Index>& oi,
-                       std::vector<ZT>& ov) {
+  auto run_range = [&](Index klo, Index khi, auto& oi, auto& ov) {
     for (Index k = klo; k < khi; ++k) {
       Index r = rows.vec_id(k);
       if (!probe.test(r)) continue;
@@ -91,8 +89,7 @@ void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
 template <class SR, class AT, class UT, class MaskArg>
 void mxv_push(const SparseStore<AT>& cols, Index out_dim, const Vector<UT>& u,
               const SR& sr, const VectorMaskProbe<MaskArg>& probe,
-              std::vector<Index>& ti,
-              std::vector<typename SR::value_type>& tv) {
+              Buf<Index>& ti, Buf<typename SR::value_type>& tv) {
   using ZT = typename SR::value_type;
   auto ui = u.indices();
   auto uv = u.values();
@@ -185,8 +182,8 @@ MxvMethod mxv(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   }
 
   using ZT = typename SR::value_type;
-  std::vector<Index> ti;
-  std::vector<ZT> tv;
+  Buf<Index> ti;
+  Buf<ZT> tv;
   VectorMaskProbe<MaskArg> probe(mask, out_dim, desc);
   if (method == MxvMethod::pull) {
     detail::mxv_pull(input_rows(a, desc.transpose_a), u, sr, probe, ti, tv);

@@ -18,8 +18,8 @@ void reduce(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   check_dims(w.size() == input_nrows(a, desc.transpose_a), "reduce: w/A shape");
   const auto& s = input_rows(a, desc.transpose_a);
   using ZT = typename M::value_type;
-  std::vector<Index> ti;
-  std::vector<ZT> tv;
+  Buf<Index> ti;
+  Buf<ZT> tv;
   for (Index k = 0; k < s.nvec(); ++k) {
     Index begin = s.vec_begin(k), end = s.vec_end(k);
     if (begin == end) continue;

@@ -18,8 +18,8 @@ void select(Vector<CT>& w, const MaskArg& mask, const Accum& accum, SelOp f,
   check_dims(w.size() == u.size(), "select: w/u size");
   auto ui = u.indices();
   auto uv = u.values();
-  std::vector<Index> ti;
-  std::vector<UT> tv;
+  Buf<Index> ti;
+  Buf<UT> tv;
   for (std::size_t k = 0; k < ui.size(); ++k) {
     if (f(uv[k], ui[k], Index{0}, thunk)) {
       ti.push_back(ui[k]);

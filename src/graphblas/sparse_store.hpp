@@ -17,17 +17,20 @@
 #include <vector>
 
 #include "graphblas/types.hpp"
+#include "platform/alloc.hpp"
 
 namespace gb {
 
+// All four arrays live in gb::Buf so every byte is metered and every growth
+// is a fault-injection point (see platform/alloc.hpp).
 template <class T>
 struct SparseStore {
   bool hyper = false;
   Index vdim = 0;          ///< major dimension (number of possible vectors)
-  std::vector<Index> h;    ///< hyper only: sorted ids of non-empty vectors
-  std::vector<Index> p;    ///< vector start offsets; size nvec()+1
-  std::vector<Index> i;    ///< minor indices, size nnz
-  std::vector<T> x;        ///< values, size nnz
+  Buf<Index> h;            ///< hyper only: sorted ids of non-empty vectors
+  Buf<Index> p;            ///< vector start offsets; size nvec()+1
+  Buf<Index> i;            ///< minor indices, size nnz
+  Buf<T> x;                ///< values, size nnz
 
   SparseStore() = default;
 
@@ -72,10 +75,11 @@ struct SparseStore {
   }
 
   /// Convert standard -> hypersparse (drops empty vectors from `p`).
+  /// Strong guarantee: the new arrays are built before the old ones go.
   void hyperize() {
     if (hyper) return;
-    std::vector<Index> nh;
-    std::vector<Index> np;
+    Buf<Index> nh;
+    Buf<Index> np;
     np.push_back(0);
     for (Index k = 0; k < vdim; ++k) {
       if (p[k + 1] > p[k]) {
@@ -88,13 +92,13 @@ struct SparseStore {
     hyper = true;
   }
 
-  /// Convert hypersparse -> standard.
+  /// Convert hypersparse -> standard. Strong guarantee.
   void unhyperize() {
     if (!hyper) return;
-    std::vector<Index> np(vdim + 1, 0);
+    Buf<Index> np(vdim + 1, 0);
     for (std::size_t k = 0; k < h.size(); ++k) np[h[k] + 1] = p[k + 1] - p[k];
     for (Index k = 0; k < vdim; ++k) np[k + 1] += np[k];
-    h.clear();
+    Buf<Index>().swap(h);  // noexcept free
     p = std::move(np);
     hyper = false;
   }
@@ -123,7 +127,7 @@ struct SparseStore {
     for (Index k = 0; k < minor_dim; ++k) out.p[k + 1] += out.p[k];
     out.i.resize(i.size());
     out.x.resize(x.size());
-    std::vector<Index> cursor(out.p.begin(), out.p.end() - 1);
+    Buf<Index> cursor(out.p.begin(), out.p.end() - 1);
     for (Index k = 0; k < nvec(); ++k) {
       Index major = vec_id(k);
       for (Index pos = p[k]; pos < p[k + 1]; ++pos) {

@@ -38,6 +38,7 @@ enum class Info : int {
   domain_mismatch,        // API error
   dimension_mismatch,     // API error
   output_not_empty,       // API error
+  invalid_object,         // execution error: corrupted opaque object
   not_implemented,        // execution error
   panic,                  // execution error
   index_out_of_bounds,    // execution error
@@ -57,6 +58,7 @@ enum class Info : int {
     case Info::domain_mismatch: return "domain_mismatch";
     case Info::dimension_mismatch: return "dimension_mismatch";
     case Info::output_not_empty: return "output_not_empty";
+    case Info::invalid_object: return "invalid_object";
     case Info::not_implemented: return "not_implemented";
     case Info::panic: return "panic";
     case Info::index_out_of_bounds: return "index_out_of_bounds";

@@ -1,0 +1,380 @@
+// Deep structural validation of the opaque objects, à la GxB_Matrix_check.
+//
+// `gb::check` inspects the raw representation — pointer arrays, index
+// arrays, hyperlists, zombies, pending tuples, the dual-orientation cache —
+// and reports the first violated invariant. It never calls wait() or any
+// other materialising accessor: a validator that repairs the object on the
+// way in cannot catch corruption, and must be callable on an object whose
+// pending work is exactly what is being inspected.
+//
+// Two severities, mirroring the C API's taxonomy:
+//   * Info::invalid_index  — an index escaped its dimension (minor id,
+//     hyperlist id, or pending-tuple coordinate out of range);
+//   * Info::invalid_object — the structure is internally inconsistent
+//     (non-monotone pointers, unsorted/duplicate indices, array size
+//     mismatches, dangling hyper vectors, stale zombie counts, ...).
+//
+// CheckLevel::quick is O(nvec): header and array-shape consistency only.
+// CheckLevel::full is O(e): additionally walks every stored index.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "graphblas/matrix.hpp"
+#include "graphblas/vector.hpp"
+
+namespace gb {
+
+enum class CheckLevel : std::uint8_t { quick, full };
+
+/// Outcome of a structural check: success, or the first violation found.
+struct CheckResult {
+  Info info = Info::success;
+  std::string message = "ok";
+
+  [[nodiscard]] bool ok() const noexcept { return info == Info::success; }
+  explicit operator bool() const noexcept { return ok(); }
+};
+
+/// Validator / test backdoor into Matrix<T> and Vector<T> internals.
+/// Production code must never touch this; tests use it to hand-corrupt
+/// objects, the validator uses the const views.
+template <class T>
+struct DebugAccess {
+  // -- Matrix internals --
+  static SparseStore<T>& store(Matrix<T>& m) noexcept { return m.main_; }
+  static const SparseStore<T>& store(const Matrix<T>& m) noexcept {
+    return m.main_;
+  }
+  static const std::optional<SparseStore<T>>& other(
+      const Matrix<T>& m) noexcept {
+    return m.other_;
+  }
+  static bool other_valid(const Matrix<T>& m) noexcept {
+    return m.other_valid_;
+  }
+  static Buf<std::tuple<Index, Index, T>>& pending(Matrix<T>& m) noexcept {
+    return m.pending_;
+  }
+  static const Buf<std::tuple<Index, Index, T>>& pending(
+      const Matrix<T>& m) noexcept {
+    return m.pending_;
+  }
+  static Index& nzombies(Matrix<T>& m) noexcept { return m.nzombies_; }
+  static Index nzombies(const Matrix<T>& m) noexcept { return m.nzombies_; }
+
+  // -- Vector internals --
+  static Buf<Index>& ind(Vector<T>& v) noexcept { return v.ind_; }
+  static const Buf<Index>& ind(const Vector<T>& v) noexcept { return v.ind_; }
+  static Buf<storage_t<T>>& val(Vector<T>& v) noexcept { return v.val_; }
+  static const Buf<storage_t<T>>& val(const Vector<T>& v) noexcept {
+    return v.val_;
+  }
+  static Buf<storage_t<T>>& dval(Vector<T>& v) noexcept { return v.dval_; }
+  static const Buf<storage_t<T>>& dval(const Vector<T>& v) noexcept {
+    return v.dval_;
+  }
+  static Buf<std::uint8_t>& dpresent(Vector<T>& v) noexcept {
+    return v.dpresent_;
+  }
+  static const Buf<std::uint8_t>& dpresent(const Vector<T>& v) noexcept {
+    return v.dpresent_;
+  }
+  static Index& dnvals(Vector<T>& v) noexcept { return v.dnvals_; }
+  static Index dnvals(const Vector<T>& v) noexcept { return v.dnvals_; }
+  static bool is_dense(const Vector<T>& v) noexcept { return v.dense_; }
+  static Buf<std::pair<Index, T>>& pending(Vector<T>& v) noexcept {
+    return v.pending_;
+  }
+  static const Buf<std::pair<Index, T>>& pending(const Vector<T>& v) noexcept {
+    return v.pending_;
+  }
+  static Index& nzombies(Vector<T>& v) noexcept { return v.nzombies_; }
+  static Index nzombies(const Vector<T>& v) noexcept { return v.nzombies_; }
+};
+
+namespace detail {
+
+inline constexpr Index kCheckZombieBit = Index{1} << 63;
+
+[[nodiscard]] inline bool check_is_zombie(Index i) noexcept {
+  return (i & kCheckZombieBit) != 0;
+}
+[[nodiscard]] inline Index check_unzombie(Index i) noexcept {
+  return i & ~kCheckZombieBit;
+}
+
+[[nodiscard]] inline CheckResult check_fail(Info info, std::string msg) {
+  return CheckResult{info, std::move(msg)};
+}
+
+/// Invariants of one SparseStore. `who` labels messages ("matrix store",
+/// "dual cache"); `allow_zombies` permits zombie-tagged minor indices (the
+/// primary store may carry them between wait()s, the dual cache never).
+/// Returns the number of zombies seen via `zombies_seen` (full level only).
+template <class T>
+CheckResult check_store(const SparseStore<T>& s, Index mdim, Index ndim,
+                        const char* who, CheckLevel level, bool allow_zombies,
+                        Index* zombies_seen) {
+  if (zombies_seen) *zombies_seen = 0;
+
+  // --- header / shape (quick) ---
+  if (s.vdim != mdim) {
+    return check_fail(Info::invalid_object,
+                      std::string(who) + ": vdim disagrees with owner shape");
+  }
+  if (s.hyper) {
+    if (s.p.size() != s.h.size() + 1) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) +
+                            ": hypersparse pointer array size != nvec+1");
+    }
+  } else {
+    if (!s.h.empty()) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) + ": standard store has a hyperlist");
+    }
+    if (s.p.size() != static_cast<std::size_t>(s.vdim) + 1) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) + ": pointer array size != vdim+1");
+    }
+  }
+  if (s.p.empty() || s.p.front() != 0) {
+    return check_fail(Info::invalid_object,
+                      std::string(who) + ": pointer array must start at 0");
+  }
+  if (s.i.size() != s.x.size()) {
+    return check_fail(
+        Info::invalid_object,
+        std::string(who) + ": index and value array sizes differ");
+  }
+  if (s.p.back() != static_cast<Index>(s.i.size())) {
+    return check_fail(Info::invalid_object,
+                      std::string(who) + ": pointer array end != nnz");
+  }
+
+  // --- pointer monotonicity and hyperlist (quick: O(nvec)) ---
+  for (std::size_t k = 0; k + 1 < s.p.size(); ++k) {
+    if (s.p[k] > s.p[k + 1]) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) + ": non-monotone pointer array at " +
+                            std::to_string(k));
+    }
+  }
+  if (s.hyper) {
+    for (std::size_t k = 0; k < s.h.size(); ++k) {
+      if (s.h[k] >= s.vdim) {
+        return check_fail(Info::invalid_index,
+                          std::string(who) + ": hyperlist id " +
+                              std::to_string(s.h[k]) + " >= vdim");
+      }
+      if (k > 0 && s.h[k - 1] >= s.h[k]) {
+        return check_fail(
+            Info::invalid_object,
+            std::string(who) + ": hyperlist not strictly sorted at " +
+                std::to_string(k));
+      }
+      if (s.p[k + 1] <= s.p[k]) {
+        return check_fail(Info::invalid_object,
+                          std::string(who) + ": hyperlist entry " +
+                              std::to_string(s.h[k]) +
+                              " names an empty vector");
+      }
+    }
+  }
+
+  if (level == CheckLevel::quick) return {};
+
+  // --- per-entry walk (full: O(e)) ---
+  Index zcount = 0;
+  for (Index k = 0; k + 1 < static_cast<Index>(s.p.size()); ++k) {
+    Index prev = all_indices;
+    for (Index pos = s.p[k]; pos < s.p[k + 1]; ++pos) {
+      Index raw = s.i[pos];
+      bool zomb = check_is_zombie(raw);
+      if (zomb) {
+        if (!allow_zombies) {
+          return check_fail(Info::invalid_object,
+                            std::string(who) +
+                                ": zombie entry where none are allowed");
+        }
+        ++zcount;
+      }
+      Index minor = check_unzombie(raw);
+      if (minor >= ndim) {
+        return check_fail(Info::invalid_index,
+                          std::string(who) + ": minor index " +
+                              std::to_string(minor) + " >= " +
+                              std::to_string(ndim) + " in vector " +
+                              std::to_string(k));
+      }
+      if (prev != all_indices && check_unzombie(prev) >= minor) {
+        return check_fail(
+            Info::invalid_object,
+            std::string(who) +
+                ": minor indices not strictly sorted in vector " +
+                std::to_string(k) +
+                (check_unzombie(prev) == minor ? " (duplicate entry)" : ""));
+      }
+      prev = raw;
+    }
+  }
+  if (zombies_seen) *zombies_seen = zcount;
+  return {};
+}
+
+}  // namespace detail
+
+/// Deep structural check of a matrix. Never mutates or materialises.
+template <class T>
+[[nodiscard]] CheckResult check(const Matrix<T>& m,
+                                CheckLevel level = CheckLevel::full) {
+  using DA = DebugAccess<T>;
+  const auto& s = DA::store(m);
+  const Index mdim = m.layout() == Layout::by_row ? m.nrows() : m.ncols();
+  const Index ndim = m.layout() == Layout::by_row ? m.ncols() : m.nrows();
+
+  Index zombies_seen = 0;
+  auto r = detail::check_store(s, mdim, ndim, "matrix store", level,
+                               /*allow_zombies=*/true, &zombies_seen);
+  if (!r.ok()) return r;
+
+  // Zombie accounting. The count must never exceed the stored entries even
+  // at quick level; at full level it must match the tagged entries exactly.
+  if (DA::nzombies(m) > static_cast<Index>(s.i.size())) {
+    return detail::check_fail(Info::invalid_object,
+                              "matrix: zombie count exceeds stored entries");
+  }
+  if (level == CheckLevel::full && DA::nzombies(m) != zombies_seen) {
+    return detail::check_fail(
+        Info::invalid_object,
+        "matrix: stale zombie count (" + std::to_string(DA::nzombies(m)) +
+            " recorded, " + std::to_string(zombies_seen) + " tagged)");
+  }
+
+  // Pending tuples must address the logical shape.
+  for (const auto& [pr, pc, pv] : DA::pending(m)) {
+    (void)pv;
+    if (pr >= m.nrows() || pc >= m.ncols()) {
+      return detail::check_fail(
+          Info::invalid_index,
+          "matrix: pending tuple (" + std::to_string(pr) + ", " +
+              std::to_string(pc) + ") outside " + std::to_string(m.nrows()) +
+              "x" + std::to_string(m.ncols()));
+    }
+  }
+
+  // The dual-orientation cache, when valid, is a zombie-free store of the
+  // opposite orientation.
+  if (DA::other_valid(m)) {
+    if (!DA::other(m)) {
+      return detail::check_fail(Info::invalid_object,
+                                "matrix: dual cache marked valid but absent");
+    }
+    auto rc = detail::check_store(*DA::other(m), ndim, mdim, "dual cache",
+                                  level, /*allow_zombies=*/false, nullptr);
+    if (!rc.ok()) return rc;
+  }
+  return {};
+}
+
+/// Deep structural check of a vector. Never mutates or materialises.
+template <class T>
+[[nodiscard]] CheckResult check(const Vector<T>& v,
+                                CheckLevel level = CheckLevel::full) {
+  using DA = DebugAccess<T>;
+  const Index n = v.size();
+
+  if (DA::is_dense(v)) {
+    if (DA::dval(v).size() != n || DA::dpresent(v).size() != n) {
+      return detail::check_fail(
+          Info::invalid_object,
+          "vector: dense arrays sized " + std::to_string(DA::dval(v).size()) +
+              "/" + std::to_string(DA::dpresent(v).size()) + " for dimension " +
+              std::to_string(n));
+    }
+    if (!DA::ind(v).empty() || !DA::val(v).empty()) {
+      return detail::check_fail(
+          Info::invalid_object,
+          "vector: dense representation carries sparse arrays");
+    }
+    if (!DA::pending(v).empty() || DA::nzombies(v) != 0) {
+      return detail::check_fail(
+          Info::invalid_object,
+          "vector: dense representation carries pending work");
+    }
+    if (level == CheckLevel::full) {
+      Index cnt = 0;
+      for (Index i = 0; i < n; ++i)
+        if (DA::dpresent(v)[i]) ++cnt;
+      if (cnt != DA::dnvals(v)) {
+        return detail::check_fail(
+            Info::invalid_object,
+            "vector: dense entry count " + std::to_string(DA::dnvals(v)) +
+                " disagrees with bitmap (" + std::to_string(cnt) + ")");
+      }
+    }
+    return {};
+  }
+
+  // Sparse representation.
+  if (DA::ind(v).size() != DA::val(v).size()) {
+    return detail::check_fail(
+        Info::invalid_object,
+        "vector: index and value array sizes differ");
+  }
+  if (!DA::dval(v).empty() || !DA::dpresent(v).empty()) {
+    return detail::check_fail(
+        Info::invalid_object,
+        "vector: sparse representation carries dense arrays");
+  }
+  if (DA::nzombies(v) > static_cast<Index>(DA::ind(v).size())) {
+    return detail::check_fail(Info::invalid_object,
+                              "vector: zombie count exceeds stored entries");
+  }
+  for (const auto& [pi, pv] : DA::pending(v)) {
+    (void)pv;
+    if (pi >= n) {
+      return detail::check_fail(
+          Info::invalid_index,
+          "vector: pending tuple index " + std::to_string(pi) + " >= " +
+              std::to_string(n));
+    }
+  }
+  if (level == CheckLevel::full) {
+    Index zcount = 0;
+    Index prev = all_indices;
+    for (std::size_t k = 0; k < DA::ind(v).size(); ++k) {
+      Index raw = DA::ind(v)[k];
+      if (detail::check_is_zombie(raw)) ++zcount;
+      Index idx = detail::check_unzombie(raw);
+      if (idx >= n) {
+        return detail::check_fail(
+            Info::invalid_index,
+            "vector: stored index " + std::to_string(idx) + " >= " +
+                std::to_string(n));
+      }
+      if (prev != all_indices && detail::check_unzombie(prev) >= idx) {
+        return detail::check_fail(
+            Info::invalid_object,
+            std::string("vector: indices not strictly sorted") +
+                (detail::check_unzombie(prev) == idx ? " (duplicate entry)"
+                                                     : ""));
+      }
+      prev = raw;
+    }
+    if (zcount != DA::nzombies(v)) {
+      return detail::check_fail(
+          Info::invalid_object,
+          "vector: stale zombie count (" + std::to_string(DA::nzombies(v)) +
+              " recorded, " + std::to_string(zcount) + " tagged)");
+    }
+  }
+  return {};
+}
+
+}  // namespace gb

@@ -14,6 +14,12 @@
 // materialised state (the C API's as-if rule). Storage is `mutable` because
 // materialisation is a logically-const cache fold, the same trick
 // SuiteSparse plays behind its opaque handles.
+//
+// Exception safety: every mutation that can allocate builds its result in
+// scratch storage first and commits with noexcept moves, so a bad_alloc
+// (real or injected via gb::platform::Alloc) leaves the observable value
+// exactly as it was. All storage lives in gb::Buf, so it is metered and
+// fault-injectable.
 #pragma once
 
 #include <algorithm>
@@ -24,9 +30,13 @@
 #include <vector>
 
 #include "graphblas/types.hpp"
+#include "platform/alloc.hpp"
 #include "platform/memory.hpp"
 
 namespace gb {
+
+template <class U>
+struct DebugAccess;  // validator / test backdoor, defined in validate.hpp
 
 template <class T>
 class Vector {
@@ -115,7 +125,7 @@ class Vector {
   // --- bulk construction ------------------------------------------------------
 
   /// GrB_Vector_build: indices may be unsorted and may repeat; duplicates are
-  /// combined with `dup`.
+  /// combined with `dup`. Strong guarantee: assembled in scratch first.
   template <class Dup, class ValueContainer>
   void build(std::span<const Index> indices, const ValueContainer& values,
              Dup dup) {
@@ -129,19 +139,19 @@ class Vector {
     }
     std::stable_sort(tuples.begin(), tuples.end(),
                      [](const auto& a, const auto& b) { return a.first < b.first; });
-    ind_.clear();
-    val_.clear();
-    ind_.reserve(tuples.size());
-    val_.reserve(tuples.size());
+    Buf<Index> ni;
+    Buf<storage_t<T>> nv;
+    ni.reserve(tuples.size());
+    nv.reserve(tuples.size());
     for (const auto& [i, v] : tuples) {
-      if (!ind_.empty() && ind_.back() == i) {
-        val_.back() = dup(val_.back(), v);
+      if (!ni.empty() && ni.back() == i) {
+        nv.back() = dup(nv.back(), v);
       } else {
-        ind_.push_back(i);
-        val_.push_back(v);
+        ni.push_back(i);
+        nv.push_back(v);
       }
     }
-    dense_ = false;
+    commit_sparse(std::move(ni), std::move(nv));
   }
 
   /// GrB_Vector_extractTuples.
@@ -163,8 +173,9 @@ class Vector {
     }
   }
 
-  /// GrB_Vector_clear: remove all entries, keep the dimension.
-  void clear() {
+  /// GrB_Vector_clear: remove all entries, keep the dimension. noexcept —
+  /// never allocates.
+  void clear() noexcept {
     ind_.clear();
     val_.clear();
     dval_.clear();
@@ -179,6 +190,10 @@ class Vector {
   void resize(Index n) {
     wait();
     if (dense_) {
+      // Reserve both arrays before resizing either, so an allocation failure
+      // leaves the dense-rep invariants (sizes == n_) intact.
+      dval_.reserve(n);
+      dpresent_.reserve(n);
       if (n < n_) {
         for (Index i = n; i < n_; ++i)
           if (dpresent_[i]) --dnvals_;
@@ -201,43 +216,45 @@ class Vector {
     return dense_;
   }
 
-  /// Force the sparse (index list) representation.
+  /// Force the sparse (index list) representation. Strong guarantee.
   void to_sparse() const {
     wait();
     if (!dense_) return;
-    ind_.clear();
-    val_.clear();
-    ind_.reserve(dnvals_);
-    val_.reserve(dnvals_);
+    Buf<Index> ni;
+    Buf<storage_t<T>> nv;
+    ni.reserve(dnvals_);
+    nv.reserve(dnvals_);
     for (Index i = 0; i < n_; ++i) {
       if (dpresent_[i]) {
-        ind_.push_back(i);
-        val_.push_back(dval_[i]);
+        ni.push_back(i);
+        nv.push_back(dval_[i]);
       }
     }
-    dval_.clear();
-    dval_.shrink_to_fit();
-    dpresent_.clear();
-    dpresent_.shrink_to_fit();
+    // Commit: nothing below can throw.
+    ind_ = std::move(ni);
+    val_ = std::move(nv);
+    Buf<storage_t<T>>().swap(dval_);
+    Buf<std::uint8_t>().swap(dpresent_);
     dnvals_ = 0;
     dense_ = false;
   }
 
-  /// Force the dense (value array + bitmap) representation.
+  /// Force the dense (value array + bitmap) representation. Strong guarantee.
   void to_dense() const {
     wait();
     if (dense_) return;
-    dval_.assign(n_, T{});
-    dpresent_.assign(n_, 0);
-    dnvals_ = static_cast<Index>(ind_.size());
+    Buf<storage_t<T>> dv(n_, storage_t<T>{});
+    Buf<std::uint8_t> dp(n_, 0);
     for (std::size_t k = 0; k < ind_.size(); ++k) {
-      dval_[ind_[k]] = val_[k];
-      dpresent_[ind_[k]] = 1;
+      dv[ind_[k]] = val_[k];
+      dp[ind_[k]] = 1;
     }
-    ind_.clear();
-    ind_.shrink_to_fit();
-    val_.clear();
-    val_.shrink_to_fit();
+    // Commit: nothing below can throw.
+    dnvals_ = static_cast<Index>(ind_.size());
+    dval_ = std::move(dv);
+    dpresent_ = std::move(dp);
+    Buf<Index>().swap(ind_);
+    Buf<storage_t<T>>().swap(val_);
     dense_ = true;
   }
 
@@ -273,36 +290,35 @@ class Vector {
 
   /// Replace all contents with sorted (indices, values). Used by kernels to
   /// publish results without per-element churn. Indices must be sorted and
-  /// duplicate-free.
-  void load_sorted(std::vector<Index>&& indices,
-                   std::vector<storage_t<T>>&& values) {
-    clear();
-    ind_ = std::move(indices);
-    val_ = std::move(values);
-    dense_ = false;
+  /// duplicate-free. noexcept: takes ownership by move, frees old storage.
+  void load_sorted(Buf<Index>&& indices, Buf<storage_t<T>>&& values) noexcept {
+    commit_sparse(std::move(indices), std::move(values));
   }
 
   /// Replace all contents with a dense value array + presence bitmap.
-  void load_dense(std::vector<storage_t<T>>&& values,
-                  std::vector<std::uint8_t>&& present) {
+  void load_dense(Buf<storage_t<T>>&& values, Buf<std::uint8_t>&& present) {
     check_value(values.size() == n_ && present.size() == n_,
                 "Vector::load_dense size");
+    Index cnt = 0;
+    for (Index i = 0; i < n_; ++i)
+      if (present[i]) ++cnt;
+    // Commit: nothing below can throw.
     clear();
     dval_ = std::move(values);
     dpresent_ = std::move(present);
-    dnvals_ = 0;
-    for (Index i = 0; i < n_; ++i)
-      if (dpresent_[i]) ++dnvals_;
+    dnvals_ = cnt;
     dense_ = true;
   }
 
   // --- non-blocking materialisation --------------------------------------------
 
   /// GrB_Vector_wait: kill zombies, assemble pending tuples. One
-  /// O(e + p log p) pass.
+  /// O(e + p log p) pass. Strong guarantee: the zombie sweep is an in-place
+  /// shrink (never allocates); the pending merge assembles into scratch and
+  /// clears `pending_` only after the noexcept commit.
   void wait() const {
     if (pending_.empty() && nzombies_ == 0) return;
-    // 1. Kill zombies in the stored arrays.
+    // 1. Kill zombies in the stored arrays (in place; shrinking resize only).
     if (nzombies_ > 0) {
       std::size_t out = 0;
       for (std::size_t k = 0; k < ind_.size(); ++k) {
@@ -321,8 +337,8 @@ class Vector {
       std::stable_sort(
           pending_.begin(), pending_.end(),
           [](const auto& a, const auto& b) { return a.first < b.first; });
-      std::vector<Index> mi;
-      std::vector<storage_t<T>> mv;
+      Buf<Index> mi;
+      Buf<storage_t<T>> mv;
       mi.reserve(ind_.size() + pending_.size());
       mv.reserve(ind_.size() + pending_.size());
       std::size_t a = 0, b = 0;
@@ -347,6 +363,7 @@ class Vector {
           ++a;
         }
       }
+      // Commit: nothing below can throw.
       ind_ = std::move(mi);
       val_ = std::move(mv);
       pending_.clear();
@@ -366,6 +383,9 @@ class Vector {
   }
 
  private:
+  template <class U>
+  friend struct DebugAccess;
+
   static constexpr Index kZombieBit = Index{1} << 63;
   [[nodiscard]] static constexpr bool is_zombie(Index i) noexcept {
     return (i & kZombieBit) != 0;
@@ -374,17 +394,29 @@ class Vector {
     return i & ~kZombieBit;
   }
 
+  /// Adopt fully-assembled sparse arrays; frees every other representation.
+  void commit_sparse(Buf<Index>&& ni, Buf<storage_t<T>>&& nv) const noexcept {
+    ind_ = std::move(ni);
+    val_ = std::move(nv);
+    Buf<storage_t<T>>().swap(dval_);
+    Buf<std::uint8_t>().swap(dpresent_);
+    pending_.clear();
+    nzombies_ = 0;
+    dnvals_ = 0;
+    dense_ = false;
+  }
+
   Index n_ = 0;
 
   // Mutable: materialisation (wait, representation changes) is logically
   // const — observable value semantics never change, only the physical form.
   mutable bool dense_ = false;
-  mutable std::vector<Index> ind_;  // sparse: sorted entry indices
-  mutable std::vector<storage_t<T>> val_;   // sparse: entry values
-  mutable std::vector<storage_t<T>> dval_;  // dense: values
-  mutable std::vector<std::uint8_t> dpresent_;  // dense: presence bitmap
+  mutable Buf<Index> ind_;  // sparse: sorted entry indices
+  mutable Buf<storage_t<T>> val_;   // sparse: entry values
+  mutable Buf<storage_t<T>> dval_;  // dense: values
+  mutable Buf<std::uint8_t> dpresent_;  // dense: presence bitmap
   mutable Index dnvals_ = 0;
-  mutable std::vector<std::pair<Index, T>> pending_;  // unordered inserts
+  mutable Buf<std::pair<Index, T>> pending_;  // unordered inserts
   mutable Index nzombies_ = 0;
 };
 

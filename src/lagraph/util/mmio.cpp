@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <string>
 #include <vector>
 
 namespace lagraph {
@@ -20,9 +24,125 @@ std::string lower(std::string s) {
   throw gb::Error(gb::Info::invalid_value, "Matrix Market: " + what);
 }
 
+[[noreturn]] void fail_at(std::uint64_t line_no, const std::string& what) {
+  fail(what + " (line " + std::to_string(line_no) + ")");
+}
+
+// Tracks the current line of the stream so every parse error can name the
+// offending line. Only whole lines are consumed; fields are parsed with
+// std::from_chars, which (unlike operator>>) reports integer overflow
+// instead of silently saturating or leaving garbage.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  // Next non-blank, non-comment line. Returns false at end of input.
+  bool next_data_line() {
+    while (std::getline(in_, line_)) {
+      ++line_no_;
+      pos_ = line_.find_first_not_of(" \t\r");
+      if (pos_ == std::string::npos) continue;   // blank
+      if (line_[pos_] == '%') continue;          // comment
+      return true;
+    }
+    return false;
+  }
+
+  // 1-based index field on the current line (Matrix Market indices start
+  // at 1, so 0 is out of range too — callers check the upper bound).
+  std::uint64_t parse_index(const char* what) {
+    skip_space();
+    if (pos_ >= line_.size()) {
+      fail_at(line_no_, std::string("missing ") + what);
+    }
+    std::uint64_t v = 0;
+    auto [p, ec] = std::from_chars(line_.data() + pos_,
+                                   line_.data() + line_.size(), v);
+    if (ec == std::errc::result_out_of_range) {
+      fail_at(line_no_, std::string(what) + " overflows 64 bits");
+    }
+    if (ec != std::errc{} || (p != line_.data() + line_.size() &&
+                              !std::isspace(static_cast<unsigned char>(*p)))) {
+      fail_at(line_no_, std::string("non-numeric ") + what + " '" +
+                            current_token() + "'");
+    }
+    pos_ = static_cast<std::size_t>(p - line_.data());
+    return v;
+  }
+
+  double parse_value(const char* what) {
+    skip_space();
+    if (pos_ >= line_.size()) {
+      fail_at(line_no_, std::string("missing ") + what);
+    }
+    // from_chars rejects an explicit '+', which writers do emit.
+    if (line_[pos_] == '+' && pos_ + 1 < line_.size()) ++pos_;
+    double v = 0.0;
+    auto [p, ec] = std::from_chars(line_.data() + pos_,
+                                   line_.data() + line_.size(), v);
+    if (ec == std::errc::result_out_of_range) {
+      // Denormal underflow / inf overflow: accept what strtod would give.
+      v = (line_[pos_] == '-') ? -std::numeric_limits<double>::infinity()
+                               : std::numeric_limits<double>::infinity();
+      ec = std::errc{};
+    }
+    if (ec != std::errc{} || (p != line_.data() + line_.size() &&
+                              !std::isspace(static_cast<unsigned char>(*p)))) {
+      fail_at(line_no_, std::string("non-numeric ") + what + " '" +
+                            current_token() + "'");
+    }
+    pos_ = static_cast<std::size_t>(p - line_.data());
+    return v;
+  }
+
+  bool line_exhausted() {
+    skip_space();
+    return pos_ >= line_.size();
+  }
+
+  void expect_line_end(const char* context) {
+    if (!line_exhausted()) {
+      fail_at(line_no_, std::string("trailing fields after ") + context +
+                            " '" + current_token() + "'");
+    }
+  }
+
+  [[nodiscard]] std::uint64_t line_no() const { return line_no_; }
+
+ private:
+  void skip_space() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string current_token() const {
+    auto end = pos_;
+    while (end < line_.size() &&
+           !std::isspace(static_cast<unsigned char>(line_[end]))) {
+      ++end;
+    }
+    return line_.substr(pos_, end - pos_);
+  }
+
+  std::istream& in_;
+  std::string line_;
+  std::uint64_t line_no_ = 1;  // the banner (line 1) is consumed by mm_read
+  std::size_t pos_ = 0;
+};
+
+// Reserve ceiling: trust the declared nnz only up to 1M entries so a
+// corrupted size line cannot trigger a multi-GB allocation before a single
+// entry has been read. Beyond the cap, vectors grow geometrically as usual.
+constexpr std::uint64_t kReserveCap = std::uint64_t{1} << 20;
+
 }  // namespace
 
 gb::Matrix<double> mm_read(std::istream& in) {
+  LineReader reader(in);
+
+  // Header. The banner must be the very first line (no leading comments).
   std::string line;
   if (!std::getline(in, line)) fail("empty file");
   std::istringstream header(line);
@@ -47,34 +167,60 @@ gb::Matrix<double> mm_read(std::istream& in) {
   if (!symmetric && !skew && symmetry != "general") {
     fail("unsupported symmetry '" + symmetry + "'");
   }
-
-  // Skip comments.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+  if (pattern && format == "array") {
+    fail("pattern field is invalid with array format");
   }
 
-  std::istringstream sizes(line);
-  std::uint64_t nrows = 0, ncols = 0, nnz = 0;
+  // Size line: first non-comment line after the banner.
+  if (!reader.next_data_line()) fail("missing size line");
+  const std::uint64_t nrows = reader.parse_index("row count");
+  const std::uint64_t ncols = reader.parse_index("column count");
+  std::uint64_t nnz = 0;
   if (format == "coordinate") {
-    if (!(sizes >> nrows >> ncols >> nnz)) fail("bad size line");
+    nnz = reader.parse_index("entry count");
+    if (nrows > 0 && ncols > 0) {
+      // Duplicates are legal in general files, but an entry count larger
+      // than the dense size is a sure sign of corruption.
+      if (nnz / nrows > ncols || (nnz / nrows == ncols && nnz % nrows != 0)) {
+        fail_at(reader.line_no(), "entry count " + std::to_string(nnz) +
+                                      " exceeds matrix capacity");
+      }
+    } else if (nnz != 0) {
+      fail_at(reader.line_no(), "nonzero entry count for an empty matrix");
+    }
   } else {
-    if (!(sizes >> nrows >> ncols)) fail("bad size line");
+    if (ncols != 0 &&
+        nrows > std::numeric_limits<std::uint64_t>::max() / ncols) {
+      fail_at(reader.line_no(), "array dimensions overflow 64 bits");
+    }
     nnz = nrows * ncols;
   }
+  reader.expect_line_end("size line");
 
   std::vector<gb::Index> ri, ci;
   std::vector<double> xv;
-  ri.reserve(nnz);
-  ci.reserve(nnz);
-  xv.reserve(nnz);
+  const auto reserve = static_cast<std::size_t>(std::min(nnz, kReserveCap));
+  ri.reserve(reserve);
+  ci.reserve(reserve);
+  xv.reserve(reserve);
 
   if (format == "coordinate") {
     for (std::uint64_t k = 0; k < nnz; ++k) {
-      std::uint64_t r = 0, c = 0;
+      if (!reader.next_data_line()) {
+        fail("truncated entry list: declared " + std::to_string(nnz) +
+             " entries, found " + std::to_string(k));
+      }
+      const std::uint64_t r = reader.parse_index("row index");
+      const std::uint64_t c = reader.parse_index("column index");
       double v = 1.0;
-      if (!(in >> r >> c)) fail("truncated entry list");
-      if (!pattern && !(in >> v)) fail("missing value");
-      if (r == 0 || c == 0 || r > nrows || c > ncols) fail("index out of range");
+      if (!pattern) v = reader.parse_value("entry value");
+      reader.expect_line_end("entry");
+      if (r == 0 || c == 0 || r > nrows || c > ncols) {
+        fail_at(reader.line_no(),
+                "index (" + std::to_string(r) + ", " + std::to_string(c) +
+                    ") out of range for " + std::to_string(nrows) + "x" +
+                    std::to_string(ncols));
+      }
       ri.push_back(r - 1);
       ci.push_back(c - 1);
       xv.push_back(v);
@@ -84,18 +230,29 @@ gb::Matrix<double> mm_read(std::istream& in) {
         xv.push_back(skew ? -v : v);
       }
     }
+    if (reader.next_data_line()) {
+      fail_at(reader.line_no(), "more entries than the declared " +
+                                    std::to_string(nnz));
+    }
   } else {
     // Array format is column-major dense.
     for (std::uint64_t j = 0; j < ncols; ++j) {
       for (std::uint64_t i = 0; i < nrows; ++i) {
-        double v = 0.0;
-        if (!(in >> v)) fail("truncated array data");
+        if (reader.line_exhausted() && !reader.next_data_line()) {
+          fail("truncated array data: expected " + std::to_string(nnz) +
+               " values");
+        }
+        const double v = reader.parse_value("array value");
         if (v != 0.0) {
           ri.push_back(i);
           ci.push_back(j);
           xv.push_back(v);
         }
       }
+    }
+    if (!reader.line_exhausted() || reader.next_data_line()) {
+      fail_at(reader.line_no(), "more array values than the declared " +
+                                    std::to_string(nnz));
     }
   }
 

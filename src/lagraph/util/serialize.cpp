@@ -20,8 +20,9 @@ void write_pod(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
-template <class T>
-void write_array(std::ostream& out, const std::vector<T>& v) {
+template <class V>
+void write_array(std::ostream& out, const V& v) {
+  using T = typename V::value_type;
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
 }
@@ -34,9 +35,10 @@ T read_pod(std::istream& in) {
   return v;
 }
 
+// Read straight into metered storage so the arrays can be move-imported.
 template <class T>
-std::vector<T> read_array(std::istream& in, std::size_t n) {
-  std::vector<T> v(n);
+gb::Buf<T> read_array(std::istream& in, std::size_t n) {
+  gb::Buf<T> v(n);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(T)));
   if (!in) fail("truncated array");

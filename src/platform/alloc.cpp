@@ -1,0 +1,105 @@
+#include "platform/alloc.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+namespace gb::platform {
+
+std::atomic<int> Alloc::mode_{0};
+std::atomic<std::int64_t> Alloc::remaining_{0};
+std::atomic<std::uint64_t> Alloc::rng_{0x9e3779b97f4a7c15ull};
+std::atomic<std::uint64_t> Alloc::threshold_{0};
+std::atomic<std::uint64_t> Alloc::total_{0};
+std::atomic<std::uint64_t> Alloc::injected_{0};
+
+namespace {
+
+// xorshift64* step — deterministic, fast, good enough for fault scattering.
+std::uint64_t next_rand(std::atomic<std::uint64_t>& state) noexcept {
+  std::uint64_t x = state.load(std::memory_order_relaxed);
+  std::uint64_t nx;
+  do {
+    nx = x;
+    nx ^= nx >> 12;
+    nx ^= nx << 25;
+    nx ^= nx >> 27;
+  } while (!state.compare_exchange_weak(x, nx, std::memory_order_relaxed));
+  return nx * 0x2545f4914f6cdd1dull;
+}
+
+}  // namespace
+
+void* Alloc::allocate(std::size_t bytes) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  switch (static_cast<Mode>(mode_.load(std::memory_order_relaxed))) {
+    case Mode::off:
+      break;
+    case Mode::countdown:
+      // fetch_sub: allocations draining the budget below zero all fail, so
+      // the "ran out of memory" condition is sticky until disarm().
+      if (remaining_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        throw std::bad_alloc{};
+      }
+      break;
+    case Mode::probabilistic:
+      if (next_rand(rng_) < threshold_.load(std::memory_order_relaxed)) {
+        injected_.fetch_add(1, std::memory_order_relaxed);
+        throw std::bad_alloc{};
+      }
+      break;
+  }
+  void* p = ::operator new(bytes);
+  MemoryMeter::account(static_cast<std::ptrdiff_t>(bytes));
+  return p;
+}
+
+void Alloc::deallocate(void* p, std::size_t bytes) noexcept {
+  MemoryMeter::account(-static_cast<std::ptrdiff_t>(bytes));
+  ::operator delete(p);
+}
+
+void Alloc::fail_after(std::uint64_t n) noexcept {
+  remaining_.store(static_cast<std::int64_t>(n), std::memory_order_relaxed);
+  mode_.store(static_cast<int>(Mode::countdown), std::memory_order_relaxed);
+}
+
+void Alloc::fail_with_probability(double p, std::uint64_t seed) noexcept {
+  if (p <= 0.0) {
+    disarm();
+    return;
+  }
+  std::uint64_t t;
+  if (p >= 1.0) {
+    t = std::numeric_limits<std::uint64_t>::max();
+  } else {
+    t = static_cast<std::uint64_t>(
+        p * static_cast<double>(std::numeric_limits<std::uint64_t>::max()));
+  }
+  rng_.store(seed ? seed : 0x9e3779b97f4a7c15ull, std::memory_order_relaxed);
+  threshold_.store(t, std::memory_order_relaxed);
+  mode_.store(static_cast<int>(Mode::probabilistic), std::memory_order_relaxed);
+}
+
+void Alloc::disarm() noexcept {
+  mode_.store(static_cast<int>(Mode::off), std::memory_order_relaxed);
+}
+
+bool Alloc::armed() noexcept {
+  return mode_.load(std::memory_order_relaxed) != static_cast<int>(Mode::off);
+}
+
+std::uint64_t Alloc::total_allocations() noexcept {
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Alloc::injected_failures() noexcept {
+  return injected_.load(std::memory_order_relaxed);
+}
+
+void Alloc::reset_counters() noexcept {
+  total_.store(0, std::memory_order_relaxed);
+  injected_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gb::platform

@@ -1,0 +1,119 @@
+// The single chokepoint for every byte a GraphBLAS opaque object holds.
+//
+// All container storage inside SparseStore / Vector / Matrix is routed
+// through `Alloc` via `MeteredAllocator`, which buys two things at once:
+//
+//   * exact accounting — `MemoryMeter` sees every allocate/deallocate, so
+//     `current_bytes()` is the true footprint of the substrate (the seed
+//     under-counted: objects reported `memory_bytes()` on request but never
+//     fed the meter);
+//   * fault injection — tests arm a process-wide hook that fails the Nth
+//     allocation (or fails probabilistically under a seeded PRNG) by
+//     throwing std::bad_alloc, which is how the strong-exception-safety
+//     contract of the write-back path is soak-tested. SuiteSparse:GraphBLAS
+//     does the same with its malloc-debug countdown wrappers.
+//
+// Injection is a countdown: `fail_after(n)` lets the next n allocations
+// succeed, then fails every later one until `disarm()` — modelling "the
+// process ran out of memory at this point", not a one-off glitch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "platform/memory.hpp"
+
+namespace gb::platform {
+
+/// Facade over raw storage allocation for opaque-object memory.
+class Alloc {
+ public:
+  /// Allocate `bytes` (zero is allowed and allocates a unique block).
+  /// Throws std::bad_alloc on real exhaustion or injected failure.
+  static void* allocate(std::size_t bytes);
+
+  /// Release a block previously returned by allocate.
+  static void deallocate(void* p, std::size_t bytes) noexcept;
+
+  // --- fault-injection hooks (process-wide, test-only) -----------------------
+
+  /// Let the next `n` allocations succeed, then fail all subsequent ones
+  /// until disarm(). n == 0 fails the very next allocation.
+  static void fail_after(std::uint64_t n) noexcept;
+
+  /// Fail each allocation independently with probability `p` (0..1), driven
+  /// by a deterministic xorshift PRNG seeded with `seed`.
+  static void fail_with_probability(double p, std::uint64_t seed) noexcept;
+
+  /// Stop injecting failures.
+  static void disarm() noexcept;
+
+  [[nodiscard]] static bool armed() noexcept;
+
+  // --- counters --------------------------------------------------------------
+
+  /// Allocations attempted since reset_counters (successful or injected).
+  [[nodiscard]] static std::uint64_t total_allocations() noexcept;
+
+  /// Failures injected since reset_counters.
+  [[nodiscard]] static std::uint64_t injected_failures() noexcept;
+
+  static void reset_counters() noexcept;
+
+ private:
+  enum class Mode : int { off = 0, countdown = 1, probabilistic = 2 };
+
+  static std::atomic<int> mode_;
+  static std::atomic<std::int64_t> remaining_;  // countdown mode
+  static std::atomic<std::uint64_t> rng_;       // probabilistic mode
+  static std::atomic<std::uint64_t> threshold_; // p scaled to 2^64
+  static std::atomic<std::uint64_t> total_;
+  static std::atomic<std::uint64_t> injected_;
+};
+
+/// RAII guard: arms fail-after-N on construction, disarms on destruction.
+/// Keeps soak-test loops exception-safe themselves.
+class ScopedFailAfter {
+ public:
+  explicit ScopedFailAfter(std::uint64_t n) noexcept { Alloc::fail_after(n); }
+  ~ScopedFailAfter() { Alloc::disarm(); }
+  ScopedFailAfter(const ScopedFailAfter&) = delete;
+  ScopedFailAfter& operator=(const ScopedFailAfter&) = delete;
+};
+
+/// Minimal allocator adapter: std::vector<T, MeteredAllocator<T>> storage is
+/// accounted and fault-injectable.
+template <class T>
+struct MeteredAllocator {
+  using value_type = T;
+
+  MeteredAllocator() noexcept = default;
+  template <class U>
+  MeteredAllocator(const MeteredAllocator<U>&) noexcept {}  // NOLINT
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(Alloc::allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    Alloc::deallocate(p, n * sizeof(T));
+  }
+
+  friend bool operator==(const MeteredAllocator&,
+                         const MeteredAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace gb::platform
+
+namespace gb {
+
+/// The container type for all opaque-object storage: a std::vector whose
+/// bytes flow through gb::platform::Alloc (metering + fault injection).
+template <class T>
+using Buf = std::vector<T, platform::MeteredAllocator<T>>;
+
+}  // namespace gb

@@ -328,6 +328,100 @@ TEST(CApi, ReduceVectorAndVectorOps) {
   GrB_Vector_free(&ew);
 }
 
+TEST(CApiError, NullPointerPaths) {
+  // Uninitialized (null) handles are API errors detected before dispatch.
+  GrB_Index n = 0;
+  double x = 0.0;
+  EXPECT_EQ(GrB_Matrix_nrows(&n, nullptr), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Matrix_nrows(nullptr, nullptr), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Vector_size(&n, nullptr), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Matrix_extractElement_FP64(&x, nullptr, 0, 0),
+            GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Vector_setElement_FP64(nullptr, 1.0, 0), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Matrix_error(nullptr, nullptr), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Vector_error(nullptr, nullptr), GrB_NULL_POINTER);
+  EXPECT_EQ(GxB_Matrix_check(nullptr, GxB_CHECK_FULL), GrB_NULL_POINTER);
+  EXPECT_EQ(GxB_Vector_check(nullptr, GxB_CHECK_FULL), GrB_NULL_POINTER);
+
+  const char* msg = nullptr;
+  GrB_Matrix a = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 2, 2), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Matrix_error(&msg, nullptr), GrB_NULL_POINTER);
+  EXPECT_EQ(GrB_Matrix_error(nullptr, a), GrB_NULL_POINTER);
+  GrB_Matrix_free(&a);
+}
+
+TEST(CApiError, MatrixErrorRecordsLastFailure) {
+  GrB_Matrix a = nullptr, b = nullptr, c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&b, 2, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, 3, 3), GrB_SUCCESS);
+
+  // A fresh object reports an empty message.
+  const char* msg = nullptr;
+  ASSERT_EQ(GrB_Matrix_error(&msg, c), GrB_SUCCESS);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_STREQ(msg, "");
+
+  // The error is recorded on the output object of the failing call.
+  ASSERT_EQ(GrB_mxm(c, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, b, nullptr),
+            GrB_DIMENSION_MISMATCH);
+  ASSERT_EQ(GrB_Matrix_error(&msg, c), GrB_SUCCESS);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_NE(std::string(msg).find("dimension"), std::string::npos) << msg;
+
+  // A subsequent successful call on the same object clears the message.
+  ASSERT_EQ(GrB_mxm(c, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, a, nullptr),
+            GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_error(&msg, c), GrB_SUCCESS);
+  EXPECT_STREQ(msg, "");
+
+  GrB_Matrix_free(&a);
+  GrB_Matrix_free(&b);
+  GrB_Matrix_free(&c);
+}
+
+TEST(CApiError, VectorErrorRecordsLastFailure) {
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Vector_new(&v, 4), GrB_SUCCESS);
+
+  ASSERT_EQ(GrB_Vector_setElement_FP64(v, 1.0, 99), GrB_INVALID_INDEX);
+  const char* msg = nullptr;
+  ASSERT_EQ(GrB_Vector_error(&msg, v), GrB_SUCCESS);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_NE(std::string(msg).find("invalid_index"), std::string::npos) << msg;
+
+  ASSERT_EQ(GrB_Vector_setElement_FP64(v, 1.0, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_error(&msg, v), GrB_SUCCESS);
+  EXPECT_STREQ(msg, "");
+  GrB_Vector_free(&v);
+}
+
+TEST(CApiError, ChecksPassOnHealthyObjects) {
+  GrB_Matrix a = nullptr;
+  GrB_Vector v = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 4, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&v, 4), GrB_SUCCESS);
+  GrB_Matrix_setElement_FP64(a, 1.5, 0, 3);
+  GrB_Matrix_setElement_FP64(a, -2.0, 2, 1);
+  GrB_Vector_setElement_FP64(v, 7.0, 1);
+
+  // Both levels, both with pending work and after wait.
+  EXPECT_EQ(GxB_Matrix_check(a, GxB_CHECK_QUICK), GrB_SUCCESS);
+  EXPECT_EQ(GxB_Matrix_check(a, GxB_CHECK_FULL), GrB_SUCCESS);
+  EXPECT_EQ(GxB_Vector_check(v, GxB_CHECK_QUICK), GrB_SUCCESS);
+  EXPECT_EQ(GxB_Vector_check(v, GxB_CHECK_FULL), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_wait(a), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_wait(v), GrB_SUCCESS);
+  EXPECT_EQ(GxB_Matrix_check(a, GxB_CHECK_FULL), GrB_SUCCESS);
+  EXPECT_EQ(GxB_Vector_check(v, GxB_CHECK_FULL), GrB_SUCCESS);
+
+  GrB_Matrix_free(&a);
+  GrB_Vector_free(&v);
+}
+
 TEST(CApi, AccumAndMaskedAssign) {
   GrB_Vector w = nullptr, mask = nullptr;
   ASSERT_EQ(GrB_Vector_new(&w, 4), GrB_SUCCESS);

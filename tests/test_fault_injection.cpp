@@ -1,0 +1,466 @@
+// Allocation-fault soak harness (tentpole of the robustness PR).
+//
+// Every major operation is driven through the C API while
+// gb::platform::Alloc is armed to fail the Nth allocation, for N = 0, 1, 2,
+// ... until the operation survives injection. After each injected failure
+// the harness asserts the full contract:
+//
+//   * the C boundary reports GrB_OUT_OF_MEMORY (the bad_alloc mapped by the
+//     guarded wrapper) — never a crash, never a wrong code;
+//   * every object involved still passes GxB_*_check at GxB_CHECK_FULL
+//     (strong guarantee: no half-written structure escapes);
+//   * the output object is bit-identical to its pre-call state;
+//   * MemoryMeter::current_bytes() returns to the pre-call baseline — the
+//     failed operation leaked nothing.
+//
+// Inputs are deliberately tiny (single-digit dimensions) so every kernel
+// runs serially (far below the parallel thresholds) and the allocation
+// sequence is deterministic.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "capi/graphblas_c.h"
+#include "platform/alloc.hpp"
+#include "platform/memory.hpp"
+
+using gb::platform::Alloc;
+using gb::platform::MemoryMeter;
+using gb::platform::ScopedFailAfter;
+
+namespace {
+
+struct MatrixSnapshot {
+  GrB_Index nrows = 0, ncols = 0;
+  std::vector<GrB_Index> r, c;
+  std::vector<double> v;
+
+  friend bool operator==(const MatrixSnapshot&,
+                         const MatrixSnapshot&) = default;
+};
+
+struct VectorSnapshot {
+  GrB_Index size = 0;
+  std::vector<GrB_Index> i;
+  std::vector<double> v;
+
+  friend bool operator==(const VectorSnapshot&,
+                         const VectorSnapshot&) = default;
+};
+
+MatrixSnapshot snapshot(GrB_Matrix a) {
+  MatrixSnapshot s;
+  EXPECT_EQ(GrB_Matrix_nrows(&s.nrows, a), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Matrix_ncols(&s.ncols, a), GrB_SUCCESS);
+  GrB_Index n = 0;
+  EXPECT_EQ(GrB_Matrix_nvals(&n, a), GrB_SUCCESS);
+  // One extra slot so empty objects still hand out non-null pointers.
+  s.r.resize(n + 1);
+  s.c.resize(n + 1);
+  s.v.resize(n + 1);
+  GrB_Index cap = n + 1;
+  EXPECT_EQ(
+      GrB_Matrix_extractTuples_FP64(s.r.data(), s.c.data(), s.v.data(), &cap,
+                                    a),
+      GrB_SUCCESS);
+  s.r.resize(cap);
+  s.c.resize(cap);
+  s.v.resize(cap);
+  return s;
+}
+
+VectorSnapshot snapshot(GrB_Vector w) {
+  VectorSnapshot s;
+  EXPECT_EQ(GrB_Vector_size(&s.size, w), GrB_SUCCESS);
+  GrB_Index n = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&n, w), GrB_SUCCESS);
+  s.i.resize(n + 1);
+  s.v.resize(n + 1);
+  GrB_Index cap = n + 1;
+  EXPECT_EQ(GrB_Vector_extractTuples_FP64(s.i.data(), s.v.data(), &cap, w),
+            GrB_SUCCESS);
+  s.i.resize(cap);
+  s.v.resize(cap);
+  return s;
+}
+
+// Objects the harness re-validates after every injected failure.
+struct Watched {
+  std::vector<GrB_Matrix> matrices;
+  std::vector<GrB_Vector> vectors;
+};
+
+void expect_all_valid(const Watched& watched, const char* op, GrB_Index n) {
+  for (GrB_Matrix m : watched.matrices) {
+    EXPECT_EQ(GxB_Matrix_check(m, GxB_CHECK_FULL), GrB_SUCCESS)
+        << op << " left a corrupt matrix after failing allocation " << n;
+  }
+  for (GrB_Vector v : watched.vectors) {
+    EXPECT_EQ(GxB_Vector_check(v, GxB_CHECK_FULL), GrB_SUCCESS)
+        << op << " left a corrupt vector after failing allocation " << n;
+  }
+}
+
+// Drives `op` under fail-at-Nth injection until it completes cleanly.
+// `out` is the output object (snapshot-compared on failure); extra watched
+// objects (inputs, masks) are structurally validated too. Returns the N at
+// which the operation first survived.
+template <class Handle>
+GrB_Index soak(const char* name, const std::function<GrB_Info()>& op,
+               Handle out, const Watched& watched) {
+  // Warm-up: one clean run so lazily-materialised input state (dual
+  // orientation caches, dense/sparse representation flips) exists before
+  // bytes are measured — a failed call may legitimately retain those
+  // caches, but after warm-up a failure must be exactly memory-neutral.
+  const GrB_Info warm = op();
+  EXPECT_EQ(warm, GrB_SUCCESS) << name << " failed without injection";
+  if (warm != GrB_SUCCESS) return 0;
+  const auto before = snapshot(out);
+  constexpr GrB_Index kMaxN = 100000;
+  for (GrB_Index n = 0; n < kMaxN; ++n) {
+    const std::size_t baseline = MemoryMeter::current_bytes();
+    GrB_Info info;
+    {
+      ScopedFailAfter guard(n);
+      info = op();
+    }
+    if (info == GrB_SUCCESS) {
+      EXPECT_GT(Alloc::total_allocations(), 0u);
+      expect_all_valid(watched, name, n);
+      return n;
+    }
+    EXPECT_EQ(info, GrB_OUT_OF_MEMORY)
+        << name << " reported the wrong Info for allocation failure " << n;
+    expect_all_valid(watched, name, n);
+    EXPECT_EQ(snapshot(out), before)
+        << name << " modified its output despite failing at allocation " << n;
+    EXPECT_EQ(MemoryMeter::current_bytes(), baseline)
+        << name << " leaked metered bytes after failing at allocation " << n;
+  }
+  ADD_FAILURE() << name << " never completed under injection";
+  return kMaxN;
+}
+
+// Shared fixture: small, settled inputs built once per test.
+class FaultInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Alloc::reset_counters();
+    ASSERT_EQ(GrB_Matrix_new(&a_, 6, 6), GrB_SUCCESS);
+    ASSERT_EQ(GrB_Matrix_new(&b_, 6, 6), GrB_SUCCESS);
+    ASSERT_EQ(GrB_Matrix_new(&c_, 6, 6), GrB_SUCCESS);
+    ASSERT_EQ(GrB_Vector_new(&u_, 6), GrB_SUCCESS);
+    ASSERT_EQ(GrB_Vector_new(&w_, 6), GrB_SUCCESS);
+
+    const GrB_Index ar[] = {0, 0, 1, 2, 3, 4, 5};
+    const GrB_Index ac[] = {1, 4, 2, 0, 3, 5, 2};
+    const double av[] = {1, 2, 3, 4, 5, 6, 7};
+    ASSERT_EQ(GrB_Matrix_build_FP64(a_, ar, ac, av, 7, GrB_PLUS_FP64),
+              GrB_SUCCESS);
+    const GrB_Index br[] = {0, 1, 2, 4, 5};
+    const GrB_Index bc[] = {2, 1, 3, 4, 0};
+    const double bv[] = {2, -1, 4, 0.5, 3};
+    ASSERT_EQ(GrB_Matrix_build_FP64(b_, br, bc, bv, 5, GrB_PLUS_FP64),
+              GrB_SUCCESS);
+    // A non-empty output so "unchanged on failure" is a real assertion.
+    ASSERT_EQ(GrB_Matrix_setElement_FP64(c_, 42.0, 5, 5), GrB_SUCCESS);
+    ASSERT_EQ(GrB_Matrix_wait(c_), GrB_SUCCESS);
+
+    const GrB_Index ui[] = {0, 2, 5};
+    const double uv[] = {1.0, -2.0, 3.0};
+    ASSERT_EQ(GrB_Vector_build_FP64(u_, ui, uv, 3, GrB_PLUS_FP64),
+              GrB_SUCCESS);
+    ASSERT_EQ(GrB_Vector_setElement_FP64(w_, 7.0, 1), GrB_SUCCESS);
+    ASSERT_EQ(GrB_Vector_wait(w_), GrB_SUCCESS);
+  }
+
+  void TearDown() override {
+    Alloc::disarm();
+    GrB_Matrix_free(&a_);
+    GrB_Matrix_free(&b_);
+    GrB_Matrix_free(&c_);
+    GrB_Vector_free(&u_);
+    GrB_Vector_free(&w_);
+  }
+
+  Watched watch_all() const { return {{a_, b_, c_}, {u_, w_}}; }
+
+  GrB_Matrix a_ = nullptr, b_ = nullptr, c_ = nullptr;
+  GrB_Vector u_ = nullptr, w_ = nullptr;
+};
+
+}  // namespace
+
+TEST_F(FaultInjection, Mxm) {
+  soak(
+      "mxm",
+      [&] {
+        return GrB_mxm(c_, nullptr, GrB_NULL_ACCUM,
+                       GrB_PLUS_TIMES_SEMIRING_FP64, a_, b_, nullptr);
+      },
+      c_, watch_all());
+}
+
+TEST_F(FaultInjection, MxmMaskedAccum) {
+  soak(
+      "mxm<mask,accum>",
+      [&] {
+        return GrB_mxm(c_, b_, GrB_PLUS_FP64, GrB_PLUS_TIMES_SEMIRING_FP64,
+                       a_, b_, nullptr);
+      },
+      c_, watch_all());
+}
+
+TEST_F(FaultInjection, Mxv) {
+  soak(
+      "mxv",
+      [&] {
+        return GrB_mxv(w_, nullptr, GrB_NULL_ACCUM,
+                       GrB_PLUS_TIMES_SEMIRING_FP64, a_, u_, nullptr);
+      },
+      w_, watch_all());
+}
+
+TEST_F(FaultInjection, EwiseAddMatrix) {
+  soak(
+      "eWiseAdd",
+      [&] {
+        return GrB_Matrix_eWiseAdd(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_FP64,
+                                   a_, b_, nullptr);
+      },
+      c_, watch_all());
+}
+
+TEST_F(FaultInjection, EwiseMultVector) {
+  soak(
+      "eWiseMult",
+      [&] {
+        return GrB_Vector_eWiseMult(w_, nullptr, GrB_NULL_ACCUM,
+                                    GrB_TIMES_FP64, u_, u_, nullptr);
+      },
+      w_, watch_all());
+}
+
+TEST_F(FaultInjection, AssignScalarMasked) {
+  soak(
+      "assign",
+      [&] {
+        return GrB_Matrix_assign_FP64(c_, a_, GrB_NULL_ACCUM, 3.5, GrB_ALL, 6,
+                                      GrB_ALL, 6, nullptr);
+      },
+      c_, watch_all());
+}
+
+TEST_F(FaultInjection, VectorAssignScalar) {
+  soak(
+      "vector assign",
+      [&] {
+        return GrB_Vector_assign_FP64(w_, u_, GrB_NULL_ACCUM, 2.0, GrB_ALL, 6,
+                                      nullptr);
+      },
+      w_, watch_all());
+}
+
+TEST_F(FaultInjection, Extract) {
+  const GrB_Index rows[] = {0, 2, 4};
+  GrB_Matrix s = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&s, 3, 6), GrB_SUCCESS);
+  soak(
+      "extract",
+      [&] {
+        return GrB_Matrix_extract(s, nullptr, GrB_NULL_ACCUM, a_, rows, 3,
+                                  GrB_ALL, 6, nullptr);
+      },
+      s, {{a_, s}, {}});
+  GrB_Matrix_free(&s);
+}
+
+TEST_F(FaultInjection, ReduceToVector) {
+  soak(
+      "reduce",
+      [&] {
+        return GrB_Matrix_reduce_Vector(w_, nullptr, GrB_NULL_ACCUM,
+                                        GrB_PLUS_MONOID_FP64, a_, nullptr);
+      },
+      w_, watch_all());
+}
+
+TEST_F(FaultInjection, Apply) {
+  soak(
+      "apply",
+      [&] {
+        return GrB_Vector_apply(w_, nullptr, GrB_NULL_ACCUM, GrB_ABS_FP64, u_,
+                                nullptr);
+      },
+      w_, watch_all());
+}
+
+TEST_F(FaultInjection, Transpose) {
+  soak(
+      "transpose",
+      [&] {
+        return GrB_transpose(c_, nullptr, GrB_NULL_ACCUM, a_, nullptr);
+      },
+      c_, watch_all());
+}
+
+TEST_F(FaultInjection, Build) {
+  // new + build together under injection: a fresh object per round, so a
+  // failed round must free *everything* it allocated.
+  const GrB_Index tr[] = {5, 0, 3, 0};
+  const GrB_Index tc[] = {1, 4, 3, 4};
+  const double tv[] = {1, 2, 3, 4};
+  constexpr GrB_Index kMaxN = 100000;
+  bool succeeded = false;
+  for (GrB_Index n = 0; n < kMaxN && !succeeded; ++n) {
+    const std::size_t baseline = MemoryMeter::current_bytes();
+    GrB_Matrix t = nullptr;
+    GrB_Info info;
+    {
+      ScopedFailAfter guard(n);
+      info = GrB_Matrix_new(&t, 6, 6);
+      if (info == GrB_SUCCESS) {
+        info = GrB_Matrix_build_FP64(t, tr, tc, tv, 4, GrB_PLUS_FP64);
+      }
+    }
+    if (info == GrB_SUCCESS) {
+      GrB_Index nv = 0;
+      EXPECT_EQ(GrB_Matrix_nvals(&nv, t), GrB_SUCCESS);
+      // (0,4) appears twice and is combined by GrB_PLUS_FP64.
+      EXPECT_EQ(nv, 3u);
+      EXPECT_EQ(GxB_Matrix_check(t, GxB_CHECK_FULL), GrB_SUCCESS);
+      succeeded = true;
+    } else {
+      EXPECT_EQ(info, GrB_OUT_OF_MEMORY) << "build round " << n;
+      if (t) {
+        EXPECT_EQ(GxB_Matrix_check(t, GxB_CHECK_FULL), GrB_SUCCESS)
+            << "failed build left a corrupt matrix at round " << n;
+      }
+    }
+    GrB_Matrix_free(&t);
+    if (!succeeded) {
+      EXPECT_EQ(MemoryMeter::current_bytes(), baseline)
+          << "failed build round " << n << " leaked metered bytes";
+    }
+  }
+  EXPECT_TRUE(succeeded) << "build never completed under injection";
+}
+
+TEST_F(FaultInjection, WaitWithPendingWork) {
+  // setElement parks pending tuples; removeElement makes zombies; wait()
+  // must survive injection mid-merge with both intact or fully applied.
+  ASSERT_EQ(GrB_Matrix_setElement_FP64(a_, 9.0, 3, 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_removeElement(a_, 0, 1), GrB_SUCCESS);
+  // wait() cannot be warmed up (success consumes the pending work), and a
+  // failed wait may legitimately commit a completed internal stage (the
+  // zombie sweep) whose storage differs in size from what it replaced. The
+  // leak assertion is therefore idempotence: failing at the same countdown
+  // twice in a row must not consume additional bytes.
+  constexpr GrB_Index kMaxN = 100000;
+  for (GrB_Index n = 0; n < kMaxN; ++n) {
+    GrB_Info info;
+    {
+      ScopedFailAfter guard(n);
+      info = GrB_Matrix_wait(a_);
+    }
+    if (info == GrB_SUCCESS) break;
+    ASSERT_EQ(info, GrB_OUT_OF_MEMORY);
+    EXPECT_EQ(GxB_Matrix_check(a_, GxB_CHECK_FULL), GrB_SUCCESS)
+        << "wait corrupted the matrix failing at allocation " << n;
+    const std::size_t after_first = MemoryMeter::current_bytes();
+    GrB_Info info2;
+    {
+      ScopedFailAfter guard(n);
+      info2 = GrB_Matrix_wait(a_);
+    }
+    if (info2 == GrB_SUCCESS) break;
+    ASSERT_EQ(info2, GrB_OUT_OF_MEMORY);
+    EXPECT_EQ(MemoryMeter::current_bytes(), after_first)
+        << "repeated failure at countdown " << n << " accumulated bytes";
+    ASSERT_LT(n + 1, kMaxN) << "wait never completed under injection";
+  }
+  // Both the insertion and the deletion took effect exactly once.
+  double x = 0.0;
+  EXPECT_EQ(GrB_Matrix_extractElement_FP64(&x, a_, 3, 1), GrB_SUCCESS);
+  EXPECT_EQ(x, 9.0);
+  EXPECT_EQ(GrB_Matrix_extractElement_FP64(&x, a_, 0, 1), GrB_NO_VALUE);
+}
+
+TEST_F(FaultInjection, ProbabilisticSoak) {
+  // Random interleavings: every allocation fails with 10% probability under
+  // a fixed seed. Whatever happens, no call may corrupt an object or leak.
+  const std::size_t baseline = MemoryMeter::current_bytes();
+  for (std::uint64_t round = 0; round < 30; ++round) {
+    Alloc::fail_with_probability(0.10, 0x1234 + round);
+    GrB_Info info = GrB_mxm(c_, nullptr, GrB_NULL_ACCUM,
+                            GrB_PLUS_TIMES_SEMIRING_FP64, a_, b_, nullptr);
+    Alloc::disarm();
+    EXPECT_TRUE(info == GrB_SUCCESS || info == GrB_OUT_OF_MEMORY)
+        << "round " << round << " returned " << info;
+    expect_all_valid(watch_all(), "probabilistic mxm", round);
+  }
+  // With injection off the operation must succeed.
+  ASSERT_EQ(GrB_mxm(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a_, b_, nullptr),
+            GrB_SUCCESS);
+  EXPECT_GT(MemoryMeter::current_bytes(), 0u);
+  (void)baseline;
+}
+
+TEST_F(FaultInjection, MeterTracksObjectLifetime) {
+  const std::size_t before = MemoryMeter::current_bytes();
+  {
+    GrB_Matrix t = nullptr;
+    ASSERT_EQ(GrB_Matrix_new(&t, 64, 64), GrB_SUCCESS);
+    const GrB_Index tr[] = {0, 9, 33};
+    const GrB_Index tc[] = {5, 12, 63};
+    const double tv[] = {1, 2, 3};
+    ASSERT_EQ(GrB_Matrix_build_FP64(t, tr, tc, tv, 3, GrB_PLUS_FP64),
+              GrB_SUCCESS);
+    EXPECT_GT(MemoryMeter::current_bytes(), before)
+        << "opaque-object storage is not feeding the meter";
+    GrB_Matrix_free(&t);
+  }
+  EXPECT_EQ(MemoryMeter::current_bytes(), before)
+      << "freeing the object did not return the meter to baseline";
+}
+
+TEST(FaultInjectionUnit, CountdownSemantics) {
+  Alloc::reset_counters();
+  {
+    ScopedFailAfter guard(2);
+    gb::Buf<double> ok1(8);   // allocation 1: succeeds
+    gb::Buf<double> ok2(8);   // allocation 2: succeeds
+    EXPECT_THROW(gb::Buf<double> boom(8), std::bad_alloc);   // 3: fails
+    EXPECT_THROW(gb::Buf<double> boom2(8), std::bad_alloc);  // sticky
+  }
+  // Guard destroyed: injection off again.
+  gb::Buf<double> fine(8);
+  EXPECT_EQ(fine.size(), 8u);
+  EXPECT_GE(Alloc::injected_failures(), 2u);
+}
+
+TEST(FaultInjectionUnit, ProbabilisticIsDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Alloc::fail_with_probability(0.5, seed);
+    std::string pattern;
+    for (int k = 0; k < 32; ++k) {
+      try {
+        gb::Buf<char> b(16);
+        pattern += 'S';
+      } catch (const std::bad_alloc&) {
+        pattern += 'F';
+      }
+    }
+    Alloc::disarm();
+    return pattern;
+  };
+  const auto p1 = run(99);
+  const auto p2 = run(99);
+  EXPECT_EQ(p1, p2) << "same seed must give the same failure sequence";
+  EXPECT_NE(p1.find('F'), std::string::npos);
+  EXPECT_NE(p1.find('S'), std::string::npos);
+  EXPECT_NE(run(100), p1) << "different seeds should diverge";
+}

@@ -66,9 +66,9 @@ TEST(ImportExport, CscRoundTrip) {
 }
 
 TEST(ImportExport, ImportValidates) {
-  std::vector<Index> p = {0, 1};  // wrong size for 3 rows
-  std::vector<Index> i = {0};
-  std::vector<double> x = {1.0};
+  gb::Buf<Index> p = {0, 1};  // wrong size for 3 rows
+  gb::Buf<Index> i = {0};
+  gb::Buf<double> x = {1.0};
   EXPECT_THROW(Matrix<double>::import_csr(3, 3, std::move(p), std::move(i),
                                           std::move(x)),
                gb::Error);
@@ -76,9 +76,9 @@ TEST(ImportExport, ImportValidates) {
 
 TEST(ImportExport, ImportedMatrixIsFullyOperational) {
   // Build CSR arrays by hand: 3x3, row 0 -> {1:2.0}, row 2 -> {0:5.0, 2:7.0}.
-  std::vector<Index> p = {0, 1, 1, 3};
-  std::vector<Index> i = {1, 0, 2};
-  std::vector<double> x = {2.0, 5.0, 7.0};
+  gb::Buf<Index> p = {0, 1, 1, 3};
+  gb::Buf<Index> i = {1, 0, 2};
+  gb::Buf<double> x = {2.0, 5.0, 7.0};
   auto a = Matrix<double>::import_csr(3, 3, std::move(p), std::move(i),
                                       std::move(x));
   EXPECT_EQ(a.nvals(), 3u);

@@ -80,6 +80,147 @@ TEST(Mmio, RejectsMalformed) {
   EXPECT_THROW(lagraph::mm_read("/nonexistent/path.mtx"), gb::Error);
 }
 
+namespace {
+
+// Parse `text`, assert it throws gb::Error{invalid_value} and that the
+// message mentions `needle` (typically the offending line number).
+void expect_reject(const char* text, const std::string& needle) {
+  std::istringstream in(text);
+  try {
+    lagraph::mm_read(in);
+    FAIL() << "expected gb::Error for:\n" << text;
+  } catch (const gb::Error& e) {
+    EXPECT_EQ(e.info(), gb::Info::invalid_value) << text;
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "' for:\n"
+        << text;
+  }
+}
+
+}  // namespace
+
+TEST(MmioCorrupt, TruncatedEntryList) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 3\n"
+      "1 1 1.0\n",
+      "truncated entry list");
+}
+
+TEST(MmioCorrupt, MoreEntriesThanDeclared) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3 3 1\n"
+      "1 1 1.0\n"
+      "2 2 2.0\n",
+      "line 4");
+}
+
+TEST(MmioCorrupt, IndexOutOfRange) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "5 1 1.0\n",
+      "line 3");
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "0 1 1.0\n",  // Matrix Market is 1-based; 0 is out of range
+      "out of range");
+}
+
+TEST(MmioCorrupt, IndexOverflows64Bits) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "99999999999999999999999999 1 1.0\n",
+      "overflows 64 bits");
+}
+
+TEST(MmioCorrupt, NonNumericFields) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "one 1 1.0\n",
+      "non-numeric row index");
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 abc\n",
+      "non-numeric entry value");
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 x 1\n"
+      "1 1 1.0\n",
+      "non-numeric column count");
+}
+
+TEST(MmioCorrupt, MissingValueField) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n",
+      "missing entry value");
+}
+
+TEST(MmioCorrupt, TrailingFieldsOnEntry) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0 extra\n",
+      "trailing fields");
+}
+
+TEST(MmioCorrupt, DeclaredNnzExceedsCapacity) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 100\n"
+      "1 1 1.0\n",
+      "exceeds matrix capacity");
+}
+
+TEST(MmioCorrupt, MissingSizeLine) {
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% only comments follow\n",
+      "missing size line");
+}
+
+TEST(MmioCorrupt, TruncatedArrayData) {
+  expect_reject(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1.0\n2.0\n",
+      "truncated array data");
+}
+
+TEST(MmioCorrupt, ExtraArrayData) {
+  expect_reject(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1.0\n2.0\n3.0\n4.0\n5.0\n",
+      "more array values");
+}
+
+TEST(MmioCorrupt, PatternArrayIsInvalid) {
+  expect_reject(
+      "%%MatrixMarket matrix array pattern general\n"
+      "2 2\n",
+      "pattern field is invalid");
+}
+
+TEST(MmioCorrupt, ErrorNamesOffendingLine) {
+  // Line numbering must account for comment and blank lines.
+  expect_reject(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment\n"
+      "\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "2 bad 2.0\n",
+      "line 6");
+}
+
 TEST(Mmio, WriteReadRoundTrip) {
   gb::Matrix<double> a(5, 3);
   a.set_element(0, 2, 1.25);

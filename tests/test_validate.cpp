@@ -1,0 +1,312 @@
+// gb::check — the GxB_*_check-style deep structural validator. Healthy
+// objects in every representation must pass; hand-corrupted objects must be
+// rejected with the documented Info code (invalid_index for escaped indices,
+// invalid_object for internal inconsistency).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "graphblas/graphblas.hpp"
+#include "test_common.hpp"
+
+using gb::CheckLevel;
+using gb::HyperMode;
+using gb::Index;
+using gb::Info;
+using gb::Layout;
+using DA = gb::DebugAccess<double>;
+
+namespace {
+
+// 4x4 CSR with rows of mixed lengths: p = [0,2,3,5,6].
+gb::Matrix<double> small_matrix(Layout layout = Layout::by_row) {
+  gb::Matrix<double> m(4, 4, layout, HyperMode::never);
+  std::vector<Index> r = {0, 0, 1, 2, 2, 3};
+  std::vector<Index> c = {1, 3, 2, 0, 2, 3};
+  std::vector<double> v = {1, 2, 3, 4, 5, 6};
+  m.build(r, c, v, gb::Plus{});
+  return m;
+}
+
+gb::Matrix<double> hyper_matrix() {
+  gb::Matrix<double> m(100, 100, Layout::by_row, HyperMode::always);
+  std::vector<Index> r = {2, 2, 5, 40};
+  std::vector<Index> c = {1, 7, 3, 99};
+  std::vector<double> v = {1, 2, 3, 4};
+  m.build(r, c, v, gb::Plus{});
+  return m;
+}
+
+void expect_reject(const gb::Matrix<double>& m, Info want,
+                   const std::string& needle,
+                   CheckLevel level = CheckLevel::full) {
+  auto r = gb::check(m, level);
+  EXPECT_EQ(r.info, want) << r.message;
+  EXPECT_NE(r.message.find(needle), std::string::npos) << r.message;
+}
+
+void expect_reject(const gb::Vector<double>& v, Info want,
+                   const std::string& needle,
+                   CheckLevel level = CheckLevel::full) {
+  auto r = gb::check(v, level);
+  EXPECT_EQ(r.info, want) << r.message;
+  EXPECT_NE(r.message.find(needle), std::string::npos) << r.message;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Healthy objects: every representation and lifecycle state must pass.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, AcceptsHealthyMatrices) {
+  for (auto layout : {Layout::by_row, Layout::by_col}) {
+    for (auto hyper : {HyperMode::auto_mode, HyperMode::always,
+                       HyperMode::never}) {
+      for (double density : {0.0, 0.05, 0.4}) {
+        gb::Matrix<double> m(30, 17, layout, hyper);
+        auto rnd = testutil::random_matrix(30, 17, density, 7);
+        std::vector<Index> r, c;
+        std::vector<double> v;
+        rnd.extract_tuples(r, c, v);
+        m.build(r, c, v, gb::Plus{});
+        auto res = gb::check(m, CheckLevel::full);
+        EXPECT_TRUE(res.ok())
+            << res.message << " layout=" << static_cast<int>(layout)
+            << " hyper=" << static_cast<int>(hyper) << " d=" << density;
+        EXPECT_TRUE(gb::check(m, CheckLevel::quick).ok());
+      }
+    }
+  }
+}
+
+TEST(Validate, AcceptsPendingAndZombieStates) {
+  auto m = small_matrix();
+  m.set_element(3, 0, 9.0);    // pending tuple
+  m.remove_element(0, 1);      // zombie
+  auto r = gb::check(m, CheckLevel::full);
+  EXPECT_TRUE(r.ok()) << r.message;
+  m.wait();
+  EXPECT_TRUE(gb::check(m, CheckLevel::full).ok());
+}
+
+TEST(Validate, AcceptsOperationResults) {
+  auto a = testutil::random_matrix(20, 20, 0.2, 3);
+  gb::Matrix<double> c(20, 20);
+  gb::mxm(c, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, a);
+  auto r = gb::check(c, CheckLevel::full);
+  EXPECT_TRUE(r.ok()) << r.message;
+  EXPECT_TRUE(gb::check(a, CheckLevel::full).ok());
+}
+
+TEST(Validate, AcceptsHealthyVectors) {
+  auto sparse = testutil::random_vector(50, 0.1, 11);
+  auto res = gb::check(sparse, CheckLevel::full);
+  EXPECT_TRUE(res.ok()) << res.message;
+
+  auto dense = testutil::random_vector(50, 0.9, 12);
+  dense.auto_rep();  // flips to the dense representation at this density
+  res = gb::check(dense, CheckLevel::full);
+  EXPECT_TRUE(res.ok()) << res.message;
+
+  gb::Vector<double> pending(20);
+  pending.set_element(3, 1.0);
+  pending.set_element(17, 2.0);
+  EXPECT_TRUE(gb::check(pending, CheckLevel::full).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 1: non-monotone row pointers.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsNonMonotonePointers) {
+  auto m = small_matrix();
+  auto& s = DA::store(m);
+  std::swap(s.p[1], s.p[2]);  // p = [0,3,2,5,6]
+  expect_reject(m, Info::invalid_object, "non-monotone",
+                CheckLevel::quick);  // caught even at quick level
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 2: pointer array end disagrees with nnz.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsPointerEndMismatch) {
+  auto m = small_matrix();
+  DA::store(m).p.back() += 1;
+  expect_reject(m, Info::invalid_object, "pointer array end",
+                CheckLevel::quick);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 3: index/value array size mismatch.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsIndexValueSizeMismatch) {
+  auto m = small_matrix();
+  DA::store(m).x.pop_back();
+  expect_reject(m, Info::invalid_object, "sizes differ", CheckLevel::quick);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 4: unsorted column indices within a row (full level only —
+// quick never reads the index array).
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsUnsortedIndices) {
+  auto m = small_matrix();
+  auto& s = DA::store(m);
+  std::swap(s.i[0], s.i[1]);  // row 0 becomes [3, 1]
+  EXPECT_TRUE(gb::check(m, CheckLevel::quick).ok());
+  expect_reject(m, Info::invalid_object, "not strictly sorted");
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 5: duplicate column index within a row.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsDuplicateIndices) {
+  auto m = small_matrix();
+  auto& s = DA::store(m);
+  s.i[1] = s.i[0];  // row 0 becomes [1, 1]
+  expect_reject(m, Info::invalid_object, "duplicate entry");
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 6: column index out of range.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsOutOfRangeIndex) {
+  auto m = small_matrix();
+  auto& s = DA::store(m);
+  s.i[2] = 4;  // ncols is 4; valid minors are 0..3
+  expect_reject(m, Info::invalid_index, "minor index 4");
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 7: hyperlist id out of range.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsHyperlistIdOutOfRange) {
+  auto m = hyper_matrix();
+  auto& s = DA::store(m);
+  ASSERT_TRUE(s.hyper);
+  s.h.back() = 100;  // vdim is 100
+  expect_reject(m, Info::invalid_index, "hyperlist id", CheckLevel::quick);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 8: hyperlist not strictly sorted.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsUnsortedHyperlist) {
+  auto m = hyper_matrix();
+  auto& s = DA::store(m);
+  ASSERT_GE(s.h.size(), 2u);
+  std::swap(s.h[0], s.h[1]);
+  expect_reject(m, Info::invalid_object, "hyperlist not strictly sorted",
+                CheckLevel::quick);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 9: hyperlist entry naming an empty vector.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsEmptyHyperVector) {
+  auto m = hyper_matrix();
+  auto& s = DA::store(m);
+  ASSERT_TRUE(s.hyper);
+  // Append an unused row id past the current maximum (keeps the list
+  // sorted) with a zero-length pointer range: p[k+1] == p[k].
+  s.h.push_back(s.h.back() + 1);
+  s.p.push_back(s.p.back());
+  expect_reject(m, Info::invalid_object, "empty vector", CheckLevel::quick);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 10: stale zombie count.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsStaleZombieCount) {
+  auto m = small_matrix();
+  DA::nzombies(m) = 1;  // nothing is tagged
+  EXPECT_TRUE(gb::check(m, CheckLevel::quick).ok());  // quick: count <= nnz
+  expect_reject(m, Info::invalid_object, "stale zombie count");
+}
+
+TEST(Validate, RejectsZombieCountExceedingEntries) {
+  gb::Matrix<double> m(4, 4);
+  DA::nzombies(m) = 5;  // empty matrix cannot hold 5 zombies
+  expect_reject(m, Info::invalid_object, "exceeds stored entries",
+                CheckLevel::quick);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption 11: pending tuple outside the logical shape.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsPendingTupleOutOfRange) {
+  auto m = small_matrix();
+  DA::pending(m).push_back({4, 0, 1.0});  // nrows is 4
+  expect_reject(m, Info::invalid_index, "pending tuple", CheckLevel::quick);
+}
+
+// ---------------------------------------------------------------------------
+// Vector corruptions.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, RejectsVectorUnsortedIndices) {
+  gb::Vector<double> v(10);
+  v.load_sorted({1, 4, 9}, {1.0, 4.0, 9.0});
+  auto& ind = DA::ind(v);
+  std::swap(ind[0], ind[2]);
+  EXPECT_TRUE(gb::check(v, CheckLevel::quick).ok());
+  expect_reject(v, Info::invalid_object, "not strictly sorted");
+}
+
+TEST(Validate, RejectsVectorIndexOutOfRange) {
+  gb::Vector<double> v(10);
+  v.load_sorted({1, 4, 9}, {1.0, 4.0, 9.0});
+  DA::ind(v)[2] = 10;
+  expect_reject(v, Info::invalid_index, "stored index 10");
+}
+
+TEST(Validate, RejectsVectorSizeMismatch) {
+  gb::Vector<double> v(10);
+  v.load_sorted({1, 4}, {1.0, 4.0});
+  DA::val(v).pop_back();
+  expect_reject(v, Info::invalid_object, "sizes differ", CheckLevel::quick);
+}
+
+TEST(Validate, RejectsVectorDenseCountMismatch) {
+  gb::Vector<double> v(8);
+  gb::Buf<double> vals(8, 1.0);
+  gb::Buf<std::uint8_t> present(8, 1);
+  present[3] = 0;
+  v.load_dense(std::move(vals), std::move(present));
+  EXPECT_TRUE(gb::check(v, CheckLevel::full).ok());
+  DA::dnvals(v) += 1;
+  EXPECT_TRUE(gb::check(v, CheckLevel::quick).ok());  // quick skips popcount
+  expect_reject(v, Info::invalid_object, "disagrees with bitmap");
+}
+
+TEST(Validate, RejectsVectorPendingOutOfRange) {
+  gb::Vector<double> v(10);
+  v.set_element(2, 5.0);
+  DA::pending(v).push_back({10, 1.0});
+  expect_reject(v, Info::invalid_index, "pending tuple", CheckLevel::quick);
+}
+
+// ---------------------------------------------------------------------------
+// The validator never repairs: a rejected object stays rejected.
+// ---------------------------------------------------------------------------
+
+TEST(Validate, CheckDoesNotMutate) {
+  auto m = small_matrix();
+  auto& s = DA::store(m);
+  std::swap(s.i[0], s.i[1]);
+  EXPECT_FALSE(gb::check(m, CheckLevel::full).ok());
+  EXPECT_FALSE(gb::check(m, CheckLevel::full).ok());  // still corrupt
+  EXPECT_EQ(DA::store(m).i[0], 3u);                   // untouched
+}

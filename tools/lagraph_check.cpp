@@ -90,6 +90,19 @@ int main(int argc, char** argv) {
 
   lagraph::Graph g(std::move(adj), kind);
   std::printf("%s\n\n", lagraph::describe(g).c_str());
+
+  // Deep structural validation of the loaded adjacency (GxB-style check):
+  // catch corrupt input or a broken loader before blaming an algorithm.
+  {
+    gb::platform::Timer tcheck;
+    auto cr = gb::check(g.adj(), gb::CheckLevel::full);
+    if (!cr.ok()) {
+      std::fprintf(stderr, "error: adjacency failed structural check: %s\n",
+                   cr.message.c_str());
+      return 2;
+    }
+    report("structural check (load)", true, tcheck.millis());
+  }
   auto sg = ref::SimpleGraph::from_matrix(g.adj());
   auto su = ref::SimpleGraph::from_matrix(g.undirected_view());
   const Index n = g.nrows();
@@ -204,6 +217,17 @@ int main(int argc, char** argv) {
       for (Index v = 0; v < n; ++v) ok &= std::abs(got[v] - want[v]) < 1e-6;
     }
     report("betweenness (batch)", ok, t.millis());
+  }
+
+  // The suite must not have corrupted the graph it ran on.
+  {
+    t.reset();
+    auto cr = gb::check(g.adj(), gb::CheckLevel::full);
+    if (!cr.ok()) {
+      std::fprintf(stderr, "structural check after suite: %s\n",
+                   cr.message.c_str());
+    }
+    report("structural check (post-run)", cr.ok(), t.millis());
   }
 
   std::printf("\n%d checks, %d failed\n", checks_run, checks_failed);
