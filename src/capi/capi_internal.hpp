@@ -1,0 +1,28 @@
+// Internal: the opaque handle layouts behind the C API. Shared between the
+// run-time (graphblas_c.cpp) and the white-box C API tests, which need to
+// reach through a handle to hand-corrupt an object or inspect its per-object
+// error slot. Not installed; nothing outside src/capi and tests may rely on
+// this layout.
+#pragma once
+
+#include <string>
+
+#include "capi/graphblas_c.h"
+#include "graphblas/graphblas.hpp"
+
+// The opaque structs carry a per-object last-error string (C API §4.5:
+// GrB_error retrieves the message behind the most recent failing call on
+// that object). std::string uses the global allocator, NOT the metered
+// gb::platform::Alloc — error recording must never itself trip the fault
+// injector.
+struct GrB_Matrix_opaque {
+  gb::Matrix<double> m;
+  std::string err;
+};
+struct GrB_Vector_opaque {
+  gb::Vector<double> v;
+  std::string err;
+};
+struct GrB_Descriptor_opaque {
+  gb::Descriptor d;
+};

@@ -10,26 +10,11 @@
 #include "capi/graphblas_c.h"
 
 #include <new>
+#include <stdexcept>
 #include <string>
 
+#include "capi/capi_internal.hpp"
 #include "graphblas/graphblas.hpp"
-
-// The opaque structs carry a per-object last-error string (C API §4.5:
-// GrB_error retrieves the message behind the most recent failing call on
-// that object). std::string uses the global allocator, NOT the metered
-// gb::platform::Alloc — error recording must never itself trip the fault
-// injector.
-struct GrB_Matrix_opaque {
-  gb::Matrix<double> m;
-  std::string err;
-};
-struct GrB_Vector_opaque {
-  gb::Vector<double> v;
-  std::string err;
-};
-struct GrB_Descriptor_opaque {
-  gb::Descriptor d;
-};
 
 namespace {
 
@@ -85,6 +70,11 @@ GrB_Info guarded_at(Obj* obj, F&& f) {
   } catch (const std::bad_alloc&) {
     info = GrB_OUT_OF_MEMORY;
     msg = "out of memory";
+  } catch (const std::overflow_error& e) {
+    // Platform-layer arithmetic guards (e.g. exclusive_scan's pointer-sum
+    // check) sit below the gb::Error types; map them here.
+    info = GrB_INDEX_OUT_OF_BOUNDS;
+    msg = e.what();
   } catch (...) {
     info = GrB_PANIC;
     msg = "unexpected exception";
@@ -230,6 +220,45 @@ GrB_Info with_mask(GrB_Vector mask, F&& f) {
 
 gb::Descriptor c_desc(GrB_Descriptor d) {
   return d ? d->d : gb::desc_default;
+}
+
+// --- per-object input validation ---------------------------------------------
+// C API §4.5 per-object error semantics: when a fault lies in an *input*
+// object (a corrupt mask, a broken operand), the error must be recorded on
+// the offending input, not on the output the call happens to name first.
+// Every operation entry point runs an O(1) header check over each object
+// argument before dispatch; a failing object gets the message and its code
+// is returned. Deeper (O(nvec)/O(e)) corruption is still caught by the
+// explicit GxB_*_check entry points.
+
+GrB_Info check_input(GrB_Matrix a) {
+  if (!a) return GrB_SUCCESS;  // null-ness is the caller's check
+  gb::CheckResult r = gb::check(a->m, gb::CheckLevel::header);
+  if (r.ok()) return GrB_SUCCESS;
+  try {
+    a->err = r.message;
+  } catch (...) {
+  }
+  return map_info(r.info);
+}
+
+GrB_Info check_input(GrB_Vector v) {
+  if (!v) return GrB_SUCCESS;
+  gb::CheckResult r = gb::check(v->v, gb::CheckLevel::header);
+  if (r.ok()) return GrB_SUCCESS;
+  try {
+    v->err = r.message;
+  } catch (...) {
+  }
+  return map_info(r.info);
+}
+
+/// First failing object wins (left to right: mask, then operands).
+template <class... Objs>
+GrB_Info check_inputs(Objs... objs) {
+  GrB_Info info = GrB_SUCCESS;
+  ((info = info == GrB_SUCCESS ? check_input(objs) : info), ...);
+  return info;
 }
 
 gb::IndexSel c_sel(const GrB_Index* idx, GrB_Index n) {
@@ -549,6 +578,8 @@ GrB_Info GrB_mxm(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                  GrB_Semiring sr, GrB_Matrix a, GrB_Matrix b,
                  GrB_Descriptor desc) {
   if (!c || !a || !b) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask, a, b); bad != GrB_SUCCESS)
+    return bad;
   return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -563,6 +594,8 @@ GrB_Info GrB_mxv(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                  GrB_Semiring sr, GrB_Matrix a, GrB_Vector u,
                  GrB_Descriptor desc) {
   if (!w || !a || !u) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask, a, u); bad != GrB_SUCCESS)
+    return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -577,6 +610,8 @@ GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                  GrB_Semiring sr, GrB_Vector u, GrB_Matrix a,
                  GrB_Descriptor desc) {
   if (!w || !a || !u) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask, u, a); bad != GrB_SUCCESS)
+    return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -591,6 +626,8 @@ GrB_Info GrB_Matrix_eWiseAdd(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                              GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
                              GrB_Descriptor desc) {
   if (!c || !a || !b) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask, a, b); bad != GrB_SUCCESS)
+    return bad;
   return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -605,6 +642,8 @@ GrB_Info GrB_Matrix_eWiseMult(GrB_Matrix c, GrB_Matrix mask,
                               GrB_BinaryOp accum, GrB_BinaryOp op,
                               GrB_Matrix a, GrB_Matrix b, GrB_Descriptor desc) {
   if (!c || !a || !b) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask, a, b); bad != GrB_SUCCESS)
+    return bad;
   return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -619,6 +658,8 @@ GrB_Info GrB_Vector_eWiseAdd(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                              GrB_BinaryOp op, GrB_Vector u, GrB_Vector v,
                              GrB_Descriptor desc) {
   if (!w || !u || !v) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask, u, v); bad != GrB_SUCCESS)
+    return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -633,6 +674,8 @@ GrB_Info GrB_Vector_eWiseMult(GrB_Vector w, GrB_Vector mask,
                               GrB_BinaryOp accum, GrB_BinaryOp op,
                               GrB_Vector u, GrB_Vector v, GrB_Descriptor desc) {
   if (!w || !u || !v) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask, u, v); bad != GrB_SUCCESS)
+    return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -647,6 +690,7 @@ GrB_Info GrB_Matrix_reduce_Vector(GrB_Vector w, GrB_Vector mask,
                                   GrB_BinaryOp accum, GrB_Monoid m,
                                   GrB_Matrix a, GrB_Descriptor desc) {
   if (!w || !a) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask, a); bad != GrB_SUCCESS) return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -659,6 +703,7 @@ GrB_Info GrB_Matrix_reduce_Vector(GrB_Vector w, GrB_Vector mask,
 
 GrB_Info GrB_Matrix_reduce_FP64(double* x, GrB_Monoid m, GrB_Matrix a) {
   if (!x || !a) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(a); bad != GrB_SUCCESS) return bad;
   return guarded_at(a, [&] {
     *x = gb::reduce_scalar(c_monoid(m), a->m);
     return GrB_SUCCESS;
@@ -667,6 +712,7 @@ GrB_Info GrB_Matrix_reduce_FP64(double* x, GrB_Monoid m, GrB_Matrix a) {
 
 GrB_Info GrB_Vector_reduce_FP64(double* x, GrB_Monoid m, GrB_Vector v) {
   if (!x || !v) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(v); bad != GrB_SUCCESS) return bad;
   return guarded_at(v, [&] {
     *x = gb::reduce_scalar(c_monoid(m), v->v);
     return GrB_SUCCESS;
@@ -676,6 +722,7 @@ GrB_Info GrB_Vector_reduce_FP64(double* x, GrB_Monoid m, GrB_Vector v) {
 GrB_Info GrB_Matrix_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                           GrB_UnaryOp op, GrB_Matrix a, GrB_Descriptor desc) {
   if (!c || !a) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask, a); bad != GrB_SUCCESS) return bad;
   return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -689,6 +736,7 @@ GrB_Info GrB_Matrix_apply(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
 GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                           GrB_UnaryOp op, GrB_Vector u, GrB_Descriptor desc) {
   if (!w || !u) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask, u); bad != GrB_SUCCESS) return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -702,6 +750,7 @@ GrB_Info GrB_Vector_apply(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
 GrB_Info GrB_transpose(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                        GrB_Matrix a, GrB_Descriptor desc) {
   if (!c || !a) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask, a); bad != GrB_SUCCESS) return bad;
   return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -717,6 +766,7 @@ GrB_Info GrB_Matrix_extract(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                             GrB_Index nrows, const GrB_Index* cols,
                             GrB_Index ncols, GrB_Descriptor desc) {
   if (!c || !a || !rows || !cols) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask, a); bad != GrB_SUCCESS) return bad;
   return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -732,6 +782,7 @@ GrB_Info GrB_Vector_extract(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                             GrB_Vector u, const GrB_Index* idx, GrB_Index n,
                             GrB_Descriptor desc) {
   if (!w || !u || !idx) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask, u); bad != GrB_SUCCESS) return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -747,6 +798,7 @@ GrB_Info GrB_Matrix_assign(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                            GrB_Index nrows, const GrB_Index* cols,
                            GrB_Index ncols, GrB_Descriptor desc) {
   if (!c || !a || !rows || !cols) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask, a); bad != GrB_SUCCESS) return bad;
   return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -762,6 +814,7 @@ GrB_Info GrB_Vector_assign(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
                            GrB_Vector u, const GrB_Index* idx, GrB_Index n,
                            GrB_Descriptor desc) {
   if (!w || !u || !idx) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask, u); bad != GrB_SUCCESS) return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -777,6 +830,7 @@ GrB_Info GrB_Vector_assign_FP64(GrB_Vector w, GrB_Vector mask,
                                 const GrB_Index* idx, GrB_Index n,
                                 GrB_Descriptor desc) {
   if (!w || !idx) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(w, mask); bad != GrB_SUCCESS) return bad;
   return guarded_at(w, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
@@ -793,6 +847,7 @@ GrB_Info GrB_Matrix_assign_FP64(GrB_Matrix c, GrB_Matrix mask,
                                 const GrB_Index* cols, GrB_Index ncols,
                                 GrB_Descriptor desc) {
   if (!c || !rows || !cols) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask); bad != GrB_SUCCESS) return bad;
   return guarded_at(c, [&] {
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {

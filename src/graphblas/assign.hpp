@@ -11,28 +11,36 @@
 
 #include <algorithm>
 #include <optional>
-#include <unordered_map>
-#include <vector>
+#include <utility>
 
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
+#include "platform/workspace.hpp"
 
 namespace gb {
 
 namespace detail {
 
+// Workspace call-site tags for the assign kernels.
+struct ws_assign_rpos;
+struct ws_assign_affected;
+struct ws_assign_rcols;
+struct ws_assign_rowbuf;
+struct ws_assign_arow;
+struct ws_assign_uniq;
+
 /// Region description for a vector assign: position -> (has_value, value).
 /// Later duplicate indices in I win.
 template <class UT>
 struct VecRegion {
-  std::vector<Index> pos;                    // sorted affected positions
-  std::vector<std::optional<UT>> val;        // parallel to pos
+  Buf<Index> pos;                        // sorted affected positions
+  Buf<std::optional<UT>> val;            // parallel to pos
 };
 
 template <class UT>
 VecRegion<UT> make_vec_region(const IndexSel& isel, Index wsize,
                               const Vector<UT>* u) {
-  std::unordered_map<Index, std::optional<UT>> m;
+  BufMap<Index, std::optional<UT>> m;
   m.reserve(isel.size());
   for (Index k = 0; k < isel.size(); ++k) {
     Index i = isel[k];
@@ -116,7 +124,9 @@ void assign_scalar(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
                    const Descriptor& desc = desc_default) {
   auto wi = w.indices();
   auto wv = w.values();
-  std::vector<Index> rpos;
+  auto rpos_h =
+      platform::Workspace::checkout<detail::ws_assign_rpos, Index>();
+  auto& rpos = *rpos_h;
   if (isel.is_all()) {
     rpos.resize(w.size());
     for (Index i = 0; i < w.size(); ++i) rpos[i] = i;
@@ -177,21 +187,25 @@ void assign(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   const auto& as = a.by_row();
 
   // row -> source row k in A (later duplicates in I win).
-  std::unordered_map<Index, Index> rowmap;
+  BufMap<Index, Index> rowmap;
   rowmap.reserve(isel.size());
   for (Index k = 0; k < isel.size(); ++k) {
     check_index(isel[k] < c.nrows(), "assign: I out of range");
     rowmap[isel[k]] = k;
   }
-  std::vector<Index> affected;
+  auto affected_h =
+      platform::Workspace::checkout<detail::ws_assign_affected, Index>();
+  auto& affected = *affected_h;
   affected.reserve(rowmap.size());
   for (const auto& [r, _] : rowmap) affected.push_back(r);
   std::sort(affected.begin(), affected.end());
 
   // column -> source column l in A (later duplicates in J win); and the
   // sorted list of region columns.
-  std::unordered_map<Index, Index> colmap;
-  std::vector<Index> rcols;
+  BufMap<Index, Index> colmap;
+  auto rcols_h =
+      platform::Workspace::checkout<detail::ws_assign_rcols, Index>();
+  auto& rcols = *rcols_h;
   if (jsel.is_all()) {
     check_dims(jsel.size() == c.ncols(), "assign: J=ALL shape");
   } else {
@@ -209,7 +223,15 @@ void assign(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   t.hyper = true;
   t.p.assign(1, 0);
 
-  std::vector<std::pair<Index, CT>> rowbuf;
+  auto rowbuf_h = platform::Workspace::checkout<detail::ws_assign_rowbuf,
+                                                std::pair<Index, CT>>();
+  auto arow_h = platform::Workspace::checkout<detail::ws_assign_arow,
+                                              std::pair<Index, AT>>();
+  auto uniq_h = platform::Workspace::checkout<detail::ws_assign_uniq,
+                                              std::pair<Index, AT>>();
+  auto& rowbuf = *rowbuf_h;
+  auto& arow = *arow_h;
+  auto& uniq = *uniq_h;
   Index kc = 0;          // cursor over C's stored vectors
   std::size_t kr = 0;    // cursor over affected rows
   while (kc < cs.nvec() || kr < affected.size()) {
@@ -235,7 +257,7 @@ void assign(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
     } else {
       Index k = rowmap.at(r);
       // Gather A row k as (region column, value), sorted by region column.
-      std::vector<std::pair<Index, AT>> arow;
+      arow.clear();
       if (auto av = as.find_vec(k)) {
         for (Index pos = as.vec_begin(*av); pos < as.vec_end(*av); ++pos) {
           Index j = jsel.is_all() ? as.i[pos] : jsel[as.i[pos]];
@@ -247,7 +269,7 @@ void assign(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
           });
           // Duplicate region columns (J repeats): keep the one whose source
           // column wins the colmap. Rare; drop all but the mapped winner.
-          std::vector<std::pair<Index, AT>> uniq;
+          uniq.clear();
           for (const auto& [j, v] : arow) {
             if (!uniq.empty() && uniq.back().first == j) {
               uniq.back().second = v;
@@ -255,7 +277,7 @@ void assign(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
               uniq.emplace_back(j, v);
             }
           }
-          arow = std::move(uniq);
+          std::swap(arow, uniq);
         }
       }
       // Merge C row with region: columns in the region take A's value
@@ -321,9 +343,9 @@ void assign_scalar(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   // assigns (C2/C3) use the matrix form above; scalar expansion is a
   // convenience for algorithms with small regions.
   Matrix<CT> sa(isel.size(), jsel.size());
-  std::vector<Index> ri(isel.size() * jsel.size());
-  std::vector<Index> cj(ri.size());
-  std::vector<CT> vv(ri.size(), static_cast<CT>(s));
+  Buf<Index> ri(isel.size() * jsel.size());
+  Buf<Index> cj(ri.size());
+  Buf<CT> vv(ri.size(), static_cast<CT>(s));
   std::size_t k = 0;
   for (Index i = 0; i < isel.size(); ++i) {
     for (Index j = 0; j < jsel.size(); ++j, ++k) {

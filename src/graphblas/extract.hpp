@@ -4,13 +4,18 @@
 #pragma once
 
 #include <algorithm>
-#include <unordered_map>
-#include <vector>
+#include <utility>
 
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
+#include "platform/workspace.hpp"
 
 namespace gb {
+
+namespace detail {
+// Workspace call-site tag for the matrix-extract row gather.
+struct ws_extract_row;
+}  // namespace detail
 
 /// w<m> accum= u(I). w(k) = u(I[k]).
 template <class CT, class MaskArg, class Accum, class UT>
@@ -53,7 +58,7 @@ void extract(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   const auto& s = input_rows(a, desc.transpose_a);
 
   // Column remap: source column -> list of output columns (J may repeat).
-  std::unordered_map<Index, std::vector<Index>> colmap;
+  BufMap<Index, Buf<Index>> colmap;
   if (!jsel.is_all()) {
     for (Index l = 0; l < jsel.size(); ++l) {
       check_index(jsel[l] < ancols, "extract: J out of range");
@@ -64,7 +69,10 @@ void extract(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   SparseStore<AT> t(isel.size());
   t.hyper = true;
   t.p.assign(1, 0);
-  std::vector<std::pair<Index, AT>> row;  // (out col, value), sorted per row
+  // (out col, value), sorted per row; retained workspace.
+  auto row_h = platform::Workspace::checkout<detail::ws_extract_row,
+                                             std::pair<Index, AT>>();
+  auto& row = *row_h;
   for (Index k = 0; k < isel.size(); ++k) {
     Index r = isel[k];
     check_index(r < anrows, "extract: I out of range");

@@ -15,13 +15,20 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "graphblas/descriptor.hpp"
 #include "graphblas/matrix.hpp"
 #include "graphblas/vector.hpp"
+#include "platform/workspace.hpp"
 
 namespace gb {
+
+namespace detail {
+// Workspace call-site tags for the mask probe and the matrix write-back.
+struct ws_vec_mask_allow;
+struct ws_wb_zi;
+struct ws_wb_zv;
+}  // namespace detail
 
 // ---------------------------------------------------------------------------
 // Mask probes
@@ -35,6 +42,7 @@ class VectorMaskProbe {
  public:
   VectorMaskProbe(const MaskArg& mask, Index n, const Descriptor& desc) {
     if constexpr (is_masked<MaskArg>) {
+      auto& allow_ = *allow_h_;
       allow_.assign(n, desc.mask_complement ? std::uint8_t{1} : std::uint8_t{0});
       const std::uint8_t on = desc.mask_complement ? 0 : 1;
       if (mask.is_dense_rep()) {
@@ -61,7 +69,7 @@ class VectorMaskProbe {
 
   [[nodiscard]] bool test(Index i) const noexcept {
     if constexpr (is_masked<MaskArg>) {
-      return allow_[i] != 0;
+      return (*allow_h_)[i] != 0;
     } else {
       (void)i;
       return true;
@@ -69,7 +77,9 @@ class VectorMaskProbe {
   }
 
  private:
-  std::vector<std::uint8_t> allow_;  // empty when unmasked
+  // Retained workspace; empty when unmasked. The probe must be destroyed on
+  // the thread that built it (kernels only share it read-only).
+  platform::WsBuf<std::uint8_t, detail::ws_vec_mask_allow> allow_h_;
 };
 
 /// Row-cursor probe over a matrix mask stored by row. `begin_row(r)` then
@@ -265,9 +275,12 @@ void write_back(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
     out.i.reserve(cs.nnz() + t.nnz());
     out.x.reserve(cs.nnz() + t.nnz());
 
-    // Scratch row for Z = accum(Crow, Trow).
-    std::vector<Index> zi;
-    std::vector<storage_t<CT>> zv;
+    // Scratch row for Z = accum(Crow, Trow); retained workspace.
+    auto zi_h = platform::Workspace::checkout<detail::ws_wb_zi, Index>();
+    auto zv_h =
+        platform::Workspace::checkout<detail::ws_wb_zv, storage_t<CT>>();
+    auto& zi = *zi_h;
+    auto& zv = *zv_h;
 
     Index kc = 0, kt = 0;  // stored-vector cursors in cs and t
     while (kc < cs.nvec() || kt < t.nvec()) {

@@ -84,7 +84,7 @@ class Matrix {
     Matrix m(v.size(), v.size());
     auto idx = v.indices();
     auto val = v.values();
-    std::vector<std::tuple<Index, Index, T>> t;
+    Buf<std::tuple<Index, Index, T>> t;
     t.reserve(idx.size());
     for (std::size_t k = 0; k < idx.size(); ++k)
       t.emplace_back(idx[k], idx[k], static_cast<T>(val[k]));
@@ -163,7 +163,7 @@ class Matrix {
                 "Matrix::build sizes");
     check_value(nvals() == 0 && pending_.empty(),
                 "Matrix::build on non-empty matrix");
-    std::vector<std::tuple<Index, Index, T>> t;
+    Buf<std::tuple<Index, Index, T>> t;
     t.reserve(rows.size());
     for (std::size_t k = 0; k < rows.size(); ++k) {
       check_index(rows[k] < nrows_ && cols[k] < ncols_, "Matrix::build index");
@@ -209,14 +209,16 @@ class Matrix {
   /// committed by a noexcept move.
   void resize(Index nrows, Index ncols) {
     wait();
-    std::vector<Index> r, c;
-    std::vector<T> v;
-    extract_tuples(r, c, v);
+    const auto& s = by_row();
     Matrix m(nrows, ncols, layout_, hyper_mode_);
-    std::vector<std::tuple<Index, Index, T>> keep;
-    keep.reserve(r.size());
-    for (std::size_t k = 0; k < r.size(); ++k)
-      if (r[k] < nrows && c[k] < ncols) keep.emplace_back(r[k], c[k], v[k]);
+    Buf<std::tuple<Index, Index, T>> keep;
+    keep.reserve(s.nnz());
+    for (Index k = 0; k < s.nvec(); ++k) {
+      Index r = s.vec_id(k);
+      if (r >= nrows) continue;
+      for (Index pos = s.p[k]; pos < s.p[k + 1]; ++pos)
+        if (s.i[pos] < ncols) keep.emplace_back(r, s.i[pos], s.x[pos]);
+    }
     m.build_tuples(keep, Second{});
     *this = std::move(m);
   }
@@ -471,7 +473,7 @@ class Matrix {
   /// Sort-and-dedup tuple list into the main store. Tuples are (r, c, v).
   /// Strong guarantee: assembles a scratch store, commits by move.
   template <class Dup>
-  void build_tuples(std::vector<std::tuple<Index, Index, T>>& t, Dup dup) {
+  void build_tuples(Buf<std::tuple<Index, Index, T>>& t, Dup dup) {
     const bool by_row = layout_ == Layout::by_row;
     std::stable_sort(t.begin(), t.end(), [by_row](const auto& a, const auto& b) {
       Index am = by_row ? std::get<0>(a) : std::get<1>(a);

@@ -16,11 +16,11 @@
 #pragma once
 
 #include <algorithm>
-#include <queue>
-#include <vector>
+#include <utility>
 
 #include "graphblas/mask_accum.hpp"
 #include "platform/parallel.hpp"
+#include "platform/workspace.hpp"
 #include "graphblas/semiring.hpp"
 #include "graphblas/store_utils.hpp"
 
@@ -28,10 +28,21 @@ namespace gb {
 
 namespace detail {
 
+// Workspace call-site tags: one retained scratch pool per (tag, element
+// type) pair per thread. Incomplete types on purpose.
+struct ws_mxm_acc;
+struct ws_mxm_present;
+struct ws_mxm_touched;
+struct ws_mxm_row;
+struct ws_mxm_parts;
+struct ws_dot_row;
+struct ws_heap_row;
+struct ws_heap_nodes;
+
 /// Append a finished row (sorted) to a hyper store under construction.
 template <class ZT>
 void finish_row(SparseStore<ZT>& t, Index r,
-                const std::vector<std::pair<Index, ZT>>& row) {
+                const Buf<std::pair<Index, ZT>>& row) {
   if (row.empty()) return;
   for (const auto& [j, v] : row) {
     t.i.push_back(j);
@@ -55,10 +66,16 @@ SparseStore<typename SR::value_type> mxm_gustavson(
   // §II-A describes as in progress for SuiteSparse). Chunk outputs are
   // concatenated in order — bit-identical to the serial pass.
   auto run_range = [&](Index klo, Index khi, SparseStore<ZT>& t) {
-    std::vector<ZT> acc(n);
-    std::vector<std::uint8_t> present(n, 0);
-    std::vector<Index> touched;
-    std::vector<std::pair<Index, ZT>> row;
+    auto acc_h = platform::Workspace::checkout<ws_mxm_acc, ZT>(n);
+    auto present_h =
+        platform::Workspace::checkout<ws_mxm_present, std::uint8_t>(n);
+    auto touched_h = platform::Workspace::checkout<ws_mxm_touched, Index>();
+    auto row_h =
+        platform::Workspace::checkout<ws_mxm_row, std::pair<Index, ZT>>();
+    auto& acc = *acc_h;
+    auto& present = *present_h;
+    auto& touched = *touched_h;
+    auto& row = *row_h;
     MatrixMaskProbe<MaskArg> probe(mask, desc);
 
     for (Index ka = klo; ka < khi; ++ka) {
@@ -101,8 +118,14 @@ SparseStore<typename SR::value_type> mxm_gustavson(
     return t;
   }
   const auto nchunks = static_cast<std::size_t>(nthreads);
-  std::vector<SparseStore<ZT>> parts(nchunks, SparseStore<ZT>(ra.vdim));
+  // Per-chunk output stores; the outer array is retained workspace (the
+  // stores themselves are destroyed at checkin, their payload having been
+  // concatenated into t below).
+  auto parts_h =
+      platform::Workspace::checkout<ws_mxm_parts, SparseStore<ZT>>(nchunks);
+  auto& parts = *parts_h;
   for (auto& part : parts) {
+    part = SparseStore<ZT>(ra.vdim);
     part.hyper = true;
     part.p.assign(1, 0);
   }
@@ -164,7 +187,8 @@ SparseStore<typename SR::value_type> mxm_dot(const SparseStore<AT>& ra,
   SparseStore<ZT> t(ra.vdim);
   t.hyper = true;
   t.p.assign(1, 0);
-  std::vector<std::pair<Index, ZT>> row;
+  auto row_h = platform::Workspace::checkout<ws_dot_row, std::pair<Index, ZT>>();
+  auto& row = *row_h;
 
   if constexpr (is_masked<MaskArg>) {
     if (!desc.mask_complement) {
@@ -235,35 +259,49 @@ SparseStore<typename SR::value_type> mxm_heap(const SparseStore<AT>& ra,
   auto cmp = [](const Node& x, const Node& y) {
     return x.col > y.col || (x.col == y.col && x.ord > y.ord);
   };
-  std::vector<std::pair<Index, ZT>> row;
+  auto row_h =
+      platform::Workspace::checkout<ws_heap_row, std::pair<Index, ZT>>();
+  auto& row = *row_h;
+  // The heap drains every row, so one retained buffer serves the whole call
+  // (and the next one) instead of a fresh priority_queue per row.
+  auto heap_h = platform::Workspace::checkout<ws_heap_nodes, Node>();
+  auto& heap = *heap_h;
+  auto heap_push = [&](Node nd) {
+    heap.push_back(nd);
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  };
+  auto heap_pop = [&] {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    Node nd = heap.back();
+    heap.pop_back();
+    return nd;
+  };
 
   for (Index ka = 0; ka < ra.nvec(); ++ka) {
     Index r = ra.vec_id(ka);
-    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+    heap.clear();
     Index ord = 0;
     for (Index pa = ra.vec_begin(ka); pa < ra.vec_end(ka); ++pa, ++ord) {
       auto kb = rb.find_vec(ra.i[pa]);
       if (!kb) continue;
       Index begin = rb.vec_begin(*kb), end = rb.vec_end(*kb);
       if (begin < end)
-        heap.push(Node{rb.i[begin], begin, end, ra.x[pa], ord});
+        heap_push(Node{rb.i[begin], begin, end, ra.x[pa], ord});
     }
     row.clear();
     probe.begin_row(r);
     while (!heap.empty()) {
-      Node top = heap.top();
-      heap.pop();
+      Node top = heap_pop();
       Index j = top.col;
       ZT acc = static_cast<ZT>(sr.mul(top.aval, rb.x[top.pos]));
       // Advance this stream.
       if (top.pos + 1 < top.end) {
-        heap.push(Node{rb.i[top.pos + 1], top.pos + 1, top.end, top.aval,
+        heap_push(Node{rb.i[top.pos + 1], top.pos + 1, top.end, top.aval,
                        top.ord});
       }
       // Combine all other streams currently at column j.
-      while (!heap.empty() && heap.top().col == j) {
-        Node nxt = heap.top();
-        heap.pop();
+      while (!heap.empty() && heap.front().col == j) {
+        Node nxt = heap_pop();
         if constexpr (!always_terminal<typename SR::add_type>) {
           if (!sr.add.is_terminal(acc)) {
             acc = sr.add(acc,
@@ -271,7 +309,7 @@ SparseStore<typename SR::value_type> mxm_heap(const SparseStore<AT>& ra,
           }
         }
         if (nxt.pos + 1 < nxt.end) {
-          heap.push(Node{rb.i[nxt.pos + 1], nxt.pos + 1, nxt.end, nxt.aval,
+          heap_push(Node{rb.i[nxt.pos + 1], nxt.pos + 1, nxt.end, nxt.aval,
                          nxt.ord});
         }
       }

@@ -16,16 +16,23 @@
 
 #include <algorithm>
 #include <unordered_map>
-#include <vector>
 
 #include "graphblas/mask_accum.hpp"
 #include "platform/parallel.hpp"
+#include "platform/workspace.hpp"
 #include "graphblas/semiring.hpp"
 #include "graphblas/store_utils.hpp"
 
 namespace gb {
 
 namespace detail {
+
+// Workspace call-site tags for the mxv kernels.
+struct ws_pull_cti;
+struct ws_pull_ctv;
+struct ws_push_acc;
+struct ws_push_present;
+struct ws_push_touched;
 
 /// Pull kernel: t(r) = ⊕_j mul(R(r,:), u) for stored rows r. The mask probe
 /// lets masked pulls skip whole dot products — the "masked dot" of §II-A.
@@ -71,8 +78,15 @@ void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
     return;
   }
   const Index nchunks = static_cast<Index>(nthreads);
-  std::vector<std::vector<Index>> cti(nchunks);
-  std::vector<std::vector<ZT>> ctv(nchunks);
+  // Per-chunk output buffers. The outer arrays are retained workspace on the
+  // calling thread; the inner Bufs are rebuilt per call (each chunk writes
+  // only its own slot, concatenated in chunk order below — deterministic).
+  auto cti_h = platform::Workspace::checkout<ws_pull_cti, Buf<Index>>(
+      static_cast<std::size_t>(nchunks));
+  auto ctv_h = platform::Workspace::checkout<ws_pull_ctv, Buf<ZT>>(
+      static_cast<std::size_t>(nchunks));
+  auto& cti = *cti_h;
+  auto& ctv = *ctv_h;
   platform::parallel_for_chunks(nv, nchunks, [&](std::size_t c, std::size_t lo,
                                                  std::size_t hi) {
     run_range(static_cast<Index>(lo), static_cast<Index>(hi), cti[c], ctv[c]);
@@ -97,9 +111,13 @@ void mxv_push(const SparseStore<AT>& cols, Index out_dim, const Vector<UT>& u,
   // being reasonable; fall back to hashing (the hypersparse regime).
   constexpr Index kDenseLimit = Index{1} << 23;
   if (out_dim <= kDenseLimit) {
-    std::vector<ZT> acc(out_dim);
-    std::vector<std::uint8_t> present(out_dim, 0);
-    std::vector<Index> touched;
+    auto acc_h = platform::Workspace::checkout<ws_push_acc, ZT>(out_dim);
+    auto present_h =
+        platform::Workspace::checkout<ws_push_present, std::uint8_t>(out_dim);
+    auto touched_h = platform::Workspace::checkout<ws_push_touched, Index>();
+    auto& acc = *acc_h;
+    auto& present = *present_h;
+    auto& touched = *touched_h;
     for (std::size_t k = 0; k < ui.size(); ++k) {
       auto ck = cols.find_vec(ui[k]);
       if (!ck) continue;
@@ -127,7 +145,8 @@ void mxv_push(const SparseStore<AT>& cols, Index out_dim, const Vector<UT>& u,
       tv.push_back(acc[r]);
     }
   } else {
-    std::unordered_map<Index, ZT> acc;
+    // Hypersparse regime: hash accumulator, metered + fault-injectable.
+    BufMap<Index, ZT> acc;
     for (std::size_t k = 0; k < ui.size(); ++k) {
       auto ck = cols.find_vec(ui[k]);
       if (!ck) continue;

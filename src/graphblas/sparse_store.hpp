@@ -14,12 +14,18 @@
 #include <cstdint>
 #include <optional>
 #include <tuple>
-#include <vector>
 
 #include "graphblas/types.hpp"
 #include "platform/alloc.hpp"
+#include "platform/parallel.hpp"
+#include "platform/workspace.hpp"
 
 namespace gb {
+
+namespace detail {
+// Workspace call-site tag for the sort-transpose staging buffer.
+struct ws_transpose_sort;
+}  // namespace detail
 
 // All four arrays live in gb::Buf so every byte is metered and every growth
 // is a fault-injection point (see platform/alloc.hpp).
@@ -123,8 +129,8 @@ struct SparseStore {
     SparseStore out(minor_dim);
     out.hyper = false;
     out.p.assign(minor_dim + 1, 0);
-    for (Index e : i) out.p[e + 1]++;
-    for (Index k = 0; k < minor_dim; ++k) out.p[k + 1] += out.p[k];
+    for (Index e : i) out.p[e]++;
+    platform::exclusive_scan(out.p);  // overflow-checked CSR pointer build
     out.i.resize(i.size());
     out.x.resize(x.size());
     Buf<Index> cursor(out.p.begin(), out.p.end() - 1);
@@ -141,7 +147,9 @@ struct SparseStore {
 
  private:
   [[nodiscard]] SparseStore transposed_sorting(Index minor_dim) const {
-    std::vector<std::tuple<Index, Index, T>> t;
+    auto t_h = platform::Workspace::checkout<detail::ws_transpose_sort,
+                                             std::tuple<Index, Index, T>>();
+    auto& t = *t_h;
     t.reserve(nnz());
     for (Index k = 0; k < nvec(); ++k) {
       Index major = vec_id(k);

@@ -14,7 +14,10 @@
 //     (non-monotone pointers, unsorted/duplicate indices, array size
 //     mismatches, dangling hyper vectors, stale zombie counts, ...).
 //
-// CheckLevel::quick is O(nvec): header and array-shape consistency only.
+// CheckLevel::header is O(1): array-size/shape consistency only — cheap
+// enough for the C API boundary to run on every input object.
+// CheckLevel::quick is O(nvec): additionally pointer monotonicity, the
+// hyperlist, and the pending-tuple coordinates.
 // CheckLevel::full is O(e): additionally walks every stored index.
 #pragma once
 
@@ -29,7 +32,7 @@
 
 namespace gb {
 
-enum class CheckLevel : std::uint8_t { quick, full };
+enum class CheckLevel : std::uint8_t { header, quick, full };
 
 /// Outcome of a structural check: success, or the first violation found.
 struct CheckResult {
@@ -157,6 +160,8 @@ CheckResult check_store(const SparseStore<T>& s, Index mdim, Index ndim,
                       std::string(who) + ": pointer array end != nnz");
   }
 
+  if (level == CheckLevel::header) return {};
+
   // --- pointer monotonicity and hyperlist (quick: O(nvec)) ---
   for (std::size_t k = 0; k + 1 < s.p.size(); ++k) {
     if (s.p[k] > s.p[k + 1]) {
@@ -256,15 +261,17 @@ template <class T>
             " recorded, " + std::to_string(zombies_seen) + " tagged)");
   }
 
-  // Pending tuples must address the logical shape.
-  for (const auto& [pr, pc, pv] : DA::pending(m)) {
-    (void)pv;
-    if (pr >= m.nrows() || pc >= m.ncols()) {
-      return detail::check_fail(
-          Info::invalid_index,
-          "matrix: pending tuple (" + std::to_string(pr) + ", " +
-              std::to_string(pc) + ") outside " + std::to_string(m.nrows()) +
-              "x" + std::to_string(m.ncols()));
+  // Pending tuples must address the logical shape (quick and up: O(pending)).
+  if (level != CheckLevel::header) {
+    for (const auto& [pr, pc, pv] : DA::pending(m)) {
+      (void)pv;
+      if (pr >= m.nrows() || pc >= m.ncols()) {
+        return detail::check_fail(
+            Info::invalid_index,
+            "matrix: pending tuple (" + std::to_string(pr) + ", " +
+                std::to_string(pc) + ") outside " + std::to_string(m.nrows()) +
+                "x" + std::to_string(m.ncols()));
+      }
     }
   }
 
@@ -336,13 +343,15 @@ template <class T>
     return detail::check_fail(Info::invalid_object,
                               "vector: zombie count exceeds stored entries");
   }
-  for (const auto& [pi, pv] : DA::pending(v)) {
-    (void)pv;
-    if (pi >= n) {
-      return detail::check_fail(
-          Info::invalid_index,
-          "vector: pending tuple index " + std::to_string(pi) + " >= " +
-              std::to_string(n));
+  if (level != CheckLevel::header) {
+    for (const auto& [pi, pv] : DA::pending(v)) {
+      (void)pv;
+      if (pi >= n) {
+        return detail::check_fail(
+            Info::invalid_index,
+            "vector: pending tuple index " + std::to_string(pi) + " >= " +
+                std::to_string(n));
+      }
     }
   }
   if (level == CheckLevel::full) {

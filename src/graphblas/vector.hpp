@@ -131,7 +131,7 @@ class Vector {
              Dup dup) {
     check_value(indices.size() == values.size(), "Vector::build sizes");
     check_value(nvals() == 0, "Vector::build on non-empty vector");
-    std::vector<std::pair<Index, storage_t<T>>> tuples;
+    Buf<std::pair<Index, storage_t<T>>> tuples;
     tuples.reserve(indices.size());
     for (std::size_t k = 0; k < indices.size(); ++k) {
       check_index(indices[k] < n_, "Vector::build index");

@@ -21,7 +21,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <new>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "platform/memory.hpp"
@@ -115,5 +118,12 @@ namespace gb {
 /// bytes flow through gb::platform::Alloc (metering + fault injection).
 template <class T>
 using Buf = std::vector<T, platform::MeteredAllocator<T>>;
+
+/// Metered hash map for kernel-side index translation scratch — same
+/// accounting and fault-injection coverage as Buf.
+template <class K, class V>
+using BufMap =
+    std::unordered_map<K, V, std::hash<K>, std::equal_to<K>,
+                       platform::MeteredAllocator<std::pair<const K, V>>>;
 
 }  // namespace gb

@@ -6,11 +6,38 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <type_traits>
 #include <utility>
-#include <vector>
 
 #ifdef _OPENMP
 #include <omp.h>
+#endif
+
+// ThreadSanitizer cannot see libgomp's fork/join barriers (the runtime is
+// not instrumented), so without help it reports the workers' writes and the
+// master's post-region reads as racing even though the implicit barrier
+// orders them. Annotate the fork and join edges explicitly: master releases
+// a token before the region, workers acquire it on entry and release it
+// after their chunks, master acquires after the region. Races *inside* a
+// region (two workers touching the same data) are still detected.
+#if defined(__SANITIZE_THREAD__)
+#define GB_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GB_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifdef GB_TSAN_ENABLED
+extern "C" void __tsan_acquire(void* addr);
+extern "C" void __tsan_release(void* addr);
+#define GB_TSAN_ACQUIRE(addr) __tsan_acquire(addr)
+#define GB_TSAN_RELEASE(addr) __tsan_release(addr)
+#else
+#define GB_TSAN_ACQUIRE(addr) ((void)(addr))
+#define GB_TSAN_RELEASE(addr) ((void)(addr))
 #endif
 
 namespace gb::platform {
@@ -38,10 +65,15 @@ void parallel_for(std::size_t n, Body&& body) {
     return;
   }
 #ifdef _OPENMP
+  char fork_token = 0;  // TSan happens-before anchor for the fork/join edges
+  GB_TSAN_RELEASE(&fork_token);
 #pragma omp parallel for schedule(dynamic, 256)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    GB_TSAN_ACQUIRE(&fork_token);
     body(static_cast<std::size_t>(i));
+    GB_TSAN_RELEASE(&fork_token);
   }
+  GB_TSAN_ACQUIRE(&fork_token);
 #else
   for (std::size_t i = 0; i < n; ++i) body(i);
 #endif
@@ -57,13 +89,18 @@ void parallel_for_chunks(std::size_t n, std::size_t nchunks, Body&& body) {
   if (nchunks == 0) return;
   const std::size_t per = (n + nchunks - 1) / nchunks;
 #ifdef _OPENMP
+  char fork_token = 0;  // TSan happens-before anchor for the fork/join edges
+  GB_TSAN_RELEASE(&fork_token);
 #pragma omp parallel for schedule(static, 1)
   for (std::int64_t c = 0; c < static_cast<std::int64_t>(nchunks); ++c) {
+    GB_TSAN_ACQUIRE(&fork_token);
     auto uc = static_cast<std::size_t>(c);
     std::size_t lo = uc * per;
     std::size_t hi = lo + per < n ? lo + per : n;
     if (lo < hi) body(uc, lo, hi);
+    GB_TSAN_RELEASE(&fork_token);
   }
+  GB_TSAN_ACQUIRE(&fork_token);
 #else
   for (std::size_t c = 0; c < nchunks; ++c) {
     std::size_t lo = c * per;
@@ -76,11 +113,26 @@ void parallel_for_chunks(std::size_t n, std::size_t nchunks, Body&& body) {
 /// Exclusive prefix sum in place: v[i] becomes sum of the original
 /// v[0..i). Returns the total. This is the classic CSR pointer-array
 /// construction step.
-template <class T>
-T exclusive_scan(std::vector<T>& v) {
+///
+/// Counts must be non-negative and their sum must be representable in the
+/// element type: with a 32-bit index type a pointer array wraps silently
+/// near 2^31 entries otherwise, corrupting every downstream row offset.
+/// Overflow throws std::overflow_error, which the C API boundary maps to
+/// GrB_INDEX_OUT_OF_BOUNDS (this header sits below the GraphBLAS error
+/// types, so it cannot throw gb::Error itself).
+template <class Vec>
+typename Vec::value_type exclusive_scan(Vec& v) {
+  using T = typename Vec::value_type;
   T running{};
   for (auto& e : v) {
-    T next = running + e;
+    if constexpr (std::is_signed_v<T>) {
+      if (e < T{}) throw std::overflow_error("exclusive_scan: negative count");
+    }
+    if (e > std::numeric_limits<T>::max() - running) {
+      throw std::overflow_error(
+          "exclusive_scan: prefix sum overflows index type");
+    }
+    T next = static_cast<T>(running + e);
     e = running;
     running = next;
   }

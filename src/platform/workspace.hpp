@@ -1,0 +1,198 @@
+#pragma once
+
+// Thread-local, metered kernel workspace.
+//
+// Kernels need short-lived scratch (dense accumulators, merge buffers, sort
+// staging) on every call. Allocating it fresh each time is a malloc tax on
+// the hottest paths, and plain std::vector scratch is invisible to both the
+// memory meter and the allocation fault injector. The Workspace fixes both:
+// buffers are checked out of a per-thread, per-call-site pool of Buf<T>
+// (hence every byte flows through platform::Alloc), and checked back in on
+// scope exit with their capacity retained for the next call.
+//
+// Contracts:
+//  * Isolation  — pools are thread_local; no cross-thread sharing, no locks.
+//                 A handle must be destroyed on the thread that created it.
+//  * Determinism — pools are keyed by (element type, call-site tag), so the
+//                 retained capacity of each site depends only on the call
+//                 history of that site on that thread. After a warm-up call,
+//                 repeating an operation performs no workspace growth, which
+//                 is what lets the fault-injection soak assert that the
+//                 memory meter returns exactly to its per-call baseline.
+//  * Exception safety — checkin is noexcept; if a kernel throws (e.g. an
+//                 injected bad_alloc), in-flight handles return their
+//                 buffers to the pool during unwinding and nothing leaks.
+//  * Metering   — retained bytes stay visible in MemoryMeter and are
+//                 reported per thread via Workspace::thread_stats();
+//                 Workspace::clear_thread() releases them.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "platform/alloc.hpp"
+
+namespace gb::platform {
+
+/// Per-thread arena counters, exposed for tests and diagnostics.
+struct WorkspaceStats {
+  std::size_t cached_bytes = 0;    ///< bytes held by checked-in buffers
+  std::size_t cached_buffers = 0;  ///< number of checked-in buffers
+  std::uint64_t checkouts = 0;     ///< total checkouts on this thread
+  std::uint64_t reuses = 0;        ///< checkouts served by a warm buffer
+};
+
+namespace ws_detail {
+
+struct ThreadArena {
+  WorkspaceStats stats{};
+  // One entry per pool that has ever been used on this thread; lets
+  // clear_thread() drop every retained buffer without knowing the types.
+  std::vector<void (*)() noexcept> clearers;
+};
+
+inline ThreadArena& arena() noexcept {
+  static thread_local ThreadArena a;
+  return a;
+}
+
+/// Single-slot freelist for one (element type, call-site tag) pair.
+/// Kernel sites do not nest with themselves, so one cached buffer per site
+/// captures all the reuse; a rare nested checkout simply gets a fresh
+/// buffer, and checkin keeps the larger of the two capacities.
+template <class T, class Site>
+class Pool {
+ public:
+  static Pool& local() noexcept {
+    static thread_local Pool pool;
+    return pool;
+  }
+
+  Buf<T> take() noexcept {
+    register_once();
+    auto& st = arena().stats;
+    ++st.checkouts;
+    if (!cached_) return Buf<T>{};
+    cached_ = false;
+    st.cached_bytes -= slot_.capacity() * sizeof(T);
+    --st.cached_buffers;
+    if (slot_.capacity() > 0) ++st.reuses;
+    return std::move(slot_);
+  }
+
+  void give_back(Buf<T>&& b) noexcept {
+    b.clear();  // destroy elements, keep capacity
+    auto& st = arena().stats;
+    if (cached_) {
+      // Nested checkout of the same site: retain the larger buffer so the
+      // site's warm capacity stays deterministic, free the other.
+      if (b.capacity() <= slot_.capacity()) return;
+      st.cached_bytes -= slot_.capacity() * sizeof(T);
+      slot_ = std::move(b);
+      st.cached_bytes += slot_.capacity() * sizeof(T);
+      return;
+    }
+    slot_ = std::move(b);
+    cached_ = true;
+    st.cached_bytes += slot_.capacity() * sizeof(T);
+    ++st.cached_buffers;
+  }
+
+ private:
+  Pool() = default;
+
+  static void drop() noexcept {
+    Pool& p = local();
+    if (p.cached_) {
+      auto& st = arena().stats;
+      st.cached_bytes -= p.slot_.capacity() * sizeof(T);
+      --st.cached_buffers;
+      p.cached_ = false;
+    }
+    Buf<T>{}.swap(p.slot_);  // release through Alloc
+  }
+
+  void register_once() noexcept {
+    if (registered_) return;
+    try {
+      arena().clearers.push_back(&Pool::drop);
+      registered_ = true;
+    } catch (...) {
+      // Registry growth failed: the pool still works, it just can't be
+      // emptied by clear_thread() until a later registration succeeds.
+    }
+  }
+
+  Buf<T> slot_{};
+  bool cached_ = false;
+  bool registered_ = false;
+};
+
+}  // namespace ws_detail
+
+/// RAII checkout handle. Dereferences to the underlying Buf<T>; returns the
+/// buffer (capacity retained, contents cleared) to its pool on destruction,
+/// including during exception unwinding.
+template <class T, class Site>
+class [[nodiscard]] WsBuf {
+ public:
+  WsBuf() : buf_(ws_detail::Pool<T, Site>::local().take()) {}
+
+  /// Checkout sized to n value-initialized elements. May throw bad_alloc
+  /// (the growth goes through Alloc, so it is a fault-injection point); the
+  /// already-checked-out buffer is returned to the pool on that path.
+  explicit WsBuf(std::size_t n) : WsBuf() { buf_.resize(n); }
+
+  WsBuf(WsBuf&& other) noexcept
+      : buf_(std::move(other.buf_)), owns_(std::exchange(other.owns_, false)) {}
+  WsBuf& operator=(WsBuf&&) = delete;
+  WsBuf(const WsBuf&) = delete;
+  WsBuf& operator=(const WsBuf&) = delete;
+
+  ~WsBuf() {
+    if (owns_) ws_detail::Pool<T, Site>::local().give_back(std::move(buf_));
+  }
+
+  Buf<T>& operator*() noexcept { return buf_; }
+  const Buf<T>& operator*() const noexcept { return buf_; }
+  Buf<T>* operator->() noexcept { return &buf_; }
+  const Buf<T>* operator->() const noexcept { return &buf_; }
+
+ private:
+  Buf<T> buf_;
+  bool owns_ = true;
+};
+
+/// Facade over the thread-local pools.
+///
+/// Usage (Site is an incomplete tag struct naming the call site):
+///   struct mxm_acc;  // at namespace scope, once per site
+///   auto acc_h = platform::Workspace::checkout<mxm_acc, double>(n);
+///   auto& acc = *acc_h;   // Buf<double>, n value-initialized elements
+class Workspace {
+ public:
+  template <class Site, class T>
+  [[nodiscard]] static WsBuf<T, Site> checkout() {
+    return WsBuf<T, Site>{};
+  }
+
+  template <class Site, class T>
+  [[nodiscard]] static WsBuf<T, Site> checkout(std::size_t n) {
+    return WsBuf<T, Site>(n);
+  }
+
+  /// Counters for the calling thread's arena.
+  static WorkspaceStats thread_stats() noexcept {
+    return ws_detail::arena().stats;
+  }
+
+  /// Release every buffer retained by the calling thread's pools. Safe at
+  /// any quiescent point (no live handles on this thread).
+  static void clear_thread() noexcept {
+    for (auto* f : ws_detail::arena().clearers) f();
+  }
+};
+
+}  // namespace gb::platform

@@ -4,7 +4,9 @@
 // C++ LAGraph implementation and the textbook reference.
 #include <gtest/gtest.h>
 
+#include "capi/capi_internal.hpp"
 #include "capi/graphblas_c.h"
+#include "graphblas/validate.hpp"
 #include "lagraph/lagraph.hpp"
 #include "lagraph/util/check.hpp"
 #include "lagraph/util/generator.hpp"
@@ -442,4 +444,129 @@ TEST(CApi, AccumAndMaskedAssign) {
   EXPECT_EQ(GrB_Vector_extractElement_FP64(&x, w, 1), GrB_NO_VALUE);
   GrB_Vector_free(&w);
   GrB_Vector_free(&mask);
+}
+
+// ---------------------------------------------------------------------------
+// Per-object error attribution (C API §4.5): when an *input* object is
+// structurally invalid, the failing call must record its message on that
+// object — not on the output the call happens to name first. These tests
+// hand-corrupt objects through the opaque handle (white-box, via
+// capi_internal.hpp + DebugAccess) with header-detectable, repairable
+// mutations.
+
+TEST(CApiError, CorruptMaskRecordsErrorOnMask) {
+  GrB_Matrix a = nullptr, b = nullptr, c = nullptr, mask = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&b, 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&mask, 3, 3), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement_FP64(a, 1.0, 0, 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement_FP64(b, 2.0, 1, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement_FP64(mask, 1.0, 0, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_wait(mask), GrB_SUCCESS);
+
+  // Header-detectable corruption: an index entry with no matching value.
+  auto& ms = gb::DebugAccess<double>::store(mask->m);
+  ms.i.push_back(0);
+
+  EXPECT_EQ(GrB_mxm(c, mask, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    b, nullptr),
+            GrB_INVALID_OBJECT);
+
+  // The message lands on the MASK, the offending object...
+  const char* msg = nullptr;
+  ASSERT_EQ(GrB_Matrix_error(&msg, mask), GrB_SUCCESS);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_NE(std::string(msg).find("index and value array sizes differ"),
+            std::string::npos)
+      << msg;
+  // ...and the output, which never ran, is untouched.
+  ASSERT_EQ(GrB_Matrix_error(&msg, c), GrB_SUCCESS);
+  EXPECT_STREQ(msg, "");
+
+  // Repair the mask; the same call now goes through.
+  ms.i.pop_back();
+  EXPECT_EQ(GrB_mxm(c, mask, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64, a,
+                    b, nullptr),
+            GrB_SUCCESS);
+
+  GrB_Matrix_free(&a);
+  GrB_Matrix_free(&b);
+  GrB_Matrix_free(&c);
+  GrB_Matrix_free(&mask);
+}
+
+TEST(CApiError, CorruptOperandRecordsErrorOnOperand) {
+  GrB_Matrix a = nullptr;
+  GrB_Vector u = nullptr, w = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 4, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&u, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_new(&w, 4), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement_FP64(a, 1.0, 0, 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_setElement_FP64(u, 3.0, 1), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Vector_wait(u), GrB_SUCCESS);
+
+  // Corrupt the vector operand: sparse index array outgrows the values.
+  auto& ind = gb::DebugAccess<double>::ind(u->v);
+  const bool was_sparse = !ind.empty();
+  if (was_sparse) {
+    ind.push_back(0);
+  } else {
+    gb::DebugAccess<double>::dpresent(u->v).push_back(1);
+  }
+
+  EXPECT_EQ(GrB_mxv(w, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, u, nullptr),
+            GrB_INVALID_OBJECT);
+
+  const char* msg = nullptr;
+  ASSERT_EQ(GrB_Vector_error(&msg, u), GrB_SUCCESS);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_STRNE(msg, "");  // the operand carries the report
+  ASSERT_EQ(GrB_Vector_error(&msg, w), GrB_SUCCESS);
+  EXPECT_STREQ(msg, "");  // the output does not
+
+  // Repair; the operation succeeds again.
+  if (was_sparse) {
+    ind.pop_back();
+  } else {
+    gb::DebugAccess<double>::dpresent(u->v).pop_back();
+  }
+  EXPECT_EQ(GrB_mxv(w, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, u, nullptr),
+            GrB_SUCCESS);
+  double x = 0.0;
+  EXPECT_EQ(GrB_Vector_extractElement_FP64(&x, w, 0), GrB_SUCCESS);
+  EXPECT_EQ(x, 3.0);
+
+  GrB_Matrix_free(&a);
+  GrB_Vector_free(&u);
+  GrB_Vector_free(&w);
+}
+
+TEST(CApiError, CorruptOutputCaughtBeforeDispatch) {
+  // The output object is validated too: a corrupt C must fail cleanly with
+  // the message on C rather than crash inside a kernel.
+  GrB_Matrix a = nullptr, c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 2, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, 2, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement_FP64(c, 1.0, 0, 0), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_wait(c), GrB_SUCCESS);
+
+  auto& cs = gb::DebugAccess<double>::store(c->m);
+  cs.i.push_back(1);
+
+  EXPECT_EQ(GrB_transpose(c, nullptr, GrB_NULL_ACCUM, a, nullptr),
+            GrB_INVALID_OBJECT);
+  const char* msg = nullptr;
+  ASSERT_EQ(GrB_Matrix_error(&msg, c), GrB_SUCCESS);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_STRNE(msg, "");
+
+  cs.i.pop_back();
+  EXPECT_EQ(GrB_transpose(c, nullptr, GrB_NULL_ACCUM, a, nullptr),
+            GrB_SUCCESS);
+
+  GrB_Matrix_free(&a);
+  GrB_Matrix_free(&c);
 }

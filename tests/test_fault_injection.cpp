@@ -19,12 +19,16 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "capi/graphblas_c.h"
+#include "graphblas/graphblas.hpp"
+#include "graphblas/validate.hpp"
 #include "platform/alloc.hpp"
 #include "platform/memory.hpp"
+#include "platform/workspace.hpp"
 
 using gb::platform::Alloc;
 using gb::platform::MemoryMeter;
@@ -463,4 +467,208 @@ TEST(FaultInjectionUnit, ProbabilisticIsDeterministic) {
   EXPECT_NE(p1.find('F'), std::string::npos);
   EXPECT_NE(p1.find('S'), std::string::npos);
   EXPECT_NE(run(100), p1) << "different seeds should diverge";
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-scratch soaks: the same injection contract, driven through the C++
+// API with the descriptor pinned to each mxm / mxv method, so every
+// Workspace checkout site (gustavson acc/present/touched/row and per-chunk
+// parts, the dot row buffer, the heap node store, push/pull per-chunk
+// buffers) sits directly on the failure path. Workspace retention is part of
+// the contract: after the clean warm-up the pools hold their peak per-site
+// capacities, a failed run re-requests the same sizes, and an injected
+// failure must therefore be exactly memory-neutral.
+
+namespace {
+
+struct CxxMatSnapshot {
+  std::vector<gb::Index> r, c;
+  std::vector<double> v;
+  friend bool operator==(const CxxMatSnapshot&,
+                         const CxxMatSnapshot&) = default;
+};
+
+CxxMatSnapshot cxx_snapshot(const gb::Matrix<double>& m) {
+  CxxMatSnapshot s;
+  m.extract_tuples(s.r, s.c, s.v);
+  return s;
+}
+
+struct CxxVecSnapshot {
+  std::vector<gb::Index> i;
+  std::vector<double> v;
+  friend bool operator==(const CxxVecSnapshot&,
+                         const CxxVecSnapshot&) = default;
+};
+
+CxxVecSnapshot cxx_snapshot(const gb::Vector<double>& w) {
+  CxxVecSnapshot s;
+  w.extract_tuples(s.i, s.v);
+  return s;
+}
+
+// C++-level analogue of soak(): `op` throws std::bad_alloc on an injected
+// failure instead of returning GrB_OUT_OF_MEMORY.
+template <class Out>
+void cxx_soak(const char* name, const std::function<void()>& op,
+              const Out& out) {
+  ASSERT_NO_THROW(op()) << name << " failed without injection";
+  const auto before = cxx_snapshot(out);
+  constexpr std::uint64_t kMaxN = 100000;
+  for (std::uint64_t n = 0; n < kMaxN; ++n) {
+    const std::size_t baseline = MemoryMeter::current_bytes();
+    bool failed = false;
+    {
+      ScopedFailAfter guard(n);
+      try {
+        op();
+      } catch (const std::bad_alloc&) {
+        failed = true;
+      }
+    }
+    if (!failed) return;  // survived injection: done
+    EXPECT_TRUE(gb::check(out, gb::CheckLevel::full).ok())
+        << name << " corrupted its output failing at allocation " << n;
+    EXPECT_EQ(cxx_snapshot(out), before)
+        << name << " modified its output despite failing at allocation " << n;
+    EXPECT_EQ(MemoryMeter::current_bytes(), baseline)
+        << name << " leaked metered bytes after failing at allocation " << n;
+  }
+  ADD_FAILURE() << name << " never completed under injection";
+}
+
+class KernelScratchFault : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Alloc::reset_counters();
+    a_ = gb::Matrix<double>(6, 6);
+    b_ = gb::Matrix<double>(6, 6);
+    c_ = gb::Matrix<double>(6, 6);
+    u_ = gb::Vector<double>(6);
+    w_ = gb::Vector<double>(6);
+    const gb::Index ar[] = {0, 0, 1, 2, 3, 4, 5};
+    const gb::Index ac[] = {1, 4, 2, 0, 3, 5, 2};
+    const double av[] = {1, 2, 3, 4, 5, 6, 7};
+    for (int k = 0; k < 7; ++k) a_.set_element(ar[k], ac[k], av[k]);
+    const gb::Index br[] = {0, 1, 2, 4, 5};
+    const gb::Index bc[] = {2, 1, 3, 4, 0};
+    const double bv[] = {2, -1, 4, 0.5, 3};
+    for (int k = 0; k < 5; ++k) b_.set_element(br[k], bc[k], bv[k]);
+    c_.set_element(5, 5, 42.0);
+    u_.set_element(0, 1.0);
+    u_.set_element(2, -2.0);
+    u_.set_element(5, 3.0);
+    w_.set_element(1, 7.0);
+    a_.wait();
+    b_.wait();
+    c_.wait();
+    u_.wait();
+    w_.wait();
+  }
+
+  void TearDown() override {
+    Alloc::disarm();
+    EXPECT_TRUE(gb::check(a_, gb::CheckLevel::full).ok());
+    EXPECT_TRUE(gb::check(b_, gb::CheckLevel::full).ok());
+    EXPECT_TRUE(gb::check(u_, gb::CheckLevel::full).ok());
+  }
+
+  gb::Matrix<double> a_{1, 1}, b_{1, 1}, c_{1, 1};
+  gb::Vector<double> u_{1}, w_{1};
+};
+
+}  // namespace
+
+TEST_F(KernelScratchFault, MxmGustavson) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::gustavson;
+  cxx_soak(
+      "mxm/gustavson",
+      [&] {
+        gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxmDot) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::dot;
+  cxx_soak(
+      "mxm/dot",
+      [&] {
+        gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxmHeap) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::heap;
+  cxx_soak(
+      "mxm/heap",
+      [&] {
+        gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxmGustavsonMasked) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::gustavson;
+  cxx_soak(
+      "mxm<mask>/gustavson",
+      [&] {
+        gb::mxm(c_, b_, gb::no_accum, gb::plus_times<double>(), a_, b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxvPush) {
+  gb::Descriptor d;
+  d.mxv = gb::MxvMethod::push;
+  cxx_soak(
+      "mxv/push",
+      [&] {
+        gb::mxv(w_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                u_, d);
+      },
+      w_);
+}
+
+TEST_F(KernelScratchFault, MxvPull) {
+  gb::Descriptor d;
+  d.mxv = gb::MxvMethod::pull;
+  cxx_soak(
+      "mxv/pull",
+      [&] {
+        gb::mxv(w_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                u_, d);
+      },
+      w_);
+}
+
+TEST_F(KernelScratchFault, WorkspaceStaysWarmAcrossFailures) {
+  // After the warm-up, repeated injected failures must not grow the pools:
+  // every failed run requests capacities the warm run already established.
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::gustavson;
+  auto op = [&] {
+    gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_, b_,
+            d);
+  };
+  op();  // warm
+  const auto warm_cached = gb::platform::Workspace::thread_stats().cached_bytes;
+  for (std::uint64_t n = 0; n < 8; ++n) {
+    ScopedFailAfter guard(n);
+    try {
+      op();
+    } catch (const std::bad_alloc&) {
+    }
+    EXPECT_LE(gb::platform::Workspace::thread_stats().cached_bytes,
+              warm_cached)
+        << "failed run at countdown " << n << " grew the workspace pools";
+  }
 }

@@ -4,6 +4,11 @@
 // pass — per-chunk buffers concatenated in order, no shared accumulators.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -138,4 +143,36 @@ TEST(Parallel, ChunkHelperCoversRangeExactlyOnce) {
         calls += static_cast<int>(hi - lo);
       });
   EXPECT_EQ(calls, 3);
+}
+
+TEST(Parallel, ExclusiveScanComputesPointerArray) {
+  std::vector<std::int64_t> v{3, 0, 5, 2};
+  EXPECT_EQ(gb::platform::exclusive_scan(v), 10);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{0, 3, 3, 8}));
+
+  std::vector<std::uint32_t> empty;
+  EXPECT_EQ(gb::platform::exclusive_scan(empty), 0u);
+}
+
+TEST(Parallel, ExclusiveScanDetectsOverflow) {
+  // Synthetic near-limit case: a 32-bit pointer array whose total nnz would
+  // wrap. Without the check this silently corrupts every row offset; the
+  // checked path throws, and the C API maps it to GrB_INDEX_OUT_OF_BOUNDS.
+  constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+  std::vector<std::int32_t> wraps{kMax - 1, 1, 1};
+  EXPECT_THROW(gb::platform::exclusive_scan(wraps), std::overflow_error);
+
+  // Exactly at the limit is representable and must pass.
+  std::vector<std::int32_t> fits{kMax - 1, 1};
+  EXPECT_EQ(gb::platform::exclusive_scan(fits), kMax);
+  EXPECT_EQ(fits, (std::vector<std::int32_t>{0, kMax - 1}));
+
+  // Unsigned index type near 2^32.
+  constexpr std::uint32_t kUMax = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> uwraps{kUMax, 1};
+  EXPECT_THROW(gb::platform::exclusive_scan(uwraps), std::overflow_error);
+
+  // Negative counts are malformed input, not a wrapped sum in disguise.
+  std::vector<std::int32_t> negative{4, -1};
+  EXPECT_THROW(gb::platform::exclusive_scan(negative), std::overflow_error);
 }
