@@ -65,8 +65,16 @@ GrB_Info guarded_at(Obj* obj, F&& f) {
     }
     return info;
   } catch (const gb::Error& e) {
+    // Copy what() into `text` before the handler exits: the exception
+    // object (and the storage behind its message) dies with the catch
+    // block, but `msg` is consumed after it.
     info = map_info(e.info());
-    msg = e.what();
+    try {
+      text = e.what();
+      msg = text.c_str();
+    } catch (...) {
+      msg = "error message lost (out of memory)";
+    }
   } catch (const std::bad_alloc&) {
     info = GrB_OUT_OF_MEMORY;
     msg = "out of memory";
@@ -74,7 +82,12 @@ GrB_Info guarded_at(Obj* obj, F&& f) {
     // Platform-layer arithmetic guards (e.g. exclusive_scan's pointer-sum
     // check) sit below the gb::Error types; map them here.
     info = GrB_INDEX_OUT_OF_BOUNDS;
-    msg = e.what();
+    try {
+      text = e.what();
+      msg = text.c_str();
+    } catch (...) {
+      msg = "error message lost (out of memory)";
+    }
   } catch (...) {
     info = GrB_PANIC;
     msg = "unexpected exception";
@@ -632,6 +645,22 @@ GrB_Info GrB_Matrix_eWiseAdd(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
     return with_mask(mask, [&](const auto& mk) {
       return with_accum(accum, [&](const auto& acc) {
         gb::ewise_add(c->m, mk, acc, CBinary{op}, a->m, b->m, c_desc(desc));
+        return GrB_SUCCESS;
+      });
+    });
+  });
+}
+
+GrB_Info GrB_kronecker(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                       GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
+                       GrB_Descriptor desc) {
+  if (!c || !a || !b) return GrB_NULL_POINTER;
+  if (GrB_Info bad = check_inputs(c, mask, a, b); bad != GrB_SUCCESS)
+    return bad;
+  return guarded_at(c, [&] {
+    return with_mask(mask, [&](const auto& mk) {
+      return with_accum(accum, [&](const auto& acc) {
+        gb::kronecker(c->m, mk, acc, CBinary{op}, a->m, b->m, c_desc(desc));
         return GrB_SUCCESS;
       });
     });

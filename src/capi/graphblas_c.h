@@ -198,6 +198,12 @@ GrB_Info GrB_vxm(GrB_Vector w, GrB_Vector mask, GrB_BinaryOp accum,
 GrB_Info GrB_Matrix_eWiseAdd(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
                              GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
                              GrB_Descriptor desc);
+/* Kronecker product: c must be (am*bm) x (an*bn). Returns
+ * GrB_INDEX_OUT_OF_BOUNDS when either output dimension overflows
+ * GrB_Index. */
+GrB_Info GrB_kronecker(GrB_Matrix c, GrB_Matrix mask, GrB_BinaryOp accum,
+                       GrB_BinaryOp op, GrB_Matrix a, GrB_Matrix b,
+                       GrB_Descriptor desc);
 GrB_Info GrB_Matrix_eWiseMult(GrB_Matrix c, GrB_Matrix mask,
                               GrB_BinaryOp accum, GrB_BinaryOp op,
                               GrB_Matrix a, GrB_Matrix b, GrB_Descriptor desc);

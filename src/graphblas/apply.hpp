@@ -1,11 +1,19 @@
 // GrB_apply: C<M> accum= f(A), elementwise unary transform (Table I "apply"),
 // plus the index-unary variants (GrB_apply with GrB_IndexUnaryOp).
+//
+// The pattern is copied verbatim; only values change. Each output entry
+// depends on exactly one input entry, so the value transforms run as flat
+// parallel loops over nnz (value apply) or cost-balanced row chunks (the
+// index-unary form, which needs the row id) — every write lands at the
+// entry's own position, so results are bit-identical at any thread count.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
+#include "platform/parallel.hpp"
 
 namespace gb {
 
@@ -19,7 +27,7 @@ void apply(Vector<CT>& w, const MaskArg& mask, const Accum& accum, UnaryOp f,
   using ZT = std::decay_t<decltype(f(uv[0]))>;
   Buf<Index> ti(ui.begin(), ui.end());
   Buf<ZT> tv(uv.size());
-  for (std::size_t k = 0; k < uv.size(); ++k) tv[k] = f(uv[k]);
+  platform::parallel_for(uv.size(), [&](std::size_t k) { tv[k] = f(uv[k]); });
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
 }
 
@@ -38,7 +46,8 @@ void apply(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, UnaryOp f,
   t.p = s.p;
   t.i = s.i;
   t.x.resize(s.x.size());
-  for (std::size_t k = 0; k < s.x.size(); ++k) t.x[k] = f(s.x[k]);
+  platform::parallel_for(s.x.size(),
+                         [&](std::size_t k) { t.x[k] = f(s.x[k]); });
   write_back(c, mask, accum, std::move(t), desc);
 }
 
@@ -53,12 +62,15 @@ void apply_indexop(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   using ZT = std::decay_t<decltype(f(uv[0], Index{0}, Index{0}, thunk))>;
   Buf<Index> ti(ui.begin(), ui.end());
   Buf<ZT> tv(uv.size());
-  for (std::size_t k = 0; k < uv.size(); ++k)
+  platform::parallel_for(uv.size(), [&](std::size_t k) {
     tv[k] = f(uv[k], ui[k], Index{0}, thunk);
+  });
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
 }
 
-/// C<M> accum= f(op(A), i, j, thunk) — index-unary apply on a matrix.
+/// C<M> accum= f(op(A), i, j, thunk) — index-unary apply on a matrix. The
+/// operator sees the row id, so the loop runs over row chunks balanced by
+/// the store's own pointer array (each row's cost is its entry count).
 template <class CT, class MaskArg, class Accum, class IdxOp, class AT, class S>
 void apply_indexop(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
                    IdxOp f, const Matrix<AT>& a, S thunk,
@@ -74,12 +86,18 @@ void apply_indexop(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   t.p = s.p;
   t.i = s.i;
   t.x.resize(s.x.size());
-  for (Index k = 0; k < s.nvec(); ++k) {
-    Index row = s.vec_id(k);
-    for (Index pos = s.vec_begin(k); pos < s.vec_end(k); ++pos) {
-      t.x[pos] = f(s.x[pos], row, s.i[pos], thunk);
-    }
-  }
+  const std::size_t nv = static_cast<std::size_t>(s.nvec());
+  const std::span<const Index> costs(s.p.data(), nv + 1);
+  platform::parallel_balanced_chunks(
+      costs, [&](std::size_t, std::size_t klo, std::size_t khi) {
+        for (std::size_t k = klo; k < khi; ++k) {
+          Index row = s.vec_id(static_cast<Index>(k));
+          for (Index pos = s.vec_begin(static_cast<Index>(k));
+               pos < s.vec_end(static_cast<Index>(k)); ++pos) {
+            t.x[pos] = f(s.x[pos], row, s.i[pos], thunk);
+          }
+        }
+      });
   write_back(c, mask, accum, std::move(t), desc);
 }
 

@@ -4,14 +4,22 @@
 // either, per the spec.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
+#include "platform/parallel.hpp"
+#include "platform/workspace.hpp"
 
 namespace gb {
 
 namespace detail {
+
+// Workspace call-site tags (incomplete types on purpose).
+struct ws_ewise_rows;
+struct ws_ewise_cost;
+struct ws_ewise_parts;
 
 /// Union-merge two sorted coordinate lists with `op` where both present.
 template <class Op, class AT, class BT,
@@ -67,6 +75,14 @@ void intersect_merge(std::span<const Index> ai, std::span<const AT> av,
 /// `kind` selects union or intersection.
 enum class MergeKind { union_, intersect };
 
+/// A merged row: output row id plus each input's vector slot (all_indices
+/// when that input has no such row).
+struct MergedRow {
+  Index r;
+  Index ka;
+  Index kb;
+};
+
 template <class Op, class AT, class BT,
           class ZT = std::decay_t<decltype(std::declval<Op>()(
               std::declval<AT>(), std::declval<BT>()))>>
@@ -75,35 +91,65 @@ SparseStore<ZT> merge_stores(const SparseStore<AT>& a, const SparseStore<BT>& b,
   SparseStore<ZT> t(a.vdim);
   t.hyper = true;
   t.p.assign(1, 0);
-  Index ka = 0, kb = 0;
-  while (ka < a.nvec() || kb < b.nvec()) {
-    Index ra = ka < a.nvec() ? a.vec_id(ka) : all_indices;
-    Index rb = kb < b.nvec() ? b.vec_id(kb) : all_indices;
-    Index r = ra < rb ? ra : rb;
-    Index aa = 0, ae = 0, ba = 0, be = 0;
-    if (ra == r) {
-      aa = a.vec_begin(ka);
-      ae = a.vec_end(ka);
-      ++ka;
+
+  // Union of the two hyperlists: the row list both passes iterate. Serial
+  // O(nvec) two-pointer walk; per-row cost (entry counts) accumulates into
+  // the scan that balances the parallel merge.
+  auto rows_h = platform::Workspace::checkout<ws_ewise_rows, MergedRow>();
+  auto cost_h = platform::Workspace::checkout<ws_ewise_cost, Index>();
+  auto& rows = *rows_h;
+  auto& cost = *cost_h;
+  {
+    Index ka = 0, kb = 0;
+    while (ka < a.nvec() || kb < b.nvec()) {
+      Index ra = ka < a.nvec() ? a.vec_id(ka) : all_indices;
+      Index rb = kb < b.nvec() ? b.vec_id(kb) : all_indices;
+      Index r = ra < rb ? ra : rb;
+      MergedRow mr{r, all_indices, all_indices};
+      Index c = 1;
+      if (ra == r) {
+        mr.ka = ka;
+        c += a.vec_end(ka) - a.vec_begin(ka);
+        ++ka;
+      }
+      if (rb == r) {
+        mr.kb = kb;
+        c += b.vec_end(kb) - b.vec_begin(kb);
+        ++kb;
+      }
+      rows.push_back(mr);
+      cost.push_back(c);
     }
-    if (rb == r) {
-      ba = b.vec_begin(kb);
-      be = b.vec_end(kb);
-      ++kb;
+  }
+  const std::size_t nrows = rows.size();
+  if (nrows == 0) return t;
+  cost.push_back(0);
+  const Index total = platform::exclusive_scan(cost);
+
+  // One merged row into `out`.
+  auto merge_row = [&](const MergedRow& mr, SparseStore<ZT>& out) {
+    Index aa = 0, ae = 0, ba = 0, be = 0;
+    if (mr.ka != all_indices) {
+      aa = a.vec_begin(mr.ka);
+      ae = a.vec_end(mr.ka);
+    }
+    if (mr.kb != all_indices) {
+      ba = b.vec_begin(mr.kb);
+      be = b.vec_end(mr.kb);
     }
     if (kind == MergeKind::union_) {
       while (aa < ae || ba < be) {
         if (ba >= be || (aa < ae && a.i[aa] < b.i[ba])) {
-          t.i.push_back(a.i[aa]);
-          t.x.push_back(static_cast<ZT>(a.x[aa]));
+          out.i.push_back(a.i[aa]);
+          out.x.push_back(static_cast<ZT>(a.x[aa]));
           ++aa;
         } else if (aa >= ae || b.i[ba] < a.i[aa]) {
-          t.i.push_back(b.i[ba]);
-          t.x.push_back(static_cast<ZT>(b.x[ba]));
+          out.i.push_back(b.i[ba]);
+          out.x.push_back(static_cast<ZT>(b.x[ba]));
           ++ba;
         } else {
-          t.i.push_back(a.i[aa]);
-          t.x.push_back(static_cast<ZT>(op(a.x[aa], b.x[ba])));
+          out.i.push_back(a.i[aa]);
+          out.x.push_back(static_cast<ZT>(op(a.x[aa], b.x[ba])));
           ++aa;
           ++ba;
         }
@@ -115,18 +161,34 @@ SparseStore<ZT> merge_stores(const SparseStore<AT>& a, const SparseStore<BT>& b,
         } else if (b.i[ba] < a.i[aa]) {
           ++ba;
         } else {
-          t.i.push_back(a.i[aa]);
-          t.x.push_back(static_cast<ZT>(op(a.x[aa], b.x[ba])));
+          out.i.push_back(a.i[aa]);
+          out.x.push_back(static_cast<ZT>(op(a.x[aa], b.x[ba])));
           ++aa;
           ++ba;
         }
       }
     }
-    if (static_cast<Index>(t.i.size()) > t.p.back()) {
-      t.h.push_back(r);
-      t.p.push_back(static_cast<Index>(t.i.size()));
+    if (static_cast<Index>(out.i.size()) > out.p.back()) {
+      out.h.push_back(mr.r);
+      out.p.push_back(static_cast<Index>(out.i.size()));
     }
+  };
+
+  const std::span<const Index> costs(cost.data(), cost.size());
+  const std::size_t nchunks = platform::chunk_count(nrows, total);
+  if (nchunks <= 1) {
+    for (const auto& mr : rows) merge_row(mr, t);
+    return t;
   }
+  auto parts_h =
+      platform::Workspace::checkout<ws_ewise_parts, SparseStore<ZT>>(nchunks);
+  auto& parts = *parts_h;
+  reset_parts(parts, a.vdim);
+  platform::parallel_balanced_chunks_n(
+      costs, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) merge_row(rows[k], parts[c]);
+      });
+  concat_parts(t, parts);
   return t;
 }
 

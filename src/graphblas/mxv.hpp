@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "graphblas/mask_accum.hpp"
@@ -37,10 +38,11 @@ struct ws_push_touched;
 /// Pull kernel: t(r) = ⊕_j mul(R(r,:), u) for stored rows r. The mask probe
 /// lets masked pulls skip whole dot products — the "masked dot" of §II-A.
 ///
-/// Rows are independent, so the kernel parallelises over contiguous chunks
-/// of stored rows (the OpenMP direction §II-A says is "in progress" for
-/// SuiteSparse); per-chunk outputs are concatenated in order, keeping the
-/// result bit-identical to the serial pass.
+/// Rows are independent, so the kernel parallelises over chunks of stored
+/// rows balanced by the store's own pointer array (each row's cost is its
+/// entry count — a power-law hub row no longer drags its whole equal-size
+/// chunk); per-chunk outputs are concatenated in order, keeping the result
+/// bit-identical to the serial pass.
 template <class SR, class AT, class UT, class MaskArg>
 void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
               const SR& sr, const VectorMaskProbe<MaskArg>& probe,
@@ -72,26 +74,27 @@ void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
     }
   };
 
-  const int nthreads = platform::num_threads();
-  if (nthreads <= 1 || nv < 2048) {
+  const std::span<const Index> costs(rows.p.data(),
+                                     static_cast<std::size_t>(nv) + 1);
+  const std::size_t nchunks =
+      platform::chunk_count(static_cast<std::size_t>(nv), rows.nnz());
+  if (nchunks <= 1) {
     run_range(0, nv, ti, tv);
     return;
   }
-  const Index nchunks = static_cast<Index>(nthreads);
   // Per-chunk output buffers. The outer arrays are retained workspace on the
   // calling thread; the inner Bufs are rebuilt per call (each chunk writes
   // only its own slot, concatenated in chunk order below — deterministic).
-  auto cti_h = platform::Workspace::checkout<ws_pull_cti, Buf<Index>>(
-      static_cast<std::size_t>(nchunks));
-  auto ctv_h = platform::Workspace::checkout<ws_pull_ctv, Buf<ZT>>(
-      static_cast<std::size_t>(nchunks));
+  auto cti_h = platform::Workspace::checkout<ws_pull_cti, Buf<Index>>(nchunks);
+  auto ctv_h = platform::Workspace::checkout<ws_pull_ctv, Buf<ZT>>(nchunks);
   auto& cti = *cti_h;
   auto& ctv = *ctv_h;
-  platform::parallel_for_chunks(nv, nchunks, [&](std::size_t c, std::size_t lo,
-                                                 std::size_t hi) {
-    run_range(static_cast<Index>(lo), static_cast<Index>(hi), cti[c], ctv[c]);
-  });
-  for (Index c = 0; c < nchunks; ++c) {
+  platform::parallel_balanced_chunks_n(
+      costs, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        run_range(static_cast<Index>(lo), static_cast<Index>(hi), cti[c],
+                  ctv[c]);
+      });
+  for (std::size_t c = 0; c < nchunks; ++c) {
     ti.insert(ti.end(), cti[c].begin(), cti[c].end());
     tv.insert(tv.end(), ctv[c].begin(), ctv[c].end());
   }

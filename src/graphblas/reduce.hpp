@@ -1,14 +1,35 @@
 // GrB_reduce: row-reduce a matrix to a vector, or reduce a matrix/vector to
 // a scalar, under a monoid (Table I "reduce"). Terminal monoids short-circuit
 // (§II-A's early-exit mechanism).
+//
+// The row-reduce runs two passes over cost-balanced row chunks (count the
+// non-empty rows, scan, fold each row into its precomputed slot); each row
+// folds left-to-right exactly as the serial kernel did, so the result is
+// bit-identical at any thread count. The matrix scalar reduce chunks the
+// entry array at a FIXED chunk width (independent of thread count) and
+// combines the per-chunk partials in chunk order, so its floating-point
+// association is one fixed tree — again identical on 1 or N threads.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
+#include "platform/parallel.hpp"
+#include "platform/workspace.hpp"
 
 namespace gb {
+
+namespace detail {
+struct ws_reduce_counts;
+struct ws_reduce_partials;
+
+/// Fixed entry-chunk width for the scalar matrix reduce. Chunk boundaries —
+/// and therefore the combining tree — depend only on nnz, never on the
+/// thread count.
+inline constexpr std::size_t kReduceChunk = 8192;
+}  // namespace detail
 
 /// w<m> accum= reduce-rows(op(A)): w(i) = ⊕_j op(A)(i, j).
 template <class CT, class MaskArg, class Accum, class M, class AT>
@@ -20,18 +41,45 @@ void reduce(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   using ZT = typename M::value_type;
   Buf<Index> ti;
   Buf<ZT> tv;
-  for (Index k = 0; k < s.nvec(); ++k) {
-    Index begin = s.vec_begin(k), end = s.vec_end(k);
-    if (begin == end) continue;
-    ZT acc = static_cast<ZT>(s.x[begin]);
-    for (Index pos = begin + 1; pos < end; ++pos) {
-      if constexpr (always_terminal<M>) break;
-      if (monoid.is_terminal(acc)) break;
-      acc = monoid(acc, static_cast<ZT>(s.x[pos]));
-    }
-    ti.push_back(s.vec_id(k));
-    tv.push_back(acc);
+  const std::size_t nv = static_cast<std::size_t>(s.nvec());
+  if (nv == 0) {
+    write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
+    return;
   }
+  const std::span<const Index> costs(s.p.data(), nv + 1);
+
+  // Pass 1: which rows produce an output (the non-empty ones).
+  auto counts_h =
+      platform::Workspace::checkout<detail::ws_reduce_counts, Index>(nv + 1);
+  auto& counts = *counts_h;
+  for (std::size_t k = 0; k < nv; ++k) {
+    counts[k] =
+        s.vec_end(static_cast<Index>(k)) > s.vec_begin(static_cast<Index>(k))
+            ? 1
+            : 0;
+  }
+  const Index nout = platform::exclusive_scan(counts);
+  ti.resize(static_cast<std::size_t>(nout));
+  tv.resize(static_cast<std::size_t>(nout));
+
+  // Pass 2: fold each row (serial left-to-right within the row) into its
+  // precomputed output slot.
+  platform::parallel_balanced_chunks(
+      costs, [&](std::size_t, std::size_t klo, std::size_t khi) {
+        for (std::size_t k = klo; k < khi; ++k) {
+          Index begin = s.vec_begin(static_cast<Index>(k));
+          Index end = s.vec_end(static_cast<Index>(k));
+          if (begin == end) continue;
+          ZT acc = static_cast<ZT>(s.x[begin]);
+          for (Index pos = begin + 1; pos < end; ++pos) {
+            if constexpr (always_terminal<M>) break;
+            if (monoid.is_terminal(acc)) break;
+            acc = monoid(acc, static_cast<ZT>(s.x[pos]));
+          }
+          ti[counts[k]] = s.vec_id(static_cast<Index>(k));
+          tv[counts[k]] = acc;
+        }
+      });
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
 }
 
@@ -42,9 +90,36 @@ template <class M, class AT>
                                                    const Matrix<AT>& a) {
   using ZT = typename M::value_type;
   const auto& s = a.by_row();
+  const std::size_t nnz = s.x.size();
+  std::size_t nchunks = (nnz + detail::kReduceChunk - 1) / detail::kReduceChunk;
+  if (int fc = platform::forced_chunks(); fc > 0 && nnz > 0) {
+    // Test hook: a forced chunk count changes the combining tree, which for
+    // non-associative floats changes the rounding — documented on the hook.
+    nchunks = std::min(nnz, static_cast<std::size_t>(fc));
+  }
+  if (nchunks <= 1) {
+    ZT acc = monoid.identity;
+    for (std::size_t k = 0; k < nnz; ++k) {
+      acc = monoid(acc, static_cast<ZT>(s.x[k]));
+      if (monoid.is_terminal(acc)) break;
+    }
+    return acc;
+  }
+  auto partials_h =
+      platform::Workspace::checkout<detail::ws_reduce_partials, ZT>(nchunks);
+  auto& partials = *partials_h;
+  platform::parallel_for_chunks(
+      nnz, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        ZT acc = monoid.identity;
+        for (std::size_t k = lo; k < hi; ++k) {
+          acc = monoid(acc, static_cast<ZT>(s.x[k]));
+          if (monoid.is_terminal(acc)) break;
+        }
+        partials[c] = acc;
+      });
   ZT acc = monoid.identity;
-  for (std::size_t k = 0; k < s.x.size(); ++k) {
-    acc = monoid(acc, static_cast<ZT>(s.x[k]));
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    acc = monoid(acc, partials[c]);
     if (monoid.is_terminal(acc)) break;
   }
   return acc;

@@ -3,12 +3,19 @@
 // built on this.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
+#include "platform/parallel.hpp"
+#include "platform/workspace.hpp"
 
 namespace gb {
+
+namespace detail {
+struct ws_select_counts;
+}  // namespace detail
 
 /// w<m> accum= select(f, u, thunk): keep u(i) where f(u(i), i, 0, thunk).
 template <class CT, class MaskArg, class Accum, class SelOp, class UT, class S>
@@ -29,7 +36,12 @@ void select(Vector<CT>& w, const MaskArg& mask, const Accum& accum, SelOp f,
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
 }
 
-/// C<M> accum= select(f, op(A), thunk).
+/// C<M> accum= select(f, op(A), thunk). Two passes over row chunks balanced
+/// by the store's pointer array: the first counts survivors per row, an
+/// exclusive scan fixes each row's output offset, and the second pass writes
+/// the kept entries straight into the final arrays — so the result is
+/// bit-identical for any thread count. The predicate runs twice per entry;
+/// it is required to be pure (same contract as the C API's GrB_IndexUnaryOp).
 template <class CT, class MaskArg, class Accum, class SelOp, class AT, class S>
 void select(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, SelOp f,
             const Matrix<AT>& a, S thunk,
@@ -41,17 +53,50 @@ void select(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, SelOp f,
   SparseStore<AT> t(s.vdim);
   t.hyper = true;  // rows appear only as they keep entries
   t.p.assign(1, 0);
-  for (Index k = 0; k < s.nvec(); ++k) {
-    Index row = s.vec_id(k);
-    for (Index pos = s.vec_begin(k); pos < s.vec_end(k); ++pos) {
-      if (f(s.x[pos], row, s.i[pos], thunk)) {
-        t.i.push_back(s.i[pos]);
-        t.x.push_back(s.x[pos]);
-      }
-    }
-    if (static_cast<Index>(t.i.size()) > t.p.back()) {
-      t.h.push_back(row);
-      t.p.push_back(static_cast<Index>(t.i.size()));
+  const std::size_t nv = static_cast<std::size_t>(s.nvec());
+  if (nv == 0) {
+    write_back(c, mask, accum, std::move(t), desc);
+    return;
+  }
+  const std::span<const Index> costs(s.p.data(), nv + 1);
+
+  auto counts_h =
+      platform::Workspace::checkout<detail::ws_select_counts, Index>(nv + 1);
+  auto& counts = *counts_h;
+  platform::parallel_balanced_chunks(
+      costs, [&](std::size_t, std::size_t klo, std::size_t khi) {
+        for (std::size_t k = klo; k < khi; ++k) {
+          Index row = s.vec_id(static_cast<Index>(k));
+          Index cnt = 0;
+          for (Index pos = s.vec_begin(static_cast<Index>(k));
+               pos < s.vec_end(static_cast<Index>(k)); ++pos) {
+            if (f(s.x[pos], row, s.i[pos], thunk)) ++cnt;
+          }
+          counts[k] = cnt;
+        }
+      });
+  const Index nnz = platform::exclusive_scan(counts);
+  t.i.resize(static_cast<std::size_t>(nnz));
+  t.x.resize(static_cast<std::size_t>(nnz));
+  platform::parallel_balanced_chunks(
+      costs, [&](std::size_t, std::size_t klo, std::size_t khi) {
+        for (std::size_t k = klo; k < khi; ++k) {
+          Index row = s.vec_id(static_cast<Index>(k));
+          Index out = counts[k];
+          for (Index pos = s.vec_begin(static_cast<Index>(k));
+               pos < s.vec_end(static_cast<Index>(k)); ++pos) {
+            if (f(s.x[pos], row, s.i[pos], thunk)) {
+              t.i[out] = s.i[pos];
+              t.x[out] = s.x[pos];
+              ++out;
+            }
+          }
+        }
+      });
+  for (std::size_t k = 0; k < nv; ++k) {
+    if (counts[k + 1] > counts[k]) {
+      t.h.push_back(s.vec_id(static_cast<Index>(k)));
+      t.p.push_back(counts[k + 1]);
     }
   }
   write_back(c, mask, accum, std::move(t), desc);

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <tuple>
 
 #include "graphblas/types.hpp"
@@ -23,8 +25,9 @@
 namespace gb {
 
 namespace detail {
-// Workspace call-site tag for the sort-transpose staging buffer.
+// Workspace call-site tags for the transpose kernels.
 struct ws_transpose_sort;
+struct ws_transpose_hist;
 }  // namespace detail
 
 // All four arrays live in gb::Buf so every byte is metered and every growth
@@ -126,22 +129,90 @@ struct SparseStore {
   ///     O(e) through *every* operation, including reorientation).
   [[nodiscard]] SparseStore transposed(Index minor_dim) const {
     if (minor_dim / 4 > nnz() + 1) return transposed_sorting(minor_dim);
+    const std::size_t nv = static_cast<std::size_t>(nvec());
+
+    // The bucket sort is stable on major order, so splitting the major
+    // vectors into chunks, histogramming per chunk, and scattering each
+    // chunk through its own cursor slice reproduces the serial output
+    // exactly — chunk c's slots in any column precede chunk c+1's. The
+    // store's own pointer array is the cost prefix. Each chunk's histogram
+    // costs O(minor_dim) memory, so shrink the chunk count until the
+    // histograms stay proportional to the entry count.
+    std::size_t nchunks = platform::chunk_count(nv, nnz());
+    while (nchunks > 1 &&
+           static_cast<std::uint64_t>(nchunks) * minor_dim >
+               2 * static_cast<std::uint64_t>(nnz()) + 4096) {
+      --nchunks;
+    }
+
     SparseStore out(minor_dim);
     out.hyper = false;
+    if (nchunks <= 1) {
+      out.p.assign(minor_dim + 1, 0);
+      for (Index e : i) out.p[e]++;
+      platform::exclusive_scan(out.p);  // overflow-checked CSR pointer build
+      out.i.resize(i.size());
+      out.x.resize(x.size());
+      Buf<Index> cursor(out.p.begin(), out.p.end() - 1);
+      for (Index k = 0; k < nvec(); ++k) {
+        Index major = vec_id(k);
+        for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
+          Index slot = cursor[i[pos]]++;
+          out.i[slot] = major;
+          out.x[slot] = x[pos];
+        }
+      }
+      return out;
+    }
+
+    const std::span<const Index> costs(p.data(), nv + 1);
+    const std::size_t md = static_cast<std::size_t>(minor_dim);
+    auto hist_h = platform::Workspace::checkout<detail::ws_transpose_hist,
+                                                Index>(nchunks * md);
+    auto& hist = *hist_h;
+
+    // Phase 1: per-chunk column histograms (disjoint slices).
+    platform::parallel_balanced_chunks_n(
+        costs, nchunks, [&](std::size_t c, std::size_t klo, std::size_t khi) {
+          Index* h_c = hist.data() + c * md;
+          for (std::size_t k = klo; k < khi; ++k) {
+            for (Index pos = p[k]; pos < p[k + 1]; ++pos) ++h_c[i[pos]];
+          }
+        });
+
+    // Phase 2: column totals -> pointer array, then turn each chunk's
+    // histogram row into its absolute write cursor for that column.
     out.p.assign(minor_dim + 1, 0);
-    for (Index e : i) out.p[e]++;
+    platform::parallel_for(md, [&](std::size_t e) {
+      Index total = 0;
+      for (std::size_t c = 0; c < nchunks; ++c) total += hist[c * md + e];
+      out.p[e] = total;
+    });
     platform::exclusive_scan(out.p);  // overflow-checked CSR pointer build
+    platform::parallel_for(md, [&](std::size_t e) {
+      Index run = out.p[e];
+      for (std::size_t c = 0; c < nchunks; ++c) {
+        Index cnt = hist[c * md + e];
+        hist[c * md + e] = run;
+        run += cnt;
+      }
+    });
+
+    // Phase 3: scatter; each chunk advances only its own cursors.
     out.i.resize(i.size());
     out.x.resize(x.size());
-    Buf<Index> cursor(out.p.begin(), out.p.end() - 1);
-    for (Index k = 0; k < nvec(); ++k) {
-      Index major = vec_id(k);
-      for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
-        Index slot = cursor[i[pos]]++;
-        out.i[slot] = major;
-        out.x[slot] = x[pos];
-      }
-    }
+    platform::parallel_balanced_chunks_n(
+        costs, nchunks, [&](std::size_t c, std::size_t klo, std::size_t khi) {
+          Index* cur = hist.data() + c * md;
+          for (std::size_t k = klo; k < khi; ++k) {
+            Index major = vec_id(static_cast<Index>(k));
+            for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
+              Index slot = cur[i[pos]]++;
+              out.i[slot] = major;
+              out.x[slot] = x[pos];
+            }
+          }
+        });
     return out;
   }
 

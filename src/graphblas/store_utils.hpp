@@ -1,5 +1,6 @@
 // Small shared helpers for operation kernels: input-orientation selection
-// (the descriptor's transpose flags) and index-list arguments (GrB_ALL).
+// (the descriptor's transpose flags), index-list arguments (GrB_ALL), and
+// per-chunk part-store assembly for parallel row-wise kernels.
 #pragma once
 
 #include <span>
@@ -7,6 +8,45 @@
 #include "graphblas/matrix.hpp"
 
 namespace gb {
+
+namespace detail {
+
+/// Ordered concatenation of per-chunk hyper stores into `t`, with
+/// pointer-offset fixup. Chunks hold disjoint, ascending row ranges, so the
+/// result is identical whatever the chunk boundaries were.
+template <class ZT>
+void concat_parts(SparseStore<ZT>& t, const Buf<SparseStore<ZT>>& parts) {
+  std::size_t nnz = t.i.size(), nh = t.h.size();
+  for (const auto& part : parts) {
+    nnz += part.i.size();
+    nh += part.h.size();
+  }
+  t.i.reserve(nnz);
+  t.x.reserve(nnz);
+  t.h.reserve(nh);
+  t.p.reserve(nh + 1);
+  for (const auto& part : parts) {
+    const Index base = static_cast<Index>(t.i.size());
+    t.h.insert(t.h.end(), part.h.begin(), part.h.end());
+    for (std::size_t k = 1; k < part.p.size(); ++k) {
+      t.p.push_back(part.p[k] + base);
+    }
+    t.i.insert(t.i.end(), part.i.begin(), part.i.end());
+    t.x.insert(t.x.end(), part.x.begin(), part.x.end());
+  }
+}
+
+/// Fresh per-chunk part store, ready to receive rows.
+template <class ZT>
+void reset_parts(Buf<SparseStore<ZT>>& parts, Index vdim) {
+  for (auto& part : parts) {
+    part = SparseStore<ZT>(vdim);
+    part.hyper = true;
+    part.p.assign(1, 0);
+  }
+}
+
+}  // namespace detail
 
 /// Rows-view of op(A): A.by_row() normally, or A.by_col() when the
 /// descriptor asks for A-transpose (the by-column store of A *is* the

@@ -1,12 +1,22 @@
-// Thin OpenMP wrappers so kernels read as algorithms, not pragma soup.
+// Cost-aware parallel execution layer. Kernels describe their work as a
+// per-item cost prefix (flops for mxm, nnz for element-wise ops) and the
+// scheduler partitions it into chunks of ~equal *cost* — merge-path style
+// load balancing (GraphBLAST; Yang, Buluç, Owens) instead of the equal-row
+// chunking that collapses on power-law degree distributions.
 //
 // All loops here are safe to run with any thread count, including one; the
-// kernels that use them never rely on iteration order within a chunk.
+// kernels that use them never rely on iteration order within a chunk, and
+// every kernel stays bit-identical across thread counts (each row lands in
+// a precomputed offset, or per-chunk outputs are concatenated in order).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <limits>
+#include <span>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -54,10 +64,110 @@ inline int num_threads() noexcept {
 /// Below this trip count a parallel loop costs more than it saves.
 inline constexpr std::size_t kParallelGrain = 4096;
 
+/// Below this total *cost* (flops / entry count) a chunked kernel runs as a
+/// single chunk: forking threads would cost more than the work itself.
+inline constexpr std::uint64_t kParallelCostGrain = 16384;
+
+/// Test hook: when > 0, chunked kernels split into this many cost-balanced
+/// chunks regardless of thread count or problem size, so tiny fixtures can
+/// drive every per-chunk workspace checkout (and its failure path) even on
+/// a single-threaded build. Thread-local; not for production use — forcing
+/// chunks changes the combining order of chunked scalar reductions.
+inline int& forced_chunks() noexcept {
+  static thread_local int v = 0;
+  return v;
+}
+
+/// RAII guard for forced_chunks().
+class ForcedChunks {
+ public:
+  explicit ForcedChunks(int n) noexcept : before_(forced_chunks()) {
+    forced_chunks() = n;
+  }
+  ~ForcedChunks() { forced_chunks() = before_; }
+  ForcedChunks(const ForcedChunks&) = delete;
+  ForcedChunks& operator=(const ForcedChunks&) = delete;
+
+ private:
+  int before_;
+};
+
+/// How many chunks a kernel with `nitems` work items of `total_cost` should
+/// split into. 0 for empty work, 1 when chunking would not pay off.
+inline std::size_t chunk_count(std::size_t nitems,
+                               std::uint64_t total_cost) noexcept {
+  if (nitems == 0) return 0;
+  if (int f = forced_chunks(); f > 0) {
+    return std::min(nitems, static_cast<std::size_t>(f));
+  }
+  const int t = num_threads();
+  if (t <= 1 || total_cost < kParallelCostGrain) return 1;
+  return std::min(nitems, static_cast<std::size_t>(t));
+}
+
+/// First item of chunk `c` when [0, n) is split into `nchunks` chunks of
+/// ~equal cost. `prefix` is the exclusive scan of per-item costs with the
+/// total appended (size n+1, prefix[0] == 0, prefix[n] == total); the cut
+/// is found by binary search, so a chunk boundary never splits an item and
+/// every chunk carries at most ~total/nchunks + one item's cost. A zero
+/// total degrades to an equal item-count split.
+template <class CostT>
+[[nodiscard]] std::size_t balanced_cut(std::span<const CostT> prefix,
+                                       std::size_t nchunks, std::size_t c) {
+  const std::size_t n = prefix.size() - 1;
+  if (c == 0) return 0;
+  if (c >= nchunks) return n;
+  const CostT total = prefix[n];
+  if (total == CostT{}) return n * c / nchunks;
+  // target = floor(total * c / nchunks) without overflowing CostT.
+  const CostT q = total / static_cast<CostT>(nchunks);
+  const CostT r = total % static_cast<CostT>(nchunks);
+  const CostT target = q * static_cast<CostT>(c) +
+                       r * static_cast<CostT>(c) / static_cast<CostT>(nchunks);
+  // The item whose cost range contains `target`: prefix[cut] <= target <
+  // prefix[cut+1] (skipping zero-cost runs). Snap to the NEAREST boundary
+  // (ties advance): when the target lands inside a dominant item's span,
+  // cutting past the item once its far edge is closer leaves the dominant
+  // item alone in its chunk instead of letting it absorb every following
+  // item until some later target clears its span. Nearest-boundary of an
+  // increasing target is still monotone, so chunks stay well-nested.
+  auto it = std::upper_bound(prefix.begin(), prefix.end(), target);
+  std::size_t cut = static_cast<std::size_t>(it - prefix.begin()) - 1;
+  if (cut < n && prefix[cut + 1] - target <= target - prefix[cut]) ++cut;
+  return cut;
+}
+
+namespace par_detail {
+
+/// First-exception capture for OpenMP regions: exceptions must not unwind
+/// through a parallel region (that is std::terminate), so workers stash the
+/// first one here and the master rethrows after the join barrier. The
+/// fork/join TSan tokens double as the happens-before edge for eptr.
+class ExceptionTrap {
+ public:
+  template <class F>
+  void run(F&& f) noexcept {
+    try {
+      f();
+    } catch (...) {
+      if (!claimed_.test_and_set()) eptr_ = std::current_exception();
+    }
+  }
+
+  void rethrow() {
+    if (eptr_) std::rethrow_exception(eptr_);
+  }
+
+ private:
+  std::atomic_flag claimed_ = ATOMIC_FLAG_INIT;
+  std::exception_ptr eptr_ = nullptr;
+};
+
+}  // namespace par_detail
+
 /// parallel_for(n, body) — body(i) for i in [0, n), dynamically scheduled.
-/// body must not throw across iterations (Core Guidelines: exceptions do not
-/// propagate out of OpenMP regions); kernels report errors by writing into
-/// per-iteration slots instead.
+/// An exception from body (e.g. an injected bad_alloc in a user operator)
+/// is captured and rethrown on the calling thread after the join.
 template <class Body>
 void parallel_for(std::size_t n, Body&& body) {
   if (n < kParallelGrain || num_threads() == 1) {
@@ -65,42 +175,49 @@ void parallel_for(std::size_t n, Body&& body) {
     return;
   }
 #ifdef _OPENMP
+  par_detail::ExceptionTrap trap;
   char fork_token = 0;  // TSan happens-before anchor for the fork/join edges
   GB_TSAN_RELEASE(&fork_token);
 #pragma omp parallel for schedule(dynamic, 256)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
     GB_TSAN_ACQUIRE(&fork_token);
-    body(static_cast<std::size_t>(i));
+    trap.run([&] { body(static_cast<std::size_t>(i)); });
     GB_TSAN_RELEASE(&fork_token);
   }
   GB_TSAN_ACQUIRE(&fork_token);
+  trap.rethrow();
 #else
   for (std::size_t i = 0; i < n; ++i) body(i);
 #endif
 }
 
 /// parallel_for_chunks(n, nchunks, body) — partition [0, n) into nchunks
-/// contiguous ranges and run body(chunk, lo, hi) for each, in parallel.
-/// Kernels with per-chunk output buffers use this to stay deterministic:
-/// each chunk writes only its own buffer, and the caller concatenates the
-/// buffers in chunk order.
+/// contiguous EQUAL-ITEM ranges and run body(chunk, lo, hi) for each, in
+/// parallel. Kept for uniform-cost work; skewed kernels use
+/// parallel_balanced_chunks. schedule(static, 1) keeps the chunk→thread
+/// mapping deterministic for a fixed thread count, so per-thread workspace
+/// pools warm up the same way on every run.
 template <class Body>
 void parallel_for_chunks(std::size_t n, std::size_t nchunks, Body&& body) {
   if (nchunks == 0) return;
   const std::size_t per = (n + nchunks - 1) / nchunks;
 #ifdef _OPENMP
+  par_detail::ExceptionTrap trap;
   char fork_token = 0;  // TSan happens-before anchor for the fork/join edges
   GB_TSAN_RELEASE(&fork_token);
 #pragma omp parallel for schedule(static, 1)
   for (std::int64_t c = 0; c < static_cast<std::int64_t>(nchunks); ++c) {
     GB_TSAN_ACQUIRE(&fork_token);
-    auto uc = static_cast<std::size_t>(c);
-    std::size_t lo = uc * per;
-    std::size_t hi = lo + per < n ? lo + per : n;
-    if (lo < hi) body(uc, lo, hi);
+    trap.run([&] {
+      auto uc = static_cast<std::size_t>(c);
+      std::size_t lo = uc * per;
+      std::size_t hi = lo + per < n ? lo + per : n;
+      if (lo < hi) body(uc, lo, hi);
+    });
     GB_TSAN_RELEASE(&fork_token);
   }
   GB_TSAN_ACQUIRE(&fork_token);
+  trap.rethrow();
 #else
   for (std::size_t c = 0; c < nchunks; ++c) {
     std::size_t lo = c * per;
@@ -108,6 +225,56 @@ void parallel_for_chunks(std::size_t n, std::size_t nchunks, Body&& body) {
     if (lo < hi) body(c, lo, hi);
   }
 #endif
+}
+
+/// Run body(chunk, lo, hi) over `nchunks` cost-balanced chunks of
+/// [0, prefix.size()-1). Chunk boundaries come from balanced_cut over the
+/// cost prefix, so a dominant row is isolated rather than dragging its
+/// whole equal-size chunk with it. Exceptions are captured and rethrown on
+/// the calling thread; schedule(static, 1) keeps the chunk→thread mapping
+/// (and therefore per-thread workspace warm-up) deterministic.
+template <class CostT, class Body>
+void parallel_balanced_chunks_n(std::span<const CostT> prefix,
+                                std::size_t nchunks, Body&& body) {
+  const std::size_t n = prefix.size() - 1;
+  if (nchunks == 0 || n == 0) return;
+  if (nchunks == 1) {
+    body(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+#ifdef _OPENMP
+  par_detail::ExceptionTrap trap;
+  char fork_token = 0;  // TSan happens-before anchor for the fork/join edges
+  GB_TSAN_RELEASE(&fork_token);
+#pragma omp parallel for schedule(static, 1)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(nchunks); ++c) {
+    GB_TSAN_ACQUIRE(&fork_token);
+    trap.run([&] {
+      auto uc = static_cast<std::size_t>(c);
+      std::size_t lo = balanced_cut(prefix, nchunks, uc);
+      std::size_t hi = balanced_cut(prefix, nchunks, uc + 1);
+      if (lo < hi) body(uc, lo, hi);
+    });
+    GB_TSAN_RELEASE(&fork_token);
+  }
+  GB_TSAN_ACQUIRE(&fork_token);
+  trap.rethrow();
+#else
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    std::size_t lo = balanced_cut(prefix, nchunks, c);
+    std::size_t hi = balanced_cut(prefix, nchunks, c + 1);
+    if (lo < hi) body(c, lo, hi);
+  }
+#endif
+}
+
+/// Convenience: pick the chunk count from the cost total, then run.
+template <class CostT, class Body>
+void parallel_balanced_chunks(std::span<const CostT> prefix, Body&& body) {
+  const std::size_t n = prefix.size() - 1;
+  parallel_balanced_chunks_n(
+      prefix, chunk_count(n, static_cast<std::uint64_t>(prefix[n])),
+      std::forward<Body>(body));
 }
 
 /// Exclusive prefix sum in place: v[i] becomes sum of the original

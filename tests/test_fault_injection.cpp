@@ -18,6 +18,7 @@
 // sequence is deterministic.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
 #include <new>
 #include <string>
@@ -28,6 +29,7 @@
 #include "graphblas/validate.hpp"
 #include "platform/alloc.hpp"
 #include "platform/memory.hpp"
+#include "platform/parallel.hpp"
 #include "platform/workspace.hpp"
 
 using gb::platform::Alloc;
@@ -648,6 +650,269 @@ TEST_F(KernelScratchFault, MxvPull) {
                 u_, d);
       },
       w_);
+}
+
+// --- forced multi-chunk soaks --------------------------------------------
+// platform::ForcedChunks splits every chunked kernel into 3 cost-balanced
+// chunks regardless of thread count or problem size, so the per-chunk
+// workspace checkouts (and the exception trap that ferries an injected
+// bad_alloc out of the OpenMP region) sit on the failure path even with
+// these 6x6 fixtures. With one thread every chunk runs on the master, so
+// pool warm-up stays deterministic and failures stay memory-neutral.
+
+TEST_F(KernelScratchFault, MxmGustavsonTwoPassForcedChunks) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::gustavson;
+  cxx_soak(
+      "mxm/gustavson forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxmGustavsonMaskedForcedChunks) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::gustavson;
+  cxx_soak(
+      "mxm<mask>/gustavson forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxm(c_, b_, gb::no_accum, gb::plus_times<double>(), a_, b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxmDotMaskedForcedChunks) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::dot;
+  cxx_soak(
+      "mxm<mask>/dot forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxm(c_, b_, gb::no_accum, gb::plus_times<double>(), a_, b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxmDotComplementedForcedChunks) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::dot;
+  d.mask_complement = true;
+  cxx_soak(
+      "mxm<!mask>/dot forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxm(c_, b_, gb::no_accum, gb::plus_times<double>(), a_, b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxmHeapForcedChunks) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::heap;
+  cxx_soak(
+      "mxm/heap forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                b_, d);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, MxvPullForcedChunks) {
+  gb::Descriptor d;
+  d.mxv = gb::MxvMethod::pull;
+  cxx_soak(
+      "mxv/pull forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxv(w_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                u_, d);
+      },
+      w_);
+}
+
+TEST_F(KernelScratchFault, EwiseMergeForcedChunks) {
+  cxx_soak(
+      "ewise_add matrix forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::ewise_add(c_, gb::no_mask, gb::no_accum, gb::Plus{}, a_, b_);
+      },
+      c_);
+  cxx_soak(
+      "ewise_mult matrix forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::ewise_mult(c_, gb::no_mask, gb::no_accum, gb::Times{}, a_, b_);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, SelectTwoPassForcedChunks) {
+  cxx_soak(
+      "select matrix forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::select(c_, gb::no_mask, gb::no_accum, gb::SelTril{}, a_,
+                   std::int64_t{0});
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, ApplyIndexopForcedChunks) {
+  cxx_soak(
+      "apply_indexop matrix forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::apply_indexop(
+            c_, gb::no_mask, gb::no_accum,
+            [](double v, gb::Index i, gb::Index j, std::int64_t t) {
+              return v + static_cast<double>(i + j) + static_cast<double>(t);
+            },
+            a_, std::int64_t{2});
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, ReduceVectorTwoPassForcedChunks) {
+  cxx_soak(
+      "reduce rows forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::reduce(w_, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(),
+                   a_);
+      },
+      w_);
+}
+
+TEST_F(KernelScratchFault, ReduceScalarChunkedForcedChunks) {
+  // The output is a value, not an object, so the generic soak does not
+  // apply: assert the value is stable and failures stay memory-neutral.
+  double warm;
+  {
+    gb::platform::ForcedChunks force(3);
+    warm = gb::reduce_scalar(gb::plus_monoid<double>(), a_);
+  }
+  constexpr std::uint64_t kMaxN = 100000;
+  for (std::uint64_t n = 0; n < kMaxN; ++n) {
+    const std::size_t baseline = MemoryMeter::current_bytes();
+    bool failed = false;
+    double got = 0.0;
+    {
+      ScopedFailAfter guard(n);
+      gb::platform::ForcedChunks force(3);
+      try {
+        got = gb::reduce_scalar(gb::plus_monoid<double>(), a_);
+      } catch (const std::bad_alloc&) {
+        failed = true;
+      }
+    }
+    if (!failed) {
+      EXPECT_EQ(got, warm) << "countdown " << n;
+      return;
+    }
+    EXPECT_EQ(MemoryMeter::current_bytes(), baseline)
+        << "failed scalar reduce at countdown " << n << " leaked bytes";
+  }
+  ADD_FAILURE() << "scalar reduce never completed under injection";
+}
+
+TEST_F(KernelScratchFault, TransposeBucketForcedChunks) {
+  // A fresh duplicate per round so the by-column cache (which IS the
+  // transpose result) cannot be served from warm-up; the 3-phase histogram
+  // transpose re-runs — and can fail — on every round.
+  cxx_soak(
+      "transpose bucket forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        auto fresh = a_.dup();
+        gb::transpose(c_, gb::no_mask, gb::no_accum, fresh);
+      },
+      c_);
+}
+
+TEST_F(KernelScratchFault, KroneckerTwoPassForcedChunks) {
+  gb::Matrix<double> kc(36, 36);
+  kc.set_element(35, 35, 1.5);
+  kc.wait();
+  cxx_soak(
+      "kronecker forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::kronecker(kc, gb::no_mask, gb::no_accum, gb::Times{}, a_, b_);
+      },
+      kc);
+}
+
+TEST_F(KernelScratchFault, PoolsStopGrowingAcrossAllForcedPaths) {
+  // Warm every forced-chunk path once, then repeat the whole battery:
+  // cached workspace bytes must not grow — the pools reached their
+  // steady-state capacities during warm-up.
+  auto battery = [&] {
+    gb::platform::ForcedChunks force(3);
+    for (auto m : {gb::MxmMethod::gustavson, gb::MxmMethod::dot,
+                   gb::MxmMethod::heap}) {
+      gb::Descriptor d;
+      d.mxm = m;
+      gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_, b_,
+              d);
+      gb::mxm(c_, b_, gb::no_accum, gb::plus_times<double>(), a_, b_, d);
+    }
+    gb::ewise_add(c_, gb::no_mask, gb::no_accum, gb::Plus{}, a_, b_);
+    gb::select(c_, gb::no_mask, gb::no_accum, gb::SelTril{}, a_,
+               std::int64_t{0});
+    gb::reduce(w_, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), a_);
+    (void)gb::reduce_scalar(gb::plus_monoid<double>(), a_);
+    auto fresh = a_.dup();
+    gb::transpose(c_, gb::no_mask, gb::no_accum, fresh);
+  };
+  battery();  // warm
+  const auto warm = gb::platform::Workspace::thread_stats();
+  for (int round = 0; round < 3; ++round) battery();
+  const auto after = gb::platform::Workspace::thread_stats();
+  EXPECT_LE(after.cached_bytes, warm.cached_bytes)
+      << "steady-state batteries grew the workspace pools";
+  EXPECT_GT(after.reuses, warm.reuses)
+      << "steady-state batteries are not reusing pooled buffers";
+}
+
+// --- kronecker dimension overflow at the C boundary ----------------------
+
+TEST(KroneckerOverflow, CBoundaryMapsToIndexOutOfBounds) {
+  GrB_Matrix a = nullptr, b = nullptr, c = nullptr;
+  const GrB_Index big = GrB_Index{1} << 40;
+  ASSERT_EQ(GrB_Matrix_new(&a, big, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&b, big, 2), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, 4, 4), GrB_SUCCESS);
+  EXPECT_EQ(GrB_kronecker(c, nullptr, GrB_NULL_ACCUM, GrB_TIMES_FP64, a, b,
+                          nullptr),
+            GrB_INDEX_OUT_OF_BOUNDS);
+  const char* msg = nullptr;
+  EXPECT_EQ(GrB_Matrix_error(&msg, c), GrB_SUCCESS);
+  EXPECT_NE(msg, nullptr);
+  GrB_Matrix_free(&a);
+  GrB_Matrix_free(&b);
+  GrB_Matrix_free(&c);
+}
+
+TEST_F(FaultInjection, Kronecker) {
+  GrB_Matrix kc = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&kc, 36, 36), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement_FP64(kc, 9.0, 35, 35), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_wait(kc), GrB_SUCCESS);
+  soak(
+      "kronecker",
+      [&] {
+        return GrB_kronecker(kc, nullptr, GrB_NULL_ACCUM, GrB_TIMES_FP64, a_,
+                             b_, nullptr);
+      },
+      kc, {{a_, b_, kc}, {}});
+  GrB_Matrix_free(&kc);
 }
 
 TEST_F(KernelScratchFault, WorkspaceStaysWarmAcrossFailures) {
