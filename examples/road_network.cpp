@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g.nvals() / 2));
 
   gb::platform::Timer timer;
-  auto bf = lagraph::sssp_bellman_ford(g, depot);
+  auto bf = lagraph::sssp_bellman_ford(g, depot).dist;
   double bf_ms = timer.millis();
   std::printf("\nBellman-Ford from depot: %.1f ms, depot->airport = %.1f min\n",
               bf_ms, bf.extract_element(airport).value_or(-1.0));
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   std::printf("\ndelta-stepping sweep:\n");
   for (double delta : {1.0, 2.5, 5.0, 20.0}) {
     timer.reset();
-    auto ds = lagraph::sssp_delta_stepping(g, depot, delta);
+    auto ds = lagraph::sssp_delta_stepping(g, depot, delta).dist;
     double ms = timer.millis();
     bool same = lagraph::isclose(bf, ds, 1e-9);
     std::printf("  delta=%5.1f: %.1f ms, matches Bellman-Ford: %s\n", delta,

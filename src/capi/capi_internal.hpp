@@ -9,6 +9,7 @@
 
 #include "capi/graphblas_c.h"
 #include "graphblas/graphblas.hpp"
+#include "platform/governor.hpp"
 
 // The opaque structs carry a per-object last-error string (C API §4.5:
 // GrB_error retrieves the message behind the most recent failing call on
@@ -25,4 +26,11 @@ struct GrB_Vector_opaque {
 };
 struct GrB_Descriptor_opaque {
   gb::Descriptor d;
+};
+
+// The execution governor behind a GxB_Context handle. The Governor itself is
+// all atomics (cancel flag, deadline, budget), so one context may be engaged
+// on a worker thread while another thread calls GxB_Context_cancel on it.
+struct GxB_Context_opaque {
+  gb::platform::Governor gov;
 };

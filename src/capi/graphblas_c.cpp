@@ -37,9 +37,16 @@ GrB_Info map_info(gb::Info info) {
     case gb::Info::index_out_of_bounds: return GrB_INDEX_OUT_OF_BOUNDS;
     case gb::Info::out_of_memory: return GrB_OUT_OF_MEMORY;
     case gb::Info::insufficient_space: return GrB_INSUFFICIENT_SPACE;
+    case gb::Info::cancelled: return GxB_CANCELLED;
+    case gb::Info::timeout: return GxB_TIMEOUT;
   }
   return GrB_PANIC;
 }
+
+/// The context engaged on this thread (GxB_Context_engage), if any. Each
+/// guarded call arms it for the call's duration so a per-call timeout and
+/// memory budget are measured from the call boundary, not from engage time.
+thread_local GxB_Context_opaque* engaged_context = nullptr;
 
 /// Execution-error conversion: the try/catch wrapper of §II-B, with the
 /// failure message recorded on `obj` for later GrB_error retrieval. `obj`
@@ -51,6 +58,11 @@ GrB_Info guarded_at(Obj* obj, F&& f) {
   const char* msg = nullptr;
   std::string text;
   try {
+    // Install + arm the engaged governor (no-op when none is engaged). The
+    // scope also re-captures the wall-clock deadline and memory baseline at
+    // this call boundary, making timeout/budget per-call quantities.
+    gb::platform::GovernorScope governed(
+        engaged_context ? &engaged_context->gov : nullptr);
     info = f();
     if (obj) {
       if (info == GrB_SUCCESS || info == GrB_NO_VALUE) {
@@ -76,8 +88,27 @@ GrB_Info guarded_at(Obj* obj, F&& f) {
       msg = "error message lost (out of memory)";
     }
   } catch (const std::bad_alloc&) {
+    // Includes gb::platform::BudgetError: a tripped memory budget is an
+    // out-of-memory condition by design, and rides the same strong-exception
+    // -safety paths the fault injector exercises.
     info = GrB_OUT_OF_MEMORY;
     msg = "out of memory";
+  } catch (const gb::platform::CancelledError& e) {
+    info = GxB_CANCELLED;
+    try {
+      text = e.what();
+      msg = text.c_str();
+    } catch (...) {
+      msg = "cancelled";
+    }
+  } catch (const gb::platform::TimeoutError& e) {
+    info = GxB_TIMEOUT;
+    try {
+      text = e.what();
+      msg = text.c_str();
+    } catch (...) {
+      msg = "timed out";
+    }
   } catch (const std::overflow_error& e) {
     // Platform-layer arithmetic guards (e.g. exclusive_scan's pointer-sum
     // check) sit below the gb::Error types; map them here.
@@ -936,6 +967,78 @@ GrB_Info GxB_Matrix_check(GrB_Matrix a, GxB_CheckLevel level) {
 GrB_Info GxB_Vector_check(GrB_Vector v, GxB_CheckLevel level) {
   if (!v) return GrB_NULL_POINTER;
   return run_check(v, v->v, level);
+}
+
+// --- GxB_Context: the execution governor's C handle --------------------------
+
+GrB_Info GxB_Context_new(GxB_Context* ctx) {
+  if (!ctx) return GrB_NULL_POINTER;
+  return guarded([&] {
+    *ctx = new GxB_Context_opaque{};
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GxB_Context_free(GxB_Context* ctx) {
+  if (!ctx) return GrB_NULL_POINTER;
+  if (*ctx && *ctx == engaged_context) return GrB_INVALID_VALUE;
+  delete *ctx;
+  *ctx = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_set_budget(GxB_Context ctx, uint64_t bytes) {
+  if (!ctx) return GrB_NULL_POINTER;
+  ctx->gov.set_budget(static_cast<std::size_t>(bytes));
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_get_budget(uint64_t* bytes, GxB_Context ctx) {
+  if (!bytes || !ctx) return GrB_NULL_POINTER;
+  *bytes = static_cast<uint64_t>(ctx->gov.budget());
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_set_timeout_ms(GxB_Context ctx, double ms) {
+  if (!ctx) return GrB_NULL_POINTER;
+  ctx->gov.set_timeout_ms(ms);
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_get_timeout_ms(double* ms, GxB_Context ctx) {
+  if (!ms || !ctx) return GrB_NULL_POINTER;
+  *ms = ctx->gov.timeout_ms();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_cancel(GxB_Context ctx) {
+  if (!ctx) return GrB_NULL_POINTER;
+  ctx->gov.cancel();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_get_cancelled(bool* cancelled, GxB_Context ctx) {
+  if (!cancelled || !ctx) return GrB_NULL_POINTER;
+  *cancelled = ctx->gov.cancelled();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_reset(GxB_Context ctx) {
+  if (!ctx) return GrB_NULL_POINTER;
+  ctx->gov.clear_cancel();
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_engage(GxB_Context ctx) {
+  if (!ctx) return GrB_NULL_POINTER;
+  engaged_context = ctx;
+  return GrB_SUCCESS;
+}
+
+GrB_Info GxB_Context_disengage(GxB_Context ctx) {
+  if (ctx && ctx != engaged_context) return GrB_INVALID_VALUE;
+  engaged_context = nullptr;
+  return GrB_SUCCESS;
 }
 
 }  // extern "C"

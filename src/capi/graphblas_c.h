@@ -38,7 +38,12 @@ typedef enum {
   GrB_PANIC,
   GrB_INDEX_OUT_OF_BOUNDS,
   GrB_OUT_OF_MEMORY,
-  GrB_INSUFFICIENT_SPACE
+  GrB_INSUFFICIENT_SPACE,
+  /* GxB extensions (appended so the GrB_* code values stay stable):
+   * execution-governor trips. A call returning one of these has left every
+   * output object bit-identical to its pre-call state. */
+  GxB_CANCELLED,
+  GxB_TIMEOUT
 } GrB_Info;
 
 /* Opaque handles (the contract of §II: "the core data structures are
@@ -46,6 +51,7 @@ typedef enum {
 typedef struct GrB_Matrix_opaque* GrB_Matrix;
 typedef struct GrB_Vector_opaque* GrB_Vector;
 typedef struct GrB_Descriptor_opaque* GrB_Descriptor;
+typedef struct GxB_Context_opaque* GxB_Context;
 
 /* Predefined operator handles (FP64 domain unless noted). */
 typedef enum {
@@ -247,6 +253,43 @@ GrB_Info GrB_Matrix_assign_FP64(GrB_Matrix c, GrB_Matrix mask,
                                 const GrB_Index* rows, GrB_Index nrows,
                                 const GrB_Index* cols, GrB_Index ncols,
                                 GrB_Descriptor desc);
+
+/* --- execution governor (GxB_Context, SuiteSparse-style extension) -------
+ * A context carries a cooperative cancellation token, a wall-clock timeout,
+ * and a byte budget. Engaging a context on a thread applies it to every
+ * GraphBLAS call that thread subsequently makes, until disengaged. Each
+ * call arms the timeout (measured from call entry) and the byte budget
+ * (measured as growth over the call's entry footprint). Trips surface as:
+ *
+ *   GxB_CANCELLED     GxB_Context_cancel() was observed at a poll point;
+ *   GxB_TIMEOUT       the wall-clock deadline passed;
+ *   GrB_OUT_OF_MEMORY an allocation would exceed the byte budget.
+ *
+ * In all three cases every output object is bit-identical to its pre-call
+ * state (the strong exception-safety contract of the write-back path).
+ * GxB_Context_cancel is safe to call from ANY thread while another thread
+ * is inside a GraphBLAS call under that context; the flag is sticky until
+ * GxB_Context_reset. */
+GrB_Info GxB_Context_new(GxB_Context* ctx);
+GrB_Info GxB_Context_free(GxB_Context* ctx);
+/* budget: max bytes of metered growth per call; 0 = unlimited. */
+GrB_Info GxB_Context_set_budget(GxB_Context ctx, uint64_t bytes);
+GrB_Info GxB_Context_get_budget(uint64_t* bytes, GxB_Context ctx);
+/* timeout: wall-clock milliseconds per call; <= 0 = none. */
+GrB_Info GxB_Context_set_timeout_ms(GxB_Context ctx, double ms);
+GrB_Info GxB_Context_get_timeout_ms(double* ms, GxB_Context ctx);
+/* Request cancellation (thread-safe, sticky until reset). */
+GrB_Info GxB_Context_cancel(GxB_Context ctx);
+GrB_Info GxB_Context_get_cancelled(bool* cancelled, GxB_Context ctx);
+/* Clear the cancel flag so the context can be reused. */
+GrB_Info GxB_Context_reset(GxB_Context ctx);
+/* Engage/disengage the context on the CALLING thread. Engaging replaces any
+ * previously engaged context; disengage(NULL) disengages whatever is
+ * engaged. Disengaging a context that is not engaged on this thread returns
+ * GrB_INVALID_VALUE. A context must be disengaged (on every thread) before
+ * GxB_Context_free. */
+GrB_Info GxB_Context_engage(GxB_Context ctx);
+GrB_Info GxB_Context_disengage(GxB_Context ctx);
 
 #ifdef __cplusplus
 }

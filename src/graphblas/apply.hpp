@@ -91,6 +91,7 @@ void apply_indexop(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   platform::parallel_balanced_chunks(
       costs, [&](std::size_t, std::size_t klo, std::size_t khi) {
         for (std::size_t k = klo; k < khi; ++k) {
+          if ((k & 255) == 0) platform::governor_poll();
           Index row = s.vec_id(static_cast<Index>(k));
           for (Index pos = s.vec_begin(static_cast<Index>(k));
                pos < s.vec_end(static_cast<Index>(k)); ++pos) {

@@ -15,6 +15,7 @@
 
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
+#include "platform/governor.hpp"
 #include "platform/workspace.hpp"
 
 namespace gb {
@@ -76,6 +77,7 @@ void assign(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   tv.reserve(wi.size() + region.pos.size());
   std::size_t a = 0, b = 0;
   while (a < wi.size() || b < region.pos.size()) {
+    if (((a + b) & 1023) == 0) platform::governor_poll();
     bool in_w = false, in_r = false;
     Index i;
     if (b >= region.pos.size() || (a < wi.size() && wi[a] < region.pos[b])) {
@@ -145,6 +147,7 @@ void assign_scalar(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   tv.reserve(wi.size() + rpos.size());
   std::size_t a = 0, b = 0;
   while (a < wi.size() || b < rpos.size()) {
+    if (((a + b) & 1023) == 0) platform::governor_poll();
     bool in_w = false, in_r = false;
     Index i;
     if (b >= rpos.size() || (a < wi.size() && wi[a] < rpos[b])) {
@@ -235,6 +238,7 @@ void assign(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   Index kc = 0;          // cursor over C's stored vectors
   std::size_t kr = 0;    // cursor over affected rows
   while (kc < cs.nvec() || kr < affected.size()) {
+    platform::governor_poll();
     Index rc = kc < cs.nvec() ? cs.vec_id(kc) : all_indices;
     Index rr = kr < affected.size() ? affected[kr] : all_indices;
     Index r = rc < rr ? rc : rr;

@@ -32,6 +32,7 @@ void union_merge(std::span<const Index> ai, std::span<const AT> av,
   tv.reserve(ai.size() + bi.size());
   std::size_t a = 0, b = 0;
   while (a < ai.size() || b < bi.size()) {
+    if (((a + b) & 1023) == 0) platform::governor_poll();
     if (b >= bi.size() || (a < ai.size() && ai[a] < bi[b])) {
       ti.push_back(ai[a]);
       tv.push_back(static_cast<ZT>(av[a]));
@@ -58,6 +59,7 @@ void intersect_merge(std::span<const Index> ai, std::span<const AT> av,
                      Buf<Index>& ti, Buf<ZT>& tv) {
   std::size_t a = 0, b = 0;
   while (a < ai.size() && b < bi.size()) {
+    if (((a + b) & 1023) == 0) platform::governor_poll();
     if (ai[a] < bi[b]) {
       ++a;
     } else if (bi[b] < ai[a]) {
@@ -128,6 +130,7 @@ SparseStore<ZT> merge_stores(const SparseStore<AT>& a, const SparseStore<BT>& b,
 
   // One merged row into `out`.
   auto merge_row = [&](const MergedRow& mr, SparseStore<ZT>& out) {
+    platform::governor_poll();
     Index aa = 0, ae = 0, ba = 0, be = 0;
     if (mr.ka != all_indices) {
       aa = a.vec_begin(mr.ka);

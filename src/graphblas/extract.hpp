@@ -8,6 +8,7 @@
 
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
+#include "platform/governor.hpp"
 #include "platform/workspace.hpp"
 
 namespace gb {
@@ -34,6 +35,7 @@ void extract(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
     auto ui = u.indices();
     auto uv = u.values();
     for (Index k = 0; k < isel.size(); ++k) {
+      if ((k & 1023) == 0) platform::governor_poll();
       Index i = isel[k];
       check_index(i < u.size(), "extract: index out of range");
       auto it = std::lower_bound(ui.begin(), ui.end(), i);
@@ -74,6 +76,7 @@ void extract(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
                                              std::pair<Index, AT>>();
   auto& row = *row_h;
   for (Index k = 0; k < isel.size(); ++k) {
+    if ((k & 255) == 0) platform::governor_poll();
     Index r = isel[k];
     check_index(r < anrows, "extract: I out of range");
     auto vk = s.find_vec(r);

@@ -19,6 +19,7 @@
 #include "graphblas/descriptor.hpp"
 #include "graphblas/matrix.hpp"
 #include "graphblas/vector.hpp"
+#include "platform/governor.hpp"
 #include "platform/workspace.hpp"
 
 namespace gb {
@@ -206,6 +207,9 @@ void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
     ov.reserve(zi.size());
     std::size_t a = 0, b = 0;  // a: C_old, b: Z
     while (a < ci.size() || b < zi.size()) {
+      // Build phase only: everything up to load_sorted below is scratch, so
+      // a poll trip here still leaves C bit-identical.
+      if (((a + b) & 1023) == 0) platform::governor_poll();
       Index i;
       bool in_c = false, in_z = false;
       if (b >= zi.size() || (a < ci.size() && ci[a] < zi[b])) {
@@ -284,6 +288,9 @@ void write_back(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
 
     Index kc = 0, kt = 0;  // stored-vector cursors in cs and t
     while (kc < cs.nvec() || kt < t.nvec()) {
+      // Build phase only: `out` is scratch until adopt() publishes it, so a
+      // poll trip here still leaves C bit-identical.
+      platform::governor_poll();
       Index rc = kc < cs.nvec() ? cs.vec_id(kc) : all_indices;
       Index rt = kt < t.nvec() ? t.vec_id(kt) : all_indices;
       Index r = rc < rt ? rc : rt;

@@ -129,6 +129,7 @@ SparseStore<typename SR::value_type> mxm_gustavson(
         auto& touched = *touched_h;
         MatrixMaskProbe<MaskArg> probe(mask, desc);
         for (std::size_t ka = klo; ka < khi; ++ka) {
+          platform::governor_poll();
           touched.clear();
           for (Index pa = ra.vec_begin(static_cast<Index>(ka));
                pa < ra.vec_end(static_cast<Index>(ka)); ++pa) {
@@ -171,6 +172,7 @@ SparseStore<typename SR::value_type> mxm_gustavson(
         auto& touched = *touched_h;
         MatrixMaskProbe<MaskArg> probe(mask, desc);
         for (std::size_t ka = klo; ka < khi; ++ka) {
+          platform::governor_poll();
           touched.clear();
           for (Index pa = ra.vec_begin(static_cast<Index>(ka));
                pa < ra.vec_end(static_cast<Index>(ka)); ++pa) {
@@ -271,6 +273,7 @@ SparseStore<typename SR::value_type> mxm_dot(const SparseStore<AT>& ra,
             platform::Workspace::checkout<ws_dot_row, std::pair<Index, ZT>>();
         auto& row = *row_h;
         for (Index km = klo; km < khi; ++km) {
+          platform::governor_poll();
           Index r = ms.vec_id(km);
           auto ka = ra.find_vec(r);
           if (!ka) continue;
@@ -321,6 +324,7 @@ SparseStore<typename SR::value_type> mxm_dot(const SparseStore<AT>& ra,
     auto& row = *row_h;
     MatrixMaskProbe<MaskArg> probe(mask, desc);
     for (Index ka = klo; ka < khi; ++ka) {
+      platform::governor_poll();
       Index r = ra.vec_id(ka);
       row.clear();
       probe.begin_row(r);
@@ -413,6 +417,7 @@ SparseStore<typename SR::value_type> mxm_heap(const SparseStore<AT>& ra,
     };
 
     for (Index ka = klo; ka < khi; ++ka) {
+      platform::governor_poll();
       Index r = ra.vec_id(ka);
       heap.clear();
       Index ord = 0;
@@ -525,6 +530,23 @@ MxmMethod mxm(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
         if (flops <= 16 * arows) method = MxmMethod::heap;
       }
     }
+    // Budget-aware fallback: Gustavson's dense accumulator costs
+    // ~n * (sizeof(ZT) + 1) bytes per worker thread (acc + present arrays)
+    // before the output itself. When a governor's armed byte budget cannot
+    // cover even that scratch, fail over to the heap method — whose
+    // footprint is O(row nnz) — up front instead of tripping mid-flight.
+    // Only the auto-selected method falls back; an explicit descriptor
+    // choice is honoured (and trips the budget honestly).
+    if (method == MxmMethod::gustavson) {
+      if (auto* gov = platform::Governor::current()) {
+        using ZTe = typename SR::value_type;
+        const std::size_t per_thread =
+            static_cast<std::size_t>(n) * (sizeof(ZTe) + 1);
+        const std::size_t scratch =
+            per_thread * static_cast<std::size_t>(platform::num_threads());
+        if (scratch > gov->budget_remaining()) method = MxmMethod::heap;
+      }
+    }
   }
 
   using ZT = typename SR::value_type;
@@ -606,6 +628,7 @@ void kronecker(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, Op op,
   platform::parallel_balanced_chunks(
       costs, [&](std::size_t, std::size_t lo, std::size_t hi) {
         for (std::size_t pi = lo; pi < hi; ++pi) {
+          if ((pi & 255) == 0) platform::governor_poll();
           const Index kaa = static_cast<Index>(pi) / nb;
           const Index kbb = static_cast<Index>(pi) % nb;
           Index pos = counts[pi];

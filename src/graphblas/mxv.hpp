@@ -54,6 +54,7 @@ void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
 
   auto run_range = [&](Index klo, Index khi, auto& oi, auto& ov) {
     for (Index k = klo; k < khi; ++k) {
+      if ((k & 255) == 0) platform::governor_poll();
       Index r = rows.vec_id(k);
       if (!probe.test(r)) continue;
       ZT acc{};
@@ -122,6 +123,7 @@ void mxv_push(const SparseStore<AT>& cols, Index out_dim, const Vector<UT>& u,
     auto& present = *present_h;
     auto& touched = *touched_h;
     for (std::size_t k = 0; k < ui.size(); ++k) {
+      if ((k & 255) == 0) platform::governor_poll();
       auto ck = cols.find_vec(ui[k]);
       if (!ck) continue;
       const UT uval = uv[k];
@@ -151,6 +153,7 @@ void mxv_push(const SparseStore<AT>& cols, Index out_dim, const Vector<UT>& u,
     // Hypersparse regime: hash accumulator, metered + fault-injectable.
     BufMap<Index, ZT> acc;
     for (std::size_t k = 0; k < ui.size(); ++k) {
+      if ((k & 255) == 0) platform::governor_poll();
       auto ck = cols.find_vec(ui[k]);
       if (!ck) continue;
       const UT uval = uv[k];

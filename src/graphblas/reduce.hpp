@@ -67,6 +67,7 @@ void reduce(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   platform::parallel_balanced_chunks(
       costs, [&](std::size_t, std::size_t klo, std::size_t khi) {
         for (std::size_t k = klo; k < khi; ++k) {
+          if ((k & 255) == 0) platform::governor_poll();
           Index begin = s.vec_begin(static_cast<Index>(k));
           Index end = s.vec_end(static_cast<Index>(k));
           if (begin == end) continue;
@@ -100,6 +101,7 @@ template <class M, class AT>
   if (nchunks <= 1) {
     ZT acc = monoid.identity;
     for (std::size_t k = 0; k < nnz; ++k) {
+      if ((k & 1023) == 0) platform::governor_poll();
       acc = monoid(acc, static_cast<ZT>(s.x[k]));
       if (monoid.is_terminal(acc)) break;
     }
@@ -135,6 +137,7 @@ template <class M, class UT>
     auto present = u.present();
     auto values = u.dense_values();
     for (Index i = 0; i < u.size(); ++i) {
+      if ((i & 1023) == 0) platform::governor_poll();
       if (!present[i]) continue;
       acc = monoid(acc, static_cast<ZT>(values[i]));
       if (monoid.is_terminal(acc)) break;
@@ -142,6 +145,7 @@ template <class M, class UT>
   } else {
     auto val = u.values();
     for (std::size_t k = 0; k < val.size(); ++k) {
+      if ((k & 1023) == 0) platform::governor_poll();
       acc = monoid(acc, static_cast<ZT>(val[k]));
       if (monoid.is_terminal(acc)) break;
     }

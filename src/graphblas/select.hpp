@@ -28,6 +28,7 @@ void select(Vector<CT>& w, const MaskArg& mask, const Accum& accum, SelOp f,
   Buf<Index> ti;
   Buf<UT> tv;
   for (std::size_t k = 0; k < ui.size(); ++k) {
+    if ((k & 1023) == 0) platform::governor_poll();
     if (f(uv[k], ui[k], Index{0}, thunk)) {
       ti.push_back(ui[k]);
       tv.push_back(uv[k]);
@@ -66,6 +67,7 @@ void select(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, SelOp f,
   platform::parallel_balanced_chunks(
       costs, [&](std::size_t, std::size_t klo, std::size_t khi) {
         for (std::size_t k = klo; k < khi; ++k) {
+          if ((k & 255) == 0) platform::governor_poll();
           Index row = s.vec_id(static_cast<Index>(k));
           Index cnt = 0;
           for (Index pos = s.vec_begin(static_cast<Index>(k));
@@ -81,6 +83,7 @@ void select(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, SelOp f,
   platform::parallel_balanced_chunks(
       costs, [&](std::size_t, std::size_t klo, std::size_t khi) {
         for (std::size_t k = klo; k < khi; ++k) {
+          if ((k & 255) == 0) platform::governor_poll();
           Index row = s.vec_id(static_cast<Index>(k));
           Index out = counts[k];
           for (Index pos = s.vec_begin(static_cast<Index>(k));

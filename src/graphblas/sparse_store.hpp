@@ -155,6 +155,7 @@ struct SparseStore {
       out.x.resize(x.size());
       Buf<Index> cursor(out.p.begin(), out.p.end() - 1);
       for (Index k = 0; k < nvec(); ++k) {
+        if ((k & 255) == 0) platform::governor_poll();
         Index major = vec_id(k);
         for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
           Index slot = cursor[i[pos]]++;
@@ -176,6 +177,7 @@ struct SparseStore {
         costs, nchunks, [&](std::size_t c, std::size_t klo, std::size_t khi) {
           Index* h_c = hist.data() + c * md;
           for (std::size_t k = klo; k < khi; ++k) {
+            if ((k & 255) == 0) platform::governor_poll();
             for (Index pos = p[k]; pos < p[k + 1]; ++pos) ++h_c[i[pos]];
           }
         });
@@ -205,6 +207,7 @@ struct SparseStore {
         costs, nchunks, [&](std::size_t c, std::size_t klo, std::size_t khi) {
           Index* cur = hist.data() + c * md;
           for (std::size_t k = klo; k < khi; ++k) {
+            if ((k & 255) == 0) platform::governor_poll();
             Index major = vec_id(static_cast<Index>(k));
             for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
               Index slot = cur[i[pos]]++;
@@ -223,6 +226,7 @@ struct SparseStore {
     auto& t = *t_h;
     t.reserve(nnz());
     for (Index k = 0; k < nvec(); ++k) {
+      if ((k & 255) == 0) platform::governor_poll();
       Index major = vec_id(k);
       for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
         t.emplace_back(i[pos], major, x[pos]);

@@ -44,6 +44,8 @@ enum class Info : int {
   index_out_of_bounds,    // execution error
   out_of_memory,          // execution error
   insufficient_space,     // execution error
+  cancelled,              // execution error: cooperative cancellation trip
+  timeout,                // execution error: wall-clock deadline trip
 };
 
 /// Human-readable name for an Info code (for messages and logs).
@@ -64,6 +66,8 @@ enum class Info : int {
     case Info::index_out_of_bounds: return "index_out_of_bounds";
     case Info::out_of_memory: return "out_of_memory";
     case Info::insufficient_space: return "insufficient_space";
+    case Info::cancelled: return "cancelled";
+    case Info::timeout: return "timeout";
   }
   return "unknown";
 }

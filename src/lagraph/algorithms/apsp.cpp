@@ -10,6 +10,7 @@
 namespace lagraph {
 
 gb::Matrix<double> apsp(const Graph& g) {
+  check_graph(g, "apsp");
   const auto& a = g.adj();
   const Index n = a.nrows();
 

@@ -17,6 +17,7 @@ namespace lagraph {
 
 AStarResult astar(const Graph& g, Index source, Index target,
                   const gb::Vector<double>& heuristic) {
+  check_graph(g, "astar");
   const auto& a = g.adj();
   const Index n = a.nrows();
   gb::check_index(source < n && target < n, "astar: vertex out of range");

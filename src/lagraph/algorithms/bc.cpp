@@ -3,11 +3,13 @@
 // frontier matrix (forward sweep accumulating shortest-path counts), then
 // dependencies flow backwards through the stored per-level patterns.
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
 gb::Vector<double> betweenness(const Graph& g,
                                const std::vector<Index>& sources) {
+  check_graph(g, "betweenness");
   const auto& a = g.adj();
   const Index n = a.nrows();
   const Index ns = sources.size();

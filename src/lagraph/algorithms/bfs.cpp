@@ -7,6 +7,7 @@
 // The frontier vector carries parent ids, so one min_first vxm per level
 // yields both reachability and the BFS tree.
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
@@ -36,22 +37,34 @@ gb::MxvMethod choose_direction(BfsVariant variant, double density,
 }  // namespace
 
 BfsResult bfs(const Graph& g, Index source, BfsVariant variant) {
+  check_graph(g, "bfs");
   const auto& a = g.adj();
   const Index n = a.nrows();
   gb::check_index(source < n, "bfs: source out of range");
-  if (variant != BfsVariant::push) {
-    // Pull traversals need the opposite orientation resident; materialise it
-    // up front (the AT cached property).
-    g.ensure_transpose();
-  }
 
   BfsResult res;
-  res.level = gb::Vector<std::int64_t>(n);
-  res.parent = gb::Vector<std::int64_t>(n);
+  Scope scope;
 
-  // frontier(v) = id of v's BFS parent. Seed: the source is its own parent.
-  gb::Vector<std::uint64_t> frontier(n);
-  frontier.set_element(source, source);
+  // Setup runs governed too: a trip while materialising the transpose or
+  // seeding the frontier returns clean telemetry, never a raw platform
+  // exception.
+  gb::Vector<std::uint64_t> frontier;
+  StopReason setup = scope.step([&] {
+    if (variant != BfsVariant::push) {
+      // Pull traversals need the opposite orientation resident; materialise
+      // it up front (the AT cached property).
+      g.ensure_transpose();
+    }
+    res.level = gb::Vector<std::int64_t>(n);
+    res.parent = gb::Vector<std::int64_t>(n);
+    // frontier(v) = id of v's BFS parent. Seed: the source is its own parent.
+    frontier = gb::Vector<std::uint64_t>(n);
+    frontier.set_element(source, source);
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
 
   // Masked-assign descriptors (Fig. 2 line 5 uses the frontier as a
   // structural mask; line 6 uses the complemented visited mask with replace).
@@ -64,27 +77,37 @@ BfsResult bfs(const Graph& g, Index source, BfsVariant variant) {
 
   std::int64_t depth = 0;
   while (frontier.nvals() > 0) {
-    // level<frontier,s> = depth
-    gb::assign_scalar(res.level, frontier, gb::no_accum, depth,
-                      gb::IndexSel::all(n), record);
-    // parent<frontier,s> = frontier  (parent ids ride in the values)
-    gb::apply(res.parent, frontier, gb::no_accum, gb::Identity{}, frontier,
-              record);
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      break;
+    }
+    StopReason why = scope.step([&] {
+      // level<frontier,s> = depth
+      gb::assign_scalar(res.level, frontier, gb::no_accum, depth,
+                        gb::IndexSel::all(n), record);
+      // parent<frontier,s> = frontier  (parent ids ride in the values)
+      gb::apply(res.parent, frontier, gb::no_accum, gb::Identity{}, frontier,
+                record);
 
-    // Reset frontier values to the carrier's own id for the next expansion.
-    gb::apply_indexop(frontier, gb::no_mask, gb::no_accum, gb::RowIndex{},
-                      frontier, std::int64_t{0});
+      // Reset frontier values to the carrier's own id for the next expansion.
+      gb::apply_indexop(frontier, gb::no_mask, gb::no_accum, gb::RowIndex{},
+                        frontier, std::int64_t{0});
 
-    double density = frontier.density();
-    dir = choose_direction(variant, density, prev_density, threshold, dir);
-    prev_density = density;
-    expand.mxv = dir;
+      double density = frontier.density();
+      dir = choose_direction(variant, density, prev_density, threshold, dir);
+      prev_density = density;
+      expand.mxv = dir;
 
-    // frontier<!level, replace, s> = frontier min.first A
-    gb::vxm(frontier, res.level, gb::no_accum, gb::min_first<std::uint64_t>(),
-            frontier, a, expand);
-    res.directions.push_back(dir);
-    ++depth;
+      // frontier<!level, replace, s> = frontier min.first A
+      gb::vxm(frontier, res.level, gb::no_accum, gb::min_first<std::uint64_t>(),
+              frontier, a, expand);
+      res.directions.push_back(dir);
+      ++depth;
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      break;
+    }
   }
   res.depth = depth;
   return res;

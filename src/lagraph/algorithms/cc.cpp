@@ -12,6 +12,7 @@
 namespace lagraph {
 
 gb::Vector<std::uint64_t> connected_components(const Graph& g) {
+  check_graph(g, "connected_components");
   const auto& a = g.undirected_view();
   const Index n = a.nrows();
 

@@ -5,6 +5,7 @@
 // color. Proper by construction; terminates because the max-priority
 // candidate always wins its round.
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
@@ -28,6 +29,7 @@ struct PriorityOp {
 }  // namespace
 
 gb::Vector<std::uint64_t> coloring(const Graph& g, std::uint64_t seed) {
+  check_graph(g, "coloring");
   const Index n = g.nrows();
   gb::Matrix<double> a(n, n);
   gb::select(a, gb::no_mask, gb::no_accum, gb::SelOffdiag{},

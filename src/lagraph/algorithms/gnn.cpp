@@ -40,6 +40,7 @@ gb::Matrix<double> normalized_adjacency(const Graph& g) {
 gb::Matrix<double> gcn_inference(
     const Graph& g, const gb::Matrix<double>& features,
     const std::vector<gb::Matrix<double>>& weights) {
+  check_graph(g, "gcn_inference");
   gb::check_dims(features.nrows() == g.nrows(), "gcn: features per vertex");
   gb::check_value(!weights.empty(), "gcn: at least one layer");
 

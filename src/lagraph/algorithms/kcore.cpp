@@ -4,10 +4,12 @@
 // below the current k are peeled with a select, and k rises when the
 // peeling reaches a fixpoint.
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
 gb::Vector<std::uint64_t> kcore(const Graph& g) {
+  check_graph(g, "kcore");
   const Index n = g.nrows();
   // Simple pattern (no self-loops; they never contribute to coreness).
   gb::Matrix<std::int64_t> a(n, n);

@@ -2,10 +2,12 @@
 // linear-algebraic formulation): iterate support counting C<C> = C*C with the
 // plus_pair semiring, then peel edges whose support < k-2, until fixpoint.
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
 KtrussResult ktruss(const Graph& g, std::uint64_t k) {
+  check_graph(g, "ktruss");
   gb::check_value(k >= 3, "ktruss: k must be >= 3");
   const auto& a0 = g.undirected_view();
   const Index n = a0.nrows();

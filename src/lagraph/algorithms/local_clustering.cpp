@@ -13,6 +13,7 @@ namespace lagraph {
 
 LocalClusterResult local_clustering(const Graph& g, Index seed, double alpha,
                                     double eps, int max_iters) {
+  check_graph(g, "local_clustering");
   const Index n = g.nrows();
   gb::check_index(seed < n, "local_clustering: seed out of range");
   const auto& a = g.undirected_view();

@@ -10,6 +10,7 @@ namespace lagraph {
 
 gb::Vector<std::uint64_t> maximal_matching(const Graph& g,
                                            std::uint64_t /*seed*/) {
+  check_graph(g, "maximal_matching");
   const Index n = g.nrows();
   gb::Matrix<double> a(n, n);
   gb::select(a, gb::no_mask, gb::no_accum, gb::SelOffdiag{},

@@ -33,38 +33,11 @@ struct PowOp {
 
 }  // namespace
 
-gb::Vector<std::uint64_t> mcl(const Graph& g, double inflation, int max_iters,
-                              double prune) {
-  const Index n = g.nrows();
+namespace {
 
-  // M = A + I (self-loops are standard MCL practice), column-stochastic.
-  gb::Matrix<double> m(n, n);
-  gb::ewise_add(m, gb::no_mask, gb::no_accum, gb::Plus{}, g.undirected_view(),
-                gb::Matrix<double>::identity(n, 1.0));
-  normalize_columns(m);
-
-  for (int it = 0; it < max_iters; ++it) {
-    gb::Matrix<double> prev = m.dup();
-
-    // Expansion: M = M * M.
-    gb::Matrix<double> sq(n, n);
-    gb::mxm(sq, gb::no_mask, gb::no_accum, gb::plus_times<double>(), m, m);
-    m = std::move(sq);
-
-    // Inflation: M = M .^ r, column-renormalised.
-    gb::apply(m, gb::no_mask, gb::no_accum, PowOp{inflation}, m);
-    normalize_columns(m);
-
-    // Prune tiny entries to keep the iterate sparse, then renormalise.
-    gb::Matrix<double> kept(n, n);
-    gb::select(kept, gb::no_mask, gb::no_accum, gb::SelValueGt{}, m, prune);
-    m = std::move(kept);
-    normalize_columns(m);
-
-    if (isclose(prev, m, 1e-9)) break;
-  }
-
-  // Attractors: label of column j = row index of its maximum entry.
+/// Attractors: label of column j = row index of its maximum entry.
+gb::Vector<std::uint64_t> attractor_labels(const gb::Matrix<double>& m,
+                                           Index n) {
   std::vector<Index> r, c;
   std::vector<double> v;
   m.extract_tuples(r, c, v);
@@ -82,6 +55,93 @@ gb::Vector<std::uint64_t> mcl(const Graph& g, double inflation, int max_iters,
     labels.set_element(j, best[j] >= 0 ? owner[j] : j);
   }
   return labels;
+}
+
+/// L1 distance between successive iterates (union pattern, absent = 0).
+double l1_distance(const gb::Matrix<double>& a, const gb::Matrix<double>& b) {
+  gb::Matrix<double> diff(a.nrows(), a.ncols());
+  gb::ewise_add(diff, gb::no_mask, gb::no_accum, gb::Minus{}, a, b);
+  gb::apply(diff, gb::no_mask, gb::no_accum, gb::Abs{}, diff);
+  return gb::reduce_scalar(gb::plus_monoid<double>(), diff);
+}
+
+}  // namespace
+
+ClusterResult mcl(const Graph& g, double inflation, int max_iters,
+                  double prune) {
+  check_graph(g, "mcl");
+  gb::check_value(inflation > 1.0, "mcl: inflation must be > 1");
+  gb::check_value(max_iters > 0, "mcl: max_iters must be positive");
+  gb::check_value(prune >= 0.0, "mcl: prune must be non-negative");
+
+  const Index n = g.nrows();
+
+  ClusterResult res;
+  res.stop = StopReason::max_iters;
+  Scope scope;
+
+  // M = A + I (self-loops are standard MCL practice), column-stochastic.
+  // Setup runs governed: a trip here returns telemetry with empty labels.
+  gb::Matrix<double> m;
+  StopReason setup = scope.step([&] {
+    m = gb::Matrix<double>(n, n);
+    gb::ewise_add(m, gb::no_mask, gb::no_accum, gb::Plus{},
+                  g.undirected_view(),
+                  gb::Matrix<double>::identity(n, 1.0));
+    normalize_columns(m);
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
+  for (int it = 0; it < max_iters; ++it) {
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      break;
+    }
+    double dist = 0.0;
+    gb::Matrix<double> prev(n, n);
+    StopReason why = scope.step([&] {
+      prev = m.dup();
+
+      // Expansion: M = M * M.
+      gb::Matrix<double> sq(n, n);
+      gb::mxm(sq, gb::no_mask, gb::no_accum, gb::plus_times<double>(), m, m);
+      m = std::move(sq);
+
+      // Inflation: M = M .^ r, column-renormalised.
+      gb::apply(m, gb::no_mask, gb::no_accum, PowOp{inflation}, m);
+      normalize_columns(m);
+
+      // Prune tiny entries to keep the iterate sparse, then renormalise.
+      gb::Matrix<double> kept(n, n);
+      gb::select(kept, gb::no_mask, gb::no_accum, gb::SelValueGt{}, m, prune);
+      m = std::move(kept);
+      normalize_columns(m);
+
+      dist = l1_distance(prev, m);
+    });
+    ++res.iterations;
+    if (why != StopReason::none) {
+      res.stop = why;
+      break;
+    }
+    res.residual = dist;
+    if (!std::isfinite(dist)) {
+      // NaN/Inf iterate (e.g. a column that pruned to empty and divided by
+      // zero): stop and say so rather than labelling garbage.
+      res.stop = StopReason::diverged;
+      break;
+    }
+    if (isclose(prev, m, 1e-9)) {
+      res.converged = true;
+      res.stop = StopReason::converged;
+      break;
+    }
+  }
+
+  res.labels = attractor_labels(m, n);
+  return res;
 }
 
 }  // namespace lagraph

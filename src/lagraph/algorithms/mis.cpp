@@ -4,6 +4,7 @@
 // their neighbours leave the pool. Priorities are unique (hash * n + id), so
 // no ties can put two neighbours in simultaneously.
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
@@ -31,6 +32,7 @@ struct PriorityOp {
 }  // namespace
 
 gb::Vector<bool> mis(const Graph& g, std::uint64_t seed) {
+  check_graph(g, "mis");
   const Index n = g.nrows();
   // Self-loops would make a vertex its own neighbour and deadlock the
   // winner rule; strip the diagonal.

@@ -10,50 +10,89 @@ namespace lagraph {
 
 PageRankResult pagerank(const Graph& g, double damping, double tol,
                         int max_iters) {
+  check_graph(g, "pagerank");
+  gb::check_value(damping > 0.0 && damping < 1.0,
+                  "pagerank: damping must be in (0, 1)");
+  gb::check_value(tol > 0.0, "pagerank: tol must be positive");
+  gb::check_value(max_iters > 0, "pagerank: max_iters must be positive");
+
   const auto& a = g.adj();
   const Index n = a.nrows();
   const double teleport = (1.0 - damping) / static_cast<double>(n);
 
-  // Out-degrees as doubles; vertices with no out-edges are absent.
-  gb::Vector<double> outdeg(n);
-  gb::apply(outdeg, gb::no_mask, gb::no_accum, gb::Identity{}, g.out_degree());
-
   PageRankResult res;
-  res.rank = gb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+  Scope scope;
 
+  // Setup runs governed too: a trip here returns telemetry, not a raw
+  // platform exception.
+  gb::Vector<double> outdeg;
+  StopReason setup = scope.step([&] {
+    // Out-degrees as doubles; vertices with no out-edges are absent.
+    outdeg = gb::Vector<double>(n);
+    gb::apply(outdeg, gb::no_mask, gb::no_accum, gb::Identity{},
+              g.out_degree());
+    res.rank = gb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
   for (res.iterations = 0; res.iterations < max_iters; ++res.iterations) {
-    // Dangling mass: rank held by vertices with no out-edges.
-    gb::Vector<double> dangling(n);
-    gb::apply(dangling, outdeg, gb::no_accum, gb::Identity{}, res.rank,
-              gb::desc_rsc);
-    double dmass = gb::reduce_scalar(gb::plus_monoid<double>(), dangling);
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      return res;
+    }
+    double delta = 0.0;
+    StopReason why = scope.step([&] {
+      // Dangling mass: rank held by vertices with no out-edges.
+      gb::Vector<double> dangling(n);
+      gb::apply(dangling, outdeg, gb::no_accum, gb::Identity{}, res.rank,
+                gb::desc_rsc);
+      double dmass = gb::reduce_scalar(gb::plus_monoid<double>(), dangling);
 
-    // w = damping * rank ./ outdeg  (contribution per out-edge).
-    gb::Vector<double> w(n);
-    gb::ewise_mult(w, gb::no_mask, gb::no_accum, gb::Div{}, res.rank, outdeg);
-    gb::apply(w, gb::no_mask, gb::no_accum,
-              gb::BindSecond<gb::Times, double>{{}, damping}, w);
+      // w = damping * rank ./ outdeg  (contribution per out-edge).
+      gb::Vector<double> w(n);
+      gb::ewise_mult(w, gb::no_mask, gb::no_accum, gb::Div{}, res.rank, outdeg);
+      gb::apply(w, gb::no_mask, gb::no_accum,
+                gb::BindSecond<gb::Times, double>{{}, damping}, w);
 
-    // next = teleport + damping * dangling/n everywhere, then += w' * A.
-    // plus_FIRST, not plus_times: PageRank splits rank by out-degree, so
-    // each out-edge carries w(i) regardless of the edge's stored weight
-    // (weighted adjacencies would otherwise diverge).
-    auto next = gb::Vector<double>::full(
-        n, teleport + damping * dmass / static_cast<double>(n));
-    gb::vxm(next, gb::no_mask, gb::Plus{}, gb::plus_first<double>(), w, a);
+      // next = teleport + damping * dangling/n everywhere, then += w' * A.
+      // plus_FIRST, not plus_times: PageRank splits rank by out-degree, so
+      // each out-edge carries w(i) regardless of the edge's stored weight
+      // (weighted adjacencies would otherwise diverge).
+      auto next = gb::Vector<double>::full(
+          n, teleport + damping * dmass / static_cast<double>(n));
+      gb::vxm(next, gb::no_mask, gb::Plus{}, gb::plus_first<double>(), w, a);
 
-    // L1 change.
-    gb::Vector<double> diff(n);
-    gb::ewise_add(diff, gb::no_mask, gb::no_accum, gb::Minus{}, next, res.rank);
-    gb::apply(diff, gb::no_mask, gb::no_accum, gb::Abs{}, diff);
-    double delta = gb::reduce_scalar(gb::plus_monoid<double>(), diff);
+      // L1 change.
+      gb::Vector<double> diff(n);
+      gb::ewise_add(diff, gb::no_mask, gb::no_accum, gb::Minus{}, next,
+                    res.rank);
+      gb::apply(diff, gb::no_mask, gb::no_accum, gb::Abs{}, diff);
+      delta = gb::reduce_scalar(gb::plus_monoid<double>(), diff);
 
-    res.rank = std::move(next);
+      res.rank = std::move(next);
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      return res;
+    }
+    res.residual = delta;
+    if (!std::isfinite(delta)) {
+      // A NaN/Inf residual means the iterate escaped — report divergence
+      // honestly instead of spinning until max_iters with garbage ranks.
+      ++res.iterations;
+      res.stop = StopReason::diverged;
+      return res;
+    }
     if (delta < tol) {
       ++res.iterations;
-      break;
+      res.converged = true;
+      res.stop = StopReason::converged;
+      return res;
     }
   }
+  res.stop = StopReason::max_iters;
   return res;
 }
 

@@ -3,59 +3,93 @@
 // one plus_times mxm of the cluster-indicator matrix against the adjacency
 // per round, then an argmax per column.
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
-gb::Vector<std::uint64_t> peer_pressure(const Graph& g, int max_iters) {
+ClusterResult peer_pressure(const Graph& g, int max_iters) {
+  check_graph(g, "peer_pressure");
+  gb::check_value(max_iters > 0, "peer_pressure: max_iters must be positive");
   const Index n = g.nrows();
+
+  ClusterResult res;
+  res.stop = StopReason::max_iters;
+  Scope scope;
+
   // Each vertex also votes for its own current label (A + I): without the
   // self-vote, bipartite structures oscillate forever (two vertices joined
-  // by an edge would swap labels every round).
-  gb::Matrix<double> a(n, n);
-  gb::ewise_add(a, gb::no_mask, gb::no_accum, gb::First{}, g.undirected_view(),
-                gb::Matrix<double>::identity(n, 1.0));
+  // by an edge would swap labels every round). Setup runs governed: a trip
+  // here returns telemetry with empty labels.
+  gb::Matrix<double> a;
+  StopReason setup = scope.step([&] {
+    a = gb::Matrix<double>(n, n);
+    gb::ewise_add(a, gb::no_mask, gb::no_accum, gb::First{},
+                  g.undirected_view(),
+                  gb::Matrix<double>::identity(n, 1.0));
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
 
   std::vector<std::uint64_t> label(n);
   for (Index i = 0; i < n; ++i) label[i] = i;
-
   for (int it = 0; it < max_iters; ++it) {
-    // Indicator: C(label(i), i) = 1.
-    gb::Matrix<double> c(n, n);
-    {
-      std::vector<Index> ri(n), ci(n);
-      std::vector<double> xv(n, 1.0);
-      for (Index i = 0; i < n; ++i) {
-        ri[i] = label[i];
-        ci[i] = i;
-      }
-      c.build(ri, ci, xv, gb::Plus{});
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      break;
     }
-
-    // Votes: T(l, j) = sum of weights from label-l neighbours of j.
-    gb::Matrix<double> votes(n, n);
-    gb::mxm(votes, gb::no_mask, gb::no_accum, gb::plus_times<double>(), c, a);
-
-    // New label of j = argmax_l votes(l, j); ties to the smaller label;
-    // vertices with no neighbours keep their label.
-    std::vector<Index> r, cc;
-    std::vector<double> v;
-    votes.extract_tuples(r, cc, v);
-    std::vector<double> best(n, -1.0);
-    std::vector<std::uint64_t> next(label);
-    for (std::size_t k = 0; k < v.size(); ++k) {
-      Index j = cc[k];
-      if (v[k] > best[j] || (v[k] == best[j] && r[k] < next[j])) {
-        best[j] = v[k];
-        next[j] = r[k];
+    std::size_t flips = 0;
+    StopReason why = scope.step([&] {
+      // Indicator: C(label(i), i) = 1.
+      gb::Matrix<double> c(n, n);
+      {
+        std::vector<Index> ri(n), ci(n);
+        std::vector<double> xv(n, 1.0);
+        for (Index i = 0; i < n; ++i) {
+          ri[i] = label[i];
+          ci[i] = i;
+        }
+        c.build(ri, ci, xv, gb::Plus{});
       }
+
+      // Votes: T(l, j) = sum of weights from label-l neighbours of j.
+      gb::Matrix<double> votes(n, n);
+      gb::mxm(votes, gb::no_mask, gb::no_accum, gb::plus_times<double>(), c, a);
+
+      // New label of j = argmax_l votes(l, j); ties to the smaller label;
+      // vertices with no neighbours keep their label.
+      std::vector<Index> r, cc;
+      std::vector<double> v;
+      votes.extract_tuples(r, cc, v);
+      std::vector<double> best(n, -1.0);
+      std::vector<std::uint64_t> next(label);
+      for (std::size_t k = 0; k < v.size(); ++k) {
+        Index j = cc[k];
+        if (v[k] > best[j] || (v[k] == best[j] && r[k] < next[j])) {
+          best[j] = v[k];
+          next[j] = r[k];
+        }
+      }
+      for (Index i = 0; i < n; ++i) flips += next[i] != label[i];
+      label = std::move(next);
+    });
+    ++res.iterations;
+    if (why != StopReason::none) {
+      res.stop = why;
+      break;
     }
-    if (next == label) break;
-    label = std::move(next);
+    res.residual = static_cast<double>(flips);
+    if (flips == 0) {
+      res.converged = true;
+      res.stop = StopReason::converged;
+      break;
+    }
   }
 
-  gb::Vector<std::uint64_t> out(n);
-  for (Index i = 0; i < n; ++i) out.set_element(i, label[i]);
-  return out;
+  res.labels = gb::Vector<std::uint64_t>(n);
+  for (Index i = 0; i < n; ++i) res.labels.set_element(i, label[i]);
+  return res;
 }
 
 }  // namespace lagraph

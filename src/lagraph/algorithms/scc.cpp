@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
@@ -43,6 +44,7 @@ gb::Vector<bool> masked_reachable(const gb::Matrix<double>& a, bool transpose,
 }  // namespace
 
 gb::Vector<std::uint64_t> strongly_connected_components(const Graph& g) {
+  check_graph(g, "strongly_connected_components");
   const auto& a = g.adj();
   const Index n = a.nrows();
   g.ensure_transpose();

@@ -10,52 +10,85 @@
 
 namespace lagraph {
 
-gb::Vector<double> sssp_bellman_ford(const Graph& g, Index source) {
+SsspResult sssp_bellman_ford(const Graph& g, Index source) {
+  check_graph(g, "sssp_bellman_ford");
   const auto& a = g.adj();
   const Index n = a.nrows();
   gb::check_index(source < n, "sssp: source out of range");
 
-  gb::Vector<double> dist(n);
-  dist.set_element(source, 0.0);
+  SsspResult res;
+  Scope scope;
+  StopReason setup = scope.step([&] {
+    res.dist = gb::Vector<double>(n);
+    res.dist.set_element(source, 0.0);
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
 
   bool changed = true;
-  Index round = 0;
-  for (; round < n && changed; ++round) {
-    gb::Vector<double> next = dist;
-    // next = min(next, dist min.+ A): relax every edge once.
-    gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), dist, a);
-    changed = !isequal(next, dist);
-    dist = std::move(next);
+  for (Index round = 0; round < n && changed; ++round) {
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      return res;
+    }
+    StopReason why = scope.step([&] {
+      gb::Vector<double> next = res.dist;
+      // next = min(next, dist min.+ A): relax every edge once.
+      gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), res.dist,
+              a);
+      changed = !isequal(next, res.dist);
+      res.dist = std::move(next);
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      return res;
+    }
+    ++res.iterations;
   }
   if (changed) {
     // n relaxation rounds still improving => negative cycle.
-    gb::Vector<double> next = dist;
-    gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), dist, a);
-    if (!isequal(next, dist)) {
+    gb::Vector<double> next = res.dist;
+    gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), res.dist, a);
+    if (!isequal(next, res.dist)) {
       throw gb::Error(gb::Info::invalid_value,
                       "sssp_bellman_ford: negative cycle reachable");
     }
   }
-  return dist;
+  res.stop = StopReason::converged;
+  return res;
 }
 
-gb::Vector<double> sssp_delta_stepping(const Graph& g, Index source,
-                                       double delta) {
+SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta) {
+  check_graph(g, "sssp_delta_stepping");
   const auto& a = g.adj();
   const Index n = a.nrows();
   gb::check_index(source < n, "sssp: source out of range");
   gb::check_value(delta > 0.0, "sssp: delta must be positive");
 
-  // Split edges into light (w <= delta) and heavy (w > delta).
-  gb::Matrix<double> light(n, n), heavy(n, n);
-  gb::select(light, gb::no_mask, gb::no_accum, gb::SelValueLe{}, a, delta);
-  gb::select(heavy, gb::no_mask, gb::no_accum, gb::SelValueGt{}, a, delta);
+  SsspResult res;
+  Scope scope;
 
-  gb::Vector<double> dist(n);
-  dist.set_element(source, 0.0);
-
-  // settled(v) present once v's bucket has been fully processed.
-  gb::Vector<bool> settled(n);
+  // Split edges into light (w <= delta) and heavy (w > delta). Setup runs
+  // governed: a trip here returns telemetry, not a raw platform exception.
+  gb::Matrix<double> light, heavy;
+  gb::Vector<double>& dist = res.dist;
+  gb::Vector<bool> settled;
+  StopReason setup = scope.step([&] {
+    light = gb::Matrix<double>(n, n);
+    heavy = gb::Matrix<double>(n, n);
+    gb::select(light, gb::no_mask, gb::no_accum, gb::SelValueLe{}, a, delta);
+    gb::select(heavy, gb::no_mask, gb::no_accum, gb::SelValueGt{}, a, delta);
+    dist = gb::Vector<double>(n);
+    dist.set_element(source, 0.0);
+    // settled(v) present once v's bucket has been fully processed.
+    settled = gb::Vector<bool>(n);
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
 
   auto min_unsettled = [&]() -> double {
     // Minimum tentative distance among unsettled vertices; +inf if none.
@@ -65,46 +98,64 @@ gb::Vector<double> sssp_delta_stepping(const Graph& g, Index source,
     return gb::reduce_scalar(gb::min_monoid<double>(), unsettled);
   };
 
-  double frontier_lo = 0.0;
   while (true) {
-    frontier_lo = min_unsettled();
-    if (!std::isfinite(frontier_lo)) break;
-    const Index b = static_cast<Index>(frontier_lo / delta);
-    const double lo = static_cast<double>(b) * delta;
-    const double hi = lo + delta;
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      return res;
+    }
+    bool done = false;
+    StopReason why = scope.step([&] {
+      const double frontier_lo = min_unsettled();
+      if (!std::isfinite(frontier_lo)) {
+        done = true;
+        return;
+      }
+      const Index b = static_cast<Index>(frontier_lo / delta);
+      const double lo = static_cast<double>(b) * delta;
+      const double hi = lo + delta;
 
-    // Light-edge relaxation loop within the bucket.
-    for (;;) {
-      // active = unsettled vertices with dist in [lo, hi)
-      gb::Vector<double> active(n);
-      gb::apply(active, settled, gb::no_accum, gb::Identity{}, dist,
+      // Light-edge relaxation loop within the bucket.
+      for (;;) {
+        // active = unsettled vertices with dist in [lo, hi)
+        gb::Vector<double> active(n);
+        gb::apply(active, settled, gb::no_accum, gb::Identity{}, dist,
+                  gb::desc_rsc);
+        gb::select(active, gb::no_mask, gb::no_accum, gb::SelValueGe{}, active,
+                   lo);
+        gb::select(active, gb::no_mask, gb::no_accum, gb::SelValueLt{}, active,
+                   hi);
+        if (active.nvals() == 0) break;
+
+        gb::Vector<double> before = dist;
+        gb::vxm(dist, gb::no_mask, gb::Min{}, gb::min_plus<double>(), active,
+                light);
+        if (isequal(before, dist)) break;
+      }
+
+      // The bucket is now settled; relax heavy edges out of it once.
+      gb::Vector<double> bucket(n);
+      gb::apply(bucket, settled, gb::no_accum, gb::Identity{}, dist,
                 gb::desc_rsc);
-      gb::select(active, gb::no_mask, gb::no_accum, gb::SelValueGe{}, active,
+      gb::select(bucket, gb::no_mask, gb::no_accum, gb::SelValueGe{}, bucket,
                  lo);
-      gb::select(active, gb::no_mask, gb::no_accum, gb::SelValueLt{}, active,
+      gb::select(bucket, gb::no_mask, gb::no_accum, gb::SelValueLt{}, bucket,
                  hi);
-      if (active.nvals() == 0) break;
-
-      gb::Vector<double> before = dist;
-      gb::vxm(dist, gb::no_mask, gb::Min{}, gb::min_plus<double>(), active,
-              light);
-      if (isequal(before, dist)) break;
+      gb::assign_scalar(settled, bucket, gb::no_accum, true,
+                        gb::IndexSel::all(n), gb::desc_s);
+      if (bucket.nvals() > 0) {
+        gb::vxm(dist, gb::no_mask, gb::Min{}, gb::min_plus<double>(), bucket,
+                heavy);
+      }
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      return res;
     }
-
-    // The bucket is now settled; relax heavy edges out of it once.
-    gb::Vector<double> bucket(n);
-    gb::apply(bucket, settled, gb::no_accum, gb::Identity{}, dist,
-              gb::desc_rsc);
-    gb::select(bucket, gb::no_mask, gb::no_accum, gb::SelValueGe{}, bucket, lo);
-    gb::select(bucket, gb::no_mask, gb::no_accum, gb::SelValueLt{}, bucket, hi);
-    gb::assign_scalar(settled, bucket, gb::no_accum, true, gb::IndexSel::all(n),
-                      gb::desc_s);
-    if (bucket.nvals() > 0) {
-      gb::vxm(dist, gb::no_mask, gb::Min{}, gb::min_plus<double>(), bucket,
-              heavy);
-    }
+    if (done) break;
+    ++res.iterations;
   }
-  return dist;
+  res.stop = StopReason::converged;
+  return res;
 }
 
 }  // namespace lagraph

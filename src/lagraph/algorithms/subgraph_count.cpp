@@ -15,6 +15,7 @@
 namespace lagraph {
 
 SubgraphCensus subgraph_count(const Graph& g) {
+  check_graph(g, "subgraph_count");
   const Index n = g.nrows();
   // Off-diagonal pattern with int64 ones.
   gb::Matrix<std::int64_t> a(n, n);

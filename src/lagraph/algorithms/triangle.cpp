@@ -3,6 +3,7 @@
 // saxpy and the dot variant the masked dot product — together they exercise
 // the "6 functions" of §II-A on a real workload.
 #include "lagraph/lagraph.hpp"
+#include "lagraph/util/check.hpp"
 
 namespace lagraph {
 
@@ -23,6 +24,7 @@ gb::Matrix<std::int64_t> pattern_of(const Graph& g) {
 }  // namespace
 
 std::uint64_t triangle_count(const Graph& g, TriangleMethod method) {
+  check_graph(g, "triangle_count");
   auto a = pattern_of(g);
   const Index n = a.nrows();
   gb::Matrix<std::int64_t> c(n, n);

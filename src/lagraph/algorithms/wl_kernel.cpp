@@ -98,6 +98,9 @@ double dot(const std::map<std::uint64_t, std::uint64_t>& a,
 }  // namespace
 
 double wl_kernel(const Graph& g1, const Graph& g2, int iters) {
+  check_graph(g1, "wl_kernel");
+  check_graph(g2, "wl_kernel");
+  gb::check_value(iters >= 0, "wl_kernel: iters must be non-negative");
   const auto& a1 = g1.undirected_view();
   const auto& a2 = g2.undirected_view();
 
@@ -117,6 +120,8 @@ double wl_kernel(const Graph& g1, const Graph& g2, int iters) {
 }
 
 gb::Vector<std::uint64_t> wl_labels(const Graph& g, int iters) {
+  check_graph(g, "wl_labels");
+  gb::check_value(iters >= 0, "wl_labels: iters must be non-negative");
   const auto& a = g.undirected_view();
   auto label = initial_labels(g);
   std::map<Signature, std::uint64_t> dict;

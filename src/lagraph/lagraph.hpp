@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lagraph/graph.hpp"
+#include "lagraph/scope.hpp"
 
 namespace lagraph {
 
@@ -26,6 +27,9 @@ struct BfsResult {
   gb::Vector<std::int64_t> parent;  ///< BFS tree parent; parent[src] = src
   std::int64_t depth = 0;           ///< number of levels traversed
   std::vector<gb::MxvMethod> directions;  ///< per-level traversal used
+  /// none = frontier exhausted; cancelled/timeout/out_of_memory = governor
+  /// stopped the traversal after `depth` complete levels.
+  StopReason stop = StopReason::none;
 };
 
 /// Level + parent BFS from `source`.
@@ -36,14 +40,21 @@ BfsResult bfs(const Graph& g, Index source,
 // Shortest paths
 // ===========================================================================
 
+struct SsspResult {
+  gb::Vector<double> dist;  ///< tentative/final distances; absent = unreached
+  int iterations = 0;       ///< relaxation rounds (BF) / buckets (delta) done
+  /// converged = distances fixed; cancelled/timeout/out_of_memory = governor
+  /// stopped relaxation early (dist holds valid upper bounds).
+  StopReason stop = StopReason::converged;
+};
+
 /// Bellman-Ford SSSP via min-plus vxm iteration. Absent = unreachable.
 /// Throws Error(invalid_value) on a negative cycle reachable from source.
-gb::Vector<double> sssp_bellman_ford(const Graph& g, Index source);
+SsspResult sssp_bellman_ford(const Graph& g, Index source);
 
 /// Delta-stepping SSSP [Sridhar et al., IPDPSW 2019 — cited in §V]:
 /// light/heavy edge split with bucketed relaxation. Non-negative weights.
-gb::Vector<double> sssp_delta_stepping(const Graph& g, Index source,
-                                       double delta);
+SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta);
 
 /// All-pairs shortest paths by min-plus repeated squaring (small graphs).
 gb::Matrix<double> apsp(const Graph& g);
@@ -55,9 +66,13 @@ gb::Matrix<double> apsp(const Graph& g);
 struct PageRankResult {
   gb::Vector<double> rank;
   int iterations = 0;
+  bool converged = false;  ///< residual fell under tol before max_iters
+  double residual = std::numeric_limits<double>::infinity();  ///< last L1 change
+  StopReason stop = StopReason::max_iters;
 };
 
 /// PageRank with dangling-node handling (teleport redistribution).
+/// Requires damping in (0, 1), tol > 0, max_iters > 0 (Error invalid_value).
 PageRankResult pagerank(const Graph& g, double damping = 0.85,
                         double tol = 1e-9, int max_iters = 100);
 
@@ -115,12 +130,23 @@ gb::Vector<std::uint64_t> coloring(const Graph& g, std::uint64_t seed = 42);
 gb::Vector<std::uint64_t> maximal_matching(const Graph& g,
                                            std::uint64_t seed = 42);
 
-/// Markov clustering (MCL). Returns a cluster label per vertex.
-gb::Vector<std::uint64_t> mcl(const Graph& g, double inflation = 2.0,
-                              int max_iters = 100, double prune = 1e-6);
+struct ClusterResult {
+  gb::Vector<std::uint64_t> labels;  ///< cluster label per vertex
+  int iterations = 0;
+  bool converged = false;  ///< iterate stabilised before max_iters
+  /// MCL: L1 distance between successive iterates; peer-pressure: number of
+  /// vertices that changed label in the last round.
+  double residual = std::numeric_limits<double>::infinity();
+  StopReason stop = StopReason::max_iters;
+};
 
-/// Peer-pressure clustering. Returns a cluster label per vertex.
-gb::Vector<std::uint64_t> peer_pressure(const Graph& g, int max_iters = 50);
+/// Markov clustering (MCL). Labels come from each column's attractor row.
+/// Requires inflation > 1, max_iters > 0, prune >= 0 (Error invalid_value).
+ClusterResult mcl(const Graph& g, double inflation = 2.0, int max_iters = 100,
+                  double prune = 1e-6);
+
+/// Peer-pressure clustering. Requires max_iters > 0 (Error invalid_value).
+ClusterResult peer_pressure(const Graph& g, int max_iters = 50);
 
 struct LocalClusterResult {
   gb::Vector<bool> members;  ///< the cluster found around the seed

@@ -4,11 +4,24 @@
 #pragma once
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "graphblas/graphblas.hpp"
+#include "lagraph/graph.hpp"
 
 namespace lagraph {
+
+/// Entry guard for the algorithm drivers: rejects the zero-vertex /
+/// default-constructed graph up front (Error invalid_value), so no driver
+/// ever divides by the vertex count or walks an empty adjacency. The Graph
+/// constructor already enforces a square adjacency.
+inline void check_graph(const Graph& g, const char* who) {
+  if (g.nrows() == 0) {
+    throw gb::Error(gb::Info::invalid_value,
+                    std::string(who) + ": empty graph (0 vertices)");
+  }
+}
 
 /// Exact equality: same size, same pattern, same values.
 template <class T>

@@ -1,5 +1,6 @@
 #include "lagraph/util/serialize.hpp"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -9,39 +10,82 @@ namespace lagraph {
 namespace {
 
 constexpr char kMagic[4] = {'L', 'A', 'G', 'R'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends a CRC32C of everything after the magic; v1 files (no checksum)
+// are still readable.
+constexpr std::uint32_t kVersion = 2;
 
 [[noreturn]] void fail(const std::string& what) {
   throw gb::Error(gb::Info::invalid_value, "serialize: " + what);
 }
 
+// --- CRC32C (Castagnoli, reflected polynomial 0x82F63B78) --------------------
+// Software table implementation; the checksum guards the header fields and
+// all three CSR arrays, so a flipped bit or a truncated tail is detected
+// before import instead of surfacing as a subtly wrong matrix.
+
+const std::uint32_t* crc32c_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+class Crc32c {
+ public:
+  void update(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    const std::uint32_t* t = crc32c_table();
+    for (std::size_t k = 0; k < n; ++k) {
+      state_ = t[(state_ ^ p[k]) & 0xFFu] ^ (state_ >> 8);
+    }
+  }
+  [[nodiscard]] std::uint32_t value() const noexcept {
+    return state_ ^ 0xFFFFFFFFu;
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
 template <class T>
-void write_pod(std::ostream& out, const T& v) {
+void write_pod(std::ostream& out, const T& v, Crc32c& crc) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  crc.update(&v, sizeof(T));
 }
 
 template <class V>
-void write_array(std::ostream& out, const V& v) {
+void write_array(std::ostream& out, const V& v, Crc32c& crc) {
   using T = typename V::value_type;
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
+  crc.update(v.data(), v.size() * sizeof(T));
 }
 
 template <class T>
-T read_pod(std::istream& in) {
+T read_pod(std::istream& in, Crc32c& crc) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!in) fail("truncated header");
+  crc.update(&v, sizeof(T));
   return v;
 }
 
 // Read straight into metered storage so the arrays can be move-imported.
 template <class T>
-gb::Buf<T> read_array(std::istream& in, std::size_t n) {
+gb::Buf<T> read_array(std::istream& in, std::size_t n, Crc32c& crc) {
   gb::Buf<T> v(n);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(n * sizeof(T)));
   if (!in) fail("truncated array");
+  crc.update(v.data(), n * sizeof(T));
   return v;
 }
 
@@ -52,14 +96,18 @@ void save_matrix(const gb::Matrix<double>& a, std::ostream& out) {
   auto copy = a.dup();
   auto arrays = copy.export_csr();
 
+  Crc32c crc;
   out.write(kMagic, 4);
-  write_pod(out, kVersion);
-  write_pod(out, arrays.nrows);
-  write_pod(out, arrays.ncols);
-  write_pod(out, static_cast<std::uint64_t>(arrays.i.size()));
-  write_array(out, arrays.p);
-  write_array(out, arrays.i);
-  write_array(out, arrays.x);
+  write_pod(out, kVersion, crc);
+  write_pod(out, arrays.nrows, crc);
+  write_pod(out, arrays.ncols, crc);
+  write_pod(out, static_cast<std::uint64_t>(arrays.i.size()), crc);
+  write_array(out, arrays.p, crc);
+  write_array(out, arrays.i, crc);
+  write_array(out, arrays.x, crc);
+  // Footer: the checksum itself (not part of its own coverage).
+  const std::uint32_t sum = crc.value();
+  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
   if (!out) fail("write failure");
 }
 
@@ -73,15 +121,49 @@ gb::Matrix<double> load_matrix(std::istream& in) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0) fail("bad magic");
-  auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) fail("unsupported version");
-  auto nrows = read_pod<gb::Index>(in);
-  auto ncols = read_pod<gb::Index>(in);
-  auto nnz = read_pod<std::uint64_t>(in);
 
-  auto p = read_array<gb::Index>(in, nrows + 1);
-  auto i = read_array<gb::Index>(in, nnz);
-  auto x = read_array<double>(in, nnz);
+  Crc32c crc;
+  auto version = read_pod<std::uint32_t>(in, crc);
+  if (version != 1 && version != kVersion) fail("unsupported version");
+  auto nrows = read_pod<gb::Index>(in, crc);
+  auto ncols = read_pod<gb::Index>(in, crc);
+  auto nnz = read_pod<std::uint64_t>(in, crc);
+
+  // A corrupted header can claim absurd array sizes; reject before
+  // allocating when the stream is seekable (files, string buffers) by
+  // comparing the claimed payload against the bytes actually present.
+  constexpr std::uint64_t kSizeCap = ~std::uint64_t{0} / 64;
+  if (nrows >= kSizeCap || nnz >= kSizeCap) fail("implausible header sizes");
+  if (std::streampos cur = in.tellg(); cur != std::streampos(-1)) {
+    in.seekg(0, std::ios::end);
+    const std::streampos end = in.tellg();
+    in.seekg(cur);
+    if (end != std::streampos(-1)) {
+      const std::uint64_t have =
+          static_cast<std::uint64_t>(end - cur);
+      const std::uint64_t need =
+          (static_cast<std::uint64_t>(nrows) + 1) * sizeof(gb::Index) +
+          nnz * (sizeof(gb::Index) + sizeof(double));
+      if (need > have) fail("truncated array");
+    }
+  }
+
+  auto p = read_array<gb::Index>(in, nrows + 1, crc);
+  auto i = read_array<gb::Index>(in, nnz, crc);
+  auto x = read_array<double>(in, nnz, crc);
+
+  if (version >= 2) {
+    std::uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in) fail("truncated checksum");
+    if (stored != crc.value()) fail("checksum mismatch (corrupt file)");
+  }
+  // Either version: the payload must end exactly here. Bytes past the end
+  // mean the file is not what the header claims (e.g. a corrupted nnz).
+  if (in.peek() != std::istream::traits_type::eof()) {
+    fail("trailing garbage after matrix payload");
+  }
+
   if (p.back() != nnz) fail("inconsistent pointer array");
   for (gb::Index k = 0; k < nrows; ++k) {
     if (p[k] > p[k + 1]) fail("non-monotone pointer array");

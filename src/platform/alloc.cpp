@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <limits>
 
+#include "platform/governor.hpp"
+
 namespace gb::platform {
 
 std::atomic<int> Alloc::mode_{0};
@@ -49,6 +51,15 @@ void* Alloc::allocate(std::size_t bytes) {
       }
       break;
   }
+  // Byte-budget admission: the installed governor's armed limit first (a
+  // delta over its arm-time baseline), then the process-wide absolute cap
+  // from LAGRAPH_MEM_BUDGET. Both throw BudgetError (a std::bad_alloc), so
+  // they flow through the same strong-exception-safety paths as a real OOM.
+  if (Governor* g = Governor::current()) g->charge(bytes);
+  if (const std::size_t cap = Governor::env_budget();
+      cap != 0 && MemoryMeter::current_bytes() + bytes > cap)
+    throw BudgetError{};
+
   void* p = ::operator new(bytes);
   MemoryMeter::account(static_cast<std::ptrdiff_t>(bytes));
   return p;

@@ -1,0 +1,125 @@
+#include "platform/governor.hpp"
+
+#include <cstdlib>
+
+#include "platform/memory.hpp"
+
+namespace gb::platform {
+
+std::atomic<int> Governor::trip_mode_{0};
+std::atomic<std::int64_t> Governor::trip_remaining_{0};
+std::atomic<std::uint64_t> Governor::polls_{0};
+
+Governor*& Governor::slot() noexcept {
+  static thread_local Governor* g = nullptr;
+  return g;
+}
+
+void Governor::arm() noexcept {
+  if (arm_depth_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    const std::int64_t t = timeout_ns_.load(std::memory_order_relaxed);
+    deadline_ns_.store(t > 0 ? now_ns() + t : std::int64_t{0},
+                       std::memory_order_relaxed);
+    const std::size_t b = budget_.load(std::memory_order_relaxed);
+    limit_bytes_.store(b ? MemoryMeter::current_bytes() + b : std::size_t{0},
+                       std::memory_order_relaxed);
+  }
+}
+
+void Governor::disarm() noexcept {
+  if (arm_depth_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    limit_bytes_.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+// Clock reads are strided per thread; the counter starts at 0 so the very
+// first poll of every thread checks the deadline (tiny fixtures with an
+// already-expired deadline must still trip).
+constexpr std::uint32_t kClockStride = 16;
+
+}  // namespace
+
+void Governor::poll() {
+  polls_.fetch_add(1, std::memory_order_relaxed);
+
+  // Test hook: countdown trip, sticky until disarm_trips(). Checked first so
+  // soaks can address every poll point by ordinal, exactly like the Alloc
+  // countdown addresses every allocation.
+  switch (static_cast<Trip>(trip_mode_.load(std::memory_order_relaxed))) {
+    case Trip::none:
+      break;
+    case Trip::cancel:
+      if (trip_remaining_.fetch_sub(1, std::memory_order_relaxed) <= 0)
+        throw CancelledError{};
+      break;
+    case Trip::deadline:
+      if (trip_remaining_.fetch_sub(1, std::memory_order_relaxed) <= 0)
+        throw TimeoutError{};
+      break;
+  }
+
+  if (cancel_.load(std::memory_order_relaxed)) throw CancelledError{};
+
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0) {
+    static thread_local std::uint32_t tick = 0;
+    if ((tick++ % kClockStride) == 0 && now_ns() > deadline)
+      throw TimeoutError{};
+  }
+}
+
+int Governor::tripped() noexcept {
+  if (cancel_.load(std::memory_order_relaxed)) return 1;
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && now_ns() > deadline) return 2;
+  return 0;
+}
+
+std::size_t Governor::budget_remaining() const noexcept {
+  const std::size_t limit = limit_bytes_.load(std::memory_order_relaxed);
+  if (limit == 0) return static_cast<std::size_t>(-1);
+  const std::size_t cur = MemoryMeter::current_bytes();
+  return limit > cur ? limit - cur : std::size_t{0};
+}
+
+void Governor::charge(std::size_t incoming_bytes) {
+  const std::size_t limit = limit_bytes_.load(std::memory_order_relaxed);
+  if (limit != 0 &&
+      MemoryMeter::current_bytes() + incoming_bytes > limit)
+    throw BudgetError{};
+}
+
+std::size_t Governor::env_budget() noexcept {
+  static const std::size_t cap = [] {
+    const char* s = std::getenv("LAGRAPH_MEM_BUDGET");
+    if (!s || !*s) return std::size_t{0};
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s) return std::size_t{0};
+    return static_cast<std::size_t>(v);
+  }();
+  return cap;
+}
+
+void Governor::trip_poll_after(std::uint64_t n, Trip kind) noexcept {
+  trip_remaining_.store(static_cast<std::int64_t>(n),
+                        std::memory_order_relaxed);
+  trip_mode_.store(static_cast<int>(kind), std::memory_order_relaxed);
+}
+
+void Governor::disarm_trips() noexcept {
+  trip_mode_.store(static_cast<int>(Trip::none), std::memory_order_relaxed);
+}
+
+std::uint64_t Governor::total_polls() noexcept {
+  return polls_.load(std::memory_order_relaxed);
+}
+
+void Governor::reset_poll_counter() noexcept {
+  polls_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace gb::platform

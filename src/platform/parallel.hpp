@@ -21,6 +21,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "platform/governor.hpp"
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -171,23 +173,34 @@ class ExceptionTrap {
 template <class Body>
 void parallel_for(std::size_t n, Body&& body) {
   if (n < kParallelGrain || num_threads() == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((i & 255) == 0) governor_poll();
+      body(i);
+    }
     return;
   }
 #ifdef _OPENMP
+  Governor* gov = Governor::current();  // propagate to the OMP workers
   par_detail::ExceptionTrap trap;
   char fork_token = 0;  // TSan happens-before anchor for the fork/join edges
   GB_TSAN_RELEASE(&fork_token);
 #pragma omp parallel for schedule(dynamic, 256)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
     GB_TSAN_ACQUIRE(&fork_token);
-    trap.run([&] { body(static_cast<std::size_t>(i)); });
+    trap.run([&] {
+      GovernorBind bind(gov);
+      if ((i & 255) == 0) governor_poll();
+      body(static_cast<std::size_t>(i));
+    });
     GB_TSAN_RELEASE(&fork_token);
   }
   GB_TSAN_ACQUIRE(&fork_token);
   trap.rethrow();
 #else
-  for (std::size_t i = 0; i < n; ++i) body(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & 255) == 0) governor_poll();
+    body(i);
+  }
 #endif
 }
 
@@ -202,6 +215,7 @@ void parallel_for_chunks(std::size_t n, std::size_t nchunks, Body&& body) {
   if (nchunks == 0) return;
   const std::size_t per = (n + nchunks - 1) / nchunks;
 #ifdef _OPENMP
+  Governor* gov = Governor::current();  // propagate to the OMP workers
   par_detail::ExceptionTrap trap;
   char fork_token = 0;  // TSan happens-before anchor for the fork/join edges
   GB_TSAN_RELEASE(&fork_token);
@@ -209,6 +223,8 @@ void parallel_for_chunks(std::size_t n, std::size_t nchunks, Body&& body) {
   for (std::int64_t c = 0; c < static_cast<std::int64_t>(nchunks); ++c) {
     GB_TSAN_ACQUIRE(&fork_token);
     trap.run([&] {
+      GovernorBind bind(gov);
+      governor_poll();
       auto uc = static_cast<std::size_t>(c);
       std::size_t lo = uc * per;
       std::size_t hi = lo + per < n ? lo + per : n;
@@ -220,6 +236,7 @@ void parallel_for_chunks(std::size_t n, std::size_t nchunks, Body&& body) {
   trap.rethrow();
 #else
   for (std::size_t c = 0; c < nchunks; ++c) {
+    governor_poll();
     std::size_t lo = c * per;
     std::size_t hi = lo + per < n ? lo + per : n;
     if (lo < hi) body(c, lo, hi);
@@ -239,10 +256,12 @@ void parallel_balanced_chunks_n(std::span<const CostT> prefix,
   const std::size_t n = prefix.size() - 1;
   if (nchunks == 0 || n == 0) return;
   if (nchunks == 1) {
+    governor_poll();
     body(std::size_t{0}, std::size_t{0}, n);
     return;
   }
 #ifdef _OPENMP
+  Governor* gov = Governor::current();  // propagate to the OMP workers
   par_detail::ExceptionTrap trap;
   char fork_token = 0;  // TSan happens-before anchor for the fork/join edges
   GB_TSAN_RELEASE(&fork_token);
@@ -250,6 +269,8 @@ void parallel_balanced_chunks_n(std::span<const CostT> prefix,
   for (std::int64_t c = 0; c < static_cast<std::int64_t>(nchunks); ++c) {
     GB_TSAN_ACQUIRE(&fork_token);
     trap.run([&] {
+      GovernorBind bind(gov);
+      governor_poll();
       auto uc = static_cast<std::size_t>(c);
       std::size_t lo = balanced_cut(prefix, nchunks, uc);
       std::size_t hi = balanced_cut(prefix, nchunks, uc + 1);
@@ -261,6 +282,7 @@ void parallel_balanced_chunks_n(std::span<const CostT> prefix,
   trap.rethrow();
 #else
   for (std::size_t c = 0; c < nchunks; ++c) {
+    governor_poll();
     std::size_t lo = balanced_cut(prefix, nchunks, c);
     std::size_t hi = balanced_cut(prefix, nchunks, c + 1);
     if (lo < hi) body(c, lo, hi);

@@ -43,13 +43,13 @@ void expect_split(const std::vector<std::uint64_t>& labels, Index k) {
 
 TEST(Mcl, SplitsTwoCliques) {
   Graph g(two_cliques(6), Kind::undirected);
-  auto labels = to_dense_std(mcl(g), std::uint64_t{0});
+  auto labels = to_dense_std(mcl(g).labels, std::uint64_t{0});
   expect_split(labels, 6);
 }
 
 TEST(Mcl, SingleCliqueIsOneCluster) {
   Graph g(complete_graph(8), Kind::undirected);
-  auto labels = to_dense_std(mcl(g), std::uint64_t{0});
+  auto labels = to_dense_std(mcl(g).labels, std::uint64_t{0});
   std::set<std::uint64_t> uniq(labels.begin(), labels.end());
   EXPECT_EQ(uniq.size(), 1u);
 }
@@ -67,7 +67,7 @@ TEST(Mcl, DisconnectedComponentsGetDistinctLabels) {
   add(4, 5);
   add(3, 5);
   Graph g(std::move(a), Kind::undirected);
-  auto labels = to_dense_std(mcl(g), std::uint64_t{99});
+  auto labels = to_dense_std(mcl(g).labels, std::uint64_t{99});
   EXPECT_EQ(labels[0], labels[1]);
   EXPECT_EQ(labels[3], labels[4]);
   EXPECT_NE(labels[0], labels[3]);
@@ -75,7 +75,7 @@ TEST(Mcl, DisconnectedComponentsGetDistinctLabels) {
 
 TEST(PeerPressure, SplitsTwoCliques) {
   Graph g(two_cliques(8), Kind::undirected);
-  auto labels = to_dense_std(peer_pressure(g), std::uint64_t{0});
+  auto labels = to_dense_std(peer_pressure(g).labels, std::uint64_t{0});
   expect_split(labels, 8);
 }
 
@@ -84,7 +84,7 @@ TEST(PeerPressure, IsolatedVerticesKeepOwnLabel) {
   a.set_element(0, 1, 1.0);
   a.set_element(1, 0, 1.0);
   Graph g(std::move(a), Kind::undirected);
-  auto labels = to_dense_std(peer_pressure(g), std::uint64_t{0});
+  auto labels = to_dense_std(peer_pressure(g).labels, std::uint64_t{0});
   EXPECT_EQ(labels[3], 3u);
   EXPECT_EQ(labels[4], 4u);
   EXPECT_EQ(labels[0], labels[1]);

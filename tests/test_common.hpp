@@ -9,11 +9,72 @@
 #include <string>
 #include <vector>
 
+#include "capi/graphblas_c.h"
 #include "reference/dense_ref.hpp"
 
 namespace testutil {
 
 using gb::Index;
+
+// --- pre/post snapshots over the C API ------------------------------------
+//
+// Used by the fault-injection and governor soaks to assert the transactional
+// contract: after any injected failure (OOM, cancellation, deadline, budget)
+// the output object must compare equal to its pre-call snapshot.
+
+struct MatrixSnapshot {
+  GrB_Index nrows = 0, ncols = 0;
+  std::vector<GrB_Index> r, c;
+  std::vector<double> v;
+
+  friend bool operator==(const MatrixSnapshot&,
+                         const MatrixSnapshot&) = default;
+};
+
+struct VectorSnapshot {
+  GrB_Index size = 0;
+  std::vector<GrB_Index> i;
+  std::vector<double> v;
+
+  friend bool operator==(const VectorSnapshot&,
+                         const VectorSnapshot&) = default;
+};
+
+inline MatrixSnapshot snapshot(GrB_Matrix a) {
+  MatrixSnapshot s;
+  EXPECT_EQ(GrB_Matrix_nrows(&s.nrows, a), GrB_SUCCESS);
+  EXPECT_EQ(GrB_Matrix_ncols(&s.ncols, a), GrB_SUCCESS);
+  GrB_Index n = 0;
+  EXPECT_EQ(GrB_Matrix_nvals(&n, a), GrB_SUCCESS);
+  // One extra slot so empty objects still hand out non-null pointers.
+  s.r.resize(n + 1);
+  s.c.resize(n + 1);
+  s.v.resize(n + 1);
+  GrB_Index cap = n + 1;
+  EXPECT_EQ(
+      GrB_Matrix_extractTuples_FP64(s.r.data(), s.c.data(), s.v.data(), &cap,
+                                    a),
+      GrB_SUCCESS);
+  s.r.resize(cap);
+  s.c.resize(cap);
+  s.v.resize(cap);
+  return s;
+}
+
+inline VectorSnapshot snapshot(GrB_Vector w) {
+  VectorSnapshot s;
+  EXPECT_EQ(GrB_Vector_size(&s.size, w), GrB_SUCCESS);
+  GrB_Index n = 0;
+  EXPECT_EQ(GrB_Vector_nvals(&n, w), GrB_SUCCESS);
+  s.i.resize(n + 1);
+  s.v.resize(n + 1);
+  GrB_Index cap = n + 1;
+  EXPECT_EQ(GrB_Vector_extractTuples_FP64(s.i.data(), s.v.data(), &cap, w),
+            GrB_SUCCESS);
+  s.i.resize(cap);
+  s.v.resize(cap);
+  return s;
+}
 
 inline gb::Matrix<double> random_matrix(Index nrows, Index ncols,
                                         double density, std::uint64_t seed) {

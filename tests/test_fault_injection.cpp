@@ -18,79 +18,32 @@
 // sequence is deterministic.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "capi/graphblas_c.h"
 #include "graphblas/graphblas.hpp"
 #include "graphblas/validate.hpp"
 #include "platform/alloc.hpp"
+#include "platform/governor.hpp"
 #include "platform/memory.hpp"
 #include "platform/parallel.hpp"
 #include "platform/workspace.hpp"
+#include "test_common.hpp"
 
 using gb::platform::Alloc;
+using gb::platform::Governor;
 using gb::platform::MemoryMeter;
 using gb::platform::ScopedFailAfter;
+using gb::platform::ScopedTripAfter;
+using testutil::snapshot;
 
 namespace {
-
-struct MatrixSnapshot {
-  GrB_Index nrows = 0, ncols = 0;
-  std::vector<GrB_Index> r, c;
-  std::vector<double> v;
-
-  friend bool operator==(const MatrixSnapshot&,
-                         const MatrixSnapshot&) = default;
-};
-
-struct VectorSnapshot {
-  GrB_Index size = 0;
-  std::vector<GrB_Index> i;
-  std::vector<double> v;
-
-  friend bool operator==(const VectorSnapshot&,
-                         const VectorSnapshot&) = default;
-};
-
-MatrixSnapshot snapshot(GrB_Matrix a) {
-  MatrixSnapshot s;
-  EXPECT_EQ(GrB_Matrix_nrows(&s.nrows, a), GrB_SUCCESS);
-  EXPECT_EQ(GrB_Matrix_ncols(&s.ncols, a), GrB_SUCCESS);
-  GrB_Index n = 0;
-  EXPECT_EQ(GrB_Matrix_nvals(&n, a), GrB_SUCCESS);
-  // One extra slot so empty objects still hand out non-null pointers.
-  s.r.resize(n + 1);
-  s.c.resize(n + 1);
-  s.v.resize(n + 1);
-  GrB_Index cap = n + 1;
-  EXPECT_EQ(
-      GrB_Matrix_extractTuples_FP64(s.r.data(), s.c.data(), s.v.data(), &cap,
-                                    a),
-      GrB_SUCCESS);
-  s.r.resize(cap);
-  s.c.resize(cap);
-  s.v.resize(cap);
-  return s;
-}
-
-VectorSnapshot snapshot(GrB_Vector w) {
-  VectorSnapshot s;
-  EXPECT_EQ(GrB_Vector_size(&s.size, w), GrB_SUCCESS);
-  GrB_Index n = 0;
-  EXPECT_EQ(GrB_Vector_nvals(&n, w), GrB_SUCCESS);
-  s.i.resize(n + 1);
-  s.v.resize(n + 1);
-  GrB_Index cap = n + 1;
-  EXPECT_EQ(GrB_Vector_extractTuples_FP64(s.i.data(), s.v.data(), &cap, w),
-            GrB_SUCCESS);
-  s.i.resize(cap);
-  s.v.resize(cap);
-  return s;
-}
 
 // Objects the harness re-validates after every injected failure.
 struct Watched {
@@ -935,5 +888,493 @@ TEST_F(KernelScratchFault, WorkspaceStaysWarmAcrossFailures) {
     EXPECT_LE(gb::platform::Workspace::thread_stats().cached_bytes,
               warm_cached)
         << "failed run at countdown " << n << " grew the workspace pools";
+  }
+}
+
+// ===========================================================================
+// Governor soaks: the same transactional contract, with the trip coming from
+// the execution governor instead of the allocator. Governor::trip_poll_after
+// addresses every poll point by ordinal (exactly like Alloc::fail_after
+// addresses every allocation), so for N = 0, 1, 2, ... the Nth poll throws a
+// cancellation or deadline, the C boundary reports GxB_CANCELLED /
+// GxB_TIMEOUT, and the output must be bit-identical to its pre-call snapshot
+// with the meter back at baseline.
+
+namespace {
+
+// C-boundary governor soak: drives `op` with the fixture's context engaged
+// and the Nth poll tripping as `kind`, until the op completes without
+// hitting a tripped poll. Returns the N at which it first survived (== the
+// number of poll points the op executes).
+template <class Handle>
+GrB_Index governor_soak(const char* name, const std::function<GrB_Info()>& op,
+                        Handle out, const Watched& watched,
+                        Governor::Trip kind, GrB_Info expected) {
+  const GrB_Info warm = op();  // engaged but untripped: must still succeed
+  EXPECT_EQ(warm, GrB_SUCCESS) << name << " failed under an idle governor";
+  if (warm != GrB_SUCCESS) return 0;
+  const auto before = snapshot(out);
+  constexpr GrB_Index kMaxN = 100000;
+  for (GrB_Index n = 0; n < kMaxN; ++n) {
+    const std::size_t baseline = MemoryMeter::current_bytes();
+    GrB_Info info;
+    {
+      ScopedTripAfter trip(n, kind);
+      info = op();
+    }
+    if (info == GrB_SUCCESS) {
+      expect_all_valid(watched, name, n);
+      return n;
+    }
+    EXPECT_EQ(info, expected)
+        << name << " reported the wrong Info for a trip at poll " << n;
+    expect_all_valid(watched, name, n);
+    EXPECT_EQ(snapshot(out), before)
+        << name << " modified its output despite tripping at poll " << n;
+    EXPECT_EQ(MemoryMeter::current_bytes(), baseline)
+        << name << " leaked metered bytes after tripping at poll " << n;
+  }
+  ADD_FAILURE() << name << " never completed under poll trips";
+  return kMaxN;
+}
+
+// Fixture: FaultInjection's objects plus an engaged GxB_Context, so every
+// C call on this thread runs governed.
+class GovernorFault : public FaultInjection {
+ protected:
+  void SetUp() override {
+    FaultInjection::SetUp();
+    ASSERT_EQ(GxB_Context_new(&ctx_), GrB_SUCCESS);
+    ASSERT_EQ(GxB_Context_engage(ctx_), GrB_SUCCESS);
+  }
+
+  void TearDown() override {
+    Governor::disarm_trips();
+    EXPECT_EQ(GxB_Context_disengage(ctx_), GrB_SUCCESS);
+    EXPECT_EQ(GxB_Context_free(&ctx_), GrB_SUCCESS);
+    FaultInjection::TearDown();
+  }
+
+  GxB_Context ctx_ = nullptr;
+};
+
+}  // namespace
+
+TEST_F(GovernorFault, MxmCancelledAtEveryPoll) {
+  const GrB_Index polls = governor_soak(
+      "mxm cancel",
+      [&] {
+        return GrB_mxm(c_, nullptr, GrB_NULL_ACCUM,
+                       GrB_PLUS_TIMES_SEMIRING_FP64, a_, b_, nullptr);
+      },
+      c_, watch_all(), Governor::Trip::cancel, GxB_CANCELLED);
+  EXPECT_GT(polls, 0u) << "mxm executed no poll points";
+}
+
+TEST_F(GovernorFault, MxmDeadlineAtEveryPoll) {
+  governor_soak(
+      "mxm deadline",
+      [&] {
+        return GrB_mxm(c_, nullptr, GrB_NULL_ACCUM,
+                       GrB_PLUS_TIMES_SEMIRING_FP64, a_, b_, nullptr);
+      },
+      c_, watch_all(), Governor::Trip::deadline, GxB_TIMEOUT);
+}
+
+TEST_F(GovernorFault, MxmMaskedAccumCancelled) {
+  governor_soak(
+      "mxm<mask,accum> cancel",
+      [&] {
+        return GrB_mxm(c_, b_, GrB_PLUS_FP64, GrB_PLUS_TIMES_SEMIRING_FP64,
+                       a_, b_, nullptr);
+      },
+      c_, watch_all(), Governor::Trip::cancel, GxB_CANCELLED);
+}
+
+TEST_F(GovernorFault, MxvCancelled) {
+  governor_soak(
+      "mxv cancel",
+      [&] {
+        return GrB_mxv(w_, nullptr, GrB_NULL_ACCUM,
+                       GrB_PLUS_TIMES_SEMIRING_FP64, a_, u_, nullptr);
+      },
+      w_, watch_all(), Governor::Trip::cancel, GxB_CANCELLED);
+}
+
+TEST_F(GovernorFault, EwiseAddCancelled) {
+  governor_soak(
+      "eWiseAdd cancel",
+      [&] {
+        return GrB_Matrix_eWiseAdd(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_FP64,
+                                   a_, b_, nullptr);
+      },
+      c_, watch_all(), Governor::Trip::cancel, GxB_CANCELLED);
+}
+
+TEST_F(GovernorFault, AssignScalarMaskedDeadline) {
+  governor_soak(
+      "assign deadline",
+      [&] {
+        return GrB_Matrix_assign_FP64(c_, a_, GrB_NULL_ACCUM, 3.5, GrB_ALL, 6,
+                                      GrB_ALL, 6, nullptr);
+      },
+      c_, watch_all(), Governor::Trip::deadline, GxB_TIMEOUT);
+}
+
+TEST_F(GovernorFault, ReduceToVectorCancelled) {
+  governor_soak(
+      "reduce cancel",
+      [&] {
+        return GrB_Matrix_reduce_Vector(w_, nullptr, GrB_NULL_ACCUM,
+                                        GrB_PLUS_MONOID_FP64, a_, nullptr);
+      },
+      w_, watch_all(), Governor::Trip::cancel, GxB_CANCELLED);
+}
+
+TEST_F(GovernorFault, ApplyCancelled) {
+  governor_soak(
+      "apply cancel",
+      [&] {
+        return GrB_Vector_apply(w_, nullptr, GrB_NULL_ACCUM, GrB_ABS_FP64, u_,
+                                nullptr);
+      },
+      w_, watch_all(), Governor::Trip::cancel, GxB_CANCELLED);
+}
+
+TEST_F(GovernorFault, TransposeCancelled) {
+  governor_soak(
+      "transpose cancel",
+      [&] {
+        return GrB_transpose(c_, nullptr, GrB_NULL_ACCUM, a_, nullptr);
+      },
+      c_, watch_all(), Governor::Trip::cancel, GxB_CANCELLED);
+}
+
+TEST_F(GovernorFault, KroneckerCancelled) {
+  GrB_Matrix kc = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&kc, 36, 36), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_setElement_FP64(kc, 9.0, 35, 35), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_wait(kc), GrB_SUCCESS);
+  governor_soak(
+      "kronecker cancel",
+      [&] {
+        return GrB_kronecker(kc, nullptr, GrB_NULL_ACCUM, GrB_TIMES_FP64, a_,
+                             b_, nullptr);
+      },
+      kc, {{a_, b_, kc}, {}}, Governor::Trip::cancel, GxB_CANCELLED);
+  GrB_Matrix_free(&kc);
+}
+
+TEST_F(GovernorFault, RealWallClockDeadlineTrips) {
+  // A 1 ns timeout: the deadline is already in the past by the first strided
+  // clock check. The clock is read every kClockStride-th poll per thread, so
+  // a single tiny call may legitimately miss the check — repeat until the
+  // stride lands (bounded; each mxm executes at least one poll).
+  ASSERT_EQ(GxB_Context_set_timeout_ms(ctx_, 1e-6), GrB_SUCCESS);
+  auto before = snapshot(c_);
+  GrB_Info info = GrB_SUCCESS;
+  for (int k = 0; k < 64 && info == GrB_SUCCESS; ++k) {
+    info = GrB_mxm(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                   a_, b_, nullptr);
+    if (info == GrB_SUCCESS) {
+      // Survived this call; the output legitimately changed. Re-snapshot so
+      // the post-trip comparison is against the last committed state.
+      before = snapshot(c_);
+    }
+  }
+  ASSERT_EQ(GxB_Context_set_timeout_ms(ctx_, 0.0), GrB_SUCCESS);
+  EXPECT_EQ(info, GxB_TIMEOUT) << "deadline never tripped in 64 calls";
+  EXPECT_EQ(snapshot(c_), before)
+      << "timed-out mxm modified its output";
+  expect_all_valid(watch_all(), "wall-clock deadline", 0);
+}
+
+TEST_F(GovernorFault, BudgetLadderIsTransactionalAtEveryRung) {
+  // Walk the byte budget up from 1 byte until mxm fits. Every failing rung
+  // must report GrB_OUT_OF_MEMORY (BudgetError rides the OOM path) and be
+  // fully transactional; the first passing rung must produce the same result
+  // as an ungoverned run.
+  ASSERT_EQ(GrB_mxm(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a_, b_, nullptr),
+            GrB_SUCCESS);  // warm caches + reference output
+  const auto want = snapshot(c_);
+  // Two passes. Tight budgets reroute auto-selection through the heap
+  // fallback, whose workspace pools the ungoverned warm-up never touched;
+  // pool growth on a failing rung is retained by design and is not a leak.
+  // Pass 0 walks every rung once so each trip path's pools reach their
+  // high-water mark; pass 1 repeats the identical walk and holds the strict
+  // transactional line: a failing rung must leave the meter untouched.
+  for (int pass = 0; pass < 2; ++pass) {
+    bool fit = false;
+    int failing_rungs = 0;
+    for (std::uint64_t budget = 1; budget <= (std::uint64_t{1} << 30) && !fit;
+         budget *= 4) {
+      const std::size_t baseline = MemoryMeter::current_bytes();
+      ASSERT_EQ(GxB_Context_set_budget(ctx_, budget), GrB_SUCCESS);
+      const GrB_Info info =
+          GrB_mxm(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                  a_, b_, nullptr);
+      ASSERT_EQ(GxB_Context_set_budget(ctx_, 0), GrB_SUCCESS);
+      if (info == GrB_SUCCESS) {
+        fit = true;
+      } else {
+        ++failing_rungs;
+        EXPECT_EQ(info, GrB_OUT_OF_MEMORY)
+            << "budget " << budget << " reported the wrong Info";
+        if (pass == 1) {
+          EXPECT_EQ(MemoryMeter::current_bytes(), baseline)
+              << "budget " << budget << " leaked metered bytes";
+        }
+      }
+      EXPECT_EQ(snapshot(c_), want)
+          << "budget " << budget << " changed the output";
+      expect_all_valid(watch_all(), "budget ladder", budget);
+    }
+    EXPECT_TRUE(fit) << "mxm never fit under a 1 GiB budget";
+    EXPECT_GT(failing_rungs, 0) << "a 1-byte budget let mxm through";
+  }
+}
+
+TEST_F(GovernorFault, CancelFromAnotherThread) {
+  // The documented contract: GxB_Context_cancel is safe from any thread
+  // while another thread is inside a call under that context, and the flag
+  // is sticky until GxB_Context_reset.
+  std::atomic<bool> started{false};
+  std::atomic<bool> saw_cancel{false};
+  std::thread worker([&] {
+    ASSERT_EQ(GxB_Context_engage(ctx_), GrB_SUCCESS);
+    started.store(true);
+    for (int k = 0; k < 1000000 && !saw_cancel.load(); ++k) {
+      const GrB_Info info =
+          GrB_mxm(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                  a_, b_, nullptr);
+      if (info == GxB_CANCELLED) {
+        saw_cancel.store(true);
+      } else {
+        ASSERT_EQ(info, GrB_SUCCESS);
+      }
+    }
+    ASSERT_EQ(GxB_Context_disengage(ctx_), GrB_SUCCESS);
+  });
+  while (!started.load()) std::this_thread::yield();
+  ASSERT_EQ(GxB_Context_cancel(ctx_), GrB_SUCCESS);
+  worker.join();
+  EXPECT_TRUE(saw_cancel.load()) << "worker never observed the cancellation";
+
+  // Sticky on this thread too (the fixture's engagement) ...
+  bool flagged = false;
+  ASSERT_EQ(GxB_Context_get_cancelled(&flagged, ctx_), GrB_SUCCESS);
+  EXPECT_TRUE(flagged);
+  EXPECT_EQ(GrB_mxm(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a_, b_, nullptr),
+            GxB_CANCELLED);
+  // ... until reset.
+  ASSERT_EQ(GxB_Context_reset(ctx_), GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxm(c_, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a_, b_, nullptr),
+            GrB_SUCCESS);
+  expect_all_valid(watch_all(), "cross-thread cancel", 0);
+}
+
+// --- forced-chunk governor soaks (C++ level) ------------------------------
+// Chunk boundaries are unconditional poll points, so ForcedChunks(3) puts
+// the trip inside the OpenMP region of every chunked kernel; the exception
+// trap that ferries an injected bad_alloc out of the region must ferry
+// CancelledError / TimeoutError the same way.
+
+namespace {
+
+template <class Out>
+void cxx_governor_soak(const char* name, const std::function<void()>& op,
+                       const Out& out, Governor::Trip kind) {
+  Governor gov;
+  {
+    gb::platform::GovernorScope governed(&gov);
+    ASSERT_NO_THROW(op()) << name << " failed under an idle governor";
+  }
+  const auto before = cxx_snapshot(out);
+  constexpr std::uint64_t kMaxN = 100000;
+  for (std::uint64_t n = 0; n < kMaxN; ++n) {
+    const std::size_t baseline = MemoryMeter::current_bytes();
+    bool failed = false;
+    {
+      gb::platform::GovernorScope governed(&gov);
+      ScopedTripAfter trip(n, kind);
+      try {
+        op();
+      } catch (const gb::platform::CancelledError&) {
+        EXPECT_EQ(kind, Governor::Trip::cancel) << name << " poll " << n;
+        failed = true;
+      } catch (const gb::platform::TimeoutError&) {
+        EXPECT_EQ(kind, Governor::Trip::deadline) << name << " poll " << n;
+        failed = true;
+      }
+    }
+    if (!failed) return;  // survived every poll: done
+    EXPECT_TRUE(gb::check(out, gb::CheckLevel::full).ok())
+        << name << " corrupted its output tripping at poll " << n;
+    EXPECT_EQ(cxx_snapshot(out), before)
+        << name << " modified its output despite tripping at poll " << n;
+    EXPECT_EQ(MemoryMeter::current_bytes(), baseline)
+        << name << " leaked metered bytes after tripping at poll " << n;
+  }
+  ADD_FAILURE() << name << " never completed under poll trips";
+}
+
+}  // namespace
+
+TEST_F(KernelScratchFault, GovernorMxmGustavsonForcedChunks) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::gustavson;
+  cxx_governor_soak(
+      "governed mxm/gustavson forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                b_, d);
+      },
+      c_, Governor::Trip::cancel);
+}
+
+TEST_F(KernelScratchFault, GovernorMxmDotMaskedForcedChunks) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::dot;
+  cxx_governor_soak(
+      "governed mxm<mask>/dot forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxm(c_, b_, gb::no_accum, gb::plus_times<double>(), a_, b_, d);
+      },
+      c_, Governor::Trip::deadline);
+}
+
+TEST_F(KernelScratchFault, GovernorMxmHeapForcedChunks) {
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::heap;
+  cxx_governor_soak(
+      "governed mxm/heap forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::mxm(c_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                b_, d);
+      },
+      c_, Governor::Trip::cancel);
+}
+
+TEST_F(KernelScratchFault, GovernorEwiseSelectReduceForcedChunks) {
+  cxx_governor_soak(
+      "governed ewise_add forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::ewise_add(c_, gb::no_mask, gb::no_accum, gb::Plus{}, a_, b_);
+      },
+      c_, Governor::Trip::cancel);
+  cxx_governor_soak(
+      "governed select forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::select(c_, gb::no_mask, gb::no_accum, gb::SelTril{}, a_,
+                   std::int64_t{0});
+      },
+      c_, Governor::Trip::deadline);
+  cxx_governor_soak(
+      "governed reduce forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::reduce(w_, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(),
+                   a_);
+      },
+      w_, Governor::Trip::cancel);
+}
+
+TEST_F(KernelScratchFault, GovernorTransposeKroneckerForcedChunks) {
+  cxx_governor_soak(
+      "governed transpose forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        auto fresh = a_.dup();
+        gb::transpose(c_, gb::no_mask, gb::no_accum, fresh);
+      },
+      c_, Governor::Trip::cancel);
+  gb::Matrix<double> kc(36, 36);
+  kc.set_element(35, 35, 1.5);
+  kc.wait();
+  cxx_governor_soak(
+      "governed kronecker forced-chunks",
+      [&] {
+        gb::platform::ForcedChunks force(3);
+        gb::kronecker(kc, gb::no_mask, gb::no_accum, gb::Times{}, a_, b_);
+      },
+      kc, Governor::Trip::cancel);
+}
+
+TEST_F(KernelScratchFault, GovernorMxvBothMethodsForcedChunks) {
+  for (auto method : {gb::MxvMethod::push, gb::MxvMethod::pull}) {
+    gb::Descriptor d;
+    d.mxv = method;
+    cxx_governor_soak(
+        method == gb::MxvMethod::push ? "governed mxv/push forced-chunks"
+                                      : "governed mxv/pull forced-chunks",
+        [&] {
+          gb::platform::ForcedChunks force(3);
+          gb::mxv(w_, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a_,
+                  u_, d);
+        },
+        w_, Governor::Trip::cancel);
+  }
+}
+
+// --- budget-aware method fallback -----------------------------------------
+
+TEST(GovernorMxmFallback, AutoSelectFallsBackToHeapUnderTightBudget) {
+  // A 65536-wide product whose auto-selection picks Gustavson (one A-row
+  // with 8 entries defeats the heap heuristic's annz <= 4*arows test), but
+  // whose Gustavson scratch (n * 9 bytes per worker ≈ 590 KiB+) cannot fit
+  // a 256 KiB budget. The governor-aware selector must fail over to the
+  // heap method up front and still produce the exact ungoverned result.
+  const gb::Index n = 65536;
+  gb::Matrix<double> a(n, n), b(n, n);
+  for (gb::Index k = 0; k < 8; ++k) {
+    a.set_element(0, k, static_cast<double>(k + 1));
+    b.set_element(k, 2 * k, 1.5);
+  }
+  a.wait();
+  b.wait();
+
+  gb::Matrix<double> want(n, n);
+  const gb::MxmMethod ungoverned = gb::mxm(
+      want, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, b);
+  EXPECT_EQ(ungoverned, gb::MxmMethod::gustavson)
+      << "fixture no longer auto-selects gustavson; fallback test is moot";
+
+  Governor gov;
+  gov.set_budget(std::size_t{256} * 1024);
+  gb::Matrix<double> out(n, n);
+  gb::MxmMethod governed = gb::MxmMethod::gustavson;
+  {
+    gb::platform::GovernorScope governed_scope(&gov);
+    governed = gb::mxm(out, gb::no_mask, gb::no_accum,
+                       gb::plus_times<double>(), a, b);
+  }
+  EXPECT_EQ(governed, gb::MxmMethod::heap)
+      << "tight budget did not divert auto-selection to the heap method";
+  EXPECT_EQ(cxx_snapshot(out), cxx_snapshot(want))
+      << "fallback method changed the result";
+
+  // An explicit descriptor choice is honoured — and trips the budget
+  // honestly instead of being silently rewritten. The ungoverned run above
+  // left every worker's scratch pool warm, which would let Gustavson run
+  // without a single metered allocation; drain the pools so the dense
+  // accumulator has to be admitted (and charged) afresh.
+#pragma omp parallel
+  gb::platform::Workspace::clear_thread();
+  gb::Descriptor d;
+  d.mxm = gb::MxmMethod::gustavson;
+  gb::Matrix<double> out2(n, n);
+  {
+    gb::platform::GovernorScope governed_scope(&gov);
+    EXPECT_THROW(gb::mxm(out2, gb::no_mask, gb::no_accum,
+                         gb::plus_times<double>(), a, b, d),
+                 std::bad_alloc);
   }
 }

@@ -1,0 +1,413 @@
+// Unit tests for the execution governor: the Governor primitive itself
+// (arm/disarm nesting, budgets, trips, poll accounting), the GxB_Context C
+// bindings (lifecycle rules, round-trips, engage/disengage semantics), and
+// the lagraph::Scope partial-progress contract (algorithms stop cleanly
+// between iterations and report why).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+#include "capi/graphblas_c.h"
+#include "graphblas/graphblas.hpp"
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/governor.hpp"
+#include "platform/memory.hpp"
+
+using gb::platform::BudgetError;
+using gb::platform::CancelledError;
+using gb::platform::Governor;
+using gb::platform::GovernorBind;
+using gb::platform::GovernorScope;
+using gb::platform::ScopedTripAfter;
+using gb::platform::TimeoutError;
+
+namespace {
+
+// Set the env cap before any metered allocation caches the parse. A huge
+// value so the cap never interferes with the other tests in this binary.
+const bool env_primed = [] {
+  ::setenv("LAGRAPH_MEM_BUDGET", "109951162777600", 1);  // 100 TiB
+  return true;
+}();
+
+}  // namespace
+
+// --- Governor primitive ----------------------------------------------------
+
+TEST(Governor, UninstalledByDefault) {
+  EXPECT_EQ(Governor::current(), nullptr);
+  // The kernel-side poll point must be a no-op when ungoverned — even with
+  // a trip countdown armed, since trips only fire inside Governor::poll().
+  ScopedTripAfter trip(0, Governor::Trip::cancel);
+  EXPECT_NO_THROW(gb::platform::governor_poll());
+}
+
+TEST(Governor, ScopeInstallsAndRestores) {
+  Governor gov;
+  EXPECT_EQ(Governor::current(), nullptr);
+  {
+    GovernorScope s(&gov);
+    EXPECT_EQ(Governor::current(), &gov);
+    {
+      Governor inner;
+      GovernorScope s2(&inner);
+      EXPECT_EQ(Governor::current(), &inner);
+    }
+    EXPECT_EQ(Governor::current(), &gov);
+  }
+  EXPECT_EQ(Governor::current(), nullptr);
+}
+
+TEST(Governor, NullScopeIsANoOp) {
+  GovernorScope s(nullptr);
+  EXPECT_EQ(Governor::current(), nullptr);
+}
+
+TEST(Governor, CancelIsStickyUntilCleared) {
+  Governor gov;
+  EXPECT_FALSE(gov.cancelled());
+  gov.cancel();
+  EXPECT_TRUE(gov.cancelled());
+  GovernorScope s(&gov);
+  EXPECT_THROW(gov.poll(), CancelledError);
+  EXPECT_THROW(gov.poll(), CancelledError);  // sticky
+  EXPECT_EQ(gov.tripped(), 1);
+  gov.clear_cancel();
+  EXPECT_FALSE(gov.cancelled());
+  EXPECT_NO_THROW(gov.poll());
+  EXPECT_EQ(gov.tripped(), 0);
+}
+
+TEST(Governor, BudgetRemainingUnarmedIsUnlimited) {
+  Governor gov;
+  gov.set_budget(1024);
+  EXPECT_EQ(gov.budget(), 1024u);
+  // Not armed: no limit captured yet.
+  EXPECT_EQ(gov.budget_remaining(), static_cast<std::size_t>(-1));
+  {
+    GovernorScope s(&gov);
+    const std::size_t remaining = gov.budget_remaining();
+    EXPECT_LE(remaining, 1024u);
+    EXPECT_NO_THROW(gov.charge(remaining));
+    EXPECT_THROW(gov.charge(remaining + 1), BudgetError);
+  }
+  // Disarmed again.
+  EXPECT_EQ(gov.budget_remaining(), static_cast<std::size_t>(-1));
+  EXPECT_NO_THROW(gov.charge(std::size_t{1} << 40));
+}
+
+TEST(Governor, NestedArmsKeepOneBaseline) {
+  Governor gov;
+  gov.set_budget(4096);
+  GovernorScope outer(&gov);
+  const std::size_t remaining = gov.budget_remaining();
+  {
+    // A nested arm (e.g. a C entry point under a lagraph::Scope) must not
+    // re-capture the baseline or the deadline.
+    GovernorScope inner(&gov);
+    EXPECT_EQ(gov.budget_remaining(), remaining);
+  }
+  // Inner disarm must not drop the outer limit either.
+  EXPECT_EQ(gov.budget_remaining(), remaining);
+}
+
+TEST(Governor, DeadlineTripsAfterItPasses) {
+  Governor gov;
+  gov.set_timeout_ms(1e-6);  // 1 ns: already past by the first check
+  GovernorScope s(&gov);
+  EXPECT_EQ(gov.tripped(), 2);
+  // poll()'s clock check is strided per thread; within kClockStride polls
+  // one must land on the check and throw.
+  bool threw = false;
+  for (int k = 0; k < 64 && !threw; ++k) {
+    try {
+      gov.poll();
+    } catch (const TimeoutError&) {
+      threw = true;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(Governor, NoTimeoutMeansNoDeadline) {
+  Governor gov;
+  gov.set_timeout_ms(0.0);
+  GovernorScope s(&gov);
+  EXPECT_EQ(gov.tripped(), 0);
+  for (int k = 0; k < 64; ++k) EXPECT_NO_THROW(gov.poll());
+}
+
+TEST(Governor, TripCountdownAddressesPollsByOrdinal) {
+  Governor gov;
+  GovernorScope s(&gov);
+  {
+    ScopedTripAfter trip(3, Governor::Trip::cancel);
+    EXPECT_NO_THROW(gov.poll());  // 1
+    EXPECT_NO_THROW(gov.poll());  // 2
+    EXPECT_NO_THROW(gov.poll());  // 3
+    EXPECT_THROW(gov.poll(), CancelledError);  // 4: trips
+    EXPECT_THROW(gov.poll(), CancelledError);  // sticky
+  }
+  // Guard destroyed: trips disarmed.
+  EXPECT_NO_THROW(gov.poll());
+}
+
+TEST(Governor, PollCounterCountsEveryPoll) {
+  Governor gov;
+  GovernorScope s(&gov);
+  Governor::reset_poll_counter();
+  for (int k = 0; k < 10; ++k) gov.poll();
+  EXPECT_GE(Governor::total_polls(), 10u);
+}
+
+TEST(Governor, BindRebindsOnWorkerWithoutTouchingArmState) {
+  Governor gov;
+  gov.set_budget(8192);
+  GovernorScope s(&gov);
+  const std::size_t remaining = gov.budget_remaining();
+  std::thread worker([&] {
+    EXPECT_EQ(Governor::current(), nullptr);  // thread-local: not inherited
+    {
+      GovernorBind bind(&gov);
+      EXPECT_EQ(Governor::current(), &gov);
+      EXPECT_EQ(gov.budget_remaining(), remaining);
+    }
+    EXPECT_EQ(Governor::current(), nullptr);
+  });
+  worker.join();
+  EXPECT_EQ(gov.budget_remaining(), remaining);
+}
+
+TEST(Governor, EnvBudgetParsesBytes) {
+  // Primed by the static initialiser above, before anything could cache it.
+  EXPECT_EQ(Governor::env_budget(), 109951162777600ull);
+}
+
+TEST(Governor, KernelsPollUnderAnInstalledGovernor) {
+  // An installed governor must actually be consulted by kernel code: run a
+  // real operation and watch the global poll counter move.
+  gb::Matrix<double> a(64, 64), c(64, 64);
+  for (gb::Index k = 0; k < 63; ++k) a.set_element(k, k + 1, 1.0);
+  a.wait();
+  Governor gov;
+  GovernorScope s(&gov);
+  Governor::reset_poll_counter();
+  gb::mxm(c, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, a);
+  EXPECT_GT(Governor::total_polls(), 0u)
+      << "mxm ran to completion without a single governor poll";
+}
+
+// --- GxB_Context C bindings ------------------------------------------------
+
+TEST(GxbContext, NullArgumentsRejected) {
+  EXPECT_EQ(GxB_Context_new(nullptr), GrB_NULL_POINTER);
+  GxB_Context null_ctx = nullptr;
+  EXPECT_EQ(GxB_Context_set_budget(null_ctx, 1), GrB_NULL_POINTER);
+  std::uint64_t bytes = 0;
+  EXPECT_EQ(GxB_Context_get_budget(&bytes, null_ctx), GrB_NULL_POINTER);
+  EXPECT_EQ(GxB_Context_cancel(null_ctx), GrB_NULL_POINTER);
+  EXPECT_EQ(GxB_Context_engage(null_ctx), GrB_NULL_POINTER);
+}
+
+TEST(GxbContext, SettingsRoundTrip) {
+  GxB_Context ctx = nullptr;
+  ASSERT_EQ(GxB_Context_new(&ctx), GrB_SUCCESS);
+
+  std::uint64_t bytes = 1;
+  ASSERT_EQ(GxB_Context_get_budget(&bytes, ctx), GrB_SUCCESS);
+  EXPECT_EQ(bytes, 0u);  // default: unlimited
+  ASSERT_EQ(GxB_Context_set_budget(ctx, 1 << 20), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Context_get_budget(&bytes, ctx), GrB_SUCCESS);
+  EXPECT_EQ(bytes, std::uint64_t{1} << 20);
+
+  double ms = 1.0;
+  ASSERT_EQ(GxB_Context_get_timeout_ms(&ms, ctx), GrB_SUCCESS);
+  EXPECT_EQ(ms, 0.0);  // default: none
+  ASSERT_EQ(GxB_Context_set_timeout_ms(ctx, 250.0), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Context_get_timeout_ms(&ms, ctx), GrB_SUCCESS);
+  EXPECT_DOUBLE_EQ(ms, 250.0);
+
+  bool cancelled = true;
+  ASSERT_EQ(GxB_Context_get_cancelled(&cancelled, ctx), GrB_SUCCESS);
+  EXPECT_FALSE(cancelled);
+  ASSERT_EQ(GxB_Context_cancel(ctx), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Context_get_cancelled(&cancelled, ctx), GrB_SUCCESS);
+  EXPECT_TRUE(cancelled);
+  ASSERT_EQ(GxB_Context_reset(ctx), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Context_get_cancelled(&cancelled, ctx), GrB_SUCCESS);
+  EXPECT_FALSE(cancelled);
+
+  EXPECT_EQ(GxB_Context_free(&ctx), GrB_SUCCESS);
+  EXPECT_EQ(ctx, nullptr);
+}
+
+TEST(GxbContext, EngageDisengageRules) {
+  GxB_Context ctx = nullptr;
+  ASSERT_EQ(GxB_Context_new(&ctx), GrB_SUCCESS);
+
+  // Disengaging a context that is not engaged on this thread is an error;
+  // disengage(NULL) is the blanket form and always succeeds.
+  EXPECT_EQ(GxB_Context_disengage(ctx), GrB_INVALID_VALUE);
+  EXPECT_EQ(GxB_Context_disengage(nullptr), GrB_SUCCESS);
+
+  ASSERT_EQ(GxB_Context_engage(ctx), GrB_SUCCESS);
+  // An engaged context cannot be freed from the engaging thread.
+  EXPECT_EQ(GxB_Context_free(&ctx), GrB_INVALID_VALUE);
+  EXPECT_NE(ctx, nullptr);
+
+  ASSERT_EQ(GxB_Context_disengage(ctx), GrB_SUCCESS);
+  EXPECT_EQ(GxB_Context_free(&ctx), GrB_SUCCESS);
+}
+
+TEST(GxbContext, EngagementIsPerThread) {
+  GxB_Context ctx = nullptr;
+  ASSERT_EQ(GxB_Context_new(&ctx), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Context_engage(ctx), GrB_SUCCESS);
+  std::thread other([&] {
+    // Not engaged over here: disengaging it is the caller's error.
+    EXPECT_EQ(GxB_Context_disengage(ctx), GrB_INVALID_VALUE);
+    // But this thread may engage (and must disengage) it independently.
+    EXPECT_EQ(GxB_Context_engage(ctx), GrB_SUCCESS);
+    EXPECT_EQ(GxB_Context_disengage(ctx), GrB_SUCCESS);
+  });
+  other.join();
+  ASSERT_EQ(GxB_Context_disengage(ctx), GrB_SUCCESS);
+  EXPECT_EQ(GxB_Context_free(&ctx), GrB_SUCCESS);
+}
+
+TEST(GxbContext, CancelledCallReportsAndRecovers) {
+  GxB_Context ctx = nullptr;
+  ASSERT_EQ(GxB_Context_new(&ctx), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Context_engage(ctx), GrB_SUCCESS);
+
+  GrB_Matrix a = nullptr, c = nullptr;
+  ASSERT_EQ(GrB_Matrix_new(&a, 8, 8), GrB_SUCCESS);
+  ASSERT_EQ(GrB_Matrix_new(&c, 8, 8), GrB_SUCCESS);
+  for (GrB_Index k = 0; k < 7; ++k) {
+    ASSERT_EQ(GrB_Matrix_setElement_FP64(a, 1.0, k, k + 1), GrB_SUCCESS);
+  }
+  ASSERT_EQ(GrB_Matrix_wait(a), GrB_SUCCESS);
+
+  ASSERT_EQ(GxB_Context_cancel(ctx), GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxm(c, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, a, nullptr),
+            GxB_CANCELLED);
+  // The error string is retrievable from the output object, like any other
+  // failure at the C boundary.
+  const char* msg = nullptr;
+  EXPECT_EQ(GrB_Matrix_error(&msg, c), GrB_SUCCESS);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_NE(std::string(msg).find("cancel"), std::string::npos);
+
+  ASSERT_EQ(GxB_Context_reset(ctx), GrB_SUCCESS);
+  EXPECT_EQ(GrB_mxm(c, nullptr, GrB_NULL_ACCUM, GrB_PLUS_TIMES_SEMIRING_FP64,
+                    a, a, nullptr),
+            GrB_SUCCESS);
+
+  GrB_Matrix_free(&a);
+  GrB_Matrix_free(&c);
+  ASSERT_EQ(GxB_Context_disengage(ctx), GrB_SUCCESS);
+  ASSERT_EQ(GxB_Context_free(&ctx), GrB_SUCCESS);
+}
+
+// --- lagraph::Scope partial progress ---------------------------------------
+
+namespace {
+
+lagraph::Graph ring(gb::Index n) {
+  return lagraph::Graph(lagraph::cycle_graph(n), lagraph::Kind::undirected);
+}
+
+}  // namespace
+
+TEST(LagraphScope, UngovernedAlgorithmsRunToCompletion) {
+  auto res = lagraph::pagerank(ring(16));
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.stop, lagraph::StopReason::converged);
+  EXPECT_LT(res.residual, 1e-6);
+}
+
+TEST(LagraphScope, PreCancelledGovernorStopsCleanly) {
+  // The cancel is already set when the driver starts: no iteration runs, no
+  // exception escapes — just telemetry saying why nothing happened.
+  Governor gov;
+  gov.cancel();
+  GovernorScope s(&gov);
+  auto res = lagraph::pagerank(ring(16));
+  EXPECT_EQ(res.stop, lagraph::StopReason::cancelled);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(LagraphScope, MidRunTripReturnsPartialProgress) {
+  // A path graph converges slowly (~200 iterations at tol 1e-14), so the
+  // trip is guaranteed to fire mid-run; pagerank must stop cleanly with
+  // whatever the last committed iterate was, not throw.
+  Governor gov;
+  GovernorScope s(&gov);
+  ScopedTripAfter trip(300, Governor::Trip::cancel);
+  auto res = lagraph::pagerank(
+      lagraph::Graph(lagraph::path_graph(64), lagraph::Kind::undirected),
+      0.85, 1e-14, 200);
+  EXPECT_EQ(res.stop, lagraph::StopReason::cancelled);
+  EXPECT_FALSE(res.converged);
+  if (res.iterations > 0) {
+    // At least one iteration committed: the iterate is a full distribution.
+    EXPECT_EQ(res.rank.nvals(), 64u);
+  }
+}
+
+TEST(LagraphScope, DeadlineSurfacesAsTimeoutStop) {
+  // A 64-cycle BFS walks 32 levels; tripping at poll 40 stops it well short.
+  Governor gov;
+  GovernorScope s(&gov);
+  ScopedTripAfter trip(40, Governor::Trip::deadline);
+  auto res = lagraph::bfs(ring(64), 0);
+  EXPECT_EQ(res.stop, lagraph::StopReason::timeout);
+  EXPECT_LT(res.depth, 32);
+}
+
+TEST(LagraphScope, SsspReportsInterruption) {
+  // Bellman-Ford on a 64-cycle needs 32+ relaxation rounds; poll 40 is
+  // mid-run.
+  Governor gov;
+  GovernorScope s(&gov);
+  ScopedTripAfter trip(40, Governor::Trip::cancel);
+  auto res = lagraph::sssp_bellman_ford(ring(64), 0);
+  EXPECT_EQ(res.stop, lagraph::StopReason::cancelled);
+}
+
+TEST(LagraphScope, StopReasonStringsAreStable) {
+  using lagraph::StopReason;
+  EXPECT_STREQ(lagraph::to_string(StopReason::none), "none");
+  EXPECT_STREQ(lagraph::to_string(StopReason::converged), "converged");
+  EXPECT_STREQ(lagraph::to_string(StopReason::max_iters), "max_iters");
+  EXPECT_STREQ(lagraph::to_string(StopReason::diverged), "diverged");
+  EXPECT_STREQ(lagraph::to_string(StopReason::cancelled), "cancelled");
+  EXPECT_STREQ(lagraph::to_string(StopReason::timeout), "timeout");
+  EXPECT_STREQ(lagraph::to_string(StopReason::out_of_memory),
+               "out_of_memory");
+  EXPECT_TRUE(lagraph::is_interruption(StopReason::cancelled));
+  EXPECT_TRUE(lagraph::is_interruption(StopReason::timeout));
+  EXPECT_TRUE(lagraph::is_interruption(StopReason::out_of_memory));
+  EXPECT_FALSE(lagraph::is_interruption(StopReason::converged));
+  EXPECT_FALSE(lagraph::is_interruption(StopReason::max_iters));
+}
+
+TEST(LagraphScope, BudgetTripSurfacesAsOutOfMemoryStop) {
+  // A budget only a few hundred bytes wide: the setup allocations trip
+  // BudgetError, which the Scope absorbs into a clean out_of_memory stop.
+  // The graph is built before the scope — the budget governs the
+  // algorithm, not the fixture.
+  auto g = ring(256);
+  Governor gov;
+  gov.set_budget(256);
+  GovernorScope s(&gov);
+  auto res = lagraph::pagerank(g);
+  EXPECT_EQ(res.stop, lagraph::StopReason::out_of_memory);
+  EXPECT_FALSE(res.converged);
+}

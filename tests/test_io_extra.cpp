@@ -65,6 +65,74 @@ TEST(Serialize, RejectsCorruptInput) {
   EXPECT_THROW(lagraph::load_matrix("/nonexistent/file.bin"), gb::Error);
 }
 
+namespace {
+
+std::string serialized_bytes(const gb::Matrix<double>& a) {
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  lagraph::save_matrix(a, buf);
+  return buf.str();
+}
+
+void expect_rejected(const std::string& bytes) {
+  std::stringstream buf(bytes, std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_THROW(lagraph::load_matrix(buf), gb::Error);
+}
+
+}  // namespace
+
+TEST(Serialize, ChecksumCatchesEveryBitFlip) {
+  auto a = lagraph::randomize_weights(lagraph::path_graph(5), 0.5, 4.0, 11);
+  const std::string good = serialized_bytes(a);
+  // Flip one bit in every byte after the magic (the magic has its own
+  // check); each corruption must be rejected, none may load quietly.
+  for (std::size_t off = 4; off < good.size(); ++off) {
+    std::string bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x10);
+    expect_rejected(bad);
+  }
+}
+
+TEST(Serialize, RejectsTruncationAtEveryLength) {
+  auto a = lagraph::path_graph(4);
+  const std::string good = serialized_bytes(a);
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    expect_rejected(good.substr(0, len));
+  }
+}
+
+TEST(Serialize, RejectsTrailingGarbage) {
+  auto a = lagraph::path_graph(4);
+  expect_rejected(serialized_bytes(a) + "junk");
+  expect_rejected(serialized_bytes(a) + std::string(1, '\0'));
+}
+
+TEST(Serialize, RejectsBadMagicAndVersion) {
+  auto a = lagraph::path_graph(4);
+  std::string bad_magic = serialized_bytes(a);
+  bad_magic[0] = 'X';
+  expect_rejected(bad_magic);
+
+  std::string bad_version = serialized_bytes(a);
+  bad_version[4] = 99;  // unsupported version
+  expect_rejected(bad_version);
+}
+
+TEST(Serialize, ReadsVersion1FilesWithoutChecksum) {
+  auto a = lagraph::randomize_weights(lagraph::grid2d(3, 4, 2, 1.0), 0.1, 9.0,
+                                      7);
+  // A v1 file is the v2 layout minus the 4-byte CRC footer, with the
+  // version field rewritten; the reader must still accept it.
+  std::string v1 = serialized_bytes(a);
+  v1[4] = 1;
+  v1.resize(v1.size() - 4);
+  std::stringstream buf(v1, std::ios::in | std::ios::out | std::ios::binary);
+  auto b = lagraph::load_matrix(buf);
+  EXPECT_TRUE(lagraph::isequal(a, b));
+
+  // ...but v1 + trailing bytes is still rejected.
+  expect_rejected(v1 + "x");
+}
+
 TEST(EdgeList, ReadBasicAndWeighted) {
   std::istringstream in(
       "# comment\n"

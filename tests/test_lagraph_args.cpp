@@ -1,0 +1,137 @@
+// Argument hardening across the algorithm layer: every driver must reject
+// the empty (zero-vertex) graph, out-of-range vertex ids, and nonsensical
+// numeric parameters with gb::Error(invalid_value / invalid_index) — never
+// crash, loop forever, or return garbage.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/generator.hpp"
+
+using gb::Index;
+using lagraph::Graph;
+using lagraph::Kind;
+
+namespace {
+
+Graph empty_graph() { return Graph(gb::Matrix<double>(0, 0), Kind::directed); }
+
+Graph small_graph() {
+  return Graph(lagraph::path_graph(4), Kind::undirected);
+}
+
+struct BadCall {
+  const char* name;
+  std::function<void()> call;
+};
+
+void expect_invalid(const BadCall& c) {
+  try {
+    c.call();
+    FAIL() << c.name << ": expected gb::Error, got success";
+  } catch (const gb::Error& e) {
+    EXPECT_TRUE(e.info() == gb::Info::invalid_value ||
+                e.info() == gb::Info::invalid_index)
+        << c.name << ": wrong Info " << gb::to_string(e.info());
+  } catch (...) {
+    FAIL() << c.name << ": wrong exception type";
+  }
+}
+
+}  // namespace
+
+TEST(LagraphArgs, EveryDriverRejectsEmptyGraph) {
+  const std::vector<BadCall> calls = {
+      {"bfs", [] { lagraph::bfs(empty_graph(), 0); }},
+      {"sssp_bellman_ford",
+       [] { lagraph::sssp_bellman_ford(empty_graph(), 0); }},
+      {"sssp_delta_stepping",
+       [] { lagraph::sssp_delta_stepping(empty_graph(), 0, 1.0); }},
+      {"apsp", [] { lagraph::apsp(empty_graph()); }},
+      {"pagerank", [] { lagraph::pagerank(empty_graph()); }},
+      {"betweenness", [] { lagraph::betweenness(empty_graph(), {0}); }},
+      {"triangle_count", [] { lagraph::triangle_count(empty_graph()); }},
+      {"ktruss", [] { lagraph::ktruss(empty_graph(), 3); }},
+      {"connected_components",
+       [] { lagraph::connected_components(empty_graph()); }},
+      {"strongly_connected_components",
+       [] { lagraph::strongly_connected_components(empty_graph()); }},
+      {"kcore", [] { lagraph::kcore(empty_graph()); }},
+      {"mis", [] { lagraph::mis(empty_graph()); }},
+      {"coloring", [] { lagraph::coloring(empty_graph()); }},
+      {"maximal_matching", [] { lagraph::maximal_matching(empty_graph()); }},
+      {"mcl", [] { lagraph::mcl(empty_graph()); }},
+      {"peer_pressure", [] { lagraph::peer_pressure(empty_graph()); }},
+      {"local_clustering", [] { lagraph::local_clustering(empty_graph(), 0); }},
+      {"astar",
+       [] { lagraph::astar(empty_graph(), 0, 0); }},
+      {"subgraph_count", [] { lagraph::subgraph_count(empty_graph()); }},
+      {"wl_kernel",
+       [] { lagraph::wl_kernel(empty_graph(), empty_graph(), 2); }},
+      {"wl_labels", [] { lagraph::wl_labels(empty_graph(), 2); }},
+      {"gcn_inference",
+       [] {
+         lagraph::gcn_inference(empty_graph(), gb::Matrix<double>(0, 2), {});
+       }},
+  };
+  for (const auto& c : calls) expect_invalid(c);
+}
+
+TEST(LagraphArgs, OutOfRangeVertexIdsRejected) {
+  const std::vector<BadCall> calls = {
+      {"bfs source", [] { lagraph::bfs(small_graph(), 99); }},
+      {"sssp_bellman_ford source",
+       [] { lagraph::sssp_bellman_ford(small_graph(), 99); }},
+      {"sssp_delta_stepping source",
+       [] { lagraph::sssp_delta_stepping(small_graph(), 99, 1.0); }},
+      {"betweenness source",
+       [] { lagraph::betweenness(small_graph(), {1, 99}); }},
+      {"local_clustering seed",
+       [] { lagraph::local_clustering(small_graph(), 99); }},
+      {"astar source", [] { lagraph::astar(small_graph(), 99, 0); }},
+      {"astar target", [] { lagraph::astar(small_graph(), 0, 99); }},
+  };
+  for (const auto& c : calls) expect_invalid(c);
+}
+
+TEST(LagraphArgs, NumericParametersValidated) {
+  const std::vector<BadCall> calls = {
+      {"pagerank damping=0", [] { lagraph::pagerank(small_graph(), 0.0); }},
+      {"pagerank damping=1", [] { lagraph::pagerank(small_graph(), 1.0); }},
+      {"pagerank damping=-1", [] { lagraph::pagerank(small_graph(), -1.0); }},
+      {"pagerank tol=0",
+       [] { lagraph::pagerank(small_graph(), 0.85, 0.0); }},
+      {"pagerank tol=-1",
+       [] { lagraph::pagerank(small_graph(), 0.85, -1.0); }},
+      {"pagerank max_iters=0",
+       [] { lagraph::pagerank(small_graph(), 0.85, 1e-9, 0); }},
+      {"mcl inflation=1", [] { lagraph::mcl(small_graph(), 1.0); }},
+      {"mcl inflation=0", [] { lagraph::mcl(small_graph(), 0.0); }},
+      {"mcl max_iters=0", [] { lagraph::mcl(small_graph(), 2.0, 0); }},
+      {"mcl prune<0", [] { lagraph::mcl(small_graph(), 2.0, 10, -1.0); }},
+      {"peer_pressure max_iters=0",
+       [] { lagraph::peer_pressure(small_graph(), 0); }},
+      {"sssp delta=0",
+       [] { lagraph::sssp_delta_stepping(small_graph(), 0, 0.0); }},
+      {"sssp delta<0",
+       [] { lagraph::sssp_delta_stepping(small_graph(), 0, -2.0); }},
+      {"ktruss k=2", [] { lagraph::ktruss(small_graph(), 2); }},
+      {"wl_kernel iters<0",
+       [] { lagraph::wl_kernel(small_graph(), small_graph(), -1); }},
+      {"wl_labels iters<0", [] { lagraph::wl_labels(small_graph(), -1); }},
+  };
+  for (const auto& c : calls) expect_invalid(c);
+}
+
+TEST(LagraphArgs, ValidationFiresBeforeAnyWork) {
+  // A rejected call must not leave metered allocations behind.
+  const std::size_t before = gb::platform::MemoryMeter::current_bytes();
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_THROW(lagraph::pagerank(empty_graph()), gb::Error);
+    EXPECT_THROW(lagraph::mcl(small_graph(), 1.0), gb::Error);
+  }
+  EXPECT_EQ(gb::platform::MemoryMeter::current_bytes(), before);
+}

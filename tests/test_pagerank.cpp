@@ -85,6 +85,8 @@ TEST(PageRank, WeightedGraphUsesDegreesNotWeights) {
 
 TEST(PageRank, RespectsIterationCap) {
   Graph g(rmat(7, 6, 29), Kind::undirected);
-  auto res = pagerank(g, 0.85, 0.0, 5);  // impossible tolerance
+  auto res = pagerank(g, 0.85, 1e-300, 5);  // impossible tolerance
   EXPECT_EQ(res.iterations, 5);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.stop, lagraph::StopReason::max_iters);
 }

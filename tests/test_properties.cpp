@@ -228,7 +228,7 @@ TEST_P(GraphInvariants, SsspDominatesBfsHops) {
                                  1.0, 5.0, GetParam() + 1),
       lagraph::Kind::undirected);
   auto hops = lagraph::bfs(g, 0).level;
-  auto dist = lagraph::sssp_bellman_ford(g, 0);
+  auto dist = lagraph::sssp_bellman_ford(g, 0).dist;
   auto h = lagraph::to_dense_std(hops, std::int64_t{-1});
   auto d = lagraph::to_dense_std(dist,
                                  std::numeric_limits<double>::infinity());

@@ -53,7 +53,7 @@ TEST_P(SsspGraphs, BellmanFordMatchesDijkstra) {
   auto sg = ref::SimpleGraph::from_matrix(g.adj());
   for (Index src : {Index{0}, Index{7}}) {
     auto want = ref::dijkstra(sg, src);
-    auto got = sssp_bellman_ford(g, src);
+    auto got = sssp_bellman_ford(g, src).dist;
     expect_dists_match(g, got, want);
   }
 }
@@ -65,7 +65,7 @@ TEST_P(SsspGraphs, DeltaSteppingMatchesDijkstra) {
   auto sg = ref::SimpleGraph::from_matrix(g.adj());
   for (double delta : {0.75, 2.0, 100.0}) {
     auto want = ref::dijkstra(sg, 0);
-    auto got = sssp_delta_stepping(g, 0, delta);
+    auto got = sssp_delta_stepping(g, 0, delta).dist;
     expect_dists_match(g, got, want);
   }
 }
@@ -76,7 +76,7 @@ TEST(Sssp, UnreachableVerticesAbsent) {
   gb::Matrix<double> a(4, 4);
   a.set_element(0, 1, 2.0);
   Graph g(std::move(a), Kind::directed);
-  auto d = sssp_bellman_ford(g, 0);
+  auto d = sssp_bellman_ford(g, 0).dist;
   EXPECT_EQ(d.nvals(), 2u);
   EXPECT_EQ(d.extract_element(0).value(), 0.0);
   EXPECT_EQ(d.extract_element(1).value(), 2.0);
@@ -92,7 +92,7 @@ TEST(Sssp, NegativeEdgesHandledByBellmanFord) {
   Graph g(std::move(a), Kind::directed);
   auto sg = ref::SimpleGraph::from_matrix(g.adj());
   auto want = ref::bellman_ford(sg, 0);
-  auto got = sssp_bellman_ford(g, 0);
+  auto got = sssp_bellman_ford(g, 0).dist;
   expect_dists_match(g, got, want);
   EXPECT_EQ(got.extract_element(2).value(), 2.0);
 }
@@ -117,7 +117,7 @@ TEST(Sssp, DirectedWeightedChain) {
   for (Index i = 0; i + 1 < 5; ++i)
     a.set_element(i, i + 1, static_cast<double>(i + 1));
   Graph g(std::move(a), Kind::directed);
-  auto d = sssp_delta_stepping(g, 0, 1.5);
+  auto d = sssp_delta_stepping(g, 0, 1.5).dist;
   EXPECT_EQ(d.extract_element(4).value(), 10.0);  // 1+2+3+4
 }
 

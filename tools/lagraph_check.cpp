@@ -49,7 +49,23 @@ gb::Matrix<double> load(const std::string& path) {
 
 }  // namespace
 
+int run(int argc, char** argv);
+
 int main(int argc, char** argv) {
+  // A LAGRAPH_MEM_BUDGET cap (or plain exhaustion) surfaces as bad_alloc
+  // from any allocation; fail with a usage-style error, not a terminate().
+  try {
+    return run(argc, argv);
+  } catch (const std::bad_alloc& e) {
+    std::fprintf(stderr, "error: out of memory: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+int run(int argc, char** argv) {
   gb::Matrix<double> adj;
   lagraph::Kind kind = lagraph::Kind::undirected;
   bool loaded = false;
@@ -132,7 +148,7 @@ int main(int argc, char** argv) {
   }
   {
     t.reset();
-    auto got = lagraph::sssp_bellman_ford(g, hub);
+    auto got = lagraph::sssp_bellman_ford(g, hub).dist;
     auto want = ref::dijkstra(sg, hub);
     auto dense = lagraph::to_dense_std(
         got, std::numeric_limits<double>::infinity());
