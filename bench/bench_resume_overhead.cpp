@@ -1,0 +1,152 @@
+// PR6: what resumability costs. Three questions, answered on a fixed
+// PageRank workload (path graph, iteration-capped so every variant does
+// identical numeric work):
+//
+//   1. Runner overhead — driving the algorithm through lagraph::Runner in
+//      one slice vs calling it straight;
+//   2. slicing overhead — forcing the run through many deadline slices
+//      (each slice re-runs setup and re-enters from the capsule) vs one;
+//   3. capsule costs — capture size plus serialize/deserialize and
+//      file persist/load times for a mid-run checkpoint.
+//
+// Emits BENCH_PR6.json at the repo root. `--quick` shrinks the input for
+// CI smoke runs.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/checkpoint.hpp"
+#include "lagraph/lagraph.hpp"
+#include "lagraph/runner.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/governor.hpp"
+#include "platform/timer.hpp"
+
+namespace {
+
+/// Best-of-k wall time of `body`, milliseconds.
+template <class F>
+double best_ms(int reps, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    gb::platform::Timer t;
+    body();
+    best = std::min(best, t.millis());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const gb::Index n = quick ? 1 << 10 : 1 << 14;
+  const int iters = quick ? 20 : 60;
+  const int reps = quick ? 3 : 5;
+  const double tol = 1e-300;  // never reached: every run does `iters` sweeps
+
+  lagraph::Graph g(lagraph::path_graph(n), lagraph::Kind::undirected);
+
+  // 1. Straight call vs Runner in a single slice.
+  const double straight = best_ms(reps, [&] {
+    auto res = lagraph::pagerank(g, 0.85, tol, iters);
+    if (res.iterations != iters) std::abort();
+  });
+  const double runner_one = best_ms(reps, [&] {
+    lagraph::Runner runner;
+    auto res = runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::pagerank(g, 0.85, tol, iters, cp);
+    });
+    if (lagraph::is_interruption(res.stop)) std::abort();
+  });
+
+  // 2. Forced slicing: a per-slice deadline sized to cut the run into
+  // several slices. Each timeout captures a capsule and the next slice
+  // restores it, so this measures the full interrupt/resume round trip.
+  const double slice_ms = std::max(straight / 8.0, 0.05);
+  int slices_taken = 0;
+  const double sliced = best_ms(reps, [&] {
+    lagraph::RunnerOptions opts;
+    opts.slice_ms = slice_ms;
+    lagraph::Runner runner(opts);
+    auto res = runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::pagerank(g, 0.85, tol, iters, cp);
+    });
+    if (lagraph::is_interruption(res.stop)) std::abort();
+    slices_taken = runner.report().slices;
+  });
+
+  // 3. Capsule costs, measured on a real mid-run capture.
+  lagraph::Checkpoint capsule;
+  {
+    gb::platform::Governor gov;
+    gb::platform::GovernorScope scope(&gov);
+    gb::platform::ScopedTripAfter trip(quick ? 60 : 200,
+                                       gb::platform::Governor::Trip::cancel);
+    auto part = lagraph::pagerank(g, 0.85, tol, iters);
+    if (!lagraph::is_interruption(part.stop) || part.checkpoint.empty()) {
+      std::fprintf(stderr, "trip did not land mid-run; capsule unavailable\n");
+      return 1;
+    }
+    capsule = std::move(part.checkpoint);
+  }
+  std::string image;
+  const double save_ms = best_ms(reps, [&] {
+    std::ostringstream out;
+    capsule.save(out);
+    image = out.str();
+  });
+  const double load_ms = best_ms(reps, [&] {
+    std::istringstream in(image);
+    auto cp = lagraph::Checkpoint::load(in);
+    if (cp.algorithm() != capsule.algorithm()) std::abort();
+  });
+  const std::string file = std::string(LAGRAPH_SOURCE_DIR) + "/.bench_pr6.lacp";
+  const double file_save_ms = best_ms(reps, [&] { capsule.save(file); });
+  const double file_load_ms =
+      best_ms(reps, [&] { (void)lagraph::Checkpoint::load(file); });
+  std::remove(file.c_str());
+
+  const double runner_overhead = straight > 0 ? runner_one / straight : 0.0;
+  const double slicing_overhead = straight > 0 ? sliced / straight : 0.0;
+  std::printf("bench_resume_overhead: n=%lld iters=%d\n",
+              static_cast<long long>(n), iters);
+  std::printf("  straight        %8.2f ms\n", straight);
+  std::printf("  runner 1 slice  %8.2f ms  (%.3fx)\n", runner_one,
+              runner_overhead);
+  std::printf("  runner sliced   %8.2f ms  (%.3fx, %d slices @ %.2f ms)\n",
+              sliced, slicing_overhead, slices_taken, slice_ms);
+  std::printf("  capsule         %zu bytes, save %.3f ms, load %.3f ms, "
+              "file save %.3f ms, file load %.3f ms\n",
+              image.size(), save_ms, load_ms, file_save_ms, file_load_ms);
+
+  const std::string path = std::string(LAGRAPH_SOURCE_DIR) + "/BENCH_PR6.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"resume_overhead\",\n");
+  std::fprintf(f, "  \"n\": %lld,\n  \"iterations\": %d,\n",
+               static_cast<long long>(n), iters);
+  std::fprintf(f, "  \"straight_ms\": %.3f,\n", straight);
+  std::fprintf(f, "  \"runner_one_slice_ms\": %.3f,\n", runner_one);
+  std::fprintf(f, "  \"runner_overhead_ratio\": %.4f,\n", runner_overhead);
+  std::fprintf(f, "  \"sliced_ms\": %.3f,\n", sliced);
+  std::fprintf(f, "  \"slice_ms\": %.3f,\n", slice_ms);
+  std::fprintf(f, "  \"slices\": %d,\n", slices_taken);
+  std::fprintf(f, "  \"slicing_overhead_ratio\": %.4f,\n", slicing_overhead);
+  std::fprintf(f, "  \"capsule_bytes\": %zu,\n", image.size());
+  std::fprintf(f, "  \"capsule_save_ms\": %.4f,\n", save_ms);
+  std::fprintf(f, "  \"capsule_load_ms\": %.4f,\n", load_ms);
+  std::fprintf(f, "  \"file_save_ms\": %.4f,\n", file_save_ms);
+  std::fprintf(f, "  \"file_load_ms\": %.4f\n", file_load_ms);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

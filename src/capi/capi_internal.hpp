@@ -34,3 +34,7 @@ struct GrB_Descriptor_opaque {
 struct GxB_Context_opaque {
   gb::platform::Governor gov;
 };
+
+/// gb::Info -> GrB_Info conversion shared by the GraphBLAS and LAGraph
+/// front ends (defined in graphblas_c.cpp).
+GrB_Info capi_map_info(gb::Info info) noexcept;

@@ -16,11 +16,7 @@
 #include "capi/capi_internal.hpp"
 #include "graphblas/graphblas.hpp"
 
-namespace {
-
-const GrB_Index grb_all_sentinel = ~GrB_Index{0};
-
-GrB_Info map_info(gb::Info info) {
+GrB_Info capi_map_info(gb::Info info) noexcept {
   switch (info) {
     case gb::Info::success: return GrB_SUCCESS;
     case gb::Info::no_value: return GrB_NO_VALUE;
@@ -42,6 +38,12 @@ GrB_Info map_info(gb::Info info) {
   }
   return GrB_PANIC;
 }
+
+namespace {
+
+const GrB_Index grb_all_sentinel = ~GrB_Index{0};
+
+GrB_Info map_info(gb::Info info) { return capi_map_info(info); }
 
 /// The context engaged on this thread (GxB_Context_engage), if any. Each
 /// guarded call arms it for the call's duration so a per-call timeout and
@@ -531,6 +533,63 @@ GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v, GrB_Index i) {
   });
 }
 
+/* Typed variants: thin coercion shims over the FP64 storage domain. The
+ * casts are the usual C conversions (bool from any nonzero; int64 truncation
+ * is exact within the FP64 integer range). */
+
+GrB_Info GrB_Matrix_setElement_BOOL(GrB_Matrix a, bool x, GrB_Index i,
+                                    GrB_Index j) {
+  return GrB_Matrix_setElement_FP64(a, x ? 1.0 : 0.0, i, j);
+}
+
+GrB_Info GrB_Matrix_setElement_INT64(GrB_Matrix a, int64_t x, GrB_Index i,
+                                     GrB_Index j) {
+  return GrB_Matrix_setElement_FP64(a, static_cast<double>(x), i, j);
+}
+
+GrB_Info GrB_Vector_setElement_BOOL(GrB_Vector v, bool x, GrB_Index i) {
+  return GrB_Vector_setElement_FP64(v, x ? 1.0 : 0.0, i);
+}
+
+GrB_Info GrB_Vector_setElement_INT64(GrB_Vector v, int64_t x, GrB_Index i) {
+  return GrB_Vector_setElement_FP64(v, static_cast<double>(x), i);
+}
+
+GrB_Info GrB_Matrix_extractElement_BOOL(bool* x, GrB_Matrix a, GrB_Index i,
+                                        GrB_Index j) {
+  if (!x) return GrB_NULL_POINTER;
+  double d = 0.0;
+  const GrB_Info info = GrB_Matrix_extractElement_FP64(&d, a, i, j);
+  if (info == GrB_SUCCESS) *x = d != 0.0;
+  return info;
+}
+
+GrB_Info GrB_Matrix_extractElement_INT64(int64_t* x, GrB_Matrix a,
+                                         GrB_Index i, GrB_Index j) {
+  if (!x) return GrB_NULL_POINTER;
+  double d = 0.0;
+  const GrB_Info info = GrB_Matrix_extractElement_FP64(&d, a, i, j);
+  if (info == GrB_SUCCESS) *x = static_cast<int64_t>(d);
+  return info;
+}
+
+GrB_Info GrB_Vector_extractElement_BOOL(bool* x, GrB_Vector v, GrB_Index i) {
+  if (!x) return GrB_NULL_POINTER;
+  double d = 0.0;
+  const GrB_Info info = GrB_Vector_extractElement_FP64(&d, v, i);
+  if (info == GrB_SUCCESS) *x = d != 0.0;
+  return info;
+}
+
+GrB_Info GrB_Vector_extractElement_INT64(int64_t* x, GrB_Vector v,
+                                         GrB_Index i) {
+  if (!x) return GrB_NULL_POINTER;
+  double d = 0.0;
+  const GrB_Info info = GrB_Vector_extractElement_FP64(&d, v, i);
+  if (info == GrB_SUCCESS) *x = static_cast<int64_t>(d);
+  return info;
+}
+
 GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i) {
   if (!v) return GrB_NULL_POINTER;
   return guarded_at(v, [&] {
@@ -917,6 +976,39 @@ GrB_Info GrB_Matrix_assign_FP64(GrB_Matrix c, GrB_Matrix mask,
       });
     });
   });
+}
+
+GrB_Info GrB_Vector_assign_BOOL(GrB_Vector w, GrB_Vector mask,
+                                GrB_BinaryOp accum, bool x,
+                                const GrB_Index* idx, GrB_Index n,
+                                GrB_Descriptor desc) {
+  return GrB_Vector_assign_FP64(w, mask, accum, x ? 1.0 : 0.0, idx, n, desc);
+}
+
+GrB_Info GrB_Vector_assign_INT64(GrB_Vector w, GrB_Vector mask,
+                                 GrB_BinaryOp accum, int64_t x,
+                                 const GrB_Index* idx, GrB_Index n,
+                                 GrB_Descriptor desc) {
+  return GrB_Vector_assign_FP64(w, mask, accum, static_cast<double>(x), idx,
+                                n, desc);
+}
+
+GrB_Info GrB_Matrix_assign_BOOL(GrB_Matrix c, GrB_Matrix mask,
+                                GrB_BinaryOp accum, bool x,
+                                const GrB_Index* rows, GrB_Index nrows,
+                                const GrB_Index* cols, GrB_Index ncols,
+                                GrB_Descriptor desc) {
+  return GrB_Matrix_assign_FP64(c, mask, accum, x ? 1.0 : 0.0, rows, nrows,
+                                cols, ncols, desc);
+}
+
+GrB_Info GrB_Matrix_assign_INT64(GrB_Matrix c, GrB_Matrix mask,
+                                 GrB_BinaryOp accum, int64_t x,
+                                 const GrB_Index* rows, GrB_Index nrows,
+                                 const GrB_Index* cols, GrB_Index ncols,
+                                 GrB_Descriptor desc) {
+  return GrB_Matrix_assign_FP64(c, mask, accum, static_cast<double>(x), rows,
+                                nrows, cols, ncols, desc);
 }
 
 //------------------------------------------------------------------------------

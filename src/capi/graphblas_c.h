@@ -153,6 +153,25 @@ GrB_Info GrB_Vector_setElement_FP64(GrB_Vector v, double x, GrB_Index i);
 GrB_Info GrB_Vector_extractElement_FP64(double* x, GrB_Vector v, GrB_Index i);
 GrB_Info GrB_Vector_removeElement(GrB_Vector v, GrB_Index i);
 
+/* Typed variants beyond the FP64 entry points (ROADMAP item). Storage stays
+ * FP64; the _BOOL/_INT64 variants coerce through it with the usual C casts
+ * (bool: any nonzero stored value reads back true; int64: exact for
+ * |x| <= 2^53, the FP64 integer range). The polymorphic GrB_setElement /
+ * GrB_extractElement macros dispatch here on the value (pointer) type. */
+GrB_Info GrB_Matrix_setElement_BOOL(GrB_Matrix a, bool x, GrB_Index i,
+                                    GrB_Index j);
+GrB_Info GrB_Matrix_setElement_INT64(GrB_Matrix a, int64_t x, GrB_Index i,
+                                     GrB_Index j);
+GrB_Info GrB_Vector_setElement_BOOL(GrB_Vector v, bool x, GrB_Index i);
+GrB_Info GrB_Vector_setElement_INT64(GrB_Vector v, int64_t x, GrB_Index i);
+GrB_Info GrB_Matrix_extractElement_BOOL(bool* x, GrB_Matrix a, GrB_Index i,
+                                        GrB_Index j);
+GrB_Info GrB_Matrix_extractElement_INT64(int64_t* x, GrB_Matrix a,
+                                         GrB_Index i, GrB_Index j);
+GrB_Info GrB_Vector_extractElement_BOOL(bool* x, GrB_Vector v, GrB_Index i);
+GrB_Info GrB_Vector_extractElement_INT64(int64_t* x, GrB_Vector v,
+                                         GrB_Index i);
+
 GrB_Info GrB_Matrix_build_FP64(GrB_Matrix a, const GrB_Index* rows,
                                const GrB_Index* cols, const double* vals,
                                GrB_Index n, GrB_BinaryOp dup);
@@ -253,6 +272,25 @@ GrB_Info GrB_Matrix_assign_FP64(GrB_Matrix c, GrB_Matrix mask,
                                 const GrB_Index* rows, GrB_Index nrows,
                                 const GrB_Index* cols, GrB_Index ncols,
                                 GrB_Descriptor desc);
+/* Typed scalar-assign variants (same FP64-storage coercion as setElement). */
+GrB_Info GrB_Vector_assign_BOOL(GrB_Vector w, GrB_Vector mask,
+                                GrB_BinaryOp accum, bool x,
+                                const GrB_Index* idx, GrB_Index n,
+                                GrB_Descriptor desc);
+GrB_Info GrB_Vector_assign_INT64(GrB_Vector w, GrB_Vector mask,
+                                 GrB_BinaryOp accum, int64_t x,
+                                 const GrB_Index* idx, GrB_Index n,
+                                 GrB_Descriptor desc);
+GrB_Info GrB_Matrix_assign_BOOL(GrB_Matrix c, GrB_Matrix mask,
+                                GrB_BinaryOp accum, bool x,
+                                const GrB_Index* rows, GrB_Index nrows,
+                                const GrB_Index* cols, GrB_Index ncols,
+                                GrB_Descriptor desc);
+GrB_Info GrB_Matrix_assign_INT64(GrB_Matrix c, GrB_Matrix mask,
+                                 GrB_BinaryOp accum, int64_t x,
+                                 const GrB_Index* rows, GrB_Index nrows,
+                                 const GrB_Index* cols, GrB_Index ncols,
+                                 GrB_Descriptor desc);
 
 /* --- execution governor (GxB_Context, SuiteSparse-style extension) -------
  * A context carries a cooperative cancellation token, a wall-clock timeout,

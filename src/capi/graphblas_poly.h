@@ -20,20 +20,56 @@ inline GrB_Info GrB_free(GrB_Matrix* a) { return GrB_Matrix_free(a); }
 inline GrB_Info GrB_free(GrB_Vector* v) { return GrB_Vector_free(v); }
 inline GrB_Info GrB_free(GrB_Descriptor* d) { return GrB_Descriptor_free(d); }
 
+/* Value-type polymorphism: bool -> _BOOL, integral -> _INT64 (an `int`
+ * overload keeps plain integer literals unambiguous), floating -> _FP64. */
 inline GrB_Info GrB_setElement(GrB_Matrix a, double x, GrB_Index i,
                                GrB_Index j) {
   return GrB_Matrix_setElement_FP64(a, x, i, j);
 }
+inline GrB_Info GrB_setElement(GrB_Matrix a, bool x, GrB_Index i,
+                               GrB_Index j) {
+  return GrB_Matrix_setElement_BOOL(a, x, i, j);
+}
+inline GrB_Info GrB_setElement(GrB_Matrix a, int x, GrB_Index i, GrB_Index j) {
+  return GrB_Matrix_setElement_INT64(a, x, i, j);
+}
+inline GrB_Info GrB_setElement(GrB_Matrix a, int64_t x, GrB_Index i,
+                               GrB_Index j) {
+  return GrB_Matrix_setElement_INT64(a, x, i, j);
+}
 inline GrB_Info GrB_setElement(GrB_Vector v, double x, GrB_Index i) {
   return GrB_Vector_setElement_FP64(v, x, i);
+}
+inline GrB_Info GrB_setElement(GrB_Vector v, bool x, GrB_Index i) {
+  return GrB_Vector_setElement_BOOL(v, x, i);
+}
+inline GrB_Info GrB_setElement(GrB_Vector v, int x, GrB_Index i) {
+  return GrB_Vector_setElement_INT64(v, x, i);
+}
+inline GrB_Info GrB_setElement(GrB_Vector v, int64_t x, GrB_Index i) {
+  return GrB_Vector_setElement_INT64(v, x, i);
 }
 
 inline GrB_Info GrB_extractElement(double* x, GrB_Matrix a, GrB_Index i,
                                    GrB_Index j) {
   return GrB_Matrix_extractElement_FP64(x, a, i, j);
 }
+inline GrB_Info GrB_extractElement(bool* x, GrB_Matrix a, GrB_Index i,
+                                   GrB_Index j) {
+  return GrB_Matrix_extractElement_BOOL(x, a, i, j);
+}
+inline GrB_Info GrB_extractElement(int64_t* x, GrB_Matrix a, GrB_Index i,
+                                   GrB_Index j) {
+  return GrB_Matrix_extractElement_INT64(x, a, i, j);
+}
 inline GrB_Info GrB_extractElement(double* x, GrB_Vector v, GrB_Index i) {
   return GrB_Vector_extractElement_FP64(x, v, i);
+}
+inline GrB_Info GrB_extractElement(bool* x, GrB_Vector v, GrB_Index i) {
+  return GrB_Vector_extractElement_BOOL(x, v, i);
+}
+inline GrB_Info GrB_extractElement(int64_t* x, GrB_Vector v, GrB_Index i) {
+  return GrB_Vector_extractElement_INT64(x, v, i);
 }
 
 inline GrB_Info GrB_nvals(GrB_Index* n, GrB_Matrix a) {
@@ -85,15 +121,54 @@ inline GrB_Info GrB_wait(GrB_Vector v) { return GrB_Vector_wait(v); }
       GrB_Vector*: GrB_Vector_free,                    \
       GrB_Descriptor*: GrB_Descriptor_free)(obj)
 
-/* Number-of-arguments polymorphism: matrix setElement has 4 args, vector 3. */
+/* Number-of-arguments polymorphism (matrix setElement has 4 args, vector 3)
+ * combined with value-type _Generic dispatch: bool values route to the
+ * _BOOL variants, integer values to _INT64, anything else (float/double) to
+ * _FP64. Note C's `true` is an int until C23, so it lands on _INT64 — same
+ * stored value either way. */
 #define GRB_POLY_SELECT5(_1, _2, _3, _4, NAME, ...) NAME
+
+#define GRB_MATRIX_SETELEM_TYPED(a, x, i, j)         \
+  _Generic((x),                                      \
+      _Bool: GrB_Matrix_setElement_BOOL,             \
+      char: GrB_Matrix_setElement_INT64,             \
+      signed char: GrB_Matrix_setElement_INT64,      \
+      short: GrB_Matrix_setElement_INT64,            \
+      int: GrB_Matrix_setElement_INT64,              \
+      long: GrB_Matrix_setElement_INT64,             \
+      long long: GrB_Matrix_setElement_INT64,        \
+      default: GrB_Matrix_setElement_FP64)((a), (x), (i), (j))
+
+#define GRB_VECTOR_SETELEM_TYPED(v, x, i)            \
+  _Generic((x),                                      \
+      _Bool: GrB_Vector_setElement_BOOL,             \
+      char: GrB_Vector_setElement_INT64,             \
+      signed char: GrB_Vector_setElement_INT64,      \
+      short: GrB_Vector_setElement_INT64,            \
+      int: GrB_Vector_setElement_INT64,              \
+      long: GrB_Vector_setElement_INT64,             \
+      long long: GrB_Vector_setElement_INT64,        \
+      default: GrB_Vector_setElement_FP64)((v), (x), (i))
+
 #define GrB_setElement(...)                                            \
-  GRB_POLY_SELECT5(__VA_ARGS__, GrB_Matrix_setElement_FP64,            \
-                   GrB_Vector_setElement_FP64, )(__VA_ARGS__)
+  GRB_POLY_SELECT5(__VA_ARGS__, GRB_MATRIX_SETELEM_TYPED,              \
+                   GRB_VECTOR_SETELEM_TYPED, )(__VA_ARGS__)
+
+#define GRB_MATRIX_EXTELEM_TYPED(x, a, i, j)         \
+  _Generic((x),                                      \
+      _Bool*: GrB_Matrix_extractElement_BOOL,        \
+      int64_t*: GrB_Matrix_extractElement_INT64,     \
+      default: GrB_Matrix_extractElement_FP64)((x), (a), (i), (j))
+
+#define GRB_VECTOR_EXTELEM_TYPED(x, v, i)            \
+  _Generic((x),                                      \
+      _Bool*: GrB_Vector_extractElement_BOOL,        \
+      int64_t*: GrB_Vector_extractElement_INT64,     \
+      default: GrB_Vector_extractElement_FP64)((x), (v), (i))
 
 #define GrB_extractElement(...)                                        \
-  GRB_POLY_SELECT5(__VA_ARGS__, GrB_Matrix_extractElement_FP64,        \
-                   GrB_Vector_extractElement_FP64, )(__VA_ARGS__)
+  GRB_POLY_SELECT5(__VA_ARGS__, GRB_MATRIX_EXTELEM_TYPED,              \
+                   GRB_VECTOR_EXTELEM_TYPED, )(__VA_ARGS__)
 
 #define GrB_nvals(n, obj)                              \
   _Generic((obj),                                      \

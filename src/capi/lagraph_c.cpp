@@ -1,0 +1,195 @@
+// LAGraph resumable-execution C binding: an opaque handle around
+// lagraph::Runner plus driven entry points for the resumable algorithms.
+//
+// Same architecture as graphblas_c.cpp (§II-B): the body of every function
+// is wrapped so no C++ exception crosses the C ABI; exceptions map to the
+// GrB_Info execution codes. A driven run that the governor stopped (and the
+// Runner gave up on) reports the trip as GxB_CANCELLED / GxB_TIMEOUT /
+// GrB_OUT_OF_MEMORY but still writes the partial result into the output
+// handle — the caller decides whether partial progress is usable.
+#include "capi/lagraph_c.h"
+
+#include <cstdint>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "capi/capi_internal.hpp"
+#include "graphblas/graphblas.hpp"
+#include "lagraph/lagraph.hpp"
+#include "lagraph/runner.hpp"
+
+struct LAGraph_Runner_opaque {
+  lagraph::Runner runner;
+};
+
+namespace {
+
+LAGraph_StopReason map_stop(lagraph::StopReason s) noexcept {
+  switch (s) {
+    case lagraph::StopReason::none: return LAGraph_STOP_NONE;
+    case lagraph::StopReason::converged: return LAGraph_STOP_CONVERGED;
+    case lagraph::StopReason::max_iters: return LAGraph_STOP_MAX_ITERS;
+    case lagraph::StopReason::diverged: return LAGraph_STOP_DIVERGED;
+    case lagraph::StopReason::cancelled: return LAGraph_STOP_CANCELLED;
+    case lagraph::StopReason::timeout: return LAGraph_STOP_TIMEOUT;
+    case lagraph::StopReason::out_of_memory:
+      return LAGraph_STOP_OUT_OF_MEMORY;
+  }
+  return LAGraph_STOP_NONE;
+}
+
+GrB_Info trip_code(lagraph::StopReason s) noexcept {
+  switch (s) {
+    case lagraph::StopReason::cancelled: return GxB_CANCELLED;
+    case lagraph::StopReason::timeout: return GxB_TIMEOUT;
+    case lagraph::StopReason::out_of_memory: return GrB_OUT_OF_MEMORY;
+    default: return GrB_SUCCESS;
+  }
+}
+
+template <class F>
+GrB_Info guarded(F&& f) {
+  try {
+    return f();
+  } catch (const gb::platform::CancelledError&) {
+    return GxB_CANCELLED;
+  } catch (const gb::platform::TimeoutError&) {
+    return GxB_TIMEOUT;
+  } catch (const gb::Error& e) {
+    return capi_map_info(e.info());
+  } catch (const std::bad_alloc&) {
+    return GrB_OUT_OF_MEMORY;
+  } catch (...) {
+    return GrB_PANIC;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+GrB_Info LAGraph_Runner_new(LAGraph_Runner* r) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  *r = new (std::nothrow) LAGraph_Runner_opaque;
+  return *r != nullptr ? GrB_SUCCESS : GrB_OUT_OF_MEMORY;
+}
+
+GrB_Info LAGraph_Runner_free(LAGraph_Runner* r) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  delete *r;
+  *r = nullptr;
+  return GrB_SUCCESS;
+}
+
+GrB_Info LAGraph_Runner_set_slice_ms(LAGraph_Runner r, double ms) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  r->runner.options().slice_ms = ms > 0 ? ms : 0.0;
+  return GrB_SUCCESS;
+}
+
+GrB_Info LAGraph_Runner_set_slice_budget(LAGraph_Runner r, uint64_t bytes) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  r->runner.options().slice_budget = static_cast<std::size_t>(bytes);
+  return GrB_SUCCESS;
+}
+
+GrB_Info LAGraph_Runner_set_max_slices(LAGraph_Runner r, int n) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  if (n < 1) return GrB_INVALID_VALUE;
+  r->runner.options().max_slices = n;
+  return GrB_SUCCESS;
+}
+
+GrB_Info LAGraph_Runner_set_retry(LAGraph_Runner r, int max_attempts,
+                                  double backoff_ms, double backoff_factor,
+                                  double budget_growth) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  if (max_attempts < 0 || backoff_ms < 0 || backoff_factor < 1.0 ||
+      budget_growth < 1.0) {
+    return GrB_INVALID_VALUE;
+  }
+  r->runner.options().retry = lagraph::RetryPolicy{
+      max_attempts, backoff_ms, backoff_factor, budget_growth};
+  return GrB_SUCCESS;
+}
+
+GrB_Info LAGraph_Runner_set_checkpoint_path(LAGraph_Runner r,
+                                            const char* path) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  return guarded([&] {
+    r->runner.options().checkpoint_path = path != nullptr ? path : "";
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Runner_cancel(LAGraph_Runner r) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  r->runner.governor().cancel();
+  return GrB_SUCCESS;
+}
+
+GrB_Info LAGraph_Runner_stats(LAGraph_Runner r, int32_t* slices,
+                              int32_t* retries, int32_t* degradations,
+                              bool* gave_up, LAGraph_StopReason* stop) {
+  if (r == nullptr) return GrB_NULL_POINTER;
+  const lagraph::RunnerReport& rep = r->runner.report();
+  if (slices != nullptr) *slices = rep.slices;
+  if (retries != nullptr) *retries = rep.retries;
+  if (degradations != nullptr) *degradations = rep.degradations;
+  if (gave_up != nullptr) *gave_up = rep.gave_up;
+  if (stop != nullptr) *stop = map_stop(rep.stop);
+  return GrB_SUCCESS;
+}
+
+GrB_Info LAGraph_Runner_pagerank(GrB_Vector rank, LAGraph_Runner r,
+                                 GrB_Matrix a, double damping, double tol,
+                                 int max_iters, int32_t* iterations) {
+  if (rank == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    // A driven call is a fresh run: a cancel left over from a previous run
+    // must not trip it at the first poll.
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::pagerank(g, damping, tol, max_iters, cp);
+    });
+    rank->v = std::move(res.rank);
+    if (iterations != nullptr) *iterations = res.iterations;
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Runner_bfs_level(GrB_Vector level, LAGraph_Runner r,
+                                  GrB_Matrix a, GrB_Index source) {
+  if (level == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::bfs(g, static_cast<gb::Index>(source),
+                          lagraph::BfsVariant::direction_optimizing, cp);
+    });
+    // The C vector is FP64-backed; hop counts are small integers, exact in
+    // a double.
+    std::vector<gb::Index> idx;
+    std::vector<std::int64_t> hops;
+    res.level.extract_tuples(idx, hops);
+    std::vector<double> vals(hops.begin(), hops.end());
+    gb::Vector<double> out(res.level.size());
+    out.build(idx, vals, gb::Second{});
+    level->v = std::move(out);
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+}  // extern "C"

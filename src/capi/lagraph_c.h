@@ -1,0 +1,86 @@
+/* LAGraph resumable-execution C binding.
+ *
+ * An LAGraph_Runner wraps lagraph::Runner: it drives an iterative algorithm
+ * in governor-sized slices (wall-clock deadline and/or byte budget per
+ * slice), retries transient budget trips with exponential backoff after
+ * climbing a degradation ladder, and — when a checkpoint path is set —
+ * persists the capsule of every interrupted slice atomically so a process
+ * crash loses at most one slice of work.
+ *
+ * Trip codes: a driven run that completes returns GrB_SUCCESS. A run that
+ * gives up (cancelled, or retries/slice cap exhausted) returns the governor
+ * trip code of its last slice — GxB_CANCELLED, GxB_TIMEOUT, or
+ * GrB_OUT_OF_MEMORY — and still writes the partial result, whose progress
+ * can be inspected through LAGraph_Runner_stats.
+ */
+#ifndef LAGRAPH_REPRO_LAGRAPH_C_H
+#define LAGRAPH_REPRO_LAGRAPH_C_H
+
+#include "capi/graphblas_c.h"
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct LAGraph_Runner_opaque* LAGraph_Runner;
+
+/* Why the last driven run stopped (mirrors lagraph::StopReason). */
+typedef enum {
+  LAGraph_STOP_NONE = 0,       /* ran to natural completion */
+  LAGraph_STOP_CONVERGED,      /* residual fell under tolerance */
+  LAGraph_STOP_MAX_ITERS,      /* iteration cap reached */
+  LAGraph_STOP_DIVERGED,       /* non-finite iterate detected */
+  LAGraph_STOP_CANCELLED,      /* LAGraph_Runner_cancel observed */
+  LAGraph_STOP_TIMEOUT,        /* slice deadline passed (normal cadence) */
+  LAGraph_STOP_OUT_OF_MEMORY   /* slice byte budget exceeded */
+} LAGraph_StopReason;
+
+GrB_Info LAGraph_Runner_new(LAGraph_Runner* r);
+GrB_Info LAGraph_Runner_free(LAGraph_Runner* r);
+
+/* Wall-clock deadline per slice in milliseconds; <= 0 disables slicing by
+ * time (the default). */
+GrB_Info LAGraph_Runner_set_slice_ms(LAGraph_Runner r, double ms);
+/* Byte budget per slice, measured as growth over the slice-entry footprint;
+ * 0 = unlimited (the default). */
+GrB_Info LAGraph_Runner_set_slice_budget(LAGraph_Runner r, uint64_t bytes);
+/* Hard cap on slices per run (default 1000); rejects n < 1. */
+GrB_Info LAGraph_Runner_set_max_slices(LAGraph_Runner r, int n);
+/* Retry policy for budget trips that survive the degradation ladder. */
+GrB_Info LAGraph_Runner_set_retry(LAGraph_Runner r, int max_attempts,
+                                  double backoff_ms, double backoff_factor,
+                                  double budget_growth);
+/* Crash-safe persistence: interrupted slices save their capsule to `path`
+ * (atomic temp-file + rename), a fresh run resumes from it if present, and
+ * a completed run deletes it. NULL or "" disables. */
+GrB_Info LAGraph_Runner_set_checkpoint_path(LAGraph_Runner r,
+                                            const char* path);
+
+/* Request cancellation of the in-flight run. Safe from any thread; the run
+ * returns GxB_CANCELLED at the next governor poll. */
+GrB_Info LAGraph_Runner_cancel(LAGraph_Runner r);
+
+/* Telemetry of the most recent run. Any out-pointer may be NULL. */
+GrB_Info LAGraph_Runner_stats(LAGraph_Runner r, int32_t* slices,
+                              int32_t* retries, int32_t* degradations,
+                              bool* gave_up, LAGraph_StopReason* stop);
+
+/* --- driven algorithms ---------------------------------------------------
+ * The adjacency matrix is interpreted as directed; `rank`/`level` are
+ * overwritten (any previous contents are cleared). */
+
+/* PageRank: rank holds the per-vertex score; *iterations (optional) the
+ * completed iteration count. */
+GrB_Info LAGraph_Runner_pagerank(GrB_Vector rank, LAGraph_Runner r,
+                                 GrB_Matrix a, double damping, double tol,
+                                 int max_iters, int32_t* iterations);
+
+/* BFS: level holds the 0-based hop count from source (absent = unreached). */
+GrB_Info LAGraph_Runner_bfs_level(GrB_Vector level, LAGraph_Runner r,
+                                  GrB_Matrix a, GrB_Index source);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* LAGRAPH_REPRO_LAGRAPH_C_H */

@@ -495,6 +495,13 @@ MxmMethod mxm(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   check_dims(c.nrows() == m && c.ncols() == n && ka == kb, "mxm: shapes");
 
   MxmMethod method = desc.mxm;
+  if (method == MxmMethod::auto_select && platform::low_memory_hint()) {
+    // Degradation-ladder hint (lagraph::Runner after a budget trip): skip
+    // the cost model and take the O(row nnz) footprint of the heap method
+    // over Gustavson's n-wide accumulator. Explicit descriptor choices are
+    // still honoured.
+    method = MxmMethod::heap;
+  }
   if (method == MxmMethod::auto_select) {
     // Masked outputs with a plain mask are cheapest as masked dots when the
     // mask is sparse relative to the full output; otherwise saxpy. The

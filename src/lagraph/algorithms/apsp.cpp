@@ -9,26 +9,82 @@
 
 namespace lagraph {
 
-gb::Matrix<double> apsp(const Graph& g) {
+ApspResult apsp_run(const Graph& g, const Checkpoint* resume) {
   check_graph(g, "apsp");
   const auto& a = g.adj();
   const Index n = a.nrows();
 
-  // D starts as A with an explicit zero diagonal.
-  gb::Matrix<double> d = a.dup();
-  gb::Matrix<double> zero_diag = gb::Matrix<double>::identity(n, 0.0);
-  gb::ewise_add(d, gb::no_mask, gb::no_accum, gb::Second{}, d, zero_diag);
+  ApspResult res;
+  Scope scope;
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "apsp");
+    res.checkpoint = *resume;
+  }
+
+  // D starts as A with an explicit zero diagonal, or the capsule's iterate.
+  gb::Matrix<double> d;
+  StopReason setup = scope.step([&] {
+    if (resume != nullptr && !resume->empty()) {
+      d = resume->get_matrix<double>("d");
+      gb::check_value(d.nrows() == n,
+                      "apsp: resume capsule does not match this graph");
+      res.rounds = static_cast<int>(resume->get_i64("rounds"));
+    } else {
+      d = a.dup();
+      gb::Matrix<double> zero_diag = gb::Matrix<double>::identity(n, 0.0);
+      gb::ewise_add(d, gb::no_mask, gb::no_accum, gb::Second{}, d, zero_diag);
+    }
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
+
+  auto capture = [&] {
+    capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+      cp.set_algorithm("apsp");
+      cp.put_matrix("d", d);
+      cp.put_i64("rounds", res.rounds);
+    });
+  };
 
   // ceil(log2(n)) squarings reach every path length.
   int rounds = 1;
   while ((Index{1} << rounds) < n) ++rounds;
-  for (int r = 0; r < rounds; ++r) {
-    gb::Matrix<double> next = d.dup();
-    gb::mxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), d, d);
-    if (isequal(next, d)) break;
-    d = std::move(next);
+  for (int r = res.rounds; r < rounds; ++r) {
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      capture();
+      res.d = std::move(d);
+      return res;
+    }
+    bool fixed = false;
+    StopReason why = scope.step([&] {
+      // The squaring lands in a temporary; d moves only at the commit, so a
+      // mid-step trip leaves the round boundary intact.
+      gb::Matrix<double> next = d.dup();
+      gb::mxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), d, d);
+      fixed = isequal(next, d);
+      if (!fixed) d = std::move(next);
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      capture();
+      res.d = std::move(d);
+      return res;
+    }
+    ++res.rounds;
+    if (fixed) break;
   }
-  return d;
+  res.stop = StopReason::converged;
+  res.d = std::move(d);
+  return res;
+}
+
+gb::Matrix<double> apsp(const Graph& g) {
+  ApspResult res = apsp_run(g);
+  rethrow_interruption(res.stop);
+  return std::move(res.d);
 }
 
 }  // namespace lagraph

@@ -34,9 +34,32 @@ gb::MxvMethod choose_direction(BfsVariant variant, double density,
   return gb::MxvMethod::push;
 }
 
+/// Loop state at a level boundary: level/parent so far, the next frontier
+/// (values = parent ids), and the direction-optimisation memory (previous
+/// density + direction) so the resumed push/pull choices match exactly.
+void capture(BfsResult& res, const gb::Vector<std::uint64_t>& frontier,
+             gb::MxvMethod dir, double prev_density) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("bfs");
+    cp.put_vector("level", res.level);
+    cp.put_vector("parent", res.parent);
+    cp.put_vector("frontier", frontier);
+    cp.put_i64("depth", res.depth);
+    cp.put_u64("dir", static_cast<std::uint64_t>(dir));
+    cp.put_f64("prev_density", prev_density);
+    std::vector<std::uint64_t> dirs;
+    dirs.reserve(res.directions.size());
+    for (gb::MxvMethod m : res.directions) {
+      dirs.push_back(static_cast<std::uint64_t>(m));
+    }
+    cp.put_array("directions", dirs);
+  });
+}
+
 }  // namespace
 
-BfsResult bfs(const Graph& g, Index source, BfsVariant variant) {
+BfsResult bfs(const Graph& g, Index source, BfsVariant variant,
+              const Checkpoint* resume) {
   check_graph(g, "bfs");
   const auto& a = g.adj();
   const Index n = a.nrows();
@@ -45,21 +68,44 @@ BfsResult bfs(const Graph& g, Index source, BfsVariant variant) {
   BfsResult res;
   Scope scope;
 
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "bfs");
+    res.checkpoint = *resume;
+  }
+
   // Setup runs governed too: a trip while materialising the transpose or
   // seeding the frontier returns clean telemetry, never a raw platform
   // exception.
   gb::Vector<std::uint64_t> frontier;
+  gb::MxvMethod resumed_dir = gb::MxvMethod::push;
+  double resumed_density = 0.0;
   StopReason setup = scope.step([&] {
     if (variant != BfsVariant::push) {
       // Pull traversals need the opposite orientation resident; materialise
       // it up front (the AT cached property).
       g.ensure_transpose();
     }
-    res.level = gb::Vector<std::int64_t>(n);
-    res.parent = gb::Vector<std::int64_t>(n);
-    // frontier(v) = id of v's BFS parent. Seed: the source is its own parent.
-    frontier = gb::Vector<std::uint64_t>(n);
-    frontier.set_element(source, source);
+    if (resume != nullptr && !resume->empty()) {
+      res.level = resume->get_vector<std::int64_t>("level");
+      res.parent = resume->get_vector<std::int64_t>("parent");
+      frontier = resume->get_vector<std::uint64_t>("frontier");
+      gb::check_value(frontier.size() == n,
+                      "bfs: resume capsule does not match this graph");
+      res.depth = resume->get_i64("depth");
+      resumed_dir = static_cast<gb::MxvMethod>(resume->get_u64("dir"));
+      resumed_density = resume->get_f64("prev_density");
+      for (std::uint64_t m :
+           resume->get_array<std::uint64_t>("directions")) {
+        res.directions.push_back(static_cast<gb::MxvMethod>(m));
+      }
+    } else {
+      res.level = gb::Vector<std::int64_t>(n);
+      res.parent = gb::Vector<std::int64_t>(n);
+      // frontier(v) = id of v's BFS parent. Seed: the source is its own
+      // parent.
+      frontier = gb::Vector<std::uint64_t>(n);
+      frontier.set_element(source, source);
+    }
   });
   if (setup != StopReason::none) {
     res.stop = setup;
@@ -72,41 +118,57 @@ BfsResult bfs(const Graph& g, Index source, BfsVariant variant) {
   gb::Descriptor expand = gb::desc_rsc;
 
   const double threshold = gb::desc_default.push_pull_threshold;
-  gb::MxvMethod dir = gb::MxvMethod::push;
-  double prev_density = 0.0;
+  gb::MxvMethod dir = resumed_dir;
+  double prev_density = resumed_density;
 
-  std::int64_t depth = 0;
+  std::int64_t depth = res.depth;
   while (frontier.nvals() > 0) {
     if (StopReason why = scope.interrupted(); why != StopReason::none) {
       res.stop = why;
-      break;
+      res.depth = depth;
+      capture(res, frontier, dir, prev_density);
+      return res;
     }
     StopReason why = scope.step([&] {
-      // level<frontier,s> = depth
+      // level<frontier,s> = depth. Idempotent (same entries, same values),
+      // so re-running this body after a mid-step trip is safe.
       gb::assign_scalar(res.level, frontier, gb::no_accum, depth,
                         gb::IndexSel::all(n), record);
       // parent<frontier,s> = frontier  (parent ids ride in the values)
       gb::apply(res.parent, frontier, gb::no_accum, gb::Identity{}, frontier,
                 record);
 
-      // Reset frontier values to the carrier's own id for the next expansion.
-      gb::apply_indexop(frontier, gb::no_mask, gb::no_accum, gb::RowIndex{},
+      // Carrier ids for the expansion go into a fresh vector: the frontier
+      // (still holding parent ids) stays intact until the commit below, so
+      // a trip anywhere in this body leaves the loop state exactly at the
+      // previous level boundary and capture() hands out a consistent
+      // capsule.
+      gb::Vector<std::uint64_t> carrier(n);
+      gb::apply_indexop(carrier, gb::no_mask, gb::no_accum, gb::RowIndex{},
                         frontier, std::int64_t{0});
 
       double density = frontier.density();
-      dir = choose_direction(variant, density, prev_density, threshold, dir);
-      prev_density = density;
-      expand.mxv = dir;
+      gb::MxvMethod step_dir =
+          choose_direction(variant, density, prev_density, threshold, dir);
+      expand.mxv = step_dir;
 
-      // frontier<!level, replace, s> = frontier min.first A
-      gb::vxm(frontier, res.level, gb::no_accum, gb::min_first<std::uint64_t>(),
-              frontier, a, expand);
+      // next<!level, replace, s> = carrier min.first A
+      gb::Vector<std::uint64_t> next(n);
+      gb::vxm(next, res.level, gb::no_accum, gb::min_first<std::uint64_t>(),
+              carrier, a, expand);
+
+      // Commit: nothing below reaches a governor poll point.
+      frontier = std::move(next);
+      dir = step_dir;
+      prev_density = density;
       res.directions.push_back(dir);
       ++depth;
     });
     if (why != StopReason::none) {
       res.stop = why;
-      break;
+      res.depth = depth;
+      capture(res, frontier, dir, prev_density);
+      return res;
     }
   }
   res.depth = depth;

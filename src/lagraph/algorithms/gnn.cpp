@@ -5,6 +5,9 @@
 //   Â = D^-1/2 (A + I) D^-1/2        (two diagonal-scaling mxm's)
 //   H_{l+1} = ReLU(Â H_l W_l)        (two plus_times mxm's + select)
 // with the final layer left linear (logits).
+//
+// Resumable between layers: the capsule carries the committed hidden state
+// and the completed-layer count; Â is graph-derived and rebuilt on resume.
 #include <cmath>
 
 #include "lagraph/lagraph.hpp"
@@ -35,37 +38,100 @@ gb::Matrix<double> normalized_adjacency(const Graph& g) {
   return norm;
 }
 
+void capture_gcn(GcnResult& res, const gb::Matrix<double>& h) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("gcn");
+    cp.put_matrix("h", h);
+    cp.put_i64("layers_done", res.layers_done);
+  });
+}
+
 }  // namespace
 
-gb::Matrix<double> gcn_inference(
-    const Graph& g, const gb::Matrix<double>& features,
-    const std::vector<gb::Matrix<double>>& weights) {
+GcnResult gcn_inference_run(const Graph& g, const gb::Matrix<double>& features,
+                            const std::vector<gb::Matrix<double>>& weights,
+                            const Checkpoint* resume) {
   check_graph(g, "gcn_inference");
   gb::check_dims(features.nrows() == g.nrows(), "gcn: features per vertex");
   gb::check_value(!weights.empty(), "gcn: at least one layer");
 
-  auto norm = normalized_adjacency(g);
-  gb::Matrix<double> h = features.dup();
-  for (std::size_t layer = 0; layer < weights.size(); ++layer) {
-    const auto& w = weights[layer];
-    gb::check_dims(h.ncols() == w.nrows(), "gcn: layer shape");
+  GcnResult res;
+  Scope scope;
 
-    // Aggregate: Z = Â H (message passing), then transform: Z W.
-    gb::Matrix<double> agg(g.nrows(), h.ncols());
-    gb::mxm(agg, gb::no_mask, gb::no_accum, gb::plus_times<double>(), norm, h);
-    gb::Matrix<double> z(g.nrows(), w.ncols());
-    gb::mxm(z, gb::no_mask, gb::no_accum, gb::plus_times<double>(), agg, w);
-
-    if (layer + 1 < weights.size()) {
-      // ReLU keeps activations sparse between layers.
-      gb::Matrix<double> relu(z.nrows(), z.ncols());
-      gb::select(relu, gb::no_mask, gb::no_accum, gb::SelValueGt{}, z, 0.0);
-      h = std::move(relu);
+  // Â is a pure function of the graph, so it is rebuilt deterministically in
+  // the governed setup step rather than stored in the capsule.
+  gb::Matrix<double> norm;
+  gb::Matrix<double> h;
+  StopReason setup = scope.step([&] {
+    norm = normalized_adjacency(g);
+    if (resume != nullptr && !resume->empty()) {
+      check_resume(*resume, "gcn");
+      res.checkpoint = *resume;
+      h = resume->get_matrix<double>("h");
+      gb::check_value(h.nrows() == g.nrows(),
+                      "gcn: resume capsule does not match this graph");
+      res.layers_done = static_cast<int>(resume->get_i64("layers_done"));
     } else {
-      h = std::move(z);  // final layer: linear logits
+      h = features.dup();
     }
+  });
+  if (setup != StopReason::none) {
+    // Fresh run: nothing worth capturing yet. Resumed run: res.checkpoint
+    // already holds the incoming capsule, so no progress is lost.
+    res.stop = setup;
+    return res;
   }
-  return h;
+
+  for (std::size_t layer = static_cast<std::size_t>(res.layers_done);
+       layer < weights.size(); ++layer) {
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      capture_gcn(res, h);
+      res.h = std::move(h);
+      return res;
+    }
+    StopReason why = scope.step([&] {
+      const auto& w = weights[layer];
+      gb::check_dims(h.ncols() == w.nrows(), "gcn: layer shape");
+
+      // Aggregate: Z = Â H (message passing), then transform: Z W. All
+      // temporaries; h commits by one move, so mid-step trips capture the
+      // previous layer boundary.
+      gb::Matrix<double> agg(g.nrows(), h.ncols());
+      gb::mxm(agg, gb::no_mask, gb::no_accum, gb::plus_times<double>(), norm,
+              h);
+      gb::Matrix<double> z(g.nrows(), w.ncols());
+      gb::mxm(z, gb::no_mask, gb::no_accum, gb::plus_times<double>(), agg, w);
+
+      if (layer + 1 < weights.size()) {
+        // ReLU keeps activations sparse between layers.
+        gb::Matrix<double> relu(z.nrows(), z.ncols());
+        gb::select(relu, gb::no_mask, gb::no_accum, gb::SelValueGt{}, z, 0.0);
+        h = std::move(relu);
+      } else {
+        h = std::move(z);  // final layer: linear logits
+      }
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      capture_gcn(res, h);
+      res.h = std::move(h);
+      return res;
+    }
+    res.layers_done = static_cast<int>(layer) + 1;
+  }
+
+  res.h = std::move(h);
+  res.stop = StopReason::none;
+  return res;
+}
+
+gb::Matrix<double> gcn_inference(
+    const Graph& g, const gb::Matrix<double>& features,
+    const std::vector<gb::Matrix<double>>& weights) {
+  GcnResult res = gcn_inference_run(g, features, weights);
+  rethrow_interruption(res.stop);
+  return std::move(res.h);
 }
 
 }  // namespace lagraph

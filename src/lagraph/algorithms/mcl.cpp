@@ -67,12 +67,26 @@ double l1_distance(const gb::Matrix<double>& a, const gb::Matrix<double>& b) {
 
 }  // namespace
 
+namespace {
+
+void capture_mcl(ClusterResult& res, const gb::Matrix<double>& m, int done) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("mcl");
+    cp.put_matrix("m", m);
+    cp.put_i64("iterations", done);
+    cp.put_f64("residual", res.residual);
+  });
+}
+
+}  // namespace
+
 ClusterResult mcl(const Graph& g, double inflation, int max_iters,
-                  double prune) {
+                  double prune, const Checkpoint* resume) {
   check_graph(g, "mcl");
   gb::check_value(inflation > 1.0, "mcl: inflation must be > 1");
   gb::check_value(max_iters > 0, "mcl: max_iters must be positive");
   gb::check_value(prune >= 0.0, "mcl: prune must be non-negative");
+  max_iters = scaled_max_iters(max_iters);
 
   const Index n = g.nrows();
 
@@ -80,52 +94,74 @@ ClusterResult mcl(const Graph& g, double inflation, int max_iters,
   res.stop = StopReason::max_iters;
   Scope scope;
 
+  int done = 0;
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "mcl");
+    res.checkpoint = *resume;
+  }
+
   // M = A + I (self-loops are standard MCL practice), column-stochastic.
   // Setup runs governed: a trip here returns telemetry with empty labels.
   gb::Matrix<double> m;
   StopReason setup = scope.step([&] {
-    m = gb::Matrix<double>(n, n);
-    gb::ewise_add(m, gb::no_mask, gb::no_accum, gb::Plus{},
-                  g.undirected_view(),
-                  gb::Matrix<double>::identity(n, 1.0));
-    normalize_columns(m);
+    if (resume != nullptr && !resume->empty()) {
+      m = resume->get_matrix<double>("m");
+      gb::check_value(m.nrows() == n,
+                      "mcl: resume capsule does not match this graph");
+      done = static_cast<int>(resume->get_i64("iterations"));
+      res.iterations = done;
+      res.residual = resume->get_f64("residual");
+    } else {
+      m = gb::Matrix<double>(n, n);
+      gb::ewise_add(m, gb::no_mask, gb::no_accum, gb::Plus{},
+                    g.undirected_view(),
+                    gb::Matrix<double>::identity(n, 1.0));
+      normalize_columns(m);
+    }
   });
   if (setup != StopReason::none) {
+    // Fresh run: nothing worth capturing yet. Resumed run: res.checkpoint
+    // already holds the incoming capsule, so no progress is lost.
     res.stop = setup;
     return res;
   }
-  for (int it = 0; it < max_iters; ++it) {
+  for (int it = done; it < max_iters; ++it) {
     if (StopReason why = scope.interrupted(); why != StopReason::none) {
       res.stop = why;
+      capture_mcl(res, m, done);
       break;
     }
     double dist = 0.0;
-    gb::Matrix<double> prev(n, n);
+    bool close = false;
     StopReason why = scope.step([&] {
-      prev = m.dup();
-
-      // Expansion: M = M * M.
-      gb::Matrix<double> sq(n, n);
-      gb::mxm(sq, gb::no_mask, gb::no_accum, gb::plus_times<double>(), m, m);
-      m = std::move(sq);
+      // The whole iteration builds a fresh iterate; m stays intact until
+      // the commit below, so a mid-step trip leaves the iteration-boundary
+      // state untouched and capture() hands out a consistent capsule.
+      gb::Matrix<double> next(n, n);
+      gb::mxm(next, gb::no_mask, gb::no_accum, gb::plus_times<double>(), m, m);
 
       // Inflation: M = M .^ r, column-renormalised.
-      gb::apply(m, gb::no_mask, gb::no_accum, PowOp{inflation}, m);
-      normalize_columns(m);
+      gb::apply(next, gb::no_mask, gb::no_accum, PowOp{inflation}, next);
+      normalize_columns(next);
 
       // Prune tiny entries to keep the iterate sparse, then renormalise.
       gb::Matrix<double> kept(n, n);
-      gb::select(kept, gb::no_mask, gb::no_accum, gb::SelValueGt{}, m, prune);
-      m = std::move(kept);
-      normalize_columns(m);
+      gb::select(kept, gb::no_mask, gb::no_accum, gb::SelValueGt{}, next,
+                 prune);
+      next = std::move(kept);
+      normalize_columns(next);
 
-      dist = l1_distance(prev, m);
+      dist = l1_distance(m, next);
+      close = isclose(m, next, 1e-9);
+      m = std::move(next);  // commit
     });
     ++res.iterations;
     if (why != StopReason::none) {
       res.stop = why;
+      capture_mcl(res, m, done);
       break;
     }
+    ++done;
     res.residual = dist;
     if (!std::isfinite(dist)) {
       // NaN/Inf iterate (e.g. a column that pruned to empty and divided by
@@ -133,7 +169,7 @@ ClusterResult mcl(const Graph& g, double inflation, int max_iters,
       res.stop = StopReason::diverged;
       break;
     }
-    if (isclose(prev, m, 1e-9)) {
+    if (close) {
       res.converged = true;
       res.stop = StopReason::converged;
       break;

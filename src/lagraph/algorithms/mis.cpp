@@ -31,25 +31,71 @@ struct PriorityOp {
 
 }  // namespace
 
-gb::Vector<bool> mis(const Graph& g, std::uint64_t seed) {
+MisResult mis_run(const Graph& g, std::uint64_t seed,
+                  const Checkpoint* resume) {
   check_graph(g, "mis");
   const Index n = g.nrows();
+
+  MisResult res;
+  Scope scope;
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "mis");
+    res.checkpoint = *resume;
+  }
+
   // Self-loops would make a vertex its own neighbour and deadlock the
-  // winner rule; strip the diagonal.
-  gb::Matrix<double> a(n, n);
-  gb::select(a, gb::no_mask, gb::no_accum, gb::SelOffdiag{},
-             g.undirected_view(), std::int64_t{0});
-
-  gb::Vector<bool> iset(n);
-  auto candidates = gb::Vector<bool>::full(n, true);
-
+  // winner rule; strip the diagonal. Derived from the graph, so rebuilt on
+  // resume rather than checkpointed.
+  gb::Matrix<double> a;
+  gb::Vector<bool> iset;
+  gb::Vector<bool> candidates;
   std::uint64_t round = 0;
+  StopReason setup = scope.step([&] {
+    a = gb::Matrix<double>(n, n);
+    gb::select(a, gb::no_mask, gb::no_accum, gb::SelOffdiag{},
+               g.undirected_view(), std::int64_t{0});
+    if (resume != nullptr && !resume->empty()) {
+      iset = resume->get_vector<bool>("iset");
+      gb::check_value(iset.size() == n,
+                      "mis: resume capsule does not match this graph");
+      candidates = resume->get_vector<bool>("candidates");
+      round = resume->get_u64("round");
+    } else {
+      iset = gb::Vector<bool>(n);
+      candidates = gb::Vector<bool>::full(n, true);
+    }
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
+
+  auto capture = [&] {
+    capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+      cp.set_algorithm("mis");
+      cp.put_vector("iset", iset);
+      cp.put_vector("candidates", candidates);
+      cp.put_u64("round", round);
+    });
+  };
+
   while (candidates.nvals() > 0) {
-    ++round;
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      res.rounds = static_cast<int>(round);
+      capture();
+      res.set = std::move(iset);
+      return res;
+    }
+    StopReason why = scope.step([&] {
+    // The RNG round is committed only at the bottom, so re-running this
+    // body after a mid-step trip draws the same priorities; the iset
+    // assign is idempotent under the same winners.
+    const std::uint64_t r = round + 1;
     // Unique priorities on the candidates.
     gb::Vector<std::uint64_t> prio(n);
     gb::apply_indexop(prio, gb::no_mask, gb::no_accum,
-                      PriorityOp{splitmix(seed) ^ round, n}, candidates,
+                      PriorityOp{splitmix(seed) ^ r, n}, candidates,
                       std::int64_t{0});
 
     // Max candidate-neighbour priority: nmax(i) = max_{j in adj(i)} prio(j).
@@ -85,9 +131,29 @@ gb::Vector<bool> mis(const Graph& g, std::uint64_t seed) {
     gb::Vector<bool> next(n);
     gb::apply(next, removed, gb::no_accum, gb::Identity{}, candidates,
               gb::desc_rsc);
+
+    // Commit: nothing below reaches a governor poll point.
     candidates = std::move(next);
+    ++round;
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      res.rounds = static_cast<int>(round);
+      capture();
+      res.set = std::move(iset);
+      return res;
+    }
   }
-  return iset;
+  res.stop = StopReason::converged;
+  res.rounds = static_cast<int>(round);
+  res.set = std::move(iset);
+  return res;
+}
+
+gb::Vector<bool> mis(const Graph& g, std::uint64_t seed) {
+  MisResult res = mis_run(g, seed);
+  rethrow_interruption(res.stop);
+  return std::move(res.set);
 }
 
 }  // namespace lagraph

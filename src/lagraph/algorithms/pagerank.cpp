@@ -8,13 +8,29 @@
 
 namespace lagraph {
 
+namespace {
+
+/// Loop state at an iteration boundary: the current rank iterate plus the
+/// counters a resumed run needs to continue the exact iteration sequence.
+void capture(PageRankResult& res) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("pagerank");
+    cp.put_vector("rank", res.rank);
+    cp.put_i64("iterations", res.iterations);
+    cp.put_f64("residual", res.residual);
+  });
+}
+
+}  // namespace
+
 PageRankResult pagerank(const Graph& g, double damping, double tol,
-                        int max_iters) {
+                        int max_iters, const Checkpoint* resume) {
   check_graph(g, "pagerank");
   gb::check_value(damping > 0.0 && damping < 1.0,
                   "pagerank: damping must be in (0, 1)");
   gb::check_value(tol > 0.0, "pagerank: tol must be positive");
   gb::check_value(max_iters > 0, "pagerank: max_iters must be positive");
+  max_iters = scaled_max_iters(max_iters);
 
   const auto& a = g.adj();
   const Index n = a.nrows();
@@ -22,6 +38,14 @@ PageRankResult pagerank(const Graph& g, double damping, double tol,
 
   PageRankResult res;
   Scope scope;
+
+  int start_iter = 0;
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "pagerank");
+    // If this resumed run is interrupted again before completing one more
+    // iteration, the best state we can hand back is the incoming capsule.
+    res.checkpoint = *resume;
+  }
 
   // Setup runs governed too: a trip here returns telemetry, not a raw
   // platform exception.
@@ -31,15 +55,25 @@ PageRankResult pagerank(const Graph& g, double damping, double tol,
     outdeg = gb::Vector<double>(n);
     gb::apply(outdeg, gb::no_mask, gb::no_accum, gb::Identity{},
               g.out_degree());
-    res.rank = gb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+    if (resume != nullptr && !resume->empty()) {
+      res.rank = resume->get_vector<double>("rank");
+      gb::check_value(res.rank.size() == n,
+                      "pagerank: resume capsule does not match this graph");
+      start_iter = static_cast<int>(resume->get_i64("iterations"));
+      res.residual = resume->get_f64("residual");
+    } else {
+      res.rank = gb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+    }
   });
   if (setup != StopReason::none) {
     res.stop = setup;
     return res;
   }
-  for (res.iterations = 0; res.iterations < max_iters; ++res.iterations) {
+  for (res.iterations = start_iter; res.iterations < max_iters;
+       ++res.iterations) {
     if (StopReason why = scope.interrupted(); why != StopReason::none) {
       res.stop = why;
+      capture(res);
       return res;
     }
     double delta = 0.0;
@@ -75,6 +109,7 @@ PageRankResult pagerank(const Graph& g, double damping, double tol,
     });
     if (why != StopReason::none) {
       res.stop = why;
+      capture(res);
       return res;
     }
     res.residual = delta;

@@ -7,14 +7,36 @@
 
 namespace lagraph {
 
-ClusterResult peer_pressure(const Graph& g, int max_iters) {
+namespace {
+
+void capture_pp(ClusterResult& res, const std::vector<std::uint64_t>& label,
+                int done) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("peer_pressure");
+    cp.put_array("label", label);
+    cp.put_i64("iterations", done);
+    cp.put_f64("residual", res.residual);
+  });
+}
+
+}  // namespace
+
+ClusterResult peer_pressure(const Graph& g, int max_iters,
+                            const Checkpoint* resume) {
   check_graph(g, "peer_pressure");
   gb::check_value(max_iters > 0, "peer_pressure: max_iters must be positive");
+  max_iters = scaled_max_iters(max_iters);
   const Index n = g.nrows();
 
   ClusterResult res;
   res.stop = StopReason::max_iters;
   Scope scope;
+
+  int done = 0;
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "peer_pressure");
+    res.checkpoint = *resume;
+  }
 
   // Each vertex also votes for its own current label (A + I): without the
   // self-vote, bipartite structures oscillate forever (two vertices joined
@@ -34,9 +56,18 @@ ClusterResult peer_pressure(const Graph& g, int max_iters) {
 
   std::vector<std::uint64_t> label(n);
   for (Index i = 0; i < n; ++i) label[i] = i;
-  for (int it = 0; it < max_iters; ++it) {
+  if (resume != nullptr && !resume->empty()) {
+    label = resume->get_array<std::uint64_t>("label");
+    gb::check_value(label.size() == static_cast<std::size_t>(n),
+                    "peer_pressure: resume capsule does not match this graph");
+    done = static_cast<int>(resume->get_i64("iterations"));
+    res.iterations = done;
+    res.residual = resume->get_f64("residual");
+  }
+  for (int it = done; it < max_iters; ++it) {
     if (StopReason why = scope.interrupted(); why != StopReason::none) {
       res.stop = why;
+      capture_pp(res, label, done);
       break;
     }
     std::size_t flips = 0;
@@ -77,8 +108,10 @@ ClusterResult peer_pressure(const Graph& g, int max_iters) {
     ++res.iterations;
     if (why != StopReason::none) {
       res.stop = why;
+      capture_pp(res, label, done);
       break;
     }
+    ++done;
     res.residual = static_cast<double>(flips);
     if (flips == 0) {
       res.converged = true;

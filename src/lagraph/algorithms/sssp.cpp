@@ -10,7 +10,30 @@
 
 namespace lagraph {
 
-SsspResult sssp_bellman_ford(const Graph& g, Index source) {
+namespace {
+
+void capture_bf(SsspResult& res, bool changed) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("sssp_bellman_ford");
+    cp.put_vector("dist", res.dist);
+    cp.put_i64("iterations", res.iterations);
+    cp.put_u64("changed", changed ? 1 : 0);
+  });
+}
+
+void capture_delta(SsspResult& res, const gb::Vector<bool>& settled) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("sssp_delta_stepping");
+    cp.put_vector("dist", res.dist);
+    cp.put_vector("settled", settled);
+    cp.put_i64("iterations", res.iterations);
+  });
+}
+
+}  // namespace
+
+SsspResult sssp_bellman_ford(const Graph& g, Index source,
+                             const Checkpoint* resume) {
   check_graph(g, "sssp_bellman_ford");
   const auto& a = g.adj();
   const Index n = a.nrows();
@@ -18,24 +41,41 @@ SsspResult sssp_bellman_ford(const Graph& g, Index source) {
 
   SsspResult res;
   Scope scope;
+
+  bool changed = true;
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "sssp_bellman_ford");
+    res.checkpoint = *resume;
+  }
   StopReason setup = scope.step([&] {
-    res.dist = gb::Vector<double>(n);
-    res.dist.set_element(source, 0.0);
+    if (resume != nullptr && !resume->empty()) {
+      res.dist = resume->get_vector<double>("dist");
+      gb::check_value(res.dist.size() == n,
+                      "sssp: resume capsule does not match this graph");
+      res.iterations = static_cast<int>(resume->get_i64("iterations"));
+      changed = resume->get_u64("changed") != 0;
+    } else {
+      res.dist = gb::Vector<double>(n);
+      res.dist.set_element(source, 0.0);
+    }
   });
   if (setup != StopReason::none) {
     res.stop = setup;
     return res;
   }
 
-  bool changed = true;
-  for (Index round = 0; round < n && changed; ++round) {
+  for (Index round = static_cast<Index>(res.iterations); round < n && changed;
+       ++round) {
     if (StopReason why = scope.interrupted(); why != StopReason::none) {
       res.stop = why;
+      capture_bf(res, changed);
       return res;
     }
     StopReason why = scope.step([&] {
       gb::Vector<double> next = res.dist;
-      // next = min(next, dist min.+ A): relax every edge once.
+      // next = min(next, dist min.+ A): relax every edge once. The commit
+      // (changed + dist) happens after the last poll point, so a mid-step
+      // trip leaves the round boundary intact.
       gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), res.dist,
               a);
       changed = !isequal(next, res.dist);
@@ -43,6 +83,7 @@ SsspResult sssp_bellman_ford(const Graph& g, Index source) {
     });
     if (why != StopReason::none) {
       res.stop = why;
+      capture_bf(res, changed);
       return res;
     }
     ++res.iterations;
@@ -60,7 +101,8 @@ SsspResult sssp_bellman_ford(const Graph& g, Index source) {
   return res;
 }
 
-SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta) {
+SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta,
+                               const Checkpoint* resume) {
   check_graph(g, "sssp_delta_stepping");
   const auto& a = g.adj();
   const Index n = a.nrows();
@@ -69,6 +111,11 @@ SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta) {
 
   SsspResult res;
   Scope scope;
+
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "sssp_delta_stepping");
+    res.checkpoint = *resume;
+  }
 
   // Split edges into light (w <= delta) and heavy (w > delta). Setup runs
   // governed: a trip here returns telemetry, not a raw platform exception.
@@ -80,10 +127,18 @@ SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta) {
     heavy = gb::Matrix<double>(n, n);
     gb::select(light, gb::no_mask, gb::no_accum, gb::SelValueLe{}, a, delta);
     gb::select(heavy, gb::no_mask, gb::no_accum, gb::SelValueGt{}, a, delta);
-    dist = gb::Vector<double>(n);
-    dist.set_element(source, 0.0);
-    // settled(v) present once v's bucket has been fully processed.
-    settled = gb::Vector<bool>(n);
+    if (resume != nullptr && !resume->empty()) {
+      dist = resume->get_vector<double>("dist");
+      gb::check_value(dist.size() == n,
+                      "sssp: resume capsule does not match this graph");
+      settled = resume->get_vector<bool>("settled");
+      res.iterations = static_cast<int>(resume->get_i64("iterations"));
+    } else {
+      dist = gb::Vector<double>(n);
+      dist.set_element(source, 0.0);
+      // settled(v) present once v's bucket has been fully processed.
+      settled = gb::Vector<bool>(n);
+    }
   });
   if (setup != StopReason::none) {
     res.stop = setup;
@@ -101,6 +156,7 @@ SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta) {
   while (true) {
     if (StopReason why = scope.interrupted(); why != StopReason::none) {
       res.stop = why;
+      capture_delta(res, settled);
       return res;
     }
     bool done = false;
@@ -132,7 +188,10 @@ SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta) {
         if (isequal(before, dist)) break;
       }
 
-      // The bucket is now settled; relax heavy edges out of it once.
+      // The bucket is done; relax heavy edges out of it once, and only then
+      // mark it settled. Heavy relaxation targets land at dist >= hi, so
+      // redoing it after a mid-step trip is idempotent — whereas settling
+      // first could lose the heavy pass entirely on resume.
       gb::Vector<double> bucket(n);
       gb::apply(bucket, settled, gb::no_accum, gb::Identity{}, dist,
                 gb::desc_rsc);
@@ -140,15 +199,19 @@ SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta) {
                  lo);
       gb::select(bucket, gb::no_mask, gb::no_accum, gb::SelValueLt{}, bucket,
                  hi);
-      gb::assign_scalar(settled, bucket, gb::no_accum, true,
-                        gb::IndexSel::all(n), gb::desc_s);
       if (bucket.nvals() > 0) {
         gb::vxm(dist, gb::no_mask, gb::Min{}, gb::min_plus<double>(), bucket,
                 heavy);
       }
+      gb::assign_scalar(settled, bucket, gb::no_accum, true,
+                        gb::IndexSel::all(n), gb::desc_s);
     });
     if (why != StopReason::none) {
+      // Mid-bucket state is still a valid resume point: in-place min-plus
+      // relaxation is monotone, so re-entering the bucket loop from
+      // (dist, settled) reaches the same fixpoint as the uninterrupted run.
       res.stop = why;
+      capture_delta(res, settled);
       return res;
     }
     if (done) break;

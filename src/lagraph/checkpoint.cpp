@@ -1,0 +1,234 @@
+#include "lagraph/checkpoint.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "lagraph/util/serialize.hpp"
+
+namespace lagraph {
+
+namespace {
+
+using ioutil::Crc32c;
+
+constexpr char kMagic[4] = {'L', 'A', 'C', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+// A corrupted header can claim absurd sizes; nothing in a checkpoint
+// legitimately approaches this.
+constexpr std::uint64_t kSizeCap = ~std::uint64_t{0} / 64;
+constexpr std::uint64_t kNameCap = 4096;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw gb::Error(gb::Info::invalid_value, "checkpoint: " + what);
+}
+
+template <class T>
+void write_pod(std::ostream& out, const T& v, Crc32c& crc) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  crc.update(&v, sizeof(T));
+}
+
+void write_bytes(std::ostream& out, const void* data, std::size_t n,
+                 Crc32c& crc) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n));
+  crc.update(data, n);
+}
+
+template <class T>
+T read_pod(std::istream& in, Crc32c& crc) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) fail("truncated header");
+  crc.update(&v, sizeof(T));
+  return v;
+}
+
+/// Tracks how many payload bytes the stream can still supply, so claimed
+/// lengths are rejected *before* any allocation sized by them. For a
+/// non-seekable stream the budget is unknown and reads fail on truncation
+/// instead (after a bounded allocation, thanks to kSizeCap).
+class ByteBudget {
+ public:
+  explicit ByteBudget(std::istream& in) {
+    if (std::streampos cur = in.tellg(); cur != std::streampos(-1)) {
+      in.seekg(0, std::ios::end);
+      const std::streampos end = in.tellg();
+      in.seekg(cur);
+      if (end != std::streampos(-1)) {
+        known_ = true;
+        remaining_ = static_cast<std::uint64_t>(end - cur);
+      }
+    }
+  }
+
+  void consume(std::uint64_t n) {
+    if (!known_) return;
+    if (n > remaining_) fail("truncated payload (claimed size exceeds file)");
+    remaining_ -= n;
+  }
+
+ private:
+  bool known_ = false;
+  std::uint64_t remaining_ = 0;
+};
+
+std::string read_string(std::istream& in, Crc32c& crc, ByteBudget& budget) {
+  const auto len = read_pod<std::uint32_t>(in, crc);
+  if (len > kNameCap) fail("implausible string length");
+  budget.consume(len);
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) fail("truncated string");
+  crc.update(s.data(), len);
+  return s;
+}
+
+}  // namespace
+
+const Checkpoint::Slot& Checkpoint::slot(const std::string& name,
+                                         SlotKind kind, SlotType type) const {
+  auto it = slots_.find(name);
+  if (it == slots_.end()) fail("missing slot '" + name + "'");
+  if (it->second.kind != kind || it->second.type != type) {
+    fail("slot '" + name + "' has a different kind/type than requested");
+  }
+  return it->second;
+}
+
+void Checkpoint::save(std::ostream& out) const {
+  Crc32c crc;
+  out.write(kMagic, 4);
+  write_pod(out, kVersion, crc);
+
+  const auto alen = static_cast<std::uint32_t>(algorithm_.size());
+  write_pod(out, alen, crc);
+  write_bytes(out, algorithm_.data(), algorithm_.size(), crc);
+
+  write_pod(out, static_cast<std::uint32_t>(slots_.size()), crc);
+  for (const auto& [name, s] : slots_) {
+    write_pod(out, static_cast<std::uint32_t>(name.size()), crc);
+    write_bytes(out, name.data(), name.size(), crc);
+    write_pod(out, static_cast<std::uint8_t>(s.kind), crc);
+    write_pod(out, static_cast<std::uint8_t>(s.type), crc);
+    write_pod(out, std::uint16_t{0}, crc);  // reserved
+    write_pod(out, s.dim0, crc);
+    write_pod(out, s.dim1, crc);
+    write_pod(out, s.count, crc);
+    write_pod(out, static_cast<std::uint64_t>(s.bytes.size()), crc);
+    write_bytes(out, s.bytes.data(), s.bytes.size(), crc);
+  }
+
+  // Footer: the checksum itself (not part of its own coverage).
+  const std::uint32_t sum = crc.value();
+  out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+  if (!out) fail("write failure");
+}
+
+Checkpoint Checkpoint::load(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) fail("bad magic");
+
+  Crc32c crc;
+  ByteBudget budget(in);
+  const auto version = read_pod<std::uint32_t>(in, crc);
+  if (version != kVersion) fail("unsupported version");
+
+  Checkpoint cp;
+  cp.algorithm_ = read_string(in, crc, budget);
+
+  const auto nslots = read_pod<std::uint32_t>(in, crc);
+  if (nslots > kNameCap) fail("implausible slot count");
+  for (std::uint32_t k = 0; k < nslots; ++k) {
+    std::string name = read_string(in, crc, budget);
+    Slot s;
+    const auto kind = read_pod<std::uint8_t>(in, crc);
+    const auto type = read_pod<std::uint8_t>(in, crc);
+    if (kind < 1 || kind > 4 || type < 1 || type > 4) {
+      fail("unknown slot kind/type");
+    }
+    s.kind = static_cast<SlotKind>(kind);
+    s.type = static_cast<SlotType>(type);
+    (void)read_pod<std::uint16_t>(in, crc);  // reserved
+    s.dim0 = read_pod<std::uint64_t>(in, crc);
+    s.dim1 = read_pod<std::uint64_t>(in, crc);
+    s.count = read_pod<std::uint64_t>(in, crc);
+    const auto nbytes = read_pod<std::uint64_t>(in, crc);
+    if (s.dim0 >= kSizeCap || s.dim1 >= kSizeCap || s.count >= kSizeCap ||
+        nbytes >= kSizeCap) {
+      fail("implausible slot sizes");
+    }
+    // Element count must be consistent with the payload size: a vector slot
+    // carries count indices (8B) + count values; a matrix slot two index
+    // arrays + values; scalars are exactly 8 bytes.
+    const std::uint64_t width = type_width(s.type);
+    std::uint64_t expect = 0;
+    switch (s.kind) {
+      case SlotKind::scalar: expect = 8; break;
+      case SlotKind::array: expect = s.count * width; break;
+      case SlotKind::vector: expect = s.count * (8 + width); break;
+      case SlotKind::matrix: expect = s.count * (16 + width); break;
+    }
+    if (nbytes != expect) fail("slot payload size mismatch");
+
+    budget.consume(nbytes);
+    s.bytes.resize(nbytes);
+    in.read(reinterpret_cast<char*>(s.bytes.data()),
+            static_cast<std::streamsize>(nbytes));
+    if (!in) fail("truncated slot payload");
+    crc.update(s.bytes.data(), s.bytes.size());
+    if (!cp.slots_.emplace(std::move(name), std::move(s)).second) {
+      fail("duplicate slot name");
+    }
+  }
+
+  std::uint32_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in) fail("truncated checksum");
+  if (stored != crc.value()) fail("checksum mismatch (corrupt file)");
+  if (in.peek() != std::istream::traits_type::eof()) {
+    fail("trailing garbage after checkpoint payload");
+  }
+  return cp;
+}
+
+void Checkpoint::save(const std::string& path) const {
+  // Temp-file-plus-rename in the same directory: rename(2) is atomic within
+  // a filesystem, so a reader (or a crash) sees the old snapshot or the new
+  // one, never a partial write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) fail("cannot open " + tmp + " for writing");
+    save(f);
+    f.flush();
+    if (!f) {
+      f.close();
+      std::remove(tmp.c_str());
+      fail("write failure on " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("cannot rename " + tmp + " into place");
+  }
+}
+
+Checkpoint Checkpoint::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail("cannot open " + path);
+  return load(f);
+}
+
+void check_resume(const Checkpoint& cp, const std::string& algorithm) {
+  if (cp.algorithm() != algorithm) {
+    fail("cannot resume '" + algorithm + "' from a capsule written by '" +
+         cp.algorithm() + "'");
+  }
+}
+
+}  // namespace lagraph

@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "lagraph/checkpoint.hpp"
 #include "lagraph/graph.hpp"
 #include "lagraph/scope.hpp"
 
@@ -30,11 +31,18 @@ struct BfsResult {
   /// none = frontier exhausted; cancelled/timeout/out_of_memory = governor
   /// stopped the traversal after `depth` complete levels.
   StopReason stop = StopReason::none;
+  /// On interruption: the loop state at the last complete level. Feed it
+  /// back through `resume` to continue; the resumed result is bit-identical
+  /// to an uninterrupted run. Empty if capture itself failed.
+  Checkpoint checkpoint;
 };
 
-/// Level + parent BFS from `source`.
+/// Level + parent BFS from `source`. `resume` (optional) continues an
+/// interrupted traversal from its returned checkpoint; source/variant must
+/// match the original call.
 BfsResult bfs(const Graph& g, Index source,
-              BfsVariant variant = BfsVariant::direction_optimizing);
+              BfsVariant variant = BfsVariant::direction_optimizing,
+              const Checkpoint* resume = nullptr);
 
 // ===========================================================================
 // Shortest paths
@@ -46,15 +54,29 @@ struct SsspResult {
   /// converged = distances fixed; cancelled/timeout/out_of_memory = governor
   /// stopped relaxation early (dist holds valid upper bounds).
   StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
 };
 
 /// Bellman-Ford SSSP via min-plus vxm iteration. Absent = unreachable.
 /// Throws Error(invalid_value) on a negative cycle reachable from source.
-SsspResult sssp_bellman_ford(const Graph& g, Index source);
+SsspResult sssp_bellman_ford(const Graph& g, Index source,
+                             const Checkpoint* resume = nullptr);
 
 /// Delta-stepping SSSP [Sridhar et al., IPDPSW 2019 — cited in §V]:
 /// light/heavy edge split with bucketed relaxation. Non-negative weights.
-SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta);
+SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta,
+                               const Checkpoint* resume = nullptr);
+
+struct ApspResult {
+  gb::Matrix<double> d;  ///< pairwise distances (so-far) between all vertices
+  int rounds = 0;        ///< min-plus squaring rounds completed
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// All-pairs shortest paths by min-plus repeated squaring (small graphs).
+/// Interruptible/resumable form; the governor can stop between squarings.
+ApspResult apsp_run(const Graph& g, const Checkpoint* resume = nullptr);
 
 /// All-pairs shortest paths by min-plus repeated squaring (small graphs).
 gb::Matrix<double> apsp(const Graph& g);
@@ -69,12 +91,27 @@ struct PageRankResult {
   bool converged = false;  ///< residual fell under tol before max_iters
   double residual = std::numeric_limits<double>::infinity();  ///< last L1 change
   StopReason stop = StopReason::max_iters;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
 };
 
 /// PageRank with dangling-node handling (teleport redistribution).
 /// Requires damping in (0, 1), tol > 0, max_iters > 0 (Error invalid_value).
 PageRankResult pagerank(const Graph& g, double damping = 0.85,
-                        double tol = 1e-9, int max_iters = 100);
+                        double tol = 1e-9, int max_iters = 100,
+                        const Checkpoint* resume = nullptr);
+
+struct BcResult {
+  gb::Vector<double> centrality;   ///< empty until the run completes
+  std::size_t levels = 0;          ///< BFS levels discovered by the forward sweep
+  StopReason stop = StopReason::none;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Batched Brandes betweenness centrality, interruptible between the
+/// level-synchronous sweeps of the batch (forward path counting, then the
+/// backward dependency accumulation, one level per resumable step).
+BcResult betweenness_run(const Graph& g, const std::vector<Index>& sources,
+                         const Checkpoint* resume = nullptr);
 
 /// Batched Brandes betweenness centrality from the given source set.
 gb::Vector<double> betweenness(const Graph& g,
@@ -100,7 +137,13 @@ struct KtrussResult {
   gb::Matrix<std::int64_t> c;  ///< adjacency of the k-truss; values = support
   std::uint64_t nedges = 0;    ///< undirected edges surviving
   int rounds = 0;
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
 };
+
+/// k-truss, interruptible/resumable between support-pruning rounds.
+KtrussResult ktruss_run(const Graph& g, std::uint64_t k,
+                        const Checkpoint* resume = nullptr);
 
 /// k-truss of the undirected view of g (k >= 3).
 KtrussResult ktruss(const Graph& g, std::uint64_t k);
@@ -109,22 +152,89 @@ KtrussResult ktruss(const Graph& g, std::uint64_t k);
 // Components and clustering
 // ===========================================================================
 
+struct CcResult {
+  gb::Vector<std::uint64_t> labels;  ///< component label so far (converging)
+  int rounds = 0;                    ///< FastSV hook/shortcut rounds done
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Connected components (FastSV), interruptible/resumable between rounds.
+CcResult connected_components_run(const Graph& g,
+                                  const Checkpoint* resume = nullptr);
+
 /// Connected components (FastSV); label = minimum vertex id in component.
 gb::Vector<std::uint64_t> connected_components(const Graph& g);
+
+struct SccResult {
+  gb::Vector<std::uint64_t> labels;  ///< pivot label; absent = not yet settled
+  int pivots = 0;                    ///< FW-BW pivot rounds completed
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Strongly connected components (FW-BW), interruptible/resumable between
+/// pivot rounds.
+SccResult strongly_connected_components_run(const Graph& g,
+                                            const Checkpoint* resume = nullptr);
 
 /// Strongly connected components of the directed graph via forward-backward
 /// reachability splitting (FW-BW). label(v) = pivot vertex of v's SCC.
 gb::Vector<std::uint64_t> strongly_connected_components(const Graph& g);
 
+struct KcoreResult {
+  gb::Vector<std::uint64_t> coreness;  ///< settled for peeled vertices
+  std::uint64_t k = 0;                 ///< current peel level
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// k-core decomposition, interruptible/resumable between peeling steps.
+KcoreResult kcore_run(const Graph& g, const Checkpoint* resume = nullptr);
+
 /// k-core decomposition of the undirected view: coreness(v) = largest k
 /// such that v survives in the k-core. Dense output.
 gb::Vector<std::uint64_t> kcore(const Graph& g);
 
+struct MisResult {
+  gb::Vector<bool> set;  ///< entries present (true) are in the set
+  int rounds = 0;        ///< Luby rounds completed
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Luby's MIS, interruptible/resumable between rounds. The capsule carries
+/// the RNG round, so resumed draws match an uninterrupted run exactly.
+MisResult mis_run(const Graph& g, std::uint64_t seed = 42,
+                  const Checkpoint* resume = nullptr);
+
 /// Luby's maximal independent set. Entries present (true) are in the set.
 gb::Vector<bool> mis(const Graph& g, std::uint64_t seed = 42);
 
+struct ColoringResult {
+  gb::Vector<std::uint64_t> colors;  ///< 1-based; absent = not yet colored
+  std::uint64_t rounds = 0;          ///< independent sets carved so far
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Greedy IS coloring, interruptible/resumable between color rounds.
+ColoringResult coloring_run(const Graph& g, std::uint64_t seed = 42,
+                            const Checkpoint* resume = nullptr);
+
 /// Greedy independent-set graph coloring; colors are 1-based.
 gb::Vector<std::uint64_t> coloring(const Graph& g, std::uint64_t seed = 42);
+
+struct MatchingResult {
+  gb::Vector<std::uint64_t> mate;  ///< partner so far; mate(i) = i unmatched
+  int rounds = 0;
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Maximal matching, interruptible/resumable between rounds.
+MatchingResult maximal_matching_run(const Graph& g, std::uint64_t seed = 42,
+                                    const Checkpoint* resume = nullptr);
 
 /// Maximal matching: mate(i) = matched partner, mate(i) = i if unmatched.
 gb::Vector<std::uint64_t> maximal_matching(const Graph& g,
@@ -138,15 +248,17 @@ struct ClusterResult {
   /// vertices that changed label in the last round.
   double residual = std::numeric_limits<double>::infinity();
   StopReason stop = StopReason::max_iters;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
 };
 
 /// Markov clustering (MCL). Labels come from each column's attractor row.
 /// Requires inflation > 1, max_iters > 0, prune >= 0 (Error invalid_value).
 ClusterResult mcl(const Graph& g, double inflation = 2.0, int max_iters = 100,
-                  double prune = 1e-6);
+                  double prune = 1e-6, const Checkpoint* resume = nullptr);
 
 /// Peer-pressure clustering. Requires max_iters > 0 (Error invalid_value).
-ClusterResult peer_pressure(const Graph& g, int max_iters = 50);
+ClusterResult peer_pressure(const Graph& g, int max_iters = 50,
+                            const Checkpoint* resume = nullptr);
 
 struct LocalClusterResult {
   gb::Vector<bool> members;  ///< the cluster found around the seed
@@ -163,6 +275,20 @@ LocalClusterResult local_clustering(const Graph& g, Index seed,
 // ===========================================================================
 // Sparse deep neural network inference (§V machine-learning list)
 // ===========================================================================
+
+struct DnnResult {
+  gb::Matrix<double> y;  ///< activations after `layers_done` layers
+  int layers_done = 0;
+  StopReason stop = StopReason::none;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Sparse DNN inference, interruptible/resumable between layers.
+DnnResult dnn_inference_run(const gb::Matrix<double>& y0,
+                            const std::vector<gb::Matrix<double>>& weights,
+                            const std::vector<double>& biases,
+                            double ymax = 32.0,
+                            const Checkpoint* resume = nullptr);
 
 /// GraphChallenge-style sparse DNN inference:
 /// Y_{l+1} = ReLU(Y_l * W_l + bias_l), entries <= 0 pruned, values clipped
@@ -181,7 +307,15 @@ struct AStarResult {
   double distance = std::numeric_limits<double>::infinity();
   std::vector<Index> path;  ///< source..target; empty if unreachable
   Index expanded = 0;       ///< vertices settled before reaching the target
+  StopReason stop = StopReason::none;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
 };
+
+/// A*, interruptible/resumable between expansions (the capsule carries the
+/// open/closed sets and tentative distances).
+AStarResult astar_run(const Graph& g, Index source, Index target,
+                      const gb::Vector<double>& heuristic,
+                      const Checkpoint* resume = nullptr);
 
 /// A* search from source to target with a per-vertex heuristic h (must be
 /// admissible for optimality; h absent => 0). Non-negative edge weights.
@@ -212,6 +346,19 @@ double wl_kernel(const Graph& g1, const Graph& g2, int iters = 3);
 /// Per-vertex WL labels after `iters` refinement rounds (canonicalised to
 /// dense ids; useful for vertex classification features).
 gb::Vector<std::uint64_t> wl_labels(const Graph& g, int iters);
+
+struct GcnResult {
+  gb::Matrix<double> h;  ///< hidden state after `layers_done` layers
+  int layers_done = 0;
+  StopReason stop = StopReason::none;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// GCN inference, interruptible/resumable between layers.
+GcnResult gcn_inference_run(const Graph& g,
+                            const gb::Matrix<double>& features,
+                            const std::vector<gb::Matrix<double>>& weights,
+                            const Checkpoint* resume = nullptr);
 
 /// Graph convolutional network inference ("graph neural network
 /// inference", §V): H_{l+1} = ReLU(Â H_l W_l) with the symmetric

@@ -1,0 +1,14 @@
+#include "lagraph/runner.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace lagraph::detail {
+
+void backoff_sleep(double ms) noexcept {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace lagraph::detail

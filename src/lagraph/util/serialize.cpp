@@ -7,21 +7,9 @@
 
 namespace lagraph {
 
+namespace ioutil {
+
 namespace {
-
-constexpr char kMagic[4] = {'L', 'A', 'G', 'R'};
-// v2 appends a CRC32C of everything after the magic; v1 files (no checksum)
-// are still readable.
-constexpr std::uint32_t kVersion = 2;
-
-[[noreturn]] void fail(const std::string& what) {
-  throw gb::Error(gb::Info::invalid_value, "serialize: " + what);
-}
-
-// --- CRC32C (Castagnoli, reflected polynomial 0x82F63B78) --------------------
-// Software table implementation; the checksum guards the header fields and
-// all three CSR arrays, so a flipped bit or a truncated tail is detected
-// before import instead of surfacing as a subtly wrong matrix.
 
 const std::uint32_t* crc32c_table() {
   static const auto table = [] {
@@ -38,22 +26,30 @@ const std::uint32_t* crc32c_table() {
   return table;
 }
 
-class Crc32c {
- public:
-  void update(const void* data, std::size_t n) noexcept {
-    const auto* p = static_cast<const unsigned char*>(data);
-    const std::uint32_t* t = crc32c_table();
-    for (std::size_t k = 0; k < n; ++k) {
-      state_ = t[(state_ ^ p[k]) & 0xFFu] ^ (state_ >> 8);
-    }
-  }
-  [[nodiscard]] std::uint32_t value() const noexcept {
-    return state_ ^ 0xFFFFFFFFu;
-  }
+}  // namespace
 
- private:
-  std::uint32_t state_ = 0xFFFFFFFFu;
-};
+void Crc32c::update(const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const std::uint32_t* t = crc32c_table();
+  for (std::size_t k = 0; k < n; ++k) {
+    state_ = t[(state_ ^ p[k]) & 0xFFu] ^ (state_ >> 8);
+  }
+}
+
+}  // namespace ioutil
+
+namespace {
+
+using ioutil::Crc32c;
+
+constexpr char kMagic[4] = {'L', 'A', 'G', 'R'};
+// v2 appends a CRC32C of everything after the magic; v1 files (no checksum)
+// are still readable.
+constexpr std::uint32_t kVersion = 2;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw gb::Error(gb::Info::invalid_value, "serialize: " + what);
+}
 
 template <class T>
 void write_pod(std::ostream& out, const T& v, Crc32c& crc) {

@@ -3,6 +3,8 @@
 // load is one bulk read followed by an O(1) move-import.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -17,5 +19,25 @@ void save_matrix(const gb::Matrix<double>& a, std::ostream& out);
 /// Read a LAGR binary matrix. Throws gb::Error on malformed input.
 gb::Matrix<double> load_matrix(const std::string& path);
 gb::Matrix<double> load_matrix(std::istream& in);
+
+namespace ioutil {
+
+/// CRC32C (Castagnoli, reflected polynomial 0x82F63B78), software table
+/// implementation. Shared by the v2 matrix format and the checkpoint
+/// capsule: the checksum guards the header fields and every payload array,
+/// so a flipped bit or a truncated tail is detected before import instead
+/// of surfacing as a subtly wrong object.
+class Crc32c {
+ public:
+  void update(const void* data, std::size_t n) noexcept;
+  [[nodiscard]] std::uint32_t value() const noexcept {
+    return state_ ^ 0xFFFFFFFFu;
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace ioutil
 
 }  // namespace lagraph

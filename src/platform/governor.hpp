@@ -224,6 +224,32 @@ inline void governor_poll() {
   if (Governor* g = Governor::current()) g->poll();
 }
 
+/// Degradation hint: when set on a thread, kernels with a method choice
+/// prefer their lowest-footprint variant (mxm auto-select picks the heap
+/// method over Gustavson's dense accumulator) regardless of cost estimates.
+/// Installed by retry ladders (lagraph::Runner) after a budget trip; method
+/// selection happens on the calling thread before any parallel region, so a
+/// thread-local flag is sufficient.
+inline bool& low_memory_hint() noexcept {
+  static thread_local bool hint = false;
+  return hint;
+}
+
+/// RAII installer for low_memory_hint, exception-safe across a slice.
+class LowMemoryScope {
+ public:
+  explicit LowMemoryScope(bool on) noexcept
+      : prev_(low_memory_hint()) {
+    low_memory_hint() = prev_ || on;
+  }
+  ~LowMemoryScope() { low_memory_hint() = prev_; }
+  LowMemoryScope(const LowMemoryScope&) = delete;
+  LowMemoryScope& operator=(const LowMemoryScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// RAII guard for trip_poll_after, keeping soak loops exception-safe.
 class ScopedTripAfter {
  public:

@@ -6,9 +6,11 @@
 // staging) on every call. Allocating it fresh each time is a malloc tax on
 // the hottest paths, and plain std::vector scratch is invisible to both the
 // memory meter and the allocation fault injector. The Workspace fixes both:
-// buffers are checked out of a per-thread, per-call-site pool of Buf<T>
-// (hence every byte flows through platform::Alloc), and checked back in on
-// scope exit with their capacity retained for the next call.
+// buffers are checked out of a per-thread, per-call-site LIFO freelist of
+// Buf<T> (hence every byte flows through platform::Alloc), and checked back
+// in on scope exit with their capacity retained for the next call. Each
+// site keeps up to four buffers warm, so nested re-entry of the same site
+// (the resumable drivers' retry wrappers do this) still reuses.
 //
 // Contracts:
 //  * Isolation  — pools are thread_local; no cross-thread sharing, no locks.
@@ -58,13 +60,21 @@ inline ThreadArena& arena() noexcept {
   return a;
 }
 
-/// Single-slot freelist for one (element type, call-site tag) pair.
-/// Kernel sites do not nest with themselves, so one cached buffer per site
-/// captures all the reuse; a rare nested checkout simply gets a fresh
-/// buffer, and checkin keeps the larger of the two capacities.
+/// Fixed-depth LIFO freelist for one (element type, call-site tag) pair.
+/// Most kernel sites do not nest with themselves, so the top slot captures
+/// all the reuse; the resumable drivers, however, re-enter kernels from
+/// retry/degradation wrappers up to a few frames deep, and a depth of four
+/// keeps every level of that nesting warm. Checkout pops the most recently
+/// returned buffer (LIFO — the one most likely still in cache); checkin
+/// pushes, and when the list is full the incoming buffer replaces the
+/// smallest cached one if it is strictly larger (otherwise it is freed), so
+/// the retained capacities stay a deterministic function of the site's call
+/// history.
 template <class T, class Site>
 class Pool {
  public:
+  static constexpr std::size_t kDepth = 4;
+
   static Pool& local() noexcept {
     static thread_local Pool pool;
     return pool;
@@ -74,30 +84,33 @@ class Pool {
     register_once();
     auto& st = arena().stats;
     ++st.checkouts;
-    if (!cached_) return Buf<T>{};
-    cached_ = false;
-    st.cached_bytes -= slot_.capacity() * sizeof(T);
+    if (count_ == 0) return Buf<T>{};
+    --count_;
+    Buf<T> b = std::move(slots_[count_]);
+    st.cached_bytes -= b.capacity() * sizeof(T);
     --st.cached_buffers;
-    if (slot_.capacity() > 0) ++st.reuses;
-    return std::move(slot_);
+    if (b.capacity() > 0) ++st.reuses;
+    return b;
   }
 
   void give_back(Buf<T>&& b) noexcept {
     b.clear();  // destroy elements, keep capacity
     auto& st = arena().stats;
-    if (cached_) {
-      // Nested checkout of the same site: retain the larger buffer so the
-      // site's warm capacity stays deterministic, free the other.
-      if (b.capacity() <= slot_.capacity()) return;
-      st.cached_bytes -= slot_.capacity() * sizeof(T);
-      slot_ = std::move(b);
-      st.cached_bytes += slot_.capacity() * sizeof(T);
+    if (count_ < kDepth) {
+      st.cached_bytes += b.capacity() * sizeof(T);
+      ++st.cached_buffers;
+      slots_[count_++] = std::move(b);
       return;
     }
-    slot_ = std::move(b);
-    cached_ = true;
-    st.cached_bytes += slot_.capacity() * sizeof(T);
-    ++st.cached_buffers;
+    // Full: deterministic retention — keep the kDepth largest capacities.
+    std::size_t smallest = 0;
+    for (std::size_t i = 1; i < kDepth; ++i) {
+      if (slots_[i].capacity() < slots_[smallest].capacity()) smallest = i;
+    }
+    if (b.capacity() <= slots_[smallest].capacity()) return;  // free b
+    st.cached_bytes -= slots_[smallest].capacity() * sizeof(T);
+    st.cached_bytes += b.capacity() * sizeof(T);
+    slots_[smallest] = std::move(b);
   }
 
  private:
@@ -105,13 +118,13 @@ class Pool {
 
   static void drop() noexcept {
     Pool& p = local();
-    if (p.cached_) {
-      auto& st = arena().stats;
-      st.cached_bytes -= p.slot_.capacity() * sizeof(T);
+    auto& st = arena().stats;
+    for (std::size_t i = 0; i < p.count_; ++i) {
+      st.cached_bytes -= p.slots_[i].capacity() * sizeof(T);
       --st.cached_buffers;
-      p.cached_ = false;
+      Buf<T>{}.swap(p.slots_[i]);  // release through Alloc
     }
-    Buf<T>{}.swap(p.slot_);  // release through Alloc
+    p.count_ = 0;
   }
 
   void register_once() noexcept {
@@ -125,8 +138,8 @@ class Pool {
     }
   }
 
-  Buf<T> slot_{};
-  bool cached_ = false;
+  Buf<T> slots_[kDepth]{};
+  std::size_t count_ = 0;
   bool registered_ = false;
 };
 

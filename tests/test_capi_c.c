@@ -6,10 +6,13 @@
  * selection). It is a plain main() so no C++ test framework leaks in.
  */
 #include <math.h>
+#include <stdbool.h>
+#include <stdint.h>
 #include <stdio.h>
 
 #include "capi/graphblas_c.h"
 #include "capi/graphblas_poly.h"
+#include "capi/lagraph_c.h"
 
 static int failures = 0;
 
@@ -77,6 +80,116 @@ static void test_polymorphic_operations(void) {
   CHECK(GrB_free(&w) == GrB_SUCCESS);
 }
 
+static void test_typed_variants(void) {
+  /* Value-type _Generic dispatch: bool values route to the _BOOL variants,
+   * integers to _INT64, floating point to _FP64 — all coercing through the
+   * shared FP64 storage, so cross-typed reads see the same entry. */
+  GrB_Matrix a = NULL;
+  GrB_Vector v = NULL;
+  CHECK(GrB_Matrix_new(&a, 3, 3) == GrB_SUCCESS);
+  CHECK(GrB_Vector_new(&v, 3) == GrB_SUCCESS);
+
+  bool b = true;
+  int64_t k = 41;
+  CHECK(GrB_setElement(a, b, 0, 1) == GrB_SUCCESS);
+  CHECK(GrB_setElement(a, k, 1, 2) == GrB_SUCCESS);
+  CHECK(GrB_setElement(a, 2, 2, 0) == GrB_SUCCESS); /* int literal -> INT64 */
+
+  bool rb = false;
+  int64_t rk = 0;
+  double rd = 0.0;
+  CHECK(GrB_extractElement(&rb, a, 0, 1) == GrB_SUCCESS && rb == true);
+  CHECK(GrB_extractElement(&rk, a, 1, 2) == GrB_SUCCESS && rk == 41);
+  CHECK(GrB_extractElement(&rd, a, 2, 0) == GrB_SUCCESS && rd == 2.0);
+  /* Cross-typed reads of the same entries. */
+  CHECK(GrB_extractElement(&rd, a, 0, 1) == GrB_SUCCESS && rd == 1.0);
+  CHECK(GrB_extractElement(&rb, a, 1, 2) == GrB_SUCCESS && rb == true);
+  CHECK(GrB_extractElement(&rk, a, 2, 0) == GrB_SUCCESS && rk == 2);
+
+  /* A stored false is an explicit entry reading back as false, not
+   * NO_VALUE — structure and value stay distinct. */
+  CHECK(GrB_Matrix_setElement_BOOL(a, false, 0, 0) == GrB_SUCCESS);
+  CHECK(GrB_Matrix_extractElement_BOOL(&rb, a, 0, 0) == GrB_SUCCESS &&
+        rb == false);
+  CHECK(GrB_Matrix_extractElement_BOOL(&rb, a, 2, 2) == GrB_NO_VALUE);
+
+  /* Vector forms through the 3-argument arm of the polymorphic macros. */
+  CHECK(GrB_setElement(v, b, 0) == GrB_SUCCESS);
+  CHECK(GrB_setElement(v, (int64_t)9, 1) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&rb, v, 0) == GrB_SUCCESS && rb == true);
+  CHECK(GrB_extractElement(&rk, v, 1) == GrB_SUCCESS && rk == 9);
+  CHECK(GrB_extractElement(&rd, v, 1) == GrB_SUCCESS && rd == 9.0);
+
+  /* Typed scalar assigns delegate to the FP64 storage as well. */
+  CHECK(GrB_Vector_assign_BOOL(v, NULL, GrB_NULL_ACCUM, true, GrB_ALL, 3,
+                               NULL) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&rb, v, 2) == GrB_SUCCESS && rb == true);
+  CHECK(GrB_Vector_assign_INT64(v, NULL, GrB_NULL_ACCUM, 5, GrB_ALL, 3,
+                                NULL) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&rk, v, 2) == GrB_SUCCESS && rk == 5);
+
+  CHECK(GrB_free(&a) == GrB_SUCCESS);
+  CHECK(GrB_free(&v) == GrB_SUCCESS);
+}
+
+static void test_runner_drivers(void) {
+  /* The resumable-execution binding: configure a runner, drive PageRank
+   * and BFS over a symmetric 8-ring, and read the telemetry back. */
+  const GrB_Index n = 8;
+  GrB_Matrix a = NULL;
+  GrB_Vector rank = NULL, level = NULL;
+  CHECK(GrB_Matrix_new(&a, n, n) == GrB_SUCCESS);
+  for (GrB_Index i = 0; i < n; ++i) {
+    CHECK(GrB_setElement(a, 1.0, i, (i + 1) % n) == GrB_SUCCESS);
+    CHECK(GrB_setElement(a, 1.0, (i + 1) % n, i) == GrB_SUCCESS);
+  }
+  CHECK(GrB_Vector_new(&rank, n) == GrB_SUCCESS);
+  CHECK(GrB_Vector_new(&level, n) == GrB_SUCCESS);
+
+  LAGraph_Runner r = NULL;
+  CHECK(LAGraph_Runner_new(&r) == GrB_SUCCESS);
+  CHECK(LAGraph_Runner_set_slice_ms(r, 50.0) == GrB_SUCCESS);
+  CHECK(LAGraph_Runner_set_max_slices(r, 0) == GrB_INVALID_VALUE);
+  CHECK(LAGraph_Runner_set_max_slices(r, 100) == GrB_SUCCESS);
+  CHECK(LAGraph_Runner_set_retry(r, 3, 0.5, 2.0, 2.0) == GrB_SUCCESS);
+  CHECK(LAGraph_Runner_set_retry(r, -1, 0.5, 2.0, 2.0) == GrB_INVALID_VALUE);
+
+  int32_t iters = 0;
+  CHECK(LAGraph_Runner_pagerank(rank, r, a, 0.85, 1e-9, 100, &iters) ==
+        GrB_SUCCESS);
+  CHECK(iters > 0);
+  double sum = 0.0;
+  for (GrB_Index i = 0; i < n; ++i) {
+    double x = 0.0;
+    CHECK(GrB_extractElement(&x, rank, i) == GrB_SUCCESS);
+    sum += x;
+  }
+  CHECK(fabs(sum - 1.0) < 1e-6); /* a PageRank vector is a distribution */
+
+  int32_t slices = 0, retries = 0, degradations = 0;
+  bool gave_up = true;
+  LAGraph_StopReason stop = LAGraph_STOP_NONE;
+  CHECK(LAGraph_Runner_stats(r, &slices, &retries, &degradations, &gave_up,
+                             &stop) == GrB_SUCCESS);
+  CHECK(slices >= 1);
+  CHECK(!gave_up);
+  CHECK(stop == LAGraph_STOP_CONVERGED);
+
+  /* BFS levels are 0-based hop counts; on the ring both neighbours of the
+   * source sit one hop out. */
+  CHECK(LAGraph_Runner_bfs_level(level, r, a, 0) == GrB_SUCCESS);
+  double hop = -1.0;
+  CHECK(GrB_extractElement(&hop, level, 0) == GrB_SUCCESS && hop == 0.0);
+  CHECK(GrB_extractElement(&hop, level, 1) == GrB_SUCCESS && hop == 1.0);
+  CHECK(GrB_extractElement(&hop, level, n - 1) == GrB_SUCCESS && hop == 1.0);
+  CHECK(GrB_extractElement(&hop, level, 4) == GrB_SUCCESS && hop == 4.0);
+
+  CHECK(LAGraph_Runner_free(&r) == GrB_SUCCESS && r == NULL);
+  CHECK(GrB_free(&a) == GrB_SUCCESS);
+  CHECK(GrB_free(&rank) == GrB_SUCCESS);
+  CHECK(GrB_free(&level) == GrB_SUCCESS);
+}
+
 static void test_c_bfs(void) {
   /* The Fig. 2(d) loop, written in plain C: a 5-cycle. */
   const GrB_Index n = 5;
@@ -127,6 +240,8 @@ static void test_c_bfs(void) {
 int main(void) {
   test_lifetime_polymorphic();
   test_polymorphic_operations();
+  test_typed_variants();
+  test_runner_drivers();
   test_c_bfs();
   if (failures == 0) {
     printf("test_capi_c: all C-language API checks passed\n");

@@ -31,6 +31,9 @@ struct tag_iso;
 struct tag_fault;
 struct tag_clear;
 struct tag_exhaust;
+struct tag_lifo;
+struct tag_depth;
+struct tag_evict;
 
 TEST(Workspace, CheckinRetainsCapacityAndCheckoutReuses) {
   Workspace::clear_thread();
@@ -79,6 +82,90 @@ TEST(Workspace, NestedCheckoutSameSiteGetsFreshBuffer) {
     h2->at(0) = 2.0;
     EXPECT_EQ(h1->at(0), 1.0);
   }
+  Workspace::clear_thread();
+}
+
+TEST(Workspace, FreelistServesLifoOrder) {
+  // The per-site freelist is a LIFO: the most recently checked-in buffer
+  // (the one most likely still cache-hot) is handed out first.
+  Workspace::clear_thread();
+  const void* p1 = nullptr;
+  const void* p2 = nullptr;
+  {
+    auto h1 = Workspace::checkout<tag_lifo, double>(64);
+    auto h2 = Workspace::checkout<tag_lifo, double>(64);
+    p1 = h1->data();
+    p2 = h2->data();
+    ASSERT_NE(p1, p2);
+    // h2 destructs first, then h1 => freelist top is h1's buffer.
+  }
+  {
+    auto h = Workspace::checkout<tag_lifo, double>(64);
+    EXPECT_EQ(h->data(), p1);  // last checked in, first out
+    auto h2 = Workspace::checkout<tag_lifo, double>(64);
+    EXPECT_EQ(h2->data(), p2);
+  }
+  Workspace::clear_thread();
+}
+
+TEST(Workspace, FreelistRetainsUpToFourBuffers) {
+  // Depth cap: five simultaneous checkouts of one site check four buffers
+  // back into the freelist; the fifth is freed (its capacity is not larger
+  // than any cached one, so retention drops it) and the meter shows exactly
+  // the four retained allocations.
+  Workspace::clear_thread();
+  const auto before = Workspace::thread_stats();
+  {
+    auto h1 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    auto h2 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    auto h3 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    auto h4 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    auto h5 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    (void)h5;
+  }
+  const auto after = Workspace::thread_stats();
+  EXPECT_EQ(after.cached_buffers, before.cached_buffers + 4);
+  EXPECT_EQ(after.checkouts, before.checkouts + 5);
+  // Four more checkouts are all served warm.
+  {
+    auto h1 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    auto h2 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    auto h3 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    auto h4 = Workspace::checkout<tag_depth, std::uint64_t>(100);
+    EXPECT_GE(h1->capacity(), 100u);
+    EXPECT_GE(h4->capacity(), 100u);
+  }
+  EXPECT_EQ(Workspace::thread_stats().reuses, after.reuses + 4);
+  Workspace::clear_thread();
+}
+
+TEST(Workspace, FullFreelistKeepsLargestCapacities) {
+  // When the freelist is full, a larger incoming buffer evicts the smallest
+  // cached one, so the warm set converges on the biggest capacities the
+  // site has seen — deterministically, whatever the interleaving.
+  Workspace::clear_thread();
+  {
+    // Five live checkouts: four small and one big. Destruction runs in
+    // reverse order, so big/s4/s3/s2 fill the freelist and s1 (small, not
+    // larger than any cached buffer) is freed — the big capacity survives.
+    auto s1 = Workspace::checkout<tag_evict, double>(10);
+    auto s2 = Workspace::checkout<tag_evict, double>(10);
+    auto s3 = Workspace::checkout<tag_evict, double>(10);
+    auto s4 = Workspace::checkout<tag_evict, double>(10);
+    auto big = Workspace::checkout<tag_evict, double>(5000);
+    (void)s1;
+  }
+  std::size_t best = 0;
+  {
+    // One of the four cached buffers now has the big capacity.
+    auto h1 = Workspace::checkout<tag_evict, double>(1);
+    auto h2 = Workspace::checkout<tag_evict, double>(1);
+    auto h3 = Workspace::checkout<tag_evict, double>(1);
+    auto h4 = Workspace::checkout<tag_evict, double>(1);
+    best = std::max({h1->capacity(), h2->capacity(), h3->capacity(),
+                     h4->capacity()});
+  }
+  EXPECT_GE(best, 5000u);
   Workspace::clear_thread();
 }
 
