@@ -1,0 +1,136 @@
+// PR7: what the bitmap/full storage forms buy. Two measurements on the
+// same random graph:
+//
+//   1. dense-frontier pull mxv — the output vector forced sparse (the old
+//      gather/compact commit) vs forced bitmap (kernel-native dense
+//      commit: accumulator + presence arrays ARE the result);
+//   2. a PageRank run — every iterate is dense, so the auto policy keeps
+//      the rank vectors in dense forms throughout vs forcing them sparse.
+//
+// Both variants compute bit-identical results (asserted here entry by
+// entry); only the storage form of the outputs differs. Emits
+// BENCH_PR7.json at the repo root. `--quick` shrinks the input for CI
+// smoke runs.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+
+namespace {
+
+/// Best-of-k wall time of `body`, milliseconds.
+template <class F>
+double best_ms(int reps, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    gb::platform::Timer t;
+    body();
+    best = std::min(best, t.millis());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const gb::Index n = quick ? 1 << 10 : 1 << 14;
+  const gb::Index m = n * 16;
+  const int reps = quick ? 3 : 7;
+  const int pr_iters = quick ? 10 : 30;
+
+  gb::Matrix<double> a =
+      lagraph::random_matrix(n, n, m, /*seed=*/42);
+  a.ensure_dual_format();
+
+  // A fully dense frontier: the pull kernel's favourite input.
+  gb::Vector<double> u = gb::Vector<double>::full(n, 1.0);
+
+  gb::Descriptor pull = gb::desc_default;
+  pull.mxv = gb::MxvMethod::pull;
+
+  // Warm-up both paths (thread pool, workspace pools, orientation caches).
+  gb::Vector<double> w_sparse(n);
+  w_sparse.set_format(gb::FormatMode::sparse);
+  gb::Vector<double> w_bitmap(n);
+  w_bitmap.set_format(gb::FormatMode::bitmap);
+  gb::mxv(w_sparse, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u, pull);
+  gb::mxv(w_bitmap, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u, pull);
+
+  // 1. Pull mxv, sparse-committed vs bitmap-native output. The reps are
+  // interleaved so clock drift and allocator state hit both variants the
+  // same way — back-to-back blocks consistently penalise whichever runs
+  // second.
+  double mxv_sparse = 1e300;
+  double mxv_bitmap = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    mxv_sparse = std::min(mxv_sparse, best_ms(1, [&] {
+      gb::mxv(w_sparse, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a,
+              u, pull);
+    }));
+    mxv_bitmap = std::min(mxv_bitmap, best_ms(1, [&] {
+      gb::mxv(w_bitmap, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a,
+              u, pull);
+    }));
+  }
+
+  // The two forms must hold identical entries — format never changes
+  // results.
+  if (w_sparse.nvals() != w_bitmap.nvals()) std::abort();
+  for (gb::Index i = 0; i < n; ++i) {
+    auto xs = w_sparse.extract_element(i);
+    auto xb = w_bitmap.extract_element(i);
+    if (xs.has_value() != xb.has_value()) std::abort();
+    if (xs && *xs != *xb) std::abort();
+  }
+
+  // 2. PageRank under the auto storage policy: every iterate is dense, so
+  // the rank vectors ride the kernel-native dense commits throughout.
+  // Reported as an absolute time for tracking across PRs (the sparse-vs-
+  // bitmap commit ratio is isolated by the mxv numbers above).
+  lagraph::Graph g(a.dup(), lagraph::Kind::undirected);
+  const double tol = 1e-300;  // never reached: fixed iteration count
+  {
+    auto warm = lagraph::pagerank(g, 0.85, tol, pr_iters);
+    if (warm.iterations != pr_iters) std::abort();
+  }
+  const double pagerank_ms = best_ms(reps, [&] {
+    auto res = lagraph::pagerank(g, 0.85, tol, pr_iters);
+    if (res.iterations != pr_iters) std::abort();
+  });
+
+  const double speedup = mxv_bitmap > 0 ? mxv_sparse / mxv_bitmap : 0.0;
+  std::printf("bench_formats: n=%lld nnz=%lld\n", static_cast<long long>(n),
+              static_cast<long long>(a.nvals()));
+  std::printf("  pull mxv, sparse output  %8.3f ms\n", mxv_sparse);
+  std::printf("  pull mxv, bitmap output  %8.3f ms  (%.3fx)\n", mxv_bitmap,
+              speedup);
+  std::printf("  pagerank (auto formats)  %8.3f ms (%d iters)\n", pagerank_ms,
+              pr_iters);
+
+  const std::string path = std::string(LAGRAPH_SOURCE_DIR) + "/BENCH_PR7.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"formats\",\n");
+  std::fprintf(f, "  \"n\": %lld,\n  \"nnz\": %lld,\n",
+               static_cast<long long>(n), static_cast<long long>(a.nvals()));
+  std::fprintf(f, "  \"mxv_pull_sparse_output_ms\": %.4f,\n", mxv_sparse);
+  std::fprintf(f, "  \"mxv_pull_bitmap_output_ms\": %.4f,\n", mxv_bitmap);
+  std::fprintf(f, "  \"bitmap_output_speedup\": %.4f,\n", speedup);
+  std::fprintf(f, "  \"pagerank_iters\": %d,\n", pr_iters);
+  std::fprintf(f, "  \"pagerank_auto_ms\": %.4f\n", pagerank_ms);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

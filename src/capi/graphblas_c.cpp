@@ -1047,6 +1047,43 @@ GrB_Info run_check(Obj* obj, const Wrapped& wrapped, GxB_CheckLevel level) {
   });
 }
 
+/// SuiteSparse sparsity-control word -> FormatMode. Bitwise-OR combinations
+/// are accepted; the strongest dense form named wins (full > bitmap), any
+/// sparse bit alone means sparse, and the all-bits value is automatic.
+bool sparsity_to_mode(int32_t value, gb::FormatMode* mode) {
+  const int32_t all = GxB_HYPERSPARSE | GxB_SPARSE | GxB_BITMAP | GxB_FULL;
+  if (value <= 0 || (value & ~all) != 0) return false;
+  if (value == all) {
+    *mode = gb::FormatMode::auto_fmt;
+  } else if (value & GxB_FULL) {
+    *mode = gb::FormatMode::full;
+  } else if (value & GxB_BITMAP) {
+    *mode = gb::FormatMode::bitmap;
+  } else {
+    *mode = gb::FormatMode::sparse;
+  }
+  return true;
+}
+
+int32_t mode_to_sparsity(gb::FormatMode mode) {
+  switch (mode) {
+    case gb::FormatMode::sparse: return GxB_SPARSE;
+    case gb::FormatMode::bitmap: return GxB_BITMAP;
+    case gb::FormatMode::full: return GxB_FULL;
+    case gb::FormatMode::auto_fmt: break;
+  }
+  return GxB_AUTO_SPARSITY;
+}
+
+int32_t form_to_sparsity(gb::Format form, bool hyper) {
+  switch (form) {
+    case gb::Format::bitmap: return GxB_BITMAP;
+    case gb::Format::full: return GxB_FULL;
+    case gb::Format::sparse: break;
+  }
+  return hyper ? GxB_HYPERSPARSE : GxB_SPARSE;
+}
+
 }  // namespace
 
 extern "C" {
@@ -1059,6 +1096,64 @@ GrB_Info GxB_Matrix_check(GrB_Matrix a, GxB_CheckLevel level) {
 GrB_Info GxB_Vector_check(GrB_Vector v, GxB_CheckLevel level) {
   if (!v) return GrB_NULL_POINTER;
   return run_check(v, v->v, level);
+}
+
+// --- GxB storage-form options ------------------------------------------------
+
+GrB_Info GxB_Matrix_Option_set(GrB_Matrix a, GxB_Option_Field f,
+                               int32_t value) {
+  if (!a) return GrB_NULL_POINTER;
+  if (f != GxB_SPARSITY_CONTROL) return GrB_INVALID_VALUE;
+  gb::FormatMode mode;
+  if (!sparsity_to_mode(value, &mode)) return GrB_INVALID_VALUE;
+  return guarded_at(a, [&] {
+    a->m.set_format(mode);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GxB_Matrix_Option_get(GrB_Matrix a, GxB_Option_Field f,
+                               int32_t* value) {
+  if (!a || !value) return GrB_NULL_POINTER;
+  return guarded_at(a, [&] {
+    switch (f) {
+      case GxB_SPARSITY_CONTROL:
+        *value = mode_to_sparsity(a->m.format_mode());
+        return GrB_SUCCESS;
+      case GxB_SPARSITY_STATUS:
+        *value = form_to_sparsity(a->m.format(), a->m.is_hyper());
+        return GrB_SUCCESS;
+    }
+    return GrB_INVALID_VALUE;
+  });
+}
+
+GrB_Info GxB_Vector_Option_set(GrB_Vector v, GxB_Option_Field f,
+                               int32_t value) {
+  if (!v) return GrB_NULL_POINTER;
+  if (f != GxB_SPARSITY_CONTROL) return GrB_INVALID_VALUE;
+  gb::FormatMode mode;
+  if (!sparsity_to_mode(value, &mode)) return GrB_INVALID_VALUE;
+  return guarded_at(v, [&] {
+    v->v.set_format(mode);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info GxB_Vector_Option_get(GrB_Vector v, GxB_Option_Field f,
+                               int32_t* value) {
+  if (!v || !value) return GrB_NULL_POINTER;
+  return guarded_at(v, [&] {
+    switch (f) {
+      case GxB_SPARSITY_CONTROL:
+        *value = mode_to_sparsity(v->v.format_mode());
+        return GrB_SUCCESS;
+      case GxB_SPARSITY_STATUS:
+        *value = form_to_sparsity(v->v.format(), false);
+        return GrB_SUCCESS;
+    }
+    return GrB_INVALID_VALUE;
+  });
 }
 
 // --- GxB_Context: the execution governor's C handle --------------------------

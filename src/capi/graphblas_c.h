@@ -208,6 +208,38 @@ typedef enum {
 GrB_Info GxB_Matrix_check(GrB_Matrix a, GxB_CheckLevel level);
 GrB_Info GxB_Vector_check(GrB_Vector v, GxB_CheckLevel level);
 
+/* --- storage-form control (SuiteSparse GxB extension) --------------------
+ * Matrices and vectors may be stored sparse (CSR/CSC, possibly
+ * hypersparse), as a bitmap (presence byte per position + value array), or
+ * full (every position present, values only). GxB_*_Option_set with
+ * GxB_SPARSITY_CONTROL pins the form; GxB_AUTO_SPARSITY restores the
+ * density-driven automatic policy. A pinned form is a *preference*: an
+ * object that cannot satisfy it (e.g. GxB_FULL with absent entries, or a
+ * dimension product beyond the dense-form cap) degrades gracefully and
+ * never errors, and results never depend on the chosen form.
+ * GxB_SPARSITY_STATUS reads back the form the object is in right now. */
+typedef enum {
+  GxB_SPARSITY_CONTROL = 32,
+  GxB_SPARSITY_STATUS = 33
+} GxB_Option_Field;
+
+/* Sparsity values (bitwise-OR combinations accepted by _set as in
+ * SuiteSparse; _get for GxB_SPARSITY_STATUS returns exactly one). */
+#define GxB_HYPERSPARSE 1
+#define GxB_SPARSE 2
+#define GxB_BITMAP 4
+#define GxB_FULL 8
+#define GxB_AUTO_SPARSITY 15
+
+GrB_Info GxB_Matrix_Option_set(GrB_Matrix a, GxB_Option_Field f,
+                               int32_t value);
+GrB_Info GxB_Matrix_Option_get(GrB_Matrix a, GxB_Option_Field f,
+                               int32_t* value);
+GrB_Info GxB_Vector_Option_set(GrB_Vector v, GxB_Option_Field f,
+                               int32_t value);
+GrB_Info GxB_Vector_Option_get(GrB_Vector v, GxB_Option_Field f,
+                               int32_t* value);
+
 /* --- Table-I operations --------------------------------------------------
  * mask may be NULL (no mask); accum may be GrB_NULL_ACCUM; desc may be
  * NULL (defaults). */

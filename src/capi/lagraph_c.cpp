@@ -192,4 +192,53 @@ GrB_Info LAGraph_Runner_bfs_level(GrB_Vector level, LAGraph_Runner r,
   });
 }
 
+GrB_Info LAGraph_Runner_sssp_bellman_ford(GrB_Vector dist, LAGraph_Runner r,
+                                          GrB_Matrix a, GrB_Index source,
+                                          int32_t* iterations) {
+  if (dist == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::sssp_bellman_ford(g, static_cast<gb::Index>(source),
+                                        cp);
+    });
+    // SSSP distances are FP64 already: the result vector moves straight in.
+    dist->v = std::move(res.dist);
+    if (iterations != nullptr) *iterations = res.iterations;
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Runner_cc(GrB_Vector labels, LAGraph_Runner r, GrB_Matrix a,
+                           int32_t* rounds) {
+  if (labels == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::connected_components_run(g, cp);
+    });
+    // The C vector is FP64-backed; labels are vertex ids, exact in a double
+    // for any graph whose dimension a GrB_Index addresses.
+    std::vector<gb::Index> idx;
+    std::vector<std::uint64_t> lab;
+    res.labels.extract_tuples(idx, lab);
+    std::vector<double> vals(lab.begin(), lab.end());
+    gb::Vector<double> out(res.labels.size());
+    out.build(idx, vals, gb::Second{});
+    labels->v = std::move(out);
+    if (rounds != nullptr) *rounds = res.rounds;
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
 }  // extern "C"

@@ -79,6 +79,22 @@ GrB_Info LAGraph_Runner_pagerank(GrB_Vector rank, LAGraph_Runner r,
 GrB_Info LAGraph_Runner_bfs_level(GrB_Vector level, LAGraph_Runner r,
                                   GrB_Matrix a, GrB_Index source);
 
+/* Bellman-Ford SSSP: dist holds the distance from source (absent =
+ * unreached). On an interruption trip the partial distances are valid upper
+ * bounds; *iterations (optional) is the relaxation rounds completed. Returns
+ * GrB_INVALID_VALUE on a negative cycle reachable from source. */
+GrB_Info LAGraph_Runner_sssp_bellman_ford(GrB_Vector dist, LAGraph_Runner r,
+                                          GrB_Matrix a, GrB_Index source,
+                                          int32_t* iterations);
+
+/* Connected components (FastSV): labels holds, per vertex, the minimum
+ * vertex id of its component (edges are treated as undirected). Labels are
+ * integers stored exactly in the FP64-backed vector. On an interruption
+ * trip the partial labels are a valid coarsening (converging toward the
+ * final labels); *rounds (optional) is the hook/shortcut rounds done. */
+GrB_Info LAGraph_Runner_cc(GrB_Vector labels, LAGraph_Runner r, GrB_Matrix a,
+                           int32_t* rounds);
+
 #ifdef __cplusplus
 }
 #endif

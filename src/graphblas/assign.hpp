@@ -69,8 +69,9 @@ void assign(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   check_dims(u.size() == isel.size(), "assign: u size vs index list");
   auto region = detail::make_vec_region<UT>(isel, w.size(), &u);
 
-  auto wi = w.indices();
-  auto wv = w.values();
+  const auto wc = detail::read_content(w);
+  const auto& wi = wc.i;
+  const auto& wv = wc.v;
   Buf<Index> ti;
   Buf<CT> tv;
   ti.reserve(wi.size() + region.pos.size());
@@ -124,8 +125,24 @@ template <class CT, class MaskArg, class Accum, class S>
 void assign_scalar(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
                    const S& s, const IndexSel& isel,
                    const Descriptor& desc = desc_default) {
-  auto wi = w.indices();
-  auto wv = w.values();
+  // Full-native path: w(GrB_ALL) = s with no mask and no accumulator makes
+  // every position present with the same value — exactly the full form. The
+  // value array is built before w is touched (strong guarantee) and
+  // commit_result_dense applies the storage-form policy (a forced-sparse
+  // vector still compacts to index/value arrays).
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    if (isel.is_all() && dense_form_addressable(w.size(), 1)) {
+      const Index n = w.size();
+      Buf<storage_t<CT>> vals(static_cast<std::size_t>(n),
+                              static_cast<CT>(s));
+      Buf<std::uint8_t> pres(static_cast<std::size_t>(n), 1);
+      w.commit_result_dense(std::move(vals), std::move(pres), n);
+      return;
+    }
+  }
+  const auto wc = detail::read_content(w);
+  const auto& wi = wc.i;
+  const auto& wv = wc.v;
   auto rpos_h =
       platform::Workspace::checkout<detail::ws_assign_rpos, Index>();
   auto& rpos = *rpos_h;
@@ -343,6 +360,25 @@ template <class CT, class MaskArg, class Accum, class S>
 void assign_scalar(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
                    const S& s, const IndexSel& isel, const IndexSel& jsel,
                    const Descriptor& desc = desc_default) {
+  // Full-native path: C(GrB_ALL, GrB_ALL) = s with no mask and no
+  // accumulator is a full-form store of s — built directly, no tuple list,
+  // no merge. adopt() applies the storage-form policy afterwards.
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    if (isel.is_all() && jsel.is_all() && isel.size() == c.nrows() &&
+        jsel.size() == c.ncols() &&
+        dense_form_addressable(c.nrows(), c.ncols())) {
+      const std::size_t slots =
+          static_cast<std::size_t>(c.nrows()) * c.ncols();
+      SparseStore<CT> t(c.nrows());
+      t.hyper = false;
+      Buf<Index>().swap(t.p);
+      t.form = Format::full;
+      t.mdim = c.ncols();
+      t.x.assign(slots, static_cast<CT>(s));
+      c.adopt(std::move(t), Layout::by_row);
+      return;
+    }
+  }
   // Build a dense |I|x|J| matrix of s and delegate. The benchmark-relevant
   // assigns (C2/C3) use the matrix form above; scalar expansion is a
   // convenience for algorithms with small regions.

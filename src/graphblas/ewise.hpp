@@ -195,6 +195,114 @@ SparseStore<ZT> merge_stores(const SparseStore<AT>& a, const SparseStore<BT>& b,
   return t;
 }
 
+/// True when an unmasked, accumulator-free vector ewise should run slotwise
+/// into a kernel-native dense output: both inputs already dense and the
+/// output's form preference does not pin sparse.
+template <class CT, class UT, class VT>
+[[nodiscard]] bool ewise_vec_dense_native(const Vector<CT>& w,
+                                          const Vector<UT>& u,
+                                          const Vector<VT>& v) {
+  if (!dense_form_addressable(w.size(), 1)) return false;
+  const FormatMode fm = w.format_mode();
+  if (fm == FormatMode::sparse) return false;
+  if (fm == FormatMode::bitmap || fm == FormatMode::full) return true;
+  return u.is_dense_rep() && v.is_dense_rep();
+}
+
+/// Slotwise vector ewise into a kernel-native dense output — no merge, no
+/// coordinate lists; the scan *is* the result's bitmap form.
+template <bool Union, class CT, class Op, class UT, class VT>
+void ewise_vec_dense(Vector<CT>& w, Op op, const Vector<UT>& u,
+                     const Vector<VT>& v) {
+  using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
+  const Index n = w.size();
+  auto ud = u.dense_values();
+  auto vd = v.dense_values();
+  const bool uf = u.is_full_rep();
+  const bool vf = v.is_full_rep();
+  std::span<const std::uint8_t> up;
+  std::span<const std::uint8_t> vp;
+  if (!uf) up = u.present();
+  if (!vf) vp = v.present();
+  Buf<storage_t<CT>> out(n, storage_t<CT>{});
+  Buf<std::uint8_t> pres(n, 0);
+  Index cnt = 0;
+  for (Index i = 0; i < n; ++i) {
+    if ((i & 1023) == 0) platform::governor_poll();
+    const bool a = uf || up[i];
+    const bool b = vf || vp[i];
+    if (a && b) {
+      out[i] = static_cast<CT>(
+          static_cast<ZT>(op(static_cast<UT>(ud[i]), static_cast<VT>(vd[i]))));
+      pres[i] = 1;
+      ++cnt;
+    } else if constexpr (Union) {
+      if (a) {
+        out[i] = static_cast<CT>(static_cast<ZT>(static_cast<UT>(ud[i])));
+        pres[i] = 1;
+        ++cnt;
+      } else if (b) {
+        out[i] = static_cast<CT>(static_cast<ZT>(static_cast<VT>(vd[i])));
+        pres[i] = 1;
+        ++cnt;
+      }
+    }
+  }
+  w.commit_result_dense(std::move(out), std::move(pres), cnt);
+}
+
+/// Slotwise matrix ewise over two aligned dense-form stores (same layout,
+/// untransposed): every slot maps to the same slot in both inputs and in
+/// the output, so the whole operation is one parallel scan — no row merge,
+/// no hyperlist, no compaction. Commits through adopt(), which applies the
+/// output's form policy.
+template <bool Union, class CT, class Op, class AT, class BT>
+void ewise_mat_dense(Matrix<CT>& c, Op op, const SparseStore<AT>& as,
+                     const SparseStore<BT>& bs, Layout layout) {
+  using ZT = std::decay_t<decltype(op(std::declval<AT>(), std::declval<BT>()))>;
+  const Index vdim = as.vdim;
+  const Index md = as.mdim;
+  const std::size_t slots = static_cast<std::size_t>(vdim) * md;
+  SparseStore<CT> out(vdim);
+  out.hyper = false;
+  Buf<Index>().swap(out.p);
+  out.form = Format::bitmap;
+  out.mdim = md;
+  out.x.assign(slots, CT{});
+  out.b.assign(slots, 0);
+  Buf<Index> cnts(static_cast<std::size_t>(vdim), 0);
+  platform::parallel_for(static_cast<std::size_t>(vdim), [&](std::size_t k) {
+    if ((k & 255) == 0) platform::governor_poll();
+    const std::size_t base = k * static_cast<std::size_t>(md);
+    Index cnt = 0;
+    for (Index j = 0; j < md; ++j) {
+      const std::size_t s = base + j;
+      const bool pa = as.slot_present(s);
+      const bool pb = bs.slot_present(s);
+      if (pa && pb) {
+        out.x[s] = static_cast<CT>(static_cast<ZT>(op(as.x[s], bs.x[s])));
+        out.b[s] = 1;
+        ++cnt;
+      } else if constexpr (Union) {
+        if (pa) {
+          out.x[s] = static_cast<CT>(static_cast<ZT>(as.x[s]));
+          out.b[s] = 1;
+          ++cnt;
+        } else if (pb) {
+          out.x[s] = static_cast<CT>(static_cast<ZT>(bs.x[s]));
+          out.b[s] = 1;
+          ++cnt;
+        }
+      }
+    }
+    cnts[k] = cnt;
+  });
+  Index total = 0;
+  for (Index k = 0; k < vdim; ++k) total += cnts[k];
+  out.bnvals = total;
+  c.adopt(std::move(out), layout);
+}
+
 }  // namespace detail
 
 /// w<m> accum= u ⊕ v (pattern union).
@@ -203,6 +311,12 @@ void ewise_add(Vector<CT>& w, const MaskArg& mask, const Accum& accum, Op op,
                const Vector<UT>& u, const Vector<VT>& v,
                const Descriptor& desc = desc_default) {
   check_dims(w.size() == u.size() && u.size() == v.size(), "ewise_add: sizes");
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    if (detail::ewise_vec_dense_native(w, u, v)) {
+      detail::ewise_vec_dense<true>(w, op, u, v);
+      return;
+    }
+  }
   Buf<Index> ti;
   using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
   Buf<ZT> tv;
@@ -217,6 +331,12 @@ void ewise_mult(Vector<CT>& w, const MaskArg& mask, const Accum& accum, Op op,
                 const Vector<UT>& u, const Vector<VT>& v,
                 const Descriptor& desc = desc_default) {
   check_dims(w.size() == u.size() && u.size() == v.size(), "ewise_mult: sizes");
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    if (detail::ewise_vec_dense_native(w, u, v)) {
+      detail::ewise_vec_dense<false>(w, op, u, v);
+      return;
+    }
+  }
   Buf<Index> ti;
   using ZT = std::decay_t<decltype(op(std::declval<UT>(), std::declval<VT>()))>;
   Buf<ZT> tv;
@@ -235,6 +355,14 @@ void ewise_add(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, Op op,
                  c.nrows() == input_nrows(b, desc.transpose_b) &&
                  c.ncols() == input_ncols(b, desc.transpose_b),
              "ewise_add: shapes");
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    if (!desc.transpose_a && !desc.transpose_b && a.layout() == b.layout() &&
+        a.format() != Format::sparse && b.format() != Format::sparse) {
+      detail::ewise_mat_dense<true>(c, op, a.raw_store(), b.raw_store(),
+                                    a.layout());
+      return;
+    }
+  }
   auto t = detail::merge_stores(input_rows(a, desc.transpose_a),
                                 input_rows(b, desc.transpose_b), op,
                                 detail::MergeKind::union_);
@@ -251,6 +379,14 @@ void ewise_mult(Matrix<CT>& c, const MaskArg& mask, const Accum& accum, Op op,
                  c.nrows() == input_nrows(b, desc.transpose_b) &&
                  c.ncols() == input_ncols(b, desc.transpose_b),
              "ewise_mult: shapes");
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    if (!desc.transpose_a && !desc.transpose_b && a.layout() == b.layout() &&
+        a.format() != Format::sparse && b.format() != Format::sparse) {
+      detail::ewise_mat_dense<false>(c, op, a.raw_store(), b.raw_store(),
+                                     a.layout());
+      return;
+    }
+  }
   auto t = detail::merge_stores(input_rows(a, desc.transpose_a),
                                 input_rows(b, desc.transpose_b), op,
                                 detail::MergeKind::intersect);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 
 #include "graphblas/descriptor.hpp"
 #include "graphblas/matrix.hpp"
@@ -29,6 +30,44 @@ namespace detail {
 struct ws_vec_mask_allow;
 struct ws_wb_zi;
 struct ws_wb_zv;
+
+/// A vector's current content as sorted index/value arrays, read without
+/// touching its storage form. The sparse accessors (indices()/values())
+/// convert a dense rep in place — a footprint change that must not happen
+/// inside a call that can still fail (the OOM soaks assert failed calls are
+/// exactly memory-neutral), and a wasted round trip besides (merge results
+/// are recommitted through the format policy anyway).
+template <class CT>
+struct VecContent {
+  Buf<Index> i;
+  Buf<storage_t<CT>> v;
+};
+
+template <class CT>
+VecContent<CT> read_content(const Vector<CT>& w) {
+  VecContent<CT> out;
+  const std::size_t cnt = static_cast<std::size_t>(w.nvals());
+  out.i.reserve(cnt);
+  out.v.reserve(cnt);
+  if (w.is_dense_rep()) {
+    auto dv = w.dense_values();
+    const bool full = w.is_full_rep();  // full keeps no presence map
+    std::span<const std::uint8_t> p;
+    if (!full) p = w.present();
+    for (Index k = 0; k < w.size(); ++k) {
+      if (full || p[k]) {
+        out.i.push_back(k);
+        out.v.push_back(dv[k]);
+      }
+    }
+  } else {
+    auto wi = w.indices();
+    auto wv = w.values();
+    out.i.assign(wi.begin(), wi.end());
+    out.v.assign(wv.begin(), wv.end());
+  }
+  return out;
+}
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -148,8 +187,9 @@ class MatrixMaskProbe {
 
 /// C<M, replace> accum= T, where T arrives as sorted, duplicate-free
 /// coordinate arrays (ti, tv) in metered storage. All scratch that will be
-/// committed into C is assembled first; the final load_sorted is noexcept,
-/// so an allocation failure anywhere in here leaves C untouched.
+/// committed into C is assembled first; commit_result applies C's
+/// storage-form preference *before* touching C, so an allocation failure
+/// anywhere in here (including the form conversion) leaves C untouched.
 template <class CT, class ZT, class MaskArg, class Accum>
 void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
                 Buf<Index>&& ti, Buf<ZT>&& tv, const Descriptor& desc) {
@@ -162,11 +202,12 @@ void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
     (void)desc;
     Buf<storage_t<CT>> cast(tv.size());
     for (std::size_t k = 0; k < tv.size(); ++k) cast[k] = static_cast<CT>(tv[k]);
-    c.load_sorted(std::move(ti), std::move(cast));
+    c.commit_result(std::move(ti), std::move(cast));
     return;
   } else {
-    auto ci = c.indices();
-    auto cv = c.values();
+    const auto cc = detail::read_content(c);
+    const auto& ci = cc.i;
+    const auto& cv = cc.v;
 
     // Step 1: Z = accum ? union(C, T, accum) : T   (in C's domain).
     Buf<Index> zi;
@@ -235,7 +276,7 @@ void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
       if (in_c) ++a;
       if (in_z) ++b;
     }
-    c.load_sorted(std::move(oi), std::move(ov));
+    c.commit_result(std::move(oi), std::move(ov));
   }
 }
 
@@ -258,6 +299,24 @@ void write_back(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
     (void)accum;
     (void)desc;
     SparseStore<CT> out(nrows);
+    if (t.form != Format::sparse) {
+      // Kernel-native dense output: the accumulator arrays *are* the store.
+      out.hyper = false;
+      Buf<Index>().swap(out.p);
+      out.form = t.form;
+      out.mdim = t.mdim;
+      out.bnvals = t.bnvals;
+      out.b = std::move(t.b);
+      if constexpr (std::is_same_v<CT, ZT>) {
+        out.x = std::move(t.x);
+      } else {
+        out.x.resize(t.x.size());
+        for (std::size_t k = 0; k < t.x.size(); ++k)
+          out.x[k] = static_cast<CT>(t.x[k]);
+      }
+      c.adopt(std::move(out), Layout::by_row);
+      return;
+    }
     out.hyper = t.hyper;
     out.h = std::move(t.h);
     out.p = std::move(t.p);

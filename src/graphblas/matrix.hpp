@@ -40,6 +40,12 @@ struct DebugAccess;  // validator / test backdoor, defined in validate.hpp
 /// Storage orientation of the primary representation.
 enum class Layout : std::uint8_t { by_row, by_col };
 
+/// The opposite orientation (a by-row store reinterpreted is the by-col
+/// store of the transpose, and vice versa).
+[[nodiscard]] constexpr Layout flip(Layout l) noexcept {
+  return l == Layout::by_row ? Layout::by_col : Layout::by_row;
+}
+
 /// Hypersparsity policy. `auto_mode` switches to hypersparse when fewer than
 /// vdim / kHyperRatio major vectors are non-empty (SuiteSparse's default
 /// heuristic shape).
@@ -59,6 +65,7 @@ class Matrix {
         ncols_(ncols),
         layout_(layout),
         hyper_mode_(hyper),
+        format_mode_(default_format_mode()),
         main_(major_dim()) {}
 
   /// n-by-n identity with the given diagonal value.
@@ -98,6 +105,26 @@ class Matrix {
   [[nodiscard]] Index ncols() const noexcept { return ncols_; }
   [[nodiscard]] Layout layout() const noexcept { return layout_; }
   [[nodiscard]] HyperMode hyper_mode() const noexcept { return hyper_mode_; }
+  [[nodiscard]] FormatMode format_mode() const noexcept { return format_mode_; }
+
+  /// The storage form the matrix currently sits in (GxB_SPARSITY_STATUS).
+  [[nodiscard]] Format format() const {
+    wait();
+    return main_.form;
+  }
+
+  /// Set the storage-form preference (GxB_SPARSITY_CONTROL) and apply it
+  /// now. A preference, not a mandate: full falls back to bitmap when
+  /// entries are absent, bitmap to sparse when the dense arrays would not
+  /// be addressable — the observable value never changes. Strong guarantee:
+  /// the conversion assembles its arrays before the noexcept commit.
+  void set_format(FormatMode mode) {
+    wait();
+    format_mode_ = mode;
+    apply_format_policy_to(main_, major_dim(), minor_dim());
+    if (main_.form == Format::sparse) apply_hyper_policy();
+    invalidate_views();
+  }
 
   [[nodiscard]] Index nvals() const {
     wait();
@@ -111,10 +138,21 @@ class Matrix {
 
   // --- element access ---------------------------------------------------------
 
-  /// GrB_Matrix_setElement: O(1) amortised — appends a pending tuple.
+  /// GrB_Matrix_setElement: O(1) amortised — appends a pending tuple
+  /// (sparse forms) or writes the dense slot directly (bitmap/full).
   void set_element(Index r, Index c, const T& v) {
     check_index(r < nrows_ && c < ncols_, "Matrix::set_element");
     invalidate_other();
+    if (main_.form != Format::sparse) {
+      auto [major, minor] = to_major_minor(r, c);
+      const std::size_t s = main_.slot(major, minor);
+      if (main_.form == Format::bitmap && !main_.b[s]) {
+        main_.b[s] = 1;
+        ++main_.bnvals;
+      }
+      main_.x[s] = v;
+      return;
+    }
     pending_.emplace_back(r, c, v);
   }
 
@@ -123,6 +161,18 @@ class Matrix {
   void remove_element(Index r, Index c) {
     check_index(r < nrows_ && c < ncols_, "Matrix::remove_element");
     invalidate_other();
+    if (main_.form != Format::sparse) {
+      // A removal breaks the full form's every-slot-present invariant:
+      // demote to bitmap first (strong guarantee inside to_bitmap).
+      if (main_.form == Format::full) main_.to_bitmap(minor_dim());
+      auto [major, minor] = to_major_minor(r, c);
+      const std::size_t s = main_.slot(major, minor);
+      if (main_.b[s]) {
+        main_.b[s] = 0;
+        --main_.bnvals;
+      }
+      return;
+    }
     std::erase_if(pending_, [&](const auto& t) {
       return std::get<0>(t) == r && std::get<1>(t) == c;
     });
@@ -144,6 +194,12 @@ class Matrix {
     check_index(r < nrows_ && c < ncols_, "Matrix::extract_element");
     wait();
     auto [major, minor] = to_major_minor(r, c);
+    if (main_.form != Format::sparse) {
+      // Dense forms: O(1) slot lookup, the point of the bitmap layout.
+      const std::size_t s = main_.slot(major, minor);
+      if (!main_.slot_present(s)) return std::nullopt;
+      return main_.x[s];
+    }
     auto k = main_.find_vec(major);
     if (!k) return std::nullopt;
     auto b = main_.i.begin() + static_cast<std::ptrdiff_t>(main_.p[*k]);
@@ -211,6 +267,7 @@ class Matrix {
     wait();
     const auto& s = by_row();
     Matrix m(nrows, ncols, layout_, hyper_mode_);
+    m.format_mode_ = format_mode_;
     Buf<std::tuple<Index, Index, T>> keep;
     keep.reserve(s.nnz());
     for (Index k = 0; k < s.nvec(); ++k) {
@@ -231,19 +288,29 @@ class Matrix {
 
   // --- orientation views (push/pull duality) ------------------------------------
 
-  /// The matrix in row-major form: store.vec_id(k) is a row id, store.i holds
-  /// column ids. Built on demand and cached if the primary layout is by_col.
+  /// The matrix in row-major *sparse* form: store.vec_id(k) is a row id,
+  /// store.i holds column ids. Built on demand and cached if the primary
+  /// layout is by_col or the primary store sits in a dense form (kernels
+  /// that walk compressed vectors read through this sparse view).
   [[nodiscard]] const SparseStore<T>& by_row() const {
     wait();
-    if (layout_ == Layout::by_row) return main_;
+    if (layout_ == Layout::by_row) return main_view();
     return other_store();
   }
 
-  /// The matrix in column-major form.
+  /// The matrix in column-major sparse form.
   [[nodiscard]] const SparseStore<T>& by_col() const {
     wait();
-    if (layout_ == Layout::by_col) return main_;
+    if (layout_ == Layout::by_col) return main_view();
     return other_store();
+  }
+
+  /// The primary store in whatever form it sits in (dense forms included).
+  /// Kernels with bitmap-native paths read this; everyone else goes through
+  /// by_row()/by_col().
+  [[nodiscard]] const SparseStore<T>& raw_store() const {
+    wait();
+    return main_;
   }
 
   /// True if asking for this orientation costs O(1) right now (already the
@@ -292,6 +359,7 @@ class Matrix {
 
   [[nodiscard]] CsArrays export_csr() {
     wait();
+    main_.to_sparse_form();
     if (layout_ != Layout::by_row) {
       main_ = main_.transposed(major_dim() == nrows_ ? ncols_ : nrows_);
       layout_ = Layout::by_row;
@@ -303,6 +371,7 @@ class Matrix {
 
   [[nodiscard]] CsArrays export_csc() {
     wait();
+    main_.to_sparse_form();
     if (layout_ != Layout::by_col) {
       main_ = main_.transposed(ncols_);
       layout_ = Layout::by_col;
@@ -312,14 +381,81 @@ class Matrix {
     return export_current();
   }
 
+  /// O(1) export of the dense (bitmap/full) arrays; the matrix must sit in a
+  /// dense form (convert with set_format first). `b` is empty for full. The
+  /// matrix is left empty, mirroring export_csr.
+  struct DenseArrays {
+    Index nrows = 0, ncols = 0;
+    Format form = Format::bitmap;
+    Index bnvals = 0;
+    Buf<std::uint8_t> b;
+    Buf<T> x;
+  };
+
+  [[nodiscard]] DenseArrays export_dense() {
+    wait();
+    check_value(main_.form != Format::sparse,
+                "Matrix::export_dense on a sparse matrix");
+    if (layout_ != Layout::by_row) {
+      main_ = main_.transposed(nrows_);
+      layout_ = Layout::by_row;
+    }
+    SparseStore<T> fresh(major_dim());
+    DenseArrays out;
+    out.nrows = nrows_;
+    out.ncols = ncols_;
+    out.form = main_.form;
+    out.bnvals = main_.bnvals;
+    out.b = std::move(main_.b);
+    out.x = std::move(main_.x);
+    main_ = std::move(fresh);
+    pending_.clear();
+    nzombies_ = 0;
+    invalidate_other();
+    return out;
+  }
+
+  /// O(1) import of row-major dense arrays: x has nrows*ncols slots; b is a
+  /// presence byte per slot for bitmap, empty for full.
+  static Matrix import_dense(Index nrows, Index ncols, Format form,
+                             Buf<std::uint8_t>&& b, Buf<T>&& x) {
+    check_value(form != Format::sparse, "Matrix::import_dense form");
+    check_value(dense_form_addressable(nrows, ncols),
+                "Matrix::import_dense dimensions");
+    const std::size_t slots = static_cast<std::size_t>(nrows) * ncols;
+    check_value(x.size() == slots, "Matrix::import_dense value array size");
+    check_value(form == Format::full ? b.empty() : b.size() == slots,
+                "Matrix::import_dense presence array size");
+    Matrix m(nrows, ncols, Layout::by_row);
+    SparseStore<T> s(nrows);
+    s.hyper = false;
+    Buf<Index>().swap(s.p);
+    s.mdim = ncols;
+    s.form = form;
+    if (form == Format::bitmap) {
+      Index cnt = 0;
+      for (std::uint8_t v : b)
+        if (v) ++cnt;
+      s.bnvals = cnt;
+    }
+    s.b = std::move(b);
+    s.x = std::move(x);
+    m.main_ = std::move(s);
+    return m;
+  }
+
   // --- kernel publication API -----------------------------------------------
 
   /// Replace contents with a ready-made store of the given orientation.
-  /// Kernels build results as stores and publish them here; hypersparsity is
-  /// applied per the policy. Strong guarantee: the policy (which may
-  /// allocate) runs on the incoming store *before* the noexcept commit.
+  /// Kernels build results as stores and publish them here; the storage-form
+  /// and hypersparsity policies are applied. Strong guarantee: the policies
+  /// (which may allocate) run on the incoming store *before* the noexcept
+  /// commit.
   void adopt(SparseStore<T>&& s, Layout layout) {
-    apply_hyper_policy_to(s, layout == Layout::by_row ? nrows_ : ncols_);
+    const Index mdim = layout == Layout::by_row ? nrows_ : ncols_;
+    const Index ndim = layout == Layout::by_row ? ncols_ : nrows_;
+    apply_format_policy_to(s, mdim, ndim);
+    if (s.form == Format::sparse) apply_hyper_policy_to(s, mdim);
     // Commit: nothing below can throw.
     layout_ = layout;
     main_ = std::move(s);
@@ -408,6 +544,7 @@ class Matrix {
     std::size_t b = main_.memory_bytes() +
                     pending_.capacity() * sizeof(std::tuple<Index, Index, T>);
     if (other_) b += other_->memory_bytes();
+    if (sview_) b += sview_->memory_bytes();
     return b;
   }
 
@@ -508,7 +645,8 @@ class Matrix {
     if (prev_major != all_indices) {
       s.p.push_back(static_cast<Index>(s.i.size()));
     }
-    apply_hyper_policy_to(s, major_dim());
+    apply_format_policy_to(s, major_dim(), minor_dim());
+    if (s.form == Format::sparse) apply_hyper_policy_to(s, major_dim());
     // Commit: nothing below can throw.
     main_ = std::move(s);
     pending_.clear();
@@ -583,10 +721,75 @@ class Matrix {
     return by_row ? std::get<1>(t) : std::get<0>(t);
   }
 
+  /// The storage-form policy applied to a store before it is committed
+  /// (adopt, build, set_format). Forced modes convert with graceful
+  /// degradation (full -> bitmap -> sparse when the preferred form cannot
+  /// represent the value or address its dense arrays); auto mode applies the
+  /// density thresholds — promote to bitmap at >= kBitmapSwitch, demote back
+  /// to sparse below kSparseSwitch (hysteresis so results oscillating around
+  /// one threshold do not convert every call), and collapse bitmap -> full
+  /// when every slot is present.
+  static constexpr double kBitmapSwitch = 0.25;
+  static constexpr double kSparseSwitch = 1.0 / 16.0;
+
+  void apply_format_policy_to(SparseStore<T>& s, Index mdim,
+                              Index ndim) const {
+    const bool addressable = dense_form_addressable(mdim, ndim);
+    const Index cnt = s.nnz();
+    const double density =
+        addressable && cnt > 0
+            ? static_cast<double>(cnt) /
+                  (static_cast<double>(mdim) * static_cast<double>(ndim))
+            : 0.0;
+    switch (format_mode_) {
+      case FormatMode::sparse:
+        s.to_sparse_form();
+        break;
+      case FormatMode::bitmap:
+        if (addressable && cnt > 0) {
+          s.to_bitmap(ndim);
+        } else {
+          s.to_sparse_form();
+        }
+        break;
+      case FormatMode::full:
+        if (addressable && cnt == mdim * ndim && cnt > 0) {
+          s.to_full(ndim);
+        } else if (addressable && cnt > 0) {
+          s.to_bitmap(ndim);
+        } else {
+          s.to_sparse_form();
+        }
+        break;
+      case FormatMode::auto_fmt:
+        if (s.form == Format::sparse) {
+          // An explicit always-hypersparse request outranks auto promotion:
+          // the caller asked for the compressed layout by name.
+          if (addressable && density >= kBitmapSwitch &&
+              hyper_mode_ != HyperMode::always) {
+            if (cnt == mdim * ndim) {
+              s.to_full(ndim);
+            } else {
+              s.to_bitmap(ndim);
+            }
+          }
+        } else if (s.form == Format::bitmap) {
+          if (cnt == mdim * ndim && cnt > 0) {
+            s.to_full(ndim);
+          } else if (density < kSparseSwitch) {
+            s.to_sparse_form();
+          }
+        }
+        // full stays full until entries are removed (remove_element demotes).
+        break;
+    }
+  }
+
   /// The hypersparsity policy applied to an arbitrary store with the given
   /// major dimension's policy target. Used to prepare scratch stores before
-  /// they are committed.
+  /// they are committed. Dense forms are outside its jurisdiction.
   void apply_hyper_policy_to(SparseStore<T>& s, Index mdim) const {
+    if (s.form != Format::sparse) return;
     switch (hyper_mode_) {
       case HyperMode::always:
         s.hyperize();
@@ -609,10 +812,23 @@ class Matrix {
 
   void apply_hyper_policy() const { apply_hyper_policy_to(main_, major_dim()); }
 
+  /// The primary store in sparse form: main_ itself when sparse, else a
+  /// cached sparse copy (kernels that walk compressed vectors read through
+  /// this; the cache is a logically-const materialisation like other_).
+  [[nodiscard]] const SparseStore<T>& main_view() const {
+    if (main_.form == Format::sparse) return main_;
+    if (!sview_valid_) {
+      sview_ = main_.sparse_form_copy();
+      apply_hyper_policy_to(*sview_, major_dim());
+      sview_valid_ = true;
+    }
+    return *sview_;
+  }
+
   [[nodiscard]] const SparseStore<T>& other_store() const {
     wait();
     if (!other_valid_) {
-      other_ = main_.transposed(minor_dim());
+      other_ = main_view().transposed(minor_dim());
       if (hyper_mode_ == HyperMode::always ||
           (hyper_mode_ == HyperMode::auto_mode && minor_dim() >= kHyperRatio &&
            other_->nvec_nonempty() < minor_dim() / kHyperRatio)) {
@@ -626,6 +842,12 @@ class Matrix {
   void invalidate_other() const {
     other_.reset();
     other_valid_ = false;
+    invalidate_views();
+  }
+
+  void invalidate_views() const {
+    sview_.reset();
+    sview_valid_ = false;
   }
 
   Index nrows_ = 0;
@@ -633,11 +855,16 @@ class Matrix {
   Layout layout_ = Layout::by_row;
   HyperMode hyper_mode_ = HyperMode::auto_mode;
 
-  // Mutable: wait(), format changes, and the dual-orientation cache are all
-  // logically-const materialisations of the same opaque value.
+  FormatMode format_mode_ = default_format_mode();
+
+  // Mutable: wait(), format changes, the dual-orientation cache, and the
+  // sparse view of a dense-form store are all logically-const
+  // materialisations of the same opaque value.
   mutable SparseStore<T> main_{};
   mutable std::optional<SparseStore<T>> other_{};
   mutable bool other_valid_ = false;
+  mutable std::optional<SparseStore<T>> sview_{};
+  mutable bool sview_valid_ = false;
   mutable Buf<std::tuple<Index, Index, T>> pending_;
   mutable Index nzombies_ = 0;
 };

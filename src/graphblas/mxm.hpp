@@ -101,7 +101,8 @@ Index mxm_flop_prefix(const SparseStore<AT>& ra, const SparseStore<BT>& rb,
 template <class SR, class AT, class BT, class MaskArg>
 SparseStore<typename SR::value_type> mxm_gustavson(
     const SparseStore<AT>& ra, const SparseStore<BT>& rb, Index n,
-    const SR& sr, const MaskArg& mask, const Descriptor& desc) {
+    const SR& sr, const MaskArg& mask, const Descriptor& desc,
+    bool dense_native = false) {
   using ZT = typename SR::value_type;
   const Index nv = ra.nvec();
   SparseStore<ZT> t(ra.vdim);
@@ -114,6 +115,73 @@ SparseStore<typename SR::value_type> mxm_gustavson(
   auto& cost = *cost_h;
   mxm_flop_prefix(ra, rb, cost);
   const std::span<const Index> costs(cost.data(), cost.size());
+
+  // Dense-regime kernel-native output: the result is produced directly in
+  // the bitmap form — t.x/t.b are the row-major slot arrays, each saxpy
+  // lands at slot r*n+j. The symbolic pass, the per-row touched sort, and
+  // the dense->sparse compaction all disappear. Chunks own disjoint row
+  // ranges, so slot writes never race; slot placement is positional, so the
+  // result is bit-identical for any chunking. Unmasked only: the mask probe
+  // needs ascending j, and saxpy visits j in pattern order.
+  if constexpr (!is_masked<MaskArg>) {
+    if (dense_native && dense_form_addressable(ra.vdim, n)) {
+      (void)mask;
+      (void)desc;
+      const std::size_t slots = static_cast<std::size_t>(ra.vdim) * n;
+      t.hyper = false;
+      Buf<Index>().swap(t.p);
+      t.form = Format::bitmap;
+      t.mdim = n;
+      t.x.assign(slots, ZT{});
+      t.b.assign(slots, 0);
+
+      auto run_range = [&](std::size_t klo, std::size_t khi) -> Index {
+        Index cnt = 0;
+        for (std::size_t ka = klo; ka < khi; ++ka) {
+          platform::governor_poll();
+          const std::size_t base =
+              static_cast<std::size_t>(ra.vec_id(static_cast<Index>(ka))) * n;
+          for (Index pa = ra.vec_begin(static_cast<Index>(ka));
+               pa < ra.vec_end(static_cast<Index>(ka)); ++pa) {
+            auto kb = rb.find_vec(ra.i[pa]);
+            if (!kb) continue;
+            const AT aval = ra.x[pa];
+            for (Index pb = rb.vec_begin(*kb); pb < rb.vec_end(*kb); ++pb) {
+              const std::size_t s = base + rb.i[pb];
+              ZT prod = static_cast<ZT>(sr.mul(aval, rb.x[pb]));
+              if (!t.b[s]) {
+                t.b[s] = 1;
+                t.x[s] = prod;
+                ++cnt;
+              } else if constexpr (!always_terminal<typename SR::add_type>) {
+                if (!sr.add.is_terminal(t.x[s])) t.x[s] = sr.add(t.x[s], prod);
+              }
+            }
+          }
+        }
+        return cnt;
+      };
+
+      const std::size_t nchunks =
+          platform::chunk_count(static_cast<std::size_t>(nv), costs[nv]);
+      if (nchunks <= 1) {
+        t.bnvals = run_range(0, static_cast<std::size_t>(nv));
+        return t;
+      }
+      Buf<Index> cnts(nchunks, 0);
+      platform::parallel_balanced_chunks_n(
+          costs, nchunks,
+          [&](std::size_t c, std::size_t lo, std::size_t hi) {
+            cnts[c] = run_range(lo, hi);
+          });
+      Index total = 0;
+      for (std::size_t c = 0; c < nchunks; ++c) total += cnts[c];
+      t.bnvals = total;
+      return t;
+    }
+  } else {
+    (void)dense_native;
+  }
 
   // --- symbolic pass: counts[ka] = nnz of output row ka ---
   auto counts_h = platform::Workspace::checkout<ws_mxm_counts, Index>(
@@ -556,13 +624,30 @@ MxmMethod mxm(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
     }
   }
 
+  // Dense-regime kernel-native output (Gustavson, unmasked, no accumulator):
+  // taken when the output's form preference asks for a dense form, or (auto)
+  // when both operands already sit in one — the regime where the result is
+  // all but certain to be dense too.
+  bool dense_native = false;
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    if (dense_form_addressable(m, n)) {
+      const FormatMode fm = c.format_mode();
+      if (fm == FormatMode::bitmap || fm == FormatMode::full) {
+        dense_native = true;
+      } else if (fm == FormatMode::auto_fmt) {
+        dense_native =
+            a.format() != Format::sparse && b.format() != Format::sparse;
+      }
+    }
+  }
+
   using ZT = typename SR::value_type;
   SparseStore<ZT> t(m);
   switch (method) {
     case MxmMethod::gustavson:
       t = detail::mxm_gustavson(input_rows(a, desc.transpose_a),
                                 input_rows(b, desc.transpose_b), n, sr, mask,
-                                desc);
+                                desc, dense_native);
       break;
     case MxmMethod::dot:
       t = detail::mxm_dot(input_rows(a, desc.transpose_a),

@@ -16,7 +16,9 @@
 
 #include <algorithm>
 #include <span>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 
 #include "graphblas/mask_accum.hpp"
 #include "platform/parallel.hpp"
@@ -49,7 +51,11 @@ void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
               Buf<Index>& ti, Buf<typename SR::value_type>& tv) {
   using ZT = typename SR::value_type;
   auto dv = u.dense_values();
-  auto pres = u.present();
+  // A full input has no absent positions: skip the presence test (and don't
+  // make it materialise a presence map just for us).
+  const bool u_full = u.is_full_rep();
+  std::span<const std::uint8_t> pres;
+  if (!u_full) pres = u.present();
   const Index nv = rows.nvec();
 
   auto run_range = [&](Index klo, Index khi, auto& oi, auto& ov) {
@@ -61,7 +67,7 @@ void mxv_pull(const SparseStore<AT>& rows, const Vector<UT>& u,
       bool any = false;
       for (Index pos = rows.vec_begin(k); pos < rows.vec_end(k); ++pos) {
         Index j = rows.i[pos];
-        if (!pres[j]) continue;
+        if (!u_full && !pres[j]) continue;
         ZT prod = static_cast<ZT>(sr.mul(rows.x[pos], dv[j]));
         acc = any ? sr.add(acc, prod) : prod;
         any = true;
@@ -169,12 +175,112 @@ void mxv_push(const SparseStore<AT>& cols, Index out_dim, const Vector<UT>& u,
         }
       }
     }
-    ti.reserve(acc.size());
-    for (const auto& [r, _] : acc) ti.push_back(r);
-    std::sort(ti.begin(), ti.end());
-    tv.reserve(acc.size());
-    for (Index r : ti) tv.push_back(acc.at(r));
+    // Gather (index, value) pairs once and sort them together — re-probing
+    // the hash table per sorted index would do acc.size() extra lookups.
+    Buf<std::pair<Index, ZT>> pairs;
+    pairs.reserve(acc.size());
+    for (const auto& [r, v] : acc) pairs.emplace_back(r, v);
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    ti.reserve(pairs.size());
+    tv.reserve(pairs.size());
+    for (const auto& [r, v] : pairs) {
+      ti.push_back(r);
+      tv.push_back(v);
+    }
   }
+}
+
+/// Pull kernel with a kernel-native dense output: each dot product lands
+/// straight in acc[r] / present[r], the arrays that *become* the result's
+/// bitmap form — no per-chunk buffers, no concatenation, no compaction.
+/// Chunks own disjoint stored-row ranges, so slot writes never race, and
+/// slot placement is positional: bit-identical for any thread count.
+template <class SR, class AT, class UT, class MaskArg>
+Index mxv_pull_dense(const SparseStore<AT>& rows, const Vector<UT>& u,
+                     const SR& sr, const VectorMaskProbe<MaskArg>& probe,
+                     Buf<typename SR::value_type>& acc,
+                     Buf<std::uint8_t>& present) {
+  using ZT = typename SR::value_type;
+  auto dv = u.dense_values();
+  const bool u_full = u.is_full_rep();
+  std::span<const std::uint8_t> pres;
+  if (!u_full) pres = u.present();
+  const Index nv = rows.nvec();
+
+  auto run_range = [&](Index klo, Index khi) -> Index {
+    Index cnt = 0;
+    for (Index k = klo; k < khi; ++k) {
+      if ((k & 255) == 0) platform::governor_poll();
+      Index r = rows.vec_id(k);
+      if (!probe.test(r)) continue;
+      ZT a{};
+      bool any = false;
+      for (Index pos = rows.vec_begin(k); pos < rows.vec_end(k); ++pos) {
+        Index j = rows.i[pos];
+        if (!u_full && !pres[j]) continue;
+        ZT prod = static_cast<ZT>(sr.mul(rows.x[pos], dv[j]));
+        a = any ? sr.add(a, prod) : prod;
+        any = true;
+        if constexpr (always_terminal<typename SR::add_type>) break;
+        if (sr.add.is_terminal(a)) break;
+      }
+      if (any) {
+        acc[r] = a;
+        present[r] = 1;
+        ++cnt;
+      }
+    }
+    return cnt;
+  };
+
+  const std::span<const Index> costs(rows.p.data(),
+                                     static_cast<std::size_t>(nv) + 1);
+  const std::size_t nchunks =
+      platform::chunk_count(static_cast<std::size_t>(nv), rows.nnz());
+  if (nchunks <= 1) return run_range(0, nv);
+  Buf<Index> cnts(nchunks, 0);
+  platform::parallel_balanced_chunks_n(
+      costs, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        cnts[c] = run_range(static_cast<Index>(lo), static_cast<Index>(hi));
+      });
+  Index cnt = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) cnt += cnts[c];
+  return cnt;
+}
+
+/// Push kernel with a kernel-native dense output: accumulates straight into
+/// the result arrays — the `touched` list and its sort disappear entirely.
+template <class SR, class AT, class UT, class MaskArg>
+Index mxv_push_dense(const SparseStore<AT>& cols, const Vector<UT>& u,
+                     const SR& sr, const VectorMaskProbe<MaskArg>& probe,
+                     Buf<typename SR::value_type>& acc,
+                     Buf<std::uint8_t>& present) {
+  using ZT = typename SR::value_type;
+  auto ui = u.indices();
+  auto uv = u.values();
+  Index cnt = 0;
+  for (std::size_t k = 0; k < ui.size(); ++k) {
+    if ((k & 255) == 0) platform::governor_poll();
+    auto ck = cols.find_vec(ui[k]);
+    if (!ck) continue;
+    const UT uval = uv[k];
+    for (Index pos = cols.vec_begin(*ck); pos < cols.vec_end(*ck); ++pos) {
+      Index r = cols.i[pos];
+      if (!probe.test(r)) continue;
+      ZT prod = static_cast<ZT>(sr.mul(cols.x[pos], uval));
+      if (!present[r]) {
+        present[r] = 1;
+        acc[r] = prod;
+        ++cnt;
+      } else if (!sr.add.is_terminal(acc[r])) {
+        if constexpr (!always_terminal<typename SR::add_type>) {
+          acc[r] = sr.add(acc[r], prod);
+        }
+      }
+    }
+  }
+  return cnt;
 }
 
 /// Multiply-op wrapper that swaps operand order (vxm sees mul(u, A) where
@@ -207,9 +313,53 @@ MxvMethod mxv(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   }
 
   using ZT = typename SR::value_type;
+  VectorMaskProbe<MaskArg> probe(mask, out_dim, desc);
+
+  // Kernel-native dense output: when nothing stands between the kernel's
+  // accumulator and the committed result (no mask, no accumulator) and the
+  // output dimension is dense-addressable, the accumulator arrays *are* the
+  // result's bitmap form — no touched sort, no compaction, no concat. Taken
+  // when the output's form preference asks for a dense form, or (auto) when
+  // a pull over a mostly-non-empty row set predicts a dense result. Forced
+  // sparse skips it: the dense scan would just compact again.
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    bool native = false;
+    if (dense_form_addressable(out_dim, 1)) {
+      const FormatMode fm = w.format_mode();
+      if (fm == FormatMode::bitmap || fm == FormatMode::full) {
+        native = true;
+      } else if (fm == FormatMode::auto_fmt && method == MxvMethod::pull) {
+        const auto& rows = input_rows(a, desc.transpose_a);
+        native = static_cast<double>(rows.nvec_nonempty()) >=
+                 0.10 * static_cast<double>(out_dim);
+      }
+    }
+    if (native) {
+      Buf<ZT> acc(out_dim, ZT{});
+      Buf<std::uint8_t> present(out_dim, 0);
+      Index cnt;
+      if (method == MxvMethod::pull) {
+        cnt = detail::mxv_pull_dense(input_rows(a, desc.transpose_a), u, sr,
+                                     probe, acc, present);
+      } else {
+        cnt = detail::mxv_push_dense(input_rows(a, !desc.transpose_a), u, sr,
+                                     probe, acc, present);
+      }
+      Buf<storage_t<CT>> vals;
+      if constexpr (std::is_same_v<storage_t<CT>, ZT>) {
+        vals = std::move(acc);
+      } else {
+        vals.resize(out_dim);
+        for (Index i = 0; i < out_dim; ++i)
+          vals[i] = static_cast<CT>(acc[i]);
+      }
+      w.commit_result_dense(std::move(vals), std::move(present), cnt);
+      return method;
+    }
+  }
+
   Buf<Index> ti;
   Buf<ZT> tv;
-  VectorMaskProbe<MaskArg> probe(mask, out_dim, desc);
   if (method == MxvMethod::pull) {
     detail::mxv_pull(input_rows(a, desc.transpose_a), u, sr, probe, ti, tv);
   } else {

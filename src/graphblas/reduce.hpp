@@ -37,6 +37,49 @@ void reduce(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
             const M& monoid, const Matrix<AT>& a,
             const Descriptor& desc = desc_default) {
   check_dims(w.size() == input_nrows(a, desc.transpose_a), "reduce: w/A shape");
+  // Bitmap/full-native path: when the primary store is dense and its major
+  // axis is the rows of op(A), fold each row's present slots in ascending
+  // column order — the same left-to-right order the sparse kernel uses, so
+  // results stay bit-identical — straight into a dense output.
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    const auto& rs = a.raw_store();
+    const bool rows_major =
+        (desc.transpose_a ? flip(a.layout()) : a.layout()) == Layout::by_row;
+    if (rs.form != Format::sparse && rows_major &&
+        dense_form_addressable(w.size(), 1)) {
+      using ZT = typename M::value_type;
+      const Index n = w.size();  // == rs.vdim
+      const Index mdim = rs.mdim;
+      Buf<storage_t<CT>> out(static_cast<std::size_t>(n), storage_t<CT>{});
+      Buf<std::uint8_t> pres(static_cast<std::size_t>(n), 0);
+      platform::parallel_for(static_cast<std::size_t>(n), [&](std::size_t k) {
+        if ((k & 255) == 0) platform::governor_poll();
+        const std::size_t base = k * static_cast<std::size_t>(mdim);
+        bool seen = false;
+        ZT acc{};
+        for (Index j = 0; j < mdim; ++j) {
+          const std::size_t slot = base + static_cast<std::size_t>(j);
+          if (rs.form != Format::full && !rs.b[slot]) continue;
+          if (!seen) {
+            acc = static_cast<ZT>(rs.x[slot]);
+            seen = true;
+            continue;
+          }
+          if constexpr (always_terminal<M>) break;
+          if (monoid.is_terminal(acc)) break;
+          acc = monoid(acc, static_cast<ZT>(rs.x[slot]));
+        }
+        if (seen) {
+          out[k] = static_cast<CT>(acc);
+          pres[k] = 1;
+        }
+      });
+      Index cnt = 0;
+      for (Index i = 0; i < n; ++i) cnt += pres[i];
+      w.commit_result_dense(std::move(out), std::move(pres), cnt);
+      return;
+    }
+  }
   const auto& s = input_rows(a, desc.transpose_a);
   using ZT = typename M::value_type;
   Buf<Index> ti;
@@ -134,11 +177,14 @@ template <class M, class UT>
   using ZT = typename M::value_type;
   ZT acc = monoid.identity;
   if (u.is_dense_rep()) {
-    auto present = u.present();
+    // A full rep has no presence map and needs none — every slot counts.
+    const bool u_full = u.is_full_rep();
+    std::span<const std::uint8_t> present;
+    if (!u_full) present = u.present();
     auto values = u.dense_values();
     for (Index i = 0; i < u.size(); ++i) {
       if ((i & 1023) == 0) platform::governor_poll();
-      if (!present[i]) continue;
+      if (!u_full && !present[i]) continue;
       acc = monoid(acc, static_cast<ZT>(values[i]));
       if (monoid.is_terminal(acc)) break;
     }

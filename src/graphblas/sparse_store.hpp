@@ -1,10 +1,21 @@
-// The physical sparse storage of a GrB_Matrix: a compressed-sparse-vector
-// structure in the four SuiteSparse:GraphBLAS forms (§II-A):
+// The physical storage of a GrB_Matrix: the four SuiteSparse:GraphBLAS
+// forms (§II-A), all behind one struct:
 //
 //   standard     — pointer array `p` of size vdim+1; memory O(vdim + e);
 //   hypersparse  — `h` lists only the non-empty major vectors, `p` has size
 //                  nvec+1; memory O(e), so matrices with enormous dimensions
-//                  are cheap as long as e << vdim.
+//                  are cheap as long as e << vdim;
+//   bitmap       — dense value array `x` of size vdim*mdim plus a presence
+//                  byte per slot in `b`; O(1) random access, and kernels in
+//                  the dense regime write it directly with no index sort or
+//                  dense->sparse compaction;
+//   full         — the bitmap form with every slot present, so `b` is
+//                  dropped entirely (iso-dense matrices, DNN layers).
+//
+// `form` distinguishes sparse (standard/hypersparse, per `hyper`) from the
+// two dense forms; the compressed arrays and the dense arrays are never
+// populated at the same time. Dense forms are only used when vdim*mdim is
+// addressable (kDenseFormCap); conversions degrade gracefully to sparse.
 //
 // Orientation (rows-major vs columns-major) is a property of the *owner*;
 // the store itself only knows "major" and "minor".
@@ -30,16 +41,20 @@ struct ws_transpose_sort;
 struct ws_transpose_hist;
 }  // namespace detail
 
-// All four arrays live in gb::Buf so every byte is metered and every growth
+// All arrays live in gb::Buf so every byte is metered and every growth
 // is a fault-injection point (see platform/alloc.hpp).
 template <class T>
 struct SparseStore {
-  bool hyper = false;
+  Format form = Format::sparse;
+  bool hyper = false;      ///< sparse form only: hypersparse layout
   Index vdim = 0;          ///< major dimension (number of possible vectors)
+  Index mdim = 0;          ///< dense forms only: minor dimension
+  Index bnvals = 0;        ///< bitmap form only: number of present slots
   Buf<Index> h;            ///< hyper only: sorted ids of non-empty vectors
-  Buf<Index> p;            ///< vector start offsets; size nvec()+1
-  Buf<Index> i;            ///< minor indices, size nnz
-  Buf<T> x;                ///< values, size nnz
+  Buf<Index> p;            ///< sparse: vector start offsets; size nvec()+1
+  Buf<Index> i;            ///< sparse: minor indices, size nnz
+  Buf<std::uint8_t> b;     ///< bitmap: presence byte per slot, size vdim*mdim
+  Buf<T> x;                ///< values: size nnz (sparse) or vdim*mdim (dense)
 
   SparseStore() = default;
 
@@ -48,7 +63,24 @@ struct SparseStore {
   /// fatal for the enormous-dimension matrices hypersparsity exists for).
   explicit SparseStore(Index dim) : hyper(true), vdim(dim), p(1, 0) {}
 
-  [[nodiscard]] Index nnz() const noexcept { return static_cast<Index>(i.size()); }
+  [[nodiscard]] Index nnz() const noexcept {
+    switch (form) {
+      case Format::sparse: return static_cast<Index>(i.size());
+      case Format::bitmap: return bnvals;
+      case Format::full: return vdim * mdim;
+    }
+    return 0;
+  }
+
+  /// Dense-form slot of (major k, minor j).
+  [[nodiscard]] std::size_t slot(Index k, Index j) const noexcept {
+    return static_cast<std::size_t>(k) * mdim + j;
+  }
+
+  /// Presence of a dense-form slot (full form has no `b`: always present).
+  [[nodiscard]] bool slot_present(std::size_t s) const noexcept {
+    return form == Format::full || b[s] != 0;
+  }
 
   /// Number of stored (possibly empty, if standard) major vectors.
   [[nodiscard]] Index nvec() const noexcept {
@@ -76,6 +108,19 @@ struct SparseStore {
 
   /// Count of major vectors that actually hold entries.
   [[nodiscard]] Index nvec_nonempty() const noexcept {
+    if (form == Format::full) return mdim > 0 ? vdim : 0;
+    if (form == Format::bitmap) {
+      Index cnt = 0;
+      for (Index k = 0; k < vdim; ++k) {
+        for (Index j = 0; j < mdim; ++j) {
+          if (b[slot(k, j)]) {
+            ++cnt;
+            break;
+          }
+        }
+      }
+      return cnt;
+    }
     if (hyper) return static_cast<Index>(h.size());
     Index cnt = 0;
     for (Index k = 0; k < vdim; ++k)
@@ -86,7 +131,7 @@ struct SparseStore {
   /// Convert standard -> hypersparse (drops empty vectors from `p`).
   /// Strong guarantee: the new arrays are built before the old ones go.
   void hyperize() {
-    if (hyper) return;
+    if (form != Format::sparse || hyper) return;
     Buf<Index> nh;
     Buf<Index> np;
     np.push_back(0);
@@ -103,7 +148,7 @@ struct SparseStore {
 
   /// Convert hypersparse -> standard. Strong guarantee.
   void unhyperize() {
-    if (!hyper) return;
+    if (form != Format::sparse || !hyper) return;
     Buf<Index> np(vdim + 1, 0);
     for (std::size_t k = 0; k < h.size(); ++k) np[h[k] + 1] = p[k + 1] - p[k];
     for (Index k = 0; k < vdim; ++k) np[k + 1] += np[k];
@@ -112,11 +157,108 @@ struct SparseStore {
     hyper = false;
   }
 
-  /// Bytes held by the index/pointer/value arrays — the quantity behind the
-  /// paper's O(n+e) vs O(e) claim.
+  /// Bytes held by the index/pointer/value/presence arrays — the quantity
+  /// behind the paper's O(n+e) vs O(e) claim.
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return h.capacity() * sizeof(Index) + p.capacity() * sizeof(Index) +
-           i.capacity() * sizeof(Index) + x.capacity() * sizeof(T);
+           i.capacity() * sizeof(Index) + b.capacity() +
+           x.capacity() * sizeof(T);
+  }
+
+  // --- form conversions ------------------------------------------------------
+  // All three have the strong guarantee: the target-form arrays are built
+  // completely before the source arrays are released, so an allocation
+  // failure (real or injected) leaves the store exactly as it was.
+
+  /// Convert to the bitmap form. `minor_dim` is this store's minor
+  /// dimension. Requires dense_form_addressable(vdim, minor_dim).
+  void to_bitmap(Index minor_dim) {
+    if (form == Format::bitmap) return;
+    if (form == Format::full) {
+      // full -> bitmap: materialise the all-present byte map.
+      Buf<std::uint8_t> nb(static_cast<std::size_t>(vdim) * mdim, 1);
+      b = std::move(nb);
+      bnvals = vdim * mdim;
+      form = Format::bitmap;
+      return;
+    }
+    const std::size_t slots = static_cast<std::size_t>(vdim) * minor_dim;
+    Buf<T> nx(slots, T{});
+    Buf<std::uint8_t> nb(slots, 0);
+    Index cnt = 0;
+    for (Index k = 0; k < nvec(); ++k) {
+      if ((k & 255) == 0) platform::governor_poll();
+      const std::size_t base =
+          static_cast<std::size_t>(vec_id(k)) * minor_dim;
+      for (Index pos = p[k]; pos < p[k + 1]; ++pos) {
+        nx[base + i[pos]] = x[pos];
+        nb[base + i[pos]] = 1;
+        ++cnt;
+      }
+    }
+    // Commit: nothing below can throw.
+    x = std::move(nx);
+    b = std::move(nb);
+    Buf<Index>().swap(h);
+    Buf<Index>().swap(p);
+    Buf<Index>().swap(i);
+    mdim = minor_dim;
+    bnvals = cnt;
+    hyper = false;
+    form = Format::bitmap;
+  }
+
+  /// Convert to the full form. Requires every slot present
+  /// (nnz() == vdim * minor_dim); callers enforce via the format policy.
+  void to_full(Index minor_dim) {
+    if (form == Format::full) return;
+    if (form == Format::bitmap) {
+      Buf<std::uint8_t>().swap(b);  // noexcept free
+      bnvals = 0;
+      form = Format::full;
+      return;
+    }
+    to_bitmap(minor_dim);
+    Buf<std::uint8_t>().swap(b);
+    bnvals = 0;
+    form = Format::full;
+  }
+
+  /// Convert a dense form back to sparse (standard layout; the owner's
+  /// hypersparsity policy may hyperize afterwards).
+  void to_sparse_form() {
+    if (form == Format::sparse) return;
+    SparseStore s = sparse_form_copy();
+    *this = std::move(s);
+  }
+
+  /// The sparse-form equivalent of this store, built without disturbing it.
+  /// Matrices in a dense form serve kernels through this copy.
+  [[nodiscard]] SparseStore sparse_form_copy() const {
+    SparseStore s(vdim);
+    s.hyper = false;
+    if (form == Format::sparse) {
+      s = *this;
+      return s;
+    }
+    const Index cnt = nnz();
+    s.p.reserve(static_cast<std::size_t>(vdim) + 1);
+    s.i.reserve(cnt);
+    s.x.reserve(cnt);
+    s.p.clear();
+    s.p.push_back(0);
+    for (Index k = 0; k < vdim; ++k) {
+      if ((k & 255) == 0) platform::governor_poll();
+      for (Index j = 0; j < mdim; ++j) {
+        const std::size_t sl = slot(k, j);
+        if (slot_present(sl)) {
+          s.i.push_back(j);
+          s.x.push_back(x[sl]);
+        }
+      }
+      s.p.push_back(static_cast<Index>(s.i.size()));
+    }
+    return s;
   }
 
   /// Build the opposite-orientation store. `minor_dim` is this store's
@@ -128,6 +270,7 @@ struct SparseStore {
   ///     dimension dwarfs the entry count (a hypersparse matrix must stay
   ///     O(e) through *every* operation, including reorientation).
   [[nodiscard]] SparseStore transposed(Index minor_dim) const {
+    if (form != Format::sparse) return transposed_dense();
     if (minor_dim / 4 > nnz() + 1) return transposed_sorting(minor_dim);
     const std::size_t nv = static_cast<std::size_t>(nvec());
 
@@ -220,6 +363,26 @@ struct SparseStore {
   }
 
  private:
+  /// Dense-form transpose: a straight slot permutation, form-preserving.
+  [[nodiscard]] SparseStore transposed_dense() const {
+    SparseStore out(mdim);
+    out.hyper = false;
+    Buf<Index>().swap(out.p);
+    out.mdim = vdim;
+    out.x.resize(static_cast<std::size_t>(vdim) * mdim);
+    if (form == Format::bitmap) out.b.assign(out.x.size(), 0);
+    platform::parallel_for(static_cast<std::size_t>(mdim), [&](std::size_t j) {
+      for (Index k = 0; k < vdim; ++k) {
+        const std::size_t src = slot(k, static_cast<Index>(j));
+        out.x[j * vdim + k] = x[src];
+        if (form == Format::bitmap) out.b[j * vdim + k] = b[src];
+      }
+    });
+    out.bnvals = bnvals;
+    out.form = form;
+    return out;
+  }
+
   [[nodiscard]] SparseStore transposed_sorting(Index minor_dim) const {
     auto t_h = platform::Workspace::checkout<detail::ws_transpose_sort,
                                              std::tuple<Index, Index, T>>();

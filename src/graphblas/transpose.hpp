@@ -3,6 +3,8 @@
 // C API specifies.
 #pragma once
 
+#include <type_traits>
+
 #include "graphblas/mask_accum.hpp"
 #include "graphblas/store_utils.hpp"
 
@@ -17,6 +19,31 @@ void transpose(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
   check_dims(c.nrows() == input_nrows(a, eff_transpose) &&
                  c.ncols() == input_ncols(a, eff_transpose),
              "transpose: C/A shape");
+  // Bitmap/full-native path: a dense store transposes by reinterpreting the
+  // same arrays under the flipped layout tag — an O(nnz) copy (for the
+  // typecast) and no slot permutation at all.
+  if constexpr (!is_masked<MaskArg> && !is_accum<Accum>) {
+    const auto& rs = a.raw_store();
+    if (rs.form != Format::sparse) {
+      SparseStore<CT> t(rs.vdim);
+      t.hyper = false;
+      Buf<Index>().swap(t.p);
+      t.form = rs.form;
+      t.mdim = rs.mdim;
+      t.bnvals = rs.bnvals;
+      t.b = rs.b;
+      if constexpr (std::is_same_v<CT, AT>) {
+        t.x = rs.x;
+      } else {
+        t.x.resize(rs.x.size());
+        for (std::size_t k = 0; k < rs.x.size(); ++k)
+          t.x[k] = static_cast<CT>(rs.x[k]);
+      }
+      c.adopt(std::move(t),
+              eff_transpose ? flip(a.layout()) : a.layout());
+      return;
+    }
+  }
   const auto& s = input_rows(a, eff_transpose);
   SparseStore<AT> t = s;  // copy; write_back consumes it
   write_back(c, mask, accum, std::move(t), desc);

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
@@ -26,6 +28,57 @@ using storage_t = std::conditional_t<std::is_same_v<T, bool>, std::uint8_t, T>;
 
 /// Sentinel meaning "all indices" (GrB_ALL).
 inline constexpr Index all_indices = ~Index{0};
+
+/// Logical storage form of a container (SuiteSparse §II-A). `sparse` covers
+/// both the standard and hypersparse compressed layouts; `bitmap` is a dense
+/// value array plus a presence byte per position; `full` is a dense value
+/// array with every position present (no presence map at all).
+enum class Format : std::uint8_t { sparse, bitmap, full };
+
+[[nodiscard]] constexpr const char* to_string(Format f) noexcept {
+  switch (f) {
+    case Format::sparse: return "sparse";
+    case Format::bitmap: return "bitmap";
+    case Format::full: return "full";
+  }
+  return "unknown";
+}
+
+/// Beyond this many dense slots (vdim*mdim) the bitmap/full forms stop being
+/// reasonable; conversions fall back to sparse (the hypersparse regime).
+inline constexpr Index kDenseFormCap = Index{1} << 24;
+
+/// True if a vdim-by-mdim dense array is representable and affordable.
+[[nodiscard]] constexpr bool dense_form_addressable(Index vdim,
+                                                   Index mdim) noexcept {
+  if (vdim == 0 || mdim == 0) return false;
+  if (vdim > kDenseFormCap || mdim > kDenseFormCap) return false;
+  return vdim * mdim <= kDenseFormCap;
+}
+
+/// Storage-form *preference* of a Matrix/Vector (GxB_SPARSITY_CONTROL). A
+/// preference, not a mandate: a forced form that cannot represent the value
+/// (full with absent entries) or whose dense arrays would not be addressable
+/// (enormous hypersparse dimensions) degrades gracefully — full -> bitmap ->
+/// sparse — instead of erroring, so a global force (the LAGRAPH_FORCE_FORMAT
+/// CI hook) can never change observable results.
+enum class FormatMode : std::uint8_t { auto_fmt, sparse, bitmap, full };
+
+/// Process-wide default FormatMode for freshly constructed containers, read
+/// once from LAGRAPH_FORCE_FORMAT ("sparse" | "bitmap" | "full"; anything
+/// else, including unset, means auto). This is the format-force hook the CI
+/// forced-bitmap leg uses to sweep the whole suite through a storage form.
+[[nodiscard]] inline FormatMode default_format_mode() noexcept {
+  static const FormatMode mode = [] {
+    const char* e = std::getenv("LAGRAPH_FORCE_FORMAT");
+    if (e == nullptr) return FormatMode::auto_fmt;
+    if (std::strcmp(e, "sparse") == 0) return FormatMode::sparse;
+    if (std::strcmp(e, "bitmap") == 0) return FormatMode::bitmap;
+    if (std::strcmp(e, "full") == 0) return FormatMode::full;
+    return FormatMode::auto_fmt;
+  }();
+  return mode;
+}
 
 /// GrB_Info equivalents. `success` and `no_value` are the non-error codes.
 enum class Info : int {

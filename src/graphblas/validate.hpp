@@ -69,6 +69,15 @@ struct DebugAccess {
   }
   static Index& nzombies(Matrix<T>& m) noexcept { return m.nzombies_; }
   static Index nzombies(const Matrix<T>& m) noexcept { return m.nzombies_; }
+  static FormatMode format_mode(const Matrix<T>& m) noexcept {
+    return m.format_mode_;
+  }
+  static const std::optional<SparseStore<T>>& sview(const Matrix<T>& m) noexcept {
+    return m.sview_;
+  }
+  static bool sview_valid(const Matrix<T>& m) noexcept {
+    return m.sview_valid_;
+  }
 
   // -- Vector internals --
   static Buf<Index>& ind(Vector<T>& v) noexcept { return v.ind_; }
@@ -90,6 +99,8 @@ struct DebugAccess {
   static Index& dnvals(Vector<T>& v) noexcept { return v.dnvals_; }
   static Index dnvals(const Vector<T>& v) noexcept { return v.dnvals_; }
   static bool is_dense(const Vector<T>& v) noexcept { return v.dense_; }
+  static bool is_full(const Vector<T>& v) noexcept { return v.full_; }
+  static bool& full_flag(Vector<T>& v) noexcept { return v.full_; }
   static Buf<std::pair<Index, T>>& pending(Vector<T>& v) noexcept {
     return v.pending_;
   }
@@ -129,6 +140,81 @@ CheckResult check_store(const SparseStore<T>& s, Index mdim, Index ndim,
   if (s.vdim != mdim) {
     return check_fail(Info::invalid_object,
                       std::string(who) + ": vdim disagrees with owner shape");
+  }
+
+  // --- dense forms (bitmap / full) ---
+  if (s.form != Format::sparse) {
+    if (s.mdim != ndim) {
+      return check_fail(
+          Info::invalid_object,
+          std::string(who) + ": dense-form minor dim disagrees with shape");
+    }
+    if (s.hyper) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) + ": dense form flagged hypersparse");
+    }
+    if (!s.h.empty() || !s.p.empty() || !s.i.empty()) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) + ": dense form carries sparse arrays");
+    }
+    if (!dense_form_addressable(s.vdim, s.mdim)) {
+      return check_fail(
+          Info::invalid_object,
+          std::string(who) + ": dense form beyond the addressable cap");
+    }
+    const auto slots = static_cast<std::size_t>(s.vdim * s.mdim);
+    if (s.x.size() != slots) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) + ": dense value array sized " +
+                            std::to_string(s.x.size()) + " for " +
+                            std::to_string(slots) + " slots");
+    }
+    if (s.form == Format::full) {
+      if (!s.b.empty()) {
+        return check_fail(Info::invalid_object,
+                          std::string(who) + ": full form carries a presence map");
+      }
+      if (s.bnvals != 0) {
+        return check_fail(Info::invalid_object,
+                          std::string(who) + ": full form has nonzero bnvals");
+      }
+      return {};
+    }
+    // bitmap
+    if (s.b.size() != slots) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) + ": presence map sized " +
+                            std::to_string(s.b.size()) + " for " +
+                            std::to_string(slots) + " slots");
+    }
+    if (s.bnvals > slots) {
+      return check_fail(Info::invalid_object,
+                        std::string(who) + ": bnvals exceeds slot count");
+    }
+    if (level == CheckLevel::full) {
+      Index cnt = 0;
+      for (std::size_t k = 0; k < slots; ++k) {
+        if (s.b[k] > 1) {
+          return check_fail(Info::invalid_object,
+                            std::string(who) + ": presence byte not 0/1 at " +
+                                std::to_string(k));
+        }
+        if (s.b[k]) ++cnt;
+      }
+      if (cnt != s.bnvals) {
+        return check_fail(Info::invalid_object,
+                          std::string(who) + ": bnvals " +
+                              std::to_string(s.bnvals) +
+                              " disagrees with presence map (" +
+                              std::to_string(cnt) + ")");
+      }
+    }
+    return {};
+  }
+
+  if (!s.b.empty() || s.bnvals != 0 || s.mdim != 0) {
+    return check_fail(Info::invalid_object,
+                      std::string(who) + ": sparse form carries dense fields");
   }
   if (s.hyper) {
     if (s.p.size() != s.h.size() + 1) {
@@ -261,6 +347,14 @@ template <class T>
             " recorded, " + std::to_string(zombies_seen) + " tagged)");
   }
 
+  // A dense-form primary store is always fully materialised: set/remove act
+  // on slots directly, so pending tuples and zombies cannot exist.
+  if (s.form != Format::sparse &&
+      (!DA::pending(m).empty() || DA::nzombies(m) != 0)) {
+    return detail::check_fail(Info::invalid_object,
+                              "matrix: dense form carries pending work");
+  }
+
   // Pending tuples must address the logical shape (quick and up: O(pending)).
   if (level != CheckLevel::header) {
     for (const auto& [pr, pc, pv] : DA::pending(m)) {
@@ -286,6 +380,22 @@ template <class T>
                                   level, /*allow_zombies=*/false, nullptr);
     if (!rc.ok()) return rc;
   }
+
+  // The sparse-view cache (dense-form matrices serving compressed kernels),
+  // when valid, is a zombie-free sparse store of the same orientation.
+  if (DA::sview_valid(m)) {
+    if (!DA::sview(m)) {
+      return detail::check_fail(Info::invalid_object,
+                                "matrix: sparse view marked valid but absent");
+    }
+    if (DA::sview(m)->form != Format::sparse) {
+      return detail::check_fail(Info::invalid_object,
+                                "matrix: sparse view not in sparse form");
+    }
+    auto rv = detail::check_store(*DA::sview(m), mdim, ndim, "sparse view",
+                                  level, /*allow_zombies=*/false, nullptr);
+    if (!rv.ok()) return rv;
+  }
   return {};
 }
 
@@ -296,8 +406,20 @@ template <class T>
   using DA = DebugAccess<T>;
   const Index n = v.size();
 
+  if (DA::is_full(v) && !DA::is_dense(v)) {
+    return detail::check_fail(
+        Info::invalid_object,
+        "vector: full flag without the dense representation");
+  }
+
   if (DA::is_dense(v)) {
-    if (DA::dval(v).size() != n || DA::dpresent(v).size() != n) {
+    // A full rep keeps either no presence map at all or a cached all-ones
+    // one of size n; a bitmap rep always keeps a size-n map.
+    const bool map_ok = DA::is_full(v)
+                            ? (DA::dpresent(v).empty() ||
+                               DA::dpresent(v).size() == n)
+                            : DA::dpresent(v).size() == n;
+    if (DA::dval(v).size() != n || !map_ok) {
       return detail::check_fail(
           Info::invalid_object,
           "vector: dense arrays sized " + std::to_string(DA::dval(v).size()) +
@@ -314,7 +436,13 @@ template <class T>
           Info::invalid_object,
           "vector: dense representation carries pending work");
     }
-    if (level == CheckLevel::full) {
+    if (DA::is_full(v) && DA::dnvals(v) != n) {
+      return detail::check_fail(
+          Info::invalid_object,
+          "vector: full rep entry count " + std::to_string(DA::dnvals(v)) +
+              " != dimension " + std::to_string(n));
+    }
+    if (level == CheckLevel::full && !DA::dpresent(v).empty()) {
       Index cnt = 0;
       for (Index i = 0; i < n; ++i)
         if (DA::dpresent(v)[i]) ++cnt;

@@ -1,11 +1,15 @@
 // GrB_Vector: an opaque sparse vector of dimension n.
 //
 // Following the GraphBLAST design the paper highlights (Fig. 3), a Vector
-// keeps one of two physical representations and converts between them:
+// keeps one of three physical representations and converts between them:
 //   * sparse  — sorted index array + value array (SpMSpV "push" side);
-//   * dense   — value array of length n + presence bitmap (SpMV "pull" side).
-// Conversion is driven either explicitly (kernels force the layout they
-// need) or automatically by a density threshold.
+//   * bitmap  — value array of length n + presence byte map (SpMV "pull"
+//               side; historically called the "dense" representation here);
+//   * full    — the bitmap form with every position present, so the
+//               presence map is dropped entirely.
+// Conversion is driven explicitly (kernels force the layout they need), by
+// the density auto rule, or by a storage-form preference (set_format /
+// GxB_SPARSITY_CONTROL) applied when kernels commit results.
 //
 // Non-blocking mode: setElement appends to an unordered pending-tuple list
 // and removeElement tags zombies, exactly as §II-A describes for matrices;
@@ -48,12 +52,13 @@ class Vector {
   /// An empty (no entries) vector of dimension n.
   explicit Vector(Index n) : n_(n) {}
 
-  /// A dense vector of dimension n with every entry = fill.
+  /// A dense vector of dimension n with every entry = fill. Built directly
+  /// in the full form: every position present, so no presence map is kept.
   static Vector full(Index n, const T& fill) {
     Vector v(n);
     v.dense_ = true;
+    v.full_ = true;
     v.dval_.assign(n, static_cast<storage_t<T>>(fill));
-    v.dpresent_.assign(n, 1);
     v.dnvals_ = n;
     return v;
   }
@@ -80,6 +85,10 @@ class Vector {
   void set_element(Index i, const T& v) {
     check_index(i < n_, "Vector::set_element");
     if (dense_) {
+      if (full_) {  // every position already present
+        dval_[i] = v;
+        return;
+      }
       if (!dpresent_[i]) ++dnvals_;
       dpresent_[i] = 1;
       dval_[i] = v;
@@ -93,6 +102,10 @@ class Vector {
   void remove_element(Index i) {
     check_index(i < n_, "Vector::remove_element");
     if (dense_) {
+      if (full_) {  // a hole appears: demote full -> bitmap first
+        ensure_present_map();
+        full_ = false;
+      }
       if (dpresent_[i]) --dnvals_;
       dpresent_[i] = 0;
       return;
@@ -114,7 +127,7 @@ class Vector {
     check_index(i < n_, "Vector::extract_element");
     wait();
     if (dense_) {
-      if (!dpresent_[i]) return std::nullopt;
+      if (!full_ && !dpresent_[i]) return std::nullopt;
       return static_cast<T>(dval_[i]);
     }
     auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
@@ -161,7 +174,7 @@ class Vector {
     values.clear();
     if (dense_) {
       for (Index i = 0; i < n_; ++i) {
-        if (dpresent_[i]) {
+        if (full_ || dpresent_[i]) {
           indices.push_back(i);
           values.push_back(static_cast<T>(dval_[i]));
         }
@@ -184,11 +197,24 @@ class Vector {
     nzombies_ = 0;
     dnvals_ = 0;
     dense_ = false;
+    full_ = false;
   }
 
   /// GrB_Vector_resize. Entries beyond the new dimension are dropped.
   void resize(Index n) {
     wait();
+    if (dense_ && full_) {
+      if (n <= n_) {  // a shrink keeps every remaining position present
+        dval_.resize(n);
+        if (!dpresent_.empty()) dpresent_.resize(n);
+        dnvals_ = n;
+        n_ = n;
+        return;
+      }
+      // Growing adds absent positions: demote to bitmap, then fall through.
+      ensure_present_map();
+      full_ = false;
+    }
     if (dense_) {
       // Reserve both arrays before resizing either, so an allocation failure
       // leaves the dense-rep invariants (sizes == n_) intact.
@@ -216,6 +242,53 @@ class Vector {
     return dense_;
   }
 
+  [[nodiscard]] bool is_full_rep() const {
+    wait();
+    return full_;
+  }
+
+  /// The current physical storage form (GxB_Vector_Option_get).
+  [[nodiscard]] Format format() const {
+    wait();
+    return full_ ? Format::full : dense_ ? Format::bitmap : Format::sparse;
+  }
+
+  [[nodiscard]] FormatMode format_mode() const noexcept { return fmt_mode_; }
+
+  /// Set the storage-form preference (GxB_SPARSITY_CONTROL) and apply it to
+  /// the current contents. A preference that cannot hold the value degrades
+  /// gracefully (full -> bitmap -> sparse); observable results never change.
+  void set_format(FormatMode mode) {
+    wait();
+    fmt_mode_ = mode;
+    switch (mode) {
+      case FormatMode::sparse:
+        to_sparse();
+        break;
+      case FormatMode::bitmap:
+        if (dense_form_addressable(n_, 1)) {
+          to_dense();
+          if (full_) {  // demote an existing full rep to an explicit bitmap
+            ensure_present_map();
+            full_ = false;
+          }
+        } else {
+          to_sparse();
+        }
+        break;
+      case FormatMode::full:
+        if (dense_form_addressable(n_, 1)) {
+          to_dense();
+          try_full();
+        } else {
+          to_sparse();
+        }
+        break;
+      case FormatMode::auto_fmt:
+        break;  // keep the current form; future commits follow the auto rule
+    }
+  }
+
   /// Force the sparse (index list) representation. Strong guarantee.
   void to_sparse() const {
     wait();
@@ -225,7 +298,7 @@ class Vector {
     ni.reserve(dnvals_);
     nv.reserve(dnvals_);
     for (Index i = 0; i < n_; ++i) {
-      if (dpresent_[i]) {
+      if (full_ || dpresent_[i]) {
         ni.push_back(i);
         nv.push_back(dval_[i]);
       }
@@ -237,9 +310,12 @@ class Vector {
     Buf<std::uint8_t>().swap(dpresent_);
     dnvals_ = 0;
     dense_ = false;
+    full_ = false;
   }
 
-  /// Force the dense (value array + bitmap) representation. Strong guarantee.
+  /// Force a dense (value array) representation. A full rep already is one,
+  /// so this never demotes full -> bitmap (set_format does that explicitly).
+  /// Strong guarantee.
   void to_dense() const {
     wait();
     if (dense_) return;
@@ -285,6 +361,9 @@ class Vector {
   }
   [[nodiscard]] std::span<const std::uint8_t> present() const {
     to_dense();
+    // A full rep keeps no presence map; materialise an all-ones one for
+    // kernels that iterate it (the rep stays full — the map is a cache).
+    if (full_) ensure_present_map();
     return dpresent_;
   }
 
@@ -308,6 +387,90 @@ class Vector {
     dpresent_ = std::move(present);
     dnvals_ = cnt;
     dense_ = true;
+    maybe_collapse_to_full();
+  }
+
+  /// Replace all contents with a dense value array in which *every* position
+  /// is present (the full form). noexcept: takes ownership by move.
+  void load_full(Buf<storage_t<T>>&& values) noexcept {
+    clear();
+    dval_ = std::move(values);
+    dnvals_ = n_;
+    dense_ = true;
+    full_ = true;
+  }
+
+  /// Kernel result commit with the storage-form policy applied: the scratch
+  /// arrays are sorted, duplicate-free (index, value) pairs. Under auto and
+  /// forced-sparse the commit is the plain noexcept sparse adoption; under a
+  /// forced dense form the dense arrays are built *before* the old value is
+  /// touched, preserving the strong guarantee.
+  void commit_result(Buf<Index>&& ti, Buf<storage_t<T>>&& tv) {
+    const bool want_dense =
+        (fmt_mode_ == FormatMode::bitmap || fmt_mode_ == FormatMode::full) &&
+        dense_form_addressable(n_, 1);
+    if (!want_dense) {
+      commit_sparse(std::move(ti), std::move(tv));
+      return;
+    }
+    Buf<storage_t<T>> dv(n_, storage_t<T>{});
+    Buf<std::uint8_t> dp(n_, 0);
+    for (std::size_t k = 0; k < ti.size(); ++k) {
+      dv[ti[k]] = tv[k];
+      dp[ti[k]] = 1;
+    }
+    const auto cnt = static_cast<Index>(ti.size());
+    // Commit: nothing below can throw.
+    clear();
+    dval_ = std::move(dv);
+    dpresent_ = std::move(dp);
+    dnvals_ = cnt;
+    dense_ = true;
+    maybe_collapse_to_full();
+  }
+
+  /// Kernel result commit from a dense accumulator, with the storage-form
+  /// policy applied. `values`/`present` are freshly built scratch of size n.
+  /// Forced-sparse (and the auto rule below its density threshold) compacts
+  /// to the index list *before* committing — no sort needed, the scan is
+  /// already in index order.
+  void commit_result_dense(Buf<storage_t<T>>&& values,
+                           Buf<std::uint8_t>&& present, Index cnt,
+                           double dense_threshold = 0.10) {
+    const bool addressable = dense_form_addressable(n_, 1);
+    bool want_dense = false;
+    switch (fmt_mode_) {
+      case FormatMode::sparse: want_dense = false; break;
+      case FormatMode::bitmap:
+      case FormatMode::full: want_dense = addressable; break;
+      case FormatMode::auto_fmt:
+        want_dense = addressable &&
+                     n_ > 0 &&
+                     static_cast<double>(cnt) >=
+                         dense_threshold * static_cast<double>(n_);
+        break;
+    }
+    if (!want_dense) {
+      Buf<Index> ni;
+      Buf<storage_t<T>> nv;
+      ni.reserve(cnt);
+      nv.reserve(cnt);
+      for (Index i = 0; i < n_; ++i) {
+        if (present[i]) {
+          ni.push_back(i);
+          nv.push_back(values[i]);
+        }
+      }
+      commit_sparse(std::move(ni), std::move(nv));
+      return;
+    }
+    // Commit: nothing below can throw.
+    clear();
+    dval_ = std::move(values);
+    dpresent_ = std::move(present);
+    dnvals_ = cnt;
+    dense_ = true;
+    maybe_collapse_to_full();
   }
 
   // --- non-blocking materialisation --------------------------------------------
@@ -404,13 +567,43 @@ class Vector {
     nzombies_ = 0;
     dnvals_ = 0;
     dense_ = false;
+    full_ = false;
+  }
+
+  /// Materialise the all-ones presence map of a full rep (strong guarantee).
+  /// The rep stays full — the map is a cache for map-iterating kernels.
+  void ensure_present_map() const {
+    if (!full_ || dpresent_.size() == n_) return;
+    Buf<std::uint8_t> dp(n_, 1);
+    dpresent_ = std::move(dp);  // noexcept
+  }
+
+  /// After a dense commit: collapse bitmap -> full when every position is
+  /// present, unless the form preference pins the bitmap (or sparse) form.
+  void maybe_collapse_to_full() const noexcept {
+    if (dnvals_ != n_ || !dense_) return;
+    if (fmt_mode_ == FormatMode::bitmap || fmt_mode_ == FormatMode::sparse)
+      return;
+    full_ = true;
+    Buf<std::uint8_t>().swap(dpresent_);
+  }
+
+  /// Promote an all-present bitmap rep to full (noexcept; no-op otherwise).
+  void try_full() const noexcept {
+    if (!dense_ || full_ || dnvals_ != n_) return;
+    full_ = true;
+    Buf<std::uint8_t>().swap(dpresent_);
   }
 
   Index n_ = 0;
 
+  /// Storage-form preference; applied when results are committed.
+  FormatMode fmt_mode_ = default_format_mode();
+
   // Mutable: materialisation (wait, representation changes) is logically
   // const — observable value semantics never change, only the physical form.
   mutable bool dense_ = false;
+  mutable bool full_ = false;  // dense rep with every position present
   mutable Buf<Index> ind_;  // sparse: sorted entry indices
   mutable Buf<storage_t<T>> val_;   // sparse: entry values
   mutable Buf<storage_t<T>> dval_;  // dense: values

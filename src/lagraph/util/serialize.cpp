@@ -44,8 +44,16 @@ using ioutil::Crc32c;
 
 constexpr char kMagic[4] = {'L', 'A', 'G', 'R'};
 // v2 appends a CRC32C of everything after the magic; v1 files (no checksum)
-// are still readable.
+// are still readable. v3 adds a storage-form tag after the version so
+// bitmap/full matrices serialise their native dense payload (presence bytes
+// + slot-ordered values) instead of compacting to CSR; sparse matrices keep
+// writing v2, so files produced for sparse content are byte-identical to
+// before and stay readable by older loaders.
 constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersionDense = 3;
+constexpr std::uint32_t kFormSparse = 0;
+constexpr std::uint32_t kFormBitmap = 1;
+constexpr std::uint32_t kFormFull = 2;
 
 [[noreturn]] void fail(const std::string& what) {
   throw gb::Error(gb::Info::invalid_value, "serialize: " + what);
@@ -88,6 +96,31 @@ gb::Buf<T> read_array(std::istream& in, std::size_t n, Crc32c& crc) {
 }  // namespace
 
 void save_matrix(const gb::Matrix<double>& a, std::ostream& out) {
+  if (a.format() != gb::Format::sparse) {
+    // v3 dense image: header, form tag, then the native slot arrays.
+    auto copy = a.dup();
+    auto arrays = copy.export_dense();
+    Crc32c crc;
+    out.write(kMagic, 4);
+    write_pod(out, kVersionDense, crc);
+    const std::uint32_t form = arrays.form == gb::Format::full
+                                   ? kFormFull
+                                   : kFormBitmap;
+    write_pod(out, form, crc);
+    write_pod(out, arrays.nrows, crc);
+    write_pod(out, arrays.ncols, crc);
+    const std::uint64_t nvals =
+        arrays.form == gb::Format::full
+            ? static_cast<std::uint64_t>(arrays.nrows) * arrays.ncols
+            : static_cast<std::uint64_t>(arrays.bnvals);
+    write_pod(out, nvals, crc);
+    if (arrays.form == gb::Format::bitmap) write_array(out, arrays.b, crc);
+    write_array(out, arrays.x, crc);
+    const std::uint32_t sum = crc.value();
+    out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    if (!out) fail("write failure");
+    return;
+  }
   // Export CSR arrays from a private copy (export is destructive by design).
   auto copy = a.dup();
   auto arrays = copy.export_csr();
@@ -120,10 +153,59 @@ gb::Matrix<double> load_matrix(std::istream& in) {
 
   Crc32c crc;
   auto version = read_pod<std::uint32_t>(in, crc);
-  if (version != 1 && version != kVersion) fail("unsupported version");
+  if (version != 1 && version != kVersion && version != kVersionDense) {
+    fail("unsupported version");
+  }
+  std::uint32_t form = kFormSparse;
+  if (version == kVersionDense) {
+    form = read_pod<std::uint32_t>(in, crc);
+    if (form != kFormBitmap && form != kFormFull) fail("bad storage-form tag");
+  }
   auto nrows = read_pod<gb::Index>(in, crc);
   auto ncols = read_pod<gb::Index>(in, crc);
   auto nnz = read_pod<std::uint64_t>(in, crc);
+
+  if (form != kFormSparse) {
+    if (!gb::dense_form_addressable(nrows, ncols)) {
+      fail("dense image dimensions out of range");
+    }
+    const std::size_t slots = static_cast<std::size_t>(nrows) * ncols;
+    if (std::streampos cur = in.tellg(); cur != std::streampos(-1)) {
+      in.seekg(0, std::ios::end);
+      const std::streampos end = in.tellg();
+      in.seekg(cur);
+      if (end != std::streampos(-1)) {
+        const std::uint64_t have = static_cast<std::uint64_t>(end - cur);
+        const std::uint64_t need =
+            (form == kFormBitmap ? slots : 0) + slots * sizeof(double);
+        if (need > have) fail("truncated array");
+      }
+    }
+    gb::Buf<std::uint8_t> b;
+    if (form == kFormBitmap) b = read_array<std::uint8_t>(in, slots, crc);
+    auto x = read_array<double>(in, slots, crc);
+    std::uint32_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in) fail("truncated checksum");
+    if (stored != crc.value()) fail("checksum mismatch (corrupt file)");
+    if (in.peek() != std::istream::traits_type::eof()) {
+      fail("trailing garbage after matrix payload");
+    }
+    if (form == kFormBitmap) {
+      std::uint64_t cnt = 0;
+      for (auto v : b) {
+        if (v > 1) fail("presence byte not 0/1");
+        cnt += v;
+      }
+      if (cnt != nnz) fail("presence count disagrees with header");
+    } else if (nnz != slots) {
+      fail("full-form nvals disagrees with dimensions");
+    }
+    return gb::Matrix<double>::import_dense(
+        nrows, ncols,
+        form == kFormFull ? gb::Format::full : gb::Format::bitmap,
+        std::move(b), std::move(x));
+  }
 
   // A corrupted header can claim absurd array sizes; reject before
   // allocating when the stream is seekable (files, string buffers) by

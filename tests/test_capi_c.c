@@ -9,6 +9,7 @@
 #include <stdbool.h>
 #include <stdint.h>
 #include <stdio.h>
+#include <stdlib.h>
 
 #include "capi/graphblas_c.h"
 #include "capi/graphblas_poly.h"
@@ -190,6 +191,134 @@ static void test_runner_drivers(void) {
   CHECK(GrB_free(&level) == GrB_SUCCESS);
 }
 
+static void test_runner_sssp_cc(void) {
+  /* The SSSP and CC driven entry points over an 8-vertex graph made of two
+   * disjoint 4-cycles (0-1-2-3 and 4-5-6-7), unit weights, symmetric. */
+  const GrB_Index n = 8;
+  GrB_Matrix a = NULL;
+  GrB_Vector dist = NULL, labels = NULL;
+  CHECK(GrB_Matrix_new(&a, n, n) == GrB_SUCCESS);
+  for (GrB_Index c = 0; c < 2; ++c) {
+    const GrB_Index base = c * 4;
+    for (GrB_Index i = 0; i < 4; ++i) {
+      const GrB_Index u = base + i, v = base + (i + 1) % 4;
+      CHECK(GrB_setElement(a, 1.0, u, v) == GrB_SUCCESS);
+      CHECK(GrB_setElement(a, 1.0, v, u) == GrB_SUCCESS);
+    }
+  }
+  CHECK(GrB_Vector_new(&dist, n) == GrB_SUCCESS);
+  CHECK(GrB_Vector_new(&labels, n) == GrB_SUCCESS);
+
+  LAGraph_Runner r = NULL;
+  CHECK(LAGraph_Runner_new(&r) == GrB_SUCCESS);
+
+  /* Null-pointer contracts. */
+  CHECK(LAGraph_Runner_sssp_bellman_ford(NULL, r, a, 0, NULL) ==
+        GrB_NULL_POINTER);
+  CHECK(LAGraph_Runner_cc(NULL, r, a, NULL) == GrB_NULL_POINTER);
+
+  /* SSSP from 0: its own 4-cycle is reachable (0,1,2,1 hops), the other
+   * component is not (absent entries). */
+  int32_t iters = 0;
+  CHECK(LAGraph_Runner_sssp_bellman_ford(dist, r, a, 0, &iters) ==
+        GrB_SUCCESS);
+  CHECK(iters > 0);
+  double d = -1.0;
+  CHECK(GrB_extractElement(&d, dist, 0) == GrB_SUCCESS && d == 0.0);
+  CHECK(GrB_extractElement(&d, dist, 1) == GrB_SUCCESS && d == 1.0);
+  CHECK(GrB_extractElement(&d, dist, 2) == GrB_SUCCESS && d == 2.0);
+  CHECK(GrB_extractElement(&d, dist, 3) == GrB_SUCCESS && d == 1.0);
+  CHECK(GrB_extractElement(&d, dist, 5) == GrB_NO_VALUE);
+
+  int32_t slices = 0;
+  bool gave_up = true;
+  LAGraph_StopReason stop = LAGraph_STOP_NONE;
+  CHECK(LAGraph_Runner_stats(r, &slices, NULL, NULL, &gave_up, &stop) ==
+        GrB_SUCCESS);
+  CHECK(slices >= 1);
+  CHECK(!gave_up);
+
+  /* CC: each vertex labels with the minimum id of its component. */
+  int32_t rounds = 0;
+  CHECK(LAGraph_Runner_cc(labels, r, a, &rounds) == GrB_SUCCESS);
+  CHECK(rounds > 0);
+  for (GrB_Index v = 0; v < n; ++v) {
+    double lab = -1.0;
+    CHECK(GrB_extractElement(&lab, labels, v) == GrB_SUCCESS);
+    CHECK(lab == (v < 4 ? 0.0 : 4.0));
+  }
+
+  CHECK(LAGraph_Runner_free(&r) == GrB_SUCCESS && r == NULL);
+  CHECK(GrB_free(&a) == GrB_SUCCESS);
+  CHECK(GrB_free(&dist) == GrB_SUCCESS);
+  CHECK(GrB_free(&labels) == GrB_SUCCESS);
+}
+
+static void test_storage_format_options(void) {
+  /* GxB sparsity control: pin forms, read status back, and confirm the
+   * stored values never depend on the form. */
+  GrB_Matrix a = NULL;
+  GrB_Vector v = NULL;
+  CHECK(GrB_Matrix_new(&a, 4, 4) == GrB_SUCCESS);
+  CHECK(GrB_Vector_new(&v, 4) == GrB_SUCCESS);
+  CHECK(GrB_setElement(a, 1.5, 0, 1) == GrB_SUCCESS);
+  CHECK(GrB_setElement(a, 2.5, 2, 3) == GrB_SUCCESS);
+
+  int32_t s = 0;
+  CHECK(GxB_Matrix_Option_get(a, GxB_SPARSITY_CONTROL, &s) == GrB_SUCCESS);
+  if (getenv("LAGRAPH_FORCE_FORMAT") == NULL) {
+    /* The untouched default is auto — unless the CI leg forces a form
+     * process-wide, in which case the forced control is the default. */
+    CHECK(s == GxB_AUTO_SPARSITY);
+  }
+
+  CHECK(GxB_Matrix_Option_set(a, GxB_SPARSITY_CONTROL, GxB_BITMAP) ==
+        GrB_SUCCESS);
+  CHECK(GxB_Matrix_Option_get(a, GxB_SPARSITY_STATUS, &s) == GrB_SUCCESS);
+  CHECK(s == GxB_BITMAP);
+  CHECK(GxB_Matrix_check(a, GxB_CHECK_FULL) == GrB_SUCCESS);
+  GrB_Index nv = 0;
+  double x = 0.0;
+  CHECK(GrB_nvals(&nv, a) == GrB_SUCCESS && nv == 2);
+  CHECK(GrB_extractElement(&x, a, 0, 1) == GrB_SUCCESS && x == 1.5);
+  CHECK(GrB_extractElement(&x, a, 2, 3) == GrB_SUCCESS && x == 2.5);
+  CHECK(GrB_extractElement(&x, a, 1, 1) == GrB_NO_VALUE);
+
+  /* Full is a preference: with absent entries the matrix degrades to
+   * bitmap rather than erroring or inventing values. */
+  CHECK(GxB_Matrix_Option_set(a, GxB_SPARSITY_CONTROL, GxB_FULL) ==
+        GrB_SUCCESS);
+  CHECK(GxB_Matrix_Option_get(a, GxB_SPARSITY_STATUS, &s) == GrB_SUCCESS);
+  CHECK(s == GxB_BITMAP);
+  CHECK(GxB_Matrix_Option_set(a, GxB_SPARSITY_CONTROL, GxB_AUTO_SPARSITY) ==
+        GrB_SUCCESS);
+  CHECK(GxB_Matrix_check(a, GxB_CHECK_FULL) == GrB_SUCCESS);
+  CHECK(GrB_nvals(&nv, a) == GrB_SUCCESS && nv == 2);
+
+  /* A vector with every position present really goes full. */
+  CHECK(GrB_Vector_assign_FP64(v, NULL, GrB_NULL_ACCUM, 3.0, GrB_ALL, 4,
+                               NULL) == GrB_SUCCESS);
+  CHECK(GxB_Vector_Option_set(v, GxB_SPARSITY_CONTROL, GxB_FULL) ==
+        GrB_SUCCESS);
+  CHECK(GxB_Vector_Option_get(v, GxB_SPARSITY_STATUS, &s) == GrB_SUCCESS);
+  CHECK(s == GxB_FULL);
+  CHECK(GxB_Vector_check(v, GxB_CHECK_FULL) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&x, v, 2) == GrB_SUCCESS && x == 3.0);
+
+  /* Bad arguments. */
+  CHECK(GxB_Matrix_Option_set(a, GxB_SPARSITY_CONTROL, 0) ==
+        GrB_INVALID_VALUE);
+  CHECK(GxB_Matrix_Option_set(a, GxB_SPARSITY_CONTROL, 16) ==
+        GrB_INVALID_VALUE);
+  CHECK(GxB_Matrix_Option_set(a, GxB_SPARSITY_STATUS, GxB_BITMAP) ==
+        GrB_INVALID_VALUE);
+  CHECK(GxB_Vector_Option_get(v, GxB_SPARSITY_CONTROL, NULL) ==
+        GrB_NULL_POINTER);
+
+  CHECK(GrB_free(&a) == GrB_SUCCESS);
+  CHECK(GrB_free(&v) == GrB_SUCCESS);
+}
+
 static void test_c_bfs(void) {
   /* The Fig. 2(d) loop, written in plain C: a 5-cycle. */
   const GrB_Index n = 5;
@@ -242,6 +371,8 @@ int main(void) {
   test_polymorphic_operations();
   test_typed_variants();
   test_runner_drivers();
+  test_runner_sssp_cc();
+  test_storage_format_options();
   test_c_bfs();
   if (failures == 0) {
     printf("test_capi_c: all C-language API checks passed\n");

@@ -44,15 +44,12 @@ struct Lockstep {
   }
 };
 
-}  // namespace
-
-class ConformanceChain : public ::testing::TestWithParam<int> {};
-
 // A chain of operations where each output feeds the next — catches state
-// corruption that single-op tests cannot.
-TEST_P(ConformanceChain, OperationPipelineStaysInLockstep) {
-  std::uint64_t seed = 4000 + GetParam() * 107;
-  Lockstep s(seed);
+// corruption that single-op tests cannot. The dense mimics know nothing of
+// storage forms, so running the same chain with every object pinned to a
+// bitmap/full preference (see the DenseForm legs below) checks that the
+// form changes nothing observable.
+void run_pipeline(Lockstep& s) {
   const gb::Plus* no_acc = nullptr;
   const ref::DenseMat<bool>* no_mmask = nullptr;
   const ref::DenseVec<bool>* no_vmask = nullptr;
@@ -112,6 +109,31 @@ TEST_P(ConformanceChain, OperationPipelineStaysInLockstep) {
   // 7. scalar reductions agree
   EXPECT_DOUBLE_EQ(gb::reduce_scalar(gb::plus_monoid<double>(), s.c),
                    ref::reduce_scalar(gb::plus_monoid<double>(), s.dc));
+}
+
+}  // namespace
+
+class ConformanceChain : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConformanceChain, OperationPipelineStaysInLockstep) {
+  Lockstep s(4000 + GetParam() * 107);
+  run_pipeline(s);
+}
+
+TEST_P(ConformanceChain, PipelineInLockstepWithBitmapForms) {
+  Lockstep s(4000 + GetParam() * 107);
+  for (auto* m : {&s.a, &s.b, &s.c}) m->set_format(gb::FormatMode::bitmap);
+  for (auto* v : {&s.u, &s.w}) v->set_format(gb::FormatMode::bitmap);
+  run_pipeline(s);
+}
+
+TEST_P(ConformanceChain, PipelineInLockstepWithFullPreference) {
+  Lockstep s(4000 + GetParam() * 107);
+  // Random patterns have holes, so the full preference lands on bitmap —
+  // the degradation path itself is what this leg exercises.
+  for (auto* m : {&s.a, &s.b, &s.c}) m->set_format(gb::FormatMode::full);
+  for (auto* v : {&s.u, &s.w}) v->set_format(gb::FormatMode::full);
+  run_pipeline(s);
 }
 
 // Randomized single ops with randomized descriptors — a fuzz layer over the

@@ -1,9 +1,18 @@
-// The four storage formats of §II-A: CSR, CSC, and their hypersparse
-// variants; automatic hypersparsity; the cached dual orientation.
+// The storage formats of §II-A: CSR, CSC, and their hypersparse variants;
+// automatic hypersparsity; the cached dual orientation; and the bitmap/full
+// dense forms — including the sweep that pins every operation's inputs and
+// outputs to each form and demands identical results.
 #include <gtest/gtest.h>
 
-#include "graphblas/graphblas.hpp"
+#include <tuple>
+#include <vector>
 
+#include "graphblas/graphblas.hpp"
+#include "graphblas/validate.hpp"
+#include "platform/parallel.hpp"
+
+using gb::Format;
+using gb::FormatMode;
 using gb::HyperMode;
 using gb::Index;
 using gb::Layout;
@@ -71,8 +80,11 @@ INSTANTIATE_TEST_SUITE_P(
                                          HyperMode::always, HyperMode::never)));
 
 TEST(Hypersparse, AutoSwitchesOnSparsity) {
-  // 1000x1000 with 3 populated rows: auto must go hypersparse.
+  // 1000x1000 with 3 populated rows: auto must go hypersparse. (Pinned to
+  // the sparse form: a forced dense default would override the compressed
+  // layout this test is about.)
   Matrix<double> a(1000, 1000);
+  a.set_format(FormatMode::sparse);
   std::vector<Index> r = {10, 500, 999};
   std::vector<Index> c = {5, 6, 7};
   std::vector<double> v = {1, 2, 3};
@@ -142,4 +154,356 @@ TEST(DualFormat, MutationInvalidatesCache) {
     if (cols.i[pos] == 3) found = true;
   }
   EXPECT_TRUE(found);
+}
+
+// ===========================================================================
+// Bitmap / full storage forms
+// ===========================================================================
+
+namespace {
+
+/// Deterministic ~60%-dense 12x12 fixture (dense enough that the auto
+/// policy's dense paths fire, sparse enough that absent entries exist).
+Matrix<double> dense_ish(Index n = 12) {
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if ((i * 7 + j * 3 + 1) % 5 < 3) {
+        r.push_back(i);
+        c.push_back(j);
+        v.push_back(static_cast<double>(i * n + j) - 40.0);
+      }
+    }
+  }
+  Matrix<double> a(n, n);
+  a.build(r, c, v, gb::Plus{});
+  return a;
+}
+
+gb::Vector<double> dense_ish_vec(Index n = 12, int phase = 0) {
+  gb::Vector<double> u(n);
+  for (Index i = 0; i < n; ++i) {
+    if ((i + phase) % 4 != 1) u.set_element(i, 1.0 + 0.25 * static_cast<double>(i));
+  }
+  return u;
+}
+
+struct MatTuples {
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  friend bool operator==(const MatTuples&, const MatTuples&) = default;
+};
+
+struct VecTuples {
+  std::vector<Index> i;
+  std::vector<double> v;
+  friend bool operator==(const VecTuples&, const VecTuples&) = default;
+};
+
+MatTuples tuples(const Matrix<double>& a) {
+  MatTuples t;
+  a.extract_tuples(t.r, t.c, t.v);
+  return t;
+}
+
+VecTuples tuples(const gb::Vector<double>& u) {
+  VecTuples t;
+  u.extract_tuples(t.i, t.v);
+  return t;
+}
+
+void expect_valid(const Matrix<double>& a) {
+  auto res = gb::check(a, gb::CheckLevel::full);
+  EXPECT_TRUE(res.ok()) << res.message;
+}
+
+void expect_valid(const gb::Vector<double>& u) {
+  auto res = gb::check(u, gb::CheckLevel::full);
+  EXPECT_TRUE(res.ok()) << res.message;
+}
+
+const char* mode_name(FormatMode m) {
+  switch (m) {
+    case FormatMode::auto_fmt: return "auto";
+    case FormatMode::sparse: return "sparse";
+    case FormatMode::bitmap: return "bitmap";
+    case FormatMode::full: return "full";
+  }
+  return "?";
+}
+
+}  // namespace
+
+/// The sweep: inputs pinned to `in_mode`, outputs pinned to `out_mode`,
+/// chunked kernels forced into `chunks` chunks (1/2/4 stands in for the
+/// thread counts — chunk boundaries are what vary with threads). Every
+/// operation must produce the same entries as the all-sparse single-chunk
+/// reference, bit for bit, and every output must pass the full validator.
+class StoreFormSweep
+    : public ::testing::TestWithParam<
+          std::tuple<FormatMode, FormatMode, int>> {};
+
+TEST_P(StoreFormSweep, EveryOperationAgreesWithSparseReference) {
+  const auto [in_mode, out_mode, chunks] = GetParam();
+  SCOPED_TRACE(std::string("in=") + mode_name(in_mode) +
+               " out=" + mode_name(out_mode) +
+               " chunks=" + std::to_string(chunks));
+
+  const Index n = 12;
+  auto make_inputs = [&](FormatMode m) {
+    auto a = dense_ish(n);
+    auto b = dense_ish(n);
+    b.set_element(0, 0, 3.5);  // so a != b
+    auto u = dense_ish_vec(n, 0);
+    auto v = dense_ish_vec(n, 2);
+    a.set_format(m);
+    b.set_format(m);
+    u.set_format(m);
+    v.set_format(m);
+    return std::make_tuple(std::move(a), std::move(b), std::move(u),
+                           std::move(v));
+  };
+
+  // Reference: everything sparse, default chunking.
+  auto [ra, rb, ru, rv] = make_inputs(FormatMode::sparse);
+  auto [a, b, u, v] = make_inputs(in_mode);
+
+  gb::platform::ForcedChunks force(chunks);
+
+  auto out_vec = [&] {
+    gb::Vector<double> w(n);
+    w.set_format(out_mode);
+    return w;
+  };
+  auto out_mat = [&] {
+    Matrix<double> c(n, n);
+    c.set_format(out_mode);
+    return c;
+  };
+  auto ref_vec = [&] {
+    gb::Vector<double> w(n);
+    w.set_format(FormatMode::sparse);
+    return w;
+  };
+  auto ref_mat = [&] {
+    Matrix<double> c(n, n);
+    c.set_format(FormatMode::sparse);
+    return c;
+  };
+
+  {  // mxv, both methods
+    for (auto method : {gb::MxvMethod::push, gb::MxvMethod::pull}) {
+      gb::Descriptor d;
+      d.mxv = method;
+      auto w = out_vec();
+      auto wr = ref_vec();
+      gb::mxv(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, u, d);
+      gb::mxv(wr, gb::no_mask, gb::no_accum, gb::plus_times<double>(), ra, ru,
+              d);
+      EXPECT_EQ(tuples(w), tuples(wr)) << "mxv method mismatch";
+      expect_valid(w);
+    }
+  }
+  {  // mxm
+    auto c = out_mat();
+    auto cr = ref_mat();
+    gb::mxm(c, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, b);
+    gb::mxm(cr, gb::no_mask, gb::no_accum, gb::plus_times<double>(), ra, rb);
+    EXPECT_EQ(tuples(c), tuples(cr)) << "mxm";
+    expect_valid(c);
+  }
+  {  // ewise vector add / mult
+    auto w1 = out_vec();
+    auto w1r = ref_vec();
+    gb::ewise_add(w1, gb::no_mask, gb::no_accum, gb::Plus{}, u, v);
+    gb::ewise_add(w1r, gb::no_mask, gb::no_accum, gb::Plus{}, ru, rv);
+    EXPECT_EQ(tuples(w1), tuples(w1r)) << "ewise_add vec";
+    expect_valid(w1);
+    auto w2 = out_vec();
+    auto w2r = ref_vec();
+    gb::ewise_mult(w2, gb::no_mask, gb::no_accum, gb::Times{}, u, v);
+    gb::ewise_mult(w2r, gb::no_mask, gb::no_accum, gb::Times{}, ru, rv);
+    EXPECT_EQ(tuples(w2), tuples(w2r)) << "ewise_mult vec";
+    expect_valid(w2);
+  }
+  {  // ewise matrix add / mult
+    auto c1 = out_mat();
+    auto c1r = ref_mat();
+    gb::ewise_add(c1, gb::no_mask, gb::no_accum, gb::Plus{}, a, b);
+    gb::ewise_add(c1r, gb::no_mask, gb::no_accum, gb::Plus{}, ra, rb);
+    EXPECT_EQ(tuples(c1), tuples(c1r)) << "ewise_add mat";
+    expect_valid(c1);
+    auto c2 = out_mat();
+    auto c2r = ref_mat();
+    gb::ewise_mult(c2, gb::no_mask, gb::no_accum, gb::Times{}, a, b);
+    gb::ewise_mult(c2r, gb::no_mask, gb::no_accum, gb::Times{}, ra, rb);
+    EXPECT_EQ(tuples(c2), tuples(c2r)) << "ewise_mult mat";
+    expect_valid(c2);
+  }
+  {  // apply (vector, matrix) and index-unary apply
+    auto w = out_vec();
+    auto wr = ref_vec();
+    auto neg = [](double x) { return -x; };
+    gb::apply(w, gb::no_mask, gb::no_accum, neg, u);
+    gb::apply(wr, gb::no_mask, gb::no_accum, neg, ru);
+    EXPECT_EQ(tuples(w), tuples(wr)) << "apply vec";
+    expect_valid(w);
+    auto c = out_mat();
+    auto cr = ref_mat();
+    gb::apply(c, gb::no_mask, gb::no_accum, neg, a);
+    gb::apply(cr, gb::no_mask, gb::no_accum, neg, ra);
+    EXPECT_EQ(tuples(c), tuples(cr)) << "apply mat";
+    expect_valid(c);
+    auto rowcol = [](double x, Index i, Index j, double t) {
+      return x + 100.0 * static_cast<double>(i) + static_cast<double>(j) + t;
+    };
+    auto ci = out_mat();
+    auto cir = ref_mat();
+    gb::apply_indexop(ci, gb::no_mask, gb::no_accum, rowcol, a, 0.5);
+    gb::apply_indexop(cir, gb::no_mask, gb::no_accum, rowcol, ra, 0.5);
+    EXPECT_EQ(tuples(ci), tuples(cir)) << "apply_indexop mat";
+    expect_valid(ci);
+  }
+  {  // assign_scalar over GrB_ALL (the full-form producer)
+    auto w = out_vec();
+    auto wr = ref_vec();
+    gb::assign_scalar(w, gb::no_mask, gb::no_accum, 2.25,
+                      gb::IndexSel::all(n));
+    gb::assign_scalar(wr, gb::no_mask, gb::no_accum, 2.25,
+                      gb::IndexSel::all(n));
+    EXPECT_EQ(tuples(w), tuples(wr)) << "assign_scalar vec ALL";
+    EXPECT_EQ(w.nvals(), n);
+    expect_valid(w);
+    auto c = out_mat();
+    auto cr = ref_mat();
+    gb::assign_scalar(c, gb::no_mask, gb::no_accum, -1.5, gb::IndexSel::all(n),
+                      gb::IndexSel::all(n));
+    gb::assign_scalar(cr, gb::no_mask, gb::no_accum, -1.5,
+                      gb::IndexSel::all(n), gb::IndexSel::all(n));
+    EXPECT_EQ(tuples(c), tuples(cr)) << "assign_scalar mat ALL";
+    EXPECT_EQ(c.nvals(), n * n);
+    expect_valid(c);
+  }
+  {  // reduce: rows -> vector, and to scalar
+    auto w = out_vec();
+    auto wr = ref_vec();
+    gb::reduce(w, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), a);
+    gb::reduce(wr, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), ra);
+    EXPECT_EQ(tuples(w), tuples(wr)) << "reduce rows";
+    expect_valid(w);
+    EXPECT_EQ(gb::reduce_scalar(gb::plus_monoid<double>(), u),
+              gb::reduce_scalar(gb::plus_monoid<double>(), ru));
+  }
+  {  // transpose
+    auto c = out_mat();
+    auto cr = ref_mat();
+    gb::transpose(c, gb::no_mask, gb::no_accum, a);
+    gb::transpose(cr, gb::no_mask, gb::no_accum, ra);
+    EXPECT_EQ(tuples(c), tuples(cr)) << "transpose";
+    expect_valid(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllForms, StoreFormSweep,
+    ::testing::Combine(::testing::Values(FormatMode::sparse,
+                                         FormatMode::bitmap, FormatMode::full,
+                                         FormatMode::auto_fmt),
+                       ::testing::Values(FormatMode::sparse,
+                                         FormatMode::bitmap, FormatMode::full,
+                                         FormatMode::auto_fmt),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      return std::string(mode_name(std::get<0>(info.param))) + "_" +
+             mode_name(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(DenseForms, ConversionRoundTripPreservesEntriesAndValidates) {
+  auto a = dense_ish();
+  const auto ref = tuples(a);
+  for (auto mode : {FormatMode::bitmap, FormatMode::full, FormatMode::sparse,
+                    FormatMode::bitmap, FormatMode::sparse}) {
+    a.set_format(mode);
+    EXPECT_EQ(tuples(a), ref) << mode_name(mode);
+    expect_valid(a);
+  }
+  // Partially-filled matrix: the full preference degrades to bitmap.
+  a.set_format(FormatMode::full);
+  EXPECT_EQ(a.format(), Format::bitmap);
+
+  // A genuinely full matrix honours it.
+  Matrix<double> f(4, 4);
+  std::vector<Index> r, c;
+  std::vector<double> v;
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      r.push_back(i);
+      c.push_back(j);
+      v.push_back(static_cast<double>(i * 4 + j));
+    }
+  }
+  f.build(r, c, v, gb::Plus{});
+  f.set_format(FormatMode::full);
+  EXPECT_EQ(f.format(), Format::full);
+  expect_valid(f);
+  EXPECT_EQ(f.extract_element(2, 3).value(), 11.0);
+}
+
+TEST(DenseForms, VectorFullFactoryAndMutation) {
+  auto u = gb::Vector<double>::full(6, 1.5);
+  EXPECT_EQ(u.format(), Format::full);
+  EXPECT_EQ(u.nvals(), 6);
+  expect_valid(u);
+
+  // In-place value write keeps the full form.
+  u.set_element(2, 9.0);
+  EXPECT_EQ(u.format(), Format::full);
+  EXPECT_EQ(u.extract_element(2).value(), 9.0);
+
+  // Removing an element demotes full -> bitmap (an absent slot exists now).
+  u.remove_element(3);
+  EXPECT_EQ(u.format(), Format::bitmap);
+  EXPECT_EQ(u.nvals(), 5);
+  EXPECT_FALSE(u.extract_element(3).has_value());
+  expect_valid(u);
+
+  // Refilling the hole under the auto policy collapses back to full.
+  u.set_element(3, 4.0);
+  EXPECT_EQ(u.nvals(), 6);
+  expect_valid(u);
+
+  // Shrinking keeps a full rep full; growing opens holes -> bitmap.
+  auto w = gb::Vector<double>::full(6, 2.0);
+  w.resize(3);
+  EXPECT_EQ(w.format(), Format::full);
+  EXPECT_EQ(w.nvals(), 3);
+  expect_valid(w);
+  w.resize(8);
+  EXPECT_NE(w.format(), Format::full);
+  EXPECT_EQ(w.nvals(), 3);
+  expect_valid(w);
+}
+
+TEST(DenseForms, ForcedBitmapStaysBitmapEvenWhenFull) {
+  // A forced-bitmap vector must NOT silently collapse to full when every
+  // position becomes present — the pinned preference wins.
+  gb::Vector<double> u(5);
+  u.set_format(FormatMode::bitmap);
+  gb::assign_scalar(u, gb::no_mask, gb::no_accum, 1.0, gb::IndexSel::all(5));
+  EXPECT_EQ(u.nvals(), 5);
+  EXPECT_EQ(u.format(), Format::bitmap);
+  expect_valid(u);
+}
+
+TEST(DenseForms, DenseFormCapDegradesGracefully) {
+  // Dimensions whose product exceeds the dense-form cap cannot go dense;
+  // the preference degrades to sparse instead of erroring.
+  const Index big = gb::kDenseFormCap;  // big * 2 > cap
+  Matrix<double> a(big, 2);
+  a.set_element(5, 1, 3.0);
+  a.set_format(FormatMode::bitmap);
+  EXPECT_EQ(a.format(), Format::sparse);
+  EXPECT_EQ(a.extract_element(5, 1).value(), 3.0);
 }

@@ -334,10 +334,14 @@ TEST(LagraphScope, UngovernedAlgorithmsRunToCompletion) {
 TEST(LagraphScope, PreCancelledGovernorStopsCleanly) {
   // The cancel is already set when the driver starts: no iteration runs, no
   // exception escapes — just telemetry saying why nothing happened.
+  // Build the graph before engaging the scope: under a forced dense format
+  // even construction polls (the storage conversion is governed work), and
+  // this test is about the *driver* seeing the pre-set cancel.
+  auto g = ring(16);
   Governor gov;
   gov.cancel();
   GovernorScope s(&gov);
-  auto res = lagraph::pagerank(ring(16));
+  auto res = lagraph::pagerank(g);
   EXPECT_EQ(res.stop, lagraph::StopReason::cancelled);
   EXPECT_FALSE(res.converged);
   EXPECT_EQ(res.iterations, 0);

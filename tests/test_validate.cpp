@@ -19,9 +19,13 @@ using DA = gb::DebugAccess<double>;
 
 namespace {
 
-// 4x4 CSR with rows of mixed lengths: p = [0,2,3,5,6].
+// 4x4 CSR with rows of mixed lengths: p = [0,2,3,5,6]. Pinned to the
+// sparse form — these fixtures exist to have their CSR internals
+// hand-corrupted, and at 6/16 density the auto policy would otherwise
+// store them as a bitmap (no p/i arrays to poke).
 gb::Matrix<double> small_matrix(Layout layout = Layout::by_row) {
   gb::Matrix<double> m(4, 4, layout, HyperMode::never);
+  m.set_format(gb::FormatMode::sparse);
   std::vector<Index> r = {0, 0, 1, 2, 2, 3};
   std::vector<Index> c = {1, 3, 2, 0, 2, 3};
   std::vector<double> v = {1, 2, 3, 4, 5, 6};
@@ -31,6 +35,7 @@ gb::Matrix<double> small_matrix(Layout layout = Layout::by_row) {
 
 gb::Matrix<double> hyper_matrix() {
   gb::Matrix<double> m(100, 100, Layout::by_row, HyperMode::always);
+  m.set_format(gb::FormatMode::sparse);  // hyperlist corruption needs h/p/i
   std::vector<Index> r = {2, 2, 5, 40};
   std::vector<Index> c = {1, 7, 3, 99};
   std::vector<double> v = {1, 2, 3, 4};
