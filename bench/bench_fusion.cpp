@@ -1,0 +1,192 @@
+// PR8: what operator fusion buys. The PageRank iteration body — the
+// hottest loop in the suite — run two ways on the same graph:
+//
+//   fused:    fused_apply_reduce (dangling mass) + fused_ewise_mult_apply
+//             (scale by damping/out-degree) + vxm_fill_accum_residual
+//             (product, affine fill epilogue, and L1 residual against the
+//             previous iterate committed straight out of the accumulator);
+//   unfused:  the identical entry points under desc_nofuse, which lowers
+//             every one of them to its blocking-mode composition — temp
+//             vector, mxv into a teleport-filled vector with an accum
+//             write-back merge, ewise_add, apply, reduce, each a separate
+//             materialised pass.
+//
+// Both variants are bit-identical (asserted per entry and on the scalar
+// residuals — fusion never changes results, only the number of passes).
+// A second measurement times the MCL residual pattern |A - B| summed, fused
+// (single row-union walk) vs unfused (materialised difference matrix + two
+// more passes). Emits BENCH_PR8.json at the repo root; `--quick` shrinks
+// the input for CI smoke runs.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/lagraph.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+
+namespace {
+
+/// Best-of-k wall time of `body`, milliseconds.
+template <class F>
+double best_ms(int reps, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    gb::platform::Timer t;
+    body();
+    best = std::min(best, t.millis());
+  }
+  return best;
+}
+
+struct IterOut {
+  gb::Vector<double> next;
+  double dmass = 0.0;
+  double delta = 0.0;
+};
+
+/// One full PageRank iteration through the fused entry points. With
+/// desc_nofuse every call takes its unfused fallback, so the same function
+/// times both variants.
+IterOut pr_iteration(const gb::Matrix<double>& a,
+                     const gb::Vector<double>& rank,
+                     const gb::Vector<double>& outdeg, double damping,
+                     double teleport, const gb::Descriptor& desc) {
+  const gb::Index n = rank.size();
+  IterOut out;
+  gb::Descriptor d_rsc = gb::desc_rsc;
+  d_rsc.no_fusion = desc.no_fusion;
+  out.dmass = gb::fused_apply_reduce(gb::plus_monoid<double>(), gb::Identity{},
+                                     rank, outdeg, d_rsc);
+  gb::Vector<double> w(n);
+  gb::fused_ewise_mult_apply(w, gb::Div{},
+                             gb::BindSecond<gb::Times, double>{{}, damping},
+                             rank, outdeg, desc);
+  out.next = gb::Vector<double>(n);
+  out.delta = gb::vxm_fill_accum_residual(
+      out.next, gb::Plus{}, gb::plus_first<double>(), w, a,
+      teleport + damping * out.dmass / static_cast<double>(n),
+      gb::plus_monoid<double>(), gb::Abs{}, gb::Minus{}, rank, desc);
+  return out;
+}
+
+void require_identical(const IterOut& x, const IterOut& y, gb::Index n) {
+  if (x.dmass != y.dmass || x.delta != y.delta) std::abort();
+  if (x.next.nvals() != y.next.nvals()) std::abort();
+  for (gb::Index i = 0; i < n; ++i) {
+    auto xe = x.next.extract_element(i);
+    auto ye = y.next.extract_element(i);
+    if (xe.has_value() != ye.has_value()) std::abort();
+    if (xe && *xe != *ye) std::abort();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const gb::Index n = quick ? 1 << 10 : 1 << 15;
+  const gb::Index m = n * 4;
+  const int reps = quick ? 3 : 9;
+  const double damping = 0.85;
+  const double teleport = (1.0 - damping) / static_cast<double>(n);
+
+  gb::Matrix<double> a = lagraph::random_matrix(n, n, m, /*seed=*/8);
+  a.ensure_dual_format();
+  lagraph::Graph g(a.dup(), lagraph::Kind::directed);
+  const gb::Vector<double>& outdeg = g.out_degree_fp64();
+
+  // A mid-run iterate, not the uniform start vector: one warm iteration from
+  // 1/n gives realistically uneven mass.
+  gb::Vector<double> rank =
+      gb::Vector<double>::full(n, 1.0 / static_cast<double>(n));
+  rank = pr_iteration(g.adj(), rank, outdeg, damping, teleport,
+                      gb::desc_default)
+             .next;
+
+  // Warm both variants (thread pool, workspace pools, orientation caches)
+  // and pin down bit-identity before timing anything.
+  {
+    IterOut f = pr_iteration(g.adj(), rank, outdeg, damping, teleport,
+                             gb::desc_default);
+    IterOut u = pr_iteration(g.adj(), rank, outdeg, damping, teleport,
+                             gb::desc_nofuse);
+    require_identical(f, u, n);
+  }
+
+  // Interleaved reps: clock drift and allocator state hit both variants the
+  // same way — back-to-back blocks consistently penalise whichever runs
+  // second.
+  double fused_ms = 1e300;
+  double unfused_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    fused_ms = std::min(fused_ms, best_ms(1, [&] {
+      (void)pr_iteration(g.adj(), rank, outdeg, damping, teleport,
+                         gb::desc_default);
+    }));
+    unfused_ms = std::min(unfused_ms, best_ms(1, [&] {
+      (void)pr_iteration(g.adj(), rank, outdeg, damping, teleport,
+                         gb::desc_nofuse);
+    }));
+  }
+  const double pr_speedup = fused_ms > 0 ? unfused_ms / fused_ms : 0.0;
+
+  // MCL residual pattern: sum |A - B| over the union, fused row-union walk
+  // vs materialised ewise_add + apply + reduce.
+  gb::Matrix<double> b = lagraph::random_matrix(n, n, m, /*seed=*/9);
+  {
+    const double f = gb::fused_ewise_add_reduce(gb::plus_monoid<double>(),
+                                                gb::Abs{}, gb::Minus{}, a, b);
+    const double u = gb::fused_ewise_add_reduce(gb::plus_monoid<double>(),
+                                                gb::Abs{}, gb::Minus{}, a, b,
+                                                gb::desc_nofuse);
+    if (f != u) std::abort();
+  }
+  double res_fused_ms = 1e300;
+  double res_unfused_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    res_fused_ms = std::min(res_fused_ms, best_ms(1, [&] {
+      (void)gb::fused_ewise_add_reduce(gb::plus_monoid<double>(), gb::Abs{},
+                                       gb::Minus{}, a, b);
+    }));
+    res_unfused_ms = std::min(res_unfused_ms, best_ms(1, [&] {
+      (void)gb::fused_ewise_add_reduce(gb::plus_monoid<double>(), gb::Abs{},
+                                       gb::Minus{}, a, b, gb::desc_nofuse);
+    }));
+  }
+  const double res_speedup =
+      res_fused_ms > 0 ? res_unfused_ms / res_fused_ms : 0.0;
+
+  std::printf("bench_fusion: n=%lld nnz=%lld\n", static_cast<long long>(n),
+              static_cast<long long>(a.nvals()));
+  std::printf("  pagerank iteration, fused    %8.3f ms\n", fused_ms);
+  std::printf("  pagerank iteration, unfused  %8.3f ms  (fused %.3fx)\n",
+              unfused_ms, pr_speedup);
+  std::printf("  |A-B| residual, fused        %8.3f ms\n", res_fused_ms);
+  std::printf("  |A-B| residual, unfused      %8.3f ms  (fused %.3fx)\n",
+              res_unfused_ms, res_speedup);
+
+  const std::string path = std::string(LAGRAPH_SOURCE_DIR) + "/BENCH_PR8.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fusion\",\n");
+  std::fprintf(f, "  \"n\": %lld,\n  \"nnz\": %lld,\n",
+               static_cast<long long>(n), static_cast<long long>(a.nvals()));
+  std::fprintf(f, "  \"pagerank_iter_fused_ms\": %.4f,\n", fused_ms);
+  std::fprintf(f, "  \"pagerank_iter_unfused_ms\": %.4f,\n", unfused_ms);
+  std::fprintf(f, "  \"pagerank_iter_fusion_speedup\": %.4f,\n", pr_speedup);
+  std::fprintf(f, "  \"matrix_residual_fused_ms\": %.4f,\n", res_fused_ms);
+  std::fprintf(f, "  \"matrix_residual_unfused_ms\": %.4f,\n", res_unfused_ms);
+  std::fprintf(f, "  \"matrix_residual_fusion_speedup\": %.4f\n", res_speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

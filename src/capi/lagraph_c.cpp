@@ -241,4 +241,80 @@ GrB_Info LAGraph_Runner_cc(GrB_Vector labels, LAGraph_Runner r, GrB_Matrix a,
   });
 }
 
+GrB_Info LAGraph_Runner_mcl(GrB_Vector labels, LAGraph_Runner r, GrB_Matrix a,
+                            double inflation, int max_iters, double prune,
+                            int32_t* iterations) {
+  if (labels == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::mcl(g, inflation, max_iters, prune, cp);
+    });
+    // The C vector is FP64-backed; attractor ids are vertex ids, exact in a
+    // double for any graph whose dimension a GrB_Index addresses.
+    std::vector<gb::Index> idx;
+    std::vector<std::uint64_t> lab;
+    res.labels.extract_tuples(idx, lab);
+    std::vector<double> vals(lab.begin(), lab.end());
+    gb::Vector<double> out(res.labels.size());
+    out.build(idx, vals, gb::Second{});
+    labels->v = std::move(out);
+    if (iterations != nullptr) *iterations = res.iterations;
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Runner_peer_pressure(GrB_Vector labels, LAGraph_Runner r,
+                                      GrB_Matrix a, int max_iters,
+                                      int32_t* iterations) {
+  if (labels == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::peer_pressure(g, max_iters, cp);
+    });
+    std::vector<gb::Index> idx;
+    std::vector<std::uint64_t> lab;
+    res.labels.extract_tuples(idx, lab);
+    std::vector<double> vals(lab.begin(), lab.end());
+    gb::Vector<double> out(res.labels.size());
+    out.build(idx, vals, gb::Second{});
+    labels->v = std::move(out);
+    if (iterations != nullptr) *iterations = res.iterations;
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Runner_bc(GrB_Vector centrality, LAGraph_Runner r,
+                           GrB_Matrix a, const GrB_Index* sources,
+                           GrB_Index nsources) {
+  if (centrality == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  if (sources == nullptr && nsources != 0) return GrB_NULL_POINTER;
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    std::vector<gb::Index> srcs(sources, sources + nsources);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::betweenness_run(g, srcs, cp);
+    });
+    // Centrality scores are FP64 already: the result moves straight in.
+    centrality->v = std::move(res.centrality);
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
 }  // extern "C"

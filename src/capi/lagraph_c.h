@@ -95,6 +95,28 @@ GrB_Info LAGraph_Runner_sssp_bellman_ford(GrB_Vector dist, LAGraph_Runner r,
 GrB_Info LAGraph_Runner_cc(GrB_Vector labels, LAGraph_Runner r, GrB_Matrix a,
                            int32_t* rounds);
 
+/* Markov clustering: labels holds, per vertex, its cluster's attractor row
+ * id (edges are treated as undirected; labels are integers stored exactly in
+ * the FP64-backed vector). *iterations (optional) is the expansion/inflation
+ * rounds completed. Requires inflation > 1, max_iters > 0, prune >= 0. */
+GrB_Info LAGraph_Runner_mcl(GrB_Vector labels, LAGraph_Runner r, GrB_Matrix a,
+                            double inflation, int max_iters, double prune,
+                            int32_t* iterations);
+
+/* Peer-pressure clustering: labels holds the cluster label per vertex
+ * (integers, stored exactly in the FP64-backed vector). *iterations
+ * (optional) is the voting rounds completed. Requires max_iters > 0. */
+GrB_Info LAGraph_Runner_peer_pressure(GrB_Vector labels, LAGraph_Runner r,
+                                      GrB_Matrix a, int max_iters,
+                                      int32_t* iterations);
+
+/* Batched Brandes betweenness centrality from `nsources` source vertices:
+ * centrality holds the accumulated dependency score per vertex. Sources may
+ * be NULL when nsources is 0 (scores are then all zero). */
+GrB_Info LAGraph_Runner_bc(GrB_Vector centrality, LAGraph_Runner r,
+                           GrB_Matrix a, const GrB_Index* sources,
+                           GrB_Index nsources);
+
 #ifdef __cplusplus
 }
 #endif

@@ -32,6 +32,13 @@ struct Descriptor {
   MxmMethod mxm = MxmMethod::auto_select;
   MxvMethod mxv = MxvMethod::auto_select;
 
+  /// Disable operator fusion for this call: every fused_* entry point
+  /// (fused.hpp) runs its unfused blocking-mode composition instead. The
+  /// process-wide counterpart is the LAGRAPH_NO_FUSION environment variable;
+  /// either switch selects the unfused path, and both paths are bit-identical
+  /// by contract.
+  bool no_fusion = false;
+
   /// Density threshold for the push→pull switch (fraction of nrows). The
   /// GraphBLAST backend uses a constant k; 1/32 reproduces its behaviour on
   /// scale-free graphs.
@@ -49,6 +56,7 @@ inline constexpr Descriptor desc_rsc{.replace = true, .mask_complement = true,
                                      .mask_structural = true};
 inline constexpr Descriptor desc_sc{.mask_complement = true,
                                     .mask_structural = true};
+inline constexpr Descriptor desc_nofuse{.no_fusion = true};
 inline constexpr Descriptor desc_t0{.transpose_a = true};
 inline constexpr Descriptor desc_t1{.transpose_b = true};
 inline constexpr Descriptor desc_t0t1{.transpose_a = true, .transpose_b = true};

@@ -7,6 +7,7 @@
 #include "graphblas/descriptor.hpp"   // IWYU pragma: export
 #include "graphblas/ewise.hpp"        // IWYU pragma: export
 #include "graphblas/extract.hpp"      // IWYU pragma: export
+#include "graphblas/fused.hpp"        // IWYU pragma: export
 #include "graphblas/mask_accum.hpp"   // IWYU pragma: export
 #include "graphblas/matrix.hpp"       // IWYU pragma: export
 #include "graphblas/monoid.hpp"       // IWYU pragma: export

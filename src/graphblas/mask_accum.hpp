@@ -280,6 +280,50 @@ void write_back(Vector<CT>& c, const MaskArg& mask, const Accum& accum,
   }
 }
 
+/// C accum= T (unmasked), reporting whether C changed: a fresh entry
+/// appeared, or an accumulated value differs from the old one. This is the
+/// union merge of write_back's accumulator branch with the change test
+/// fused in, so iterate-until-fixpoint drivers (Bellman-Ford relaxation)
+/// stop paying a full isequal() sweep after every accumulation. All scratch
+/// is assembled before commit_result publishes, preserving the
+/// transactional contract.
+template <class CT, class ZT, class Accum>
+bool write_back_accum_changed(Vector<CT>& c, const Accum& accum,
+                              Buf<Index>&& ti, Buf<ZT>&& tv) {
+  const auto cc = detail::read_content(c);
+  const auto& ci = cc.i;
+  const auto& cv = cc.v;
+  Buf<Index> zi;
+  Buf<storage_t<CT>> zv;
+  zi.reserve(ci.size() + ti.size());
+  zv.reserve(ci.size() + ti.size());
+  bool changed = false;
+  std::size_t a = 0, b = 0;
+  while (a < ci.size() || b < ti.size()) {
+    // Build phase only: a poll trip here leaves C bit-identical.
+    if (((a + b) & 1023) == 0) platform::governor_poll();
+    if (b >= ti.size() || (a < ci.size() && ci[a] < ti[b])) {
+      zi.push_back(ci[a]);
+      zv.push_back(cv[a]);
+      ++a;
+    } else if (a >= ci.size() || ti[b] < ci[a]) {
+      zi.push_back(ti[b]);
+      zv.push_back(static_cast<CT>(tv[b]));
+      changed = true;
+      ++b;
+    } else {
+      zi.push_back(ci[a]);
+      const storage_t<CT> merged = static_cast<CT>(accum(cv[a], tv[b]));
+      changed = changed || merged != cv[a];
+      zv.push_back(merged);
+      ++a;
+      ++b;
+    }
+  }
+  c.commit_result(std::move(zi), std::move(zv));
+  return changed;
+}
+
 // ---------------------------------------------------------------------------
 // Matrix write-back
 // ---------------------------------------------------------------------------

@@ -294,6 +294,37 @@ struct FlippedMul {
   }
 };
 
+/// Resolve the descriptor's mxv method for op(A)·u: the GraphBLAST
+/// direction-optimisation rule under auto_select. Shared by mxv() and the
+/// fused epilogue entry points (fused.hpp), which must pick the same
+/// traversal for bit-identical floating-point association.
+template <class UT>
+[[nodiscard]] MxvMethod mxv_pick_method(const Vector<UT>& u,
+                                        const Descriptor& desc) {
+  MxvMethod method = desc.mxv;
+  if (method == MxvMethod::auto_select) {
+    method = u.density() < desc.push_pull_threshold ? MxvMethod::push
+                                                    : MxvMethod::pull;
+  }
+  return method;
+}
+
+/// Run the sparse-output mxv kernel for op(A)·u into (ti, tv) — the shared
+/// compute step behind mxv()'s write-back path and the fused epilogues,
+/// which commit the same raw product through a different tail.
+template <class SR, class AT, class UT, class MaskArg>
+void mxv_sparse_t(const Matrix<AT>& a, const Vector<UT>& u, const SR& sr,
+                  const VectorMaskProbe<MaskArg>& probe, MxvMethod method,
+                  const Descriptor& desc, Index out_dim, Buf<Index>& ti,
+                  Buf<typename SR::value_type>& tv) {
+  if (method == MxvMethod::pull) {
+    mxv_pull(input_rows(a, desc.transpose_a), u, sr, probe, ti, tv);
+  } else {
+    // Columns of op(A) = rows of the opposite orientation.
+    mxv_push(input_rows(a, !desc.transpose_a), out_dim, u, sr, probe, ti, tv);
+  }
+}
+
 }  // namespace detail
 
 /// w<m> accum= op(A) ⊕.⊗ u. Returns the traversal direction actually used
@@ -306,11 +337,7 @@ MxvMethod mxv(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
   const Index in_dim = input_ncols(a, desc.transpose_a);
   check_dims(w.size() == out_dim && u.size() == in_dim, "mxv: shapes");
 
-  MxvMethod method = desc.mxv;
-  if (method == MxvMethod::auto_select) {
-    method = u.density() < desc.push_pull_threshold ? MxvMethod::push
-                                                    : MxvMethod::pull;
-  }
+  MxvMethod method = detail::mxv_pick_method(u, desc);
 
   using ZT = typename SR::value_type;
   VectorMaskProbe<MaskArg> probe(mask, out_dim, desc);
@@ -360,13 +387,7 @@ MxvMethod mxv(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
 
   Buf<Index> ti;
   Buf<ZT> tv;
-  if (method == MxvMethod::pull) {
-    detail::mxv_pull(input_rows(a, desc.transpose_a), u, sr, probe, ti, tv);
-  } else {
-    // Columns of op(A) = rows of the opposite orientation.
-    detail::mxv_push(input_rows(a, !desc.transpose_a), out_dim, u, sr, probe,
-                     ti, tv);
-  }
+  detail::mxv_sparse_t(a, u, sr, probe, method, desc, out_dim, ti, tv);
   write_back(w, mask, accum, std::move(ti), std::move(tv), desc);
   return method;
 }

@@ -29,6 +29,54 @@ struct ws_reduce_partials;
 /// and therefore the combining tree — depend only on nnz, never on the
 /// thread count.
 inline constexpr std::size_t kReduceChunk = 8192;
+
+/// Fold a flat entry stream under a monoid with the fixed-chunk combining
+/// tree: per-chunk identity-seeded partials combined in chunk order. The
+/// association depends only on the stream length (and the forced_chunks test
+/// hook), never on the thread count, so the result is bit-identical on 1 or
+/// N threads. Shared by reduce_scalar(Matrix) and the fused matrix
+/// ewise+reduce kernels (fused.hpp), which must combine identically.
+/// Vals is any random-access container (Buf<T> included — the generic shape
+/// keeps Buf<bool>'s packed proxy usable, which a span cannot view).
+template <class M, class Vals>
+[[nodiscard]] typename M::value_type reduce_entry_stream(const M& monoid,
+                                                         const Vals& vals) {
+  using ZT = typename M::value_type;
+  const std::size_t nnz = vals.size();
+  std::size_t nchunks = (nnz + kReduceChunk - 1) / kReduceChunk;
+  if (int fc = platform::forced_chunks(); fc > 0 && nnz > 0) {
+    // Test hook: a forced chunk count changes the combining tree, which for
+    // non-associative floats changes the rounding — documented on the hook.
+    nchunks = std::min(nnz, static_cast<std::size_t>(fc));
+  }
+  if (nchunks <= 1) {
+    ZT acc = monoid.identity;
+    for (std::size_t k = 0; k < nnz; ++k) {
+      if ((k & 1023) == 0) platform::governor_poll();
+      acc = monoid(acc, static_cast<ZT>(vals[k]));
+      if (monoid.is_terminal(acc)) break;
+    }
+    return acc;
+  }
+  auto partials_h =
+      platform::Workspace::checkout<ws_reduce_partials, ZT>(nchunks);
+  auto& partials = *partials_h;
+  platform::parallel_for_chunks(
+      nnz, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        ZT acc = monoid.identity;
+        for (std::size_t k = lo; k < hi; ++k) {
+          acc = monoid(acc, static_cast<ZT>(vals[k]));
+          if (monoid.is_terminal(acc)) break;
+        }
+        partials[c] = acc;
+      });
+  ZT acc = monoid.identity;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    acc = monoid(acc, partials[c]);
+    if (monoid.is_terminal(acc)) break;
+  }
+  return acc;
+}
 }  // namespace detail
 
 /// w<m> accum= reduce-rows(op(A)): w(i) = ⊕_j op(A)(i, j).
@@ -132,42 +180,8 @@ void reduce(Vector<CT>& w, const MaskArg& mask, const Accum& accum,
 template <class M, class AT>
 [[nodiscard]] typename M::value_type reduce_scalar(const M& monoid,
                                                    const Matrix<AT>& a) {
-  using ZT = typename M::value_type;
   const auto& s = a.by_row();
-  const std::size_t nnz = s.x.size();
-  std::size_t nchunks = (nnz + detail::kReduceChunk - 1) / detail::kReduceChunk;
-  if (int fc = platform::forced_chunks(); fc > 0 && nnz > 0) {
-    // Test hook: a forced chunk count changes the combining tree, which for
-    // non-associative floats changes the rounding — documented on the hook.
-    nchunks = std::min(nnz, static_cast<std::size_t>(fc));
-  }
-  if (nchunks <= 1) {
-    ZT acc = monoid.identity;
-    for (std::size_t k = 0; k < nnz; ++k) {
-      if ((k & 1023) == 0) platform::governor_poll();
-      acc = monoid(acc, static_cast<ZT>(s.x[k]));
-      if (monoid.is_terminal(acc)) break;
-    }
-    return acc;
-  }
-  auto partials_h =
-      platform::Workspace::checkout<detail::ws_reduce_partials, ZT>(nchunks);
-  auto& partials = *partials_h;
-  platform::parallel_for_chunks(
-      nnz, nchunks, [&](std::size_t c, std::size_t lo, std::size_t hi) {
-        ZT acc = monoid.identity;
-        for (std::size_t k = lo; k < hi; ++k) {
-          acc = monoid(acc, static_cast<ZT>(s.x[k]));
-          if (monoid.is_terminal(acc)) break;
-        }
-        partials[c] = acc;
-      });
-  ZT acc = monoid.identity;
-  for (std::size_t c = 0; c < nchunks; ++c) {
-    acc = monoid(acc, partials[c]);
-    if (monoid.is_terminal(acc)) break;
-  }
-  return acc;
+  return detail::reduce_entry_stream(monoid, s.x);
 }
 
 /// Scalar reduce of a vector.

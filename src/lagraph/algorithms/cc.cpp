@@ -62,6 +62,17 @@ CcResult connected_components_run(const Graph& g, const Checkpoint* resume) {
     return out;
   };
 
+  auto parents_equal = [n](const gb::Vector<std::uint64_t>& x,
+                           const gb::Vector<std::uint64_t>& y) {
+    // Parent vectors are full-pattern (n entries) throughout FastSV, so
+    // equality is one fused any-mismatch pass (lor over x != y) that
+    // short-circuits on the first differing slot. Fall back to the general
+    // comparison if a pattern ever isn't full.
+    if (x.nvals() != n || y.nvals() != n) return isequal(x, y);
+    return !gb::fused_ewise_mult_reduce(gb::lor_monoid(), gb::Identity{},
+                                        gb::Isne{}, x, y);
+  };
+
   for (;;) {
     if (StopReason why = scope.interrupted(); why != StopReason::none) {
       res.stop = why;
@@ -113,11 +124,11 @@ CcResult connected_components_run(const Graph& g, const Checkpoint* resume) {
       // Pointer jumping until stable: f = f[f].
       for (;;) {
         auto jumped = gather(fnext, fnext);
-        if (isequal(jumped, fnext)) break;
+        if (parents_equal(jumped, fnext)) break;
         fnext = std::move(jumped);
       }
 
-      stable = isequal(fnext, f);
+      stable = parents_equal(fnext, f);
       if (!stable) f = std::move(fnext);  // commit
     });
     if (why != StopReason::none) {

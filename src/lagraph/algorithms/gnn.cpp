@@ -24,12 +24,11 @@ gb::Matrix<double> normalized_adjacency(const Graph& g) {
   gb::ewise_add(ai, gb::no_mask, gb::no_accum, gb::First{}, g.undirected_view(),
                 gb::Matrix<double>::identity(n, 1.0));
 
-  // Row sums of A + I are the augmented degrees.
-  gb::Vector<double> d(n);
-  gb::reduce(d, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), ai);
+  // Row sums of A + I are the augmented degrees; the degree vector is only
+  // ever consumed through 1/√d, so the reduce and the map fuse.
   gb::Vector<double> dinv_sqrt(n);
-  gb::apply(dinv_sqrt, gb::no_mask, gb::no_accum,
-            [](double x) { return 1.0 / std::sqrt(x); }, d);
+  gb::fused_reduce_apply(dinv_sqrt, gb::plus_monoid<double>(),
+                         [](double x) { return 1.0 / std::sqrt(x); }, ai);
   auto dm = gb::Matrix<double>::diag(dinv_sqrt);
 
   gb::Matrix<double> t(n, n), norm(n, n);

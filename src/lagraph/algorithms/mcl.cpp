@@ -15,11 +15,11 @@ namespace {
 /// Column-normalise M in place: M = M * diag(1 / colsum).
 void normalize_columns(gb::Matrix<double>& m) {
   const Index n = m.ncols();
-  gb::Vector<double> colsum(n);
-  gb::reduce(colsum, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(), m,
-             gb::desc_t0);
+  // Column-sum and reciprocal in one fused pass — the colsum vector is only
+  // ever consumed through Minv.
   gb::Vector<double> inv(n);
-  gb::apply(inv, gb::no_mask, gb::no_accum, gb::Minv{}, colsum);
+  gb::fused_reduce_apply(inv, gb::plus_monoid<double>(), gb::Minv{}, m,
+                         gb::desc_t0);
   auto d = gb::Matrix<double>::diag(inv);
   gb::Matrix<double> out(m.nrows(), n);
   gb::mxm(out, gb::no_mask, gb::no_accum, gb::plus_times<double>(), m, d);
@@ -57,12 +57,11 @@ gb::Vector<std::uint64_t> attractor_labels(const gb::Matrix<double>& m,
   return labels;
 }
 
-/// L1 distance between successive iterates (union pattern, absent = 0).
+/// L1 distance between successive iterates (union pattern, absent = 0),
+/// folded in one pass — no difference matrix committed.
 double l1_distance(const gb::Matrix<double>& a, const gb::Matrix<double>& b) {
-  gb::Matrix<double> diff(a.nrows(), a.ncols());
-  gb::ewise_add(diff, gb::no_mask, gb::no_accum, gb::Minus{}, a, b);
-  gb::apply(diff, gb::no_mask, gb::no_accum, gb::Abs{}, diff);
-  return gb::reduce_scalar(gb::plus_monoid<double>(), diff);
+  return gb::fused_ewise_add_reduce(gb::plus_monoid<double>(), gb::Abs{},
+                                    gb::Minus{}, a, b);
 }
 
 }  // namespace

@@ -49,12 +49,11 @@ PageRankResult pagerank(const Graph& g, double damping, double tol,
 
   // Setup runs governed too: a trip here returns telemetry, not a raw
   // platform exception.
-  gb::Vector<double> outdeg;
+  const gb::Vector<double>* outdeg = nullptr;
   StopReason setup = scope.step([&] {
-    // Out-degrees as doubles; vertices with no out-edges are absent.
-    outdeg = gb::Vector<double>(n);
-    gb::apply(outdeg, gb::no_mask, gb::no_accum, gb::Identity{},
-              g.out_degree());
+    // Out-degrees as doubles, cached on the graph; vertices with no
+    // out-edges are absent.
+    outdeg = &g.out_degree_fp64();
     if (resume != nullptr && !resume->empty()) {
       res.rank = resume->get_vector<double>("rank");
       gb::check_value(res.rank.size() == n,
@@ -78,32 +77,30 @@ PageRankResult pagerank(const Graph& g, double damping, double tol,
     }
     double delta = 0.0;
     StopReason why = scope.step([&] {
-      // Dangling mass: rank held by vertices with no out-edges.
-      gb::Vector<double> dangling(n);
-      gb::apply(dangling, outdeg, gb::no_accum, gb::Identity{}, res.rank,
-                gb::desc_rsc);
-      double dmass = gb::reduce_scalar(gb::plus_monoid<double>(), dangling);
+      // Dangling mass: rank held by vertices with no out-edges, summed in
+      // one pass (apply→reduce fused; no dangling vector committed).
+      double dmass = gb::fused_apply_reduce(gb::plus_monoid<double>(),
+                                            gb::Identity{}, res.rank, *outdeg,
+                                            gb::desc_rsc);
 
-      // w = damping * rank ./ outdeg  (contribution per out-edge).
+      // w = damping * rank ./ outdeg  (contribution per out-edge), the
+      // divide and the damping scale in one pass.
       gb::Vector<double> w(n);
-      gb::ewise_mult(w, gb::no_mask, gb::no_accum, gb::Div{}, res.rank, outdeg);
-      gb::apply(w, gb::no_mask, gb::no_accum,
-                gb::BindSecond<gb::Times, double>{{}, damping}, w);
+      gb::fused_ewise_mult_apply(w, gb::Div{},
+                                 gb::BindSecond<gb::Times, double>{{}, damping},
+                                 res.rank, *outdeg);
 
-      // next = teleport + damping * dangling/n everywhere, then += w' * A.
+      // next = teleport + damping * dangling/n everywhere, then += w' * A,
+      // with the L1 change against the previous iterate folded out of the
+      // product's epilogue.
       // plus_FIRST, not plus_times: PageRank splits rank by out-degree, so
       // each out-edge carries w(i) regardless of the edge's stored weight
       // (weighted adjacencies would otherwise diverge).
-      auto next = gb::Vector<double>::full(
-          n, teleport + damping * dmass / static_cast<double>(n));
-      gb::vxm(next, gb::no_mask, gb::Plus{}, gb::plus_first<double>(), w, a);
-
-      // L1 change.
-      gb::Vector<double> diff(n);
-      gb::ewise_add(diff, gb::no_mask, gb::no_accum, gb::Minus{}, next,
-                    res.rank);
-      gb::apply(diff, gb::no_mask, gb::no_accum, gb::Abs{}, diff);
-      delta = gb::reduce_scalar(gb::plus_monoid<double>(), diff);
+      gb::Vector<double> next(n);
+      delta = gb::vxm_fill_accum_residual(
+          next, gb::Plus{}, gb::plus_first<double>(), w, a,
+          teleport + damping * dmass / static_cast<double>(n),
+          gb::plus_monoid<double>(), gb::Abs{}, gb::Minus{}, res.rank);
 
       res.rank = std::move(next);
     });

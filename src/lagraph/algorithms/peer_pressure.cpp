@@ -102,7 +102,15 @@ ClusterResult peer_pressure(const Graph& g, int max_iters,
           next[j] = r[k];
         }
       }
-      for (Index i = 0; i < n; ++i) flips += next[i] != label[i];
+      // Flip count as a fused any-difference fold over the two label
+      // vectors (plus over label != next), same kernel the convergence
+      // checks in cc/sssp use.
+      gb::Vector<std::uint64_t> lv(n), nv(n);
+      lv.load_full(gb::Buf<std::uint64_t>(label.begin(), label.end()));
+      nv.load_full(gb::Buf<std::uint64_t>(next.begin(), next.end()));
+      flips = static_cast<std::size_t>(gb::fused_ewise_mult_reduce(
+          gb::plus_monoid<std::uint64_t>(), gb::Identity{}, gb::Isne{}, lv,
+          nv));
       label = std::move(next);
     });
     ++res.iterations;

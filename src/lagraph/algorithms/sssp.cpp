@@ -73,12 +73,12 @@ SsspResult sssp_bellman_ford(const Graph& g, Index source,
     }
     StopReason why = scope.step([&] {
       gb::Vector<double> next = res.dist;
-      // next = min(next, dist min.+ A): relax every edge once. The commit
-      // (changed + dist) happens after the last poll point, so a mid-step
-      // trip leaves the round boundary intact.
-      gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), res.dist,
-              a);
-      changed = !isequal(next, res.dist);
+      // next = min(next, dist min.+ A): relax every edge once, with the
+      // did-anything-improve test fused into the write-back (no post-hoc
+      // isequal sweep). The commit (changed + dist) happens after the last
+      // poll point, so a mid-step trip leaves the round boundary intact.
+      changed = gb::vxm_accum_changed(next, gb::Min{}, gb::min_plus<double>(),
+                                      res.dist, a);
       res.dist = std::move(next);
     });
     if (why != StopReason::none) {
@@ -91,8 +91,8 @@ SsspResult sssp_bellman_ford(const Graph& g, Index source,
   if (changed) {
     // n relaxation rounds still improving => negative cycle.
     gb::Vector<double> next = res.dist;
-    gb::vxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), res.dist, a);
-    if (!isequal(next, res.dist)) {
+    if (gb::vxm_accum_changed(next, gb::Min{}, gb::min_plus<double>(),
+                              res.dist, a)) {
       throw gb::Error(gb::Info::invalid_value,
                       "sssp_bellman_ford: negative cycle reachable");
     }
@@ -146,11 +146,10 @@ SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta,
   }
 
   auto min_unsettled = [&]() -> double {
-    // Minimum tentative distance among unsettled vertices; +inf if none.
-    gb::Vector<double> unsettled(n);
-    gb::Descriptor d = gb::desc_rsc;  // complement(settled), structural
-    gb::apply(unsettled, settled, gb::no_accum, gb::Identity{}, dist, d);
-    return gb::reduce_scalar(gb::min_monoid<double>(), unsettled);
+    // Minimum tentative distance among unsettled vertices, in one fused
+    // pass over dist (complement(settled), structural); +inf if none.
+    return gb::fused_apply_reduce(gb::min_monoid<double>(), gb::Identity{},
+                                  dist, settled, gb::desc_rsc);
   };
 
   while (true) {

@@ -19,6 +19,15 @@ const gb::Vector<std::int64_t>& Graph::out_degree() const {
   return *out_degree_;
 }
 
+const gb::Vector<double>& Graph::out_degree_fp64() const {
+  if (!out_degree_fp64_) {
+    gb::Vector<double> d(a_.nrows());
+    gb::apply(d, gb::no_mask, gb::no_accum, gb::Identity{}, out_degree());
+    out_degree_fp64_ = std::move(d);
+  }
+  return *out_degree_fp64_;
+}
+
 const gb::Vector<std::int64_t>& Graph::in_degree() const {
   if (!in_degree_) {
     gb::Vector<std::int64_t> d(a_.ncols());
@@ -61,6 +70,7 @@ std::uint64_t Graph::nself_edges() const {
 
 void Graph::invalidate_cache() const {
   out_degree_.reset();
+  out_degree_fp64_.reset();
   in_degree_.reset();
   symmetric_.reset();
   nself_.reset();

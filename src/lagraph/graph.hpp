@@ -43,6 +43,11 @@ class Graph {
   /// out_degree(i) = number of entries in row i.
   [[nodiscard]] const gb::Vector<std::int64_t>& out_degree() const;
 
+  /// out_degree() typecast to FP64 — the form PageRank-style algorithms
+  /// consume every call; cached so repeated runs (Runner retries, parameter
+  /// sweeps) skip the n-entry conversion.
+  [[nodiscard]] const gb::Vector<double>& out_degree_fp64() const;
+
   /// in_degree(i) = number of entries in column i.
   [[nodiscard]] const gb::Vector<std::int64_t>& in_degree() const;
 
@@ -64,6 +69,7 @@ class Graph {
   Kind kind_ = Kind::directed;
 
   mutable std::optional<gb::Vector<std::int64_t>> out_degree_;
+  mutable std::optional<gb::Vector<double>> out_degree_fp64_;
   mutable std::optional<gb::Vector<std::int64_t>> in_degree_;
   mutable std::optional<bool> symmetric_;
   mutable std::optional<std::uint64_t> nself_;

@@ -254,6 +254,96 @@ static void test_runner_sssp_cc(void) {
   CHECK(GrB_free(&labels) == GrB_SUCCESS);
 }
 
+static void test_runner_clustering_bc(void) {
+  /* The MCL, peer-pressure, and betweenness driven entry points over the
+   * same two disjoint 4-cycles: both clusterings must separate the two
+   * components, and bc from sources {0, 4} must score the cycle vertices
+   * symmetrically. */
+  const GrB_Index n = 8;
+  GrB_Matrix a = NULL;
+  GrB_Vector labels = NULL, centrality = NULL;
+  CHECK(GrB_Matrix_new(&a, n, n) == GrB_SUCCESS);
+  for (GrB_Index c = 0; c < 2; ++c) {
+    const GrB_Index base = c * 4;
+    for (GrB_Index i = 0; i < 4; ++i) {
+      const GrB_Index u = base + i, v = base + (i + 1) % 4;
+      CHECK(GrB_setElement(a, 1.0, u, v) == GrB_SUCCESS);
+      CHECK(GrB_setElement(a, 1.0, v, u) == GrB_SUCCESS);
+    }
+  }
+  CHECK(GrB_Vector_new(&labels, n) == GrB_SUCCESS);
+  CHECK(GrB_Vector_new(&centrality, n) == GrB_SUCCESS);
+
+  LAGraph_Runner r = NULL;
+  CHECK(LAGraph_Runner_new(&r) == GrB_SUCCESS);
+
+  /* Null-pointer and argument contracts. */
+  CHECK(LAGraph_Runner_mcl(NULL, r, a, 2.0, 100, 1e-6, NULL) ==
+        GrB_NULL_POINTER);
+  CHECK(LAGraph_Runner_peer_pressure(NULL, r, a, 50, NULL) ==
+        GrB_NULL_POINTER);
+  CHECK(LAGraph_Runner_bc(NULL, r, a, NULL, 0) == GrB_NULL_POINTER);
+  CHECK(LAGraph_Runner_bc(centrality, r, a, NULL, 2) == GrB_NULL_POINTER);
+  CHECK(LAGraph_Runner_mcl(labels, r, a, 0.5, 100, 1e-6, NULL) ==
+        GrB_INVALID_VALUE);
+  CHECK(LAGraph_Runner_peer_pressure(labels, r, a, 0, NULL) ==
+        GrB_INVALID_VALUE);
+
+  /* MCL: the two components must land in different clusters. */
+  int32_t iters = 0;
+  CHECK(LAGraph_Runner_mcl(labels, r, a, 2.0, 100, 1e-6, &iters) ==
+        GrB_SUCCESS);
+  CHECK(iters > 0);
+  double l0 = -1.0, l4 = -1.0, lv = -1.0;
+  CHECK(GrB_extractElement(&l0, labels, 0) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&l4, labels, 4) == GrB_SUCCESS);
+  for (GrB_Index v = 1; v < 4; ++v) {
+    CHECK(GrB_extractElement(&lv, labels, v) == GrB_SUCCESS && lv == l0);
+  }
+  for (GrB_Index v = 5; v < n; ++v) {
+    CHECK(GrB_extractElement(&lv, labels, v) == GrB_SUCCESS && lv == l4);
+  }
+  CHECK(l0 != l4);
+
+  /* Peer pressure: likewise component-separating on this graph. */
+  iters = 0;
+  CHECK(LAGraph_Runner_peer_pressure(labels, r, a, 50, &iters) ==
+        GrB_SUCCESS);
+  CHECK(iters > 0);
+  CHECK(GrB_extractElement(&l0, labels, 0) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&l4, labels, 4) == GrB_SUCCESS);
+  for (GrB_Index v = 1; v < 4; ++v) {
+    CHECK(GrB_extractElement(&lv, labels, v) == GrB_SUCCESS && lv == l0);
+  }
+  for (GrB_Index v = 5; v < n; ++v) {
+    CHECK(GrB_extractElement(&lv, labels, v) == GrB_SUCCESS && lv == l4);
+  }
+  CHECK(l0 != l4);
+
+  /* BC from {0, 4}: by cycle symmetry the two neighbours of each source
+   * carry equal centrality, and the sources' own scores are zero. */
+  const GrB_Index sources[2] = {0, 4};
+  CHECK(LAGraph_Runner_bc(centrality, r, a, sources, 2) == GrB_SUCCESS);
+  double c1 = -1.0, c3 = -2.0, c5 = -1.0, c7 = -2.0;
+  CHECK(GrB_extractElement(&c1, centrality, 1) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&c3, centrality, 3) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&c5, centrality, 5) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&c7, centrality, 7) == GrB_SUCCESS);
+  CHECK(c1 == c3 && c5 == c7 && c1 == c5);
+
+  int32_t slices = 0;
+  bool gave_up = true;
+  CHECK(LAGraph_Runner_stats(r, &slices, NULL, NULL, &gave_up, NULL) ==
+        GrB_SUCCESS);
+  CHECK(slices >= 1);
+  CHECK(!gave_up);
+
+  CHECK(LAGraph_Runner_free(&r) == GrB_SUCCESS && r == NULL);
+  CHECK(GrB_free(&a) == GrB_SUCCESS);
+  CHECK(GrB_free(&labels) == GrB_SUCCESS);
+  CHECK(GrB_free(&centrality) == GrB_SUCCESS);
+}
+
 static void test_storage_format_options(void) {
   /* GxB sparsity control: pin forms, read status back, and confirm the
    * stored values never depend on the form. */
@@ -372,6 +462,7 @@ int main(void) {
   test_typed_variants();
   test_runner_drivers();
   test_runner_sssp_cc();
+  test_runner_clustering_bc();
   test_storage_format_options();
   test_c_bfs();
   if (failures == 0) {

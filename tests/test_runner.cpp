@@ -440,7 +440,9 @@ TEST(Runner, SliceCapStopsNoProgressLoops) {
   opts.slice_ms = 1e9;  // slicing enabled, wall clock never the stopper
   opts.max_slices = 5;
   lagraph::Runner runner(opts);
-  ScopedTripAfter trip(10, Governor::Trip::deadline);
+  // Low ordinal: the fused iteration body polls a handful of times per
+  // round, and the trip must land inside the run, not after convergence.
+  ScopedTripAfter trip(3, Governor::Trip::deadline);
   auto res = runner.run([&](const Checkpoint* cp) {
     return lagraph::pagerank(g, 0.85, 1e-9, 50, cp);
   });

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on timing regressions.
+
+Usage: bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Every numeric key the two files share whose name ends in ``_ms`` is treated
+as a timing (lower is better); the script exits 1 if any candidate timing is
+more than ``--threshold`` percent (default 10) slower than the baseline.
+Speedup keys (ending in ``_speedup``) and structural keys (``n``, ``nnz``,
+iteration counts) are reported for context but never gate. Keys present in
+only one file are listed and ignored — benches gain and lose measurements
+across PRs, and a comparison should not fail on vocabulary drift.
+
+Exit codes: 0 ok, 1 regression found, 2 bad invocation / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict):
+        print(f"bench_compare: {path} is not a JSON object", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def numeric_keys(doc):
+    return {
+        k: float(v)
+        for k, v in doc.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="allowed slowdown in percent before failing (default 10)",
+    )
+    args = ap.parse_args()
+
+    base = numeric_keys(load(args.baseline))
+    cand = numeric_keys(load(args.candidate))
+
+    shared = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+    if only_base:
+        print(f"ignored (baseline only): {', '.join(only_base)}")
+    if only_cand:
+        print(f"ignored (candidate only): {', '.join(only_cand)}")
+
+    regressions = []
+    for key in shared:
+        b, c = base[key], cand[key]
+        if key.endswith("_ms") and b > 0:
+            change = (c - b) / b * 100.0
+            flag = ""
+            if change > args.threshold:
+                regressions.append((key, b, c, change))
+                flag = "  <-- REGRESSION"
+            print(f"  {key}: {b:.4f} -> {c:.4f} ms ({change:+.1f}%){flag}")
+        else:
+            print(f"  {key}: {b:g} -> {c:g} (informational)")
+
+    if not any(k.endswith("_ms") for k in shared):
+        print("bench_compare: no shared timing keys; nothing to gate")
+        return 0
+
+    if regressions:
+        print(
+            f"\nbench_compare: {len(regressions)} timing(s) regressed more "
+            f"than {args.threshold:.0f}%:"
+        )
+        for key, b, c, change in regressions:
+            print(f"  {key}: {b:.4f} -> {c:.4f} ms ({change:+.1f}%)")
+        return 1
+
+    print(f"\nbench_compare: ok ({len(shared)} shared keys within threshold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
