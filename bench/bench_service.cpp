@@ -1,0 +1,144 @@
+// PR9: serving-layer cost under multi-client traffic. A GraphService with a
+// fixed worker pool serves PageRank and BFS requests against one published
+// (frozen) graph while 1, 4, and 8 closed-loop client threads submit and
+// wait. Measured per client count:
+//
+//   * throughput (completed jobs per second over the whole run);
+//   * p50 / p99 submit-to-result latency, which is where snapshot pinning,
+//     admission control, and the per-request governor would show up if they
+//     cost anything noticeable on the request path.
+//
+// The published snapshot is shared by every concurrent request (readers
+// never copy the graph), so rising client counts measure contention on the
+// serving machinery itself, not on graph duplication. Emits BENCH_PR9.json
+// at the repo root; `--quick` shrinks the graph and job count for CI smoke.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graphblas/graphblas.hpp"
+#include "lagraph/lagraph.hpp"
+#include "lagraph/serving.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/timer.hpp"
+
+namespace {
+
+struct LoadResult {
+  double throughput_jps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto k = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(k, sorted.size() - 1)];
+}
+
+/// Closed-loop load: `clients` threads each submit+wait `jobs_per_client`
+/// requests back-to-back, alternating PageRank and BFS.
+LoadResult run_load(lagraph::GraphService& svc, int clients,
+                    int jobs_per_client) {
+  std::vector<std::vector<double>> lat(
+      static_cast<std::size_t>(clients));
+  gb::platform::Timer wall;
+  std::vector<std::thread> ts;
+  for (int c = 0; c < clients; ++c) {
+    ts.emplace_back([&, c] {
+      auto& mine = lat[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(jobs_per_client));
+      for (int j = 0; j < jobs_per_client; ++j) {
+        gb::platform::Timer t;
+        const char* algo = (c + j) % 2 == 0 ? "pagerank" : "bfs";
+        const std::uint64_t id = svc.submit_algorithm(
+            algo, "g", static_cast<std::uint64_t>(c % 8));
+        (void)svc.wait(id);
+        svc.release(id);
+        mine.push_back(t.millis());
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const double total_ms = wall.millis();
+
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  LoadResult r;
+  r.throughput_jps =
+      total_ms > 0 ? 1e3 * static_cast<double>(all.size()) / total_ms : 0.0;
+  r.p50_ms = percentile(all, 0.50);
+  r.p99_ms = percentile(all, 0.99);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const gb::Index n = quick ? 1 << 9 : 1 << 13;
+  const gb::Index m = n * 8;
+  const int jobs_per_client = quick ? 4 : 16;
+
+  gb::Matrix<double> a = lagraph::randomize_weights(
+      lagraph::random_matrix(n, n, m, /*seed=*/19), 0.5, 2.0, /*seed=*/19);
+  const gb::Index nnz = a.nvals();
+
+  lagraph::GraphService::Options opts;
+  opts.service.workers = 2;
+  opts.service.queue_limit = 0;  // unbounded: measuring latency, not shedding
+  lagraph::GraphService svc(opts);
+  svc.publish("g", lagraph::Graph(std::move(a), lagraph::Kind::directed));
+
+  // Warm the pool, the published snapshot's caches, and both algorithms.
+  (void)svc.wait(svc.submit_algorithm("pagerank", "g", 0));
+  (void)svc.wait(svc.submit_algorithm("bfs", "g", 0));
+  svc.quiesce();
+
+  const int counts[] = {1, 4, 8};
+  LoadResult results[3];
+  for (int i = 0; i < 3; ++i) {
+    results[i] = run_load(svc, counts[i], jobs_per_client);
+    svc.quiesce();
+  }
+
+  std::printf("bench_service: n=%lld nnz=%lld workers=%d jobs/client=%d\n",
+              static_cast<long long>(n), static_cast<long long>(nnz),
+              opts.service.workers, jobs_per_client);
+  for (int i = 0; i < 3; ++i) {
+    std::printf(
+        "  %d client(s): %8.2f jobs/s   p50 %8.3f ms   p99 %8.3f ms\n",
+        counts[i], results[i].throughput_jps, results[i].p50_ms,
+        results[i].p99_ms);
+  }
+
+  const std::string path =
+      std::string(LAGRAPH_SOURCE_DIR) + "/BENCH_PR9.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"service\",\n");
+  std::fprintf(f, "  \"n\": %lld,\n  \"nnz\": %lld,\n",
+               static_cast<long long>(n), static_cast<long long>(nnz));
+  std::fprintf(f, "  \"workers\": %d,\n  \"jobs_per_client\": %d,\n",
+               opts.service.workers, jobs_per_client);
+  for (int i = 0; i < 3; ++i) {
+    std::fprintf(f, "  \"clients%d_throughput_jps\": %.2f,\n", counts[i],
+                 results[i].throughput_jps);
+    std::fprintf(f, "  \"clients%d_p50_ms\": %.4f,\n", counts[i],
+                 results[i].p50_ms);
+    std::fprintf(f, "  \"clients%d_p99_ms\": %.4f%s\n", counts[i],
+                 results[i].p99_ms, i == 2 ? "" : ",");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

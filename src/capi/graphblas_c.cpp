@@ -15,6 +15,7 @@
 
 #include "capi/capi_internal.hpp"
 #include "graphblas/graphblas.hpp"
+#include "platform/service.hpp"
 
 GrB_Info capi_map_info(gb::Info info) noexcept {
   switch (info) {
@@ -110,6 +111,14 @@ GrB_Info guarded_at(Obj* obj, F&& f) {
       msg = text.c_str();
     } catch (...) {
       msg = "timed out";
+    }
+  } catch (const gb::platform::OverloadedError& e) {
+    info = GxB_OVERLOADED;
+    try {
+      text = e.what();
+      msg = text.c_str();
+    } catch (...) {
+      msg = "overloaded";
     }
   } catch (const std::overflow_error& e) {
     // Platform-layer arithmetic guards (e.g. exclusive_scan's pointer-sum

@@ -43,7 +43,11 @@ typedef enum {
    * execution-governor trips. A call returning one of these has left every
    * output object bit-identical to its pre-call state. */
   GxB_CANCELLED,
-  GxB_TIMEOUT
+  GxB_TIMEOUT,
+  /* Admission control (LAGraph_Service_*): the bounded submission queue or
+   * the shed-bytes watermark rejected the request. Nothing was enqueued;
+   * the service stays fully serviceable. Retry later or shed load. */
+  GxB_OVERLOADED
 } GrB_Info;
 
 /* Opaque handles (the contract of §II: "the core data structures are

@@ -19,9 +19,17 @@
 #include "graphblas/graphblas.hpp"
 #include "lagraph/lagraph.hpp"
 #include "lagraph/runner.hpp"
+#include "lagraph/serving.hpp"
+#include "platform/service.hpp"
 
 struct LAGraph_Runner_opaque {
   lagraph::Runner runner;
+};
+
+struct LAGraph_Service_opaque {
+  explicit LAGraph_Service_opaque(lagraph::GraphService::Options o)
+      : service(std::move(o)) {}
+  lagraph::GraphService service;
 };
 
 namespace {
@@ -57,6 +65,8 @@ GrB_Info guarded(F&& f) {
     return GxB_CANCELLED;
   } catch (const gb::platform::TimeoutError&) {
     return GxB_TIMEOUT;
+  } catch (const gb::platform::OverloadedError&) {
+    return GxB_OVERLOADED;
   } catch (const gb::Error& e) {
     return capi_map_info(e.info());
   } catch (const std::bad_alloc&) {
@@ -314,6 +324,230 @@ GrB_Info LAGraph_Runner_bc(GrB_Vector centrality, LAGraph_Runner r,
     centrality->v = std::move(res.centrality);
     return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
                                               : GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Runner_sssp_delta_stepping(GrB_Vector dist, LAGraph_Runner r,
+                                            GrB_Matrix a, GrB_Index source,
+                                            double delta,
+                                            int32_t* iterations) {
+  if (dist == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::sssp_delta_stepping(g, static_cast<gb::Index>(source),
+                                          delta, cp);
+    });
+    // Distances are FP64 already: the result vector moves straight in.
+    dist->v = std::move(res.dist);
+    if (iterations != nullptr) *iterations = res.iterations;
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Runner_scc(GrB_Vector labels, LAGraph_Runner r, GrB_Matrix a,
+                            int32_t* pivots) {
+  if (labels == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::strongly_connected_components_run(g, cp);
+    });
+    // The C vector is FP64-backed; labels are pivot vertex ids, exact in a
+    // double for any graph whose dimension a GrB_Index addresses.
+    std::vector<gb::Index> idx;
+    std::vector<std::uint64_t> lab;
+    res.labels.extract_tuples(idx, lab);
+    std::vector<double> vals(lab.begin(), lab.end());
+    gb::Vector<double> out(res.labels.size());
+    out.build(idx, vals, gb::Second{});
+    labels->v = std::move(out);
+    if (pivots != nullptr) *pivots = res.pivots;
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Runner_coloring(GrB_Vector colors, LAGraph_Runner r,
+                                 GrB_Matrix a, uint64_t seed,
+                                 int32_t* rounds) {
+  if (colors == nullptr || r == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    r->runner.governor().clear_cancel();
+    gb::Matrix<double> adj = a->m.dup();
+    lagraph::Graph g(std::move(adj), lagraph::Kind::directed);
+    auto res = r->runner.run([&](const lagraph::Checkpoint* cp) {
+      return lagraph::coloring_run(g, seed, cp);
+    });
+    // The C vector is FP64-backed; colors are small 1-based integers, exact
+    // in a double.
+    std::vector<gb::Index> idx;
+    std::vector<std::uint64_t> col;
+    res.colors.extract_tuples(idx, col);
+    std::vector<double> vals(col.begin(), col.end());
+    gb::Vector<double> out(res.colors.size());
+    out.build(idx, vals, gb::Second{});
+    colors->v = std::move(out);
+    if (rounds != nullptr) *rounds = static_cast<int32_t>(res.rounds);
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+/* --- concurrent serving -------------------------------------------------- */
+
+GrB_Info LAGraph_Service_new(LAGraph_Service* s, int workers,
+                             uint64_t queue_limit, double timeout_ms,
+                             uint64_t budget_bytes, uint64_t shed_bytes,
+                             double stall_ms) {
+  if (s == nullptr) return GrB_NULL_POINTER;
+  if (workers < 1) return GrB_INVALID_VALUE;
+  *s = nullptr;
+  return guarded([&] {
+    lagraph::GraphService::Options opts;
+    opts.service.workers = workers;
+    opts.service.queue_limit = static_cast<std::size_t>(queue_limit);
+    opts.service.request_timeout_ms = timeout_ms > 0 ? timeout_ms : 0.0;
+    opts.service.request_budget = static_cast<std::size_t>(budget_bytes);
+    opts.service.shed_bytes = static_cast<std::size_t>(shed_bytes);
+    opts.service.watchdog_stall_ms = stall_ms > 0 ? stall_ms : 0.0;
+    // Algorithm jobs slice at the request deadline/budget cadence.
+    opts.runner.slice_ms = timeout_ms > 0 ? timeout_ms : 0.0;
+    opts.runner.slice_budget = static_cast<std::size_t>(budget_bytes);
+    *s = new LAGraph_Service_opaque(std::move(opts));
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_free(LAGraph_Service* s) {
+  if (s == nullptr) return GrB_NULL_POINTER;
+  return guarded([&] {
+    delete *s;
+    *s = nullptr;
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_publish(LAGraph_Service s, const char* name,
+                                 GrB_Matrix a) {
+  if (s == nullptr || name == nullptr || a == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    gb::Matrix<double> adj = a->m.dup();
+    s->service.publish(name,
+                       lagraph::Graph(std::move(adj), lagraph::Kind::directed));
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_version(LAGraph_Service s, const char* name,
+                                 uint64_t* version) {
+  if (s == nullptr || name == nullptr || version == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    *version = s->service.version(name);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_submit(LAGraph_Service s, const char* algo,
+                                const char* graph, GrB_Index arg,
+                                uint64_t* job_id) {
+  if (s == nullptr || algo == nullptr || graph == nullptr ||
+      job_id == nullptr) {
+    return GrB_NULL_POINTER;
+  }
+  return guarded([&] {
+    *job_id = s->service.submit_algorithm(algo, graph,
+                                          static_cast<std::uint64_t>(arg));
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_poll(LAGraph_Service s, uint64_t job_id,
+                              LAGraph_JobState* state) {
+  if (s == nullptr || state == nullptr) return GrB_NULL_POINTER;
+  return guarded([&] {
+    switch (s->service.poll(job_id)) {
+      case gb::platform::Service::State::queued:
+        *state = LAGraph_JOB_QUEUED;
+        break;
+      case gb::platform::Service::State::running:
+        *state = LAGraph_JOB_RUNNING;
+        break;
+      case gb::platform::Service::State::done:
+        *state = LAGraph_JOB_DONE;
+        break;
+      case gb::platform::Service::State::failed:
+        *state = LAGraph_JOB_FAILED;
+        break;
+      case gb::platform::Service::State::cancelled:
+        *state = LAGraph_JOB_CANCELLED;
+        break;
+    }
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_wait(GrB_Vector result, LAGraph_Service s,
+                              uint64_t job_id) {
+  if (result == nullptr || s == nullptr) return GrB_NULL_POINTER;
+  return guarded([&] {
+    const lagraph::ServiceJobResult& res = s->service.wait(job_id);
+    gb::Vector<double> out(res.n);
+    out.build(res.idx, res.vals, gb::Second{});
+    result->v = std::move(out);
+    return lagraph::is_interruption(res.stop) ? trip_code(res.stop)
+                                              : GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_cancel(LAGraph_Service s, uint64_t job_id) {
+  if (s == nullptr) return GrB_NULL_POINTER;
+  return guarded([&] {
+    s->service.cancel(job_id);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_release(LAGraph_Service s, uint64_t job_id) {
+  if (s == nullptr) return GrB_NULL_POINTER;
+  return guarded([&] {
+    s->service.release(job_id);
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_stats(LAGraph_Service s, uint64_t* submitted,
+                               uint64_t* shed, uint64_t* completed,
+                               uint64_t* failed, uint64_t* cancelled,
+                               uint64_t* watchdog_cancels,
+                               uint64_t* queue_depth, uint64_t* running) {
+  if (s == nullptr) return GrB_NULL_POINTER;
+  return guarded([&] {
+    const gb::platform::ServiceStats st = s->service.stats();
+    if (submitted != nullptr) *submitted = st.submitted;
+    if (shed != nullptr) *shed = st.shed;
+    if (completed != nullptr) *completed = st.completed;
+    if (failed != nullptr) *failed = st.failed;
+    if (cancelled != nullptr) *cancelled = st.cancelled;
+    if (watchdog_cancels != nullptr) *watchdog_cancels = st.watchdog_cancels;
+    if (queue_depth != nullptr) *queue_depth = st.queue_depth;
+    if (running != nullptr) *running = st.running;
+    return GrB_SUCCESS;
   });
 }
 

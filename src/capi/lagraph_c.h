@@ -117,6 +117,105 @@ GrB_Info LAGraph_Runner_bc(GrB_Vector centrality, LAGraph_Runner r,
                            GrB_Matrix a, const GrB_Index* sources,
                            GrB_Index nsources);
 
+/* Delta-stepping SSSP: dist holds the distance from source (absent =
+ * unreached). Requires delta > 0 and non-negative edge weights. On an
+ * interruption trip the partial distances are valid upper bounds;
+ * *iterations (optional) is the buckets settled. */
+GrB_Info LAGraph_Runner_sssp_delta_stepping(GrB_Vector dist, LAGraph_Runner r,
+                                            GrB_Matrix a, GrB_Index source,
+                                            double delta, int32_t* iterations);
+
+/* Strongly connected components: labels holds, per vertex, its component's
+ * representative vertex id (edge direction respected; labels are integers
+ * stored exactly in the FP64-backed vector). *pivots (optional) is the
+ * pivot vertices consumed by the trimming/forward-backward drive. */
+GrB_Info LAGraph_Runner_scc(GrB_Vector labels, LAGraph_Runner r, GrB_Matrix a,
+                            int32_t* pivots);
+
+/* Greedy Luby-style vertex coloring: colors holds a 1-based color per vertex
+ * (edges are treated as undirected; a valid coloring has no equal-colored
+ * neighbors). `seed` randomises the independent-set priorities; *rounds
+ * (optional) is the selection rounds completed. */
+GrB_Info LAGraph_Runner_coloring(GrB_Vector colors, LAGraph_Runner r,
+                                 GrB_Matrix a, uint64_t seed, int32_t* rounds);
+
+/* --- concurrent serving ---------------------------------------------------
+ * An LAGraph_Service wraps lagraph::GraphService: a worker pool serving
+ * algorithm requests against named published graph snapshots, with admission
+ * control (bounded queue + memory-pressure shedding -> GxB_OVERLOADED), a
+ * per-request governor armed from the service policy, and a stall watchdog
+ * that cancels requests making no governor-poll progress. */
+
+typedef struct LAGraph_Service_opaque* LAGraph_Service;
+
+/* Lifecycle state of a submitted job (mirrors Service::State). */
+typedef enum {
+  LAGraph_JOB_QUEUED = 0,
+  LAGraph_JOB_RUNNING,
+  LAGraph_JOB_DONE,
+  LAGraph_JOB_FAILED,
+  LAGraph_JOB_CANCELLED
+} LAGraph_JobState;
+
+/* Create a service. workers >= 1; queue_limit bounds the submission queue
+ * (0 = unbounded); timeout_ms / budget_bytes arm each request's governor
+ * (0 disables); shed_bytes sheds submissions above that live-byte watermark
+ * (0 disables); stall_ms is the watchdog's no-progress threshold (0 disables
+ * the watchdog). Workers start immediately. */
+GrB_Info LAGraph_Service_new(LAGraph_Service* s, int workers,
+                             uint64_t queue_limit, double timeout_ms,
+                             uint64_t budget_bytes, uint64_t shed_bytes,
+                             double stall_ms);
+
+/* Stop workers (cancelling in-flight jobs cooperatively) and destroy. */
+GrB_Info LAGraph_Service_free(LAGraph_Service* s);
+
+/* Freeze a copy of `a` (interpreted as directed) and publish it under
+ * `name`. Republishing a name replaces the version seen by *future*
+ * submissions; in-flight jobs keep their snapshot (snapshot isolation). */
+GrB_Info LAGraph_Service_publish(LAGraph_Service s, const char* name,
+                                 GrB_Matrix a);
+
+/* Version counter for a published name via *version (0 = never published). */
+GrB_Info LAGraph_Service_version(LAGraph_Service s, const char* name,
+                                 uint64_t* version);
+
+/* Submit an algorithm job against the current snapshot of `graph`:
+ * algo is "pagerank" (arg unused), "bfs" (arg = source) or "sssp"
+ * (arg = source, Bellman-Ford). On admission *job_id receives the handle for
+ * poll/wait/cancel. Returns GxB_OVERLOADED when the service sheds the
+ * request (queue full or memory pressure) — nothing was enqueued and the
+ * service remains serviceable. */
+GrB_Info LAGraph_Service_submit(LAGraph_Service s, const char* algo,
+                                const char* graph, GrB_Index arg,
+                                uint64_t* job_id);
+
+/* Non-blocking job state probe. */
+GrB_Info LAGraph_Service_poll(LAGraph_Service s, uint64_t job_id,
+                              LAGraph_JobState* state);
+
+/* Block until the job is terminal and write its result vector. A run the
+ * governor stopped returns the trip code (GxB_CANCELLED / GxB_TIMEOUT /
+ * GrB_OUT_OF_MEMORY) and still writes the partial result; a failed job
+ * returns its mapped error code. The job record stays until
+ * LAGraph_Service_release. */
+GrB_Info LAGraph_Service_wait(GrB_Vector result, LAGraph_Service s,
+                              uint64_t job_id);
+
+/* Request cooperative cancellation; the job trips GxB_CANCELLED at its next
+ * governor poll. */
+GrB_Info LAGraph_Service_cancel(LAGraph_Service s, uint64_t job_id);
+
+/* Drop a job's record and result storage. */
+GrB_Info LAGraph_Service_release(LAGraph_Service s, uint64_t job_id);
+
+/* Counter snapshot. Any out-pointer may be NULL. */
+GrB_Info LAGraph_Service_stats(LAGraph_Service s, uint64_t* submitted,
+                               uint64_t* shed, uint64_t* completed,
+                               uint64_t* failed, uint64_t* cancelled,
+                               uint64_t* watchdog_cancels,
+                               uint64_t* queue_depth, uint64_t* running);
+
 #ifdef __cplusplus
 }
 #endif

@@ -39,19 +39,19 @@
 
 #include "graphblas/apply.hpp"
 #include "graphblas/ewise.hpp"
+#include "platform/env.hpp"
 #include "graphblas/mxv.hpp"
 #include "graphblas/reduce.hpp"
 
 namespace gb {
 
 /// Process-wide fusion switch, read once: fusion is on unless
-/// LAGRAPH_NO_FUSION is set to a non-empty value other than "0".
+/// LAGRAPH_NO_FUSION is set to a non-empty value other than "0". The parse
+/// goes through platform::EnvOnce (std::call_once) so concurrent first calls
+/// from two client threads cannot race the initialisation.
 [[nodiscard]] inline bool fusion_env_enabled() noexcept {
-  static const bool on = [] {
-    const char* e = std::getenv("LAGRAPH_NO_FUSION");
-    return e == nullptr || *e == '\0' || std::strcmp(e, "0") == 0;
-  }();
-  return on;
+  static platform::EnvOnce<bool> off{"LAGRAPH_NO_FUSION", platform::env_parse_flag};
+  return !off.get();
 }
 
 /// Effective fusion switch for one call: the environment default, vetoed by

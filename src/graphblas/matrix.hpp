@@ -21,6 +21,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <tuple>
@@ -324,9 +325,43 @@ class Matrix {
   void ensure_dual_format() const { (void)other_store(); }
 
   /// Drop the cached dual orientation (memory-lean single-format mode).
+  /// No-op on a frozen matrix: concurrent readers rely on the warm caches.
   void drop_dual_format() const {
+    if (frozen_) return;
     other_.reset();
     other_valid_ = false;
+  }
+
+  // --- snapshot isolation (serving layer) --------------------------------------
+
+  /// True when this object is an immutable published snapshot (see freeze).
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+  /// Pre-materialise every logically-const cache a reader could demand —
+  /// pending work, the sparse view of a dense-form store, and the dual
+  /// orientation — so concurrent reads through the const interface touch no
+  /// mutable state. The accessors need no changes: their lazy branches all
+  /// observe valid caches after this.
+  void freeze() const {
+    wait();
+    if (frozen_) return;
+    (void)main_view();
+    (void)other_store();
+    frozen_ = true;
+  }
+
+  /// Cheap copy-on-write snapshot: an immutable, frozen copy of the current
+  /// value, cached until the next mutation (repeat snapshots of an unchanged
+  /// matrix share one frozen object). Call only from the owning thread; the
+  /// returned object is safe for any number of concurrent readers.
+  [[nodiscard]] std::shared_ptr<const Matrix> snapshot() const {
+    wait();
+    if (!snap_) {
+      auto s = std::make_shared<Matrix>(*this);
+      s->freeze();
+      snap_ = std::move(s);
+    }
+    return snap_;
   }
 
   // --- import / export (§IV, bench C6) ------------------------------------------
@@ -848,6 +883,8 @@ class Matrix {
   void invalidate_views() const {
     sview_.reset();
     sview_valid_ = false;
+    frozen_ = false;    // mutation: this object is no longer a published view
+    snap_.reset();      // and any cached snapshot keeps the pre-write value
   }
 
   Index nrows_ = 0;
@@ -867,6 +904,8 @@ class Matrix {
   mutable bool sview_valid_ = false;
   mutable Buf<std::tuple<Index, Index, T>> pending_;
   mutable Index nzombies_ = 0;
+  mutable bool frozen_ = false;  // immutable published snapshot
+  mutable std::shared_ptr<const Matrix<T>> snap_;  // cached COW snapshot
 };
 
 }  // namespace gb

@@ -133,6 +133,14 @@ std::vector<SemiringRecord> build_registry() {
 
 }  // namespace
 
+// Concurrency audit (serving layer): the registry is built exactly once via
+// a function-local static, which C++11 [stmt.dcl] guards with the same
+// once-semantics as std::call_once — two client threads entering the C API
+// simultaneously as their first-ever call both block until one of them has
+// finished build_registry(), then share the settled vector. The namespace-
+// scope tables above are dynamically initialised before main() in this TU's
+// static-init phase, so they are settled before any thread can call in.
+// tests/test_service.cpp hammers this concurrent first use.
 const std::vector<SemiringRecord>& semiring_registry() {
   static const std::vector<SemiringRecord> recs = build_registry();
   return recs;

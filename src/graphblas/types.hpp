@@ -14,6 +14,8 @@
 #include <string>
 #include <type_traits>
 
+#include "platform/env.hpp"
+
 namespace gb {
 
 /// GrB_Index. 64-bit as required by the spec; the top bit is reserved by the
@@ -68,16 +70,18 @@ enum class FormatMode : std::uint8_t { auto_fmt, sparse, bitmap, full };
 /// once from LAGRAPH_FORCE_FORMAT ("sparse" | "bitmap" | "full"; anything
 /// else, including unset, means auto). This is the format-force hook the CI
 /// forced-bitmap leg uses to sweep the whole suite through a storage form.
+/// Concurrent first use is safe: the read-once parse goes through
+/// platform::EnvOnce (std::call_once), so two client threads constructing
+/// their first containers simultaneously cannot race the initialisation.
 [[nodiscard]] inline FormatMode default_format_mode() noexcept {
-  static const FormatMode mode = [] {
-    const char* e = std::getenv("LAGRAPH_FORCE_FORMAT");
-    if (e == nullptr) return FormatMode::auto_fmt;
-    if (std::strcmp(e, "sparse") == 0) return FormatMode::sparse;
-    if (std::strcmp(e, "bitmap") == 0) return FormatMode::bitmap;
-    if (std::strcmp(e, "full") == 0) return FormatMode::full;
-    return FormatMode::auto_fmt;
-  }();
-  return mode;
+  static platform::EnvOnce<FormatMode> mode{
+      "LAGRAPH_FORCE_FORMAT", [](const char* e) {
+        if (std::strcmp(e, "sparse") == 0) return FormatMode::sparse;
+        if (std::strcmp(e, "bitmap") == 0) return FormatMode::bitmap;
+        if (std::strcmp(e, "full") == 0) return FormatMode::full;
+        return FormatMode::auto_fmt;
+      }};
+  return mode.get();
 }
 
 /// GrB_Info equivalents. `success` and `no_value` are the non-error codes.

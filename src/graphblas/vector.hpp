@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <utility>
@@ -84,6 +85,7 @@ class Vector {
   /// GrB_Vector_setElement. O(1) amortised via the pending list.
   void set_element(Index i, const T& v) {
     check_index(i < n_, "Vector::set_element");
+    unsnap();
     if (dense_) {
       if (full_) {  // every position already present
         dval_[i] = v;
@@ -101,6 +103,7 @@ class Vector {
   /// bitmap (dense).
   void remove_element(Index i) {
     check_index(i < n_, "Vector::remove_element");
+    unsnap();
     if (dense_) {
       if (full_) {  // a hole appears: demote full -> bitmap first
         ensure_present_map();
@@ -189,6 +192,7 @@ class Vector {
   /// GrB_Vector_clear: remove all entries, keep the dimension. noexcept —
   /// never allocates.
   void clear() noexcept {
+    unsnap();
     ind_.clear();
     val_.clear();
     dval_.clear();
@@ -203,6 +207,7 @@ class Vector {
   /// GrB_Vector_resize. Entries beyond the new dimension are dropped.
   void resize(Index n) {
     wait();
+    unsnap();
     if (dense_ && full_) {
       if (n <= n_) {  // a shrink keeps every remaining position present
         dval_.resize(n);
@@ -290,7 +295,10 @@ class Vector {
   }
 
   /// Force the sparse (index list) representation. Strong guarantee.
+  /// On a frozen vector this is a no-op: the accessors serve the secondary
+  /// view instead, so concurrent const readers never convert in place.
   void to_sparse() const {
+    if (faux_.frozen) return;
     wait();
     if (!dense_) return;
     Buf<Index> ni;
@@ -315,8 +323,9 @@ class Vector {
 
   /// Force a dense (value array) representation. A full rep already is one,
   /// so this never demotes full -> bitmap (set_format does that explicitly).
-  /// Strong guarantee.
+  /// Strong guarantee. No-op on a frozen vector (see to_sparse).
   void to_dense() const {
+    if (faux_.frozen) return;
     wait();
     if (dense_) return;
     Buf<storage_t<T>> dv(n_, storage_t<T>{});
@@ -348,23 +357,98 @@ class Vector {
   // is_dense_rep(). Kernels force the layout first.
 
   [[nodiscard]] std::span<const Index> indices() const {
+    if (faux_.frozen && dense_) return faux_.ind;  // secondary view, no convert
     to_sparse();
     return ind_;
   }
   [[nodiscard]] std::span<const storage_t<T>> values() const {
+    if (faux_.frozen && dense_) return faux_.val;
     to_sparse();
     return val_;
   }
   [[nodiscard]] std::span<const storage_t<T>> dense_values() const {
+    if (faux_.frozen && !dense_) {
+      check_value(faux_.has_dense,
+                  "Vector: frozen dense view exceeds addressable cap");
+      return faux_.dval;
+    }
     to_dense();
     return dval_;
   }
   [[nodiscard]] std::span<const std::uint8_t> present() const {
+    if (faux_.frozen) {
+      if (!dense_) {
+        check_value(faux_.has_dense,
+                    "Vector: frozen dense view exceeds addressable cap");
+        return faux_.dpresent;
+      }
+      return dpresent_;  // freeze() materialised the full rep's map
+    }
     to_dense();
     // A full rep keeps no presence map; materialise an all-ones one for
     // kernels that iterate it (the rep stays full — the map is a cache).
     if (full_) ensure_present_map();
     return dpresent_;
+  }
+
+  // --- snapshot isolation (serving layer) --------------------------------------
+
+  /// True when this object is an immutable published snapshot: every lazy
+  /// form any kernel can demand was materialised by freeze(), so concurrent
+  /// const reads touch no mutable state.
+  [[nodiscard]] bool frozen() const noexcept { return faux_.frozen; }
+
+  /// Pre-materialise every representation a const reader could demand —
+  /// pending work is folded, and the *other* physical form is built into a
+  /// secondary view so indices()/values()/dense_values()/present() all serve
+  /// without in-place conversion. After freeze(), concurrent reads through
+  /// the const interface are race-free. (The dense secondary of a sparse
+  /// vector is built only under the addressable cap, matching the auto
+  /// rule's own gate — kernels that honour the cap never miss it.)
+  void freeze() const {
+    wait();
+    if (faux_.frozen) return;
+    if (dense_) {
+      if (full_) ensure_present_map();
+      Buf<Index> ni;
+      Buf<storage_t<T>> nv;
+      ni.reserve(dnvals_);
+      nv.reserve(dnvals_);
+      for (Index i = 0; i < n_; ++i) {
+        if (full_ || dpresent_[i]) {
+          ni.push_back(i);
+          nv.push_back(dval_[i]);
+        }
+      }
+      faux_.ind = std::move(ni);
+      faux_.val = std::move(nv);
+    } else if (dense_form_addressable(n_, 1)) {
+      Buf<storage_t<T>> dv(n_, storage_t<T>{});
+      Buf<std::uint8_t> dp(n_, 0);
+      for (std::size_t k = 0; k < ind_.size(); ++k) {
+        dv[ind_[k]] = val_[k];
+        dp[ind_[k]] = 1;
+      }
+      faux_.dval = std::move(dv);
+      faux_.dpresent = std::move(dp);
+      faux_.has_dense = true;
+    }
+    faux_.frozen = true;
+  }
+
+  /// Cheap copy-on-write snapshot: an immutable, frozen copy of the current
+  /// value, cached until the next mutation (repeat snapshots of an unchanged
+  /// vector share one frozen object). Call only from the owning thread, like
+  /// every other method on a mutable container; the returned object itself
+  /// is safe for any number of concurrent readers.
+  [[nodiscard]] std::shared_ptr<const Vector<T>> snapshot() const {
+    wait();
+    if (!snap_) {
+      auto s = std::make_shared<Vector<T>>(*this);
+      s->freeze();
+      snap_ = std::move(s);
+    }
+    return snap_;
   }
 
   /// Replace all contents with sorted (indices, values). Used by kernels to
@@ -542,7 +626,10 @@ class Vector {
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
     return ind_.capacity() * sizeof(Index) + val_.capacity() * sizeof(T) +
            dval_.capacity() * sizeof(T) + dpresent_.capacity() +
-           pending_.capacity() * sizeof(std::pair<Index, T>);
+           pending_.capacity() * sizeof(std::pair<Index, T>) +
+           faux_.ind.capacity() * sizeof(Index) +
+           faux_.val.capacity() * sizeof(T) +
+           faux_.dval.capacity() * sizeof(T) + faux_.dpresent.capacity();
   }
 
  private:
@@ -559,6 +646,7 @@ class Vector {
 
   /// Adopt fully-assembled sparse arrays; frees every other representation.
   void commit_sparse(Buf<Index>&& ni, Buf<storage_t<T>>&& nv) const noexcept {
+    unsnap();
     ind_ = std::move(ni);
     val_ = std::move(nv);
     Buf<storage_t<T>>().swap(dval_);
@@ -595,6 +683,34 @@ class Vector {
     Buf<std::uint8_t>().swap(dpresent_);
   }
 
+  /// Secondary views of a frozen vector: the physical form the primary rep
+  /// is *not*, materialised once by freeze() so concurrent const readers can
+  /// demand either layout without converting in place. Copies start unfrozen
+  /// (a copy is a fresh mutable value); moves carry the state along.
+  struct FrozenAux {
+    bool frozen = false;
+    bool has_dense = false;
+    Buf<Index> ind;
+    Buf<storage_t<T>> val;
+    Buf<storage_t<T>> dval;
+    Buf<std::uint8_t> dpresent;
+    FrozenAux() = default;
+    FrozenAux(const FrozenAux&) noexcept : FrozenAux() {}
+    FrozenAux& operator=(const FrozenAux&) noexcept {
+      *this = FrozenAux{};
+      return *this;
+    }
+    FrozenAux(FrozenAux&&) noexcept = default;
+    FrozenAux& operator=(FrozenAux&&) noexcept = default;
+  };
+
+  /// Drop the cached snapshot (and any frozen views) — called by every
+  /// mutation so published snapshots keep the pre-write value. noexcept.
+  void unsnap() const noexcept {
+    snap_.reset();
+    faux_ = FrozenAux{};
+  }
+
   Index n_ = 0;
 
   /// Storage-form preference; applied when results are committed.
@@ -611,6 +727,8 @@ class Vector {
   mutable Index dnvals_ = 0;
   mutable Buf<std::pair<Index, T>> pending_;  // unordered inserts
   mutable Index nzombies_ = 0;
+  mutable FrozenAux faux_;  // secondary views when frozen
+  mutable std::shared_ptr<const Vector<T>> snap_;  // cached COW snapshot
 };
 
 }  // namespace gb

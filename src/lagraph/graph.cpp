@@ -75,6 +75,35 @@ void Graph::invalidate_cache() const {
   symmetric_.reset();
   nself_.reset();
   sym_view_.reset();
+  frozen_ = false;
+  snap_.reset();  // published snapshots keep the pre-write value
+}
+
+void Graph::freeze() const {
+  if (frozen_) return;
+  // Warm every lazy property first (these mutate the cache slots), then
+  // freeze each container so its own lazy forms are resident too.
+  (void)out_degree();
+  (void)out_degree_fp64();
+  (void)in_degree();
+  (void)is_symmetric();
+  (void)nself_edges();
+  (void)undirected_view();
+  a_.freeze();
+  out_degree_->freeze();
+  out_degree_fp64_->freeze();
+  in_degree_->freeze();
+  if (sym_view_) sym_view_->freeze();
+  frozen_ = true;
+}
+
+std::shared_ptr<const Graph> Graph::snapshot() const {
+  if (!snap_) {
+    auto s = std::make_shared<Graph>(*this);
+    s->freeze();
+    snap_ = std::move(s);
+  }
+  return snap_;
 }
 
 const gb::Matrix<double>& Graph::undirected_view() const {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "graphblas/graphblas.hpp"
@@ -64,6 +65,22 @@ class Graph {
   /// the graph is already undirected/symmetric).
   [[nodiscard]] const gb::Matrix<double>& undirected_view() const;
 
+  // --- snapshot isolation (serving layer) ------------------------------------
+
+  /// True when every lazy property and the adjacency's lazy forms are
+  /// materialised, so concurrent const reads touch no mutable state.
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
+  /// Warm every cached property (degrees, symmetry, self-edges, undirected
+  /// view) and freeze the adjacency and each cached container. Afterwards
+  /// any algorithm can run against this object from any number of threads.
+  void freeze() const;
+
+  /// Cheap copy-on-write snapshot: an immutable, frozen copy of this graph,
+  /// cached until invalidate_cache(). Call from the owning thread only; the
+  /// returned object is safe for concurrent readers.
+  [[nodiscard]] std::shared_ptr<const Graph> snapshot() const;
+
  private:
   gb::Matrix<double> a_;
   Kind kind_ = Kind::directed;
@@ -74,6 +91,8 @@ class Graph {
   mutable std::optional<bool> symmetric_;
   mutable std::optional<std::uint64_t> nself_;
   mutable std::optional<gb::Matrix<double>> sym_view_;
+  mutable bool frozen_ = false;
+  mutable std::shared_ptr<const Graph> snap_;  // cached COW snapshot
 };
 
 }  // namespace lagraph

@@ -79,9 +79,16 @@ class Runner {
  public:
   explicit Runner(RunnerOptions opts = {}) : opts_(std::move(opts)) {}
 
+  /// Drive slices under an external governor instead of the Runner's own —
+  /// the serving layer hands every job its per-request governor this way, so
+  /// cross-thread cancel and the watchdog's poll-progress signal observe the
+  /// same object the slices actually poll. `gov` must outlive the Runner.
+  Runner(RunnerOptions opts, gb::platform::Governor& gov)
+      : opts_(std::move(opts)), govp_(&gov) {}
+
   /// The governor slices run under; exposed so another thread can cancel()
   /// a run in flight. Deadline/budget are managed per slice by run().
-  [[nodiscard]] gb::platform::Governor& governor() noexcept { return gov_; }
+  [[nodiscard]] gb::platform::Governor& governor() noexcept { return *govp_; }
 
   [[nodiscard]] const RunnerReport& report() const noexcept { return report_; }
   [[nodiscard]] const RunnerOptions& options() const noexcept { return opts_; }
@@ -116,12 +123,12 @@ class Runner {
     double slice_ms = opts_.slice_ms;
 
     for (;;) {
-      gov_.set_timeout_ms(slice_ms);
-      gov_.set_budget(scaled_budget(budget_scale));
+      govp_->set_timeout_ms(slice_ms);
+      govp_->set_budget(scaled_budget(budget_scale));
       ++report_.slices;
 
       auto result = [&] {
-        gb::platform::GovernorScope install(&gov_);
+        gb::platform::GovernorScope install(govp_);
         gb::platform::LowMemoryScope lomem(rung >= 1);
         IterScaleScope iters(rung >= 3 ? 0.5 : 1.0);
         return algo(have_cp ? &cp : nullptr);
@@ -211,6 +218,7 @@ class Runner {
   RunnerOptions opts_;
   RunnerReport report_;
   gb::platform::Governor gov_;
+  gb::platform::Governor* govp_ = &gov_;  // external governor when set
 };
 
 }  // namespace lagraph

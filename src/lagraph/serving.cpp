@@ -1,0 +1,146 @@
+#include "lagraph/serving.hpp"
+
+#include <utility>
+
+#include "lagraph/lagraph.hpp"
+
+namespace lagraph {
+
+namespace {
+
+/// Flatten a result vector into the job's (idx, vals) arrays.
+template <class VecT>
+void store_vector(const VecT& v, ServiceJobResult& out) {
+  std::vector<gb::Index> idx;
+  std::vector<typename VecT::value_type> vals;
+  v.extract_tuples(idx, vals);
+  out.idx = std::move(idx);
+  out.vals.assign(vals.begin(), vals.end());
+  out.n = v.size();
+}
+
+}  // namespace
+
+GraphService::GraphService(Options opts)
+    : opts_(std::move(opts)), svc_(opts_.service) {}
+
+void GraphService::publish(const std::string& name, Graph&& g) {
+  auto sp = std::make_shared<Graph>(std::move(g));
+  sp->freeze();
+  gb::platform::Versioned<Graph>* cell;
+  {
+    std::lock_guard<std::mutex> lk(gm_);
+    auto& slot = graphs_[name];
+    if (!slot) slot = std::make_unique<gb::platform::Versioned<Graph>>();
+    cell = slot.get();
+  }
+  cell->publish(std::move(sp));
+}
+
+std::shared_ptr<const Graph> GraphService::snapshot(
+    const std::string& name) const {
+  gb::platform::Versioned<Graph>* cell = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(gm_);
+    auto it = graphs_.find(name);
+    if (it != graphs_.end()) cell = it->second.get();
+  }
+  gb::check_value(cell != nullptr, "GraphService: unknown graph name");
+  gb::platform::Epoch::Guard pin;
+  auto snap = cell->acquire();
+  gb::check_value(snap != nullptr, "GraphService: graph never published");
+  return snap;
+}
+
+std::uint64_t GraphService::version(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(gm_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? 0 : it->second->version();
+}
+
+std::uint64_t GraphService::submit(const std::string& graph, Query q) {
+  auto snap = snapshot(graph);  // isolation: the version current *now*
+  auto res = std::make_shared<ServiceJobResult>();
+  auto ticket = svc_.submit(
+      [snap, res, q = std::move(q)](gb::platform::Governor& gov) {
+        *res = q(*snap, gov);
+      });
+  return remember(std::move(ticket), std::move(res));
+}
+
+std::uint64_t GraphService::submit_algorithm(const std::string& algo,
+                                             const std::string& graph,
+                                             std::uint64_t arg) {
+  gb::check_value(algo == "pagerank" || algo == "bfs" || algo == "sssp",
+                  "GraphService: unknown algorithm");
+  auto snap = snapshot(graph);
+  auto res = std::make_shared<ServiceJobResult>();
+  RunnerOptions ropts = opts_.runner;
+  auto ticket = svc_.submit(
+      [snap, res, ropts, algo, arg](gb::platform::Governor& gov) {
+        Runner runner(ropts, gov);  // external-governor mode
+        if (algo == "pagerank") {
+          auto out = runner.run([&](const Checkpoint* cp) {
+            return pagerank(*snap, 0.85, 1e-9, 100, cp);
+          });
+          res->stop = out.stop;
+          store_vector(out.rank, *res);
+        } else if (algo == "bfs") {
+          auto out = runner.run([&](const Checkpoint* cp) {
+            return bfs(*snap, arg, BfsVariant::direction_optimizing, cp);
+          });
+          res->stop = out.stop;
+          store_vector(out.level, *res);
+        } else {  // sssp
+          auto out = runner.run([&](const Checkpoint* cp) {
+            return sssp_bellman_ford(*snap, arg, cp);
+          });
+          res->stop = out.stop;
+          store_vector(out.dist, *res);
+        }
+      },
+      /*self_governed=*/true);
+  return remember(std::move(ticket), std::move(res));
+}
+
+GraphService::Job GraphService::lookup(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(jm_);
+  auto it = jobs_.find(id);
+  gb::check_value(it != jobs_.end(), "GraphService: unknown job id");
+  return it->second;
+}
+
+std::uint64_t GraphService::remember(gb::platform::Service::Ticket t,
+                                     std::shared_ptr<ServiceJobResult> res) {
+  std::lock_guard<std::mutex> lk(jm_);
+  const std::uint64_t id = next_id_++;
+  jobs_.emplace(id, Job{std::move(t), std::move(res)});
+  return id;
+}
+
+GraphService::JobState GraphService::poll(std::uint64_t id) const {
+  return lookup(id).ticket.state();
+}
+
+const ServiceJobResult& GraphService::wait(std::uint64_t id) {
+  Job j = lookup(id);
+  const JobState s = j.ticket.wait();
+  if (s == JobState::failed) j.ticket.rethrow();
+  if (s == JobState::cancelled) {
+    // Cancelled before (or while) running: stamp the stop code. Serialised
+    // under the job-table lock so concurrent waiters do not race the write.
+    std::lock_guard<std::mutex> lk(jm_);
+    if (j.result->stop == StopReason::none)
+      j.result->stop = StopReason::cancelled;
+  }
+  return *j.result;
+}
+
+void GraphService::cancel(std::uint64_t id) { lookup(id).ticket.cancel(); }
+
+void GraphService::release(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(jm_);
+  jobs_.erase(id);
+}
+
+}  // namespace lagraph

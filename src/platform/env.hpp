@@ -1,0 +1,74 @@
+// Read-once environment configuration, safe for concurrent first use.
+//
+// Several knobs (LAGRAPH_MEM_BUDGET, LAGRAPH_FORCE_FORMAT,
+// LAGRAPH_NO_FUSION) are read exactly once per process and cached for the
+// lifetime of the program: re-reading getenv on hot paths would be both slow
+// and racy against any setenv in the host application. The cache must itself
+// be safe when two client threads enter the library simultaneously as their
+// very first call — the concurrent serving layer makes that the common case,
+// not a curiosity.
+//
+// EnvOnce wraps the pattern explicitly: a std::once_flag guards the single
+// getenv + parse, and every reader after the first is one relaxed load of an
+// already-initialised value. (Function-local magic statics give the same
+// guarantee; this type exists so the read-once contract is a named, testable
+// thing rather than an idiom scattered across translation units, and so the
+// cached value can live at namespace scope where tests can reach its
+// concurrent first use directly.)
+#pragma once
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace gb::platform {
+
+/// One read-once environment variable. `Parse` maps the raw C string (never
+/// null; missing/empty variables are normalised to "") to the cached value.
+template <typename T>
+class EnvOnce {
+ public:
+  using Parser = T (*)(const char*);
+
+  constexpr EnvOnce(const char* name, Parser parse) noexcept
+      : name_(name), parse_(parse) {}
+
+  EnvOnce(const EnvOnce&) = delete;
+  EnvOnce& operator=(const EnvOnce&) = delete;
+
+  /// Thread-safe read: the first caller (or the first batch of concurrent
+  /// callers) performs the getenv + parse under the once_flag; everyone else
+  /// sees the settled value. std::call_once guarantees all callers observe
+  /// the initialisation's side effects before returning.
+  const T& get() {
+    std::call_once(once_, [this] {
+      const char* raw = std::getenv(name_);
+      value_ = parse_(raw && *raw ? raw : "");
+    });
+    return value_;
+  }
+
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  const char* name_;
+  Parser parse_;
+  std::once_flag once_;
+  T value_{};
+};
+
+/// Parse helpers for the common shapes.
+inline std::size_t env_parse_bytes(const char* s) {
+  if (!*s) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  return end == s ? std::size_t{0} : static_cast<std::size_t>(v);
+}
+
+inline bool env_parse_flag(const char* s) {
+  return *s && !(s[0] == '0' && s[1] == '\0');
+}
+
+inline std::string env_parse_string(const char* s) { return std::string(s); }
+
+}  // namespace gb::platform

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "platform/env.hpp"
 #include "platform/memory.hpp"
 
 namespace gb::platform {
@@ -44,6 +45,7 @@ constexpr std::uint32_t kClockStride = 16;
 
 void Governor::poll() {
   polls_.fetch_add(1, std::memory_order_relaxed);
+  my_polls_.fetch_add(1, std::memory_order_relaxed);
 
   // Test hook: countdown trip, sticky until disarm_trips(). Checked first so
   // soaks can address every poll point by ordinal, exactly like the Alloc
@@ -93,15 +95,11 @@ void Governor::charge(std::size_t incoming_bytes) {
 }
 
 std::size_t Governor::env_budget() noexcept {
-  static const std::size_t cap = [] {
-    const char* s = std::getenv("LAGRAPH_MEM_BUDGET");
-    if (!s || !*s) return std::size_t{0};
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(s, &end, 10);
-    if (end == s) return std::size_t{0};
-    return static_cast<std::size_t>(v);
-  }();
-  return cap;
+  // Read-once through EnvOnce: concurrent first calls from two client
+  // threads (the serving layer's steady state) serialise on the once_flag
+  // and then share the settled value.
+  static EnvOnce<std::size_t> cap{"LAGRAPH_MEM_BUDGET", env_parse_bytes};
+  return cap.get();
 }
 
 void Governor::trip_poll_after(std::uint64_t n, Trip kind) noexcept {

@@ -155,6 +155,13 @@ class Governor {
   [[nodiscard]] static std::uint64_t total_polls() noexcept;
   static void reset_poll_counter() noexcept;
 
+  /// Polls observed on *this* governor (all threads bound to it). The
+  /// service watchdog reads this as a liveness signal: a running request
+  /// whose governor's poll count stops advancing is stalled.
+  [[nodiscard]] std::uint64_t poll_count() const noexcept {
+    return my_polls_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class GovernorScope;
   friend class GovernorBind;
@@ -172,6 +179,7 @@ class Governor {
   std::atomic<std::size_t> budget_{0};        // config delta; 0 unlimited
   std::atomic<std::size_t> limit_bytes_{0};   // armed absolute; 0 none
   std::atomic<int> arm_depth_{0};
+  std::atomic<std::uint64_t> my_polls_{0};    // per-instance liveness signal
 
   static std::atomic<int> trip_mode_;
   static std::atomic<std::int64_t> trip_remaining_;

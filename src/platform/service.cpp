@@ -1,0 +1,264 @@
+#include "platform/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "platform/epoch.hpp"
+#include "platform/memory.hpp"
+
+namespace gb::platform {
+
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+/// The shared per-request record. State transitions are guarded by the
+/// record's own mutex (terminal notification) while the queue membership is
+/// guarded by the service mutex; the request governor is the cross-thread
+/// control surface.
+struct Service::Ticket::Request {
+  std::function<void(Governor&)> job;
+  bool self_governed = false;
+  Governor gov;
+
+  mutable std::mutex m;
+  mutable std::condition_variable cv;
+  State state = State::queued;
+  std::exception_ptr error;
+
+  // Watchdog bookkeeping (service mutex, while listed in running_).
+  std::uint64_t last_polls = 0;
+  std::int64_t last_progress_ns = 0;
+
+  [[nodiscard]] State current() const noexcept {
+    std::lock_guard<std::mutex> lk(m);
+    return state;
+  }
+};
+
+Service::State Service::Ticket::state() const noexcept {
+  return req_ ? req_->current() : State::cancelled;
+}
+
+Service::State Service::Ticket::wait() const {
+  if (!req_) return State::cancelled;
+  std::unique_lock<std::mutex> lk(req_->m);
+  req_->cv.wait(lk, [&] {
+    return req_->state == State::done || req_->state == State::failed ||
+           req_->state == State::cancelled;
+  });
+  return req_->state;
+}
+
+void Service::Ticket::cancel() const noexcept {
+  if (req_) req_->gov.cancel();
+}
+
+void Service::Ticket::rethrow() const {
+  if (!req_) return;
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(req_->m);
+    if (req_->state == State::failed) err = req_->error;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+Governor* Service::Ticket::governor() const noexcept {
+  return req_ ? &req_->gov : nullptr;
+}
+
+Service::Service(ServicePolicy policy) : policy_(policy) {
+  const int n = std::max(1, policy_.workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k)
+    workers_.emplace_back([this] { worker_loop(); });
+  if (policy_.watchdog_stall_ms > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+Service::~Service() { stop(); }
+
+Service::Ticket Service::submit(std::function<void(Governor&)> job,
+                                bool self_governed) {
+  // Build the full record before touching any shared state, so a shed or an
+  // allocation failure leaves the service untouched (strong guarantee —
+  // exercised by the fault-injection soak).
+  auto r = std::make_shared<Ticket::Request>();
+  r->job = std::move(job);
+  r->self_governed = self_governed;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stopping_) {
+      ++stats_.shed;
+      throw OverloadedError{};
+    }
+    if (policy_.queue_limit != 0 && queue_.size() >= policy_.queue_limit) {
+      ++stats_.shed;
+      throw OverloadedError{};
+    }
+    if (policy_.shed_bytes != 0 &&
+        MemoryMeter::current_bytes() > policy_.shed_bytes) {
+      ++stats_.shed;
+      throw OverloadedError{};
+    }
+    queue_.push_back(r);  // may throw bad_alloc: nothing was enqueued
+    ++stats_.submitted;
+    ++stats_.queue_depth;
+  }
+  work_cv_.notify_one();
+  return Ticket(r);
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return stats_;
+}
+
+std::size_t Service::quiesce() {
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    idle_cv_.wait(lk, [&] { return queue_.empty() && running_.empty(); });
+  }
+  return Epoch::drain();
+}
+
+void Service::stop() {
+  std::deque<std::shared_ptr<Ticket::Request>> orphaned;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    orphaned.swap(queue_);
+    stats_.queue_depth = 0;
+    // In-flight jobs get a cooperative cancel so shutdown is bounded by
+    // their poll cadence, not their total runtime.
+    for (auto& r : running_) r->gov.cancel();
+  }
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  for (auto& r : orphaned) finish(r, State::cancelled, nullptr);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stats_.cancelled += orphaned.size();
+  }
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
+  idle_cv_.notify_all();
+  Epoch::drain();
+}
+
+void Service::finish(const std::shared_ptr<Ticket::Request>& r, State s,
+                     std::exception_ptr err) noexcept {
+  {
+    std::lock_guard<std::mutex> lk(r->m);
+    r->state = s;
+    r->error = err;
+  }
+  r->cv.notify_all();
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Ticket::Request> r;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      work_cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      r = std::move(queue_.front());
+      queue_.pop_front();
+      --stats_.queue_depth;
+      if (r->gov.cancelled()) {
+        // Cancelled while queued: never runs.
+        ++stats_.cancelled;
+        lk.unlock();
+        finish(r, State::cancelled, nullptr);
+        idle_cv_.notify_all();
+        continue;
+      }
+      r->last_polls = r->gov.poll_count();
+      r->last_progress_ns = now_ns();
+      running_.push_back(r);
+      ++stats_.running;
+      {
+        std::lock_guard<std::mutex> rl(r->m);
+        r->state = State::running;
+      }
+    }
+
+    State final = State::done;
+    std::exception_ptr err;
+    try {
+      // Pin the epoch for the whole execution: any snapshot this request
+      // acquired stays out of the drainable limbo until it finishes.
+      Epoch::Guard pin;
+      if (r->self_governed) {
+        r->job(r->gov);
+      } else {
+        r->gov.set_timeout_ms(policy_.request_timeout_ms);
+        r->gov.set_budget(policy_.request_budget);
+        GovernorScope scope(&r->gov);
+        r->job(r->gov);
+      }
+    } catch (const CancelledError&) {
+      final = State::cancelled;
+    } catch (...) {
+      final = State::failed;
+      err = std::current_exception();
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      running_.erase(std::remove(running_.begin(), running_.end(), r),
+                     running_.end());
+      --stats_.running;
+      switch (final) {
+        case State::done: ++stats_.completed; break;
+        case State::failed: ++stats_.failed; break;
+        default: ++stats_.cancelled; break;
+      }
+    }
+    finish(r, final, err);
+    idle_cv_.notify_all();
+  }
+}
+
+void Service::watchdog_loop() {
+  const auto period = std::chrono::duration<double, std::milli>(
+      std::max(0.5, policy_.watchdog_period_ms));
+  const double stall_ns = policy_.watchdog_stall_ms * 1e6;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      // Own condition variable: if the watchdog waited on work_cv_ it could
+      // swallow a submit()'s notify_one meant for a worker, leaving a queued
+      // job unserved. Spurious wakes just sample.
+      watchdog_cv_.wait_for(lk, period);
+      if (stopping_) return;
+      const std::int64_t now = now_ns();
+      for (auto& r : running_) {
+        const std::uint64_t polls = r->gov.poll_count();
+        if (polls != r->last_polls) {
+          r->last_polls = polls;
+          r->last_progress_ns = now;
+        } else if (static_cast<double>(now - r->last_progress_ns) > stall_ns &&
+                   !r->gov.cancelled()) {
+          // No governor-poll progress past the threshold: cancel through
+          // the ordinary cross-thread path. The job surfaces CancelledError
+          // at its next poll (or wherever it checks cancelled()).
+          r->gov.cancel();
+          ++stats_.watchdog_cancels;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gb::platform

@@ -1,0 +1,157 @@
+// gb::platform::Service — the concurrent serving core: a worker pool behind
+// a bounded admission queue, per-request Governors, explicit overload
+// shedding, and a stall watchdog.
+//
+// The Service executes opaque jobs of shape void(Governor&). Each request
+// owns one Governor for its whole life; that single object is what the
+// submitting client cancels through, what the watchdog reads poll progress
+// from, and what the kernels actually poll — so cross-thread cancellation
+// and liveness detection need no extra plumbing.
+//
+// Admission control: submit() is the only entry point and it fails fast —
+// when the queue already holds `queue_limit` requests, or the process
+// metered footprint exceeds `shed_bytes`, the request is *shed* with
+// OverloadedError instead of being allowed to degrade every request behind
+// it. Shedding is deterministic: nothing is partially enqueued (the request
+// record is fully constructed before the queue is touched, and a failed
+// push leaves no trace), so an OOM or a shed during submit leaves the
+// service exactly as serviceable as before the call.
+//
+// Two arming modes per job:
+//   * policy-governed (default) — the worker configures the request's
+//     governor from the ServicePolicy (deadline, byte budget) and installs
+//     it with GovernorScope around the job;
+//   * self-governed — the job arms the governor itself (lagraph::Runner
+//     binds it as an external governor and arms per slice); the worker only
+//     runs the job. Needed because nested arms do not recapture deadlines.
+//
+// Stall watchdog: a background thread samples every running request's
+// governor poll count. A request whose count stops advancing for
+// `watchdog_stall_ms` is cancelled through the ordinary cross-thread cancel
+// path — the same CancelledError surface a client cancel uses — and counted
+// in the stats. Cancellation stays cooperative: the watchdog can only
+// reclaim workers from jobs that still reach a poll point or check
+// Governor::cancelled().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "platform/governor.hpp"
+
+namespace gb::platform {
+
+/// The bounded admission queue (or the shed_bytes watermark) rejected a new
+/// request. Maps to GxB_OVERLOADED at the C boundary.
+class OverloadedError : public std::runtime_error {
+ public:
+  OverloadedError() : std::runtime_error("gb: service overloaded") {}
+};
+
+struct ServicePolicy {
+  int workers = 2;                ///< worker threads executing requests
+  std::size_t queue_limit = 16;   ///< max queued (not running); 0 = unbounded
+  double request_timeout_ms = 0;  ///< per-request deadline (policy-governed)
+  std::size_t request_budget = 0; ///< per-request byte budget (delta); 0 none
+  std::size_t shed_bytes = 0;     ///< shed new work above this footprint; 0 off
+  double watchdog_stall_ms = 0;   ///< cancel after this long with no polls; 0 off
+  double watchdog_period_ms = 5;  ///< watchdog sampling period
+};
+
+/// Point-in-time counters; consistent snapshot under the service lock.
+struct ServiceStats {
+  std::uint64_t submitted = 0;   ///< accepted into the queue
+  std::uint64_t shed = 0;        ///< rejected with OverloadedError
+  std::uint64_t completed = 0;   ///< ran to normal return
+  std::uint64_t failed = 0;      ///< ended with a non-cancel exception
+  std::uint64_t cancelled = 0;   ///< ended via CancelledError (any source)
+  std::uint64_t watchdog_cancels = 0;  ///< cancels issued by the watchdog
+  std::uint64_t queue_depth = 0;       ///< currently queued
+  std::uint64_t running = 0;           ///< currently executing
+};
+
+class Service {
+ public:
+  enum class State : int { queued = 0, running, done, failed, cancelled };
+
+  /// One request's shared record. Tickets are cheap handles to it.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    [[nodiscard]] bool valid() const noexcept { return req_ != nullptr; }
+    [[nodiscard]] State state() const noexcept;
+
+    /// Block until the request reaches a terminal state; returns it.
+    State wait() const;
+
+    /// Request cooperative cancellation (queued requests are dropped when a
+    /// worker pops them; running requests observe it at their next poll).
+    void cancel() const noexcept;
+
+    /// The terminal error, rethrown (no-op unless state() == failed).
+    void rethrow() const;
+
+    /// The request's governor (for tests and advanced callers).
+    [[nodiscard]] Governor* governor() const noexcept;
+
+   private:
+    friend class Service;
+    struct Request;
+    explicit Ticket(std::shared_ptr<Request> r) : req_(std::move(r)) {}
+    std::shared_ptr<Request> req_;
+  };
+
+  explicit Service(ServicePolicy policy = {});
+  ~Service();  // stop() + join
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  [[nodiscard]] const ServicePolicy& policy() const noexcept { return policy_; }
+
+  /// Admit a job, or shed it with OverloadedError. Strong guarantee: a
+  /// throw (shed or OOM) leaves the service unchanged and serviceable.
+  /// `self_governed` jobs arm the passed governor themselves (Runner path);
+  /// policy-governed jobs run under a GovernorScope armed from the policy.
+  Ticket submit(std::function<void(Governor&)> job, bool self_governed = false);
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Block until no request is queued or running (new submits may still
+  /// arrive afterwards); then drain the epoch limbo so retired snapshots
+  /// free deterministically. Returns the number of snapshots freed.
+  std::size_t quiesce();
+
+  /// Stop accepting work, cancel queued requests, join workers + watchdog.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void worker_loop();
+  void watchdog_loop();
+  void finish(const std::shared_ptr<Ticket::Request>& r, State s,
+              std::exception_ptr err) noexcept;
+
+  ServicePolicy policy_;
+  mutable std::mutex m_;
+  std::condition_variable work_cv_;   // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;   // quiesce(): queue empty and none running
+  std::condition_variable watchdog_cv_;  // watchdog: period tick or stopping
+  std::deque<std::shared_ptr<Ticket::Request>> queue_;
+  std::vector<std::shared_ptr<Ticket::Request>> running_;
+  ServiceStats stats_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace gb::platform

@@ -344,6 +344,179 @@ static void test_runner_clustering_bc(void) {
   CHECK(GrB_free(&centrality) == GrB_SUCCESS);
 }
 
+static void test_runner_sssp_delta_scc_coloring(void) {
+  /* The delta-stepping, SCC, and coloring driven entry points over the same
+   * two disjoint symmetric 4-cycles used above. */
+  const GrB_Index n = 8;
+  GrB_Matrix a = NULL;
+  GrB_Vector dist = NULL, labels = NULL, colors = NULL;
+  CHECK(GrB_Matrix_new(&a, n, n) == GrB_SUCCESS);
+  for (GrB_Index c = 0; c < 2; ++c) {
+    const GrB_Index base = c * 4;
+    for (GrB_Index i = 0; i < 4; ++i) {
+      const GrB_Index u = base + i, v = base + (i + 1) % 4;
+      CHECK(GrB_setElement(a, 1.0, u, v) == GrB_SUCCESS);
+      CHECK(GrB_setElement(a, 1.0, v, u) == GrB_SUCCESS);
+    }
+  }
+  CHECK(GrB_Vector_new(&dist, n) == GrB_SUCCESS);
+  CHECK(GrB_Vector_new(&labels, n) == GrB_SUCCESS);
+  CHECK(GrB_Vector_new(&colors, n) == GrB_SUCCESS);
+
+  LAGraph_Runner r = NULL;
+  CHECK(LAGraph_Runner_new(&r) == GrB_SUCCESS);
+
+  /* Null-pointer contracts. */
+  CHECK(LAGraph_Runner_sssp_delta_stepping(NULL, r, a, 0, 1.0, NULL) ==
+        GrB_NULL_POINTER);
+  CHECK(LAGraph_Runner_scc(NULL, r, a, NULL) == GrB_NULL_POINTER);
+  CHECK(LAGraph_Runner_coloring(NULL, r, a, 42, NULL) == GrB_NULL_POINTER);
+
+  /* Delta-stepping from 0 must agree with Bellman-Ford on this graph:
+   * distances 0,1,2,1 in its own cycle, the other component unreached. */
+  int32_t iters = 0;
+  CHECK(LAGraph_Runner_sssp_delta_stepping(dist, r, a, 0, 1.0, &iters) ==
+        GrB_SUCCESS);
+  CHECK(iters > 0);
+  double d = -1.0;
+  CHECK(GrB_extractElement(&d, dist, 0) == GrB_SUCCESS && d == 0.0);
+  CHECK(GrB_extractElement(&d, dist, 1) == GrB_SUCCESS && d == 1.0);
+  CHECK(GrB_extractElement(&d, dist, 2) == GrB_SUCCESS && d == 2.0);
+  CHECK(GrB_extractElement(&d, dist, 3) == GrB_SUCCESS && d == 1.0);
+  CHECK(GrB_extractElement(&d, dist, 6) == GrB_NO_VALUE);
+
+  /* SCC: a symmetric 4-cycle is one strongly connected component, so the
+   * two components must get two distinct shared labels. */
+  int32_t pivots = 0;
+  CHECK(LAGraph_Runner_scc(labels, r, a, &pivots) == GrB_SUCCESS);
+  CHECK(pivots > 0);
+  double l0 = -1.0, l4 = -1.0, lv = -1.0;
+  CHECK(GrB_extractElement(&l0, labels, 0) == GrB_SUCCESS);
+  CHECK(GrB_extractElement(&l4, labels, 4) == GrB_SUCCESS);
+  for (GrB_Index v = 1; v < 4; ++v) {
+    CHECK(GrB_extractElement(&lv, labels, v) == GrB_SUCCESS && lv == l0);
+  }
+  for (GrB_Index v = 5; v < n; ++v) {
+    CHECK(GrB_extractElement(&lv, labels, v) == GrB_SUCCESS && lv == l4);
+  }
+  CHECK(l0 != l4);
+
+  /* Coloring: every vertex colored with a 1-based color, and no edge joins
+   * two equal colors — checked against the known edge set. */
+  int32_t rounds = 0;
+  CHECK(LAGraph_Runner_coloring(colors, r, a, 42, &rounds) == GrB_SUCCESS);
+  CHECK(rounds > 0);
+  double col[8];
+  for (GrB_Index v = 0; v < n; ++v) {
+    col[v] = 0.0;
+    CHECK(GrB_extractElement(&col[v], colors, v) == GrB_SUCCESS);
+    CHECK(col[v] >= 1.0 && col[v] <= (double)n);
+  }
+  for (GrB_Index c = 0; c < 2; ++c) {
+    const GrB_Index base = c * 4;
+    for (GrB_Index i = 0; i < 4; ++i) {
+      CHECK(col[base + i] != col[base + (i + 1) % 4]);
+    }
+  }
+
+  CHECK(LAGraph_Runner_free(&r) == GrB_SUCCESS && r == NULL);
+  CHECK(GrB_free(&a) == GrB_SUCCESS);
+  CHECK(GrB_free(&dist) == GrB_SUCCESS);
+  CHECK(GrB_free(&labels) == GrB_SUCCESS);
+  CHECK(GrB_free(&colors) == GrB_SUCCESS);
+}
+
+static void test_service(void) {
+  /* The concurrent serving surface: publish a graph, submit algorithm jobs,
+   * wait for bit-exact results, and read the stats counters back. */
+  const GrB_Index n = 8;
+  GrB_Matrix a = NULL;
+  GrB_Vector rank = NULL, level = NULL;
+  CHECK(GrB_Matrix_new(&a, n, n) == GrB_SUCCESS);
+  for (GrB_Index i = 0; i < n; ++i) {
+    CHECK(GrB_setElement(a, 1.0, i, (i + 1) % n) == GrB_SUCCESS);
+    CHECK(GrB_setElement(a, 1.0, (i + 1) % n, i) == GrB_SUCCESS);
+  }
+  CHECK(GrB_Vector_new(&rank, n) == GrB_SUCCESS);
+  CHECK(GrB_Vector_new(&level, n) == GrB_SUCCESS);
+
+  LAGraph_Service svc = NULL;
+  CHECK(LAGraph_Service_new(NULL, 2, 64, 0, 0, 0, 0) == GrB_NULL_POINTER);
+  CHECK(LAGraph_Service_new(&svc, 0, 64, 0, 0, 0, 0) == GrB_INVALID_VALUE);
+  CHECK(LAGraph_Service_new(&svc, 2, 64, 0, 0, 0, 0) == GrB_SUCCESS);
+
+  uint64_t version = 99;
+  CHECK(LAGraph_Service_version(svc, "g", &version) == GrB_SUCCESS);
+  CHECK(version == 0); /* never published */
+  CHECK(LAGraph_Service_publish(svc, "g", a) == GrB_SUCCESS);
+  CHECK(LAGraph_Service_version(svc, "g", &version) == GrB_SUCCESS);
+  CHECK(version == 1);
+
+  /* Unknown names are rejected up front, not at execution time. */
+  uint64_t job = 0;
+  CHECK(LAGraph_Service_submit(svc, "pagerank", "nope", 0, &job) ==
+        GrB_INVALID_VALUE);
+  CHECK(LAGraph_Service_submit(svc, "quantum", "g", 0, &job) ==
+        GrB_INVALID_VALUE);
+
+  /* PageRank through the service matches the distribution invariant. */
+  CHECK(LAGraph_Service_submit(svc, "pagerank", "g", 0, &job) == GrB_SUCCESS);
+  CHECK(LAGraph_Service_wait(rank, svc, job) == GrB_SUCCESS);
+  LAGraph_JobState state = LAGraph_JOB_QUEUED;
+  CHECK(LAGraph_Service_poll(svc, job, &state) == GrB_SUCCESS);
+  CHECK(state == LAGraph_JOB_DONE);
+  double sum = 0.0;
+  for (GrB_Index i = 0; i < n; ++i) {
+    double x = 0.0;
+    CHECK(GrB_extractElement(&x, rank, i) == GrB_SUCCESS);
+    sum += x;
+  }
+  CHECK(fabs(sum - 1.0) < 1e-6);
+  CHECK(LAGraph_Service_release(svc, job) == GrB_SUCCESS);
+  CHECK(LAGraph_Service_poll(svc, job, &state) == GrB_INVALID_VALUE);
+
+  /* BFS through the service: ring hop counts from vertex 0. */
+  uint64_t bfs_job = 0;
+  CHECK(LAGraph_Service_submit(svc, "bfs", "g", 0, &bfs_job) == GrB_SUCCESS);
+  CHECK(LAGraph_Service_wait(level, svc, bfs_job) == GrB_SUCCESS);
+  double hop = -1.0;
+  CHECK(GrB_extractElement(&hop, level, 0) == GrB_SUCCESS && hop == 0.0);
+  CHECK(GrB_extractElement(&hop, level, 1) == GrB_SUCCESS && hop == 1.0);
+  CHECK(GrB_extractElement(&hop, level, n - 1) == GrB_SUCCESS && hop == 1.0);
+  CHECK(GrB_extractElement(&hop, level, 4) == GrB_SUCCESS && hop == 4.0);
+
+  uint64_t submitted = 0, shed = 0, completed = 0, failed = 0;
+  uint64_t cancelled = 0, watchdog = 0, depth = 0, running = 0;
+  CHECK(LAGraph_Service_stats(svc, &submitted, &shed, &completed, &failed,
+                              &cancelled, &watchdog, &depth,
+                              &running) == GrB_SUCCESS);
+  CHECK(submitted == 2);
+  CHECK(completed == 2);
+  CHECK(shed == 0 && failed == 0 && cancelled == 0 && watchdog == 0);
+
+  CHECK(LAGraph_Service_free(&svc) == GrB_SUCCESS && svc == NULL);
+
+  /* Overload shedding: a 1-byte shed watermark with live objects in the
+   * process sheds every submission as GxB_OVERLOADED — deterministically,
+   * with nothing enqueued and the handle still fully usable. */
+  LAGraph_Service tiny = NULL;
+  CHECK(LAGraph_Service_new(&tiny, 1, 4, 0, 0, 1, 0) == GrB_SUCCESS);
+  CHECK(LAGraph_Service_publish(tiny, "g", a) == GrB_SUCCESS);
+  CHECK(LAGraph_Service_submit(tiny, "pagerank", "g", 0, &job) ==
+        GxB_OVERLOADED);
+  CHECK(LAGraph_Service_submit(tiny, "bfs", "g", 0, &job) == GxB_OVERLOADED);
+  CHECK(LAGraph_Service_stats(tiny, &submitted, &shed, NULL, NULL, NULL, NULL,
+                              &depth, NULL) == GrB_SUCCESS);
+  CHECK(submitted == 0);
+  CHECK(shed == 2);
+  CHECK(depth == 0);
+  CHECK(LAGraph_Service_free(&tiny) == GrB_SUCCESS);
+
+  CHECK(GrB_free(&a) == GrB_SUCCESS);
+  CHECK(GrB_free(&rank) == GrB_SUCCESS);
+  CHECK(GrB_free(&level) == GrB_SUCCESS);
+}
+
 static void test_storage_format_options(void) {
   /* GxB sparsity control: pin forms, read status back, and confirm the
    * stored values never depend on the form. */
@@ -463,6 +636,8 @@ int main(void) {
   test_runner_drivers();
   test_runner_sssp_cc();
   test_runner_clustering_bc();
+  test_runner_sssp_delta_scc_coloring();
+  test_service();
   test_storage_format_options();
   test_c_bfs();
   if (failures == 0) {

@@ -1,0 +1,612 @@
+// Concurrency contract suite for the serving layer (tentpole of the
+// robustness PR): snapshot isolation, admission control, overload shedding,
+// and the stall watchdog — plus the freeze/epoch substrate underneath.
+//
+// Every test here is meant to run under TSan as well as plain: readers hold
+// only frozen snapshots, so any data-race report is a real contract
+// violation, not test noise. The soak asserts the strongest property the
+// issue names: N client threads hammering one shared published graph get
+// results bit-identical to a serial run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "capi/graphblas_c.h"
+#include "graphblas/graphblas.hpp"
+#include "lagraph/lagraph.hpp"
+#include "lagraph/serving.hpp"
+#include "lagraph/util/generator.hpp"
+#include "platform/alloc.hpp"
+#include "platform/env.hpp"
+#include "platform/epoch.hpp"
+#include "platform/governor.hpp"
+#include "platform/memory.hpp"
+#include "platform/service.hpp"
+
+using gb::Index;
+using gb::platform::CancelledError;
+using gb::platform::Epoch;
+using gb::platform::Governor;
+using gb::platform::MemoryMeter;
+using gb::platform::OverloadedError;
+using gb::platform::ScopedFailAfter;
+using gb::platform::Service;
+using gb::platform::ServicePolicy;
+using gb::platform::ServiceStats;
+using gb::platform::Versioned;
+using lagraph::Graph;
+using lagraph::GraphService;
+using lagraph::ServiceJobResult;
+using lagraph::StopReason;
+
+namespace {
+
+// Set the env cap before any metered allocation caches the parse (same
+// priming the governor suite does), so the budget never interferes here.
+const bool env_primed = [] {
+  ::setenv("LAGRAPH_MEM_BUDGET", "109951162777600", 1);  // 100 TiB
+  return true;
+}();
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// (index, value) flattening used to compare serving results bit-identically
+/// against direct algorithm runs.
+template <class T>
+std::pair<std::vector<Index>, std::vector<double>> tuples(
+    const gb::Vector<T>& v) {
+  std::vector<Index> idx;
+  std::vector<T> vals;
+  v.extract_tuples(idx, vals);
+  return {idx, std::vector<double>(vals.begin(), vals.end())};
+}
+
+Graph make_test_graph(std::uint64_t seed) {
+  gb::Matrix<double> a = lagraph::randomize_weights(
+      lagraph::erdos_renyi(64, 512, seed), 0.5, 2.0, seed);
+  return Graph(std::move(a), lagraph::Kind::directed);
+}
+
+}  // namespace
+
+// --- epoch reclamation ------------------------------------------------------
+
+TEST(Epoch, RetireWithoutReadersDrainsImmediately) {
+  Epoch::drain();  // clear anything previous tests parked
+  auto p = std::make_shared<const int>(7);
+  std::weak_ptr<const int> w = p;
+  Epoch::retire(std::shared_ptr<const void>(p, p.get()));
+  p.reset();
+  EXPECT_FALSE(w.expired());  // parked in limbo, not freed
+  EXPECT_GE(Epoch::drain(), std::size_t{1});
+  EXPECT_TRUE(w.expired());
+}
+
+TEST(Epoch, PinnedGuardBlocksDrainUntilReleased) {
+  Epoch::drain();
+  std::weak_ptr<const int> w;
+  {
+    Epoch::Guard pin;  // pinned *before* the retirement stamp
+    auto p = std::make_shared<const int>(42);
+    w = p;
+    Epoch::retire(std::shared_ptr<const void>(p, p.get()));
+    p.reset();
+    EXPECT_EQ(Epoch::drain(), std::size_t{0});  // reader still pinned
+    EXPECT_FALSE(w.expired());
+  }
+  EXPECT_GE(Epoch::drain(), std::size_t{1});
+  EXPECT_TRUE(w.expired());
+}
+
+TEST(Epoch, VersionedPublishKeepsPinnedReadersStable) {
+  Epoch::drain();
+  Versioned<int> cell;
+  cell.publish(std::make_shared<const int>(1));
+  EXPECT_EQ(cell.version(), 1u);
+
+  Epoch::Guard pin;
+  auto v1 = cell.acquire();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(*v1, 1);
+
+  cell.publish(std::make_shared<const int>(2));
+  EXPECT_EQ(cell.version(), 2u);
+  EXPECT_EQ(*v1, 1);                 // old acquisition untouched
+  EXPECT_EQ(*cell.acquire(), 2);     // new readers see the new version
+  EXPECT_GE(Epoch::limbo_size(), std::size_t{1});
+}
+
+// --- freeze / snapshot substrate --------------------------------------------
+
+TEST(Freeze, VectorServesBothFormsWhenFrozen) {
+  gb::Vector<double> v(8);
+  v.set_element(1, 1.5);
+  v.set_element(6, -2.0);
+  const auto before = tuples(v);
+
+  v.freeze();
+  EXPECT_TRUE(v.frozen());
+  // Both physical forms must now be readable without mutation: sparse...
+  EXPECT_EQ(std::vector<Index>(v.indices().begin(), v.indices().end()),
+            std::vector<Index>({1, 6}));
+  // ...and dense, off the pre-materialised frozen aux.
+  auto dv = v.dense_values();
+  auto pm = v.present();
+  ASSERT_EQ(dv.size(), 8u);
+  ASSERT_EQ(pm.size(), 8u);
+  EXPECT_EQ(dv[1], 1.5);
+  EXPECT_EQ(dv[6], -2.0);
+  EXPECT_EQ(pm[0], 0);
+  EXPECT_EQ(pm[1], 1);
+  EXPECT_EQ(tuples(v), before);
+
+  // Mutation thaws: the vector is writable again and the caches reset.
+  v.set_element(3, 9.0);
+  EXPECT_FALSE(v.frozen());
+  EXPECT_EQ(v.nvals(), 3u);
+}
+
+TEST(Freeze, VectorSnapshotIsStableAcrossMutation) {
+  gb::Vector<double> v(5);
+  v.set_element(0, 1.0);
+  auto snap = v.snapshot();
+  EXPECT_TRUE(snap->frozen());
+  EXPECT_EQ(v.snapshot(), snap);  // cached while unmutated
+
+  v.set_element(0, 99.0);
+  EXPECT_EQ(snap->nvals(), 1u);
+  auto [idx, vals] = tuples(*snap);
+  EXPECT_EQ(vals[0], 1.0);  // old value: isolation
+  auto snap2 = v.snapshot();
+  EXPECT_NE(snap2, snap);
+  EXPECT_EQ(tuples(*snap2).second[0], 99.0);
+}
+
+TEST(Freeze, MatrixSnapshotIsStableAcrossMutation) {
+  gb::Matrix<double> a(4, 4);
+  a.set_element(0, 1, 2.0);
+  a.set_element(3, 2, 4.0);
+  auto snap = a.snapshot();
+  EXPECT_TRUE(snap->frozen());
+  EXPECT_EQ(a.snapshot(), snap);
+
+  a.set_element(0, 1, -7.0);
+  EXPECT_FALSE(a.frozen());
+  auto x = snap->extract_element(0, 1);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, 2.0);  // snapshot kept the pre-write value
+  x = a.extract_element(0, 1);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, -7.0);
+}
+
+TEST(Freeze, GraphSnapshotMaterialisesPropertyCaches) {
+  Graph g = make_test_graph(7);
+  auto snap = g.snapshot();
+  EXPECT_TRUE(snap->frozen());
+  // Every lazily cached property must already be materialised: these calls
+  // are const reads on a frozen object (TSan would flag any mutation).
+  EXPECT_EQ(snap->out_degree().size(), 64u);
+  EXPECT_EQ(snap->in_degree().size(), 64u);
+  (void)snap->is_symmetric();
+  (void)snap->nself_edges();
+}
+
+// --- first-use races (satellite: lazy-init audit) ---------------------------
+
+TEST(FirstUse, EnvOnceIsRaceFreeAndStable) {
+  ::setenv("LAGRAPH_TEST_ENV_ONCE", "1337", 1);
+  static gb::platform::EnvOnce<std::size_t> cap{"LAGRAPH_TEST_ENV_ONCE",
+                                               gb::platform::env_parse_bytes};
+  std::vector<std::thread> ts;
+  std::atomic<int> mismatches{0};
+  for (int i = 0; i < 8; ++i) {
+    ts.emplace_back([&] {
+      if (cap.get() != 1337u) mismatches.fetch_add(1);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // A later env change must NOT be observed: read-once semantics.
+  ::setenv("LAGRAPH_TEST_ENV_ONCE", "7", 1);
+  EXPECT_EQ(cap.get(), 1337u);
+}
+
+TEST(FirstUse, RegistryAndKernelsSurviveConcurrentFirstUse) {
+  // Run under `-R test_service` in TSan CI this binary *is* the first user
+  // of the semiring registry and operator tables: hammer them from eight
+  // threads at once.
+  std::vector<std::thread> ts;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&, t] {
+      try {
+        gb::Matrix<double> a(8, 8);
+        for (Index i = 0; i < 8; ++i)
+          a.set_element(i, (i + 1 + static_cast<Index>(t)) % 8, 1.0);
+        gb::Vector<double> x(8);
+        for (Index i = 0; i < 8; ++i) x.set_element(i, double(i));
+        gb::Vector<double> y(8);
+        gb::mxv(y, gb::no_mask, gb::no_accum, gb::plus_times<double>(), a, x);
+        if (y.size() != 8) failures.fetch_add(1);
+      } catch (...) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --- Service core: admission, shedding, watchdog ----------------------------
+
+TEST(Service, RunsJobsAndCountsThem) {
+  Service svc(ServicePolicy{.workers = 2, .queue_limit = 64});
+  std::atomic<int> ran{0};
+  std::vector<Service::Ticket> tickets;
+  for (int i = 0; i < 16; ++i) {
+    tickets.push_back(svc.submit([&](Governor&) { ran.fetch_add(1); }));
+  }
+  for (auto& t : tickets) EXPECT_EQ(t.wait(), Service::State::done);
+  EXPECT_EQ(ran.load(), 16);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, 16u);
+  EXPECT_EQ(st.completed, 16u);
+  EXPECT_EQ(st.shed, 0u);
+  EXPECT_EQ(st.failed, 0u);
+  svc.quiesce();
+  EXPECT_EQ(svc.stats().queue_depth, 0u);
+  EXPECT_EQ(svc.stats().running, 0u);
+}
+
+TEST(Service, FailedJobRethrowsItsError) {
+  Service svc(ServicePolicy{.workers = 1});
+  auto t = svc.submit(
+      [](Governor&) { throw std::runtime_error("job exploded"); });
+  EXPECT_EQ(t.wait(), Service::State::failed);
+  EXPECT_THROW(t.rethrow(), std::runtime_error);
+  EXPECT_EQ(svc.stats().failed, 1u);
+}
+
+TEST(Service, BoundedQueueShedsDeterministically) {
+  // One worker, one queue slot. Block the worker, fill the slot: the next
+  // submission MUST shed with OverloadedError — and nothing may deadlock.
+  Service svc(ServicePolicy{.workers = 1, .queue_limit = 1});
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  auto blocker = svc.submit([&](Governor&) {
+    entered.store(true);
+    while (!release.load()) sleep_ms(0.2);
+  });
+  while (!entered.load()) sleep_ms(0.2);  // worker busy, queue empty
+
+  auto queued = svc.submit([](Governor&) {});  // fills the one slot
+  EXPECT_THROW(svc.submit([](Governor&) {}), OverloadedError);
+  EXPECT_THROW(svc.submit([](Governor&) {}), OverloadedError);
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.shed, 2u);
+  EXPECT_EQ(st.queue_depth, 1u);
+
+  release.store(true);
+  EXPECT_EQ(blocker.wait(), Service::State::done);
+  EXPECT_EQ(queued.wait(), Service::State::done);
+  // After draining, the service accepts work again: shedding is a rejection
+  // of the one request, never a degraded mode.
+  EXPECT_EQ(svc.submit([](Governor&) {}).wait(), Service::State::done);
+}
+
+TEST(Service, MemoryWatermarkShedsNewWork) {
+  // A 1-byte shed watermark with live metered objects in the process: every
+  // submission sheds, deterministically, while the service stays healthy.
+  gb::Vector<double> pressure(1024);
+  for (Index i = 0; i < 1024; ++i) pressure.set_element(i, 1.0);
+  ASSERT_GT(MemoryMeter::current_bytes(), 1u);
+
+  Service svc(ServicePolicy{.workers = 1, .queue_limit = 8, .shed_bytes = 1});
+  EXPECT_THROW(svc.submit([](Governor&) {}), OverloadedError);
+  EXPECT_EQ(svc.stats().shed, 1u);
+  EXPECT_EQ(svc.stats().submitted, 0u);
+}
+
+TEST(Service, CancelBeforeRunSkipsTheJob) {
+  Service svc(ServicePolicy{.workers = 1, .queue_limit = 4});
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  auto blocker = svc.submit([&](Governor&) {
+    entered.store(true);
+    while (!release.load()) sleep_ms(0.2);
+  });
+  while (!entered.load()) sleep_ms(0.2);
+
+  std::atomic<bool> ran{false};
+  auto queued = svc.submit([&](Governor&) { ran.store(true); });
+  queued.cancel();
+  release.store(true);
+  EXPECT_EQ(queued.wait(), Service::State::cancelled);
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(blocker.wait(), Service::State::done);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+}
+
+TEST(Service, RunningJobObservesCrossThreadCancel) {
+  Service svc(ServicePolicy{.workers = 1});
+  auto t = svc.submit([](Governor& gov) {
+    while (!gov.cancelled()) sleep_ms(0.2);
+    throw CancelledError{};
+  });
+  while (t.state() != Service::State::running) sleep_ms(0.2);
+  t.cancel();
+  EXPECT_EQ(t.wait(), Service::State::cancelled);
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+}
+
+TEST(Service, WatchdogCancelsStalledJobAndServiceKeepsServing) {
+  // The stalled job makes no governor polls; the watchdog must cancel it
+  // within its threshold, and the freed worker must keep serving.
+  Service svc(ServicePolicy{.workers = 1,
+                            .queue_limit = 8,
+                            .watchdog_stall_ms = 25,
+                            .watchdog_period_ms = 2});
+  auto stalled = svc.submit([](Governor& gov) {
+    // Cooperative stall: burns its worker until the watchdog's cancel lands.
+    while (!gov.cancelled()) sleep_ms(0.5);
+    throw CancelledError{};
+  });
+  EXPECT_EQ(stalled.wait(), Service::State::cancelled);
+  const ServiceStats st = svc.stats();
+  EXPECT_GE(st.watchdog_cancels, 1u);
+  EXPECT_EQ(st.cancelled, 1u);
+
+  // The worker reclaimed by the watchdog serves the next request normally.
+  std::atomic<int> ran{0};
+  auto next = svc.submit([&](Governor&) { ran.fetch_add(1); });
+  EXPECT_EQ(next.wait(), Service::State::done);
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Service, PolicyDeadlineTripsLongRequests) {
+  Service svc(ServicePolicy{.workers = 1, .request_timeout_ms = 10});
+  auto t = svc.submit([](Governor& gov) {
+    for (;;) {
+      sleep_ms(1);
+      gov.poll();  // policy-governed: deadline armed by the worker
+    }
+  });
+  // A timeout surfaces as failed (TimeoutError), distinct from cancelled.
+  EXPECT_EQ(t.wait(), Service::State::failed);
+  EXPECT_THROW(t.rethrow(), gb::platform::TimeoutError);
+}
+
+// --- GraphService: snapshot isolation + bit-identical serving ---------------
+
+TEST(GraphService, ServesResultsBitIdenticalToSerial) {
+  GraphService::Options opts;
+  opts.service.workers = 2;
+  opts.service.queue_limit = 256;
+  GraphService svc(opts);
+  svc.publish("g", make_test_graph(11));
+
+  // Serial ground truth on an identical graph.
+  Graph serial = make_test_graph(11);
+  const auto pr = tuples(lagraph::pagerank(serial, 0.85, 1e-9, 100).rank);
+  const auto bf = tuples(
+      lagraph::bfs(serial, 0, lagraph::BfsVariant::direction_optimizing)
+          .level);
+  const auto ss = tuples(lagraph::sssp_bellman_ford(serial, 0).dist);
+
+  const std::uint64_t jp = svc.submit_algorithm("pagerank", "g", 0);
+  const std::uint64_t jb = svc.submit_algorithm("bfs", "g", 0);
+  const std::uint64_t js = svc.submit_algorithm("sssp", "g", 0);
+
+  const ServiceJobResult& rp = svc.wait(jp);
+  // PageRank legitimately reports `converged`; only interruptions are errors.
+  EXPECT_FALSE(lagraph::is_interruption(rp.stop));
+  EXPECT_EQ(std::make_pair(rp.idx, rp.vals), pr);
+  const ServiceJobResult& rb = svc.wait(jb);
+  EXPECT_EQ(std::make_pair(rb.idx, rb.vals), bf);
+  const ServiceJobResult& rs = svc.wait(js);
+  EXPECT_EQ(std::make_pair(rs.idx, rs.vals), ss);
+}
+
+TEST(GraphService, SubmissionPinsTheVersionCurrentAtSubmitTime) {
+  GraphService svc;
+  svc.publish("g", make_test_graph(21));
+  EXPECT_EQ(svc.version("g"), 1u);
+
+  Graph same = make_test_graph(21);
+  const auto v1_truth = tuples(lagraph::pagerank(same, 0.85, 1e-9, 100).rank);
+
+  // Submit against v1, then republish a *different* graph before waiting:
+  // the in-flight job must keep its v1 snapshot (snapshot isolation).
+  const std::uint64_t job = svc.submit_algorithm("pagerank", "g", 0);
+  svc.publish("g", make_test_graph(99));
+  EXPECT_EQ(svc.version("g"), 2u);
+
+  const ServiceJobResult& res = svc.wait(job);
+  EXPECT_EQ(std::make_pair(res.idx, res.vals), v1_truth);
+
+  // A job submitted after the republish sees v2.
+  Graph other = make_test_graph(99);
+  const auto v2_truth =
+      tuples(lagraph::pagerank(other, 0.85, 1e-9, 100).rank);
+  const ServiceJobResult& res2 =
+      svc.wait(svc.submit_algorithm("pagerank", "g", 0));
+  EXPECT_EQ(std::make_pair(res2.idx, res2.vals), v2_truth);
+
+  // Retirement is deterministic: quiesce drains the displaced v1 snapshot.
+  svc.quiesce();
+  EXPECT_EQ(Epoch::limbo_size(), std::size_t{0});
+}
+
+TEST(GraphService, EightClientSoakIsBitIdenticalToSerial) {
+  GraphService::Options opts;
+  opts.service.workers = 2;
+  opts.service.queue_limit = 1024;
+  GraphService svc(opts);
+  svc.publish("g", make_test_graph(33));
+
+  Graph serial = make_test_graph(33);
+  const auto pr = tuples(lagraph::pagerank(serial, 0.85, 1e-9, 100).rank);
+  std::vector<std::pair<std::vector<Index>, std::vector<double>>> bfs_truth;
+  for (Index s = 0; s < 8; ++s) {
+    bfs_truth.push_back(tuples(
+        lagraph::bfs(serial, s, lagraph::BfsVariant::direction_optimizing)
+            .level));
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kJobsPerClient = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          // Alternate algorithms so concurrently-running jobs differ.
+          if ((c + j) % 2 == 0) {
+            const auto& r =
+                svc.wait(svc.submit_algorithm("pagerank", "g", 0));
+            if (std::make_pair(r.idx, r.vals) != pr) mismatches.fetch_add(1);
+          } else {
+            const Index src = static_cast<Index>(c);
+            const auto& r = svc.wait(svc.submit_algorithm(
+                "bfs", "g", static_cast<std::uint64_t>(src)));
+            if (std::make_pair(r.idx, r.vals) != bfs_truth[c])
+              mismatches.fetch_add(1);
+          }
+        }
+      } catch (...) {
+        mismatches.fetch_add(1000);  // no exception is acceptable here
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, std::uint64_t{kClients * kJobsPerClient});
+  EXPECT_EQ(st.completed, st.submitted);
+  EXPECT_EQ(st.shed, 0u);
+  svc.quiesce();
+}
+
+TEST(GraphService, ConcurrentRepublishNeverDisturbsInFlightReaders) {
+  GraphService svc;
+  svc.publish("g", make_test_graph(5));
+  Graph same = make_test_graph(5);
+  const auto truth = tuples(lagraph::pagerank(same, 0.85, 1e-9, 100).rank);
+
+  // Writer republishes graphs under the served name as fast as it can while
+  // clients keep submitting; each client captured its snapshot at submit
+  // time, so pre-republish submissions must still match the v-at-submit
+  // truth. We only submit while version()==1 observations hold the race
+  // window closed — detection is via the returned result.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    for (int i = 0; !stop_writer.load(); ++i) {
+      svc.publish("other", make_test_graph(1000 + i));
+      svc.drain_retired();
+    }
+  });
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int j = 0; j < 3; ++j) {
+        const auto& r = svc.wait(svc.submit_algorithm("pagerank", "g", 0));
+        if (std::make_pair(r.idx, r.vals) != truth) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_writer.store(true);
+  writer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(GraphService, SubmitPathSurvivesAllocFaultInjection) {
+  GraphService::Options opts;
+  opts.service.workers = 1;
+  GraphService svc(opts);
+  svc.publish("g", make_test_graph(3));
+  Graph same = make_test_graph(3);
+  const auto truth = tuples(lagraph::pagerank(same, 0.85, 1e-9, 100).rank);
+  svc.quiesce();
+
+  // Park the lone worker on a gate: the fault countdown is process-wide, so
+  // an accepted job must not start executing (and allocating) while it is
+  // still armed — injected failures land on the submit path only.
+  std::atomic<bool> gate{false};
+  auto blocker = svc.core().submit([&](gb::platform::Governor&) {
+    while (!gate.load()) sleep_ms(0.2);
+  });
+
+  // Fail the Nth metered allocation during submit, for N = 0, 1, 2, ...
+  // until submission survives. After every injected failure the service must
+  // remain fully serviceable (strong guarantee: nothing half-enqueued).
+  std::uint64_t accepted_job = 0;
+  bool accepted = false;
+  for (std::uint64_t n = 0; n < 200 && !accepted; ++n) {
+    try {
+      ScopedFailAfter arm(n);
+      accepted_job = svc.submit_algorithm("pagerank", "g", 0);
+      accepted = true;
+    } catch (const std::bad_alloc&) {
+      // expected: injected OOM inside submit
+    }
+  }
+  ASSERT_TRUE(accepted) << "submit never survived 200 allocations";
+  gate.store(true);
+  EXPECT_EQ(blocker.wait(), Service::State::done);
+  const auto& r = svc.wait(accepted_job);
+  EXPECT_EQ(std::make_pair(r.idx, r.vals), truth);
+
+  // And the shed path stays intact after the fault soak.
+  const auto& r2 = svc.wait(svc.submit_algorithm("pagerank", "g", 0));
+  EXPECT_EQ(std::make_pair(r2.idx, r2.vals), truth);
+}
+
+TEST(GraphService, UnknownNamesAreInvalidValueErrors) {
+  GraphService svc;
+  EXPECT_THROW((void)svc.snapshot("nope"), gb::Error);
+  EXPECT_THROW((void)svc.submit_algorithm("pagerank", "nope", 0), gb::Error);
+  svc.publish("g", make_test_graph(1));
+  EXPECT_THROW((void)svc.submit_algorithm("quantum", "g", 0), gb::Error);
+  EXPECT_THROW((void)svc.poll(12345), gb::Error);
+}
+
+TEST(GraphService, ClientCancelSurfacesAsCancelledStop) {
+  GraphService::Options opts;
+  opts.service.workers = 1;
+  GraphService svc(opts);
+  svc.publish("g", make_test_graph(13));
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  // Occupy the worker so the algorithm job sits queued when we cancel it.
+  auto blocker = svc.core().submit([&](Governor&) {
+    entered.store(true);
+    while (!release.load()) sleep_ms(0.2);
+  });
+  while (!entered.load()) sleep_ms(0.2);
+
+  const std::uint64_t job = svc.submit_algorithm("pagerank", "g", 0);
+  svc.cancel(job);
+  release.store(true);
+  EXPECT_EQ(blocker.wait(), Service::State::done);
+  const ServiceJobResult& r = svc.wait(job);
+  EXPECT_EQ(r.stop, StopReason::cancelled);
+  EXPECT_EQ(svc.poll(job), GraphService::JobState::cancelled);
+  svc.release(job);
+  EXPECT_THROW((void)svc.poll(job), gb::Error);
+}
