@@ -430,6 +430,32 @@ GrB_Info LAGraph_Service_new(LAGraph_Service* s, int workers,
   });
 }
 
+GrB_Info LAGraph_Service_new_ex(LAGraph_Service* s, int workers,
+                                uint64_t queue_limit, double timeout_ms,
+                                uint64_t budget_bytes, uint64_t shed_bytes,
+                                double stall_ms, uint64_t batch_max,
+                                double batch_window_us) {
+  if (s == nullptr) return GrB_NULL_POINTER;
+  if (workers < 1 || batch_window_us < 0) return GrB_INVALID_VALUE;
+  *s = nullptr;
+  return guarded([&] {
+    lagraph::GraphService::Options opts;
+    opts.service.workers = workers;
+    opts.service.queue_limit = static_cast<std::size_t>(queue_limit);
+    opts.service.request_timeout_ms = timeout_ms > 0 ? timeout_ms : 0.0;
+    opts.service.request_budget = static_cast<std::size_t>(budget_bytes);
+    opts.service.shed_bytes = static_cast<std::size_t>(shed_bytes);
+    opts.service.watchdog_stall_ms = stall_ms > 0 ? stall_ms : 0.0;
+    opts.service.batch_max =
+        batch_max < 1 ? 1 : static_cast<std::size_t>(batch_max);
+    opts.service.batch_window_us = batch_window_us;
+    opts.runner.slice_ms = timeout_ms > 0 ? timeout_ms : 0.0;
+    opts.runner.slice_budget = static_cast<std::size_t>(budget_bytes);
+    *s = new LAGraph_Service_opaque(std::move(opts));
+    return GrB_SUCCESS;
+  });
+}
+
 GrB_Info LAGraph_Service_free(LAGraph_Service* s) {
   if (s == nullptr) return GrB_NULL_POINTER;
   return guarded([&] {
@@ -547,6 +573,17 @@ GrB_Info LAGraph_Service_stats(LAGraph_Service s, uint64_t* submitted,
     if (watchdog_cancels != nullptr) *watchdog_cancels = st.watchdog_cancels;
     if (queue_depth != nullptr) *queue_depth = st.queue_depth;
     if (running != nullptr) *running = st.running;
+    return GrB_SUCCESS;
+  });
+}
+
+GrB_Info LAGraph_Service_batch_stats(LAGraph_Service s, uint64_t* batches,
+                                     uint64_t* batched_requests) {
+  if (s == nullptr) return GrB_NULL_POINTER;
+  return guarded([&] {
+    const gb::platform::ServiceStats st = s->service.stats();
+    if (batches != nullptr) *batches = st.batches;
+    if (batched_requests != nullptr) *batched_requests = st.batched_requests;
     return GrB_SUCCESS;
   });
 }

@@ -167,6 +167,19 @@ GrB_Info LAGraph_Service_new(LAGraph_Service* s, int workers,
                              uint64_t budget_bytes, uint64_t shed_bytes,
                              double stall_ms);
 
+/* LAGraph_Service_new plus the batching admission stage: concurrent
+ * bfs/sssp/pagerank submissions against the same snapshot coalesce into one
+ * multi-source kernel run of up to batch_max requests, each batch staying
+ * open at most batch_window_us microseconds (an idle worker dispatches an
+ * open batch immediately, so window 0 adds no latency). batch_max <= 1
+ * disables coalescing (identical to LAGraph_Service_new). Results are
+ * bit-identical per request to unbatched runs. */
+GrB_Info LAGraph_Service_new_ex(LAGraph_Service* s, int workers,
+                                uint64_t queue_limit, double timeout_ms,
+                                uint64_t budget_bytes, uint64_t shed_bytes,
+                                double stall_ms, uint64_t batch_max,
+                                double batch_window_us);
+
 /* Stop workers (cancelling in-flight jobs cooperatively) and destroy. */
 GrB_Info LAGraph_Service_free(LAGraph_Service* s);
 
@@ -181,8 +194,9 @@ GrB_Info LAGraph_Service_version(LAGraph_Service s, const char* name,
                                  uint64_t* version);
 
 /* Submit an algorithm job against the current snapshot of `graph`:
- * algo is "pagerank" (arg unused), "bfs" (arg = source) or "sssp"
- * (arg = source, Bellman-Ford). On admission *job_id receives the handle for
+ * algo is "pagerank" (arg unused), "bfs" (arg = source), "sssp"
+ * (arg = source, Bellman-Ford), "cc" / "scc" (arg unused, component labels)
+ * or "coloring" (arg = seed). On admission *job_id receives the handle for
  * poll/wait/cancel. Returns GxB_OVERLOADED when the service sheds the
  * request (queue full or memory pressure) — nothing was enqueued and the
  * service remains serviceable. */
@@ -215,6 +229,12 @@ GrB_Info LAGraph_Service_stats(LAGraph_Service s, uint64_t* submitted,
                                uint64_t* failed, uint64_t* cancelled,
                                uint64_t* watchdog_cancels,
                                uint64_t* queue_depth, uint64_t* running);
+
+/* Batching counters: *batches is coalesced batches dispatched,
+ * *batched_requests the member requests they carried (mean batch size =
+ * batched_requests / batches). Any out-pointer may be NULL. */
+GrB_Info LAGraph_Service_batch_stats(LAGraph_Service s, uint64_t* batches,
+                                     uint64_t* batched_requests);
 
 #ifdef __cplusplus
 }

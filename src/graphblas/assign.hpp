@@ -379,6 +379,87 @@ void assign_scalar(Matrix<CT>& c, const MaskArg& mask, const Accum& accum,
       return;
     }
   }
+  // Masked whole-matrix expansion (the multi-source level/distance stamp:
+  // C(ALL, ALL)<M> = s): the result is exactly C with s written (accum'd)
+  // at the mask's truthy pattern, so build that store in ONE sorted merge
+  // of C's rows with the mask's rows and adopt it — no dense |I|x|J| scalar
+  // matrix, no general-assign machinery, no second write_back merge. Only
+  // for the plain (non-complemented, non-replace) masked form; everything
+  // else falls through to the general path.
+  if constexpr (is_masked<MaskArg>) {
+    if (!desc.mask_complement && !desc.replace && isel.is_all() &&
+        jsel.is_all() && isel.size() == c.nrows() &&
+        jsel.size() == c.ncols()) {
+      check_dims(mask.nrows() == c.nrows() && mask.ncols() == c.ncols(),
+                 "assign_scalar: mask shape");
+      const auto& ms = mask.by_row();
+      const auto& cs = c.by_row();
+      SparseStore<CT> t(c.nrows());
+      t.hyper = true;
+      t.p.assign(1, 0);
+      t.i.reserve(cs.nnz() + ms.nnz());
+      t.x.reserve(cs.nnz() + ms.nnz());
+      auto truthy = [&](Index pos) {
+        return desc.mask_structural ||
+               ms.x[pos] != std::decay_t<decltype(ms.x[pos])>{};
+      };
+      Index km = 0, kc = 0;
+      while (km < ms.nvec() || kc < cs.nvec()) {
+        platform::governor_poll();
+        const Index rm = km < ms.nvec() ? ms.vec_id(km) : all_indices;
+        const Index rc = kc < cs.nvec() ? cs.vec_id(kc) : all_indices;
+        const Index r = rm < rc ? rm : rc;
+        Index mp = 0, me = 0, cp = 0, ce = 0;
+        if (rm == r) {
+          mp = ms.vec_begin(km);
+          me = ms.vec_end(km);
+          ++km;
+        }
+        if (rc == r) {
+          cp = cs.vec_begin(kc);
+          ce = cs.vec_end(kc);
+          ++kc;
+        }
+        const std::size_t row_start = t.i.size();
+        while (mp < me || cp < ce) {
+          bool in_m = false, in_c = false;
+          Index j;
+          if (mp >= me || (cp < ce && cs.i[cp] < ms.i[mp])) {
+            j = cs.i[cp];
+            in_c = true;
+          } else if (cp >= ce || ms.i[mp] < cs.i[cp]) {
+            j = ms.i[mp];
+            in_m = true;
+          } else {
+            j = cs.i[cp];
+            in_c = in_m = true;
+          }
+          if (in_m && truthy(mp)) {
+            CT z;
+            if constexpr (is_accum<Accum>) {
+              z = in_c ? static_cast<CT>(accum(cs.x[cp], static_cast<CT>(s)))
+                       : static_cast<CT>(s);
+            } else {
+              z = static_cast<CT>(s);
+            }
+            t.i.push_back(j);
+            t.x.push_back(z);
+          } else if (in_c) {
+            t.i.push_back(j);
+            t.x.push_back(cs.x[cp]);
+          }
+          if (in_c) ++cp;
+          if (in_m) ++mp;
+        }
+        if (t.i.size() > row_start) {
+          t.h.push_back(r);
+          t.p.push_back(static_cast<Index>(t.i.size()));
+        }
+      }
+      c.adopt(std::move(t), Layout::by_row);
+      return;
+    }
+  }
   // Build a dense |I|x|J| matrix of s and delegate. The benchmark-relevant
   // assigns (C2/C3) use the matrix form above; scalar expansion is a
   // convenience for algorithms with small regions.

@@ -183,6 +183,58 @@ SparseStore<typename SR::value_type> mxm_gustavson(
     (void)dense_native;
   }
 
+  // Single-chunk fused pass: when the flop-balancer would hand the whole
+  // product to one worker anyway (few rows, or a single-core budget), the
+  // symbolic pass buys nothing — its offsets only exist so parallel chunks
+  // can write disjoint ranges. Accumulate each row once and append. The
+  // entries, their order, and the fold order are exactly the numeric pass's,
+  // so the store is bit-identical to the two-pass result.
+  if (platform::chunk_count(static_cast<std::size_t>(nv), costs[nv]) <= 1) {
+    auto acc_h = platform::Workspace::checkout<ws_mxm_acc, ZT>(n);
+    auto present_h =
+        platform::Workspace::checkout<ws_mxm_present, std::uint8_t>(n);
+    auto touched_h = platform::Workspace::checkout<ws_mxm_touched, Index>();
+    auto& acc = *acc_h;
+    auto& present = *present_h;
+    auto& touched = *touched_h;
+    MatrixMaskProbe<MaskArg> probe(mask, desc);
+    for (Index ka = 0; ka < nv; ++ka) {
+      platform::governor_poll();
+      touched.clear();
+      for (Index pa = ra.vec_begin(ka); pa < ra.vec_end(ka); ++pa) {
+        auto kb = rb.find_vec(ra.i[pa]);
+        if (!kb) continue;
+        const AT aval = ra.x[pa];
+        for (Index pb = rb.vec_begin(*kb); pb < rb.vec_end(*kb); ++pb) {
+          Index j = rb.i[pb];
+          ZT prod = static_cast<ZT>(sr.mul(aval, rb.x[pb]));
+          if (!present[j]) {
+            present[j] = 1;
+            acc[j] = prod;
+            touched.push_back(j);
+          } else if constexpr (!always_terminal<typename SR::add_type>) {
+            if (!sr.add.is_terminal(acc[j])) acc[j] = sr.add(acc[j], prod);
+          }
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      probe.begin_row(ra.vec_id(ka));
+      const std::size_t row_start = t.i.size();
+      for (Index j : touched) {
+        if (probe.test(j)) {
+          t.i.push_back(j);
+          t.x.push_back(acc[j]);
+        }
+        present[j] = 0;
+      }
+      if (t.i.size() > row_start) {
+        t.h.push_back(ra.vec_id(ka));
+        t.p.push_back(static_cast<Index>(t.i.size()));
+      }
+    }
+    return t;
+  }
+
   // --- symbolic pass: counts[ka] = nnz of output row ka ---
   auto counts_h = platform::Workspace::checkout<ws_mxm_counts, Index>(
       static_cast<std::size_t>(nv) + 1);

@@ -6,6 +6,8 @@
 //
 // The frontier vector carries parent ids, so one min_first vxm per level
 // yields both reachability and the BFS tree.
+#include <algorithm>
+
 #include "lagraph/lagraph.hpp"
 #include "lagraph/util/check.hpp"
 
@@ -56,7 +58,107 @@ void capture(BfsResult& res, const gb::Vector<std::uint64_t>& frontier,
   });
 }
 
+/// Batch-loop state at a level boundary: levels so far, the frontier matrix,
+/// and the source list (validated on resume — a capsule only resumes the
+/// batch it was captured from).
+void capture_ms(BfsMsResult& res, const gb::Matrix<double>& frontier,
+                const std::vector<Index>& sources) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("bfs_level_ms");
+    cp.put_matrix("level", res.level);
+    cp.put_matrix("frontier", frontier);
+    cp.put_i64("depth", res.depth);
+    cp.put_array("sources",
+                 std::vector<std::uint64_t>(sources.begin(), sources.end()));
+  });
+}
+
 }  // namespace
+
+BfsMsResult bfs_level_ms(const Graph& g, const std::vector<Index>& sources,
+                         const Checkpoint* resume) {
+  check_graph(g, "bfs_level_ms");
+  const auto& a = g.adj();
+  const Index n = a.nrows();
+  const Index k = static_cast<Index>(sources.size());
+  gb::check_value(k > 0, "bfs_level_ms: empty source batch");
+  for (Index s : sources) {
+    gb::check_index(s < n, "bfs_level_ms: source out of range");
+  }
+
+  BfsMsResult res;
+  Scope scope;
+
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "bfs_level_ms");
+    res.checkpoint = *resume;
+  }
+
+  // Frontier rows carry the batch: frontier(r, v) present when v joined row
+  // r's frontier this level (values are 1.0 pattern carriers; the expansion
+  // semiring only needs the structure).
+  gb::Matrix<double> frontier;
+  StopReason setup = scope.step([&] {
+    if (resume != nullptr && !resume->empty()) {
+      auto saved = resume->get_array<std::uint64_t>("sources");
+      gb::check_value(saved.size() == sources.size() &&
+                          std::equal(saved.begin(), saved.end(),
+                                     sources.begin()),
+                      "bfs_level_ms: resume capsule is for another batch");
+      res.level = resume->get_matrix<std::int64_t>("level");
+      frontier = resume->get_matrix<double>("frontier");
+      gb::check_value(res.level.nrows() == k && res.level.ncols() == n,
+                      "bfs_level_ms: resume capsule does not match this graph");
+      res.depth = resume->get_i64("depth");
+    } else {
+      res.level = gb::Matrix<std::int64_t>(k, n);
+      frontier = gb::Matrix<double>(k, n);
+      std::vector<Index> rows(sources.size());
+      std::vector<double> ones(sources.size(), 1.0);
+      for (std::size_t r = 0; r < sources.size(); ++r) {
+        rows[r] = static_cast<Index>(r);
+      }
+      frontier.build(rows, sources, ones, gb::Plus{});
+    }
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
+
+  std::int64_t depth = res.depth;
+  while (frontier.nvals() > 0) {
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      res.depth = depth;
+      capture_ms(res, frontier, sources);
+      return res;
+    }
+    StopReason why = scope.step([&] {
+      // level<frontier, s> = depth — idempotent, so re-running the body
+      // after a mid-step trip is safe (same discipline as the vector
+      // driver: state commits at level boundaries only).
+      gb::assign_scalar(res.level, frontier, gb::no_accum, depth,
+                        gb::IndexSel::all(k), gb::IndexSel::all(n), gb::desc_s);
+      // next<!level, replace, s> = frontier +.* A — one SpGEMM advances
+      // every row; the complemented structural mask prunes visited vertices
+      // per row, which is what keeps each row identical to its solo run.
+      gb::Matrix<double> next(k, n);
+      gb::mxm(next, res.level, gb::no_accum, gb::plus_times<double>(),
+              frontier, a, gb::desc_rsc);
+      frontier = std::move(next);
+      ++depth;
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      res.depth = depth;
+      capture_ms(res, frontier, sources);
+      return res;
+    }
+  }
+  res.depth = depth;
+  return res;
+}
 
 BfsResult bfs(const Graph& g, Index source, BfsVariant variant,
               const Checkpoint* resume) {

@@ -1,7 +1,9 @@
 // PageRank with dangling-vertex handling, in the style of LAGraph's
 // PageRank (§V cites Satish et al.'s GraphMat formulation). One vxm per
 // iteration; everything else is elementwise.
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "lagraph/lagraph.hpp"
 #include "lagraph/util/check.hpp"
@@ -18,6 +20,28 @@ void capture(PageRankResult& res) {
     cp.put_vector("rank", res.rank);
     cp.put_i64("iterations", res.iterations);
     cp.put_f64("residual", res.residual);
+  });
+}
+
+/// Batch-loop state at an iteration boundary. Frozen rows ride as one k x n
+/// matrix; the active iterate, its row map, and the per-row counters complete
+/// the state. Sources are stored for validation: a capsule resumes only the
+/// batch it was captured from.
+void capture_ms(PprMsResult& res, const gb::Matrix<double>& frozen,
+                const gb::Matrix<double>& r_act,
+                const std::vector<std::uint64_t>& active,
+                const std::vector<Index>& sources) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("pagerank_personalized_ms");
+    cp.put_matrix("frozen", frozen);
+    cp.put_matrix("active_rank", r_act);
+    cp.put_array("active", active);
+    cp.put_array("iterations", res.iterations);
+    cp.put_array("row_stop", std::vector<std::uint64_t>(res.row_stop.begin(),
+                                                        res.row_stop.end()));
+    cp.put_i64("rounds", res.rounds);
+    cp.put_array("sources",
+                 std::vector<std::uint64_t>(sources.begin(), sources.end()));
   });
 }
 
@@ -125,6 +149,307 @@ PageRankResult pagerank(const Graph& g, double damping, double tol,
     }
   }
   res.stop = StopReason::max_iters;
+  return res;
+}
+
+PprMsResult pagerank_personalized_ms(const Graph& g,
+                                     const std::vector<Index>& sources,
+                                     double damping, double tol, int max_iters,
+                                     const Checkpoint* resume) {
+  check_graph(g, "pagerank_personalized_ms");
+  gb::check_value(damping > 0.0 && damping < 1.0,
+                  "pagerank_personalized_ms: damping must be in (0, 1)");
+  gb::check_value(tol > 0.0, "pagerank_personalized_ms: tol must be positive");
+  gb::check_value(max_iters > 0,
+                  "pagerank_personalized_ms: max_iters must be positive");
+  max_iters = scaled_max_iters(max_iters);
+
+  const auto& a = g.adj();
+  const Index n = a.nrows();
+  const Index k = static_cast<Index>(sources.size());
+  gb::check_value(k > 0, "pagerank_personalized_ms: empty source batch");
+  for (Index s : sources) {
+    gb::check_index(s < n, "pagerank_personalized_ms: source out of range");
+  }
+
+  PprMsResult res;
+  res.iterations.assign(static_cast<std::size_t>(k), 0);
+  res.row_stop.assign(static_cast<std::size_t>(k),
+                      static_cast<std::uint8_t>(StopReason::max_iters));
+  Scope scope;
+
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "pagerank_personalized_ms");
+    res.checkpoint = *resume;
+  }
+
+  // Loop state. Every per-iteration kernel below is row-local (reads only
+  // row r of the iterate to produce row r of the next), and every within-row
+  // combination order is fixed (saxpy in ascending stream order, dots and
+  // row-reduces left-to-right), so row r's trajectory is bit-identical for
+  // any batch it rides in — including the k = 1 batch that defines the
+  // single-seed semantics. Rows that meet tol are frozen immediately and
+  // compacted out of the active iterate; without the freeze, batch siblings
+  // still iterating would keep "improving" a converged row past the point
+  // where its solo run returned, changing its bits.
+  gb::Matrix<double> r_act;                // active iterate (|active| x n)
+  std::vector<std::uint64_t> active;       // original row of each active row
+  std::vector<Index> fr, fc;               // frozen tuples (original rows)
+  std::vector<double> fv;
+  gb::Vector<double> dang(n);              // 1.0 at vertices with no out-edges
+  gb::Matrix<double> dinv;                 // diag(damping / outdeg)
+
+  const gb::Vector<double>* outdeg = nullptr;
+  StopReason setup = scope.step([&] {
+    outdeg = &g.out_degree_fp64();
+    gb::assign_scalar(dang, *outdeg, gb::no_accum, 1.0, gb::IndexSel::all(n),
+                      gb::desc_sc);
+    {
+      std::vector<Index> di;
+      std::vector<double> dv;
+      outdeg->extract_tuples(di, dv);
+      for (double& v : dv) v = damping / v;
+      dinv = gb::Matrix<double>(n, n);
+      dinv.build(di, di, dv, gb::Second{});
+    }
+    if (resume != nullptr && !resume->empty()) {
+      auto saved = resume->get_array<std::uint64_t>("sources");
+      gb::check_value(saved.size() == sources.size() &&
+                          std::equal(saved.begin(), saved.end(),
+                                     sources.begin()),
+                      "pagerank_personalized_ms: capsule is for another batch");
+      gb::Matrix<double> frozen = resume->get_matrix<double>("frozen");
+      gb::check_value(frozen.nrows() == k && frozen.ncols() == n,
+                      "pagerank_personalized_ms: capsule mismatch");
+      frozen.extract_tuples(fr, fc, fv);
+      r_act = resume->get_matrix<double>("active_rank");
+      active = resume->get_array<std::uint64_t>("active");
+      res.iterations = resume->get_array<std::int64_t>("iterations");
+      auto rs = resume->get_array<std::uint64_t>("row_stop");
+      res.row_stop.assign(rs.begin(), rs.end());
+      res.rounds = static_cast<int>(resume->get_i64("rounds"));
+    } else {
+      active.resize(static_cast<std::size_t>(k));
+      std::vector<Index> rows(static_cast<std::size_t>(k));
+      std::vector<double> ones(static_cast<std::size_t>(k), 1.0);
+      for (Index r = 0; r < k; ++r) {
+        active[static_cast<std::size_t>(r)] = static_cast<std::uint64_t>(r);
+        rows[static_cast<std::size_t>(r)] = r;
+      }
+      // rank0 = e_seed per row: all mass starts on the teleport seed.
+      r_act = gb::Matrix<double>(k, n);
+      r_act.build(rows, sources, ones, gb::Second{});
+    }
+  });
+
+  auto build_frozen = [&]() {
+    gb::Matrix<double> frozen(k, n);
+    if (!fr.empty()) frozen.build(fr, fc, fv, gb::Second{});
+    return frozen;
+  };
+
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
+
+  bool any_diverged = false;
+  for (auto s : res.row_stop) {
+    if (s == static_cast<std::uint8_t>(StopReason::diverged))
+      any_diverged = true;
+  }
+
+  while (!active.empty() && res.rounds < max_iters) {
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      capture_ms(res, build_frozen(), r_act, active, sources);
+      return res;
+    }
+    // Locals the step body fills; committed to the loop state only after the
+    // last kernel, so a mid-step trip leaves the iteration boundary intact.
+    std::vector<std::size_t> frz_local, srv_local;
+    gb::Matrix<double> next;
+    gb::Matrix<double> r_next;
+    std::vector<double> residh;
+    StopReason why = scope.step([&] {
+      const Index ka = static_cast<Index>(active.size());
+      // Dangling mass per row, forced onto the pull (dot) path: each row's
+      // products combine left-to-right in ascending vertex order, no matter
+      // how many rows share the batch.
+      gb::Vector<double> dm(ka);
+      gb::Descriptor dpull;
+      dpull.mxv = gb::MxvMethod::pull;
+      gb::mxv(dm, gb::no_mask, gb::no_accum, gb::plus_times<double>(), r_act,
+              dang, dpull);
+      std::vector<double> dmh(static_cast<std::size_t>(ka), 0.0);
+      {
+        std::vector<Index> di;
+        std::vector<double> dv;
+        dm.extract_tuples(di, dv);
+        for (std::size_t t = 0; t < di.size(); ++t)
+          dmh[static_cast<std::size_t>(di[t])] = dv[t];
+      }
+      // w = damping * rank ./ outdeg, as rank x diag(damping/outdeg):
+      // every product lands on a distinct output slot, so there is no
+      // combination order at all.
+      gb::Matrix<double> w(ka, n);
+      gb::mxm(w, gb::no_mask, gb::no_accum, gb::plus_times<double>(), r_act,
+              dinv);
+      // p = w +.first A — the batched edge pass (plus_FIRST for the same
+      // reason as the global driver: rank splits by out-degree, edge weights
+      // must not scale it).
+      gb::Matrix<double> p(ka, n);
+      gb::mxm(p, gb::no_mask, gb::no_accum, gb::plus_first<double>(), w, a);
+      // Teleport + dangling mass return to each row's own seed.
+      {
+        std::vector<Index> sr(static_cast<std::size_t>(ka));
+        std::vector<Index> sc(static_cast<std::size_t>(ka));
+        std::vector<double> sv(static_cast<std::size_t>(ka));
+        for (Index j = 0; j < ka; ++j) {
+          sr[static_cast<std::size_t>(j)] = j;
+          sc[static_cast<std::size_t>(j)] =
+              sources[static_cast<std::size_t>(active[static_cast<std::size_t>(j)])];
+          sv[static_cast<std::size_t>(j)] =
+              (1.0 - damping) + damping * dmh[static_cast<std::size_t>(j)];
+        }
+        gb::Matrix<double> s(ka, n);
+        s.build(sr, sc, sv, gb::Plus{});
+        next = gb::Matrix<double>(ka, n);
+        gb::ewise_add(next, gb::no_mask, gb::no_accum, gb::Plus{}, p, s);
+      }
+      // Per-row L1 residual: |next - rank| row-reduced left-to-right.
+      gb::Matrix<double> diff(ka, n);
+      gb::ewise_add(diff, gb::no_mask, gb::no_accum, gb::Minus{}, next, r_act);
+      gb::apply(diff, gb::no_mask, gb::no_accum, gb::Abs{}, diff);
+      gb::Vector<double> resid(ka);
+      gb::reduce(resid, gb::no_mask, gb::no_accum, gb::plus_monoid<double>(),
+                 diff);
+      residh.assign(static_cast<std::size_t>(ka), 0.0);
+      {
+        std::vector<Index> ri;
+        std::vector<double> rv;
+        resid.extract_tuples(ri, rv);
+        for (std::size_t t = 0; t < ri.size(); ++t)
+          residh[static_cast<std::size_t>(ri[t])] = rv[t];
+      }
+      for (std::size_t j = 0; j < static_cast<std::size_t>(ka); ++j) {
+        const double rj = residh[j];
+        if (!std::isfinite(rj) || rj < tol) {
+          frz_local.push_back(j);
+        } else {
+          srv_local.push_back(j);
+        }
+      }
+      if (!frz_local.empty() && !srv_local.empty()) {
+        // Compact the survivors so frozen rows stop being computed (and stop
+        // changing). The extract is the last kernel: a trip inside it leaves
+        // the pre-iteration state committed.
+        std::vector<Index> sel(srv_local.begin(), srv_local.end());
+        r_next = gb::Matrix<double>(static_cast<Index>(sel.size()), n);
+        gb::extract(r_next, gb::no_mask, gb::no_accum, next,
+                    gb::IndexSel(std::span<const Index>(sel)),
+                    gb::IndexSel::all(n));
+      }
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      capture_ms(res, build_frozen(), r_act, active, sources);
+      return res;
+    }
+
+    // Commit (host-side only — nothing below can trip).
+    const int done_iters = res.rounds + 1;
+    if (!frz_local.empty()) {
+      std::vector<Index> mr, mc;
+      std::vector<double> mv;
+      next.extract_tuples(mr, mc, mv);
+      std::vector<std::uint8_t> freeze_row(active.size(), 0);
+      for (std::size_t j : frz_local) freeze_row[j] = 1;
+      for (std::size_t t = 0; t < mr.size(); ++t) {
+        const auto j = static_cast<std::size_t>(mr[t]);
+        if (!freeze_row[j]) continue;
+        fr.push_back(static_cast<Index>(active[j]));
+        fc.push_back(mc[t]);
+        fv.push_back(mv[t]);
+      }
+      for (std::size_t j : frz_local) {
+        const auto row = static_cast<std::size_t>(active[j]);
+        res.iterations[row] = done_iters;
+        if (!std::isfinite(residh[j])) {
+          res.row_stop[row] = static_cast<std::uint8_t>(StopReason::diverged);
+          any_diverged = true;
+        } else {
+          res.row_stop[row] = static_cast<std::uint8_t>(StopReason::converged);
+        }
+      }
+    }
+    std::vector<std::uint64_t> still;
+    still.reserve(srv_local.size());
+    for (std::size_t j : srv_local) {
+      const auto row = static_cast<std::size_t>(active[j]);
+      res.iterations[row] = done_iters;
+      still.push_back(active[j]);
+    }
+    if (srv_local.empty()) {
+      active.clear();
+    } else if (frz_local.empty()) {
+      r_act = std::move(next);
+      active = std::move(still);
+    } else {
+      r_act = std::move(r_next);
+      active = std::move(still);
+    }
+    ++res.rounds;
+  }
+
+  // Rows still active hit the iteration cap: freeze them as they stand.
+  if (!active.empty()) {
+    std::vector<Index> mr, mc;
+    std::vector<double> mv;
+    r_act.extract_tuples(mr, mc, mv);
+    for (std::size_t t = 0; t < mr.size(); ++t) {
+      fr.push_back(static_cast<Index>(active[static_cast<std::size_t>(mr[t])]));
+      fc.push_back(mc[t]);
+      fv.push_back(mv[t]);
+    }
+    for (std::uint64_t row : active) {
+      res.row_stop[static_cast<std::size_t>(row)] =
+          static_cast<std::uint8_t>(StopReason::max_iters);
+    }
+  }
+
+  res.rank = build_frozen();
+  bool all_converged = true;
+  for (auto s : res.row_stop) {
+    if (s != static_cast<std::uint8_t>(StopReason::converged))
+      all_converged = false;
+  }
+  res.stop = any_diverged ? StopReason::diverged
+             : all_converged ? StopReason::converged
+                             : StopReason::max_iters;
+  return res;
+}
+
+PprResult pagerank_personalized(const Graph& g, Index source, double damping,
+                                double tol, int max_iters,
+                                const Checkpoint* resume) {
+  PprMsResult ms = pagerank_personalized_ms(g, std::vector<Index>{source},
+                                            damping, tol, max_iters, resume);
+  PprResult res;
+  res.stop = ms.stop;
+  res.checkpoint = std::move(ms.checkpoint);
+  res.iterations = ms.iterations.empty() ? 0
+                                         : static_cast<int>(ms.iterations[0]);
+  res.converged =
+      !ms.row_stop.empty() &&
+      ms.row_stop[0] == static_cast<std::uint8_t>(StopReason::converged);
+  res.rank = gb::Vector<double>(g.adj().nrows());
+  if (ms.rank.nrows() > 0) {
+    std::vector<Index> mr, mc;
+    std::vector<double> mv;
+    ms.rank.extract_tuples(mr, mc, mv);
+    res.rank.build(mc, mv, gb::Second{});
+  }
   return res;
 }
 

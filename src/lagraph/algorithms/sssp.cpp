@@ -21,6 +21,18 @@ void capture_bf(SsspResult& res, bool changed) {
   });
 }
 
+void capture_bf_ms(SsspMsResult& res, bool changed,
+                   const std::vector<lagraph::Index>& sources) {
+  capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
+    cp.set_algorithm("sssp_bellman_ford_ms");
+    cp.put_matrix("dist", res.dist);
+    cp.put_i64("iterations", res.iterations);
+    cp.put_u64("changed", changed ? 1 : 0);
+    cp.put_array("sources",
+                 std::vector<std::uint64_t>(sources.begin(), sources.end()));
+  });
+}
+
 void capture_delta(SsspResult& res, const gb::Vector<bool>& settled) {
   capture_checkpoint(res.checkpoint, [&](Checkpoint& cp) {
     cp.set_algorithm("sssp_delta_stepping");
@@ -95,6 +107,93 @@ SsspResult sssp_bellman_ford(const Graph& g, Index source,
                               res.dist, a)) {
       throw gb::Error(gb::Info::invalid_value,
                       "sssp_bellman_ford: negative cycle reachable");
+    }
+  }
+  res.stop = StopReason::converged;
+  return res;
+}
+
+SsspMsResult sssp_bellman_ford_ms(const Graph& g,
+                                  const std::vector<Index>& sources,
+                                  const Checkpoint* resume) {
+  check_graph(g, "sssp_bellman_ford_ms");
+  const auto& a = g.adj();
+  const Index n = a.nrows();
+  const Index k = static_cast<Index>(sources.size());
+  gb::check_value(k > 0, "sssp_bellman_ford_ms: empty source batch");
+  for (Index s : sources) {
+    gb::check_index(s < n, "sssp_bellman_ford_ms: source out of range");
+  }
+
+  SsspMsResult res;
+  Scope scope;
+
+  bool changed = true;
+  if (resume != nullptr && !resume->empty()) {
+    check_resume(*resume, "sssp_bellman_ford_ms");
+    res.checkpoint = *resume;
+  }
+  StopReason setup = scope.step([&] {
+    if (resume != nullptr && !resume->empty()) {
+      auto saved = resume->get_array<std::uint64_t>("sources");
+      gb::check_value(saved.size() == sources.size() &&
+                          std::equal(saved.begin(), saved.end(),
+                                     sources.begin()),
+                      "sssp_ms: resume capsule is for another batch");
+      res.dist = resume->get_matrix<double>("dist");
+      gb::check_value(res.dist.nrows() == k && res.dist.ncols() == n,
+                      "sssp_ms: resume capsule does not match this graph");
+      res.iterations = static_cast<int>(resume->get_i64("iterations"));
+      changed = resume->get_u64("changed") != 0;
+    } else {
+      res.dist = gb::Matrix<double>(k, n);
+      std::vector<Index> rows(sources.size());
+      std::vector<double> zeros(sources.size(), 0.0);
+      for (std::size_t r = 0; r < sources.size(); ++r) {
+        rows[r] = static_cast<Index>(r);
+      }
+      res.dist.build(rows, sources, zeros, gb::Min{});
+    }
+  });
+  if (setup != StopReason::none) {
+    res.stop = setup;
+    return res;
+  }
+
+  // One min-plus mxm relaxes every row per round; the Min accumulator merges
+  // the relaxed values into the carried distances, exactly as the vector
+  // driver's vxm-accum does per source. Rows are independent (row r of
+  // D min.+ A reads only row r of D), so a row that has settled is left
+  // bit-for-bit untouched by the extra rounds its batch siblings need.
+  for (Index round = static_cast<Index>(res.iterations); round < n && changed;
+       ++round) {
+    if (StopReason why = scope.interrupted(); why != StopReason::none) {
+      res.stop = why;
+      capture_bf_ms(res, changed, sources);
+      return res;
+    }
+    StopReason why = scope.step([&] {
+      gb::Matrix<double> next = res.dist;
+      gb::mxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), res.dist,
+              a);
+      changed = !isequal(next, res.dist);
+      res.dist = std::move(next);
+    });
+    if (why != StopReason::none) {
+      res.stop = why;
+      capture_bf_ms(res, changed, sources);
+      return res;
+    }
+    ++res.iterations;
+  }
+  if (changed) {
+    // n rounds and still improving => a negative cycle is reachable from at
+    // least one batched source.
+    gb::Matrix<double> next = res.dist;
+    gb::mxm(next, gb::no_mask, gb::Min{}, gb::min_plus<double>(), res.dist, a);
+    if (!isequal(next, res.dist)) {
+      throw gb::Error(gb::Info::invalid_value,
+                      "sssp_bellman_ford_ms: negative cycle reachable");
     }
   }
   res.stop = StopReason::converged;

@@ -44,6 +44,22 @@ BfsResult bfs(const Graph& g, Index source,
               BfsVariant variant = BfsVariant::direction_optimizing,
               const Checkpoint* resume = nullptr);
 
+struct BfsMsResult {
+  /// level(k, v) = hop count from sources[k] to v; absent = unreached.
+  /// Row k is bit-identical to bfs(g, sources[k]).level.
+  gb::Matrix<std::int64_t> level;
+  std::int64_t depth = 0;  ///< levels advanced (max over the batch)
+  StopReason stop = StopReason::none;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Multi-source BFS: all k sources advance together as rows of one
+/// hypersparse frontier matrix (one masked mxm per level instead of k vxm
+/// loops). Duplicate sources are allowed (rows are independent). The resume
+/// capsule carries the whole batch; `sources` must match the original call.
+BfsMsResult bfs_level_ms(const Graph& g, const std::vector<Index>& sources,
+                         const Checkpoint* resume = nullptr);
+
 // ===========================================================================
 // Shortest paths
 // ===========================================================================
@@ -66,6 +82,23 @@ SsspResult sssp_bellman_ford(const Graph& g, Index source,
 /// light/heavy edge split with bucketed relaxation. Non-negative weights.
 SsspResult sssp_delta_stepping(const Graph& g, Index source, double delta,
                                const Checkpoint* resume = nullptr);
+
+struct SsspMsResult {
+  /// dist(k, v) = tentative/final distance from sources[k]; absent =
+  /// unreached. Row k is bit-identical to sssp_bellman_ford(g, sources[k])
+  /// .dist (min-plus relaxation is reduction-order insensitive).
+  gb::Matrix<double> dist;
+  int iterations = 0;  ///< relaxation rounds until the whole batch settled
+  StopReason stop = StopReason::converged;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Multi-source Bellman-Ford: one min-plus mxm relaxes every batched source
+/// per round. Throws Error(invalid_value) if a negative cycle is reachable
+/// from *any* batched source. `sources` must match on resume.
+SsspMsResult sssp_bellman_ford_ms(const Graph& g,
+                                  const std::vector<Index>& sources,
+                                  const Checkpoint* resume = nullptr);
 
 struct ApspResult {
   gb::Matrix<double> d;  ///< pairwise distances (so-far) between all vertices
@@ -99,6 +132,46 @@ struct PageRankResult {
 PageRankResult pagerank(const Graph& g, double damping = 0.85,
                         double tol = 1e-9, int max_iters = 100,
                         const Checkpoint* resume = nullptr);
+
+struct PprMsResult {
+  /// rank(k, :) = personalised PageRank for seed sources[k]; each row is
+  /// bit-identical to the k = 1 run pagerank_personalized(g, sources[k]):
+  /// every per-iteration kernel is row-local with a fixed within-row
+  /// combination order, and a converged row is frozen (compacted out of the
+  /// active set) the iteration it meets tol, exactly when the solo run
+  /// would have returned.
+  gb::Matrix<double> rank;
+  std::vector<std::int64_t> iterations;  ///< per-row iterations at freeze
+  std::vector<std::uint8_t> row_stop;    ///< per-row StopReason (as int)
+  int rounds = 0;                        ///< global iteration rounds executed
+  StopReason stop = StopReason::max_iters;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Batched personalised PageRank: k teleport seeds advance as rows of one
+/// matrix iterate; rows converge (and freeze) independently. Dangling mass
+/// and the (1-damping) teleport both return to each row's seed vertex.
+PprMsResult pagerank_personalized_ms(const Graph& g,
+                                     const std::vector<Index>& sources,
+                                     double damping = 0.85, double tol = 1e-9,
+                                     int max_iters = 100,
+                                     const Checkpoint* resume = nullptr);
+
+struct PprResult {
+  gb::Vector<double> rank;
+  int iterations = 0;
+  bool converged = false;
+  StopReason stop = StopReason::max_iters;
+  Checkpoint checkpoint;  ///< resume capsule when interrupted
+};
+
+/// Single-seed personalised PageRank — the k = 1 specialisation of
+/// pagerank_personalized_ms (same code path, so the batched rows are
+/// bit-identical to this by construction).
+PprResult pagerank_personalized(const Graph& g, Index source,
+                                double damping = 0.85, double tol = 1e-9,
+                                int max_iters = 100,
+                                const Checkpoint* resume = nullptr);
 
 struct BcResult {
   gb::Vector<double> centrality;   ///< empty until the run completes

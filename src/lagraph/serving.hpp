@@ -14,6 +14,18 @@
 // deadlines/budgets per the configured RunnerOptions while cancel (client or
 // watchdog) lands on the same governor the kernels poll. Interruptions
 // surface as the job's StopReason, exactly like the direct Runner API.
+//
+// Batched execution: when the service policy enables coalescing (batch_max
+// > 1), traversal algorithms route through Service::submit_coalesced. The
+// planner keys a batch by (algorithm, snapshot identity): concurrent bfs /
+// sssp requests against the same published version coalesce into ONE
+// multi-source kernel run (bfs_level_ms / sssp_bellman_ford_ms — one row of
+// the frontier matrix per request, bit-identical per row to the solo runs),
+// and concurrent pagerank requests dedup into one run fanned out to every
+// member. De-batching scatters each row back into that member's
+// ServiceJobResult, so poll/wait/cancel/release are oblivious to batching;
+// a cancelled member is masked out of the scatter, never killing siblings.
+// batch_size on the result records how many requests shared the kernel run.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +52,9 @@ struct ServiceJobResult {
   std::vector<double> vals;
   gb::Index n = 0;  ///< dimension of the result vector
   StopReason stop = StopReason::none;
+  /// How many requests shared the kernel run that produced this result:
+  /// 0 = unbatched path, 1 = coalesced but ran alone, >1 = true batch.
+  std::uint64_t batch_size = 0;
 };
 
 class GraphService {
@@ -80,8 +95,11 @@ class GraphService {
 
   /// Named Runner-driven algorithm job: "pagerank" (arg unused), "bfs"
   /// (arg = source, result = levels), "sssp" (arg = source, Bellman-Ford
-  /// distances). Throws gb::Error invalid_value for unknown names,
-  /// OverloadedError when shed.
+  /// distances), "cc" / "scc" (arg unused, component labels), "coloring"
+  /// (arg = seed, 1-based colors). Throws gb::Error invalid_value for
+  /// unknown names or an out-of-range source, OverloadedError when shed.
+  /// bfs/sssp/pagerank are batchable: with batch_max > 1 they coalesce per
+  /// (algorithm, snapshot) into one multi-source run (see the header note).
   std::uint64_t submit_algorithm(const std::string& algo,
                                  const std::string& graph, std::uint64_t arg);
 

@@ -32,6 +32,23 @@
 // in the stats. Cancellation stays cooperative: the watchdog can only
 // reclaim workers from jobs that still reach a poll point or check
 // Governor::cancelled().
+//
+// Batching admission stage (submit_coalesced): requests that share a caller-
+// chosen key coalesce into one *batch* — a single queue entry, a single
+// Governor, a single worker dispatch — whose job sees every member's
+// (arg, payload) through a BatchView and writes each member's result into
+// its payload. A batch stays open to new members until it holds `batch_max`
+// requests or until `batch_window_us` has elapsed since it opened; the
+// window is honoured even by an otherwise-idle worker (it is the caller's
+// explicit latency budget for coalescing), and a zero window means a batch
+// is mature the instant it opens, so the default config adds zero latency.
+// The per-member submit/poll/wait/cancel contract is unchanged: each member
+// keeps its own ticket; a member cancel only masks that member's row
+// (BatchView::cancelled flips, the member finishes State::cancelled) and
+// never cancels the batch. Admission control meters the batch as ONE unit:
+// it occupies one queue_limit slot and the watchdog tracks its single
+// governor. batch_max <= 1 turns the stage off: submit_coalesced degrades
+// to a plain submit() wrapping the job in a one-member view.
 #pragma once
 
 #include <atomic>
@@ -42,7 +59,9 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "platform/governor.hpp"
@@ -64,6 +83,11 @@ struct ServicePolicy {
   std::size_t shed_bytes = 0;     ///< shed new work above this footprint; 0 off
   double watchdog_stall_ms = 0;   ///< cancel after this long with no polls; 0 off
   double watchdog_period_ms = 5;  ///< watchdog sampling period
+  // Batching admission stage (submit_coalesced only; plain submit() never
+  // batches). Overridable per process via LAGRAPH_BATCH_MAX /
+  // LAGRAPH_BATCH_WINDOW_US (read once, like the other platform knobs).
+  std::size_t batch_max = 1;    ///< max requests per coalesced batch; <=1 = off
+  double batch_window_us = 0;   ///< how long an open batch may wait for members
 };
 
 /// Point-in-time counters; consistent snapshot under the service lock.
@@ -74,8 +98,10 @@ struct ServiceStats {
   std::uint64_t failed = 0;      ///< ended with a non-cancel exception
   std::uint64_t cancelled = 0;   ///< ended via CancelledError (any source)
   std::uint64_t watchdog_cancels = 0;  ///< cancels issued by the watchdog
-  std::uint64_t queue_depth = 0;       ///< currently queued
-  std::uint64_t running = 0;           ///< currently executing
+  std::uint64_t queue_depth = 0;       ///< currently queued (batch = 1 unit)
+  std::uint64_t running = 0;           ///< currently executing (batch = 1 unit)
+  std::uint64_t batches = 0;           ///< coalesced batches dispatched
+  std::uint64_t batched_requests = 0;  ///< member requests inside those batches
 };
 
 class Service {
@@ -110,6 +136,36 @@ class Service {
     std::shared_ptr<Request> req_;
   };
 
+  /// Read-only view of one coalesced batch, handed to its BatchJob. Member
+  /// order is submission order within the batch. cancelled(i) is live: a
+  /// member cancelled after dispatch flips it, and the job should skip
+  /// de-batching into that member's payload (the service finishes the member
+  /// State::cancelled regardless).
+  class BatchView {
+   public:
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] std::uint64_t arg(std::size_t i) const noexcept {
+      return entries_[i].arg;
+    }
+    [[nodiscard]] void* payload(std::size_t i) const noexcept {
+      return entries_[i].payload;
+    }
+    [[nodiscard]] bool cancelled(std::size_t i) const noexcept;
+
+   private:
+    friend class Service;
+    struct Entry {
+      std::uint64_t arg = 0;
+      void* payload = nullptr;
+      const std::atomic<bool>* cancelled = nullptr;  ///< null = never
+    };
+    explicit BatchView(std::vector<Entry> e) : entries_(std::move(e)) {}
+    std::vector<Entry> entries_;
+  };
+
+  /// A batched job: runs once per batch, with the batch's single governor.
+  using BatchJob = std::function<void(Governor&, const BatchView&)>;
+
   explicit Service(ServicePolicy policy = {});
   ~Service();  // stop() + join
 
@@ -124,6 +180,18 @@ class Service {
   /// policy-governed jobs run under a GovernorScope armed from the policy.
   Ticket submit(std::function<void(Governor&)> job, bool self_governed = false);
 
+  /// Admit a request into the coalescing stage: joins the open batch for
+  /// `key` if one exists (and is not yet full/sealed), otherwise opens a new
+  /// one — whose `job` runs the whole batch when it dispatches. `payload`
+  /// is where the job de-batches this member's result to; it stays alive at
+  /// least until the member's ticket is terminal. Sheds exactly like
+  /// submit() (a whole batch counts as one queue_limit unit), with the same
+  /// strong guarantee. With batch_max <= 1 this is a plain submit() of a
+  /// one-member batch.
+  Ticket submit_coalesced(const std::string& key, std::uint64_t arg,
+                          std::shared_ptr<void> payload, BatchJob job,
+                          bool self_governed = false);
+
   [[nodiscard]] ServiceStats stats() const;
 
   /// Block until no request is queued or running (new submits may still
@@ -136,10 +204,14 @@ class Service {
   void stop();
 
  private:
+  struct Batch;
+
   void worker_loop();
   void watchdog_loop();
   void finish(const std::shared_ptr<Ticket::Request>& r, State s,
               std::exception_ptr err) noexcept;
+  void finish_members(const std::shared_ptr<Batch>& b, State s,
+                      std::exception_ptr err);
 
   ServicePolicy policy_;
   mutable std::mutex m_;
@@ -148,6 +220,9 @@ class Service {
   std::condition_variable watchdog_cv_;  // watchdog: period tick or stopping
   std::deque<std::shared_ptr<Ticket::Request>> queue_;
   std::vector<std::shared_ptr<Ticket::Request>> running_;
+  /// Open (joinable) batches by key. Every value's carrier request is also
+  /// in queue_; sealing removes the map entry, never the queue entry.
+  std::unordered_map<std::string, std::shared_ptr<Batch>> open_;
   ServiceStats stats_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -512,6 +512,40 @@ static void test_service(void) {
   CHECK(depth == 0);
   CHECK(LAGraph_Service_free(&tiny) == GrB_SUCCESS);
 
+  /* Batched execution: same client surface, coalesced kernels. Every bfs
+   * submission flows through the coalescing stage (batched_requests counts
+   * members no matter how the window groups them into batches), and each
+   * client's levels match the unbatched contract. */
+  LAGraph_Service bsvc = NULL;
+  CHECK(LAGraph_Service_new_ex(&bsvc, 0, 64, 0, 0, 0, 0, 4, 50000.0) ==
+        GrB_INVALID_VALUE); /* workers must be >= 1 */
+  CHECK(LAGraph_Service_new_ex(&bsvc, 1, 64, 0, 0, 0, 0, 4, -1.0) ==
+        GrB_INVALID_VALUE); /* negative window */
+  CHECK(LAGraph_Service_new_ex(&bsvc, 1, 64, 0, 0, 0, 0, 4, 50000.0) ==
+        GrB_SUCCESS);
+  CHECK(LAGraph_Service_publish(bsvc, "g", a) == GrB_SUCCESS);
+  uint64_t bjobs[3];
+  for (int i = 0; i < 3; ++i) {
+    CHECK(LAGraph_Service_submit(bsvc, "bfs", "g", (GrB_Index)i,
+                                 &bjobs[i]) == GrB_SUCCESS);
+  }
+  for (int i = 0; i < 3; ++i) {
+    CHECK(LAGraph_Service_wait(level, bsvc, bjobs[i]) == GrB_SUCCESS);
+    double h = -1.0;
+    CHECK(GrB_extractElement(&h, level, (GrB_Index)i) == GrB_SUCCESS &&
+          h == 0.0);
+    CHECK(GrB_extractElement(&h, level, (GrB_Index)(i + 1)) == GrB_SUCCESS &&
+          h == 1.0);
+    CHECK(LAGraph_Service_release(bsvc, bjobs[i]) == GrB_SUCCESS);
+  }
+  uint64_t batches = 0, batched = 0;
+  CHECK(LAGraph_Service_batch_stats(NULL, &batches, &batched) ==
+        GrB_NULL_POINTER);
+  CHECK(LAGraph_Service_batch_stats(bsvc, &batches, &batched) == GrB_SUCCESS);
+  CHECK(batched == 3);
+  CHECK(batches >= 1 && batches <= 3);
+  CHECK(LAGraph_Service_free(&bsvc) == GrB_SUCCESS);
+
   CHECK(GrB_free(&a) == GrB_SUCCESS);
   CHECK(GrB_free(&rank) == GrB_SUCCESS);
   CHECK(GrB_free(&level) == GrB_SUCCESS);
